@@ -1,0 +1,114 @@
+//! §3.2 — comparison with the Muse-style timeline and MIF/Diamond-style
+//! static formats.
+//!
+//! The paper's comparison is qualitative; this bench puts numbers on it:
+//! what each conversion loses, what a retargeting edit costs in each format
+//! (hand-edited cues vs a re-solve), and how the conversion and re-solve
+//! times compare.
+//!
+//! Expected shape: CMIF pays a modest scheduling cost and in exchange keeps
+//! structure, tolerance windows and device independence; the timeline needs
+//! hand edits proportional to the document length for a one-block change;
+//! the static format cannot represent the temporal behaviour at all.
+
+use std::time::Duration;
+
+use cmif::baselines::{conversion_loss, to_static, MuseTimeline};
+use cmif::core::prelude::*;
+use cmif::news::evening_news;
+use cmif::scheduler::{solve, ScheduleOptions};
+use cmif::synthetic::SyntheticNews;
+use cmif_bench::banner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_baselines(c: &mut Criterion) {
+    // Regenerate the artifact: loss and retargeting cost for the news.
+    let doc = evening_news().unwrap();
+    let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+    let timeline = MuseTimeline::from_schedule(&solved.schedule);
+    let timeline_loss = conversion_loss(&doc);
+    let (_, static_loss) = to_static(&doc).unwrap();
+    let changed = doc.find("/story-3/caption-track/caption-1").unwrap();
+    banner(
+        "§3.2: what the baseline formats lose on the Evening News",
+        &format!(
+            "Muse timeline: {} cues; loses {} structure nodes, {} arcs, {} styles\n\
+             retargeting one caption: {} hand-edited cues (CMIF: 0, one descriptor change + re-solve)\n\
+             MIF static document: keeps {} elements; loses {} channels, {} arcs, {} timed leaves, \
+             {} continuous-media leaves",
+            timeline.len(),
+            timeline_loss.structure_nodes_lost,
+            timeline_loss.arcs_lost,
+            timeline_loss.styles_lost,
+            timeline.retarget_cost(changed, 2_000),
+            static_loss.elements_kept,
+            static_loss.channels_lost,
+            static_loss.arcs_lost,
+            static_loss.timed_leaves_lost,
+            static_loss.continuous_media_lost
+        ),
+    );
+
+    let mut group = c.benchmark_group("cmp_baselines");
+    for stories in [2usize, 8, 32] {
+        let broadcast = SyntheticNews::with_stories(stories).build().unwrap();
+        let broadcast_solved =
+            solve(&broadcast, &broadcast.catalog, &ScheduleOptions::default()).unwrap();
+        let broadcast_timeline = MuseTimeline::from_schedule(&broadcast_solved.schedule);
+        let first_voice = broadcast.find("/story-0/narration").unwrap();
+
+        // CMIF retargeting: change one descriptor and re-solve everything.
+        group.bench_with_input(
+            BenchmarkId::new("cmif_retarget_resolve", stories),
+            &broadcast,
+            |b, broadcast| {
+                b.iter(|| {
+                    let mut edited = broadcast.clone();
+                    edited.catalog.upsert(
+                        DataDescriptor::new("s0/audio", MediaKind::Audio, "pcm8")
+                            .with_duration(TimeMs::from_secs(45)),
+                    );
+                    solve(&edited, &edited.catalog, &ScheduleOptions::default()).unwrap()
+                })
+            },
+        );
+        // Timeline retargeting: shift every downstream cue by hand.
+        group.bench_with_input(
+            BenchmarkId::new("muse_retarget_shift", stories),
+            &broadcast_timeline,
+            |b, timeline| {
+                b.iter(|| {
+                    let mut edited = timeline.clone();
+                    edited.retarget(first_voice, 15_000);
+                    edited
+                })
+            },
+        );
+        // Conversion costs.
+        group.bench_with_input(
+            BenchmarkId::new("convert_to_timeline", stories),
+            &broadcast_solved,
+            |b, solved| b.iter(|| MuseTimeline::from_schedule(&solved.schedule)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("convert_to_static", stories),
+            &broadcast,
+            |b, broadcast| b.iter(|| to_static(broadcast).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_baselines
+}
+criterion_main!(benches);

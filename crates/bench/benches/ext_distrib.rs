@@ -1,0 +1,130 @@
+//! §6 — structure-only manipulation and distributed transport.
+//!
+//! Regenerates the eager-vs-lazy transport comparison over the simulated
+//! Amoeba-style cluster (structure plus all media vs structure plus only the
+//! blocks the destination device can present) and measures publishing,
+//! transporting and attribute-driven search.
+//!
+//! Expected shape: the structure is kilobytes while the media is megabytes,
+//! so structure-only transport wins by orders of magnitude, and the gap
+//! grows with the broadcast size.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use cmif::core::channel::MediaKind;
+use cmif::distrib::network::{Link, Network};
+use cmif::distrib::store::DistributedStore;
+use cmif::distrib::transport::{compare_transport, referenced_keys};
+use cmif::media::MediaGenerator;
+use cmif::news::evening_news;
+use cmif::synthetic::SyntheticNews;
+use cmif_bench::banner;
+use cmif_core::tree::Document;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds a cluster with the document's media stored on `server`.
+fn cluster_with(doc: &Document) -> DistributedStore {
+    let store = DistributedStore::new(Network::uniform(&["server", "desk", "kiosk"], Link::lan()));
+    let mut generator = MediaGenerator::new(5);
+    for descriptor in doc.catalog.iter() {
+        let block = match descriptor.medium {
+            MediaKind::Audio => generator.audio(
+                &descriptor.key,
+                descriptor.duration.map(|d| d.as_millis()).unwrap_or(1_000),
+                8_000,
+            ),
+            MediaKind::Video => generator.video(&descriptor.key, 2_000, 64, 48, 25.0, 24),
+            _ => generator.image(&descriptor.key, 160, 120, 24),
+        };
+        store.put_block("server", block, descriptor.clone()).unwrap();
+    }
+    store.publish_document("server", "doc", doc).unwrap();
+    store
+}
+
+fn bench_distrib(c: &mut Criterion) {
+    // Regenerate the artifact: eager vs lazy transport of the Evening News
+    // to an audio-only reader.
+    let news = evening_news().unwrap();
+    let cluster = cluster_with(&news);
+    let comparison = compare_transport(
+        &cluster,
+        &news,
+        "server",
+        "desk",
+        "kiosk",
+        "doc",
+        Some(&[MediaKind::Audio]),
+    )
+    .unwrap();
+    banner(
+        "§6: transport of the Evening News (eager vs structure-only + audio)",
+        &format!(
+            "eager: {} B structure + {:.2} MB media in {:.1} simulated s ({} blocks)\n\
+             lazy:  {} B structure + {:.2} MB media in {:.1} simulated s ({} blocks)\n\
+             eager moves {:.0}x more bytes",
+            comparison.eager.structure_bytes,
+            comparison.eager.media_bytes as f64 / 1e6,
+            comparison.eager.simulated_ms as f64 / 1e3,
+            comparison.eager.blocks_moved,
+            comparison.lazy.structure_bytes,
+            comparison.lazy.media_bytes as f64 / 1e6,
+            comparison.lazy.simulated_ms as f64 / 1e3,
+            comparison.lazy.blocks_moved,
+            comparison.byte_ratio()
+        ),
+    );
+
+    let mut group = c.benchmark_group("ext_distrib");
+    for stories in [1usize, 4, 16] {
+        let broadcast = SyntheticNews::with_stories(stories).build().unwrap();
+        let cluster = cluster_with(&broadcast);
+        group.bench_with_input(
+            BenchmarkId::new("publish_structure", stories),
+            &(&cluster, &broadcast),
+            |b, (cluster, broadcast)| {
+                let mut revision = 0u64;
+                b.iter(|| {
+                    revision += 1;
+                    cluster
+                        .publish_document("server", &format!("doc-{revision}"), broadcast)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("transport_structure", stories),
+            &cluster,
+            |b, cluster| {
+                b.iter(|| cluster.transport_document("server", "desk", "doc").unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("select_presentable_blocks", stories),
+            &broadcast,
+            |b, broadcast| {
+                b.iter(|| {
+                    referenced_keys(broadcast, Some(&[MediaKind::Audio]))
+                        .into_iter()
+                        .collect::<BTreeSet<String>>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_distrib
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 1 — the CWI/Multimedia Pipeline.
+//!
+//! Regenerates the pipeline artifact by running every stage (structure
+//! validation, presentation mapping, constraint filtering, scheduling +
+//! conflicts, viewing, playback) over broadcasts of growing size, and
+//! measures where the time goes. The paper's claim is architectural: the
+//! target-system-independent stages operate on the document description
+//! only, so they stay cheap as the (simulated) media grows.
+
+use std::time::Duration;
+
+use cmif::pipeline::constraint::DeviceProfile;
+use cmif::pipeline::pipeline::{run_pipeline, run_structure_only, PipelineOptions};
+use cmif::scheduler::ScheduleOptions;
+use cmif::synthetic::SyntheticNews;
+use cmif_bench::{banner, news_fixture};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pipeline(c: &mut Criterion) {
+    // Regenerate the artifact: one full pipeline run with per-stage timings.
+    let (doc, store) = news_fixture();
+    let run = run_pipeline(&doc, &store, &DeviceProfile::workstation(), &PipelineOptions::default())
+        .expect("pipeline runs");
+    banner(
+        "Figure 1: pipeline stages (Evening News on a workstation)",
+        &format!(
+            "validate {:?}, presentation {:?}, filtering {:?}, scheduling {:?}, viewing {:?}, \
+             playback {:?}\npresentable: {}",
+            run.timings.validate,
+            run.timings.presentation,
+            run.timings.filtering,
+            run.timings.scheduling,
+            run.timings.viewing,
+            run.timings.playback,
+            run.is_presentable()
+        ),
+    );
+
+    let mut group = c.benchmark_group("fig01_pipeline");
+    // Full pipeline on the Evening News.
+    group.bench_function("evening_news_full_pipeline", |b| {
+        b.iter(|| {
+            run_pipeline(&doc, &store, &DeviceProfile::workstation(), &PipelineOptions::default())
+                .unwrap()
+        })
+    });
+
+    // Structure-only stages as the broadcast grows: the cost should scale
+    // with document size, not with media size (which is held out entirely).
+    for stories in [1usize, 4, 16, 64] {
+        let broadcast = SyntheticNews::with_stories(stories).build().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("structure_only_stages", stories),
+            &broadcast,
+            |b, broadcast| {
+                b.iter(|| {
+                    run_structure_only(broadcast, &broadcast.catalog, &ScheduleOptions::default())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Figure 2 — data blocks, data descriptors, event descriptors (and the
+//! optional DDBMS).
+//!
+//! The paper's claim: "much of the work associated with manipulating a
+//! document can be based on relatively small clusters of data (the
+//! attributes) rather than the often massive amounts of media-based data
+//! itself" (§6). The bench compares answering the same query from the
+//! attribute-indexed descriptor database against scanning the stored media
+//! payloads, over stores of growing size.
+
+use std::time::Duration;
+
+use cmif::core::channel::MediaKind;
+use cmif::core::value::AttrValue;
+use cmif::media::store::BlockStore;
+use cmif::media::{index_store, MediaGenerator, Query};
+use cmif_bench::banner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds a store of `blocks` small media blocks tagged with story ids.
+fn build_store(blocks: usize) -> BlockStore {
+    let store = BlockStore::new();
+    let mut generator = MediaGenerator::new(2);
+    for i in 0..blocks {
+        let block = if i % 3 == 0 {
+            generator.audio(&format!("block-{i}"), 2_000, 8_000)
+        } else if i % 3 == 1 {
+            generator.image(&format!("block-{i}"), 64, 64, 24)
+        } else {
+            generator.text(&format!("block-{i}"), 40)
+        };
+        let descriptor = block
+            .describe()
+            .with_extra("story", AttrValue::Id(format!("story-{}", i % 10)))
+            .with_extra("language", AttrValue::Id(if i % 2 == 0 { "nl" } else { "en" }.into()));
+        store.put_with_descriptor(block, descriptor).unwrap();
+    }
+    store
+}
+
+fn bench_descriptors(c: &mut Criterion) {
+    // Regenerate the artifact: descriptor size vs data size for one store.
+    let store = build_store(1_000);
+    let db = index_store(&store).unwrap();
+    banner(
+        "Figure 2: descriptors vs data (1000 blocks)",
+        &format!(
+            "stored media: {:.1} MB, descriptors: {:.1} kB ({}x smaller)",
+            store.total_bytes() as f64 / 1e6,
+            db.total_descriptor_bytes() as f64 / 1e3,
+            store.total_bytes() / db.total_descriptor_bytes().max(1) as u64
+        ),
+    );
+
+    let query = Query::any()
+        .with_medium(MediaKind::Image)
+        .with_attribute("story", "story-3");
+
+    let mut group = c.benchmark_group("fig02_descriptors");
+    for blocks in [100usize, 1_000, 10_000] {
+        let store = build_store(blocks);
+        let db = index_store(&store).unwrap();
+        group.bench_with_input(BenchmarkId::new("indexed_query", blocks), &db, |b, db| {
+            b.iter(|| db.query(&query))
+        });
+        // The strawman only at the two smaller sizes (payload scans of a
+        // 10k-block store take too long to be interesting).
+        if blocks <= 1_000 {
+            group.bench_with_input(
+                BenchmarkId::new("payload_scan", blocks),
+                &(&db, &store),
+                |b, (db, store)| b.iter(|| db.scan_blocks(store, &query).unwrap()),
+            );
+        }
+    }
+    group.finish();
+
+    // Sanity: the two paths agree.
+    let store = build_store(300);
+    let db = index_store(&store).unwrap();
+    assert_eq!(db.query(&query), db.scan_blocks(&store, &query).unwrap());
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_descriptors
+}
+criterion_main!(benches);

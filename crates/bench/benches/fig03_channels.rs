@@ -1,0 +1,63 @@
+//! Figure 3 — document structure components: channels, event descriptors and
+//! synchronization arcs laid out over time.
+//!
+//! Regenerates the per-channel column view for the Evening News and measures
+//! the operations the figure implies: grouping events per channel, deriving
+//! the default synchronization arcs from the tree, and solving the implied
+//! schedule, as the number of channels/events grows.
+
+use std::time::Duration;
+
+use cmif::format::channel_view;
+use cmif::news::evening_news;
+use cmif::scheduler::{derive_constraints, solve, ScheduleOptions};
+use cmif::synthetic::SyntheticNews;
+use cmif_bench::banner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_channels(c: &mut Criterion) {
+    let doc = evening_news().unwrap();
+    banner(
+        "Figure 3: channels, events and arcs (Evening News)",
+        &channel_view(&doc, &doc.catalog).unwrap(),
+    );
+
+    let mut group = c.benchmark_group("fig03_channels");
+    for (stories, captions) in [(1usize, 5usize), (8, 10), (32, 20)] {
+        let config = SyntheticNews {
+            stories,
+            captions_per_story: captions,
+            ..SyntheticNews::default()
+        };
+        let doc = config.build().unwrap();
+        let events = doc.leaves().len();
+        group.bench_with_input(
+            BenchmarkId::new("leaves_by_channel", events),
+            &doc,
+            |b, doc| b.iter(|| doc.leaves_by_channel().unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("derive_default_arcs", events),
+            &doc,
+            |b, doc| b.iter(|| derive_constraints(doc, &doc.catalog, &ScheduleOptions::default()).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("solve_schedule", events), &doc, |b, doc| {
+            b.iter(|| solve(doc, &doc.catalog, &ScheduleOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_channels
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Figure 4 — the Evening News as a document and as a CMIF template.
+//!
+//! Regenerates both halves of the figure: the "TV image" side as a
+//! storyboard (what each channel shows, where, at a sampled instant) and the
+//! "template" side as the structure views. Measures building the document,
+//! scheduling it, and rendering the views.
+
+use std::time::Duration;
+
+use cmif::format::conventional_view;
+use cmif::news::evening_news;
+use cmif::pipeline::constraint::DeviceProfile;
+use cmif::pipeline::pipeline::{run_pipeline, PipelineOptions};
+use cmif::pipeline::presentation::map_presentation;
+use cmif::pipeline::viewer::{render_storyboard, storyboard, table_of_contents};
+use cmif::scheduler::{solve, ScheduleOptions};
+use cmif_bench::{banner, news_fixture};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_evening_news(c: &mut Criterion) {
+    let (doc, store) = news_fixture();
+    let run = run_pipeline(&doc, &store, &DeviceProfile::workstation(), &PipelineOptions::default())
+        .unwrap();
+    let mid_frames: Vec<_> = run
+        .storyboard
+        .iter()
+        .filter(|f| f.at.as_millis() == 16_000)
+        .cloned()
+        .collect();
+    banner(
+        "Figure 4a: the Evening News screen at t = 16 s",
+        &render_storyboard(&mid_frames),
+    );
+    banner(
+        "Figure 4b: the Evening News as a CMIF template",
+        &conventional_view(&doc).unwrap(),
+    );
+
+    let mut group = c.benchmark_group("fig04_evening_news");
+    group.bench_function("build_document", |b| b.iter(|| evening_news().unwrap()));
+    group.bench_function("schedule", |b| {
+        b.iter(|| solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap())
+    });
+    let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+    let presentation = map_presentation(&doc).unwrap();
+    group.bench_function("render_views", |b| {
+        b.iter(|| {
+            let toc = table_of_contents(&doc, &solved.schedule).unwrap();
+            let frames =
+                storyboard(&doc, &solved.schedule, &presentation, None, 4_000, &store).unwrap();
+            (toc, frames)
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_evening_news
+}
+criterion_main!(benches);

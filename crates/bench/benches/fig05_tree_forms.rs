@@ -1,0 +1,61 @@
+//! Figure 5 — the CMIF tree in conventional and embedded forms.
+//!
+//! Regenerates both renderings for a small tree and measures rendering,
+//! serializing and re-parsing trees of growing depth and fan-out — the cost
+//! of moving a document description around, which the paper argues is the
+//! cheap part of the system.
+
+use std::time::Duration;
+
+use cmif::format::{conventional_view, embedded_view, parse_document, write_document};
+use cmif::synthetic::balanced_tree;
+use cmif_bench::banner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tree_forms(c: &mut Criterion) {
+    let small = balanced_tree(3, 3).unwrap();
+    banner(
+        "Figure 5a: conventional tree form (depth 3, fan-out 3)",
+        &conventional_view(&small).unwrap(),
+    );
+    banner(
+        "Figure 5b: embedded tree form (depth 3, fan-out 3)",
+        &embedded_view(&small).unwrap(),
+    );
+
+    let mut group = c.benchmark_group("fig05_tree_forms");
+    for (depth, fanout) in [(3usize, 3usize), (5, 4), (7, 3)] {
+        let doc = balanced_tree(depth, fanout).unwrap();
+        let nodes = doc.node_count();
+        group.bench_with_input(
+            BenchmarkId::new("render_conventional", nodes),
+            &doc,
+            |b, doc| b.iter(|| conventional_view(doc).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("render_embedded", nodes), &doc, |b, doc| {
+            b.iter(|| embedded_view(doc).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("write_interchange", nodes), &doc, |b, doc| {
+            b.iter(|| write_document(doc).unwrap())
+        });
+        let text = write_document(&doc).unwrap();
+        group.bench_with_input(BenchmarkId::new("parse_interchange", nodes), &text, |b, text| {
+            b.iter(|| parse_document(text).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tree_forms
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Figure 6 — the general formats of the four node types (seq, par, ext,
+//! imm).
+//!
+//! Regenerates one instance of each node format in the interchange syntax
+//! and measures parsing and serializing documents dominated by each node
+//! kind, plus the Evening News mix.
+
+use std::time::Duration;
+
+use cmif::core::prelude::*;
+use cmif::format::{parse_document, write_document};
+use cmif::news::evening_news;
+use cmif_bench::banner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds a document whose leaves are all external or all immediate nodes,
+/// nested under the requested interior kind.
+fn homogeneous(interior_seq: bool, external: bool, groups: usize, per_group: usize) -> Document {
+    let mut builder = DocumentBuilder::new("node formats")
+        .channel("caption", MediaKind::Text)
+        .channel("audio", MediaKind::Audio);
+    if external {
+        builder = builder.descriptor(
+            DataDescriptor::new("shared-block", MediaKind::Audio, "pcm8")
+                .with_duration(TimeMs::from_secs(2)),
+        );
+    }
+    builder
+        .root_seq(|root| {
+            for g in 0..groups {
+                let fill = |group: &mut NodeBuilder<'_>| {
+                    for i in 0..per_group {
+                        if external {
+                            group.ext(&format!("leaf-{i}"), "audio", "shared-block");
+                        } else {
+                            group.imm_text(
+                                &format!("leaf-{i}"),
+                                "caption",
+                                "an immediate text payload",
+                                1_000,
+                            );
+                        }
+                    }
+                };
+                if interior_seq {
+                    root.seq(&format!("group-{g}"), fill);
+                } else {
+                    root.par(&format!("group-{g}"), fill);
+                }
+            }
+        })
+        .build()
+        .unwrap()
+}
+
+fn bench_node_formats(c: &mut Criterion) {
+    // Regenerate the artifact: one node of each kind in interchange syntax.
+    let sample = homogeneous(true, true, 1, 1);
+    let sample_text = write_document(&sample).unwrap();
+    let imm_sample = homogeneous(false, false, 1, 1);
+    let imm_text = write_document(&imm_sample).unwrap();
+    banner(
+        "Figure 6: node general formats (seq/ext and par/imm examples)",
+        &format!("{sample_text}\n{imm_text}"),
+    );
+
+    let mut group = c.benchmark_group("fig06_node_formats");
+    let variants = [
+        ("seq_of_ext", homogeneous(true, true, 20, 20)),
+        ("seq_of_imm", homogeneous(true, false, 20, 20)),
+        ("par_of_ext", homogeneous(false, true, 20, 20)),
+        ("par_of_imm", homogeneous(false, false, 20, 20)),
+        ("evening_news_mix", evening_news().unwrap()),
+    ];
+    for (name, doc) in &variants {
+        group.bench_with_input(BenchmarkId::new("write", *name), doc, |b, doc| {
+            b.iter(|| write_document(doc).unwrap())
+        });
+        let text = write_document(doc).unwrap();
+        group.bench_with_input(BenchmarkId::new("parse", *name), &text, |b, text| {
+            b.iter(|| parse_document(text).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_node_formats
+}
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Figure 7 — the standard attribute set: names, inheritance, styles,
+//! channel references.
+//!
+//! Regenerates the attribute table (which attributes are inherited /
+//! root-only) and measures effective-attribute resolution through deep
+//! inheritance chains and style expansion at growing nesting depth — the
+//! ablation for the "style shorthand" design choice in DESIGN.md.
+
+use std::time::Duration;
+
+use cmif::core::prelude::*;
+use cmif_bench::banner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A chain document: a single path of nested seq nodes with the channel set
+/// only at the root, so the leaf's channel resolves through `depth` levels of
+/// inheritance.
+fn inheritance_chain(depth: usize) -> (Document, NodeId) {
+    let mut doc = Document::with_root(NodeKind::Seq);
+    let root = doc.root().unwrap();
+    doc.channels.define(ChannelDef::new("caption", MediaKind::Text)).unwrap();
+    doc.set_attr(root, AttrName::Channel, AttrValue::Id("caption".into())).unwrap();
+    let mut current = root;
+    for i in 0..depth {
+        let child = doc.add_seq(current).unwrap();
+        doc.set_attr(child, AttrName::Name, AttrValue::Id(format!("level-{i}"))).unwrap();
+        current = child;
+    }
+    let leaf = doc.add_imm_text(current, "deep leaf").unwrap();
+    doc.set_attr(leaf, AttrName::Name, AttrValue::Id("leaf".into())).unwrap();
+    doc.set_attr(leaf, AttrName::Duration, AttrValue::Number(1_000)).unwrap();
+    (doc, leaf)
+}
+
+/// A style dictionary where style `s<n>` builds on `s<n-1>`, so expanding
+/// the deepest style walks `depth` definitions.
+fn style_stack(depth: usize) -> StyleDictionary {
+    let mut dict = StyleDictionary::new();
+    for i in 0..depth {
+        let mut def = StyleDef::new(format!("s{i}"))
+            .with_attr(Attr::new(AttrName::custom(format!("attr-{i}")), AttrValue::Number(i as i64)));
+        if i > 0 {
+            def = def.with_parent(format!("s{}", i - 1));
+        }
+        dict.define(def).unwrap();
+    }
+    dict
+}
+
+fn bench_attributes(c: &mut Criterion) {
+    // Regenerate the artifact: the standard attribute table.
+    let names = [
+        AttrName::Name,
+        AttrName::StyleDictionary,
+        AttrName::Style,
+        AttrName::ChannelDictionary,
+        AttrName::Channel,
+        AttrName::File,
+        AttrName::TFormatting,
+        AttrName::Slice,
+        AttrName::Crop,
+        AttrName::Clip,
+        AttrName::SyncArc,
+        AttrName::Duration,
+    ];
+    let mut table = String::from("attribute          inherited  root-only\n");
+    for name in &names {
+        table.push_str(&format!(
+            "{:<18} {:<10} {}\n",
+            name.as_str(),
+            name.is_inherited(),
+            name.is_root_only()
+        ));
+    }
+    banner("Figure 7: standard attributes", &table);
+
+    let mut group = c.benchmark_group("fig07_attributes");
+    for depth in [1usize, 4, 16] {
+        let (doc, leaf) = inheritance_chain(depth);
+        group.bench_with_input(
+            BenchmarkId::new("inherited_channel_lookup", depth),
+            &(&doc, leaf),
+            |b, (doc, leaf)| b.iter(|| doc.channel_of(*leaf).unwrap()),
+        );
+        let dict = style_stack(depth);
+        let deepest = format!("s{}", depth - 1);
+        group.bench_with_input(
+            BenchmarkId::new("style_expansion", depth),
+            &(&dict, &deepest),
+            |b, (dict, deepest)| b.iter(|| dict.expand(deepest).unwrap()),
+        );
+    }
+    // Ablation: resolving through a style versus reading a flat attribute.
+    let mut styled = Document::with_root(NodeKind::Par);
+    let root = styled.root().unwrap();
+    styled.channels.define(ChannelDef::new("caption", MediaKind::Text)).unwrap();
+    styled.styles = style_stack(8);
+    let leaf = styled.add_imm_text(root, "styled").unwrap();
+    styled.set_attr(leaf, AttrName::Channel, AttrValue::Id("caption".into())).unwrap();
+    styled.set_attr(leaf, AttrName::Style, AttrValue::Id("s7".into())).unwrap();
+    group.bench_function("effective_attr_via_style", |b| {
+        b.iter(|| styled.effective_attr(leaf, &AttrName::custom("attr-3")).unwrap())
+    });
+    group.bench_function("effective_attr_flat", |b| {
+        b.iter(|| styled.effective_attr(leaf, &AttrName::Channel).unwrap())
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_attributes
+}
+criterion_main!(benches);

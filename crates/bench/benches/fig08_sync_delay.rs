@@ -1,0 +1,138 @@
+//! Figure 8 — synchronization delay parameters (the δ/ε tolerance window).
+//!
+//! The figure's point is that a window between the minimum acceptable and
+//! maximum tolerable delay lets one document run on devices of different
+//! sloppiness. The bench regenerates that trade-off as a table: for a sweep
+//! of device jitter against window width, the fraction of playback runs in
+//! which every `Must` constraint held. It also measures the solver and the
+//! playback simulator themselves, and ablates the window solver against a
+//! scheduler that ignores tolerances (treating every arc as hard).
+//!
+//! Expected shape: satisfaction is ~1.0 whenever the window is at least as
+//! wide as the jitter and falls off steeply once jitter exceeds the window —
+//! which is exactly why the paper says transportable documents need δ/ε.
+
+use std::time::Duration;
+
+use cmif::core::arc::SyncArc;
+use cmif::core::prelude::*;
+use cmif::scheduler::{
+    must_satisfaction_rate, play, solve, JitterModel, ScheduleOptions,
+};
+use cmif_bench::banner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A two-channel document whose caption is synchronized onto the narration
+/// with the given Must window.
+fn windowed_doc(window_ms: i64) -> Document {
+    let mut doc = DocumentBuilder::new("fig8")
+        .channel("audio", MediaKind::Audio)
+        .channel("caption", MediaKind::Text)
+        .descriptor(
+            DataDescriptor::new("speech", MediaKind::Audio, "pcm8")
+                .with_duration(TimeMs::from_secs(20)),
+        )
+        .root_par(|story| {
+            story.ext("narration", "audio", "speech");
+            // The captions are parallel children positioned purely by their
+            // arcs, so each one's launch jitter is judged against its own
+            // window (no cumulative drift from a sequential chain).
+            story.par("captions", |track| {
+                for i in 0..5 {
+                    track.imm_text(&format!("caption-{i}"), "caption", "text", 4_000);
+                }
+            });
+        })
+        .build()
+        .unwrap();
+    for i in 0..5 {
+        let caption = doc.find(&format!("/captions/caption-{i}")).unwrap();
+        doc.add_arc(
+            caption,
+            SyncArc::hard_start("/narration", "")
+                .with_offset(MediaTime::seconds(4 * i as i64))
+                .with_window(DelayMs::ZERO, MaxDelay::Bounded(DelayMs::from_millis(window_ms))),
+        )
+        .unwrap();
+    }
+    doc
+}
+
+fn bench_sync_delay(c: &mut Criterion) {
+    // Regenerate the artifact: satisfaction rate vs jitter for three window
+    // widths.
+    let mut table = String::from("jitter(ms)   window=50ms  window=250ms  window=1000ms\n");
+    for jitter_ms in [0i64, 50, 100, 250, 500, 1_000] {
+        let mut row = format!("{jitter_ms:<12}");
+        for window_ms in [50i64, 250, 1_000] {
+            let doc = windowed_doc(window_ms);
+            let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+            let rate = must_satisfaction_rate(
+                &doc,
+                &solved,
+                &doc.catalog,
+                &JitterModel::uniform(jitter_ms, 11),
+                40,
+            )
+            .unwrap();
+            row.push_str(&format!(" {rate:<12.2}"));
+        }
+        table.push_str(&row);
+        table.push('\n');
+    }
+    banner("Figure 8: Must-satisfaction rate vs device jitter and window width", &table);
+
+    let mut group = c.benchmark_group("fig08_sync_delay");
+    let doc = windowed_doc(250);
+    group.bench_function("solve_with_windows", |b| {
+        b.iter(|| solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap())
+    });
+    let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+    for jitter_ms in [0i64, 250, 1_000] {
+        let jitter = JitterModel::uniform(jitter_ms, 7);
+        group.bench_with_input(
+            BenchmarkId::new("playback_simulation", jitter_ms),
+            &jitter,
+            |b, jitter| b.iter(|| play(&doc, &solved, &doc.catalog, jitter).unwrap()),
+        );
+    }
+    // Ablation: the same document with every window forced hard (δ = ε = 0):
+    // the ASAP schedule is identical but the document stops absorbing any
+    // jitter at all.
+    let hard = windowed_doc(0);
+    let hard_solved = solve(&hard, &hard.catalog, &ScheduleOptions::default()).unwrap();
+    assert_eq!(
+        hard_solved.schedule.total_duration,
+        solved.schedule.total_duration
+    );
+    let rate_hard = must_satisfaction_rate(
+        &hard,
+        &hard_solved,
+        &hard.catalog,
+        &JitterModel::uniform(100, 5),
+        40,
+    )
+    .unwrap();
+    let rate_windowed =
+        must_satisfaction_rate(&doc, &solved, &doc.catalog, &JitterModel::uniform(100, 5), 40)
+            .unwrap();
+    banner(
+        "Figure 8 ablation: windows vs hard synchronization under 100 ms jitter",
+        &format!("hard arcs: {rate_hard:.2} satisfied, 250 ms windows: {rate_windowed:.2} satisfied"),
+    );
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sync_delay
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Figure 9 — the synchronization arc in tabular form
+//! (`type source offset destination min_delay max_delay`).
+//!
+//! Regenerates the tabular form for the Evening News arcs and measures the
+//! arc machinery itself: validation of the delay-sign rules, endpoint (path)
+//! resolution, serialization, and parsing, for documents with growing arc
+//! counts.
+
+use std::time::Duration;
+
+use cmif::core::arc::SyncArc;
+use cmif::core::prelude::*;
+use cmif::format::{parse_document, write_arc, write_document};
+use cmif::news::evening_news;
+use cmif_bench::banner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A flat document with `arcs` leaves, each carrying one explicit arc onto
+/// its predecessor.
+fn arc_heavy(arcs: usize) -> Document {
+    let mut doc = DocumentBuilder::new("arc-heavy")
+        .channel("caption", MediaKind::Text)
+        .root_par(|root| {
+            for i in 0..=arcs {
+                root.imm_text(&format!("block-{i}"), "caption", "x", 1_000);
+            }
+        })
+        .build()
+        .unwrap();
+    for i in 1..=arcs {
+        let carrier = doc.find(&format!("/block-{i}")).unwrap();
+        doc.add_arc(
+            carrier,
+            SyncArc::hard_start(format!("../block-{}", i - 1).as_str(), "")
+                .with_offset(MediaTime::millis(200))
+                .with_window(DelayMs::from_millis(-50), MaxDelay::Bounded(DelayMs::from_millis(100))),
+        )
+        .unwrap();
+    }
+    doc
+}
+
+fn bench_sync_arcs(c: &mut Criterion) {
+    // Regenerate the artifact: the news arcs in the Figure 9 tabular form.
+    let news = evening_news().unwrap();
+    let mut table = String::from("type source offset destination min_delay max_delay\n");
+    for (carrier, arc) in news.arcs() {
+        table.push_str(&format!("carried by {}: {}\n", news.path_of(*carrier).unwrap(), write_arc(arc)));
+    }
+    banner("Figure 9: synchronization arcs of the Evening News", &table);
+
+    let mut group = c.benchmark_group("fig09_sync_arcs");
+    for arcs in [10usize, 100, 1_000] {
+        let doc = arc_heavy(arcs);
+        group.bench_with_input(BenchmarkId::new("validate_arcs", arcs), &doc, |b, doc| {
+            b.iter(|| {
+                for (_, arc) in doc.arcs() {
+                    arc.validate().unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("resolve_endpoints", arcs), &doc, |b, doc| {
+            b.iter(|| doc.resolved_arcs().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("write_interchange", arcs), &doc, |b, doc| {
+            b.iter(|| write_document(doc).unwrap())
+        });
+        let text = write_document(&doc).unwrap();
+        group.bench_with_input(BenchmarkId::new("parse_interchange", arcs), &text, |b, text| {
+            b.iter(|| parse_document(text).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sync_arcs
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! §3.1 building-block table — data blocks, data descriptors, event
+//! descriptors, synchronization channels, synchronization arcs.
+//!
+//! Regenerates the inventory for the Evening News and for synthetic
+//! broadcasts, and measures the cost of constructing documents from the five
+//! building blocks (the document structure mapping tool's inner loop) and of
+//! computing the structure statistics that later tools rely on.
+
+use std::time::Duration;
+
+use cmif::core::stats::stats;
+use cmif::news::evening_news;
+use cmif::synthetic::SyntheticNews;
+use cmif_bench::banner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_building_blocks(c: &mut Criterion) {
+    // Regenerate the artifact: the building-block inventory of the news.
+    let doc = evening_news().unwrap();
+    let summary = stats(&doc, &doc.catalog).unwrap();
+    banner("Table (§3.1): CMIF building blocks of the Evening News", &summary.to_string());
+
+    let mut group = c.benchmark_group("tab01_building_blocks");
+    for stories in [1usize, 8, 32] {
+        let config = SyntheticNews::with_stories(stories);
+        group.bench_with_input(BenchmarkId::new("build_document", stories), &config, |b, config| {
+            b.iter(|| config.build().unwrap())
+        });
+        let doc = config.build().unwrap();
+        group.bench_with_input(BenchmarkId::new("document_stats", stories), &doc, |b, doc| {
+            b.iter(|| stats(doc, &doc.catalog).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("events", stories), &doc, |b, doc| {
+            b.iter(|| doc.events(&doc.catalog).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_building_blocks
+}
+criterion_main!(benches);

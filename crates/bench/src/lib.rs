@@ -1,0 +1,53 @@
+//! Shared helpers for the CMIF benchmark harness.
+//!
+//! Every bench target under `benches/` regenerates one artifact of the paper
+//! (a figure, the building-block table, or a comparison the paper makes
+//! qualitatively) and measures the operations behind it. The helpers here
+//! keep the benches short: the Evening News fixture with captured media, and
+//! an "artifact banner" so the regenerated content is visible in
+//! `cargo bench` output and can be pasted into EXPERIMENTS.md.
+
+use cmif::media::store::BlockStore;
+use cmif::news::{capture_news_media, evening_news};
+use cmif_core::tree::Document;
+
+/// Prints a banner so regenerated artifacts are easy to find in the bench
+/// output.
+pub fn banner(title: &str, body: &str) {
+    println!("\n==== {title} ====");
+    println!("{body}");
+}
+
+/// The Evening News document plus a store holding its (synthetic) media.
+pub fn news_fixture() -> (Document, BlockStore) {
+    let store = BlockStore::new();
+    capture_news_media(&store, 1991).expect("capture succeeds");
+    let doc = evening_news().expect("the evening news builds");
+    (doc, store)
+}
+
+/// Ratio helper used in shape summaries.
+pub fn ratio(numerator: f64, denominator: f64) -> f64 {
+    if denominator == 0.0 {
+        return f64::INFINITY;
+    }
+    numerator / denominator
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_consistent() {
+        let (doc, store) = news_fixture();
+        assert_eq!(doc.channels.len(), 5);
+        assert_eq!(store.len(), 7);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(10.0, 2.0), 5.0);
+        assert!(ratio(1.0, 0.0).is_infinite());
+    }
+}

@@ -1,0 +1,22 @@
+//! # cmif-baselines — the comparison formats of §3.2
+//!
+//! The paper positions CMIF against two families of contemporary formats:
+//!
+//! * timeline systems (Muse) — absolute times on tracks, no structure, no
+//!   tolerance windows: [`muse`];
+//! * static structured documents (FrameMaker MIF, Diamond messages) —
+//!   hierarchy and content but "without explicit time constraints":
+//!   [`mif`].
+//!
+//! Both are implemented here, together with converters *from* CMIF and
+//! loss/retargeting metrics, so the `cmp_baselines` benchmark can put
+//! numbers on the qualitative comparison the paper makes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mif;
+pub mod muse;
+
+pub use mif::{convert as to_static, StaticConversion, StaticDocument, StaticElement};
+pub use muse::{conversion_loss, MuseTimeline, TimelineCue, TimelineLoss};

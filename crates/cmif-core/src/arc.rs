@@ -1,0 +1,415 @@
+//! Synchronization arcs.
+//!
+//! "Synchronization information is encoded in terms of synchronization arcs.
+//! Each arc is a directed connection between two event descriptors, under
+//! the convention that the arc is drawn from the controlling event to the
+//! controlled event." (§3.1)
+//!
+//! An explicit arc (Figure 9) is a tuple
+//! `type source offset destination min_delay max_delay` where *type* has a
+//! begin/end anchor component and a Must/May strictness component, *offset*
+//! is a positive amount in media-dependent units measured from the start of
+//! the controlling node, and `[min_delay, max_delay]` is the δ/ε tolerance
+//! window of §5.3.1 giving the scheduling rule
+//! `t_ref + δ ≤ t_actual ≤ t_ref + ε`.
+
+use std::fmt;
+
+use crate::error::{CoreError, Result};
+use crate::path::NodePath;
+use crate::time::{DelayMs, MaxDelay, MediaTime, RateInfo, TimeMs};
+
+/// Which edge of an event an arc endpoint refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Anchor {
+    /// The beginning of the event.
+    Begin,
+    /// The end of the event.
+    End,
+}
+
+impl Anchor {
+    /// Canonical spelling used by the interchange format.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Anchor::Begin => "begin",
+            Anchor::End => "end",
+        }
+    }
+
+    /// Parses the canonical spelling.
+    pub fn parse(s: &str) -> Option<Anchor> {
+        match s {
+            "begin" | "start" => Some(Anchor::Begin),
+            "end" | "finish" => Some(Anchor::End),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Anchor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Must/May strictness of an arc (§5.3.2).
+///
+/// * `May` — "the requested type of synchronization is desirable but not
+///   essential"; the implementation environment may relax it.
+/// * `Must` — the environment "should do all it can to implement the
+///   requested type of synchronization, even at the expense of overall
+///   system performance".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strictness {
+    /// Desirable but not essential.
+    May,
+    /// Required; violating it is a presentation failure.
+    Must,
+}
+
+impl Strictness {
+    /// Canonical spelling used by the interchange format.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Strictness::May => "may",
+            Strictness::Must => "must",
+        }
+    }
+
+    /// Parses the canonical spelling.
+    pub fn parse(s: &str) -> Option<Strictness> {
+        match s {
+            "may" => Some(Strictness::May),
+            "must" => Some(Strictness::Must),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Strictness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An explicit synchronization arc as written in a document (paths not yet
+/// resolved to node ids).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncArc {
+    /// Which edge of the *controlled* (destination) event the constraint
+    /// applies to: its beginning or its end.
+    pub anchor: Anchor,
+    /// Whether the constraint is essential (`Must`) or advisory (`May`).
+    pub strictness: Strictness,
+    /// Edge of the controlling (source) event the reference time is measured
+    /// from. Figure 10's examples use both "from the start of" and "from the
+    /// end of" a controlling block.
+    pub source_anchor: Anchor,
+    /// Path to the controlling node, relative to the node carrying the arc.
+    /// The empty path designates the carrying node itself; an absolute empty
+    /// path (`/`) designates the document root, giving absolute references.
+    pub source: NodePath,
+    /// Positive offset from the source anchor, in media-dependent units.
+    pub offset: MediaTime,
+    /// Path to the controlled node, relative to the node carrying the arc.
+    pub destination: NodePath,
+    /// Minimum acceptable delay δ (zero or negative).
+    pub min_delay: DelayMs,
+    /// Maximum tolerable delay ε (zero, positive or unbounded).
+    pub max_delay: MaxDelay,
+}
+
+impl SyncArc {
+    /// Creates a hard (δ = ε = 0) `Must` arc controlling the beginning of
+    /// `destination` from the beginning of `source`.
+    pub fn hard_start(source: impl Into<NodePath>, destination: impl Into<NodePath>) -> SyncArc {
+        SyncArc {
+            anchor: Anchor::Begin,
+            strictness: Strictness::Must,
+            source_anchor: Anchor::Begin,
+            source: source.into(),
+            offset: MediaTime::millis(0),
+            destination: destination.into(),
+            min_delay: DelayMs::ZERO,
+            max_delay: MaxDelay::HARD,
+        }
+    }
+
+    /// Creates an advisory (`May`) arc with an unbounded tolerance window.
+    pub fn relaxed_start(
+        source: impl Into<NodePath>,
+        destination: impl Into<NodePath>,
+    ) -> SyncArc {
+        SyncArc {
+            anchor: Anchor::Begin,
+            strictness: Strictness::May,
+            source_anchor: Anchor::Begin,
+            source: source.into(),
+            offset: MediaTime::millis(0),
+            destination: destination.into(),
+            min_delay: DelayMs::ZERO,
+            max_delay: MaxDelay::Unbounded,
+        }
+    }
+
+    /// Sets the destination anchor (builder style).
+    pub fn anchored_at(mut self, anchor: Anchor) -> SyncArc {
+        self.anchor = anchor;
+        self
+    }
+
+    /// Sets the source anchor (builder style).
+    pub fn from_source_anchor(mut self, anchor: Anchor) -> SyncArc {
+        self.source_anchor = anchor;
+        self
+    }
+
+    /// Sets the offset (builder style).
+    pub fn with_offset(mut self, offset: MediaTime) -> SyncArc {
+        self.offset = offset;
+        self
+    }
+
+    /// Sets the strictness (builder style).
+    pub fn with_strictness(mut self, strictness: Strictness) -> SyncArc {
+        self.strictness = strictness;
+        self
+    }
+
+    /// Sets the tolerance window (builder style).
+    pub fn with_window(mut self, min_delay: DelayMs, max_delay: MaxDelay) -> SyncArc {
+        self.min_delay = min_delay;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Validates the delay sign rules of §5.3.1 and the offset sign rule of
+    /// §5.3.2 ("an integral positive offset").
+    pub fn validate(&self) -> Result<()> {
+        if self.min_delay.as_millis() > 0 {
+            return Err(CoreError::InvalidDelayWindow {
+                reason: "a positive minimum delay has no meaning",
+            });
+        }
+        if let MaxDelay::Bounded(max) = self.max_delay {
+            if max.is_negative() {
+                return Err(CoreError::InvalidDelayWindow {
+                    reason: "a negative maximum delay has no meaning",
+                });
+            }
+            if self.min_delay.as_millis() > max.as_millis() {
+                return Err(CoreError::InvalidDelayWindow {
+                    reason: "the minimum delay exceeds the maximum delay",
+                });
+            }
+        }
+        if self.offset.value < 0 {
+            return Err(CoreError::InvalidDelayWindow {
+                reason: "offsets must be integral positive amounts",
+            });
+        }
+        Ok(())
+    }
+
+    /// True when the window forces exact coincidence with the reference time
+    /// (δ = ε = 0, the "hard synchronization relationship" of §5.3.1).
+    pub fn is_hard(&self) -> bool {
+        self.min_delay.is_zero() && self.max_delay == MaxDelay::HARD
+    }
+
+    /// Computes the reference time for the controlled event given the actual
+    /// begin/end times of the controlling event, converting the offset using
+    /// `rates` (the controlling node's rate table).
+    pub fn reference_time(
+        &self,
+        source_begin: TimeMs,
+        source_end: TimeMs,
+        rates: &RateInfo,
+    ) -> Result<TimeMs> {
+        let base = match self.source_anchor {
+            Anchor::Begin => source_begin,
+            Anchor::End => source_end,
+        };
+        let offset = self.offset.to_millis(rates)?;
+        Ok(base + offset)
+    }
+
+    /// The earliest admissible activation time given a reference time
+    /// (`t_ref + δ`).
+    pub fn earliest(&self, reference: TimeMs) -> TimeMs {
+        reference.offset_by(self.min_delay)
+    }
+
+    /// The latest admissible activation time given a reference time
+    /// (`t_ref + ε`), or `None` when unbounded.
+    pub fn latest(&self, reference: TimeMs) -> Option<TimeMs> {
+        self.max_delay.bound().map(|max| reference.offset_by(max))
+    }
+
+    /// Checks the general synchronization equation of §5.3.1 for an actual
+    /// activation time.
+    pub fn admits(&self, reference: TimeMs, actual: TimeMs) -> bool {
+        if actual < self.earliest(reference) {
+            return false;
+        }
+        match self.latest(reference) {
+            Some(latest) => actual <= latest,
+            None => true,
+        }
+    }
+}
+
+impl fmt::Display for SyncArc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The tabular form of Figure 9: type source offset destination min max.
+        write!(
+            f,
+            "{}-{}/{} {} {} {} {} {}",
+            self.anchor,
+            self.strictness,
+            self.source_anchor,
+            if self.source.is_current() && !self.source.absolute {
+                ".".to_string()
+            } else {
+                self.source.to_string()
+            },
+            self.offset,
+            if self.destination.is_current() && !self.destination.absolute {
+                ".".to_string()
+            } else {
+                self.destination.to_string()
+            },
+            self.min_delay,
+            self.max_delay
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_and_strictness_parse() {
+        assert_eq!(Anchor::parse("begin"), Some(Anchor::Begin));
+        assert_eq!(Anchor::parse("start"), Some(Anchor::Begin));
+        assert_eq!(Anchor::parse("end"), Some(Anchor::End));
+        assert_eq!(Anchor::parse("middle"), None);
+        assert_eq!(Strictness::parse("must"), Some(Strictness::Must));
+        assert_eq!(Strictness::parse("may"), Some(Strictness::May));
+        assert_eq!(Strictness::parse("should"), None);
+    }
+
+    #[test]
+    fn hard_start_arc_is_hard() {
+        let arc = SyncArc::hard_start("/news/audio", "/news/graphic");
+        assert!(arc.is_hard());
+        assert!(arc.validate().is_ok());
+        assert_eq!(arc.strictness, Strictness::Must);
+    }
+
+    #[test]
+    fn relaxed_arc_is_not_hard() {
+        let arc = SyncArc::relaxed_start("", "label-1");
+        assert!(!arc.is_hard());
+        assert!(arc.validate().is_ok());
+        assert_eq!(arc.strictness, Strictness::May);
+    }
+
+    #[test]
+    fn validation_rejects_positive_min_delay() {
+        let arc = SyncArc::hard_start("a", "b")
+            .with_window(DelayMs::from_millis(10), MaxDelay::Unbounded);
+        assert!(matches!(arc.validate().unwrap_err(), CoreError::InvalidDelayWindow { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_negative_max_delay() {
+        let arc = SyncArc::hard_start("a", "b")
+            .with_window(DelayMs::ZERO, MaxDelay::Bounded(DelayMs::from_millis(-5)));
+        assert!(arc.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_negative_offset() {
+        let arc = SyncArc::hard_start("a", "b").with_offset(MediaTime::millis(-1));
+        assert!(arc.validate().is_err());
+    }
+
+    #[test]
+    fn validation_accepts_negative_min_with_bounded_max() {
+        let arc = SyncArc::hard_start("a", "b").with_window(
+            DelayMs::from_millis(-200),
+            MaxDelay::Bounded(DelayMs::from_millis(300)),
+        );
+        assert!(arc.validate().is_ok());
+        assert!(!arc.is_hard());
+    }
+
+    #[test]
+    fn reference_time_uses_source_anchor_and_offset() {
+        let begin = TimeMs::from_secs(10);
+        let end = TimeMs::from_secs(18);
+        let arc = SyncArc::hard_start("a", "b").with_offset(MediaTime::seconds(2));
+        assert_eq!(arc.reference_time(begin, end, &RateInfo::NONE).unwrap().as_millis(), 12_000);
+        let arc = arc.from_source_anchor(Anchor::End);
+        assert_eq!(arc.reference_time(begin, end, &RateInfo::NONE).unwrap().as_millis(), 20_000);
+    }
+
+    #[test]
+    fn reference_time_converts_frame_offsets() {
+        let arc = SyncArc::hard_start("a", "b").with_offset(MediaTime::frames(50));
+        let rates = RateInfo::video(25.0);
+        let t = arc.reference_time(TimeMs::ZERO, TimeMs::ZERO, &rates).unwrap();
+        assert_eq!(t.as_millis(), 2000);
+        assert!(arc.reference_time(TimeMs::ZERO, TimeMs::ZERO, &RateInfo::NONE).is_err());
+    }
+
+    #[test]
+    fn admits_respects_window() {
+        let arc = SyncArc::hard_start("a", "b").with_window(
+            DelayMs::from_millis(-100),
+            MaxDelay::Bounded(DelayMs::from_millis(250)),
+        );
+        let reference = TimeMs::from_millis(1000);
+        assert!(arc.admits(reference, TimeMs::from_millis(900)));
+        assert!(arc.admits(reference, TimeMs::from_millis(1000)));
+        assert!(arc.admits(reference, TimeMs::from_millis(1250)));
+        assert!(!arc.admits(reference, TimeMs::from_millis(899)));
+        assert!(!arc.admits(reference, TimeMs::from_millis(1251)));
+    }
+
+    #[test]
+    fn admits_with_unbounded_window() {
+        let arc = SyncArc::relaxed_start("a", "b");
+        let reference = TimeMs::from_millis(500);
+        assert!(arc.admits(reference, TimeMs::from_millis(500)));
+        assert!(arc.admits(reference, TimeMs::from_millis(1_000_000)));
+        assert!(!arc.admits(reference, TimeMs::from_millis(499)));
+    }
+
+    #[test]
+    fn earliest_and_latest() {
+        let arc = SyncArc::hard_start("a", "b").with_window(
+            DelayMs::from_millis(-50),
+            MaxDelay::Bounded(DelayMs::from_millis(100)),
+        );
+        let reference = TimeMs::from_millis(1000);
+        assert_eq!(arc.earliest(reference).as_millis(), 950);
+        assert_eq!(arc.latest(reference).unwrap().as_millis(), 1100);
+        let unbounded = SyncArc::relaxed_start("a", "b");
+        assert!(unbounded.latest(reference).is_none());
+    }
+
+    #[test]
+    fn display_is_tabular() {
+        let arc = SyncArc::hard_start("/news/audio", "graphic/painting-two")
+            .with_offset(MediaTime::seconds(2));
+        let text = arc.to_string();
+        assert!(text.contains("begin-must"));
+        assert!(text.contains("/news/audio"));
+        assert!(text.contains("graphic/painting-two"));
+        assert!(text.contains("2 s"));
+    }
+}

@@ -1,0 +1,529 @@
+//! Attribute names and per-node attribute lists.
+//!
+//! "Each of the attribute fields in the node contains a pointer to a list of
+//! attribute definitions. These definitions generally contain an attribute
+//! name, followed by an attribute value. […] One requirement of attribute
+//! lists is that each name may occur at most once in each list for each
+//! node." (§5.2)
+//!
+//! This module provides:
+//!
+//! * [`AttrName`] — the standard attribute vocabulary from Figure 7 plus
+//!   arbitrary custom attributes ("a node can have arbitrary attributes");
+//! * [`Attr`] — a name/value pair;
+//! * [`AttrList`] — an ordered list enforcing the at-most-once rule;
+//! * metadata about every standard attribute: whether it is inherited by
+//!   descendants and whether it may only appear on the root node.
+
+use std::fmt;
+
+use crate::error::{CoreError, Result};
+use crate::node::NodeId;
+use crate::value::AttrValue;
+
+/// Names of node attributes.
+///
+/// The unit variants are the standard attributes from Figure 7 of the paper
+/// (plus `SyncArc` and `Duration`, which the paper describes in §5.3 without
+/// listing in the table). `Custom` covers the "arbitrary attributes" the
+/// format explicitly allows and simply passes through to tools.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttrName {
+    /// Optional node name, unique among the direct children of one parent;
+    /// used by synchronization arcs to reference nodes.
+    Name,
+    /// Root-only dictionary defining named styles (sets of attributes).
+    StyleDictionary,
+    /// One or more styles to apply to the current node.
+    Style,
+    /// Root-only dictionary defining synchronization channels and the medium
+    /// each carries.
+    ChannelDictionary,
+    /// The channel the node's data is directed to; inherited by children.
+    Channel,
+    /// The file / data-descriptor key used by external nodes; inherited.
+    File,
+    /// Shorthand list of text formatting parameters (font, size, indent,
+    /// vspace) for the text formatting channel.
+    TFormatting,
+    /// Subsection of a file used by an external node with binary data.
+    Slice,
+    /// Sub-image of an image.
+    Crop,
+    /// Part of a sound fragment.
+    Clip,
+    /// Explicit synchronization arc(s) attached to this node (§5.3.2).
+    SyncArc,
+    /// Intrinsic duration of the node's data on the document clock, in
+    /// milliseconds. Usually copied from the data descriptor by authoring
+    /// tools so that structure-only processing does not need the data.
+    Duration,
+    /// Any other attribute, passed through uninterpreted.
+    Custom(String),
+}
+
+impl AttrName {
+    /// The canonical lower-case spelling used in the interchange format.
+    pub fn as_str(&self) -> &str {
+        match self {
+            AttrName::Name => "name",
+            AttrName::StyleDictionary => "style_dictionary",
+            AttrName::Style => "style",
+            AttrName::ChannelDictionary => "channel_dictionary",
+            AttrName::Channel => "channel",
+            AttrName::File => "file",
+            AttrName::TFormatting => "t_formatting",
+            AttrName::Slice => "slice",
+            AttrName::Crop => "crop",
+            AttrName::Clip => "clip",
+            AttrName::SyncArc => "sync_arc",
+            AttrName::Duration => "duration",
+            AttrName::Custom(s) => s,
+        }
+    }
+
+    /// Parses a canonical spelling back into an attribute name. Unknown
+    /// spellings become [`AttrName::Custom`].
+    pub fn parse(name: &str) -> AttrName {
+        match name {
+            "name" => AttrName::Name,
+            "style_dictionary" => AttrName::StyleDictionary,
+            "style" => AttrName::Style,
+            "channel_dictionary" => AttrName::ChannelDictionary,
+            "channel" => AttrName::Channel,
+            "file" => AttrName::File,
+            "t_formatting" => AttrName::TFormatting,
+            "slice" => AttrName::Slice,
+            "crop" => AttrName::Crop,
+            "clip" => AttrName::Clip,
+            "sync_arc" => AttrName::SyncArc,
+            "duration" => AttrName::Duration,
+            other => AttrName::Custom(other.to_string()),
+        }
+    }
+
+    /// Creates a custom attribute name.
+    pub fn custom(name: impl Into<String>) -> AttrName {
+        AttrName::Custom(name.into())
+    }
+
+    /// True for attributes whose value is "inherited by children (and
+    /// arbitrary levels of grandchildren) unless explicitly overridden"
+    /// (§5.2). Figure 7 marks `Channel` and `File` as inherited; formatting
+    /// shorthands inherit so that a style set on a section applies to every
+    /// paragraph beneath it.
+    pub fn is_inherited(&self) -> bool {
+        matches!(
+            self,
+            AttrName::Channel | AttrName::File | AttrName::TFormatting | AttrName::Style
+        )
+    }
+
+    /// True for attributes that "should currently only occur on the root
+    /// node" (Figure 7): the style dictionary and the channel dictionary.
+    pub fn is_root_only(&self) -> bool {
+        matches!(self, AttrName::StyleDictionary | AttrName::ChannelDictionary)
+    }
+
+    /// True if this is one of the standard attributes of Figure 7 (as
+    /// opposed to a pass-through custom attribute).
+    pub fn is_standard(&self) -> bool {
+        !matches!(self, AttrName::Custom(_))
+    }
+}
+
+impl fmt::Display for AttrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for AttrName {
+    fn from(s: &str) -> Self {
+        AttrName::parse(s)
+    }
+}
+
+/// A single attribute: a name followed by a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attr {
+    /// The attribute name.
+    pub name: AttrName,
+    /// The attribute value.
+    pub value: AttrValue,
+}
+
+impl Attr {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<AttrName>, value: AttrValue) -> Attr {
+        Attr { name: name.into(), value }
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.value)
+    }
+}
+
+impl From<(AttrName, AttrValue)> for Attr {
+    fn from((name, value): (AttrName, AttrValue)) -> Self {
+        Attr { name, value }
+    }
+}
+
+/// An ordered attribute list with at-most-once name semantics.
+///
+/// Order is preserved because the interchange format is human-readable and
+/// round-tripping should not shuffle a document's attributes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttrList {
+    attrs: Vec<Attr>,
+}
+
+impl AttrList {
+    /// Creates an empty attribute list.
+    pub fn new() -> AttrList {
+        AttrList { attrs: Vec::new() }
+    }
+
+    /// Number of attributes in the list.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the list has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Adds an attribute, rejecting duplicates.
+    ///
+    /// `node` is only used to produce a useful error; pass
+    /// [`NodeId::detached`] when the list is not yet attached to a node.
+    pub fn insert(&mut self, node: NodeId, attr: Attr) -> Result<()> {
+        if self.contains(&attr.name) {
+            return Err(CoreError::DuplicateAttribute { node, name: attr.name });
+        }
+        self.attrs.push(attr);
+        Ok(())
+    }
+
+    /// Adds or replaces an attribute (authoring convenience; replacement is
+    /// how an editor overrides an inherited value on a child node).
+    pub fn set(&mut self, attr: Attr) {
+        if let Some(existing) = self.attrs.iter_mut().find(|a| a.name == attr.name) {
+            existing.value = attr.value;
+        } else {
+            self.attrs.push(attr);
+        }
+    }
+
+    /// Removes an attribute by name, returning its previous value.
+    pub fn remove(&mut self, name: &AttrName) -> Option<AttrValue> {
+        let idx = self.attrs.iter().position(|a| &a.name == name)?;
+        Some(self.attrs.remove(idx).value)
+    }
+
+    /// True if an attribute with this name is present.
+    pub fn contains(&self, name: &AttrName) -> bool {
+        self.attrs.iter().any(|a| &a.name == name)
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn get(&self, name: &AttrName) -> Option<&AttrValue> {
+        self.attrs.iter().find(|a| &a.name == name).map(|a| &a.value)
+    }
+
+    /// Looks up a textual (`Id` or `Str`) attribute value by name.
+    pub fn get_text(&self, name: &AttrName) -> Option<&str> {
+        self.get(name).and_then(AttrValue::as_text)
+    }
+
+    /// Looks up a numeric attribute value by name.
+    pub fn get_number(&self, name: &AttrName) -> Option<i64> {
+        self.get(name).and_then(AttrValue::as_number)
+    }
+
+    /// Iterates over the attributes in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Attr> {
+        self.attrs.iter()
+    }
+
+    /// Approximate in-memory footprint in bytes (names + values).
+    pub fn approx_size(&self) -> usize {
+        self.attrs
+            .iter()
+            .map(|a| a.name.as_str().len() + a.value.approx_size())
+            .sum()
+    }
+
+    /// Validates the at-most-once rule (useful after bulk construction).
+    pub fn validate_unique(&self, node: NodeId) -> Result<()> {
+        for (i, attr) in self.attrs.iter().enumerate() {
+            if self.attrs[..i].iter().any(|a| a.name == attr.name) {
+                return Err(CoreError::DuplicateAttribute { node, name: attr.name.clone() });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Attr> for AttrList {
+    fn from_iter<T: IntoIterator<Item = Attr>>(iter: T) -> Self {
+        let mut list = AttrList::new();
+        for attr in iter {
+            list.set(attr);
+        }
+        list
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrList {
+    type Item = &'a Attr;
+    type IntoIter = std::slice::Iter<'a, Attr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.attrs.iter()
+    }
+}
+
+/// The `T_Formatting` shorthand (Figure 7): "font, size, indent, and
+/// vspace" parameters for the text formatting channel.
+///
+/// The paper notes it "is wise not to use these attributes directly but to
+/// place them in a style definition"; the struct exists so style expansion
+/// and the text channel renderer share one typed view.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TextFormatting {
+    /// Font family name.
+    pub font: Option<String>,
+    /// Point size.
+    pub size: Option<i64>,
+    /// Left indent in character cells.
+    pub indent: Option<i64>,
+    /// Vertical space before the block, in lines.
+    pub vspace: Option<i64>,
+}
+
+impl TextFormatting {
+    /// Parses a `t_formatting` attribute value.
+    ///
+    /// The accepted shape is a list of `(key value)` pairs, e.g.
+    /// `((font helvetica) (size 12) (indent 4) (vspace 1))`. Unknown keys
+    /// are ignored (they pass through to tools untouched, like any other
+    /// attribute the format does not interpret).
+    pub fn from_value(value: &AttrValue) -> Result<TextFormatting> {
+        let items = value.as_list().ok_or(CoreError::AttributeType {
+            name: AttrName::TFormatting,
+            expected: "a list of (key value) pairs",
+        })?;
+        let mut fmt = TextFormatting::default();
+        for item in items {
+            let pair = item.as_list().ok_or(CoreError::AttributeType {
+                name: AttrName::TFormatting,
+                expected: "each entry to be a (key value) pair",
+            })?;
+            if pair.len() != 2 {
+                return Err(CoreError::AttributeType {
+                    name: AttrName::TFormatting,
+                    expected: "each entry to be a (key value) pair",
+                });
+            }
+            let key = pair[0].as_text().ok_or(CoreError::AttributeType {
+                name: AttrName::TFormatting,
+                expected: "the key of each pair to be an identifier",
+            })?;
+            match key {
+                "font" => fmt.font = pair[1].as_text().map(str::to_string),
+                "size" => fmt.size = pair[1].as_number(),
+                "indent" => fmt.indent = pair[1].as_number(),
+                "vspace" => fmt.vspace = pair[1].as_number(),
+                _ => {}
+            }
+        }
+        Ok(fmt)
+    }
+
+    /// Serialises the shorthand back into an attribute value.
+    pub fn to_value(&self) -> AttrValue {
+        let mut items = Vec::new();
+        if let Some(font) = &self.font {
+            items.push(AttrValue::list([
+                AttrValue::Id("font".into()),
+                AttrValue::Id(font.clone()),
+            ]));
+        }
+        if let Some(size) = self.size {
+            items.push(AttrValue::list([AttrValue::Id("size".into()), AttrValue::Number(size)]));
+        }
+        if let Some(indent) = self.indent {
+            items.push(AttrValue::list([
+                AttrValue::Id("indent".into()),
+                AttrValue::Number(indent),
+            ]));
+        }
+        if let Some(vspace) = self.vspace {
+            items.push(AttrValue::list([
+                AttrValue::Id("vspace".into()),
+                AttrValue::Number(vspace),
+            ]));
+        }
+        AttrValue::List(items)
+    }
+
+    /// Overlays `other` on top of `self`: fields present in `other` win.
+    /// Used when a node's own `t_formatting` overrides an inherited one.
+    pub fn merged_with(&self, other: &TextFormatting) -> TextFormatting {
+        TextFormatting {
+            font: other.font.clone().or_else(|| self.font.clone()),
+            size: other.size.or(self.size),
+            indent: other.indent.or(self.indent),
+            vspace: other.vspace.or(self.vspace),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid() -> NodeId {
+        NodeId::detached()
+    }
+
+    #[test]
+    fn attr_name_round_trips_through_canonical_spelling() {
+        let all = [
+            AttrName::Name,
+            AttrName::StyleDictionary,
+            AttrName::Style,
+            AttrName::ChannelDictionary,
+            AttrName::Channel,
+            AttrName::File,
+            AttrName::TFormatting,
+            AttrName::Slice,
+            AttrName::Crop,
+            AttrName::Clip,
+            AttrName::SyncArc,
+            AttrName::Duration,
+            AttrName::Custom("author".into()),
+        ];
+        for name in all {
+            let round = AttrName::parse(name.as_str());
+            assert_eq!(round, name);
+        }
+    }
+
+    #[test]
+    fn inheritance_and_root_only_flags() {
+        assert!(AttrName::Channel.is_inherited());
+        assert!(AttrName::File.is_inherited());
+        assert!(!AttrName::Name.is_inherited());
+        assert!(!AttrName::Slice.is_inherited());
+        assert!(AttrName::StyleDictionary.is_root_only());
+        assert!(AttrName::ChannelDictionary.is_root_only());
+        assert!(!AttrName::Channel.is_root_only());
+        assert!(AttrName::Channel.is_standard());
+        assert!(!AttrName::custom("x").is_standard());
+    }
+
+    #[test]
+    fn attr_list_rejects_duplicates() {
+        let mut list = AttrList::new();
+        list.insert(nid(), Attr::new(AttrName::Name, AttrValue::Id("a".into()))).unwrap();
+        let err = list
+            .insert(nid(), Attr::new(AttrName::Name, AttrValue::Id("b".into())))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateAttribute { .. }));
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn attr_list_set_replaces_existing() {
+        let mut list = AttrList::new();
+        list.set(Attr::new(AttrName::Channel, AttrValue::Id("audio".into())));
+        list.set(Attr::new(AttrName::Channel, AttrValue::Id("video".into())));
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.get_text(&AttrName::Channel), Some("video"));
+    }
+
+    #[test]
+    fn attr_list_remove_and_contains() {
+        let mut list = AttrList::new();
+        list.set(Attr::new(AttrName::File, AttrValue::Str("clip.au".into())));
+        assert!(list.contains(&AttrName::File));
+        let removed = list.remove(&AttrName::File).unwrap();
+        assert_eq!(removed.as_text(), Some("clip.au"));
+        assert!(!list.contains(&AttrName::File));
+        assert!(list.remove(&AttrName::File).is_none());
+    }
+
+    #[test]
+    fn attr_list_preserves_order() {
+        let mut list = AttrList::new();
+        list.set(Attr::new(AttrName::Name, AttrValue::Id("n".into())));
+        list.set(Attr::new(AttrName::Channel, AttrValue::Id("c".into())));
+        list.set(Attr::new(AttrName::Duration, AttrValue::Number(10)));
+        let names: Vec<_> = list.iter().map(|a| a.name.clone()).collect();
+        assert_eq!(names, vec![AttrName::Name, AttrName::Channel, AttrName::Duration]);
+    }
+
+    #[test]
+    fn attr_list_typed_getters() {
+        let mut list = AttrList::new();
+        list.set(Attr::new(AttrName::Duration, AttrValue::Number(1500)));
+        list.set(Attr::new(AttrName::Name, AttrValue::Id("intro".into())));
+        assert_eq!(list.get_number(&AttrName::Duration), Some(1500));
+        assert_eq!(list.get_text(&AttrName::Name), Some("intro"));
+        assert_eq!(list.get_number(&AttrName::Name), None);
+    }
+
+    #[test]
+    fn validate_unique_detects_bulk_duplicates() {
+        // Build through FromIterator which de-duplicates via set().
+        let list: AttrList = [
+            Attr::new(AttrName::Name, AttrValue::Id("a".into())),
+            Attr::new(AttrName::Name, AttrValue::Id("b".into())),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(list.len(), 1);
+        assert!(list.validate_unique(nid()).is_ok());
+    }
+
+    #[test]
+    fn text_formatting_round_trip() {
+        let fmt = TextFormatting {
+            font: Some("helvetica".into()),
+            size: Some(12),
+            indent: Some(4),
+            vspace: Some(1),
+        };
+        let value = fmt.to_value();
+        let parsed = TextFormatting::from_value(&value).unwrap();
+        assert_eq!(parsed, fmt);
+    }
+
+    #[test]
+    fn text_formatting_rejects_non_list() {
+        let err = TextFormatting::from_value(&AttrValue::Number(3)).unwrap_err();
+        assert!(matches!(err, CoreError::AttributeType { .. }));
+    }
+
+    #[test]
+    fn text_formatting_merge_prefers_override() {
+        let base = TextFormatting { font: Some("times".into()), size: Some(10), ..Default::default() };
+        let over = TextFormatting { size: Some(14), indent: Some(2), ..Default::default() };
+        let merged = base.merged_with(&over);
+        assert_eq!(merged.font.as_deref(), Some("times"));
+        assert_eq!(merged.size, Some(14));
+        assert_eq!(merged.indent, Some(2));
+    }
+
+    #[test]
+    fn approx_size_is_positive_for_nonempty_lists() {
+        let mut list = AttrList::new();
+        list.set(Attr::new(AttrName::Name, AttrValue::Id("abc".into())));
+        assert!(list.approx_size() >= 3);
+    }
+}

@@ -1,0 +1,426 @@
+//! A fluent builder for CMIF documents.
+//!
+//! The builder plays the role of the paper's *document structure mapping
+//! tool* API surface (§2): authoring code describes the hierarchy of
+//! sequential and parallel nodes, the channels they use and the explicit
+//! synchronization arcs among them, and gets back a validated
+//! [`Document`].
+//!
+//! ```
+//! use cmif_core::builder::DocumentBuilder;
+//! use cmif_core::channel::MediaKind;
+//! use cmif_core::arc::SyncArc;
+//!
+//! let doc = DocumentBuilder::new("demo")
+//!     .channel("audio", MediaKind::Audio)
+//!     .channel("caption", MediaKind::Text)
+//!     .root_seq(|story| {
+//!         story.par("scene-1", |scene| {
+//!             scene.ext("voice", "audio", "voice-block");
+//!             scene.imm_text("line", "caption", "Hello, world", 2_000);
+//!         });
+//!     })
+//!     .build()
+//!     .expect("a valid document");
+//! assert_eq!(doc.leaves().len(), 2);
+//! ```
+
+use crate::arc::SyncArc;
+use crate::attr::AttrName;
+use crate::channel::{ChannelDef, MediaKind};
+use crate::descriptor::DataDescriptor;
+use crate::error::Result;
+use crate::node::{NodeId, NodeKind};
+use crate::style::StyleDef;
+use crate::tree::Document;
+use crate::validate;
+use crate::value::AttrValue;
+
+/// Fluent builder for a whole document.
+#[derive(Debug)]
+pub struct DocumentBuilder {
+    doc: Document,
+    title: String,
+    pending_arcs: Vec<(String, SyncArc)>,
+    errors: Vec<crate::error::CoreError>,
+}
+
+impl DocumentBuilder {
+    /// Starts a new document with the given title.
+    pub fn new(title: impl Into<String>) -> DocumentBuilder {
+        DocumentBuilder {
+            doc: Document::new(),
+            title: title.into(),
+            pending_arcs: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Declares a synchronization channel.
+    pub fn channel(mut self, name: impl Into<String>, medium: MediaKind) -> Self {
+        if let Err(e) = self.doc.channels.define(ChannelDef::new(name, medium)) {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// Declares a synchronization channel with extra presentation hints.
+    pub fn channel_def(mut self, def: ChannelDef) -> Self {
+        if let Err(e) = self.doc.channels.define(def) {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// Declares a style in the root style dictionary.
+    pub fn style(mut self, def: StyleDef) -> Self {
+        if let Err(e) = self.doc.styles.define(def) {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// Registers a data descriptor in the embedded catalog.
+    pub fn descriptor(mut self, descriptor: DataDescriptor) -> Self {
+        if let Err(e) = self.doc.catalog.register(descriptor) {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// Adds a document-level metadata entry.
+    pub fn meta(mut self, key: impl Into<String>, value: AttrValue) -> Self {
+        self.doc.meta.insert(key.into(), value);
+        self
+    }
+
+    /// Creates the root as a sequential node and populates it via `f`.
+    pub fn root_seq(self, f: impl FnOnce(&mut NodeBuilder<'_>)) -> Self {
+        self.root(NodeKind::Seq, f)
+    }
+
+    /// Creates the root as a parallel node and populates it via `f`.
+    pub fn root_par(self, f: impl FnOnce(&mut NodeBuilder<'_>)) -> Self {
+        self.root(NodeKind::Par, f)
+    }
+
+    fn root(mut self, kind: NodeKind, f: impl FnOnce(&mut NodeBuilder<'_>)) -> Self {
+        let root = self.doc.set_root(kind);
+        let title = self.title.clone();
+        if let Err(e) = self.doc.set_attr(root, AttrName::Name, AttrValue::Str(title)) {
+            self.errors.push(e);
+        }
+        {
+            let mut builder = NodeBuilder {
+                doc: &mut self.doc,
+                node: root,
+                pending_arcs: &mut self.pending_arcs,
+                errors: &mut self.errors,
+            };
+            f(&mut builder);
+        }
+        self
+    }
+
+    /// Finishes the document: resolves pending arcs, runs the structural
+    /// validator, and returns the document.
+    pub fn build(mut self) -> Result<Document> {
+        if let Some(err) = self.errors.into_iter().next() {
+            return Err(err);
+        }
+        for (carrier_path, arc) in self.pending_arcs.drain(..) {
+            let carrier = self.doc.find(&carrier_path)?;
+            self.doc.add_arc(carrier, arc)?;
+        }
+        validate::validate(&self.doc)?;
+        Ok(self.doc)
+    }
+
+    /// Finishes the document without running the validator (useful when a
+    /// test deliberately builds an inconsistent document).
+    pub fn build_unchecked(mut self) -> Result<Document> {
+        if let Some(err) = self.errors.into_iter().next() {
+            return Err(err);
+        }
+        for (carrier_path, arc) in self.pending_arcs.drain(..) {
+            let carrier = self.doc.find(&carrier_path)?;
+            self.doc.add_arc(carrier, arc)?;
+        }
+        Ok(self.doc)
+    }
+}
+
+/// Builder scoped to one interior node; created by [`DocumentBuilder`] and
+/// by the `seq`/`par` methods.
+#[derive(Debug)]
+pub struct NodeBuilder<'a> {
+    doc: &'a mut Document,
+    node: NodeId,
+    pending_arcs: &'a mut Vec<(String, SyncArc)>,
+    errors: &'a mut Vec<crate::error::CoreError>,
+}
+
+impl<'a> NodeBuilder<'a> {
+    /// The id of the node being built (for direct [`Document`] calls after
+    /// building).
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sets an attribute on this node.
+    pub fn attr(&mut self, name: impl Into<AttrName>, value: AttrValue) -> &mut Self {
+        if let Err(e) = self.doc.set_attr(self.node, name, value) {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// Applies a style to this node.
+    pub fn style(&mut self, style: impl Into<String>) -> &mut Self {
+        self.attr(AttrName::Style, AttrValue::Id(style.into()))
+    }
+
+    /// Sets the channel for this node (inherited by its descendants).
+    pub fn on_channel(&mut self, channel: impl Into<String>) -> &mut Self {
+        self.attr(AttrName::Channel, AttrValue::Id(channel.into()))
+    }
+
+    /// Adds a named sequential child and populates it via `f`.
+    pub fn seq(&mut self, name: &str, f: impl FnOnce(&mut NodeBuilder<'_>)) -> &mut Self {
+        self.child(NodeKind::Seq, name, f)
+    }
+
+    /// Adds a named parallel child and populates it via `f`.
+    pub fn par(&mut self, name: &str, f: impl FnOnce(&mut NodeBuilder<'_>)) -> &mut Self {
+        self.child(NodeKind::Par, name, f)
+    }
+
+    fn child(
+        &mut self,
+        kind: NodeKind,
+        name: &str,
+        f: impl FnOnce(&mut NodeBuilder<'_>),
+    ) -> &mut Self {
+        match self.doc.add_child(self.node, kind) {
+            Ok(child) => {
+                if let Err(e) =
+                    self.doc.set_attr(child, AttrName::Name, AttrValue::Id(name.to_string()))
+                {
+                    self.errors.push(e);
+                }
+                let mut builder = NodeBuilder {
+                    doc: self.doc,
+                    node: child,
+                    pending_arcs: self.pending_arcs,
+                    errors: self.errors,
+                };
+                f(&mut builder);
+            }
+            Err(e) => self.errors.push(e),
+        }
+        self
+    }
+
+    /// Adds an external leaf: `name`, directed to `channel`, referencing the
+    /// data descriptor `file`.
+    pub fn ext(&mut self, name: &str, channel: &str, file: &str) -> &mut Self {
+        self.ext_with(name, channel, file, |_| {})
+    }
+
+    /// Adds an external leaf and further configures it via `f`.
+    pub fn ext_with(
+        &mut self,
+        name: &str,
+        channel: &str,
+        file: &str,
+        f: impl FnOnce(&mut NodeBuilder<'_>),
+    ) -> &mut Self {
+        match self.doc.add_ext(self.node) {
+            Ok(child) => {
+                let set = [
+                    (AttrName::Name, AttrValue::Id(name.to_string())),
+                    (AttrName::Channel, AttrValue::Id(channel.to_string())),
+                    (AttrName::File, AttrValue::Str(file.to_string())),
+                ];
+                for (attr_name, value) in set {
+                    if let Err(e) = self.doc.set_attr(child, attr_name, value) {
+                        self.errors.push(e);
+                    }
+                }
+                let mut builder = NodeBuilder {
+                    doc: self.doc,
+                    node: child,
+                    pending_arcs: self.pending_arcs,
+                    errors: self.errors,
+                };
+                f(&mut builder);
+            }
+            Err(e) => self.errors.push(e),
+        }
+        self
+    }
+
+    /// Adds an immediate text leaf with an explicit presentation duration in
+    /// milliseconds.
+    pub fn imm_text(
+        &mut self,
+        name: &str,
+        channel: &str,
+        text: impl Into<String>,
+        duration_ms: i64,
+    ) -> &mut Self {
+        match self.doc.add_imm_text(self.node, text) {
+            Ok(child) => {
+                let set = [
+                    (AttrName::Name, AttrValue::Id(name.to_string())),
+                    (AttrName::Channel, AttrValue::Id(channel.to_string())),
+                    (AttrName::Duration, AttrValue::Number(duration_ms)),
+                ];
+                for (attr_name, value) in set {
+                    if let Err(e) = self.doc.set_attr(child, attr_name, value) {
+                        self.errors.push(e);
+                    }
+                }
+            }
+            Err(e) => self.errors.push(e),
+        }
+        self
+    }
+
+    /// Sets the explicit duration of this node in milliseconds.
+    pub fn duration_ms(&mut self, ms: i64) -> &mut Self {
+        self.attr(AttrName::Duration, AttrValue::Number(ms))
+    }
+
+    /// Attaches an explicit synchronization arc carried by this node.
+    ///
+    /// The arc's source and destination paths are resolved relative to this
+    /// node when the document is built.
+    pub fn arc(&mut self, arc: SyncArc) -> &mut Self {
+        match self.doc.path_of(self.node) {
+            Ok(path) => self.pending_arcs.push((path.to_string(), arc)),
+            Err(e) => self.errors.push(e),
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arc::SyncArc;
+    use crate::time::TimeMs;
+
+    fn two_channel_builder() -> DocumentBuilder {
+        DocumentBuilder::new("demo")
+            .channel("audio", MediaKind::Audio)
+            .channel("caption", MediaKind::Text)
+            .descriptor(
+                DataDescriptor::new("voice-block", MediaKind::Audio, "pcm8")
+                    .with_size(64_000)
+                    .with_duration(TimeMs::from_secs(8)),
+            )
+    }
+
+    #[test]
+    fn builds_a_small_document() {
+        let doc = two_channel_builder()
+            .root_seq(|story| {
+                story.par("scene-1", |scene| {
+                    scene.ext("voice", "audio", "voice-block");
+                    scene.imm_text("line", "caption", "Hello", 2_000);
+                });
+            })
+            .build()
+            .unwrap();
+        assert_eq!(doc.leaves().len(), 2);
+        assert_eq!(doc.depth(), 3);
+        assert!(doc.find("/scene-1/voice").is_ok());
+        assert_eq!(doc.channel_of(doc.find("/scene-1/line").unwrap()).unwrap().as_deref(), Some("caption"));
+    }
+
+    #[test]
+    fn arcs_are_resolved_relative_to_their_carrier() {
+        let doc = two_channel_builder()
+            .root_seq(|story| {
+                story.par("scene-1", |scene| {
+                    scene.ext("voice", "audio", "voice-block");
+                    scene.ext_with("caption-1", "caption", "voice-block", |n| {
+                        n.duration_ms(3000);
+                        n.arc(SyncArc::hard_start("../voice", ""));
+                    });
+                });
+            })
+            .build()
+            .unwrap();
+        let arcs = doc.resolved_arcs().unwrap();
+        assert_eq!(arcs.len(), 1);
+        let (carrier, _, source, dest) = arcs[0];
+        assert_eq!(carrier, doc.find("/scene-1/caption-1").unwrap());
+        assert_eq!(source, doc.find("/scene-1/voice").unwrap());
+        assert_eq!(dest, carrier);
+    }
+
+    #[test]
+    fn duplicate_channel_definition_fails_at_build() {
+        let result = DocumentBuilder::new("dup")
+            .channel("audio", MediaKind::Audio)
+            .channel("audio", MediaKind::Audio)
+            .root_seq(|_| {})
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn unknown_channel_reference_fails_validation() {
+        let result = DocumentBuilder::new("bad-channel")
+            .channel("audio", MediaKind::Audio)
+            .root_seq(|story| {
+                story.imm_text("line", "no-such-channel", "x", 1000);
+            })
+            .build();
+        assert!(result.is_err());
+        // The unchecked build succeeds, showing it is validation that fails.
+        let result = DocumentBuilder::new("bad-channel")
+            .channel("audio", MediaKind::Audio)
+            .root_seq(|story| {
+                story.imm_text("line", "no-such-channel", "x", 1000);
+            })
+            .build_unchecked();
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn builder_sets_meta_and_styles() {
+        let doc = two_channel_builder()
+            .meta("author", AttrValue::Str("cwi".into()))
+            .style(StyleDef::new("caption-style"))
+            .root_seq(|story| {
+                story.imm_text("line", "caption", "x", 500);
+            })
+            .build()
+            .unwrap();
+        assert_eq!(doc.meta["author"].as_text(), Some("cwi"));
+        assert!(doc.styles.contains("caption-style"));
+    }
+
+    #[test]
+    fn nested_structure_matches_paths() {
+        let doc = two_channel_builder()
+            .root_seq(|news| {
+                news.seq("story-1", |story| {
+                    story.par("intro", |p| {
+                        p.imm_text("title", "caption", "Story 1", 1000);
+                    });
+                    story.par("body", |p| {
+                        p.ext("voice", "audio", "voice-block");
+                    });
+                });
+            })
+            .build()
+            .unwrap();
+        assert!(doc.find("/story-1/intro/title").is_ok());
+        assert!(doc.find("/story-1/body/voice").is_ok());
+        assert_eq!(doc.depth(), 4);
+    }
+}

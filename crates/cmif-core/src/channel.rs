@@ -1,0 +1,282 @@
+//! Synchronization channels and the channel dictionary.
+//!
+//! "A CMIF description consists of the mapping of event descriptors onto one
+//! of a set of synchronization channels. Each channel describes how data of
+//! a single medium is manipulated in the document. It is possible to have
+//! several channels of the same medium type; all data of a type may also be
+//! placed on a single channel." (§3.1)
+//!
+//! Channels are declared in the root node's channel dictionary (Figure 7),
+//! which "defines one or more synchronization channels […] Each channel
+//! definition defines the medium used by that channel."
+
+use std::fmt;
+
+use crate::error::{CoreError, Result};
+use crate::value::AttrValue;
+
+/// The medium carried by a channel or described by a data descriptor.
+///
+/// The paper's examples (§3.1, §4): sound clips, video segments, text
+/// blocks, graphics images, label text, and generator programs that produce
+/// data of a particular type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MediaKind {
+    /// Sampled sound.
+    Audio,
+    /// Moving images (frame sequences).
+    Video,
+    /// Still raster images / graphic illustrations.
+    Image,
+    /// Flowing text (e.g. captions).
+    Text,
+    /// Short labelling text (titles, story names).
+    Label,
+    /// A program that produces data of some medium when executed
+    /// (e.g. "a graphics program that produces a rendered 3-D image").
+    Generator,
+}
+
+impl MediaKind {
+    /// All media kinds, in a stable order.
+    pub const ALL: [MediaKind; 6] = [
+        MediaKind::Audio,
+        MediaKind::Video,
+        MediaKind::Image,
+        MediaKind::Text,
+        MediaKind::Label,
+        MediaKind::Generator,
+    ];
+
+    /// Canonical lower-case spelling used by the interchange format.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MediaKind::Audio => "audio",
+            MediaKind::Video => "video",
+            MediaKind::Image => "image",
+            MediaKind::Text => "text",
+            MediaKind::Label => "label",
+            MediaKind::Generator => "generator",
+        }
+    }
+
+    /// Parses a canonical spelling; returns `None` for unknown media.
+    pub fn parse(s: &str) -> Option<MediaKind> {
+        match s {
+            "audio" | "sound" => Some(MediaKind::Audio),
+            "video" => Some(MediaKind::Video),
+            "image" | "graphic" | "graphics" => Some(MediaKind::Image),
+            "text" | "caption" => Some(MediaKind::Text),
+            "label" => Some(MediaKind::Label),
+            "generator" | "program" => Some(MediaKind::Generator),
+            _ => None,
+        }
+    }
+
+    /// True for media that occupy screen real estate in the virtual
+    /// presentation environment (as opposed to loudspeaker channels).
+    pub fn is_visual(&self) -> bool {
+        !matches!(self, MediaKind::Audio)
+    }
+
+    /// True for media that are rendered continuously over time (audio and
+    /// video), as opposed to discrete media shown for a period.
+    pub fn is_continuous(&self) -> bool {
+        matches!(self, MediaKind::Audio | MediaKind::Video)
+    }
+}
+
+impl fmt::Display for MediaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One channel definition from the root node's channel dictionary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelDef {
+    /// The channel's name, referenced by `channel` attributes on nodes.
+    pub name: String,
+    /// The medium the channel carries.
+    pub medium: MediaKind,
+    /// Free-form channel attributes (e.g. preferred window size, language,
+    /// loudspeaker position); passed through to the presentation mapper.
+    pub extra: Vec<(String, AttrValue)>,
+}
+
+impl ChannelDef {
+    /// Creates a channel definition with no extra attributes.
+    pub fn new(name: impl Into<String>, medium: MediaKind) -> ChannelDef {
+        ChannelDef { name: name.into(), medium, extra: Vec::new() }
+    }
+
+    /// Adds an extra attribute (builder style).
+    pub fn with_extra(mut self, key: impl Into<String>, value: AttrValue) -> ChannelDef {
+        self.extra.push((key.into(), value));
+        self
+    }
+
+    /// Looks up an extra attribute by key.
+    pub fn extra_attr(&self, key: &str) -> Option<&AttrValue> {
+        self.extra.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// The channel dictionary of the root node.
+///
+/// Declaration order is preserved: the Evening News presents its channels in
+/// a meaningful order (audio, video, graphic, caption, label) and views
+/// should reproduce it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChannelDictionary {
+    channels: Vec<ChannelDef>,
+}
+
+impl ChannelDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> ChannelDictionary {
+        ChannelDictionary { channels: Vec::new() }
+    }
+
+    /// Number of channels defined.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// True when no channels are defined.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Defines a channel, rejecting duplicate names.
+    pub fn define(&mut self, def: ChannelDef) -> Result<()> {
+        if self.get(&def.name).is_some() {
+            return Err(CoreError::DuplicateChannel { channel: def.name });
+        }
+        self.channels.push(def);
+        Ok(())
+    }
+
+    /// Looks up a channel by name.
+    pub fn get(&self, name: &str) -> Option<&ChannelDef> {
+        self.channels.iter().find(|c| c.name == name)
+    }
+
+    /// True when a channel with the given name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Iterates over the channels in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &ChannelDef> {
+        self.channels.iter()
+    }
+
+    /// The names of every channel carrying the given medium.
+    pub fn channels_of(&self, medium: MediaKind) -> Vec<&str> {
+        self.channels
+            .iter()
+            .filter(|c| c.medium == medium)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+}
+
+impl FromIterator<ChannelDef> for ChannelDictionary {
+    fn from_iter<T: IntoIterator<Item = ChannelDef>>(iter: T) -> Self {
+        let mut dict = ChannelDictionary::new();
+        for def in iter {
+            // Last definition wins for duplicates in bulk construction.
+            if let Some(existing) = dict.channels.iter_mut().find(|c| c.name == def.name) {
+                *existing = def;
+            } else {
+                dict.channels.push(def);
+            }
+        }
+        dict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn media_kind_round_trip() {
+        for kind in MediaKind::ALL {
+            assert_eq!(MediaKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(MediaKind::parse("graphics"), Some(MediaKind::Image));
+        assert_eq!(MediaKind::parse("sound"), Some(MediaKind::Audio));
+        assert_eq!(MediaKind::parse("smellovision"), None);
+    }
+
+    #[test]
+    fn media_kind_classification() {
+        assert!(!MediaKind::Audio.is_visual());
+        assert!(MediaKind::Video.is_visual());
+        assert!(MediaKind::Label.is_visual());
+        assert!(MediaKind::Audio.is_continuous());
+        assert!(MediaKind::Video.is_continuous());
+        assert!(!MediaKind::Image.is_continuous());
+        assert!(!MediaKind::Text.is_continuous());
+    }
+
+    #[test]
+    fn channel_dictionary_defines_and_looks_up() {
+        let mut dict = ChannelDictionary::new();
+        dict.define(ChannelDef::new("audio", MediaKind::Audio)).unwrap();
+        dict.define(ChannelDef::new("video", MediaKind::Video)).unwrap();
+        assert_eq!(dict.len(), 2);
+        assert!(dict.contains("audio"));
+        assert!(!dict.contains("caption"));
+        assert_eq!(dict.get("video").unwrap().medium, MediaKind::Video);
+    }
+
+    #[test]
+    fn channel_dictionary_rejects_duplicates() {
+        let mut dict = ChannelDictionary::new();
+        dict.define(ChannelDef::new("audio", MediaKind::Audio)).unwrap();
+        let err = dict.define(ChannelDef::new("audio", MediaKind::Video)).unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateChannel { .. }));
+    }
+
+    #[test]
+    fn channel_dictionary_preserves_order_and_filters_by_medium() {
+        let dict: ChannelDictionary = [
+            ChannelDef::new("audio", MediaKind::Audio),
+            ChannelDef::new("video", MediaKind::Video),
+            ChannelDef::new("graphic", MediaKind::Image),
+            ChannelDef::new("caption", MediaKind::Text),
+            ChannelDef::new("label", MediaKind::Label),
+        ]
+        .into_iter()
+        .collect();
+        let names: Vec<_> = dict.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["audio", "video", "graphic", "caption", "label"]);
+        assert_eq!(dict.channels_of(MediaKind::Image), vec!["graphic"]);
+        assert!(dict.channels_of(MediaKind::Generator).is_empty());
+    }
+
+    #[test]
+    fn channel_extra_attributes() {
+        let def = ChannelDef::new("caption", MediaKind::Text)
+            .with_extra("language", AttrValue::Id("en".into()))
+            .with_extra("lines", AttrValue::Number(2));
+        assert_eq!(def.extra_attr("language").unwrap().as_text(), Some("en"));
+        assert_eq!(def.extra_attr("lines").unwrap().as_number(), Some(2));
+        assert!(def.extra_attr("missing").is_none());
+    }
+
+    #[test]
+    fn from_iterator_last_duplicate_wins() {
+        let dict: ChannelDictionary = [
+            ChannelDef::new("a", MediaKind::Audio),
+            ChannelDef::new("a", MediaKind::Video),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(dict.len(), 1);
+        assert_eq!(dict.get("a").unwrap().medium, MediaKind::Video);
+    }
+}

@@ -1,0 +1,437 @@
+//! Data descriptors, event descriptors and the descriptor catalog.
+//!
+//! "Data block descriptors are collections of attributes that describe the
+//! nature of the data block. […] Event descriptors provide a collection of
+//! attributes that describe how a single instance of a data block is
+//! integrated into a multimedia document. […] the event descriptor can be
+//! used to define multiple uses of a single data descriptor." (§3.1)
+//!
+//! A [`DataDescriptor`] never contains media bytes — only attributes about
+//! them (format, resolution, length, resource needs, where to find them).
+//! That separation is the paper's central "manipulate the description, not
+//! the data" idea, and is what the Figure 2 benchmark quantifies.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::channel::MediaKind;
+use crate::error::{CoreError, Result};
+use crate::node::NodeId;
+use crate::time::{RateInfo, TimeMs};
+use crate::value::AttrValue;
+
+/// A selection of part of a data block: byte slice, image crop, or sound
+/// clip (the `slice`, `crop` and `clip` attributes of Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Selection {
+    /// A byte range `[start, start + length)` of binary data.
+    Slice {
+        /// First byte used.
+        start: u64,
+        /// Number of bytes used.
+        length: u64,
+    },
+    /// A rectangular sub-image in pixels.
+    Crop {
+        /// Left edge of the sub-image.
+        x: u32,
+        /// Top edge of the sub-image.
+        y: u32,
+        /// Width of the sub-image.
+        width: u32,
+        /// Height of the sub-image.
+        height: u32,
+    },
+    /// A temporal part of a sound (or video) fragment in milliseconds.
+    Clip {
+        /// Start offset within the fragment.
+        start_ms: i64,
+        /// Duration of the part used.
+        duration_ms: i64,
+    },
+}
+
+impl Selection {
+    /// For temporal selections, the resulting presentation duration.
+    pub fn duration(&self) -> Option<TimeMs> {
+        match self {
+            Selection::Clip { duration_ms, .. } => Some(TimeMs::from_millis(*duration_ms)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Selection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Selection::Slice { start, length } => write!(f, "slice({start}+{length})"),
+            Selection::Crop { x, y, width, height } => {
+                write!(f, "crop({x},{y} {width}x{height})")
+            }
+            Selection::Clip { start_ms, duration_ms } => {
+                write!(f, "clip({start_ms}ms+{duration_ms}ms)")
+            }
+        }
+    }
+}
+
+/// Resources a data block needs from the presentation environment.
+///
+/// Attributes like these let constraint-filtering tools decide whether a
+/// target device can support a document without touching the data itself
+/// ("the resources required to support it", §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceNeeds {
+    /// Sustained bandwidth needed to deliver the block, bytes per second.
+    pub bandwidth_bps: u64,
+    /// Peak decode / render cost in abstract "work units" per second.
+    pub decode_cost: u32,
+    /// Bytes of buffer memory needed during presentation.
+    pub memory_bytes: u64,
+}
+
+/// Attributes describing the *nature* of a data block (Figure 2 / §3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataDescriptor {
+    /// The key under which the descriptor is known (the value of `file`
+    /// attributes that reference it).
+    pub key: String,
+    /// The medium of the described block.
+    pub medium: MediaKind,
+    /// Encoding / format name (e.g. `pcm8`, `rgb24`, `plain-text`).
+    pub format: String,
+    /// Total size of the underlying data block in bytes.
+    pub size_bytes: u64,
+    /// Intrinsic duration of the block when played at its natural rate.
+    /// `None` for discrete media with no natural duration (e.g. an image).
+    pub duration: Option<TimeMs>,
+    /// Pixel dimensions for visual media.
+    pub resolution: Option<(u32, u32)>,
+    /// Colour depth in bits per pixel for visual media.
+    pub color_depth: Option<u8>,
+    /// Frame rate for video, samples per second for audio, bytes per second
+    /// for generic binary data.
+    pub rates: RateInfo,
+    /// Resources needed to present the block.
+    pub resources: ResourceNeeds,
+    /// Where the block lives (a storage-server path, DDBMS key or host
+    /// reference). Purely descriptive at this layer.
+    pub location: Option<String>,
+    /// Free-form descriptive attributes (title, language, author, search
+    /// keys, content links, …).
+    pub extra: BTreeMap<String, AttrValue>,
+}
+
+impl DataDescriptor {
+    /// Creates a minimal descriptor; fill in the rest with the `with_*`
+    /// builder methods.
+    pub fn new(key: impl Into<String>, medium: MediaKind, format: impl Into<String>) -> Self {
+        DataDescriptor {
+            key: key.into(),
+            medium,
+            format: format.into(),
+            size_bytes: 0,
+            duration: None,
+            resolution: None,
+            color_depth: None,
+            rates: RateInfo::NONE,
+            resources: ResourceNeeds::default(),
+            location: None,
+            extra: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the block size in bytes.
+    pub fn with_size(mut self, bytes: u64) -> Self {
+        self.size_bytes = bytes;
+        self
+    }
+
+    /// Sets the intrinsic duration.
+    pub fn with_duration(mut self, duration: TimeMs) -> Self {
+        self.duration = Some(duration);
+        self
+    }
+
+    /// Sets the pixel resolution.
+    pub fn with_resolution(mut self, width: u32, height: u32) -> Self {
+        self.resolution = Some((width, height));
+        self
+    }
+
+    /// Sets the colour depth in bits per pixel.
+    pub fn with_color_depth(mut self, bits: u8) -> Self {
+        self.color_depth = Some(bits);
+        self
+    }
+
+    /// Sets the rate table used for media-unit conversions.
+    pub fn with_rates(mut self, rates: RateInfo) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    /// Sets the resource needs.
+    pub fn with_resources(mut self, resources: ResourceNeeds) -> Self {
+        self.resources = resources;
+        self
+    }
+
+    /// Sets the storage location.
+    pub fn with_location(mut self, location: impl Into<String>) -> Self {
+        self.location = Some(location.into());
+        self
+    }
+
+    /// Adds a free-form attribute.
+    pub fn with_extra(mut self, key: impl Into<String>, value: AttrValue) -> Self {
+        self.extra.insert(key.into(), value);
+        self
+    }
+
+    /// Looks up a free-form attribute.
+    pub fn extra_attr(&self, key: &str) -> Option<&AttrValue> {
+        self.extra.get(key)
+    }
+
+    /// Approximate size of the descriptor itself (attributes only), in
+    /// bytes. Contrast with [`DataDescriptor::size_bytes`], the size of the
+    /// data it describes; the ratio is the Figure 2 claim.
+    pub fn approx_descriptor_size(&self) -> usize {
+        let mut size = self.key.len() + self.format.len() + 64;
+        if let Some(loc) = &self.location {
+            size += loc.len();
+        }
+        size += self
+            .extra
+            .iter()
+            .map(|(k, v)| k.len() + v.approx_size())
+            .sum::<usize>();
+        size
+    }
+}
+
+/// Attributes describing one *use* of a data block inside a document: the
+/// event that presents (part of) the block on a channel (Figure 2 / §3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventDescriptor {
+    /// The leaf node this event belongs to.
+    pub node: NodeId,
+    /// The channel the event is directed to.
+    pub channel: String,
+    /// The key of the data descriptor used, or `None` for immediate data.
+    pub descriptor: Option<String>,
+    /// Optional selection restricting the part of the block used.
+    pub selection: Option<Selection>,
+    /// The presentation duration of the event on the document clock.
+    pub duration: TimeMs,
+    /// Medium presented by the event.
+    pub medium: MediaKind,
+    /// Size in bytes of the data the event needs delivered (after the
+    /// selection is applied); used for structure-only resource planning.
+    pub data_bytes: u64,
+}
+
+impl EventDescriptor {
+    /// True when the event carries inline (immediate) data.
+    pub fn is_immediate(&self) -> bool {
+        self.descriptor.is_none()
+    }
+}
+
+/// A catalog of data descriptors keyed by descriptor key.
+///
+/// The catalog is the in-document stand-in for the optional DDBMS of
+/// Figure 2; `cmif-media` provides an indexed database implementation of
+/// the same [`DescriptorResolver`] interface.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DescriptorCatalog {
+    entries: BTreeMap<String, DataDescriptor>,
+}
+
+impl DescriptorCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> DescriptorCatalog {
+        DescriptorCatalog { entries: BTreeMap::new() }
+    }
+
+    /// Number of descriptors registered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the catalog has no descriptors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registers a descriptor, rejecting duplicate keys.
+    pub fn register(&mut self, descriptor: DataDescriptor) -> Result<()> {
+        if self.entries.contains_key(&descriptor.key) {
+            return Err(CoreError::DuplicateDescriptor { key: descriptor.key });
+        }
+        self.entries.insert(descriptor.key.clone(), descriptor);
+        Ok(())
+    }
+
+    /// Registers or replaces a descriptor.
+    pub fn upsert(&mut self, descriptor: DataDescriptor) {
+        self.entries.insert(descriptor.key.clone(), descriptor);
+    }
+
+    /// Looks up a descriptor by key.
+    pub fn get(&self, key: &str) -> Option<&DataDescriptor> {
+        self.entries.get(key)
+    }
+
+    /// Looks up a descriptor by key, producing an error when missing.
+    pub fn require(&self, key: &str) -> Result<&DataDescriptor> {
+        self.get(key).ok_or_else(|| CoreError::UnknownDescriptor { key: key.to_string() })
+    }
+
+    /// Iterates over descriptors in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &DataDescriptor> {
+        self.entries.values()
+    }
+
+    /// Total size of all described data blocks, in bytes.
+    pub fn total_data_bytes(&self) -> u64 {
+        self.entries.values().map(|d| d.size_bytes).sum()
+    }
+
+    /// Total size of the descriptors themselves, in bytes.
+    pub fn total_descriptor_bytes(&self) -> usize {
+        self.entries.values().map(DataDescriptor::approx_descriptor_size).sum()
+    }
+}
+
+/// Anything that can resolve a descriptor key to a [`DataDescriptor`].
+///
+/// Implemented by [`DescriptorCatalog`] (in-document) and by the
+/// attribute-indexed DDBMS in `cmif-media`.
+pub trait DescriptorResolver {
+    /// Resolves a descriptor key.
+    fn resolve(&self, key: &str) -> Option<DataDescriptor>;
+}
+
+impl DescriptorResolver for DescriptorCatalog {
+    fn resolve(&self, key: &str) -> Option<DataDescriptor> {
+        self.get(key).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataDescriptor {
+        DataDescriptor::new("news/intro-video", MediaKind::Video, "rgb24")
+            .with_size(12_000_000)
+            .with_duration(TimeMs::from_secs(8))
+            .with_resolution(640, 480)
+            .with_color_depth(24)
+            .with_rates(RateInfo::video(25.0))
+            .with_resources(ResourceNeeds {
+                bandwidth_bps: 1_500_000,
+                decode_cost: 40,
+                memory_bytes: 2_000_000,
+            })
+            .with_location("store://host-a/news/intro-video")
+            .with_extra("title", AttrValue::Str("Opening shot".into()))
+    }
+
+    #[test]
+    fn builder_fills_all_fields() {
+        let d = sample();
+        assert_eq!(d.size_bytes, 12_000_000);
+        assert_eq!(d.duration, Some(TimeMs::from_secs(8)));
+        assert_eq!(d.resolution, Some((640, 480)));
+        assert_eq!(d.color_depth, Some(24));
+        assert_eq!(d.rates.frames_per_second, Some(25.0));
+        assert_eq!(d.resources.decode_cost, 40);
+        assert_eq!(d.location.as_deref(), Some("store://host-a/news/intro-video"));
+        assert_eq!(d.extra_attr("title").unwrap().as_text(), Some("Opening shot"));
+        assert!(d.extra_attr("missing").is_none());
+    }
+
+    #[test]
+    fn descriptor_is_tiny_compared_to_data() {
+        let d = sample();
+        assert!(d.approx_descriptor_size() < 1024);
+        assert!(d.size_bytes as usize > 1000 * d.approx_descriptor_size());
+    }
+
+    #[test]
+    fn catalog_register_and_lookup() {
+        let mut cat = DescriptorCatalog::new();
+        cat.register(sample()).unwrap();
+        assert_eq!(cat.len(), 1);
+        assert!(cat.get("news/intro-video").is_some());
+        assert!(cat.require("news/intro-video").is_ok());
+        assert!(matches!(
+            cat.require("missing").unwrap_err(),
+            CoreError::UnknownDescriptor { .. }
+        ));
+    }
+
+    #[test]
+    fn catalog_rejects_duplicate_keys_but_upsert_replaces() {
+        let mut cat = DescriptorCatalog::new();
+        cat.register(sample()).unwrap();
+        let err = cat.register(sample()).unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateDescriptor { .. }));
+        let replacement = DataDescriptor::new("news/intro-video", MediaKind::Video, "rgb8");
+        cat.upsert(replacement);
+        assert_eq!(cat.get("news/intro-video").unwrap().format, "rgb8");
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn catalog_totals() {
+        let mut cat = DescriptorCatalog::new();
+        cat.register(sample()).unwrap();
+        cat.register(
+            DataDescriptor::new("news/map", MediaKind::Image, "rgb8").with_size(300_000),
+        )
+        .unwrap();
+        assert_eq!(cat.total_data_bytes(), 12_300_000);
+        assert!(cat.total_descriptor_bytes() > 0);
+        assert_eq!(cat.iter().count(), 2);
+    }
+
+    #[test]
+    fn selection_display_and_duration() {
+        assert_eq!(Selection::Slice { start: 10, length: 20 }.to_string(), "slice(10+20)");
+        assert_eq!(
+            Selection::Crop { x: 1, y: 2, width: 3, height: 4 }.to_string(),
+            "crop(1,2 3x4)"
+        );
+        let clip = Selection::Clip { start_ms: 500, duration_ms: 1500 };
+        assert_eq!(clip.to_string(), "clip(500ms+1500ms)");
+        assert_eq!(clip.duration(), Some(TimeMs::from_millis(1500)));
+        assert!(Selection::Slice { start: 0, length: 1 }.duration().is_none());
+    }
+
+    #[test]
+    fn resolver_trait_on_catalog() {
+        let mut cat = DescriptorCatalog::new();
+        cat.register(sample()).unwrap();
+        let resolved = DescriptorResolver::resolve(&cat, "news/intro-video");
+        assert!(resolved.is_some());
+        assert!(DescriptorResolver::resolve(&cat, "nope").is_none());
+    }
+
+    #[test]
+    fn event_descriptor_immediate_flag() {
+        let ev = EventDescriptor {
+            node: NodeId::from_index(1),
+            channel: "label".into(),
+            descriptor: None,
+            selection: None,
+            duration: TimeMs::from_secs(2),
+            medium: MediaKind::Label,
+            data_bytes: 16,
+        };
+        assert!(ev.is_immediate());
+    }
+}

@@ -1,0 +1,263 @@
+//! Error types for the core CMIF document model.
+//!
+//! Every fallible operation in `cmif-core` returns [`CoreError`] so that
+//! callers (authoring tools, parsers, schedulers) can react to structural
+//! problems programmatically instead of parsing error strings.
+
+use std::fmt;
+
+use crate::attr::AttrName;
+use crate::node::NodeId;
+
+/// Result alias used throughout `cmif-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by the CMIF core document model.
+///
+/// The variants mirror the global consistency rules of the paper (§5.2):
+/// attribute uniqueness per node, sibling name uniqueness, root-only
+/// dictionaries, style acyclicity, channel references, and the sign rules of
+/// the synchronization delay window (§5.3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An attribute name occurred more than once in a single node's list.
+    DuplicateAttribute {
+        /// Node carrying the duplicate.
+        node: NodeId,
+        /// The offending attribute name.
+        name: AttrName,
+    },
+    /// Two direct children of the same parent share a `Name` attribute.
+    DuplicateSiblingName {
+        /// The parent node.
+        parent: NodeId,
+        /// The duplicated child name.
+        name: String,
+    },
+    /// An attribute that may only appear on the root node (style dictionary,
+    /// channel dictionary) was found elsewhere.
+    RootOnlyAttribute {
+        /// Node carrying the misplaced attribute.
+        node: NodeId,
+        /// The misplaced attribute name.
+        name: AttrName,
+    },
+    /// An attribute value had the wrong type for its standard meaning.
+    AttributeType {
+        /// The attribute whose value is malformed.
+        name: AttrName,
+        /// Human-readable description of the expected shape.
+        expected: &'static str,
+    },
+    /// A `Style` attribute referenced a style that is not defined in the
+    /// root node's style dictionary.
+    UnknownStyle {
+        /// The unresolved style name.
+        style: String,
+    },
+    /// The style dictionary contains a definition cycle (a style refers to
+    /// itself directly or indirectly), which the paper forbids.
+    StyleCycle {
+        /// A style participating in the cycle.
+        style: String,
+    },
+    /// A `Channel` attribute referenced a channel that is not defined in the
+    /// root node's channel dictionary.
+    UnknownChannel {
+        /// The unresolved channel name.
+        channel: String,
+    },
+    /// A channel was defined twice in the channel dictionary.
+    DuplicateChannel {
+        /// The duplicated channel name.
+        channel: String,
+    },
+    /// A style was defined twice in the style dictionary.
+    DuplicateStyle {
+        /// The duplicated style name.
+        style: String,
+    },
+    /// A node id did not refer to a node of the document.
+    UnknownNode {
+        /// The dangling id.
+        node: NodeId,
+    },
+    /// A node path could not be resolved against the document tree.
+    UnresolvedPath {
+        /// The path as written.
+        path: String,
+        /// The node the resolution started from.
+        base: NodeId,
+    },
+    /// A leaf node was given children, or an interior node was used where a
+    /// leaf is required.
+    InvalidChild {
+        /// The parent that cannot accept children.
+        parent: NodeId,
+    },
+    /// An external node has no `File` attribute (own or inherited).
+    MissingFile {
+        /// The offending external node.
+        node: NodeId,
+    },
+    /// A leaf node has no channel assignment (own or inherited) although one
+    /// is required for presentation.
+    MissingChannel {
+        /// The offending leaf node.
+        node: NodeId,
+    },
+    /// A synchronization arc violates the delay sign rules of §5.3.1:
+    /// positive minimum delays and negative maximum delays have no meaning,
+    /// and the window must be non-empty.
+    InvalidDelayWindow {
+        /// Explanation of the violated rule.
+        reason: &'static str,
+    },
+    /// A synchronization arc endpoint could not be resolved.
+    UnresolvedArcEndpoint {
+        /// The path of the endpoint that failed to resolve.
+        path: String,
+    },
+    /// An offset was expressed in a media unit that cannot be converted for
+    /// the channel or descriptor it applies to.
+    UnitConversion {
+        /// Description of the failed conversion.
+        reason: String,
+    },
+    /// The document has no root node yet.
+    EmptyDocument,
+    /// Attempt to attach a node that would create a cycle in the tree.
+    TreeCycle {
+        /// The node whose reattachment would create the cycle.
+        node: NodeId,
+    },
+    /// A data descriptor referenced by name does not exist in the catalog.
+    UnknownDescriptor {
+        /// The unresolved descriptor key.
+        key: String,
+    },
+    /// A descriptor was registered twice under the same key.
+    DuplicateDescriptor {
+        /// The duplicated descriptor key.
+        key: String,
+    },
+    /// Generic structural invariant violation with a description.
+    Invariant {
+        /// Description of the violated invariant.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DuplicateAttribute { node, name } => {
+                write!(f, "attribute `{name}` occurs more than once on node {node}")
+            }
+            CoreError::DuplicateSiblingName { parent, name } => write!(
+                f,
+                "two direct children of node {parent} share the name `{name}`"
+            ),
+            CoreError::RootOnlyAttribute { node, name } => write!(
+                f,
+                "attribute `{name}` may only occur on the root node, found on node {node}"
+            ),
+            CoreError::AttributeType { name, expected } => {
+                write!(f, "attribute `{name}` has the wrong value type, expected {expected}")
+            }
+            CoreError::UnknownStyle { style } => {
+                write!(f, "style `{style}` is not defined in the root style dictionary")
+            }
+            CoreError::StyleCycle { style } => {
+                write!(f, "style `{style}` participates in a definition cycle")
+            }
+            CoreError::UnknownChannel { channel } => {
+                write!(f, "channel `{channel}` is not defined in the root channel dictionary")
+            }
+            CoreError::DuplicateChannel { channel } => {
+                write!(f, "channel `{channel}` is defined more than once")
+            }
+            CoreError::DuplicateStyle { style } => {
+                write!(f, "style `{style}` is defined more than once")
+            }
+            CoreError::UnknownNode { node } => write!(f, "node {node} does not exist"),
+            CoreError::UnresolvedPath { path, base } => {
+                write!(f, "path `{path}` could not be resolved starting from node {base}")
+            }
+            CoreError::InvalidChild { parent } => {
+                write!(f, "node {parent} is a leaf and cannot have children")
+            }
+            CoreError::MissingFile { node } => {
+                write!(f, "external node {node} has no `file` attribute (own or inherited)")
+            }
+            CoreError::MissingChannel { node } => {
+                write!(f, "leaf node {node} has no `channel` attribute (own or inherited)")
+            }
+            CoreError::InvalidDelayWindow { reason } => {
+                write!(f, "invalid synchronization delay window: {reason}")
+            }
+            CoreError::UnresolvedArcEndpoint { path } => {
+                write!(f, "synchronization arc endpoint `{path}` could not be resolved")
+            }
+            CoreError::UnitConversion { reason } => {
+                write!(f, "media unit conversion failed: {reason}")
+            }
+            CoreError::EmptyDocument => write!(f, "the document has no root node"),
+            CoreError::TreeCycle { node } => {
+                write!(f, "attaching node {node} would create a cycle in the document tree")
+            }
+            CoreError::UnknownDescriptor { key } => {
+                write!(f, "data descriptor `{key}` is not present in the catalog")
+            }
+            CoreError::DuplicateDescriptor { key } => {
+                write!(f, "data descriptor `{key}` is already registered")
+            }
+            CoreError::Invariant { message } => write!(f, "invariant violation: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrName;
+    use crate::node::NodeId;
+
+    #[test]
+    fn display_is_human_readable() {
+        let err = CoreError::DuplicateAttribute {
+            node: NodeId::from_index(3),
+            name: AttrName::Name,
+        };
+        let text = err.to_string();
+        assert!(text.contains("name"));
+        assert!(text.contains("node"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = CoreError::EmptyDocument;
+        let b = CoreError::EmptyDocument;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&CoreError::EmptyDocument);
+    }
+
+    #[test]
+    fn unknown_channel_message_names_channel() {
+        let err = CoreError::UnknownChannel { channel: "audio-left".into() };
+        assert!(err.to_string().contains("audio-left"));
+    }
+
+    #[test]
+    fn unit_conversion_message_includes_reason() {
+        let err = CoreError::UnitConversion { reason: "frames without frame rate".into() };
+        assert!(err.to_string().contains("frames without frame rate"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Document tree nodes.
+//!
+//! "Each node in the tree can be one of four types" (§5.1): sequential,
+//! parallel, external (a leaf pointing at a data descriptor) and immediate
+//! (a leaf carrying its data inline). Nodes are stored in an arena owned by
+//! [`crate::tree::Document`] and referenced by [`NodeId`].
+
+use std::fmt;
+
+use crate::attr::{Attr, AttrList, AttrName};
+use crate::value::AttrValue;
+
+/// Index of a node inside a document's arena.
+///
+/// `NodeId`s are only meaningful relative to the document that produced
+/// them; they are stable for the lifetime of the document (nodes are never
+/// physically removed from the arena, only detached).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// A sentinel id used for attribute lists that are not yet attached to a
+    /// document (error reporting only).
+    pub const fn detached() -> NodeId {
+        NodeId(u32::MAX)
+    }
+
+    /// Creates a node id from a raw arena index.
+    pub const fn from_index(index: u32) -> NodeId {
+        NodeId(index)
+    }
+
+    /// Returns the raw arena index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True if this is the detached sentinel.
+    pub const fn is_detached(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_detached() {
+            write!(f, "#detached")
+        } else {
+            write!(f, "#{}", self.0)
+        }
+    }
+}
+
+/// Media data carried inline by an immediate node.
+///
+/// "The data is either text (the default) or another medium, as indicated by
+/// attributes associated with the node." (§5.1)
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImmediateData {
+    /// Inline text, the default medium for immediate nodes.
+    Text(String),
+    /// Inline binary data of another medium; the node's attributes say how
+    /// to interpret it. Useful "for transporting (large amounts of) data
+    /// across environments that have no common storage server".
+    Binary(Vec<u8>),
+}
+
+impl ImmediateData {
+    /// Size of the inline payload in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            ImmediateData::Text(s) => s.len(),
+            ImmediateData::Binary(b) => b.len(),
+        }
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the payload as text when it is the text medium.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            ImmediateData::Text(s) => Some(s),
+            ImmediateData::Binary(_) => None,
+        }
+    }
+}
+
+/// The four node types of §5.1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// Children execute sequentially, left-to-right.
+    Seq,
+    /// Children execute in parallel.
+    Par,
+    /// Leaf pointing at a data descriptor (via the `file` attribute) and
+    /// thus at an external data block.
+    Ext,
+    /// Leaf carrying its data inline.
+    Imm(ImmediateData),
+}
+
+impl NodeKind {
+    /// True for the two leaf kinds (external and immediate).
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, NodeKind::Ext | NodeKind::Imm(_))
+    }
+
+    /// True for the two interior kinds (sequential and parallel).
+    pub fn is_composite(&self) -> bool {
+        !self.is_leaf()
+    }
+
+    /// The keyword used for this node kind in the interchange format
+    /// (Figure 6: `seqnode`, `parnode`, `extnode`, `immnode`).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            NodeKind::Seq => "seq",
+            NodeKind::Par => "par",
+            NodeKind::Ext => "ext",
+            NodeKind::Imm(_) => "imm",
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// One node of the CMIF document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// The node's own id (its position in the document arena).
+    pub id: NodeId,
+    /// Sequential, parallel, external or immediate.
+    pub kind: NodeKind,
+    /// The node's attribute list.
+    pub attrs: AttrList,
+    /// Parent node; `None` only for the root and for detached nodes.
+    pub parent: Option<NodeId>,
+    /// Children in document order. Always empty for leaf nodes.
+    pub children: Vec<NodeId>,
+}
+
+impl Node {
+    /// Creates a node with the given id and kind and an empty attribute
+    /// list. Intended for use by the document arena.
+    pub(crate) fn new(id: NodeId, kind: NodeKind) -> Node {
+        Node { id, kind, attrs: AttrList::new(), parent: None, children: Vec::new() }
+    }
+
+    /// The node's `name` attribute, if present.
+    pub fn name(&self) -> Option<&str> {
+        self.attrs.get_text(&AttrName::Name)
+    }
+
+    /// The node's own (non-inherited) `channel` attribute, if present.
+    pub fn own_channel(&self) -> Option<&str> {
+        self.attrs.get_text(&AttrName::Channel)
+    }
+
+    /// The node's own (non-inherited) `file` attribute, if present.
+    pub fn own_file(&self) -> Option<&str> {
+        self.attrs.get_text(&AttrName::File)
+    }
+
+    /// The node's own `duration` attribute in milliseconds, if present.
+    pub fn own_duration_ms(&self) -> Option<i64> {
+        self.attrs.get_number(&AttrName::Duration)
+    }
+
+    /// True for leaf nodes (external or immediate).
+    pub fn is_leaf(&self) -> bool {
+        self.kind.is_leaf()
+    }
+
+    /// Sets (or replaces) an attribute on the node.
+    pub fn set_attr(&mut self, name: impl Into<AttrName>, value: AttrValue) {
+        self.attrs.set(Attr::new(name, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        let id = NodeId::from_index(5);
+        assert_eq!(id.index(), 5);
+        assert_eq!(id.to_string(), "#5");
+        assert!(NodeId::detached().is_detached());
+        assert_eq!(NodeId::detached().to_string(), "#detached");
+    }
+
+    #[test]
+    fn node_kind_classification() {
+        assert!(NodeKind::Seq.is_composite());
+        assert!(NodeKind::Par.is_composite());
+        assert!(NodeKind::Ext.is_leaf());
+        assert!(NodeKind::Imm(ImmediateData::Text("x".into())).is_leaf());
+        assert_eq!(NodeKind::Seq.keyword(), "seq");
+        assert_eq!(NodeKind::Par.keyword(), "par");
+        assert_eq!(NodeKind::Ext.keyword(), "ext");
+        assert_eq!(NodeKind::Imm(ImmediateData::Text(String::new())).keyword(), "imm");
+    }
+
+    #[test]
+    fn immediate_data_accessors() {
+        let text = ImmediateData::Text("hello".into());
+        assert_eq!(text.len(), 5);
+        assert_eq!(text.as_text(), Some("hello"));
+        let bin = ImmediateData::Binary(vec![1, 2, 3]);
+        assert_eq!(bin.len(), 3);
+        assert!(bin.as_text().is_none());
+        assert!(ImmediateData::Text(String::new()).is_empty());
+    }
+
+    #[test]
+    fn node_attribute_helpers() {
+        let mut node = Node::new(NodeId::from_index(0), NodeKind::Ext);
+        assert!(node.name().is_none());
+        node.set_attr(AttrName::Name, AttrValue::Id("intro".into()));
+        node.set_attr(AttrName::Channel, AttrValue::Id("video".into()));
+        node.set_attr(AttrName::File, AttrValue::Str("intro.mpg".into()));
+        node.set_attr(AttrName::Duration, AttrValue::Number(4000));
+        assert_eq!(node.name(), Some("intro"));
+        assert_eq!(node.own_channel(), Some("video"));
+        assert_eq!(node.own_file(), Some("intro.mpg"));
+        assert_eq!(node.own_duration_ms(), Some(4000));
+        assert!(node.is_leaf());
+    }
+
+    #[test]
+    fn set_attr_overrides_previous_value() {
+        let mut node = Node::new(NodeId::from_index(1), NodeKind::Seq);
+        node.set_attr(AttrName::Name, AttrValue::Id("a".into()));
+        node.set_attr(AttrName::Name, AttrValue::Id("b".into()));
+        assert_eq!(node.name(), Some("b"));
+        assert_eq!(node.attrs.len(), 1);
+    }
+}

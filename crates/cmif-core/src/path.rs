@@ -1,0 +1,190 @@
+//! Relative node paths.
+//!
+//! Synchronization arcs reference their source and destination by "a
+//! relative path name in the tree (by using named nodes)"; "the empty name
+//! specifies the current node itself" (§5.3.2).
+//!
+//! A [`NodePath`] is a parsed path; resolution against a document happens in
+//! [`crate::tree::Document::resolve_path`].
+
+use std::fmt;
+
+/// One step of a node path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PathSegment {
+    /// `..` — move to the parent node.
+    Parent,
+    /// A named child (the child's `name` attribute).
+    Child(String),
+}
+
+/// A parsed node path.
+///
+/// Syntax (used by the interchange format and the builder API):
+///
+/// * the empty string — the current node itself;
+/// * `/a/b` — absolute: resolve `a`, then `b`, starting from the root;
+/// * `a/b` — relative: resolve starting from the current node;
+/// * `..` segments move to the parent; `.` segments are ignored.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct NodePath {
+    /// True when resolution starts at the document root.
+    pub absolute: bool,
+    /// The steps to take after choosing the starting node.
+    pub segments: Vec<PathSegment>,
+}
+
+impl NodePath {
+    /// The empty path, which designates the current node itself.
+    pub fn current() -> NodePath {
+        NodePath::default()
+    }
+
+    /// Parses a path from its textual form.
+    pub fn parse(text: &str) -> NodePath {
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return NodePath::current();
+        }
+        let absolute = trimmed.starts_with('/');
+        let body = trimmed.trim_start_matches('/');
+        let segments = body
+            .split('/')
+            .filter(|s| !s.is_empty() && *s != ".")
+            .map(|s| {
+                if s == ".." {
+                    PathSegment::Parent
+                } else {
+                    PathSegment::Child(s.to_string())
+                }
+            })
+            .collect();
+        NodePath { absolute, segments }
+    }
+
+    /// Builds an absolute path from named components.
+    pub fn absolute<I, S>(names: I) -> NodePath
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        NodePath {
+            absolute: true,
+            segments: names.into_iter().map(|n| PathSegment::Child(n.into())).collect(),
+        }
+    }
+
+    /// Builds a relative path from named components.
+    pub fn relative<I, S>(names: I) -> NodePath
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        NodePath {
+            absolute: false,
+            segments: names.into_iter().map(|n| PathSegment::Child(n.into())).collect(),
+        }
+    }
+
+    /// True when the path designates the current node itself.
+    pub fn is_current(&self) -> bool {
+        !self.absolute && self.segments.is_empty()
+    }
+
+    /// Number of steps in the path.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when the path has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+impl fmt::Display for NodePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.absolute {
+            f.write_str("/")?;
+        }
+        for (i, segment) in self.segments.iter().enumerate() {
+            if i > 0 {
+                f.write_str("/")?;
+            }
+            match segment {
+                PathSegment::Parent => f.write_str("..")?,
+                PathSegment::Child(name) => f.write_str(name)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<&str> for NodePath {
+    fn from(text: &str) -> Self {
+        NodePath::parse(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_path_is_current_node() {
+        let p = NodePath::parse("");
+        assert!(p.is_current());
+        assert!(p.is_empty());
+        assert_eq!(p.to_string(), "");
+        assert!(NodePath::parse("   ").is_current());
+    }
+
+    #[test]
+    fn absolute_and_relative_parsing() {
+        let abs = NodePath::parse("/news/story-3/video");
+        assert!(abs.absolute);
+        assert_eq!(abs.len(), 3);
+        let rel = NodePath::parse("story-3/video");
+        assert!(!rel.absolute);
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn parent_and_dot_segments() {
+        let p = NodePath::parse("../graphic/./painting-two");
+        assert_eq!(
+            p.segments,
+            vec![
+                PathSegment::Parent,
+                PathSegment::Child("graphic".into()),
+                PathSegment::Child("painting-two".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in ["", "/a/b", "a/b", "../b", "/x"] {
+            let p = NodePath::parse(text);
+            let again = NodePath::parse(&p.to_string());
+            assert_eq!(p, again, "path text `{text}` did not round-trip");
+        }
+    }
+
+    #[test]
+    fn constructors() {
+        let abs = NodePath::absolute(["news", "story-1"]);
+        assert!(abs.absolute);
+        assert_eq!(abs.to_string(), "/news/story-1");
+        let rel = NodePath::relative(["video"]);
+        assert!(!rel.absolute);
+        assert_eq!(rel.to_string(), "video");
+        assert_eq!(NodePath::from("/a"), NodePath::absolute(["a"]));
+    }
+
+    #[test]
+    fn repeated_slashes_are_collapsed() {
+        let p = NodePath::parse("/a//b");
+        assert_eq!(p.len(), 2);
+    }
+}

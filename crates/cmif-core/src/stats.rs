@@ -1,0 +1,226 @@
+//! Document statistics.
+//!
+//! The §3.1 building-block table and the Figure 2 "structure vs data" claim
+//! both boil down to counting and sizing the five CMIF building blocks. The
+//! [`DocumentStats`] summary is what the benches print when they regenerate
+//! those artifacts, and it is also the "summary information" the paper says
+//! virtual-presentation and constraint tools should be able to get without
+//! touching the data (§2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::descriptor::DescriptorResolver;
+use crate::error::Result;
+use crate::node::NodeKind;
+use crate::time::TimeMs;
+use crate::tree::Document;
+
+/// Counts and sizes of the CMIF building blocks present in one document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DocumentStats {
+    /// Total nodes reachable from the root.
+    pub nodes: usize,
+    /// Sequential interior nodes.
+    pub seq_nodes: usize,
+    /// Parallel interior nodes.
+    pub par_nodes: usize,
+    /// External leaf nodes (events referencing data descriptors).
+    pub ext_nodes: usize,
+    /// Immediate leaf nodes (events carrying inline data).
+    pub imm_nodes: usize,
+    /// Depth of the document tree.
+    pub depth: usize,
+    /// Synchronization channels declared in the root dictionary.
+    pub channels: usize,
+    /// Styles declared in the root dictionary.
+    pub styles: usize,
+    /// Explicit synchronization arcs.
+    pub sync_arcs: usize,
+    /// Data descriptors in the embedded catalog.
+    pub data_descriptors: usize,
+    /// Events (leaves) per channel name.
+    pub events_per_channel: BTreeMap<String, usize>,
+    /// Approximate size of the document structure itself in bytes
+    /// (attributes + inline data), i.e. what has to move when the structure
+    /// is transported *without* the data.
+    pub structure_bytes: usize,
+    /// Total size of the media data referenced by external nodes in bytes,
+    /// i.e. what would additionally move if the data went along.
+    pub referenced_data_bytes: u64,
+    /// Sum of known leaf durations (an upper bound on sequential length).
+    pub total_leaf_duration: TimeMs,
+}
+
+impl DocumentStats {
+    /// Total leaf (event) count.
+    pub fn events(&self) -> usize {
+        self.ext_nodes + self.imm_nodes
+    }
+
+    /// The ratio of referenced data size to structure size; the Figure 2
+    /// claim is that this is large (structure is cheap to ship and query).
+    pub fn data_to_structure_ratio(&self) -> f64 {
+        if self.structure_bytes == 0 {
+            return 0.0;
+        }
+        self.referenced_data_bytes as f64 / self.structure_bytes as f64
+    }
+}
+
+impl fmt::Display for DocumentStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "nodes: {} (depth {})", self.nodes, self.depth)?;
+        writeln!(
+            f,
+            "  seq: {}  par: {}  ext: {}  imm: {}",
+            self.seq_nodes, self.par_nodes, self.ext_nodes, self.imm_nodes
+        )?;
+        writeln!(
+            f,
+            "channels: {}  styles: {}  sync arcs: {}  data descriptors: {}",
+            self.channels, self.styles, self.sync_arcs, self.data_descriptors
+        )?;
+        for (channel, count) in &self.events_per_channel {
+            writeln!(f, "  channel {channel}: {count} events")?;
+        }
+        writeln!(
+            f,
+            "structure: {} bytes, referenced data: {} bytes (ratio {:.1}x)",
+            self.structure_bytes,
+            self.referenced_data_bytes,
+            self.data_to_structure_ratio()
+        )?;
+        write!(f, "total leaf duration: {}", self.total_leaf_duration)
+    }
+}
+
+/// Computes the statistics of a document.
+///
+/// `resolver` is used to size and time external events; pass the document's
+/// own catalog for self-contained documents.
+pub fn stats(doc: &Document, resolver: &dyn DescriptorResolver) -> Result<DocumentStats> {
+    let mut out = DocumentStats {
+        depth: doc.depth(),
+        channels: doc.channels.len(),
+        styles: doc.styles.len(),
+        sync_arcs: doc.arcs().len(),
+        data_descriptors: doc.catalog.len(),
+        ..DocumentStats::default()
+    };
+
+    for id in doc.preorder() {
+        let node = doc.node(id)?;
+        out.nodes += 1;
+        out.structure_bytes += node.attrs.approx_size() + 16;
+        match &node.kind {
+            NodeKind::Seq => out.seq_nodes += 1,
+            NodeKind::Par => out.par_nodes += 1,
+            NodeKind::Ext => out.ext_nodes += 1,
+            NodeKind::Imm(data) => {
+                out.imm_nodes += 1;
+                out.structure_bytes += data.len();
+            }
+        }
+        if node.kind.is_leaf() {
+            let channel = doc
+                .channel_of(id)?
+                .unwrap_or_else(|| "(unassigned)".to_string());
+            *out.events_per_channel.entry(channel).or_default() += 1;
+            if let Some(duration) = doc.duration_of(id, resolver)? {
+                out.total_leaf_duration += duration;
+            }
+            if node.kind == NodeKind::Ext {
+                if let Some(key) = doc.file_of(id)? {
+                    if let Some(descriptor) = resolver.resolve(&key) {
+                        out.referenced_data_bytes += descriptor.size_bytes;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrName;
+    use crate::channel::{ChannelDef, MediaKind};
+    use crate::descriptor::DataDescriptor;
+    use crate::node::NodeKind;
+    use crate::value::AttrValue;
+
+    fn sample_doc() -> Document {
+        let mut doc = Document::with_root(NodeKind::Seq);
+        let root = doc.root().unwrap();
+        doc.channels.define(ChannelDef::new("audio", MediaKind::Audio)).unwrap();
+        doc.channels.define(ChannelDef::new("label", MediaKind::Label)).unwrap();
+        doc.catalog
+            .register(
+                DataDescriptor::new("clip", MediaKind::Audio, "pcm8")
+                    .with_size(400_000)
+                    .with_duration(TimeMs::from_secs(5)),
+            )
+            .unwrap();
+        let par = doc.add_par(root).unwrap();
+        doc.set_attr(par, AttrName::Name, AttrValue::Id("scene".into())).unwrap();
+        let voice = doc.add_ext(par).unwrap();
+        doc.set_attr(voice, AttrName::Name, AttrValue::Id("voice".into())).unwrap();
+        doc.set_attr(voice, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
+        doc.set_attr(voice, AttrName::File, AttrValue::Str("clip".into())).unwrap();
+        let label = doc.add_imm_text(par, "Story").unwrap();
+        doc.set_attr(label, AttrName::Name, AttrValue::Id("title".into())).unwrap();
+        doc.set_attr(label, AttrName::Channel, AttrValue::Id("label".into())).unwrap();
+        doc.set_attr(label, AttrName::Duration, AttrValue::Number(2_000)).unwrap();
+        doc
+    }
+
+    #[test]
+    fn counts_building_blocks() {
+        let doc = sample_doc();
+        let s = stats(&doc, &doc.catalog).unwrap();
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.seq_nodes, 1);
+        assert_eq!(s.par_nodes, 1);
+        assert_eq!(s.ext_nodes, 1);
+        assert_eq!(s.imm_nodes, 1);
+        assert_eq!(s.events(), 2);
+        assert_eq!(s.channels, 2);
+        assert_eq!(s.data_descriptors, 1);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.events_per_channel["audio"], 1);
+        assert_eq!(s.events_per_channel["label"], 1);
+    }
+
+    #[test]
+    fn structure_is_much_smaller_than_data() {
+        let doc = sample_doc();
+        let s = stats(&doc, &doc.catalog).unwrap();
+        assert!(s.structure_bytes < 4096);
+        assert_eq!(s.referenced_data_bytes, 400_000);
+        assert!(s.data_to_structure_ratio() > 10.0);
+    }
+
+    #[test]
+    fn durations_are_summed() {
+        let doc = sample_doc();
+        let s = stats(&doc, &doc.catalog).unwrap();
+        assert_eq!(s.total_leaf_duration, TimeMs::from_millis(7_000));
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let doc = sample_doc();
+        let s = stats(&doc, &doc.catalog).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("nodes: 4"));
+        assert!(text.contains("channel audio: 1 events"));
+    }
+
+    #[test]
+    fn empty_ratio_is_zero() {
+        let s = DocumentStats::default();
+        assert_eq!(s.data_to_structure_ratio(), 0.0);
+    }
+}

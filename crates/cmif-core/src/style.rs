@@ -1,0 +1,381 @@
+//! Styles and the style dictionary.
+//!
+//! "There is one attribute, 'style', which is a shorthand for placing a set
+//! of attributes on a node." (§5.2)  The root node's style dictionary
+//! "defines one or more new styles […] Style definitions may refer to other
+//! style definitions as long as no style refers to itself, directly or
+//! indirectly." (Figure 7)
+//!
+//! [`StyleDictionary::expand`] flattens a style (following nested style
+//! references) into the set of attributes it stands for, detecting cycles
+//! and unknown references.
+
+use std::collections::BTreeMap;
+
+use crate::attr::{Attr, AttrList, AttrName};
+use crate::error::{CoreError, Result};
+
+/// One style definition: a name bound to a set of attributes, possibly
+/// including references to other styles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StyleDef {
+    /// The style's name, referenced by `style` attributes.
+    pub name: String,
+    /// Names of other styles this style builds on (applied first, in order,
+    /// so that this style's own attributes override theirs).
+    pub parents: Vec<String>,
+    /// The attributes the style places on a node.
+    pub attrs: Vec<Attr>,
+}
+
+impl StyleDef {
+    /// Creates a style with no parents and no attributes.
+    pub fn new(name: impl Into<String>) -> StyleDef {
+        StyleDef { name: name.into(), parents: Vec::new(), attrs: Vec::new() }
+    }
+
+    /// Adds a parent style reference (builder style).
+    pub fn with_parent(mut self, parent: impl Into<String>) -> StyleDef {
+        self.parents.push(parent.into());
+        self
+    }
+
+    /// Adds an attribute the style sets (builder style).
+    pub fn with_attr(mut self, attr: Attr) -> StyleDef {
+        self.attrs.push(attr);
+        self
+    }
+}
+
+/// The style dictionary of the root node.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StyleDictionary {
+    styles: BTreeMap<String, StyleDef>,
+    /// Declaration order, preserved for round-tripping.
+    order: Vec<String>,
+}
+
+impl StyleDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> StyleDictionary {
+        StyleDictionary::default()
+    }
+
+    /// Number of styles defined.
+    pub fn len(&self) -> usize {
+        self.styles.len()
+    }
+
+    /// True when no styles are defined.
+    pub fn is_empty(&self) -> bool {
+        self.styles.is_empty()
+    }
+
+    /// Defines a style, rejecting duplicate names.
+    pub fn define(&mut self, def: StyleDef) -> Result<()> {
+        if self.styles.contains_key(&def.name) {
+            return Err(CoreError::DuplicateStyle { style: def.name });
+        }
+        self.order.push(def.name.clone());
+        self.styles.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Looks up a style definition by name.
+    pub fn get(&self, name: &str) -> Option<&StyleDef> {
+        self.styles.get(name)
+    }
+
+    /// True when a style with the given name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.styles.contains_key(name)
+    }
+
+    /// Iterates over the style definitions in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &StyleDef> {
+        self.order.iter().filter_map(|name| self.styles.get(name))
+    }
+
+    /// Expands a style name into the flat attribute list it stands for.
+    ///
+    /// Parent styles are applied first (in declaration order of the
+    /// references), then the style's own attributes, so that the most
+    /// specific definition wins — the same override rule the paper gives for
+    /// inherited attributes.
+    ///
+    /// Returns [`CoreError::UnknownStyle`] for dangling references and
+    /// [`CoreError::StyleCycle`] when a style refers to itself directly or
+    /// indirectly.
+    pub fn expand(&self, name: &str) -> Result<AttrList> {
+        let mut out = AttrList::new();
+        let mut visiting = Vec::new();
+        self.expand_into(name, &mut out, &mut visiting)?;
+        Ok(out)
+    }
+
+    /// Expands every style referenced by a `style` attribute value (one name
+    /// or a list of names, applied in order).
+    pub fn expand_all<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> Result<AttrList> {
+        let mut out = AttrList::new();
+        for name in names {
+            let mut visiting = Vec::new();
+            self.expand_into(name, &mut out, &mut visiting)?;
+        }
+        Ok(out)
+    }
+
+    fn expand_into(
+        &self,
+        name: &str,
+        out: &mut AttrList,
+        visiting: &mut Vec<String>,
+    ) -> Result<()> {
+        if visiting.iter().any(|n| n == name) {
+            return Err(CoreError::StyleCycle { style: name.to_string() });
+        }
+        let def = self
+            .styles
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownStyle { style: name.to_string() })?;
+        visiting.push(name.to_string());
+        for parent in &def.parents {
+            self.expand_into(parent, out, visiting)?;
+        }
+        for attr in &def.attrs {
+            out.set(attr.clone());
+        }
+        visiting.pop();
+        Ok(())
+    }
+
+    /// Checks every definition for dangling references and cycles.
+    pub fn validate(&self) -> Result<()> {
+        for name in &self.order {
+            self.expand(name)?;
+        }
+        Ok(())
+    }
+
+    /// The maximum depth of style nesting (1 for a style with no parents).
+    /// Used by the Figure 7 benchmark to sweep expansion depth.
+    pub fn nesting_depth(&self, name: &str) -> Result<usize> {
+        fn depth(
+            dict: &StyleDictionary,
+            name: &str,
+            visiting: &mut Vec<String>,
+        ) -> Result<usize> {
+            if visiting.iter().any(|n| n == name) {
+                return Err(CoreError::StyleCycle { style: name.to_string() });
+            }
+            let def = dict
+                .styles
+                .get(name)
+                .ok_or_else(|| CoreError::UnknownStyle { style: name.to_string() })?;
+            visiting.push(name.to_string());
+            let mut max_parent = 0;
+            for parent in &def.parents {
+                max_parent = max_parent.max(depth(dict, parent, visiting)?);
+            }
+            visiting.pop();
+            Ok(max_parent + 1)
+        }
+        depth(self, name, &mut Vec::new())
+    }
+}
+
+impl FromIterator<StyleDef> for StyleDictionary {
+    fn from_iter<T: IntoIterator<Item = StyleDef>>(iter: T) -> Self {
+        let mut dict = StyleDictionary::new();
+        for def in iter {
+            if dict.styles.contains_key(&def.name) {
+                dict.styles.insert(def.name.clone(), def);
+            } else {
+                // `define` cannot fail here because of the contains check.
+                let _ = dict.define(def);
+            }
+        }
+        dict
+    }
+}
+
+/// Extracts the style names referenced by a `style` attribute value.
+///
+/// Accepts a single identifier/string or a list of them.
+pub fn style_names(value: &crate::value::AttrValue) -> Result<Vec<String>> {
+    use crate::value::AttrValue;
+    match value {
+        AttrValue::Id(s) | AttrValue::Str(s) => Ok(vec![s.clone()]),
+        AttrValue::List(items) => {
+            let mut names = Vec::with_capacity(items.len());
+            for item in items {
+                let name = item.as_text().ok_or(CoreError::AttributeType {
+                    name: AttrName::Style,
+                    expected: "a style name or a list of style names",
+                })?;
+                names.push(name.to_string());
+            }
+            Ok(names)
+        }
+        _ => Err(CoreError::AttributeType {
+            name: AttrName::Style,
+            expected: "a style name or a list of style names",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AttrValue;
+
+    fn caption_style() -> StyleDef {
+        StyleDef::new("caption-text")
+            .with_attr(Attr::new(AttrName::Channel, AttrValue::Id("caption".into())))
+            .with_attr(Attr::new(
+                AttrName::TFormatting,
+                AttrValue::list([AttrValue::list([
+                    AttrValue::Id("font".into()),
+                    AttrValue::Id("helvetica".into()),
+                ])]),
+            ))
+    }
+
+    #[test]
+    fn define_and_lookup() {
+        let mut dict = StyleDictionary::new();
+        dict.define(caption_style()).unwrap();
+        assert_eq!(dict.len(), 1);
+        assert!(dict.contains("caption-text"));
+        assert!(dict.get("caption-text").is_some());
+        assert!(!dict.is_empty());
+    }
+
+    #[test]
+    fn duplicate_definition_is_rejected() {
+        let mut dict = StyleDictionary::new();
+        dict.define(caption_style()).unwrap();
+        let err = dict.define(caption_style()).unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateStyle { .. }));
+    }
+
+    #[test]
+    fn expand_flat_style() {
+        let mut dict = StyleDictionary::new();
+        dict.define(caption_style()).unwrap();
+        let attrs = dict.expand("caption-text").unwrap();
+        assert_eq!(attrs.get_text(&AttrName::Channel), Some("caption"));
+        assert!(attrs.contains(&AttrName::TFormatting));
+    }
+
+    #[test]
+    fn expand_nested_style_child_overrides_parent() {
+        let mut dict = StyleDictionary::new();
+        dict.define(
+            StyleDef::new("base")
+                .with_attr(Attr::new(AttrName::Channel, AttrValue::Id("caption".into())))
+                .with_attr(Attr::new(AttrName::Duration, AttrValue::Number(1000))),
+        )
+        .unwrap();
+        dict.define(
+            StyleDef::new("highlight")
+                .with_parent("base")
+                .with_attr(Attr::new(AttrName::Duration, AttrValue::Number(2000))),
+        )
+        .unwrap();
+        let attrs = dict.expand("highlight").unwrap();
+        assert_eq!(attrs.get_text(&AttrName::Channel), Some("caption"));
+        assert_eq!(attrs.get_number(&AttrName::Duration), Some(2000));
+    }
+
+    #[test]
+    fn expand_unknown_style_is_error() {
+        let dict = StyleDictionary::new();
+        assert!(matches!(dict.expand("nope").unwrap_err(), CoreError::UnknownStyle { .. }));
+    }
+
+    #[test]
+    fn direct_cycle_is_detected() {
+        let mut dict = StyleDictionary::new();
+        dict.define(StyleDef::new("a").with_parent("a")).unwrap();
+        assert!(matches!(dict.expand("a").unwrap_err(), CoreError::StyleCycle { .. }));
+        assert!(dict.validate().is_err());
+    }
+
+    #[test]
+    fn indirect_cycle_is_detected() {
+        let mut dict = StyleDictionary::new();
+        dict.define(StyleDef::new("a").with_parent("b")).unwrap();
+        dict.define(StyleDef::new("b").with_parent("c")).unwrap();
+        dict.define(StyleDef::new("c").with_parent("a")).unwrap();
+        assert!(matches!(dict.expand("a").unwrap_err(), CoreError::StyleCycle { .. }));
+    }
+
+    #[test]
+    fn diamond_reference_is_not_a_cycle() {
+        // a -> b, a -> c, b -> d, c -> d: d is reached twice but no cycle.
+        let mut dict = StyleDictionary::new();
+        dict.define(
+            StyleDef::new("d").with_attr(Attr::new(AttrName::Duration, AttrValue::Number(5))),
+        )
+        .unwrap();
+        dict.define(StyleDef::new("b").with_parent("d")).unwrap();
+        dict.define(StyleDef::new("c").with_parent("d")).unwrap();
+        dict.define(StyleDef::new("a").with_parent("b").with_parent("c")).unwrap();
+        let attrs = dict.expand("a").unwrap();
+        assert_eq!(attrs.get_number(&AttrName::Duration), Some(5));
+        assert!(dict.validate().is_ok());
+    }
+
+    #[test]
+    fn nesting_depth_counts_levels() {
+        let mut dict = StyleDictionary::new();
+        dict.define(StyleDef::new("l1")).unwrap();
+        dict.define(StyleDef::new("l2").with_parent("l1")).unwrap();
+        dict.define(StyleDef::new("l3").with_parent("l2")).unwrap();
+        assert_eq!(dict.nesting_depth("l1").unwrap(), 1);
+        assert_eq!(dict.nesting_depth("l3").unwrap(), 3);
+    }
+
+    #[test]
+    fn expand_all_applies_styles_in_order() {
+        let mut dict = StyleDictionary::new();
+        dict.define(
+            StyleDef::new("first")
+                .with_attr(Attr::new(AttrName::Duration, AttrValue::Number(1))),
+        )
+        .unwrap();
+        dict.define(
+            StyleDef::new("second")
+                .with_attr(Attr::new(AttrName::Duration, AttrValue::Number(2))),
+        )
+        .unwrap();
+        let attrs = dict.expand_all(["first", "second"]).unwrap();
+        assert_eq!(attrs.get_number(&AttrName::Duration), Some(2));
+        let attrs = dict.expand_all(["second", "first"]).unwrap();
+        assert_eq!(attrs.get_number(&AttrName::Duration), Some(1));
+    }
+
+    #[test]
+    fn style_names_accepts_single_and_list() {
+        assert_eq!(style_names(&AttrValue::Id("a".into())).unwrap(), vec!["a"]);
+        assert_eq!(
+            style_names(&AttrValue::list([
+                AttrValue::Id("a".into()),
+                AttrValue::Id("b".into())
+            ]))
+            .unwrap(),
+            vec!["a", "b"]
+        );
+        assert!(style_names(&AttrValue::Number(3)).is_err());
+        assert!(style_names(&AttrValue::list([AttrValue::Number(3)])).is_err());
+    }
+
+    #[test]
+    fn iteration_preserves_declaration_order() {
+        let mut dict = StyleDictionary::new();
+        dict.define(StyleDef::new("z")).unwrap();
+        dict.define(StyleDef::new("a")).unwrap();
+        let names: Vec<_> = dict.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["z", "a"]);
+    }
+}

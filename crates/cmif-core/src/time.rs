@@ -1,0 +1,452 @@
+//! Time and media-unit arithmetic.
+//!
+//! CMIF synchronization offsets "may be expressed in terms of media-dependent
+//! units (such as seconds, frames, bytes, etc.)" (§5.3.2).  The scheduler,
+//! however, works on a single document-wide clock.  This module provides:
+//!
+//! * [`TimeMs`] — the document clock, an integral number of milliseconds
+//!   relative to the root's implied timing reference point;
+//! * [`DelayMs`] — a signed delay used for the δ (minimum acceptable) and
+//!   ε (maximum tolerable) window of a synchronization arc;
+//! * [`MediaUnit`] / [`MediaTime`] — media-dependent quantities together
+//!   with the [`RateInfo`] required to convert them onto the document clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use crate::error::{CoreError, Result};
+
+/// A point (or duration) on the document clock, in milliseconds.
+///
+/// The root node "provides an implied timing reference point for all other
+/// nodes in the document" (§5.1); `TimeMs(0)` is that reference point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeMs(pub i64);
+
+impl TimeMs {
+    /// The document origin (the root's implied reference point).
+    pub const ZERO: TimeMs = TimeMs(0);
+
+    /// Creates a time value from whole seconds.
+    pub const fn from_secs(secs: i64) -> Self {
+        TimeMs(secs * 1000)
+    }
+
+    /// Creates a time value from milliseconds.
+    pub const fn from_millis(ms: i64) -> Self {
+        TimeMs(ms)
+    }
+
+    /// Returns the raw millisecond count.
+    pub const fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the value in (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating addition of a signed delay.
+    pub fn offset_by(self, delay: DelayMs) -> TimeMs {
+        TimeMs(self.0.saturating_add(delay.0))
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, other: TimeMs) -> TimeMs {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two times.
+    pub fn min(self, other: TimeMs) -> TimeMs {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for TimeMs {
+    type Output = TimeMs;
+    fn add(self, rhs: TimeMs) -> TimeMs {
+        TimeMs(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for TimeMs {
+    fn add_assign(&mut self, rhs: TimeMs) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for TimeMs {
+    type Output = DelayMs;
+    fn sub(self, rhs: TimeMs) -> DelayMs {
+        DelayMs(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for TimeMs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 1000 == 0 {
+            write!(f, "{}s", self.0 / 1000)
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+/// A signed delay on the document clock, in milliseconds.
+///
+/// Synchronization arcs use a pair of delays (§5.3.1):
+///
+/// * the **minimum acceptable delay** δ — zero or negative (a negative value
+///   allows the target to start *before* the reference time);
+/// * the **maximum tolerable delay** ε — zero, positive, or unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DelayMs(pub i64);
+
+impl DelayMs {
+    /// The zero delay (hard synchronization when used for both δ and ε).
+    pub const ZERO: DelayMs = DelayMs(0);
+
+    /// Creates a delay from milliseconds.
+    pub const fn from_millis(ms: i64) -> Self {
+        DelayMs(ms)
+    }
+
+    /// Creates a delay from whole seconds.
+    pub const fn from_secs(secs: i64) -> Self {
+        DelayMs(secs * 1000)
+    }
+
+    /// Returns the raw millisecond count.
+    pub const fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// True if the delay is negative (earlier than the reference time).
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// True if the delay is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Absolute value of the delay.
+    pub const fn abs(self) -> DelayMs {
+        DelayMs(self.0.abs())
+    }
+}
+
+impl Add for DelayMs {
+    type Output = DelayMs;
+    fn add(self, rhs: DelayMs) -> DelayMs {
+        DelayMs(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for DelayMs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+/// The maximum tolerable delay of an arc: either a bounded number of
+/// milliseconds or unbounded ("possibly infinite", §5.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MaxDelay {
+    /// No upper bound on the tolerable delay.
+    #[default]
+    Unbounded,
+    /// An upper bound in milliseconds (must be ≥ 0).
+    Bounded(DelayMs),
+}
+
+impl MaxDelay {
+    /// A hard upper bound of zero.
+    pub const HARD: MaxDelay = MaxDelay::Bounded(DelayMs::ZERO);
+
+    /// Returns the bound in milliseconds, or `None` when unbounded.
+    pub fn bound(self) -> Option<DelayMs> {
+        match self {
+            MaxDelay::Unbounded => None,
+            MaxDelay::Bounded(d) => Some(d),
+        }
+    }
+
+    /// True when the delay window `[min, self]` is a valid, non-empty
+    /// interval according to §5.3.1: the minimum may not be positive, the
+    /// maximum may not be negative, and min ≤ max.
+    pub fn window_is_valid(self, min: DelayMs) -> bool {
+        if min.0 > 0 {
+            return false;
+        }
+        match self {
+            MaxDelay::Unbounded => true,
+            MaxDelay::Bounded(max) => max.0 >= 0 && min.0 <= max.0,
+        }
+    }
+}
+
+impl fmt::Display for MaxDelay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaxDelay::Unbounded => write!(f, "inf"),
+            MaxDelay::Bounded(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// Media-dependent units an offset may be expressed in (§5.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MediaUnit {
+    /// Milliseconds on the document clock.
+    Milliseconds,
+    /// Whole seconds.
+    Seconds,
+    /// Video or animation frames; conversion requires a frame rate.
+    Frames,
+    /// Audio samples; conversion requires a sampling rate.
+    Samples,
+    /// Raw bytes of the underlying encoding; conversion requires a byte rate.
+    Bytes,
+}
+
+impl fmt::Display for MediaUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MediaUnit::Milliseconds => "ms",
+            MediaUnit::Seconds => "s",
+            MediaUnit::Frames => "frames",
+            MediaUnit::Samples => "samples",
+            MediaUnit::Bytes => "bytes",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A quantity expressed in a media-dependent unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MediaTime {
+    /// Magnitude in `unit`s. Offsets in CMIF are "integral positive" (§5.3.2)
+    /// but the type is signed so intermediate arithmetic cannot wrap.
+    pub value: i64,
+    /// The unit the magnitude is expressed in.
+    pub unit: MediaUnit,
+}
+
+impl MediaTime {
+    /// Creates a quantity in milliseconds.
+    pub const fn millis(value: i64) -> Self {
+        MediaTime { value, unit: MediaUnit::Milliseconds }
+    }
+
+    /// Creates a quantity in seconds.
+    pub const fn seconds(value: i64) -> Self {
+        MediaTime { value, unit: MediaUnit::Seconds }
+    }
+
+    /// Creates a quantity in frames.
+    pub const fn frames(value: i64) -> Self {
+        MediaTime { value, unit: MediaUnit::Frames }
+    }
+
+    /// Creates a quantity in audio samples.
+    pub const fn samples(value: i64) -> Self {
+        MediaTime { value, unit: MediaUnit::Samples }
+    }
+
+    /// Creates a quantity in bytes.
+    pub const fn bytes(value: i64) -> Self {
+        MediaTime { value, unit: MediaUnit::Bytes }
+    }
+
+    /// Converts the quantity to the document clock using `rates`.
+    ///
+    /// Returns [`CoreError::UnitConversion`] when the unit needs a rate the
+    /// caller did not supply (e.g. frames without a frame rate).
+    pub fn to_millis(self, rates: &RateInfo) -> Result<TimeMs> {
+        let ms = match self.unit {
+            MediaUnit::Milliseconds => self.value,
+            MediaUnit::Seconds => self.value.saturating_mul(1000),
+            MediaUnit::Frames => {
+                let fps = rates.frames_per_second.ok_or_else(|| CoreError::UnitConversion {
+                    reason: "offset in frames requires a frame rate".to_string(),
+                })?;
+                if fps <= 0.0 {
+                    return Err(CoreError::UnitConversion {
+                        reason: format!("frame rate must be positive, got {fps}"),
+                    });
+                }
+                (self.value as f64 * 1000.0 / fps).round() as i64
+            }
+            MediaUnit::Samples => {
+                let sr = rates.samples_per_second.ok_or_else(|| CoreError::UnitConversion {
+                    reason: "offset in samples requires a sampling rate".to_string(),
+                })?;
+                if sr == 0 {
+                    return Err(CoreError::UnitConversion {
+                        reason: "sampling rate must be positive".to_string(),
+                    });
+                }
+                (self.value as f64 * 1000.0 / sr as f64).round() as i64
+            }
+            MediaUnit::Bytes => {
+                let bps = rates.bytes_per_second.ok_or_else(|| CoreError::UnitConversion {
+                    reason: "offset in bytes requires a byte rate".to_string(),
+                })?;
+                if bps == 0 {
+                    return Err(CoreError::UnitConversion {
+                        reason: "byte rate must be positive".to_string(),
+                    });
+                }
+                (self.value as f64 * 1000.0 / bps as f64).round() as i64
+            }
+        };
+        Ok(TimeMs(ms))
+    }
+}
+
+impl fmt::Display for MediaTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.value, self.unit)
+    }
+}
+
+/// Rates needed to convert media-dependent units onto the document clock.
+///
+/// Typically derived from a data descriptor (frame rate of a video block,
+/// sampling rate of an audio block) or from a channel definition.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RateInfo {
+    /// Video/animation frame rate in frames per second.
+    pub frames_per_second: Option<f64>,
+    /// Audio sampling rate in samples per second.
+    pub samples_per_second: Option<u32>,
+    /// Encoded data rate in bytes per second.
+    pub bytes_per_second: Option<u64>,
+}
+
+impl RateInfo {
+    /// A rate table with no conversions available (only ms and s convert).
+    pub const NONE: RateInfo = RateInfo {
+        frames_per_second: None,
+        samples_per_second: None,
+        bytes_per_second: None,
+    };
+
+    /// Convenience constructor for a video-style rate table.
+    pub fn video(fps: f64) -> Self {
+        RateInfo { frames_per_second: Some(fps), ..RateInfo::NONE }
+    }
+
+    /// Convenience constructor for an audio-style rate table.
+    pub fn audio(samples_per_second: u32, bytes_per_second: u64) -> Self {
+        RateInfo {
+            samples_per_second: Some(samples_per_second),
+            bytes_per_second: Some(bytes_per_second),
+            ..RateInfo::NONE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_and_display() {
+        let t = TimeMs::from_secs(2) + TimeMs::from_millis(500);
+        assert_eq!(t.as_millis(), 2500);
+        assert_eq!(t.to_string(), "2500ms");
+        assert_eq!(TimeMs::from_secs(3).to_string(), "3s");
+        assert_eq!((t - TimeMs::from_millis(500)).as_millis(), 2000);
+    }
+
+    #[test]
+    fn offset_by_negative_delay_moves_earlier() {
+        let t = TimeMs::from_millis(1000).offset_by(DelayMs::from_millis(-250));
+        assert_eq!(t.as_millis(), 750);
+    }
+
+    #[test]
+    fn max_and_min() {
+        let a = TimeMs::from_millis(10);
+        let b = TimeMs::from_millis(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn delay_window_validity_rules() {
+        // Hard synchronization: both zero.
+        assert!(MaxDelay::HARD.window_is_valid(DelayMs::ZERO));
+        // Negative minimum (start earlier) with bounded positive maximum.
+        assert!(MaxDelay::Bounded(DelayMs::from_millis(100))
+            .window_is_valid(DelayMs::from_millis(-50)));
+        // Positive minimum delay has no meaning.
+        assert!(!MaxDelay::Unbounded.window_is_valid(DelayMs::from_millis(1)));
+        // Negative maximum delay has no meaning.
+        assert!(!MaxDelay::Bounded(DelayMs::from_millis(-1)).window_is_valid(DelayMs::ZERO));
+        // Unbounded maximum always valid with non-positive minimum.
+        assert!(MaxDelay::Unbounded.window_is_valid(DelayMs::from_millis(-1000)));
+    }
+
+    #[test]
+    fn media_time_conversion_seconds_and_millis() {
+        assert_eq!(MediaTime::seconds(3).to_millis(&RateInfo::NONE).unwrap().as_millis(), 3000);
+        assert_eq!(MediaTime::millis(42).to_millis(&RateInfo::NONE).unwrap().as_millis(), 42);
+    }
+
+    #[test]
+    fn media_time_conversion_frames() {
+        let rates = RateInfo::video(25.0);
+        assert_eq!(MediaTime::frames(50).to_millis(&rates).unwrap().as_millis(), 2000);
+        // 30 fps, 15 frames -> 500ms.
+        let rates = RateInfo::video(30.0);
+        assert_eq!(MediaTime::frames(15).to_millis(&rates).unwrap().as_millis(), 500);
+    }
+
+    #[test]
+    fn media_time_conversion_samples_and_bytes() {
+        let rates = RateInfo::audio(8000, 16_000);
+        assert_eq!(MediaTime::samples(4000).to_millis(&rates).unwrap().as_millis(), 500);
+        assert_eq!(MediaTime::bytes(16_000).to_millis(&rates).unwrap().as_millis(), 1000);
+    }
+
+    #[test]
+    fn media_time_conversion_missing_rate_is_error() {
+        let err = MediaTime::frames(10).to_millis(&RateInfo::NONE).unwrap_err();
+        assert!(matches!(err, CoreError::UnitConversion { .. }));
+        let err = MediaTime::samples(10).to_millis(&RateInfo::NONE).unwrap_err();
+        assert!(matches!(err, CoreError::UnitConversion { .. }));
+        let err = MediaTime::bytes(10).to_millis(&RateInfo::NONE).unwrap_err();
+        assert!(matches!(err, CoreError::UnitConversion { .. }));
+    }
+
+    #[test]
+    fn media_time_conversion_zero_rate_is_error() {
+        let rates = RateInfo { frames_per_second: Some(0.0), ..RateInfo::NONE };
+        assert!(MediaTime::frames(10).to_millis(&rates).is_err());
+    }
+
+    #[test]
+    fn media_time_display() {
+        assert_eq!(MediaTime::frames(12).to_string(), "12 frames");
+        assert_eq!(MediaTime::seconds(3).to_string(), "3 s");
+    }
+
+    #[test]
+    fn max_delay_display() {
+        assert_eq!(MaxDelay::Unbounded.to_string(), "inf");
+        assert_eq!(MaxDelay::Bounded(DelayMs::from_millis(5)).to_string(), "5ms");
+    }
+}

@@ -1,0 +1,271 @@
+//! Structural validation of CMIF documents.
+//!
+//! The paper spreads its consistency rules over §5.1–§5.3: sibling name
+//! uniqueness, root-only dictionaries, style acyclicity, channel references,
+//! the `file` requirement on external nodes, and the sign rules of
+//! synchronization delay windows. [`validate`] checks all of them and
+//! returns the first violation; [`validate_all`] collects every violation,
+//! which is what an authoring tool wants to show its user.
+
+use crate::attr::AttrName;
+use crate::error::{CoreError, Result};
+use crate::node::NodeKind;
+use crate::style::style_names;
+use crate::tree::Document;
+
+/// Validates a document, returning the first violation found.
+pub fn validate(doc: &Document) -> Result<()> {
+    match validate_all(doc) {
+        problems if problems.is_empty() => Ok(()),
+        mut problems => Err(problems.remove(0)),
+    }
+}
+
+/// Validates a document, returning every violation found.
+pub fn validate_all(doc: &Document) -> Vec<CoreError> {
+    let mut problems = Vec::new();
+    let root = match doc.root() {
+        Ok(root) => root,
+        Err(e) => return vec![e],
+    };
+
+    // Style dictionary consistency (dangling references, cycles).
+    if let Err(e) = doc.styles.validate() {
+        problems.push(e);
+    }
+
+    for id in doc.preorder() {
+        let node = match doc.node(id) {
+            Ok(node) => node,
+            Err(e) => {
+                problems.push(e);
+                continue;
+            }
+        };
+
+        // Attribute list uniqueness (cheap to re-check after bulk edits).
+        if let Err(e) = node.attrs.validate_unique(id) {
+            problems.push(e);
+        }
+
+        // Root-only attributes.
+        for attr in node.attrs.iter() {
+            if attr.name.is_root_only() && id != root {
+                problems.push(CoreError::RootOnlyAttribute { node: id, name: attr.name.clone() });
+            }
+        }
+
+        // Sibling name uniqueness.
+        if node.kind.is_composite() {
+            let children = node.children.clone();
+            for (i, child) in children.iter().enumerate() {
+                let name = match doc.node(*child) {
+                    Ok(n) => n.name().map(str::to_string),
+                    Err(e) => {
+                        problems.push(e);
+                        continue;
+                    }
+                };
+                if let Some(name) = name {
+                    let duplicate = children[..i].iter().any(|other| {
+                        doc.node(*other)
+                            .ok()
+                            .and_then(|n| n.name().map(str::to_string))
+                            .as_deref()
+                            == Some(name.as_str())
+                    });
+                    if duplicate {
+                        problems.push(CoreError::DuplicateSiblingName { parent: id, name });
+                    }
+                }
+            }
+        }
+
+        // Style references must resolve.
+        if let Some(style_value) = node.attrs.get(&AttrName::Style) {
+            match style_names(style_value) {
+                Ok(names) => {
+                    for name in names {
+                        if !doc.styles.contains(&name) {
+                            problems.push(CoreError::UnknownStyle { style: name });
+                        }
+                    }
+                }
+                Err(e) => problems.push(e),
+            }
+        }
+
+        // Channel references must resolve (checked on the node that sets the
+        // attribute; inheritance then cannot introduce dangling references).
+        if let Some(channel) = node.attrs.get_text(&AttrName::Channel) {
+            if !doc.channels.contains(channel) {
+                problems.push(CoreError::UnknownChannel { channel: channel.to_string() });
+            }
+        }
+
+        // Leaf-specific rules.
+        match &node.kind {
+            NodeKind::Ext => match doc.file_of(id) {
+                Ok(Some(_)) => {}
+                Ok(None) => problems.push(CoreError::MissingFile { node: id }),
+                Err(e) => problems.push(e),
+            },
+            NodeKind::Imm(_) | NodeKind::Seq | NodeKind::Par => {}
+        }
+        if node.kind.is_leaf() {
+            match doc.channel_of(id) {
+                Ok(Some(_)) => {}
+                Ok(None) => problems.push(CoreError::MissingChannel { node: id }),
+                Err(e) => problems.push(e),
+            }
+        }
+    }
+
+    // Synchronization arcs: window validity and endpoint resolution.
+    for (carrier, arc) in doc.arcs() {
+        if let Err(e) = arc.validate() {
+            problems.push(e);
+        }
+        if doc.resolve_path(*carrier, &arc.source).is_err() {
+            problems.push(CoreError::UnresolvedArcEndpoint { path: arc.source.to_string() });
+        }
+        if doc.resolve_path(*carrier, &arc.destination).is_err() {
+            problems.push(CoreError::UnresolvedArcEndpoint { path: arc.destination.to_string() });
+        }
+    }
+
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arc::SyncArc;
+    use crate::attr::AttrName;
+    use crate::channel::{ChannelDef, MediaKind};
+    use crate::descriptor::DataDescriptor;
+    use crate::node::NodeKind;
+    use crate::style::StyleDef;
+    use crate::time::TimeMs;
+    use crate::value::AttrValue;
+
+    fn valid_doc() -> Document {
+        let mut doc = Document::with_root(NodeKind::Seq);
+        let root = doc.root().unwrap();
+        doc.channels.define(ChannelDef::new("audio", MediaKind::Audio)).unwrap();
+        doc.catalog
+            .register(
+                DataDescriptor::new("clip", MediaKind::Audio, "pcm8")
+                    .with_duration(TimeMs::from_secs(4)),
+            )
+            .unwrap();
+        let leaf = doc.add_ext(root).unwrap();
+        doc.set_attr(leaf, AttrName::Name, AttrValue::Id("voice".into())).unwrap();
+        doc.set_attr(leaf, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
+        doc.set_attr(leaf, AttrName::File, AttrValue::Str("clip".into())).unwrap();
+        doc
+    }
+
+    #[test]
+    fn a_valid_document_passes() {
+        assert!(validate(&valid_doc()).is_ok());
+        assert!(validate_all(&valid_doc()).is_empty());
+    }
+
+    #[test]
+    fn empty_document_fails() {
+        let doc = Document::new();
+        assert!(matches!(validate(&doc).unwrap_err(), CoreError::EmptyDocument));
+    }
+
+    #[test]
+    fn duplicate_sibling_names_are_reported() {
+        let mut doc = valid_doc();
+        let root = doc.root().unwrap();
+        let second = doc.add_imm_text(root, "x").unwrap();
+        doc.set_attr(second, AttrName::Name, AttrValue::Id("voice".into())).unwrap();
+        doc.set_attr(second, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
+        let problems = validate_all(&doc);
+        assert!(problems
+            .iter()
+            .any(|p| matches!(p, CoreError::DuplicateSiblingName { .. })));
+    }
+
+    #[test]
+    fn same_name_under_different_parents_is_fine() {
+        // "otherwise a name may occur more than once in the tree" (Fig. 7).
+        let mut doc = valid_doc();
+        let root = doc.root().unwrap();
+        let group_a = doc.add_par(root).unwrap();
+        doc.set_attr(group_a, AttrName::Name, AttrValue::Id("block".into())).unwrap();
+        let group_b = doc.add_par(root).unwrap();
+        doc.set_attr(group_b, AttrName::Name, AttrValue::Id("other".into())).unwrap();
+        for group in [group_a, group_b] {
+            let leaf = doc.add_imm_text(group, "t").unwrap();
+            doc.set_attr(leaf, AttrName::Name, AttrValue::Id("shared-name".into())).unwrap();
+            doc.set_attr(leaf, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
+        }
+        assert!(validate(&doc).is_ok());
+    }
+
+    #[test]
+    fn missing_file_on_external_node_is_reported() {
+        let mut doc = valid_doc();
+        let root = doc.root().unwrap();
+        let bad = doc.add_ext(root).unwrap();
+        doc.set_attr(bad, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
+        let problems = validate_all(&doc);
+        assert!(problems.iter().any(|p| matches!(p, CoreError::MissingFile { .. })));
+    }
+
+    #[test]
+    fn inherited_file_satisfies_external_node() {
+        let mut doc = valid_doc();
+        let root = doc.root().unwrap();
+        doc.set_attr(root, AttrName::File, AttrValue::Str("clip".into())).unwrap();
+        let leaf = doc.add_ext(root).unwrap();
+        doc.set_attr(leaf, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
+        assert!(validate(&doc).is_ok());
+    }
+
+    #[test]
+    fn unknown_channel_and_style_references_are_reported() {
+        let mut doc = valid_doc();
+        let root = doc.root().unwrap();
+        let leaf = doc.add_imm_text(root, "x").unwrap();
+        doc.set_attr(leaf, AttrName::Channel, AttrValue::Id("video".into())).unwrap();
+        doc.set_attr(leaf, AttrName::Style, AttrValue::Id("missing-style".into())).unwrap();
+        let problems = validate_all(&doc);
+        assert!(problems.iter().any(|p| matches!(p, CoreError::UnknownChannel { .. })));
+        assert!(problems.iter().any(|p| matches!(p, CoreError::UnknownStyle { .. })));
+    }
+
+    #[test]
+    fn style_cycles_are_reported() {
+        let mut doc = valid_doc();
+        doc.styles.define(StyleDef::new("a").with_parent("b")).unwrap();
+        doc.styles.define(StyleDef::new("b").with_parent("a")).unwrap();
+        let problems = validate_all(&doc);
+        assert!(problems.iter().any(|p| matches!(p, CoreError::StyleCycle { .. })));
+    }
+
+    #[test]
+    fn dangling_arc_endpoints_are_reported() {
+        let mut doc = valid_doc();
+        let leaf = doc.find("/voice").unwrap();
+        doc.add_arc(leaf, SyncArc::hard_start("/no-such", "")).unwrap();
+        let problems = validate_all(&doc);
+        assert!(problems
+            .iter()
+            .any(|p| matches!(p, CoreError::UnresolvedArcEndpoint { .. })));
+    }
+
+    #[test]
+    fn leaf_without_channel_is_reported() {
+        let mut doc = valid_doc();
+        let root = doc.root().unwrap();
+        doc.add_imm_text(root, "orphan").unwrap();
+        let problems = validate_all(&doc);
+        assert!(problems.iter().any(|p| matches!(p, CoreError::MissingChannel { .. })));
+    }
+}

@@ -1,0 +1,258 @@
+//! Attribute value types.
+//!
+//! The paper (§5.2) defines four example attribute value shapes:
+//!
+//! * **ID** — "a character value (without embedded spaces)";
+//! * **NUMBER** — a numeric value;
+//! * **STRING** — "a character-string (in quotes, possibly with embedded
+//!   spaces)";
+//! * **value\*** — "a (set of) pointer(s) to other attributes".
+//!
+//! [`AttrValue`] models these, plus a list form used by compound standard
+//! attributes (style dictionaries, channel dictionaries, `T_Formatting`
+//! shorthand lists and synchronization arc tuples).
+
+use std::fmt;
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// An identifier: a character value without embedded spaces.
+    Id(String),
+    /// An integral numeric value.
+    Number(i64),
+    /// A real (floating point) numeric value.
+    Real(f64),
+    /// A quoted character string, possibly with embedded spaces.
+    Str(String),
+    /// A reference ("pointer") to another attribute, by name.
+    Ref(String),
+    /// An ordered list of values (the `value*` form generalised).
+    List(Vec<AttrValue>),
+}
+
+impl AttrValue {
+    /// Creates an identifier value, validating that it has no embedded
+    /// whitespace. Returns `None` if the candidate is empty or contains
+    /// whitespace (the paper requires IDs to be space-free).
+    pub fn id(candidate: impl Into<String>) -> Option<AttrValue> {
+        let s = candidate.into();
+        if s.is_empty() || s.chars().any(char::is_whitespace) {
+            None
+        } else {
+            Some(AttrValue::Id(s))
+        }
+    }
+
+    /// Creates a string value.
+    pub fn string(s: impl Into<String>) -> AttrValue {
+        AttrValue::Str(s.into())
+    }
+
+    /// Creates an integral number value.
+    pub fn number(n: i64) -> AttrValue {
+        AttrValue::Number(n)
+    }
+
+    /// Creates a real-number value.
+    pub fn real(x: f64) -> AttrValue {
+        AttrValue::Real(x)
+    }
+
+    /// Creates a list value.
+    pub fn list(values: impl IntoIterator<Item = AttrValue>) -> AttrValue {
+        AttrValue::List(values.into_iter().collect())
+    }
+
+    /// Returns the value as an identifier string if it is an `Id`.
+    pub fn as_id(&self) -> Option<&str> {
+        match self {
+            AttrValue::Id(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as text if it is an `Id` or a `Str`.
+    ///
+    /// Several standard attributes (channel names, file keys, style names)
+    /// accept either shape; this accessor papers over the difference.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            AttrValue::Id(s) | AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an integer if it is a `Number` (or an integral
+    /// `Real`).
+    pub fn as_number(&self) -> Option<i64> {
+        match self {
+            AttrValue::Number(n) => Some(*n),
+            AttrValue::Real(x) if x.fract() == 0.0 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a float if it is numeric.
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            AttrValue::Number(n) => Some(*n as f64),
+            AttrValue::Real(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a slice of values if it is a `List`.
+    pub fn as_list(&self) -> Option<&[AttrValue]> {
+        match self {
+            AttrValue::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the referenced attribute name if it is a `Ref`.
+    pub fn as_ref_name(&self) -> Option<&str> {
+        match self {
+            AttrValue::Ref(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short tag naming the value's shape, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AttrValue::Id(_) => "id",
+            AttrValue::Number(_) => "number",
+            AttrValue::Real(_) => "real",
+            AttrValue::Str(_) => "string",
+            AttrValue::Ref(_) => "ref",
+            AttrValue::List(_) => "list",
+        }
+    }
+
+    /// Approximate in-memory footprint of the value in bytes, used by the
+    /// "structure vs data" benchmarks to quantify how small descriptors are
+    /// compared to the media blocks they describe.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            AttrValue::Id(s) | AttrValue::Str(s) | AttrValue::Ref(s) => s.len(),
+            AttrValue::Number(_) | AttrValue::Real(_) => 8,
+            AttrValue::List(v) => v.iter().map(AttrValue::approx_size).sum::<usize>() + 8,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Id(s) => f.write_str(s),
+            AttrValue::Number(n) => write!(f, "{n}"),
+            AttrValue::Real(x) => write!(f, "{x}"),
+            AttrValue::Str(s) => write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            AttrValue::Ref(s) => write!(f, "&{s}"),
+            AttrValue::List(v) => {
+                f.write_str("(")?;
+                for (i, item) in v.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(n: i64) -> Self {
+        AttrValue::Number(n)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(x: f64) -> Self {
+        AttrValue::Real(x)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_rejects_whitespace_and_empty() {
+        assert!(AttrValue::id("audio-1").is_some());
+        assert!(AttrValue::id("has space").is_none());
+        assert!(AttrValue::id("").is_none());
+        assert!(AttrValue::id("tab\tbed").is_none());
+    }
+
+    #[test]
+    fn accessors_return_expected_shapes() {
+        assert_eq!(AttrValue::id("x").unwrap().as_id(), Some("x"));
+        assert_eq!(AttrValue::string("hello world").as_text(), Some("hello world"));
+        assert_eq!(AttrValue::id("x").unwrap().as_text(), Some("x"));
+        assert_eq!(AttrValue::number(5).as_number(), Some(5));
+        assert_eq!(AttrValue::real(2.0).as_number(), Some(2));
+        assert_eq!(AttrValue::real(2.5).as_number(), None);
+        assert_eq!(AttrValue::number(5).as_real(), Some(5.0));
+        assert_eq!(AttrValue::Ref("other".into()).as_ref_name(), Some("other"));
+        assert!(AttrValue::number(5).as_text().is_none());
+    }
+
+    #[test]
+    fn list_roundtrip() {
+        let l = AttrValue::list([AttrValue::number(1), AttrValue::string("two")]);
+        assert_eq!(l.as_list().unwrap().len(), 2);
+        assert!(AttrValue::number(1).as_list().is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AttrValue::id("vid").unwrap().to_string(), "vid");
+        assert_eq!(AttrValue::number(-3).to_string(), "-3");
+        assert_eq!(AttrValue::string("a \"b\"").to_string(), "\"a \\\"b\\\"\"");
+        assert_eq!(AttrValue::Ref("n".into()).to_string(), "&n");
+        assert_eq!(
+            AttrValue::list([AttrValue::number(1), AttrValue::number(2)]).to_string(),
+            "(1 2)"
+        );
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(AttrValue::id("a").unwrap().kind(), "id");
+        assert_eq!(AttrValue::number(1).kind(), "number");
+        assert_eq!(AttrValue::real(1.5).kind(), "real");
+        assert_eq!(AttrValue::string("s").kind(), "string");
+        assert_eq!(AttrValue::Ref("r".into()).kind(), "ref");
+        assert_eq!(AttrValue::list([]).kind(), "list");
+    }
+
+    #[test]
+    fn approx_size_counts_nested_content() {
+        let v = AttrValue::list([AttrValue::string("abcd"), AttrValue::number(1)]);
+        assert_eq!(v.approx_size(), 4 + 8 + 8);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(AttrValue::from(7i64), AttrValue::Number(7));
+        assert_eq!(AttrValue::from("x"), AttrValue::Str("x".into()));
+        assert_eq!(AttrValue::from(String::from("y")), AttrValue::Str("y".into()));
+        assert_eq!(AttrValue::from(1.5f64), AttrValue::Real(1.5));
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for the distributed store.
+
+use std::fmt;
+
+use cmif_core::error::CoreError;
+use cmif_media::MediaError;
+
+/// Result alias used throughout `cmif-distrib`.
+pub type Result<T> = std::result::Result<T, DistribError>;
+
+/// Errors raised by the simulated distributed store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistribError {
+    /// The named host is not part of the cluster.
+    UnknownHost {
+        /// The unknown host name.
+        host: String,
+    },
+    /// Two hosts have no (direct or default) link between them.
+    Unreachable {
+        /// The sending host.
+        from: String,
+        /// The receiving host.
+        to: String,
+    },
+    /// A host does not hold the named document.
+    UnknownDocument {
+        /// The host queried.
+        host: String,
+        /// The missing document name.
+        name: String,
+    },
+    /// A media-store error on one of the hosts.
+    Media(MediaError),
+    /// A document-model error.
+    Core(CoreError),
+    /// A document failed to parse after transport.
+    Format(String),
+}
+
+impl fmt::Display for DistribError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistribError::UnknownHost { host } => write!(f, "host `{host}` is not in the cluster"),
+            DistribError::Unreachable { from, to } => {
+                write!(f, "hosts `{from}` and `{to}` are not connected")
+            }
+            DistribError::UnknownDocument { host, name } => {
+                write!(f, "host `{host}` does not hold document `{name}`")
+            }
+            DistribError::Media(e) => write!(f, "media store error: {e}"),
+            DistribError::Core(e) => write!(f, "document error: {e}"),
+            DistribError::Format(e) => write!(f, "interchange format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistribError {}
+
+impl From<MediaError> for DistribError {
+    fn from(e: MediaError) -> Self {
+        DistribError::Media(e)
+    }
+}
+
+impl From<CoreError> for DistribError {
+    fn from(e: CoreError) -> Self {
+        DistribError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_hosts_and_documents() {
+        let err = DistribError::UnknownHost { host: "vax".into() };
+        assert!(err.to_string().contains("vax"));
+        let err = DistribError::UnknownDocument { host: "a".into(), name: "news".into() };
+        assert!(err.to_string().contains("news"));
+        let err = DistribError::Unreachable { from: "a".into(), to: "b".into() };
+        assert!(err.to_string().contains("not connected"));
+    }
+
+    #[test]
+    fn wraps_media_and_core_errors() {
+        let err: DistribError = MediaError::UnknownBlock { key: "x".into() }.into();
+        assert!(matches!(err, DistribError::Media(_)));
+        let err: DistribError = CoreError::EmptyDocument.into();
+        assert!(matches!(err, DistribError::Core(_)));
+    }
+}

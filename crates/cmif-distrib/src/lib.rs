@@ -1,0 +1,35 @@
+//! # cmif-distrib — the simulated distributed document and media store
+//!
+//! The paper's research-directions section (§6) plans a distributed
+//! multimedia system on top of the Amoeba distributed OS and a distributed
+//! DBMS: documents shared freely between hosts, media fetched on demand.
+//! This crate simulates that environment so the transportability claims can
+//! be measured without a 1991 machine room:
+//!
+//! * [`network`] — a latency/bandwidth cost model over a set of hosts;
+//! * [`store`] — per-host document and block stores with traffic
+//!   accounting; documents travel as interchange text, blocks move only
+//!   when fetched;
+//! * [`transport`] — the structure-only vs structure-plus-data comparison
+//!   (the `ext_distrib` benchmark).
+//!
+//! ```
+//! use cmif_distrib::network::{Link, Network};
+//! use cmif_distrib::store::DistributedStore;
+//!
+//! let cluster = DistributedStore::new(Network::uniform(&["cwi", "home"], Link::wan()));
+//! assert!(cluster.documents_on("home").unwrap().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod network;
+pub mod store;
+pub mod transport;
+
+pub use error::{DistribError, Result};
+pub use network::{HostId, Link, Network};
+pub use store::{DistributedStore, TrafficStats};
+pub use transport::{compare_transport, referenced_keys, TransportComparison, TransportCost};

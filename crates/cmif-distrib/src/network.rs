@@ -1,0 +1,165 @@
+//! The simulated network between document/media hosts.
+//!
+//! The paper's research-directions section (§6) argues that "the use of both
+//! distributed databases and distributed operating systems support is vital
+//! to the efficient implementation of multimedia systems" and names the
+//! Amoeba distributed OS as the intended base. There is no Amoeba cluster
+//! here, so the network is a cost model: per-pair latency plus
+//! bandwidth-proportional transfer time, accumulated in *simulated*
+//! milliseconds. The model is deliberately simple — what matters for the §6
+//! claim is the relative cost of moving a few kilobytes of document
+//! structure versus megabytes of media data.
+
+use std::collections::BTreeMap;
+
+/// Identifier of a host in the simulated cluster.
+pub type HostId = String;
+
+/// A point-to-point link description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// One-way latency in simulated milliseconds.
+    pub latency_ms: u64,
+    /// Throughput in bytes per simulated second.
+    pub bandwidth_bps: u64,
+}
+
+impl Link {
+    /// A campus LAN of the early 1990s: 10 Mbit/s Ethernet, 2 ms latency.
+    pub fn lan() -> Link {
+        Link { latency_ms: 2, bandwidth_bps: 1_250_000 }
+    }
+
+    /// A wide-area link: 512 kbit/s, 80 ms latency.
+    pub fn wan() -> Link {
+        Link { latency_ms: 80, bandwidth_bps: 64_000 }
+    }
+
+    /// Time to move `bytes` over this link, in simulated milliseconds.
+    pub fn transfer_ms(&self, bytes: u64) -> u64 {
+        if self.bandwidth_bps == 0 {
+            return u64::MAX;
+        }
+        self.latency_ms + (bytes.saturating_mul(1000)) / self.bandwidth_bps
+    }
+}
+
+/// The cluster topology: hosts and the links between them.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    default_link: Option<Link>,
+    links: BTreeMap<(HostId, HostId), Link>,
+    hosts: Vec<HostId>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Creates a network where every pair of hosts is connected by the same
+    /// link.
+    pub fn uniform(hosts: &[&str], link: Link) -> Network {
+        Network {
+            default_link: Some(link),
+            links: BTreeMap::new(),
+            hosts: hosts.iter().map(|h| h.to_string()).collect(),
+        }
+    }
+
+    /// Adds a host.
+    pub fn add_host(&mut self, host: impl Into<String>) {
+        let host = host.into();
+        if !self.hosts.contains(&host) {
+            self.hosts.push(host);
+        }
+    }
+
+    /// The hosts known to the network.
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+
+    /// True when the host is part of the network.
+    pub fn contains(&self, host: &str) -> bool {
+        self.hosts.iter().any(|h| h == host)
+    }
+
+    /// Sets the link between a specific pair of hosts (in both directions).
+    pub fn connect(&mut self, a: impl Into<String>, b: impl Into<String>, link: Link) {
+        let a = a.into();
+        let b = b.into();
+        self.add_host(a.clone());
+        self.add_host(b.clone());
+        self.links.insert((a.clone(), b.clone()), link);
+        self.links.insert((b, a), link);
+    }
+
+    /// The link between two hosts, if any (specific link, then default;
+    /// transfers within one host are free).
+    pub fn link(&self, from: &str, to: &str) -> Option<Link> {
+        if from == to {
+            return Some(Link { latency_ms: 0, bandwidth_bps: u64::MAX });
+        }
+        self.links
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .or(self.default_link)
+    }
+
+    /// Cost in simulated milliseconds of moving `bytes` from one host to
+    /// another, or `None` when the hosts are not connected.
+    pub fn transfer_ms(&self, from: &str, to: &str, bytes: u64) -> Option<u64> {
+        self.link(from, to).map(|link| link.transfer_ms(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_transfer_time_includes_latency_and_bandwidth() {
+        let lan = Link::lan();
+        assert_eq!(lan.transfer_ms(0), 2);
+        assert_eq!(lan.transfer_ms(1_250_000), 1_002);
+        let wan = Link::wan();
+        assert!(wan.transfer_ms(64_000) > 1_000);
+        let dead = Link { latency_ms: 1, bandwidth_bps: 0 };
+        assert_eq!(dead.transfer_ms(10), u64::MAX);
+    }
+
+    #[test]
+    fn uniform_network_connects_every_pair() {
+        let network = Network::uniform(&["cwi-a", "cwi-b", "cwi-c"], Link::lan());
+        assert_eq!(network.hosts().len(), 3);
+        assert!(network.contains("cwi-b"));
+        assert!(network.transfer_ms("cwi-a", "cwi-c", 1_000).is_some());
+    }
+
+    #[test]
+    fn local_transfers_are_free() {
+        let network = Network::uniform(&["host"], Link::wan());
+        assert_eq!(network.transfer_ms("host", "host", 1_000_000_000), Some(0));
+    }
+
+    #[test]
+    fn specific_links_override_the_default() {
+        let mut network = Network::uniform(&["a", "b"], Link::lan());
+        network.connect("a", "c", Link::wan());
+        assert_eq!(network.link("a", "b").unwrap(), Link::lan());
+        assert_eq!(network.link("a", "c").unwrap(), Link::wan());
+        assert_eq!(network.link("c", "a").unwrap(), Link::wan());
+        assert_eq!(network.hosts().len(), 3);
+    }
+
+    #[test]
+    fn unconnected_hosts_without_default_have_no_link() {
+        let mut network = Network::new();
+        network.add_host("x");
+        network.add_host("y");
+        assert!(network.link("x", "y").is_none());
+        assert!(network.transfer_ms("x", "y", 1).is_none());
+    }
+}

@@ -1,0 +1,430 @@
+//! The distributed document and media store.
+//!
+//! Each host of the simulated cluster holds a set of CMIF documents (as
+//! interchange text) and a local [`BlockStore`] of media blocks. Documents
+//! are small and travel freely; media blocks are large and travel only when
+//! something actually needs the bytes. That asymmetry is the paper's §6
+//! point: "the value of document sharing and multiple access to information
+//! is vital", and it is the *description* that is shared, not the data.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use parking_lot::RwLock;
+
+use cmif_core::descriptor::DataDescriptor;
+use cmif_core::tree::Document;
+use cmif_format::{parse_document, write_document};
+use cmif_media::store::BlockStore;
+use cmif_media::{MediaBlock, MediaError};
+
+use crate::error::{DistribError, Result};
+use crate::network::{HostId, Network};
+
+/// One host's storage.
+#[derive(Debug, Default)]
+struct HostStore {
+    /// Documents held by this host, as interchange text keyed by name.
+    documents: BTreeMap<String, String>,
+    /// Media blocks held by this host.
+    blocks: BlockStore,
+}
+
+/// Running totals of simulated traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrafficStats {
+    /// Bytes of document structure moved between hosts.
+    pub structure_bytes: u64,
+    /// Bytes of media payload moved between hosts.
+    pub media_bytes: u64,
+    /// Simulated milliseconds spent on transfers.
+    pub simulated_ms: u64,
+    /// Number of transfers performed.
+    pub transfers: u64,
+}
+
+/// The distributed store: a cluster of hosts plus traffic accounting.
+#[derive(Debug)]
+pub struct DistributedStore {
+    network: Network,
+    hosts: RwLock<BTreeMap<HostId, HostStore>>,
+    traffic: RwLock<TrafficStats>,
+}
+
+impl DistributedStore {
+    /// Creates a store over the given network, with one (empty) host store
+    /// per network host.
+    pub fn new(network: Network) -> DistributedStore {
+        let mut hosts = BTreeMap::new();
+        for host in network.hosts() {
+            hosts.insert(host.clone(), HostStore::default());
+        }
+        DistributedStore { network, hosts: RwLock::new(hosts), traffic: RwLock::new(TrafficStats::default()) }
+    }
+
+    fn require_host(&self, host: &str) -> Result<()> {
+        if self.network.contains(host) {
+            Ok(())
+        } else {
+            Err(DistribError::UnknownHost { host: host.to_string() })
+        }
+    }
+
+    fn charge(&self, from: &str, to: &str, bytes: u64, is_structure: bool) -> Result<u64> {
+        let cost = self
+            .network
+            .transfer_ms(from, to, bytes)
+            .ok_or_else(|| DistribError::Unreachable { from: from.to_string(), to: to.to_string() })?;
+        let mut traffic = self.traffic.write();
+        traffic.simulated_ms += cost;
+        traffic.transfers += 1;
+        if is_structure {
+            traffic.structure_bytes += bytes;
+        } else {
+            traffic.media_bytes += bytes;
+        }
+        Ok(cost)
+    }
+
+    /// Traffic accumulated so far.
+    pub fn traffic(&self) -> TrafficStats {
+        *self.traffic.read()
+    }
+
+    /// Resets the traffic counters (between benchmark phases).
+    pub fn reset_traffic(&self) {
+        *self.traffic.write() = TrafficStats::default();
+    }
+
+    // ------------------------------------------------------------------
+    // Media blocks
+    // ------------------------------------------------------------------
+
+    /// Stores a media block on a host.
+    pub fn put_block(&self, host: &str, block: MediaBlock, descriptor: DataDescriptor) -> Result<()> {
+        self.require_host(host)?;
+        let hosts = self.hosts.read();
+        let store = hosts.get(host).expect("host checked above");
+        store
+            .blocks
+            .put_with_descriptor(block, descriptor)
+            .map_err(DistribError::Media)
+    }
+
+    /// The keys of the blocks a host holds locally.
+    pub fn local_blocks(&self, host: &str) -> Result<Vec<String>> {
+        self.require_host(host)?;
+        Ok(self.hosts.read().get(host).expect("checked").blocks.keys())
+    }
+
+    /// Finds which host holds a block.
+    pub fn locate_block(&self, key: &str) -> Option<HostId> {
+        let hosts = self.hosts.read();
+        hosts
+            .iter()
+            .find(|(_, store)| store.blocks.keys().iter().any(|k| k == key))
+            .map(|(host, _)| host.clone())
+    }
+
+    /// Fetches a block's descriptor to `to`, from whichever host holds it.
+    /// Only descriptor bytes move.
+    pub fn fetch_descriptor(&self, to: &str, key: &str) -> Result<DataDescriptor> {
+        self.require_host(to)?;
+        let from = self
+            .locate_block(key)
+            .ok_or_else(|| DistribError::Media(MediaError::UnknownBlock { key: key.to_string() }))?;
+        let descriptor = {
+            let hosts = self.hosts.read();
+            hosts
+                .get(&from)
+                .expect("located host exists")
+                .blocks
+                .descriptor(key)
+                .map_err(DistribError::Media)?
+        };
+        self.charge(&from, to, descriptor.approx_descriptor_size() as u64, true)?;
+        Ok(descriptor)
+    }
+
+    /// Fetches a block's payload to `to`, copying it into `to`'s local store
+    /// (so later fetches are free) and charging the media transfer.
+    pub fn fetch_block(&self, to: &str, key: &str) -> Result<u64> {
+        self.require_host(to)?;
+        {
+            // Already local?
+            let hosts = self.hosts.read();
+            if hosts.get(to).expect("checked").blocks.keys().iter().any(|k| k == key) {
+                return Ok(0);
+            }
+        }
+        let from = self
+            .locate_block(key)
+            .ok_or_else(|| DistribError::Media(MediaError::UnknownBlock { key: key.to_string() }))?;
+        let (payload, descriptor) = {
+            let hosts = self.hosts.read();
+            let source = hosts.get(&from).expect("located host exists");
+            (
+                source.blocks.payload(key).map_err(DistribError::Media)?,
+                source.blocks.descriptor(key).map_err(DistribError::Media)?,
+            )
+        };
+        let bytes = payload.size_bytes();
+        let cost = self.charge(&from, to, bytes, false)?;
+        let hosts = self.hosts.read();
+        hosts
+            .get(to)
+            .expect("checked")
+            .blocks
+            .put_with_descriptor(MediaBlock::new(key, payload), descriptor)
+            .map_err(DistribError::Media)?;
+        Ok(cost)
+    }
+
+    // ------------------------------------------------------------------
+    // Documents
+    // ------------------------------------------------------------------
+
+    /// Publishes a document on a host under a name. Only the structure (the
+    /// interchange text) is stored; media blocks stay wherever they are.
+    pub fn publish_document(&self, host: &str, name: &str, doc: &Document) -> Result<usize> {
+        self.require_host(host)?;
+        let text = write_document(doc).map_err(DistribError::Core)?;
+        let size = text.len();
+        let mut hosts = self.hosts.write();
+        hosts
+            .get_mut(host)
+            .expect("checked")
+            .documents
+            .insert(name.to_string(), text);
+        Ok(size)
+    }
+
+    /// The documents a host holds.
+    pub fn documents_on(&self, host: &str) -> Result<Vec<String>> {
+        self.require_host(host)?;
+        Ok(self
+            .hosts
+            .read()
+            .get(host)
+            .expect("checked")
+            .documents
+            .keys()
+            .cloned()
+            .collect())
+    }
+
+    /// Transports a document's structure from one host to another, charging
+    /// only the structure bytes. Returns the parsed document at the
+    /// destination.
+    pub fn transport_document(&self, from: &str, to: &str, name: &str) -> Result<Document> {
+        self.require_host(from)?;
+        self.require_host(to)?;
+        let text = {
+            let hosts = self.hosts.read();
+            hosts
+                .get(from)
+                .expect("checked")
+                .documents
+                .get(name)
+                .cloned()
+                .ok_or_else(|| DistribError::UnknownDocument {
+                    host: from.to_string(),
+                    name: name.to_string(),
+                })?
+        };
+        self.charge(from, to, text.len() as u64, true)?;
+        {
+            let mut hosts = self.hosts.write();
+            hosts
+                .get_mut(to)
+                .expect("checked")
+                .documents
+                .insert(name.to_string(), text.clone());
+        }
+        parse_document(&text).map_err(|e| DistribError::Format(e.to_string()))
+    }
+
+    /// Reads a document a host already holds (no traffic).
+    pub fn open_document(&self, host: &str, name: &str) -> Result<Document> {
+        self.require_host(host)?;
+        let hosts = self.hosts.read();
+        let text = hosts
+            .get(host)
+            .expect("checked")
+            .documents
+            .get(name)
+            .ok_or_else(|| DistribError::UnknownDocument {
+                host: host.to_string(),
+                name: name.to_string(),
+            })?;
+        parse_document(text).map_err(|e| DistribError::Format(e.to_string()))
+    }
+
+    /// Fetches to `host` the payloads of exactly the given descriptor keys
+    /// (e.g. only the blocks a device can present). Returns the total
+    /// simulated transfer time.
+    pub fn fetch_blocks_for(&self, host: &str, keys: &BTreeSet<String>) -> Result<u64> {
+        let mut total = 0;
+        for key in keys {
+            total += self.fetch_block(host, key)?;
+        }
+        Ok(total)
+    }
+
+    /// Access to one host's local block store (for presentation pipelines
+    /// running on that host).
+    pub fn with_local_store<R>(&self, host: &str, f: impl FnOnce(&BlockStore) -> R) -> Result<R> {
+        self.require_host(host)?;
+        let hosts = self.hosts.read();
+        Ok(f(&hosts.get(host).expect("checked").blocks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Link;
+    use cmif_core::prelude::*;
+    use cmif_media::MediaGenerator;
+
+    fn cluster() -> DistributedStore {
+        DistributedStore::new(Network::uniform(&["server", "desk", "laptop"], Link::lan()))
+    }
+
+    fn seed_media(store: &DistributedStore, host: &str) {
+        let mut generator = MediaGenerator::new(13);
+        for (key, ms) in [("speech", 4_000), ("jingle", 1_000)] {
+            let block = generator.audio(key, ms, 8_000);
+            let descriptor = block.describe();
+            store.put_block(host, block, descriptor).unwrap();
+        }
+        let image = generator.image("painting", 128, 128, 24);
+        let descriptor = image.describe();
+        store.put_block(host, image, descriptor).unwrap();
+    }
+
+    fn news_doc() -> Document {
+        DocumentBuilder::new("news")
+            .channel("audio", MediaKind::Audio)
+            .channel("graphic", MediaKind::Image)
+            .descriptor(
+                DataDescriptor::new("speech", MediaKind::Audio, "pcm8")
+                    .with_duration(TimeMs::from_secs(4))
+                    .with_size(32_000),
+            )
+            .descriptor(
+                DataDescriptor::new("painting", MediaKind::Image, "raster24")
+                    .with_size(128 * 128 * 3),
+            )
+            .root_par(|story| {
+                story.ext("voice", "audio", "speech");
+                story.ext_with("art", "graphic", "painting", |n| {
+                    n.duration_ms(4_000);
+                });
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unknown_hosts_are_rejected() {
+        let store = cluster();
+        assert!(matches!(
+            store.documents_on("mainframe").unwrap_err(),
+            DistribError::UnknownHost { .. }
+        ));
+    }
+
+    #[test]
+    fn blocks_are_located_and_fetched_lazily() {
+        let store = cluster();
+        seed_media(&store, "server");
+        assert_eq!(store.locate_block("speech").as_deref(), Some("server"));
+        assert!(store.locate_block("missing").is_none());
+        assert!(store.local_blocks("desk").unwrap().is_empty());
+
+        let cost = store.fetch_block("desk", "speech").unwrap();
+        assert!(cost > 0);
+        assert_eq!(store.local_blocks("desk").unwrap(), vec!["speech"]);
+        // A second fetch is free: the block is now local.
+        assert_eq!(store.fetch_block("desk", "speech").unwrap(), 0);
+        let traffic = store.traffic();
+        assert_eq!(traffic.media_bytes, 32_000);
+        assert_eq!(traffic.transfers, 1);
+    }
+
+    #[test]
+    fn descriptor_fetches_move_only_kilobytes() {
+        let store = cluster();
+        seed_media(&store, "server");
+        let descriptor = store.fetch_descriptor("laptop", "painting").unwrap();
+        assert_eq!(descriptor.medium, MediaKind::Image);
+        let traffic = store.traffic();
+        assert!(traffic.structure_bytes < 1_000);
+        assert_eq!(traffic.media_bytes, 0);
+    }
+
+    #[test]
+    fn documents_transport_without_their_media() {
+        let store = cluster();
+        seed_media(&store, "server");
+        let doc = news_doc();
+        let published = store.publish_document("server", "evening-news", &doc).unwrap();
+        assert!(published > 0);
+        store.reset_traffic();
+
+        let received = store.transport_document("server", "desk", "evening-news").unwrap();
+        assert_eq!(received.leaves().len(), 2);
+        assert!(store
+            .documents_on("desk")
+            .unwrap()
+            .contains(&"evening-news".to_string()));
+        let traffic = store.traffic();
+        assert!(traffic.structure_bytes > 0);
+        assert_eq!(traffic.media_bytes, 0, "transporting the structure must not move media");
+        // The structure is tiny compared to the media it references.
+        assert!(traffic.structure_bytes < 10_000);
+    }
+
+    #[test]
+    fn open_document_requires_prior_transport_or_publish() {
+        let store = cluster();
+        let doc = news_doc();
+        store.publish_document("server", "news", &doc).unwrap();
+        assert!(store.open_document("server", "news").is_ok());
+        assert!(matches!(
+            store.open_document("desk", "news").unwrap_err(),
+            DistribError::UnknownDocument { .. }
+        ));
+        assert!(matches!(
+            store.transport_document("server", "desk", "absent").unwrap_err(),
+            DistribError::UnknownDocument { .. }
+        ));
+    }
+
+    #[test]
+    fn selective_fetch_moves_only_requested_blocks() {
+        let store = cluster();
+        seed_media(&store, "server");
+        store.reset_traffic();
+        // An audio-only device needs only the speech, not the painting.
+        let wanted: BTreeSet<String> = ["speech".to_string()].into_iter().collect();
+        let cost = store.fetch_blocks_for("laptop", &wanted).unwrap();
+        assert!(cost > 0);
+        let traffic = store.traffic();
+        assert_eq!(traffic.media_bytes, 32_000);
+        assert_eq!(store.local_blocks("laptop").unwrap(), vec!["speech"]);
+    }
+
+    #[test]
+    fn local_store_supports_presentation_on_the_destination_host() {
+        let store = cluster();
+        seed_media(&store, "server");
+        store.fetch_block("desk", "speech").unwrap();
+        let duration = store
+            .with_local_store("desk", |local| {
+                local.descriptor("speech").unwrap().duration.unwrap().as_millis()
+            })
+            .unwrap();
+        assert_eq!(duration, 4_000);
+    }
+}

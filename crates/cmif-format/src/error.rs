@@ -1,0 +1,152 @@
+//! Error types for the CMIF interchange format.
+
+use std::fmt;
+
+use cmif_core::error::CoreError;
+
+/// Result alias used throughout `cmif-format`.
+pub type Result<T> = std::result::Result<T, FormatError>;
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(line: u32, column: u32) -> Position {
+        Position { line, column }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Errors raised while reading or writing the interchange format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormatError {
+    /// An unexpected character was found while tokenizing.
+    UnexpectedChar {
+        /// The offending character.
+        found: char,
+        /// Where it was found.
+        at: Position,
+    },
+    /// A string literal was not terminated before the end of input.
+    UnterminatedString {
+        /// Where the string started.
+        at: Position,
+    },
+    /// A numeric literal could not be parsed.
+    BadNumber {
+        /// The literal text.
+        text: String,
+        /// Where it was found.
+        at: Position,
+    },
+    /// A closing parenthesis had no matching opening parenthesis, or the
+    /// input ended with unclosed lists.
+    UnbalancedParens {
+        /// Where the imbalance was detected.
+        at: Position,
+    },
+    /// The input ended before a complete expression was read.
+    UnexpectedEof,
+    /// Extra content was found after the top-level document expression.
+    TrailingContent {
+        /// Where the extra content begins.
+        at: Position,
+    },
+    /// An expression did not have the shape the parser expected.
+    Malformed {
+        /// What the parser was parsing.
+        context: &'static str,
+        /// Description of what went wrong.
+        message: String,
+        /// Where the offending expression begins.
+        at: Position,
+    },
+    /// The document violated a core structural rule while being assembled.
+    Core(CoreError),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::UnexpectedChar { found, at } => {
+                write!(f, "{at}: unexpected character `{found}`")
+            }
+            FormatError::UnterminatedString { at } => {
+                write!(f, "{at}: unterminated string literal")
+            }
+            FormatError::BadNumber { text, at } => {
+                write!(f, "{at}: malformed number `{text}`")
+            }
+            FormatError::UnbalancedParens { at } => {
+                write!(f, "{at}: unbalanced parentheses")
+            }
+            FormatError::UnexpectedEof => write!(f, "unexpected end of input"),
+            FormatError::TrailingContent { at } => {
+                write!(f, "{at}: trailing content after the document expression")
+            }
+            FormatError::Malformed { context, message, at } => {
+                write!(f, "{at}: malformed {context}: {message}")
+            }
+            FormatError::Core(e) => write!(f, "document error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for FormatError {
+    fn from(e: CoreError) -> Self {
+        FormatError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_display() {
+        assert_eq!(Position::new(3, 14).to_string(), "3:14");
+    }
+
+    #[test]
+    fn error_display_includes_position() {
+        let err = FormatError::UnexpectedChar { found: '%', at: Position::new(2, 7) };
+        assert!(err.to_string().contains("2:7"));
+        assert!(err.to_string().contains('%'));
+    }
+
+    #[test]
+    fn core_errors_are_wrapped() {
+        let err: FormatError = CoreError::EmptyDocument.into();
+        assert!(matches!(err, FormatError::Core(_)));
+        assert!(err.to_string().contains("document error"));
+    }
+
+    #[test]
+    fn source_is_exposed_for_core_errors() {
+        use std::error::Error;
+        let err: FormatError = CoreError::EmptyDocument.into();
+        assert!(err.source().is_some());
+        assert!(FormatError::UnexpectedEof.source().is_none());
+    }
+}

@@ -1,0 +1,291 @@
+//! Tokenizer for the human-readable CMIF interchange format.
+//!
+//! The surface syntax is a small s-expression language: parenthesized
+//! lists of identifiers, numbers, quoted strings and `&name` attribute
+//! references, with `;` line comments. The paper stresses that CMIF
+//! documents are "human-readable" (§5, §6); a parenthesized syntax keeps
+//! the reader and writer small while remaining easy to inspect and diff.
+
+use crate::error::{FormatError, Position, Result};
+
+/// One lexical token, together with the position where it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts in the source text.
+    pub position: Position,
+}
+
+/// The kinds of token the format uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// A bare identifier (no whitespace, quotes or parentheses).
+    Ident(String),
+    /// An integral number.
+    Number(i64),
+    /// A real number.
+    Real(f64),
+    /// A quoted string with escape sequences resolved.
+    Str(String),
+    /// An `&name` reference to another attribute.
+    Ref(String),
+}
+
+/// Tokenizes an entire source text.
+pub fn tokenize(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Lexer<'a> {
+        Lexer { chars: source.chars().peekable(), line: 1, column: 1 }
+    }
+
+    fn position(&self) -> Position {
+        Position::new(self.line, self.column)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            // Skip whitespace and comments.
+            match self.chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                    continue;
+                }
+                Some(';') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                None => break,
+                _ => {}
+            }
+
+            let position = self.position();
+            let c = *self.chars.peek().expect("peeked above");
+            match c {
+                '(' => {
+                    self.bump();
+                    tokens.push(Token { kind: TokenKind::LParen, position });
+                }
+                ')' => {
+                    self.bump();
+                    tokens.push(Token { kind: TokenKind::RParen, position });
+                }
+                '"' => {
+                    self.bump();
+                    let text = self.read_string(position)?;
+                    tokens.push(Token { kind: TokenKind::Str(text), position });
+                }
+                '&' => {
+                    self.bump();
+                    let name = self.read_bareword();
+                    if name.is_empty() {
+                        return Err(FormatError::UnexpectedChar { found: '&', at: position });
+                    }
+                    tokens.push(Token { kind: TokenKind::Ref(name), position });
+                }
+                c if c == '-' || c.is_ascii_digit() => {
+                    let word = self.read_bareword();
+                    tokens.push(Token { kind: Self::classify_number_or_ident(word, position)?, position });
+                }
+                c if is_ident_char(c) => {
+                    let word = self.read_bareword();
+                    tokens.push(Token { kind: TokenKind::Ident(word), position });
+                }
+                other => {
+                    return Err(FormatError::UnexpectedChar { found: other, at: position });
+                }
+            }
+        }
+        Ok(tokens)
+    }
+
+    fn classify_number_or_ident(word: String, position: Position) -> Result<TokenKind> {
+        // A lone `-` or a word that merely starts with a digit but contains
+        // identifier characters (e.g. `3d-graph`) is an identifier.
+        if word == "-" {
+            return Ok(TokenKind::Ident(word));
+        }
+        if let Ok(n) = word.parse::<i64>() {
+            return Ok(TokenKind::Number(n));
+        }
+        if let Ok(x) = word.parse::<f64>() {
+            return Ok(TokenKind::Real(x));
+        }
+        // Words like `-abc` or `12x` fall back to identifiers unless they
+        // look overwhelmingly numeric, in which case report a bad number.
+        if word.chars().all(|c| c.is_ascii_digit() || c == '.' || c == '-' || c == '+') {
+            return Err(FormatError::BadNumber { text: word, at: position });
+        }
+        Ok(TokenKind::Ident(word))
+    }
+
+    fn read_bareword(&mut self) -> String {
+        let mut word = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if is_ident_char(c) {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        word
+    }
+
+    fn read_string(&mut self, start: Position) -> Result<String> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some(c) => out.push(c),
+                    None => return Err(FormatError::UnterminatedString { at: start }),
+                },
+                Some(c) => out.push(c),
+                None => return Err(FormatError::UnterminatedString { at: start }),
+            }
+        }
+    }
+}
+
+/// Characters permitted inside bare identifiers and numbers.
+fn is_ident_char(c: char) -> bool {
+    !(c.is_whitespace() || c == '(' || c == ')' || c == '"' || c == ';' || c == '&')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_parens_and_idents() {
+        assert_eq!(
+            kinds("(seq news)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("seq".into()),
+                TokenKind::Ident("news".into()),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_numbers_reals_and_negatives() {
+        assert_eq!(
+            kinds("42 -17 3.5 -0.25"),
+            vec![
+                TokenKind::Number(42),
+                TokenKind::Number(-17),
+                TokenKind::Real(3.5),
+                TokenKind::Real(-0.25),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hello world" "line\nbreak" "quote \" inside""#),
+            vec![
+                TokenKind::Str("hello world".into()),
+                TokenKind::Str("line\nbreak".into()),
+                TokenKind::Str("quote \" inside".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_refs() {
+        assert_eq!(kinds("&other"), vec![TokenKind::Ref("other".into())]);
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let toks = kinds("; header comment\n(a ; trailing\n b)\n");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_positions() {
+        let toks = tokenize("(a\n  b)").unwrap();
+        assert_eq!(toks[0].position, Position::new(1, 1));
+        assert_eq!(toks[2].position, Position::new(2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(matches!(
+            tokenize("\"abc").unwrap_err(),
+            FormatError::UnterminatedString { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        assert!(matches!(tokenize("1.2.3").unwrap_err(), FormatError::BadNumber { .. }));
+    }
+
+    #[test]
+    fn dangling_ref_is_an_error() {
+        assert!(matches!(tokenize("& ").unwrap_err(), FormatError::UnexpectedChar { .. }));
+    }
+
+    #[test]
+    fn hyphenated_identifiers_are_idents() {
+        assert_eq!(kinds("story-3 talking-head"), vec![
+            TokenKind::Ident("story-3".into()),
+            TokenKind::Ident("talking-head".into()),
+        ]);
+        assert_eq!(kinds("-"), vec![TokenKind::Ident("-".into())]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize("").unwrap().is_empty());
+        assert!(tokenize("   \n ; just a comment").unwrap().is_empty());
+    }
+}

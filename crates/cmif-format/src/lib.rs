@@ -1,0 +1,49 @@
+//! # cmif-format — the human-readable CMIF interchange format
+//!
+//! The paper stresses twice (§5, §6) that the CMIF document tree "is a
+//! human-readable document that can be passed from one location to another
+//! with or without the underlying data". This crate is that textual form:
+//!
+//! * [`writer::write_document`] serializes a [`cmif_core::tree::Document`]
+//!   into a parenthesized, commented, diff-friendly text;
+//! * [`parser::parse_document`] reads it back, rebuilding the channel and
+//!   style dictionaries, the descriptor catalog, the node tree and the
+//!   synchronization arcs;
+//! * [`treeview`] renders the "conventional" and "embedded" tree views of
+//!   Figure 5 and the per-channel columns of Figures 3 and 10.
+//!
+//! The format is intentionally small: s-expressions with identifiers,
+//! numbers, strings and `&ref`s (see [`lexer`] and [`sexpr`]). Parsing a
+//! document never touches media data — exactly the transportability
+//! property the paper is after.
+//!
+//! ```
+//! use cmif_format::{parse_document, write_document};
+//!
+//! let source = r#"
+//! (cmif
+//!   (channels (channel caption text))
+//!   (seq (name demo)
+//!     (imm (name hello) (channel caption) (duration 1000)
+//!       (data "Hello, CMIF"))))
+//! "#;
+//! let doc = parse_document(source).unwrap();
+//! let text = write_document(&doc).unwrap();
+//! let again = parse_document(&text).unwrap();
+//! assert_eq!(doc.leaves().len(), again.leaves().len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod sexpr;
+pub mod treeview;
+pub mod writer;
+
+pub use error::{FormatError, Position, Result};
+pub use parser::{parse_document, parse_document_unvalidated};
+pub use treeview::{channel_view, conventional_view, embedded_view};
+pub use writer::{write_arc, write_document};

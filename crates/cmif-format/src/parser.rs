@@ -1,0 +1,613 @@
+//! Parser: reads the human-readable interchange form back into a
+//! [`Document`].
+//!
+//! The grammar accepted here is exactly what [`crate::writer`] produces,
+//! plus the usual freedoms of an s-expression syntax (whitespace, comments,
+//! section order). The parser validates delay windows and rebuilds the
+//! channel dictionary, style dictionary and descriptor catalog, but does
+//! *not* run the full structural validator — callers decide whether a
+//! freshly transported document must already be presentable
+//! ([`parse_document`] vs [`parse_document_unvalidated`]).
+
+use cmif_core::arc::{Anchor, Strictness, SyncArc};
+use cmif_core::attr::{Attr, AttrName};
+use cmif_core::channel::{ChannelDef, MediaKind};
+use cmif_core::descriptor::{DataDescriptor, ResourceNeeds};
+use cmif_core::node::{NodeId, NodeKind};
+use cmif_core::path::NodePath;
+use cmif_core::style::StyleDef;
+use cmif_core::time::{DelayMs, MaxDelay, MediaTime, MediaUnit, RateInfo, TimeMs};
+use cmif_core::tree::Document;
+use cmif_core::validate;
+use cmif_core::value::AttrValue;
+
+use crate::error::{FormatError, Result};
+use crate::sexpr::{read_one, SExpr, SExprKind};
+use crate::writer::hex_decode;
+
+/// Parses a document and runs the structural validator on the result.
+pub fn parse_document(source: &str) -> Result<Document> {
+    let doc = parse_document_unvalidated(source)?;
+    validate::validate(&doc)?;
+    Ok(doc)
+}
+
+/// Parses a document without running the structural validator.
+///
+/// Useful for tools that operate on partial documents (e.g. a constraint
+/// filter inspecting a document whose media channels the local device cannot
+/// support).
+pub fn parse_document_unvalidated(source: &str) -> Result<Document> {
+    let expr = read_one(source)?;
+    let (tag, body) = expr
+        .as_tagged()
+        .ok_or_else(|| expr.malformed("document", "expected a (cmif ...) expression"))?;
+    if tag != "cmif" {
+        return Err(expr.malformed("document", format!("expected tag `cmif`, found `{tag}`")));
+    }
+
+    let mut doc = Document::new();
+    let mut root_expr = None;
+    for section in body {
+        let (section_tag, items) = section
+            .as_tagged()
+            .ok_or_else(|| section.malformed("section", "expected a tagged list"))?;
+        match section_tag {
+            "meta" => parse_meta(&mut doc, items)?,
+            "channels" => parse_channels(&mut doc, items)?,
+            "styles" => parse_styles(&mut doc, items)?,
+            "descriptors" => parse_descriptors(&mut doc, items)?,
+            "seq" | "par" | "ext" | "imm" => {
+                if root_expr.is_some() {
+                    return Err(section.malformed("document", "multiple root nodes"));
+                }
+                root_expr = Some(section);
+            }
+            other => {
+                return Err(section.malformed("section", format!("unknown section `{other}`")))
+            }
+        }
+    }
+
+    let root_expr = root_expr.ok_or(FormatError::UnexpectedEof)?;
+    parse_node(&mut doc, None, root_expr)?;
+    Ok(doc)
+}
+
+fn parse_meta(doc: &mut Document, items: &[SExpr]) -> Result<()> {
+    for item in items {
+        let list = item
+            .as_list()
+            .ok_or_else(|| item.malformed("meta entry", "expected a (key value) pair"))?;
+        if list.len() != 2 {
+            return Err(item.malformed("meta entry", "expected exactly a key and a value"));
+        }
+        let key = list[0]
+            .as_text()
+            .ok_or_else(|| item.malformed("meta entry", "key must be an identifier"))?;
+        doc.meta.insert(key.to_string(), expr_to_value(&list[1]));
+    }
+    Ok(())
+}
+
+fn parse_channels(doc: &mut Document, items: &[SExpr]) -> Result<()> {
+    for item in items {
+        let (tag, body) = item
+            .as_tagged()
+            .ok_or_else(|| item.malformed("channel", "expected (channel name medium ...)"))?;
+        if tag != "channel" || body.len() < 2 {
+            return Err(item.malformed("channel", "expected (channel name medium ...)"));
+        }
+        let name = body[0]
+            .as_text()
+            .ok_or_else(|| item.malformed("channel", "channel name must be text"))?;
+        let medium_text = body[1]
+            .as_text()
+            .ok_or_else(|| item.malformed("channel", "channel medium must be an identifier"))?;
+        let medium = MediaKind::parse(medium_text)
+            .ok_or_else(|| item.malformed("channel", format!("unknown medium `{medium_text}`")))?;
+        let mut def = ChannelDef::new(name, medium);
+        for extra in &body[2..] {
+            let pair = extra
+                .as_list()
+                .ok_or_else(|| extra.malformed("channel", "extras must be (key value) pairs"))?;
+            if pair.len() != 2 {
+                return Err(extra.malformed("channel", "extras must be (key value) pairs"));
+            }
+            let key = pair[0]
+                .as_text()
+                .ok_or_else(|| extra.malformed("channel", "extra key must be an identifier"))?;
+            def = def.with_extra(key, expr_to_value(&pair[1]));
+        }
+        doc.channels.define(def)?;
+    }
+    Ok(())
+}
+
+fn parse_styles(doc: &mut Document, items: &[SExpr]) -> Result<()> {
+    for item in items {
+        let (tag, body) = item
+            .as_tagged()
+            .ok_or_else(|| item.malformed("style", "expected (style name ...)"))?;
+        if tag != "style" || body.is_empty() {
+            return Err(item.malformed("style", "expected (style name ...)"));
+        }
+        let name = body[0]
+            .as_text()
+            .ok_or_else(|| item.malformed("style", "style name must be text"))?;
+        let mut def = StyleDef::new(name);
+        for part in &body[1..] {
+            let (part_tag, part_body) = part
+                .as_tagged()
+                .ok_or_else(|| part.malformed("style", "expected (parents ...) or (attrs ...)"))?;
+            match part_tag {
+                "parents" => {
+                    for parent in part_body {
+                        let parent_name = parent.as_text().ok_or_else(|| {
+                            parent.malformed("style", "parent names must be identifiers")
+                        })?;
+                        def = def.with_parent(parent_name);
+                    }
+                }
+                "attrs" => {
+                    for attr_expr in part_body {
+                        let pair = attr_expr.as_list().ok_or_else(|| {
+                            attr_expr.malformed("style", "attrs must be (name value) pairs")
+                        })?;
+                        if pair.is_empty() {
+                            return Err(attr_expr
+                                .malformed("style", "attrs must be (name value) pairs"));
+                        }
+                        let attr_name = pair[0].as_text().ok_or_else(|| {
+                            attr_expr.malformed("style", "attribute name must be an identifier")
+                        })?;
+                        let value = tail_to_value(&pair[1..]);
+                        def = def.with_attr(Attr::new(AttrName::parse(attr_name), value));
+                    }
+                }
+                other => {
+                    return Err(part.malformed("style", format!("unknown style part `{other}`")))
+                }
+            }
+        }
+        doc.styles.define(def)?;
+    }
+    Ok(())
+}
+
+fn parse_descriptors(doc: &mut Document, items: &[SExpr]) -> Result<()> {
+    for item in items {
+        let (tag, body) = item.as_tagged().ok_or_else(|| {
+            item.malformed("descriptor", "expected (descriptor key medium format ...)")
+        })?;
+        if tag != "descriptor" || body.len() < 3 {
+            return Err(
+                item.malformed("descriptor", "expected (descriptor key medium format ...)")
+            );
+        }
+        let key = body[0]
+            .as_text()
+            .ok_or_else(|| item.malformed("descriptor", "descriptor key must be text"))?;
+        let medium_text = body[1]
+            .as_text()
+            .ok_or_else(|| item.malformed("descriptor", "medium must be an identifier"))?;
+        let medium = MediaKind::parse(medium_text).ok_or_else(|| {
+            item.malformed("descriptor", format!("unknown medium `{medium_text}`"))
+        })?;
+        let format = body[2]
+            .as_text()
+            .ok_or_else(|| item.malformed("descriptor", "format must be text"))?;
+        let mut descriptor = DataDescriptor::new(key, medium, format);
+        let mut rates = RateInfo::NONE;
+        let mut resources = ResourceNeeds::default();
+        for field in &body[3..] {
+            let (field_tag, field_body) = field
+                .as_tagged()
+                .ok_or_else(|| field.malformed("descriptor", "fields must be tagged lists"))?;
+            match field_tag {
+                "size" => descriptor.size_bytes = number_at(field, field_body, 0)? as u64,
+                "duration" => {
+                    descriptor.duration =
+                        Some(TimeMs::from_millis(number_at(field, field_body, 0)?))
+                }
+                "resolution" => {
+                    descriptor.resolution = Some((
+                        number_at(field, field_body, 0)? as u32,
+                        number_at(field, field_body, 1)? as u32,
+                    ))
+                }
+                "color_depth" => {
+                    descriptor.color_depth = Some(number_at(field, field_body, 0)? as u8)
+                }
+                "fps" => {
+                    let value = field_body
+                        .first()
+                        .and_then(|e| match e.kind {
+                            SExprKind::Real(x) => Some(x),
+                            SExprKind::Number(n) => Some(n as f64),
+                            _ => None,
+                        })
+                        .ok_or_else(|| field.malformed("descriptor", "fps needs a number"))?;
+                    rates.frames_per_second = Some(value);
+                }
+                "sample_rate" => {
+                    rates.samples_per_second = Some(number_at(field, field_body, 0)? as u32)
+                }
+                "byte_rate" => {
+                    rates.bytes_per_second = Some(number_at(field, field_body, 0)? as u64)
+                }
+                "resources" => {
+                    resources = ResourceNeeds {
+                        bandwidth_bps: number_at(field, field_body, 0)? as u64,
+                        decode_cost: number_at(field, field_body, 1)? as u32,
+                        memory_bytes: number_at(field, field_body, 2)? as u64,
+                    }
+                }
+                "location" => {
+                    let text = field_body
+                        .first()
+                        .and_then(SExpr::as_text)
+                        .ok_or_else(|| field.malformed("descriptor", "location needs text"))?;
+                    descriptor.location = Some(text.to_string());
+                }
+                "extra" => {
+                    for pair_expr in field_body {
+                        let pair = pair_expr.as_list().ok_or_else(|| {
+                            pair_expr.malformed("descriptor", "extra must be (key value) pairs")
+                        })?;
+                        if pair.len() != 2 {
+                            return Err(pair_expr
+                                .malformed("descriptor", "extra must be (key value) pairs"));
+                        }
+                        let extra_key = pair[0].as_text().ok_or_else(|| {
+                            pair_expr.malformed("descriptor", "extra key must be an identifier")
+                        })?;
+                        descriptor.extra.insert(extra_key.to_string(), expr_to_value(&pair[1]));
+                    }
+                }
+                other => {
+                    return Err(
+                        field.malformed("descriptor", format!("unknown field `{other}`"))
+                    )
+                }
+            }
+        }
+        descriptor.rates = rates;
+        descriptor.resources = resources;
+        doc.catalog.register(descriptor)?;
+    }
+    Ok(())
+}
+
+fn parse_node(doc: &mut Document, parent: Option<NodeId>, expr: &SExpr) -> Result<NodeId> {
+    let (tag, body) = expr
+        .as_tagged()
+        .ok_or_else(|| expr.malformed("node", "expected a (seq|par|ext|imm ...) list"))?;
+
+    // Immediate nodes need their payload before the node can be allocated,
+    // so scan for it first.
+    let kind = match tag {
+        "seq" => NodeKind::Seq,
+        "par" => NodeKind::Par,
+        "ext" => NodeKind::Ext,
+        "imm" => {
+            let mut data = cmif_core::node::ImmediateData::Text(String::new());
+            for item in body {
+                if let Some((item_tag, item_body)) = item.as_tagged() {
+                    match item_tag {
+                        "data" => {
+                            let text = item_body
+                                .first()
+                                .and_then(SExpr::as_text)
+                                .ok_or_else(|| item.malformed("imm node", "data needs text"))?;
+                            data = cmif_core::node::ImmediateData::Text(text.to_string());
+                        }
+                        "bindata" => {
+                            let text = item_body.first().and_then(SExpr::as_text).ok_or_else(
+                                || item.malformed("imm node", "bindata needs a hex string"),
+                            )?;
+                            let bytes = hex_decode(text).ok_or_else(|| {
+                                item.malformed("imm node", "bindata is not valid hex")
+                            })?;
+                            data = cmif_core::node::ImmediateData::Binary(bytes);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            NodeKind::Imm(data)
+        }
+        other => return Err(expr.malformed("node", format!("unknown node kind `{other}`"))),
+    };
+
+    let id = match parent {
+        Some(parent) => doc.add_child(parent, kind)?,
+        None => doc.set_root(kind),
+    };
+
+    for item in body {
+        let (item_tag, item_body) = item
+            .as_tagged()
+            .ok_or_else(|| item.malformed("node item", "expected a tagged list"))?;
+        match item_tag {
+            "seq" | "par" | "ext" | "imm" => {
+                parse_node(doc, Some(id), item)?;
+            }
+            "data" | "bindata" => {
+                // Already handled while determining the node kind.
+            }
+            "sync_arc" => {
+                let arc = parse_arc(item, item_body)?;
+                doc.add_arc(id, arc)?;
+            }
+            attr_name => {
+                let value = tail_to_value(item_body);
+                doc.set_attr(id, AttrName::parse(attr_name), value)?;
+            }
+        }
+    }
+    Ok(id)
+}
+
+fn parse_arc(expr: &SExpr, body: &[SExpr]) -> Result<SyncArc> {
+    if body.len() != 9 {
+        return Err(expr.malformed(
+            "sync_arc",
+            "expected anchor strictness source-anchor source offset unit destination min max",
+        ));
+    }
+    let anchor_text = body[0]
+        .as_text()
+        .ok_or_else(|| expr.malformed("sync_arc", "anchor must be begin or end"))?;
+    let anchor = Anchor::parse(anchor_text)
+        .ok_or_else(|| expr.malformed("sync_arc", format!("unknown anchor `{anchor_text}`")))?;
+    let strict_text = body[1]
+        .as_text()
+        .ok_or_else(|| expr.malformed("sync_arc", "strictness must be must or may"))?;
+    let strictness = Strictness::parse(strict_text).ok_or_else(|| {
+        expr.malformed("sync_arc", format!("unknown strictness `{strict_text}`"))
+    })?;
+    let source_anchor_text = body[2]
+        .as_text()
+        .ok_or_else(|| expr.malformed("sync_arc", "source anchor must be begin or end"))?;
+    let source_anchor = Anchor::parse(source_anchor_text).ok_or_else(|| {
+        expr.malformed("sync_arc", format!("unknown anchor `{source_anchor_text}`"))
+    })?;
+    let source = body[3]
+        .as_text()
+        .ok_or_else(|| expr.malformed("sync_arc", "source must be a path"))?;
+    let offset_value = body[4]
+        .as_number()
+        .ok_or_else(|| expr.malformed("sync_arc", "offset must be a number"))?;
+    let unit_text = body[5]
+        .as_text()
+        .ok_or_else(|| expr.malformed("sync_arc", "offset unit must be an identifier"))?;
+    let unit = parse_unit(unit_text)
+        .ok_or_else(|| expr.malformed("sync_arc", format!("unknown unit `{unit_text}`")))?;
+    let destination = body[6]
+        .as_text()
+        .ok_or_else(|| expr.malformed("sync_arc", "destination must be a path"))?;
+    let min_delay = body[7]
+        .as_number()
+        .ok_or_else(|| expr.malformed("sync_arc", "min delay must be a number"))?;
+    let max_delay = match (&body[8].kind, body[8].as_number()) {
+        (SExprKind::Ident(word), _) if word == "inf" => MaxDelay::Unbounded,
+        (_, Some(ms)) => MaxDelay::Bounded(DelayMs::from_millis(ms)),
+        _ => return Err(expr.malformed("sync_arc", "max delay must be a number or `inf`")),
+    };
+    Ok(SyncArc {
+        anchor,
+        strictness,
+        source_anchor,
+        source: NodePath::parse(source),
+        offset: MediaTime { value: offset_value, unit },
+        destination: NodePath::parse(destination),
+        min_delay: DelayMs::from_millis(min_delay),
+        max_delay,
+    })
+}
+
+fn parse_unit(text: &str) -> Option<MediaUnit> {
+    match text {
+        "ms" | "milliseconds" => Some(MediaUnit::Milliseconds),
+        "s" | "seconds" => Some(MediaUnit::Seconds),
+        "frames" | "frame" => Some(MediaUnit::Frames),
+        "samples" | "sample" => Some(MediaUnit::Samples),
+        "bytes" | "byte" => Some(MediaUnit::Bytes),
+        _ => None,
+    }
+}
+
+fn number_at(expr: &SExpr, body: &[SExpr], index: usize) -> Result<i64> {
+    body.get(index)
+        .and_then(SExpr::as_number)
+        .ok_or_else(|| expr.malformed("descriptor", "expected a numeric field"))
+}
+
+/// Converts a single expression into an attribute value.
+fn expr_to_value(expr: &SExpr) -> AttrValue {
+    match &expr.kind {
+        SExprKind::Ident(s) => AttrValue::Id(s.clone()),
+        SExprKind::Number(n) => AttrValue::Number(*n),
+        SExprKind::Real(x) => AttrValue::Real(*x),
+        SExprKind::Str(s) => AttrValue::Str(s.clone()),
+        SExprKind::Ref(s) => AttrValue::Ref(s.clone()),
+        SExprKind::List(items) => AttrValue::List(items.iter().map(expr_to_value).collect()),
+    }
+}
+
+/// Converts an attribute tail (everything after the name) into a value:
+/// a single expression stays scalar, several become a list.
+fn tail_to_value(tail: &[SExpr]) -> AttrValue {
+    match tail.len() {
+        0 => AttrValue::List(Vec::new()),
+        1 => expr_to_value(&tail[0]),
+        _ => AttrValue::List(tail.iter().map(expr_to_value).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_document;
+    use cmif_core::prelude::*;
+
+    const SMALL: &str = r#"
+    ; A miniature news document.
+    (cmif
+      (meta (author "CWI") (year 1991))
+      (channels
+        (channel audio audio)
+        (channel caption text (language en)))
+      (styles
+        (style base (attrs (duration 1000)))
+        (style caption-style (parents base) (attrs (channel caption))))
+      (descriptors
+        (descriptor story-audio audio pcm8 (size 64000) (duration 8000)
+          (sample_rate 8000) (byte_rate 8000) (location "store://host/a")))
+      (seq (name news)
+        (par (name story-1)
+          (ext (name voice) (channel audio) (file "story-audio"))
+          (imm (name line) (channel caption) (duration 3000)
+            (sync_arc begin must begin "../voice" 0 ms "" 0 250)
+            (data "Gestolen van Goghs")))))
+    "#;
+
+    #[test]
+    fn parses_a_complete_document() {
+        let doc = parse_document(SMALL).unwrap();
+        assert_eq!(doc.meta["author"].as_text(), Some("CWI"));
+        assert_eq!(doc.meta["year"].as_number(), Some(1991));
+        assert_eq!(doc.channels.len(), 2);
+        assert_eq!(doc.styles.len(), 2);
+        assert_eq!(doc.catalog.len(), 1);
+        assert_eq!(doc.leaves().len(), 2);
+        let voice = doc.find("/story-1/voice").unwrap();
+        assert_eq!(doc.channel_of(voice).unwrap().as_deref(), Some("audio"));
+        let line = doc.find("/story-1/line").unwrap();
+        assert_eq!(doc.duration_of(line, &doc.catalog).unwrap(), Some(TimeMs::from_millis(3000)));
+        assert_eq!(doc.arcs().len(), 1);
+        let descriptor = doc.catalog.get("story-audio").unwrap();
+        assert_eq!(descriptor.rates.samples_per_second, Some(8000));
+    }
+
+    #[test]
+    fn immediate_text_payload_is_preserved() {
+        let doc = parse_document(SMALL).unwrap();
+        let line = doc.find("/story-1/line").unwrap();
+        match &doc.node(line).unwrap().kind {
+            NodeKind::Imm(ImmediateData::Text(text)) => {
+                assert_eq!(text, "Gestolen van Goghs");
+            }
+            other => panic!("unexpected node kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_immediate_data_round_trips() {
+        let source = r#"
+        (cmif
+          (channels (channel label label))
+          (par (name root)
+            (imm (name blob) (channel label) (duration 100)
+              (bindata "00ff10"))))
+        "#;
+        let doc = parse_document(source).unwrap();
+        let blob = doc.find("/blob").unwrap();
+        match &doc.node(blob).unwrap().kind {
+            NodeKind::Imm(ImmediateData::Binary(bytes)) => assert_eq!(bytes, &vec![0u8, 255, 16]),
+            other => panic!("unexpected node kind {other:?}"),
+        }
+        let text = write_document(&doc).unwrap();
+        let again = parse_document(&text).unwrap();
+        assert_eq!(doc.node(blob).unwrap().kind, again.node(again.find("/blob").unwrap()).unwrap().kind);
+    }
+
+    #[test]
+    fn arc_fields_are_parsed() {
+        let doc = parse_document(SMALL).unwrap();
+        let (carrier, arc) = &doc.arcs()[0];
+        assert_eq!(*carrier, doc.find("/story-1/line").unwrap());
+        assert_eq!(arc.anchor, Anchor::Begin);
+        assert_eq!(arc.strictness, Strictness::Must);
+        assert_eq!(arc.source.to_string(), "../voice");
+        assert!(arc.destination.is_current());
+        assert_eq!(arc.max_delay, MaxDelay::Bounded(DelayMs::from_millis(250)));
+    }
+
+    #[test]
+    fn rejects_wrong_top_level_tag() {
+        assert!(parse_document("(html (body))").is_err());
+        assert!(parse_document("42").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_node_kinds() {
+        assert!(parse_document("(cmif (bogus) (seq (name x)))").is_err());
+        assert!(parse_document("(cmif (loop (name x)))").is_err());
+    }
+
+    #[test]
+    fn rejects_multiple_roots() {
+        let source = "(cmif (seq (name a)) (seq (name b)))";
+        assert!(parse_document(source).is_err());
+    }
+
+    #[test]
+    fn rejects_document_without_root() {
+        assert!(matches!(
+            parse_document("(cmif (channels (channel a audio)))").unwrap_err(),
+            FormatError::UnexpectedEof
+        ));
+    }
+
+    #[test]
+    fn validated_parse_rejects_dangling_channel() {
+        let source = r#"
+        (cmif
+          (seq (name x)
+            (imm (name y) (channel ghost) (duration 10) (data "t"))))
+        "#;
+        assert!(parse_document(source).is_err());
+        assert!(parse_document_unvalidated(source).is_ok());
+    }
+
+    #[test]
+    fn malformed_arc_is_rejected() {
+        let source = r#"
+        (cmif
+          (channels (channel audio audio))
+          (seq (name x)
+            (imm (name y) (channel audio) (duration 10)
+              (sync_arc begin must "" 0 ms "" 0 0)
+              (data "t"))))
+        "#;
+        assert!(parse_document(source).is_err());
+    }
+
+    #[test]
+    fn round_trip_write_then_parse() {
+        let doc = parse_document(SMALL).unwrap();
+        let text = write_document(&doc).unwrap();
+        let again = parse_document(&text).unwrap();
+        assert_eq!(doc.channels, again.channels);
+        assert_eq!(doc.styles, again.styles);
+        assert_eq!(doc.catalog, again.catalog);
+        assert_eq!(doc.meta, again.meta);
+        assert_eq!(doc.leaves().len(), again.leaves().len());
+        assert_eq!(doc.arcs().len(), again.arcs().len());
+        // The second generation must be textually stable.
+        let text2 = write_document(&again).unwrap();
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn unit_spellings() {
+        assert_eq!(parse_unit("ms"), Some(MediaUnit::Milliseconds));
+        assert_eq!(parse_unit("s"), Some(MediaUnit::Seconds));
+        assert_eq!(parse_unit("frames"), Some(MediaUnit::Frames));
+        assert_eq!(parse_unit("samples"), Some(MediaUnit::Samples));
+        assert_eq!(parse_unit("bytes"), Some(MediaUnit::Bytes));
+        assert_eq!(parse_unit("furlongs"), None);
+    }
+}

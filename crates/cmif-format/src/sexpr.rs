@@ -1,0 +1,213 @@
+//! S-expression reader: turns tokens into a nested expression tree.
+
+use crate::error::{FormatError, Position, Result};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// One expression of the interchange format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SExpr {
+    /// Where the expression starts.
+    pub position: Position,
+    /// The expression's shape.
+    pub kind: SExprKind,
+}
+
+/// The shapes an expression can take.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SExprKind {
+    /// A bare identifier.
+    Ident(String),
+    /// An integral number.
+    Number(i64),
+    /// A real number.
+    Real(f64),
+    /// A quoted string.
+    Str(String),
+    /// An `&name` attribute reference.
+    Ref(String),
+    /// A parenthesized list of expressions.
+    List(Vec<SExpr>),
+}
+
+impl SExpr {
+    /// Returns the identifier text when the expression is a bare identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match &self.kind {
+            SExprKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the text of an identifier or string expression.
+    pub fn as_text(&self) -> Option<&str> {
+        match &self.kind {
+            SExprKind::Ident(s) | SExprKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integral value of a number expression.
+    pub fn as_number(&self) -> Option<i64> {
+        match &self.kind {
+            SExprKind::Number(n) => Some(*n),
+            SExprKind::Real(x) if x.fract() == 0.0 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the list elements of a list expression.
+    pub fn as_list(&self) -> Option<&[SExpr]> {
+        match &self.kind {
+            SExprKind::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// For a list whose first element is an identifier, returns that
+    /// identifier (the list's "tag") and the remaining elements.
+    pub fn as_tagged(&self) -> Option<(&str, &[SExpr])> {
+        let items = self.as_list()?;
+        let tag = items.first()?.as_ident()?;
+        Some((tag, &items[1..]))
+    }
+
+    /// Produces a malformed-expression error at this expression's position.
+    pub fn malformed(&self, context: &'static str, message: impl Into<String>) -> FormatError {
+        FormatError::Malformed { context, message: message.into(), at: self.position }
+    }
+}
+
+/// Reads every top-level expression from a source text.
+pub fn read_all(source: &str) -> Result<Vec<SExpr>> {
+    let tokens = tokenize(source)?;
+    let mut reader = Reader { tokens: &tokens, index: 0 };
+    let mut out = Vec::new();
+    while !reader.at_end() {
+        out.push(reader.read_expr()?);
+    }
+    Ok(out)
+}
+
+/// Reads exactly one top-level expression, rejecting trailing content.
+pub fn read_one(source: &str) -> Result<SExpr> {
+    let tokens = tokenize(source)?;
+    let mut reader = Reader { tokens: &tokens, index: 0 };
+    let expr = reader.read_expr()?;
+    if let Some(extra) = reader.peek() {
+        return Err(FormatError::TrailingContent { at: extra.position });
+    }
+    Ok(expr)
+}
+
+struct Reader<'a> {
+    tokens: &'a [Token],
+    index: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn at_end(&self) -> bool {
+        self.index >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.index)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let token = self.tokens.get(self.index);
+        self.index += 1;
+        token
+    }
+
+    fn read_expr(&mut self) -> Result<SExpr> {
+        let token = self.next().ok_or(FormatError::UnexpectedEof)?;
+        let position = token.position;
+        let kind = match &token.kind {
+            TokenKind::Ident(s) => SExprKind::Ident(s.clone()),
+            TokenKind::Number(n) => SExprKind::Number(*n),
+            TokenKind::Real(x) => SExprKind::Real(*x),
+            TokenKind::Str(s) => SExprKind::Str(s.clone()),
+            TokenKind::Ref(s) => SExprKind::Ref(s.clone()),
+            TokenKind::RParen => return Err(FormatError::UnbalancedParens { at: position }),
+            TokenKind::LParen => {
+                let mut items = Vec::new();
+                loop {
+                    match self.peek() {
+                        Some(t) if t.kind == TokenKind::RParen => {
+                            self.next();
+                            break;
+                        }
+                        Some(_) => items.push(self.read_expr()?),
+                        None => return Err(FormatError::UnbalancedParens { at: position }),
+                    }
+                }
+                SExprKind::List(items)
+            }
+        };
+        Ok(SExpr { position, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_nested_lists() {
+        let expr = read_one("(seq (name news) (par (name story)))").unwrap();
+        let (tag, rest) = expr.as_tagged().unwrap();
+        assert_eq!(tag, "seq");
+        assert_eq!(rest.len(), 2);
+        let (tag, _) = rest[1].as_tagged().unwrap();
+        assert_eq!(tag, "par");
+    }
+
+    #[test]
+    fn reads_atoms() {
+        let exprs = read_all("news 42 3.5 \"hi\" &other").unwrap();
+        assert_eq!(exprs.len(), 5);
+        assert_eq!(exprs[0].as_ident(), Some("news"));
+        assert_eq!(exprs[1].as_number(), Some(42));
+        assert!(matches!(exprs[2].kind, SExprKind::Real(x) if (x - 3.5).abs() < 1e-9));
+        assert_eq!(exprs[3].as_text(), Some("hi"));
+        assert!(matches!(exprs[4].kind, SExprKind::Ref(ref s) if s == "other"));
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        assert!(matches!(read_one("(a (b)").unwrap_err(), FormatError::UnbalancedParens { .. }));
+        assert!(matches!(read_one(")").unwrap_err(), FormatError::UnbalancedParens { .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        assert!(matches!(
+            read_one("(a) (b)").unwrap_err(),
+            FormatError::TrailingContent { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_input_for_read_one() {
+        assert!(matches!(read_one("").unwrap_err(), FormatError::UnexpectedEof));
+    }
+
+    #[test]
+    fn as_tagged_requires_leading_ident() {
+        let expr = read_one("(42 a)").unwrap();
+        assert!(expr.as_tagged().is_none());
+        let expr = read_one("()").unwrap();
+        assert!(expr.as_tagged().is_none());
+        assert_eq!(expr.as_list().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn malformed_error_carries_position() {
+        let expr = read_one("\n  (oops)").unwrap();
+        let err = expr.malformed("node", "bad");
+        match err {
+            FormatError::Malformed { at, .. } => assert_eq!(at, Position::new(2, 3)),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Textual views of the CMIF tree (Figure 5) and of the channel layout
+//! (Figure 3 / Figure 10).
+//!
+//! Figure 5 of the paper shows the same document tree twice: as a
+//! "conventional" collection of nodes and branches and as an "embedded"
+//! structure (nested boxes). [`conventional_view`] and [`embedded_view`]
+//! render both forms as plain text so that tools (and the benches that
+//! regenerate the figure) can display a document's structure without
+//! touching any media data. [`channel_view`] renders the per-channel event
+//! columns of Figures 3 and 10.
+
+use cmif_core::descriptor::DescriptorResolver;
+use cmif_core::error::Result;
+use cmif_core::node::{NodeId, NodeKind};
+use cmif_core::tree::Document;
+
+/// Renders the tree in "conventional" form: one node per line, with
+/// box-drawing branches, much like a directory listing.
+pub fn conventional_view(doc: &Document) -> Result<String> {
+    let mut out = String::new();
+    let root = doc.root()?;
+    render_conventional(doc, root, "", true, true, &mut out)?;
+    Ok(out)
+}
+
+fn render_conventional(
+    doc: &Document,
+    id: NodeId,
+    prefix: &str,
+    is_last: bool,
+    is_root: bool,
+    out: &mut String,
+) -> Result<()> {
+    let node = doc.node(id)?;
+    let label = node_label(doc, id)?;
+    if is_root {
+        out.push_str(&label);
+        out.push('\n');
+    } else {
+        out.push_str(prefix);
+        out.push_str(if is_last { "`-- " } else { "|-- " });
+        out.push_str(&label);
+        out.push('\n');
+    }
+    let child_prefix = if is_root {
+        String::new()
+    } else {
+        format!("{prefix}{}", if is_last { "    " } else { "|   " })
+    };
+    let children = node.children.clone();
+    for (i, child) in children.iter().enumerate() {
+        render_conventional(doc, *child, &child_prefix, i + 1 == children.len(), false, out)?;
+    }
+    Ok(())
+}
+
+/// Renders the tree in "embedded" form: nested brackets with indentation,
+/// the structure-editor style of Figure 5(b).
+pub fn embedded_view(doc: &Document) -> Result<String> {
+    let mut out = String::new();
+    let root = doc.root()?;
+    render_embedded(doc, root, 0, &mut out)?;
+    Ok(out)
+}
+
+fn render_embedded(doc: &Document, id: NodeId, depth: usize, out: &mut String) -> Result<()> {
+    let node = doc.node(id)?;
+    let indent = "  ".repeat(depth);
+    let label = node_label(doc, id)?;
+    if node.kind.is_leaf() {
+        out.push_str(&format!("{indent}[{label}]\n"));
+    } else {
+        out.push_str(&format!("{indent}[{label}\n"));
+        let children = node.children.clone();
+        for child in children {
+            render_embedded(doc, child, depth + 1, out)?;
+        }
+        out.push_str(&format!("{indent}]\n"));
+    }
+    Ok(())
+}
+
+/// Renders the per-channel event columns of Figures 3 and 10: one column
+/// per declared channel, events listed top-to-bottom in document order.
+pub fn channel_view(doc: &Document, resolver: &dyn DescriptorResolver) -> Result<String> {
+    let mut out = String::new();
+    let groups = doc.leaves_by_channel()?;
+    // Preserve the channel dictionary's declaration order, then any
+    // channels that only appear on nodes.
+    let mut channel_order: Vec<String> =
+        doc.channels.iter().map(|c| c.name.clone()).collect();
+    for name in groups.keys() {
+        if !channel_order.contains(name) {
+            channel_order.push(name.clone());
+        }
+    }
+    for channel in channel_order {
+        let leaves = match groups.get(&channel) {
+            Some(leaves) => leaves,
+            None => continue,
+        };
+        out.push_str(&format!("channel {channel}:\n"));
+        for leaf in leaves {
+            let label = node_label(doc, *leaf)?;
+            let duration = doc
+                .duration_of(*leaf, resolver)?
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "?".to_string());
+            out.push_str(&format!("  {label:<32} {duration}\n"));
+        }
+    }
+    Ok(out)
+}
+
+/// One-line label for a node: kind, name, and leaf target.
+fn node_label(doc: &Document, id: NodeId) -> Result<String> {
+    let node = doc.node(id)?;
+    let name = node.name().unwrap_or("(unnamed)");
+    let detail = match &node.kind {
+        NodeKind::Ext => {
+            let file = doc.file_of(id)?.unwrap_or_else(|| "?".to_string());
+            format!(" -> {file}")
+        }
+        NodeKind::Imm(data) => format!(" ({} bytes inline)", data.len()),
+        _ => String::new(),
+    };
+    Ok(format!("{} {}{}", node.kind.keyword(), name, detail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmif_core::prelude::*;
+
+    fn doc() -> Document {
+        DocumentBuilder::new("news")
+            .channel("audio", MediaKind::Audio)
+            .channel("caption", MediaKind::Text)
+            .descriptor(
+                DataDescriptor::new("voice", MediaKind::Audio, "pcm8")
+                    .with_duration(TimeMs::from_secs(5)),
+            )
+            .root_seq(|news| {
+                news.par("story-1", |scene| {
+                    scene.ext("speech", "audio", "voice");
+                    scene.imm_text("line", "caption", "hello", 2000);
+                });
+                news.par("story-2", |scene| {
+                    scene.ext("speech", "audio", "voice");
+                });
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn conventional_view_shows_every_node() {
+        let view = conventional_view(&doc()).unwrap();
+        assert!(view.contains("seq news"));
+        assert!(view.contains("|-- par story-1"));
+        assert!(view.contains("`-- par story-2"));
+        assert!(view.contains("ext speech -> voice"));
+        assert!(view.contains("imm line"));
+        assert_eq!(view.lines().count(), 6);
+    }
+
+    #[test]
+    fn embedded_view_nests_brackets() {
+        let view = embedded_view(&doc()).unwrap();
+        assert!(view.starts_with("[seq news"));
+        assert!(view.contains("  [par story-1"));
+        assert!(view.contains("    [ext speech -> voice]"));
+        // Opening and closing brackets balance.
+        let opens = view.matches('[').count();
+        let closes = view.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn channel_view_groups_by_channel_in_dictionary_order() {
+        let d = doc();
+        let view = channel_view(&d, &d.catalog).unwrap();
+        let audio_pos = view.find("channel audio:").unwrap();
+        let caption_pos = view.find("channel caption:").unwrap();
+        assert!(audio_pos < caption_pos);
+        assert_eq!(view.matches("ext speech").count(), 2);
+        assert!(view.contains("2s"));
+        assert!(view.contains("5s"));
+    }
+
+    #[test]
+    fn views_fail_on_empty_documents() {
+        let empty = Document::new();
+        assert!(conventional_view(&empty).is_err());
+        assert!(embedded_view(&empty).is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! Serializer: writes a [`Document`] in the human-readable interchange form.
+//!
+//! The output is the canonical textual form of a CMIF document. It is what
+//! gets transported between environments, diffed by humans, and parsed back
+//! by [`crate::parser`]; `write_document` followed by `parse_document` is
+//! the round-trip the property tests exercise.
+
+use std::fmt::Write as _;
+
+use cmif_core::arc::SyncArc;
+use cmif_core::descriptor::DataDescriptor;
+use cmif_core::error::Result as CoreResult;
+use cmif_core::node::{ImmediateData, NodeId, NodeKind};
+use cmif_core::time::MaxDelay;
+use cmif_core::tree::Document;
+use cmif_core::value::AttrValue;
+
+/// Serializes a whole document.
+pub fn write_document(doc: &Document) -> CoreResult<String> {
+    let mut out = String::new();
+    out.push_str("(cmif\n");
+
+    if !doc.meta.is_empty() {
+        out.push_str("  (meta\n");
+        for (key, value) in &doc.meta {
+            let _ = writeln!(out, "    ({} {})", key, value_text(value));
+        }
+        out.push_str("  )\n");
+    }
+
+    if !doc.channels.is_empty() {
+        out.push_str("  (channels\n");
+        for channel in doc.channels.iter() {
+            let _ = write!(out, "    (channel {} {}", ident_or_string(&channel.name), channel.medium);
+            for (key, value) in &channel.extra {
+                let _ = write!(out, " ({} {})", key, value_text(value));
+            }
+            out.push_str(")\n");
+        }
+        out.push_str("  )\n");
+    }
+
+    if !doc.styles.is_empty() {
+        out.push_str("  (styles\n");
+        for style in doc.styles.iter() {
+            let _ = write!(out, "    (style {}", ident_or_string(&style.name));
+            if !style.parents.is_empty() {
+                let _ = write!(out, " (parents");
+                for parent in &style.parents {
+                    let _ = write!(out, " {}", ident_or_string(parent));
+                }
+                out.push(')');
+            }
+            if !style.attrs.is_empty() {
+                let _ = write!(out, " (attrs");
+                for attr in &style.attrs {
+                    let _ = write!(out, " ({} {})", attr.name, value_text(&attr.value));
+                }
+                out.push(')');
+            }
+            out.push_str(")\n");
+        }
+        out.push_str("  )\n");
+    }
+
+    if !doc.catalog.is_empty() {
+        out.push_str("  (descriptors\n");
+        for descriptor in doc.catalog.iter() {
+            out.push_str(&write_descriptor(descriptor));
+        }
+        out.push_str("  )\n");
+    }
+
+    let root = doc.root()?;
+    write_node(doc, root, 1, &mut out)?;
+    out.push_str(")\n");
+    Ok(out)
+}
+
+fn write_descriptor(d: &DataDescriptor) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "    (descriptor {} {} {}",
+        ident_or_string(&d.key),
+        d.medium,
+        ident_or_string(&d.format)
+    );
+    let _ = write!(out, " (size {})", d.size_bytes);
+    if let Some(duration) = d.duration {
+        let _ = write!(out, " (duration {})", duration.as_millis());
+    }
+    if let Some((w, h)) = d.resolution {
+        let _ = write!(out, " (resolution {w} {h})");
+    }
+    if let Some(bits) = d.color_depth {
+        let _ = write!(out, " (color_depth {bits})");
+    }
+    if let Some(fps) = d.rates.frames_per_second {
+        let _ = write!(out, " (fps {fps})");
+    }
+    if let Some(sr) = d.rates.samples_per_second {
+        let _ = write!(out, " (sample_rate {sr})");
+    }
+    if let Some(bps) = d.rates.bytes_per_second {
+        let _ = write!(out, " (byte_rate {bps})");
+    }
+    if d.resources.bandwidth_bps != 0 || d.resources.decode_cost != 0 || d.resources.memory_bytes != 0
+    {
+        let _ = write!(
+            out,
+            " (resources {} {} {})",
+            d.resources.bandwidth_bps, d.resources.decode_cost, d.resources.memory_bytes
+        );
+    }
+    if let Some(location) = &d.location {
+        let _ = write!(out, " (location {})", quoted(location));
+    }
+    if !d.extra.is_empty() {
+        let _ = write!(out, " (extra");
+        for (key, value) in &d.extra {
+            let _ = write!(out, " ({} {})", key, value_text(value));
+        }
+        out.push(')');
+    }
+    out.push_str(")\n");
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, depth: usize, out: &mut String) -> CoreResult<()> {
+    let indent = "  ".repeat(depth);
+    let node = doc.node(id)?;
+    let _ = write!(out, "{indent}({}", node.kind.keyword());
+
+    for attr in node.attrs.iter() {
+        let _ = write!(out, "\n{indent}  ({} {})", attr.name, value_text(&attr.value));
+    }
+
+    for arc in doc.arcs_of(id) {
+        let _ = write!(out, "\n{indent}  {}", write_arc(arc));
+    }
+
+    match &node.kind {
+        NodeKind::Imm(ImmediateData::Text(text)) => {
+            let _ = write!(out, "\n{indent}  (data {})", quoted(text));
+        }
+        NodeKind::Imm(ImmediateData::Binary(bytes)) => {
+            let _ = write!(out, "\n{indent}  (bindata \"{}\")", hex_encode(bytes));
+        }
+        NodeKind::Seq | NodeKind::Par => {
+            for child in &node.children {
+                out.push('\n');
+                write_node(doc, *child, depth + 1, out)?;
+            }
+        }
+        NodeKind::Ext => {}
+    }
+    let _ = write!(out, ")");
+    Ok(())
+}
+
+/// Serializes one synchronization arc in the tabular form of Figure 9.
+pub fn write_arc(arc: &SyncArc) -> String {
+    let max = match arc.max_delay {
+        MaxDelay::Unbounded => "inf".to_string(),
+        MaxDelay::Bounded(d) => d.as_millis().to_string(),
+    };
+    format!(
+        "(sync_arc {} {} {} {} {} {} {} {} {})",
+        arc.anchor,
+        arc.strictness,
+        arc.source_anchor,
+        quoted(&arc.source.to_string()),
+        arc.offset.value,
+        arc.offset.unit,
+        quoted(&arc.destination.to_string()),
+        arc.min_delay.as_millis(),
+        max
+    )
+}
+
+/// Renders an attribute value in source form.
+pub fn value_text(value: &AttrValue) -> String {
+    match value {
+        AttrValue::Id(s) => ident_or_string(s),
+        AttrValue::Number(n) => n.to_string(),
+        AttrValue::Real(x) => {
+            if x.fract() == 0.0 {
+                // Keep reals distinguishable from integers on round-trip.
+                format!("{x:.1}")
+            } else {
+                format!("{x}")
+            }
+        }
+        AttrValue::Str(s) => quoted(s),
+        AttrValue::Ref(s) => format!("&{s}"),
+        AttrValue::List(items) => {
+            let body: Vec<String> = items.iter().map(value_text).collect();
+            format!("({})", body.join(" "))
+        }
+    }
+}
+
+fn ident_or_string(s: &str) -> String {
+    let ident_safe = !s.is_empty()
+        && !s.contains(|c: char| {
+            c.is_whitespace() || c == '(' || c == ')' || c == '"' || c == ';' || c == '&'
+        })
+        && s.parse::<f64>().is_err();
+    if ident_safe {
+        s.to_string()
+    } else {
+        quoted(s)
+    }
+}
+
+fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Hex-encodes binary immediate data.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// Decodes hex-encoded binary immediate data.
+pub fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    if text.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(text.len() / 2);
+    let bytes = text.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmif_core::prelude::*;
+
+    fn sample_doc() -> Document {
+        DocumentBuilder::new("Evening News")
+            .meta("author", AttrValue::Str("CWI".into()))
+            .channel("audio", MediaKind::Audio)
+            .channel("caption", MediaKind::Text)
+            .descriptor(
+                DataDescriptor::new("story-audio", MediaKind::Audio, "pcm8")
+                    .with_size(64_000)
+                    .with_duration(TimeMs::from_secs(8))
+                    .with_rates(RateInfo::audio(8_000, 8_000))
+                    .with_location("store://host/story-audio"),
+            )
+            .style(StyleDef::new("caption-style").with_attr(Attr::new(
+                AttrName::TFormatting,
+                AttrValue::list([AttrValue::list([
+                    AttrValue::Id("font".into()),
+                    AttrValue::Id("helvetica".into()),
+                ])]),
+            )))
+            .root_seq(|news| {
+                news.par("story-1", |scene| {
+                    scene.ext("voice", "audio", "story-audio");
+                    scene.ext_with("caption-1", "caption", "story-audio", |n| {
+                        n.duration_ms(3000);
+                        n.arc(SyncArc::hard_start("../voice", ""));
+                    });
+                    scene.imm_text("label", "caption", "Story 1: Paintings", 2000);
+                });
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn writes_all_sections() {
+        let text = write_document(&sample_doc()).unwrap();
+        assert!(text.starts_with("(cmif\n"));
+        assert!(text.contains("(meta"));
+        assert!(text.contains("(channels"));
+        assert!(text.contains("(channel audio audio)"));
+        assert!(text.contains("(styles"));
+        assert!(text.contains("(descriptors"));
+        assert!(text.contains("(descriptor story-audio audio pcm8"));
+        assert!(text.contains("(seq"));
+        assert!(text.contains("(par"));
+        assert!(text.contains("(ext"));
+        assert!(text.contains("(imm"));
+        assert!(text.contains("(sync_arc begin must begin"));
+        assert!(text.contains("(data \"Story 1: Paintings\")"));
+    }
+
+    #[test]
+    fn empty_document_cannot_be_written() {
+        assert!(write_document(&Document::new()).is_err());
+    }
+
+    #[test]
+    fn value_text_forms() {
+        assert_eq!(value_text(&AttrValue::Id("abc".into())), "abc");
+        assert_eq!(value_text(&AttrValue::Number(-4)), "-4");
+        assert_eq!(value_text(&AttrValue::Real(2.0)), "2.0");
+        assert_eq!(value_text(&AttrValue::Real(2.5)), "2.5");
+        assert_eq!(value_text(&AttrValue::Str("a b".into())), "\"a b\"");
+        assert_eq!(value_text(&AttrValue::Ref("x".into())), "&x");
+        assert_eq!(
+            value_text(&AttrValue::list([AttrValue::Number(1), AttrValue::Id("s".into())])),
+            "(1 s)"
+        );
+    }
+
+    #[test]
+    fn idents_needing_quotes_are_quoted() {
+        assert_eq!(value_text(&AttrValue::Id("plain".into())), "plain");
+        // An Id that *looks* numeric must be quoted or it would come back as
+        // a number.
+        assert_eq!(ident_or_string("42"), "\"42\"");
+        assert_eq!(ident_or_string(""), "\"\"");
+        assert_eq!(ident_or_string("two words"), "\"two words\"");
+    }
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quoted("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let data = vec![0u8, 1, 127, 255, 16];
+        let text = hex_encode(&data);
+        assert_eq!(text, "00017fff10");
+        assert_eq!(hex_decode(&text).unwrap(), data);
+        assert!(hex_decode("abc").is_none());
+        assert!(hex_decode("zz").is_none());
+    }
+
+    #[test]
+    fn arc_serialization_mentions_all_fields() {
+        let arc = SyncArc::hard_start("/news/audio", "graphic")
+            .with_offset(MediaTime::seconds(2))
+            .with_window(DelayMs::from_millis(-100), MaxDelay::Bounded(DelayMs::from_millis(250)));
+        let text = write_arc(&arc);
+        assert_eq!(
+            text,
+            "(sync_arc begin must begin \"/news/audio\" 2 s \"graphic\" -100 250)"
+        );
+        let unbounded = SyncArc::relaxed_start("", "x");
+        assert!(write_arc(&unbounded).ends_with("0 inf)"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # cmif-hyper — hypermedia extensions to CMIF
+//!
+//! The paper leaves two hypermedia questions open: how hyper links interact
+//! with presentation synchronization (§3.2) and what happens to relative
+//! synchronization arcs when the reader navigates past their sources
+//! (§5.3.3, conflict class 3). This crate implements the extension the paper
+//! sketches:
+//!
+//! * [`links`] — named, directed hyper links between document nodes;
+//! * [`conditional`] — conditional synchronization arcs, guarded by reader
+//!   flags, presented channels, or the "source actually executes" predicate;
+//! * [`navigation`] — seeking, fast-forward and link following over a solved
+//!   schedule, reporting invalidated arcs and the re-based remaining
+//!   timeline.
+//!
+//! ```
+//! use cmif_core::prelude::*;
+//! use cmif_scheduler::{solve, ScheduleOptions};
+//! use cmif_hyper::navigation::Navigator;
+//!
+//! let doc = DocumentBuilder::new("doc")
+//!     .channel("caption", MediaKind::Text)
+//!     .root_seq(|root| {
+//!         root.imm_text("a", "caption", "first", 1_000);
+//!         root.imm_text("b", "caption", "second", 1_000);
+//!     })
+//!     .build()
+//!     .unwrap();
+//! let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+//! let navigator = Navigator::new(&doc, &solved);
+//! let b = doc.find("/b").unwrap();
+//! assert_eq!(navigator.seek(b).unwrap().skipped, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conditional;
+pub mod links;
+pub mod navigation;
+
+pub use conditional::{
+    constraints_with_conditionals, Condition, ConditionalArc, PresentationContext,
+};
+pub use links::{HyperLink, LinkSet};
+pub use navigation::{NavigationResult, Navigator};

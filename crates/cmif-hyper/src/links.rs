@@ -1,0 +1,155 @@
+//! Hyper links between document nodes.
+//!
+//! §3.2 relates CMIF to hypertext systems: "The entire question of hyper
+//! access to data is intimately related to the concepts of document
+//! presentation synchronization." The paper stops short of defining links;
+//! this extension adds the simplest useful form — named, directed links
+//! between nodes of one document — so navigation (and the arc-invalidation
+//! semantics of §5.3.3 case 3) can be exercised end-to-end.
+
+use cmif_core::error::{CoreError, Result};
+use cmif_core::node::NodeId;
+use cmif_core::path::NodePath;
+use cmif_core::tree::Document;
+
+/// One directed hyper link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperLink {
+    /// A label shown to the reader ("more about the artist").
+    pub label: String,
+    /// The node the link is anchored on.
+    pub source: NodeId,
+    /// The node the link jumps to.
+    pub target: NodeId,
+}
+
+/// A set of links over one document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinkSet {
+    links: Vec<HyperLink>,
+}
+
+impl LinkSet {
+    /// Creates an empty link set.
+    pub fn new() -> LinkSet {
+        LinkSet::default()
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when there are no links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Adds a link between two nodes given by absolute paths.
+    pub fn add(
+        &mut self,
+        doc: &Document,
+        label: impl Into<String>,
+        source: &str,
+        target: &str,
+    ) -> Result<()> {
+        let root = doc.root()?;
+        let source = doc.resolve_path(root, &NodePath::parse(source))?;
+        let target = doc.resolve_path(root, &NodePath::parse(target))?;
+        self.links.push(HyperLink { label: label.into(), source, target });
+        Ok(())
+    }
+
+    /// Adds a link between two already-resolved nodes.
+    pub fn add_resolved(&mut self, label: impl Into<String>, source: NodeId, target: NodeId) {
+        self.links.push(HyperLink { label: label.into(), source, target });
+    }
+
+    /// The links anchored on a node (the reader's choices while that node is
+    /// presented).
+    pub fn from_node(&self, source: NodeId) -> Vec<&HyperLink> {
+        self.links.iter().filter(|l| l.source == source).collect()
+    }
+
+    /// Finds a link by its label.
+    pub fn by_label(&self, label: &str) -> Option<&HyperLink> {
+        self.links.iter().find(|l| l.label == label)
+    }
+
+    /// All links.
+    pub fn iter(&self) -> impl Iterator<Item = &HyperLink> {
+        self.links.iter()
+    }
+
+    /// Checks that every endpoint still exists in the document (links can
+    /// dangle after editing).
+    pub fn validate(&self, doc: &Document) -> Result<()> {
+        for link in &self.links {
+            doc.node(link.source)?;
+            doc.node(link.target)?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: resolve a path or return a descriptive error.
+pub fn resolve(doc: &Document, path: &str) -> Result<NodeId> {
+    let root = doc.root()?;
+    doc.resolve_path(root, &NodePath::parse(path)).map_err(|_| CoreError::UnresolvedPath {
+        path: path.to_string(),
+        base: root,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmif_core::prelude::*;
+
+    fn doc() -> Document {
+        DocumentBuilder::new("news")
+            .channel("caption", MediaKind::Text)
+            .root_seq(|news| {
+                news.par("story-1", |s| {
+                    s.imm_text("line", "caption", "first", 1_000);
+                });
+                news.par("story-2", |s| {
+                    s.imm_text("line", "caption", "second", 1_000);
+                });
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn links_resolve_paths_and_filter_by_source() {
+        let d = doc();
+        let mut links = LinkSet::new();
+        links.add(&d, "skip to story 2", "/story-1", "/story-2").unwrap();
+        links.add(&d, "back to start", "/story-2", "/story-1").unwrap();
+        assert_eq!(links.len(), 2);
+        let story1 = d.find("/story-1").unwrap();
+        let from_story1 = links.from_node(story1);
+        assert_eq!(from_story1.len(), 1);
+        assert_eq!(from_story1[0].label, "skip to story 2");
+        assert!(links.by_label("back to start").is_some());
+        assert!(links.by_label("nothing").is_none());
+        assert!(links.validate(&d).is_ok());
+    }
+
+    #[test]
+    fn dangling_paths_are_rejected() {
+        let d = doc();
+        let mut links = LinkSet::new();
+        assert!(links.add(&d, "broken", "/story-1", "/story-9").is_err());
+        assert!(resolve(&d, "/story-9").is_err());
+        assert_eq!(resolve(&d, "/story-2").unwrap(), d.find("/story-2").unwrap());
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let links = LinkSet::new();
+        assert!(links.is_empty());
+        assert_eq!(links.iter().count(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Navigation: seeking, fast-forward and link following.
+//!
+//! §5.3.3 case 3: "in navigating through a document, a
+//! reader/viewer/listener may want to fast-forward (or fast-reverse) to a
+//! document section that contains a number of relative synchronization
+//! constraints for which the source or destination are not active."
+//! [`Navigator::seek`] implements that navigation over a solved schedule:
+//! it reports which explicit arcs become invalid, which events remain to be
+//! presented, and the re-based timeline starting at the seek point.
+
+use cmif_core::error::Result;
+use cmif_core::node::NodeId;
+use cmif_core::time::TimeMs;
+use cmif_core::tree::Document;
+use cmif_scheduler::{invalid_arcs_when_seeking, Conflict, Schedule, SolveResult, TimelineEntry};
+
+use crate::links::{HyperLink, LinkSet};
+
+/// The outcome of one navigation action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NavigationResult {
+    /// The node navigation targeted.
+    pub target: NodeId,
+    /// The document-clock time presentation resumes at.
+    pub resume_at: TimeMs,
+    /// Events still to be presented, with times re-based so the seek point
+    /// is zero.
+    pub remaining: Vec<TimelineEntry>,
+    /// Arcs invalidated by the jump (class-3 conflicts).
+    pub invalidated: Vec<Conflict>,
+    /// Events skipped entirely by the jump.
+    pub skipped: usize,
+}
+
+impl NavigationResult {
+    /// Duration of the remaining presentation.
+    pub fn remaining_duration(&self) -> TimeMs {
+        self.remaining
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(TimeMs::ZERO)
+    }
+}
+
+/// A navigator over one solved document.
+#[derive(Debug)]
+pub struct Navigator<'a> {
+    doc: &'a Document,
+    solve: &'a SolveResult,
+    links: LinkSet,
+}
+
+impl<'a> Navigator<'a> {
+    /// Creates a navigator with no links.
+    pub fn new(doc: &'a Document, solve: &'a SolveResult) -> Navigator<'a> {
+        Navigator { doc, solve, links: LinkSet::new() }
+    }
+
+    /// Attaches a link set (builder style).
+    pub fn with_links(mut self, links: LinkSet) -> Self {
+        self.links = links;
+        self
+    }
+
+    /// The links anchored on a node.
+    pub fn choices_at(&self, node: NodeId) -> Vec<&HyperLink> {
+        self.links.from_node(node)
+    }
+
+    /// The schedule the navigator operates over.
+    pub fn schedule(&self) -> &Schedule {
+        &self.solve.schedule
+    }
+
+    /// Seeks to a node: presentation resumes at that node's scheduled begin
+    /// time.
+    pub fn seek(&self, target: NodeId) -> Result<NavigationResult> {
+        let resume_at = self
+            .solve
+            .schedule
+            .node_times
+            .get(&target)
+            .map(|(begin, _)| *begin)
+            .unwrap_or(TimeMs::ZERO);
+        let invalidated = invalid_arcs_when_seeking(self.doc, &self.solve.schedule, target)?;
+        let mut remaining = Vec::new();
+        let mut skipped = 0;
+        for entry in &self.solve.schedule.entries {
+            if entry.end <= resume_at {
+                skipped += 1;
+                continue;
+            }
+            let begin = entry.begin.max(resume_at);
+            remaining.push(TimelineEntry {
+                node: entry.node,
+                name: entry.name.clone(),
+                channel: entry.channel.clone(),
+                medium: entry.medium,
+                begin: TimeMs::from_millis(begin.as_millis() - resume_at.as_millis()),
+                end: TimeMs::from_millis(entry.end.as_millis() - resume_at.as_millis()),
+            });
+        }
+        Ok(NavigationResult { target, resume_at, remaining, invalidated, skipped })
+    }
+
+    /// Follows a link by label from the current node.
+    pub fn follow(&self, current: NodeId, label: &str) -> Result<Option<NavigationResult>> {
+        let link = self
+            .links
+            .from_node(current)
+            .into_iter()
+            .find(|l| l.label == label);
+        match link {
+            Some(link) => Ok(Some(self.seek(link.target)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Fast-forwards by a number of milliseconds from a given position:
+    /// seeks to the first leaf whose scheduled begin is at or after the new
+    /// position (or to the last leaf when the jump passes the end).
+    pub fn fast_forward(&self, from: TimeMs, by_ms: i64) -> Result<Option<NavigationResult>> {
+        let target_time = TimeMs::from_millis(from.as_millis() + by_ms.max(0));
+        let candidate = self
+            .solve
+            .schedule
+            .entries
+            .iter()
+            .find(|e| e.begin >= target_time)
+            .or_else(|| self.solve.schedule.entries.last());
+        match candidate {
+            Some(entry) => Ok(Some(self.seek(entry.node)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmif_core::arc::SyncArc;
+    use cmif_core::prelude::*;
+    use cmif_scheduler::{solve, ScheduleOptions};
+
+    fn three_story_doc() -> Document {
+        let mut builder = DocumentBuilder::new("news")
+            .channel("audio", MediaKind::Audio)
+            .channel("caption", MediaKind::Text);
+        for story in 1..=3 {
+            builder = builder.descriptor(
+                DataDescriptor::new(format!("speech-{story}"), MediaKind::Audio, "pcm8")
+                    .with_duration(TimeMs::from_secs(4)),
+            );
+        }
+        let mut doc = builder
+            .root_seq(|news| {
+                for story in 1..=3 {
+                    news.par(&format!("story-{story}"), |s| {
+                        s.ext("voice", "audio", &format!("speech-{story}"));
+                        s.imm_text("line", "caption", format!("caption {story}"), 2_000);
+                    });
+                }
+            })
+            .build()
+            .unwrap();
+        // A cross-story arc: story-3's caption synchronizes off story-1's voice.
+        let line3 = doc.find("/story-3/line").unwrap();
+        doc.add_arc(
+            line3,
+            SyncArc::relaxed_start("/story-1/voice", "").with_offset(MediaTime::seconds(9)),
+        )
+        .unwrap();
+        doc
+    }
+
+    #[test]
+    fn seek_rebases_the_remaining_timeline() {
+        let doc = three_story_doc();
+        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let navigator = Navigator::new(&doc, &result);
+        let story2 = doc.find("/story-2").unwrap();
+        let nav = navigator.seek(story2).unwrap();
+        assert_eq!(nav.resume_at, TimeMs::from_secs(4));
+        assert_eq!(nav.skipped, 2); // story-1's two events are over
+        assert_eq!(nav.remaining.len(), 4);
+        assert_eq!(nav.remaining[0].begin, TimeMs::ZERO);
+        assert_eq!(nav.remaining_duration(), TimeMs::from_secs(8));
+    }
+
+    #[test]
+    fn seeking_past_an_arc_source_reports_class3_conflicts() {
+        let doc = three_story_doc();
+        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let navigator = Navigator::new(&doc, &result);
+        let story3 = doc.find("/story-3").unwrap();
+        let nav = navigator.seek(story3).unwrap();
+        assert_eq!(nav.invalidated.len(), 1);
+        assert!(nav.invalidated.iter().all(|c| c.class() == 3));
+        // Seeking to the start invalidates nothing.
+        let root = doc.root().unwrap();
+        assert!(navigator.seek(root).unwrap().invalidated.is_empty());
+    }
+
+    #[test]
+    fn links_drive_navigation() {
+        let doc = three_story_doc();
+        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let mut links = LinkSet::new();
+        links.add(&doc, "skip to the weather", "/story-1", "/story-3").unwrap();
+        let navigator = Navigator::new(&doc, &result).with_links(links);
+        let story1 = doc.find("/story-1").unwrap();
+        assert_eq!(navigator.choices_at(story1).len(), 1);
+        let nav = navigator.follow(story1, "skip to the weather").unwrap().unwrap();
+        assert_eq!(nav.resume_at, TimeMs::from_secs(8));
+        assert!(navigator.follow(story1, "no such link").unwrap().is_none());
+    }
+
+    #[test]
+    fn fast_forward_lands_on_the_next_event() {
+        let doc = three_story_doc();
+        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let navigator = Navigator::new(&doc, &result);
+        let nav = navigator.fast_forward(TimeMs::ZERO, 5_000).unwrap().unwrap();
+        // The next event at or after t=5s is story-3's material (story-2
+        // started at 4s).
+        assert!(nav.resume_at >= TimeMs::from_secs(5));
+        // Jumping far past the end lands on the last event.
+        let nav = navigator.fast_forward(TimeMs::ZERO, 60_000).unwrap().unwrap();
+        assert!(nav.resume_at >= TimeMs::from_secs(8));
+    }
+}

@@ -1,0 +1,323 @@
+//! Media data blocks.
+//!
+//! "Data blocks contain data that is typically associated with a single
+//! medium. Examples may be sound clips, video segments, text blocks,
+//! graphics images, etc. They may also be programs that produce information
+//! of a particular type." (§3.1)
+//!
+//! A [`MediaBlock`] is the *data* side of the Figure 2 picture: the bytes a
+//! data descriptor describes. CMIF documents never embed these; they stay in
+//! a [`crate::store::BlockStore`] (or behind the simulated distributed store
+//! of `cmif-distrib`) and are fetched only when a presentation actually
+//! needs them.
+
+use bytes::Bytes;
+use cmif_core::channel::MediaKind;
+use cmif_core::descriptor::{DataDescriptor, ResourceNeeds};
+use cmif_core::time::{RateInfo, TimeMs};
+
+/// The payload of a media block, one variant per medium.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MediaPayload {
+    /// Sampled audio: unsigned 8-bit PCM.
+    Audio {
+        /// Samples per second.
+        sample_rate: u32,
+        /// The PCM samples.
+        samples: Bytes,
+    },
+    /// A sequence of raster frames, all of the same geometry.
+    Video {
+        /// Frame width in pixels.
+        width: u32,
+        /// Frame height in pixels.
+        height: u32,
+        /// Frames per second.
+        fps: f64,
+        /// Colour depth in bits per pixel (8 or 24).
+        color_depth: u8,
+        /// Concatenated frame rasters.
+        frames: Bytes,
+        /// Number of frames in `frames`.
+        frame_count: u32,
+    },
+    /// A single raster image.
+    Image {
+        /// Width in pixels.
+        width: u32,
+        /// Height in pixels.
+        height: u32,
+        /// Colour depth in bits per pixel (8 or 24).
+        color_depth: u8,
+        /// The raster, row-major.
+        pixels: Bytes,
+    },
+    /// Flowing text.
+    Text {
+        /// The text content.
+        content: String,
+    },
+    /// A generator program: executing it produces a block of another medium
+    /// ("a graphics program that produces a rendered 3-D image", §3.1).
+    Generator {
+        /// A description of the program (its name / parameters).
+        program: String,
+        /// The medium the program produces.
+        produces: MediaKind,
+    },
+}
+
+impl MediaPayload {
+    /// The medium of this payload.
+    pub fn medium(&self) -> MediaKind {
+        match self {
+            MediaPayload::Audio { .. } => MediaKind::Audio,
+            MediaPayload::Video { .. } => MediaKind::Video,
+            MediaPayload::Image { .. } => MediaKind::Image,
+            MediaPayload::Text { .. } => MediaKind::Text,
+            MediaPayload::Generator { .. } => MediaKind::Generator,
+        }
+    }
+
+    /// Size of the payload in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            MediaPayload::Audio { samples, .. } => samples.len() as u64,
+            MediaPayload::Video { frames, .. } => frames.len() as u64,
+            MediaPayload::Image { pixels, .. } => pixels.len() as u64,
+            MediaPayload::Text { content } => content.len() as u64,
+            MediaPayload::Generator { program, .. } => program.len() as u64,
+        }
+    }
+
+    /// The natural presentation duration of the payload, if it has one.
+    pub fn duration(&self) -> Option<TimeMs> {
+        match self {
+            MediaPayload::Audio { sample_rate, samples } => {
+                if *sample_rate == 0 {
+                    None
+                } else {
+                    Some(TimeMs::from_millis(
+                        (samples.len() as i64 * 1000) / *sample_rate as i64,
+                    ))
+                }
+            }
+            MediaPayload::Video { fps, frame_count, .. } => {
+                if *fps <= 0.0 {
+                    None
+                } else {
+                    Some(TimeMs::from_millis((*frame_count as f64 * 1000.0 / fps) as i64))
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Bytes per frame for a raster payload (video frame or whole image).
+    pub fn bytes_per_frame(&self) -> Option<u64> {
+        match self {
+            MediaPayload::Video { width, height, color_depth, .. }
+            | MediaPayload::Image { width, height, color_depth, .. } => {
+                Some(*width as u64 * *height as u64 * (*color_depth as u64 / 8).max(1))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A stored media block: a descriptor key plus the payload it describes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediaBlock {
+    /// The key the block is known by (the `file` attribute value and
+    /// descriptor key).
+    pub key: String,
+    /// The media bytes.
+    pub payload: MediaPayload,
+}
+
+impl MediaBlock {
+    /// Creates a block.
+    pub fn new(key: impl Into<String>, payload: MediaPayload) -> MediaBlock {
+        MediaBlock { key: key.into(), payload }
+    }
+
+    /// Builds the [`DataDescriptor`] that describes this block — the
+    /// "compile descriptors" job of the media capture tools (§2).
+    pub fn describe(&self) -> DataDescriptor {
+        let medium = self.payload.medium();
+        let size = self.payload.size_bytes();
+        let mut descriptor = DataDescriptor::new(self.key.clone(), medium, format_name(&self.payload))
+            .with_size(size);
+        if let Some(duration) = self.payload.duration() {
+            descriptor = descriptor.with_duration(duration);
+            let seconds = (duration.as_millis() as f64 / 1000.0).max(0.001);
+            descriptor = descriptor.with_resources(ResourceNeeds {
+                bandwidth_bps: (size as f64 / seconds) as u64,
+                decode_cost: decode_cost(&self.payload),
+                memory_bytes: self.payload.bytes_per_frame().unwrap_or(size.min(65_536)),
+            });
+        } else {
+            descriptor = descriptor.with_resources(ResourceNeeds {
+                bandwidth_bps: 0,
+                decode_cost: decode_cost(&self.payload),
+                memory_bytes: size,
+            });
+        }
+        match &self.payload {
+            MediaPayload::Audio { sample_rate, .. } => {
+                descriptor = descriptor.with_rates(RateInfo::audio(*sample_rate, *sample_rate as u64));
+            }
+            MediaPayload::Video { width, height, fps, color_depth, .. } => {
+                descriptor = descriptor
+                    .with_resolution(*width, *height)
+                    .with_color_depth(*color_depth)
+                    .with_rates(RateInfo::video(*fps));
+            }
+            MediaPayload::Image { width, height, color_depth, .. } => {
+                descriptor = descriptor.with_resolution(*width, *height).with_color_depth(*color_depth);
+            }
+            MediaPayload::Text { .. } | MediaPayload::Generator { .. } => {}
+        }
+        descriptor
+    }
+}
+
+fn format_name(payload: &MediaPayload) -> &'static str {
+    match payload {
+        MediaPayload::Audio { .. } => "pcm8",
+        MediaPayload::Video { color_depth: 8, .. } => "raw-video8",
+        MediaPayload::Video { .. } => "raw-video24",
+        MediaPayload::Image { color_depth: 8, .. } => "raster8",
+        MediaPayload::Image { .. } => "raster24",
+        MediaPayload::Text { .. } => "plain-text",
+        MediaPayload::Generator { .. } => "generator",
+    }
+}
+
+fn decode_cost(payload: &MediaPayload) -> u32 {
+    match payload {
+        MediaPayload::Audio { .. } => 5,
+        MediaPayload::Video { width, height, .. } => ((width * height) / 10_000).max(10),
+        MediaPayload::Image { width, height, .. } => ((width * height) / 50_000).max(2),
+        MediaPayload::Text { .. } => 1,
+        MediaPayload::Generator { .. } => 50,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audio_payload(seconds: u32, sample_rate: u32) -> MediaPayload {
+        MediaPayload::Audio {
+            sample_rate,
+            samples: Bytes::from(vec![128u8; (seconds * sample_rate) as usize]),
+        }
+    }
+
+    #[test]
+    fn payload_medium_and_size() {
+        assert_eq!(audio_payload(1, 8000).medium(), MediaKind::Audio);
+        assert_eq!(audio_payload(1, 8000).size_bytes(), 8000);
+        let text = MediaPayload::Text { content: "abc".into() };
+        assert_eq!(text.medium(), MediaKind::Text);
+        assert_eq!(text.size_bytes(), 3);
+    }
+
+    #[test]
+    fn audio_duration_from_sample_count() {
+        assert_eq!(audio_payload(3, 8000).duration(), Some(TimeMs::from_secs(3)));
+        let silent = MediaPayload::Audio { sample_rate: 0, samples: Bytes::new() };
+        assert_eq!(silent.duration(), None);
+    }
+
+    #[test]
+    fn video_duration_from_frame_count() {
+        let video = MediaPayload::Video {
+            width: 4,
+            height: 4,
+            fps: 25.0,
+            color_depth: 8,
+            frames: Bytes::from(vec![0u8; 16 * 50]),
+            frame_count: 50,
+        };
+        assert_eq!(video.duration(), Some(TimeMs::from_secs(2)));
+        assert_eq!(video.bytes_per_frame(), Some(16));
+    }
+
+    #[test]
+    fn image_and_text_have_no_natural_duration() {
+        let image = MediaPayload::Image {
+            width: 2,
+            height: 2,
+            color_depth: 24,
+            pixels: Bytes::from(vec![0u8; 12]),
+        };
+        assert_eq!(image.duration(), None);
+        assert_eq!(image.bytes_per_frame(), Some(12));
+        assert_eq!(MediaPayload::Text { content: "x".into() }.duration(), None);
+    }
+
+    #[test]
+    fn describe_builds_a_consistent_descriptor() {
+        let block = MediaBlock::new("clip", audio_payload(2, 8000));
+        let descriptor = block.describe();
+        assert_eq!(descriptor.key, "clip");
+        assert_eq!(descriptor.medium, MediaKind::Audio);
+        assert_eq!(descriptor.size_bytes, 16_000);
+        assert_eq!(descriptor.duration, Some(TimeMs::from_secs(2)));
+        assert_eq!(descriptor.rates.samples_per_second, Some(8000));
+        assert_eq!(descriptor.resources.bandwidth_bps, 8_000);
+    }
+
+    #[test]
+    fn describe_video_includes_resolution_and_rates() {
+        let block = MediaBlock::new(
+            "film",
+            MediaPayload::Video {
+                width: 320,
+                height: 240,
+                fps: 25.0,
+                color_depth: 24,
+                frames: Bytes::from(vec![0u8; 320 * 240 * 3 * 25]),
+                frame_count: 25,
+            },
+        );
+        let descriptor = block.describe();
+        assert_eq!(descriptor.resolution, Some((320, 240)));
+        assert_eq!(descriptor.color_depth, Some(24));
+        assert_eq!(descriptor.rates.frames_per_second, Some(25.0));
+        assert_eq!(descriptor.duration, Some(TimeMs::from_secs(1)));
+        assert!(descriptor.resources.bandwidth_bps > 1_000_000);
+    }
+
+    #[test]
+    fn generator_payload_describes_its_product() {
+        let block = MediaBlock::new(
+            "render",
+            MediaPayload::Generator { program: "ray-trace scene-7".into(), produces: MediaKind::Image },
+        );
+        let descriptor = block.describe();
+        assert_eq!(descriptor.medium, MediaKind::Generator);
+        assert_eq!(descriptor.format, "generator");
+        assert!(descriptor.duration.is_none());
+    }
+
+    #[test]
+    fn format_names_follow_colour_depth() {
+        let image8 = MediaPayload::Image {
+            width: 1,
+            height: 1,
+            color_depth: 8,
+            pixels: Bytes::from(vec![0u8]),
+        };
+        assert_eq!(format_name(&image8), "raster8");
+        let image24 = MediaPayload::Image {
+            width: 1,
+            height: 1,
+            color_depth: 24,
+            pixels: Bytes::from(vec![0u8; 3]),
+        };
+        assert_eq!(format_name(&image24), "raster24");
+    }
+}

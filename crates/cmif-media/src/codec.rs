@@ -1,0 +1,216 @@
+//! Simple codecs for stored media blocks.
+//!
+//! The paper deliberately does "not dwell on storage structure or on methods
+//! of encoding/compressing data" (§7) — encodings are just another data
+//! descriptor attribute. A run-length codec is provided anyway so the
+//! storage and transport layers have a real "encoded format" to carry, so
+//! that descriptor `format` fields mean something, and so the distributed
+//! store can trade CPU for bandwidth the way a 1991 system would have.
+
+use bytes::Bytes;
+
+use crate::block::MediaPayload;
+use crate::error::{MediaError, Result};
+
+/// Run-length encodes a byte stream: pairs of `(count, value)` with
+/// `count >= 1`.
+pub fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 2);
+    let mut iter = data.iter().copied();
+    let mut current = match iter.next() {
+        Some(byte) => byte,
+        None => return out,
+    };
+    let mut count: u8 = 1;
+    for byte in iter {
+        if byte == current && count < u8::MAX {
+            count += 1;
+        } else {
+            out.push(count);
+            out.push(current);
+            current = byte;
+            count = 1;
+        }
+    }
+    out.push(count);
+    out.push(current);
+    out
+}
+
+/// Decodes a run-length encoded stream produced by [`rle_encode`].
+pub fn rle_decode(data: &[u8]) -> Result<Vec<u8>> {
+    if data.len() % 2 != 0 {
+        return Err(MediaError::CorruptData {
+            reason: "run-length stream has an odd number of bytes".to_string(),
+        });
+    }
+    let mut out = Vec::with_capacity(data.len());
+    for pair in data.chunks(2) {
+        let count = pair[0];
+        if count == 0 {
+            return Err(MediaError::CorruptData {
+                reason: "run-length stream contains a zero-length run".to_string(),
+            });
+        }
+        out.extend(std::iter::repeat(pair[1]).take(count as usize));
+    }
+    Ok(out)
+}
+
+/// The raw byte view of a payload that the codecs operate on, if it has one.
+fn raw_bytes(payload: &MediaPayload) -> Option<&Bytes> {
+    match payload {
+        MediaPayload::Audio { samples, .. } => Some(samples),
+        MediaPayload::Video { frames, .. } => Some(frames),
+        MediaPayload::Image { pixels, .. } => Some(pixels),
+        MediaPayload::Text { .. } | MediaPayload::Generator { .. } => None,
+    }
+}
+
+/// An encoded media payload, as stored or shipped over the simulated
+/// network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedPayload {
+    /// The encoding applied (currently `rle` or `identity`).
+    pub encoding: &'static str,
+    /// The encoded bytes.
+    pub data: Vec<u8>,
+    /// The original (decoded) size, for ratio reporting.
+    pub original_len: usize,
+}
+
+impl EncodedPayload {
+    /// Compression ratio (original / encoded); greater than 1 means the
+    /// encoding saved space.
+    pub fn ratio(&self) -> f64 {
+        if self.data.is_empty() {
+            return 1.0;
+        }
+        self.original_len as f64 / self.data.len() as f64
+    }
+}
+
+/// Encodes the raw bytes of a payload with the run-length codec, falling
+/// back to an identity encoding when the payload has no raw byte view or
+/// when RLE would expand it.
+pub fn encode_payload(payload: &MediaPayload) -> EncodedPayload {
+    match raw_bytes(payload) {
+        Some(bytes) => {
+            let encoded = rle_encode(bytes);
+            if encoded.len() < bytes.len() {
+                EncodedPayload { encoding: "rle", data: encoded, original_len: bytes.len() }
+            } else {
+                EncodedPayload {
+                    encoding: "identity",
+                    data: bytes.to_vec(),
+                    original_len: bytes.len(),
+                }
+            }
+        }
+        None => {
+            let text = match payload {
+                MediaPayload::Text { content } => content.clone().into_bytes(),
+                MediaPayload::Generator { program, .. } => program.clone().into_bytes(),
+                _ => unreachable!("raw_bytes covered the other variants"),
+            };
+            EncodedPayload { encoding: "identity", original_len: text.len(), data: text }
+        }
+    }
+}
+
+/// Decodes an [`EncodedPayload`] back into raw bytes.
+pub fn decode_payload(encoded: &EncodedPayload) -> Result<Vec<u8>> {
+    match encoded.encoding {
+        "rle" => rle_decode(&encoded.data),
+        "identity" => Ok(encoded.data.clone()),
+        other => Err(MediaError::CorruptData { reason: format!("unknown encoding `{other}`") }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::MediaGenerator;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rle_round_trips_simple_runs() {
+        let data = b"aaaabbbcccccd".to_vec();
+        let encoded = rle_encode(&data);
+        assert_eq!(rle_decode(&encoded).unwrap(), data);
+        assert!(encoded.len() < data.len());
+    }
+
+    #[test]
+    fn rle_handles_empty_and_long_runs() {
+        assert!(rle_encode(&[]).is_empty());
+        assert_eq!(rle_decode(&[]).unwrap(), Vec::<u8>::new());
+        let long = vec![7u8; 1000];
+        let encoded = rle_encode(&long);
+        assert_eq!(rle_decode(&encoded).unwrap(), long);
+        // 1000 = 3*255 + 235 -> 4 runs -> 8 bytes.
+        assert_eq!(encoded.len(), 8);
+    }
+
+    #[test]
+    fn rle_rejects_corrupt_streams() {
+        assert!(rle_decode(&[3]).is_err());
+        assert!(rle_decode(&[0, 9]).is_err());
+    }
+
+    #[test]
+    fn encode_payload_prefers_the_smaller_form() {
+        // A flat image compresses well.
+        let flat = MediaPayload::Image {
+            width: 32,
+            height: 32,
+            color_depth: 8,
+            pixels: Bytes::from(vec![9u8; 1024]),
+        };
+        let encoded = encode_payload(&flat);
+        assert_eq!(encoded.encoding, "rle");
+        assert!(encoded.ratio() > 10.0);
+        assert_eq!(decode_payload(&encoded).unwrap(), vec![9u8; 1024]);
+
+        // Synthetic audio rarely has runs; identity must kick in rather than
+        // expanding the data.
+        let audio = MediaGenerator::new(1).audio("a", 500, 8000);
+        let encoded = encode_payload(&audio.payload);
+        assert!(encoded.data.len() <= audio.payload.size_bytes() as usize);
+        assert_eq!(decode_payload(&encoded).unwrap().len(), 4000);
+    }
+
+    #[test]
+    fn text_payloads_use_identity() {
+        let text = MediaPayload::Text { content: "no runs here".into() };
+        let encoded = encode_payload(&text);
+        assert_eq!(encoded.encoding, "identity");
+        assert_eq!(decode_payload(&encoded).unwrap(), b"no runs here".to_vec());
+    }
+
+    #[test]
+    fn unknown_encoding_is_rejected() {
+        let bogus = EncodedPayload { encoding: "huffman", data: vec![], original_len: 0 };
+        assert!(decode_payload(&bogus).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn rle_round_trips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            let encoded = rle_encode(&data);
+            prop_assert_eq!(rle_decode(&encoded).unwrap(), data);
+        }
+
+        #[test]
+        fn encode_payload_never_loses_bytes(data in proptest::collection::vec(any::<u8>(), 1..1500)) {
+            let payload = MediaPayload::Image {
+                width: data.len() as u32,
+                height: 1,
+                color_depth: 8,
+                pixels: Bytes::from(data.clone()),
+            };
+            let encoded = encode_payload(&payload);
+            prop_assert_eq!(decode_payload(&encoded).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for the media substrate.
+
+use std::fmt;
+
+/// Result alias used throughout `cmif-media`.
+pub type Result<T> = std::result::Result<T, MediaError>;
+
+/// Errors raised by media block operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MediaError {
+    /// The requested block does not exist in the store.
+    UnknownBlock {
+        /// The missing key.
+        key: String,
+    },
+    /// A block with this key is already stored.
+    DuplicateBlock {
+        /// The duplicate key.
+        key: String,
+    },
+    /// An operation was applied to a payload of the wrong medium
+    /// (e.g. cropping an audio clip).
+    WrongMedium {
+        /// The operation attempted.
+        operation: &'static str,
+        /// The medium the payload actually has.
+        found: cmif_core::channel::MediaKind,
+    },
+    /// A selection (slice, crop, clip) falls outside the block.
+    SelectionOutOfRange {
+        /// Description of the failed selection.
+        reason: String,
+    },
+    /// A transcode was asked for parameters the codec cannot produce.
+    UnsupportedConversion {
+        /// Description of the unsupported conversion.
+        reason: String,
+    },
+    /// Encoded data could not be decoded.
+    CorruptData {
+        /// Description of the corruption.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MediaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediaError::UnknownBlock { key } => write!(f, "media block `{key}` is not stored"),
+            MediaError::DuplicateBlock { key } => {
+                write!(f, "media block `{key}` is already stored")
+            }
+            MediaError::WrongMedium { operation, found } => {
+                write!(f, "operation `{operation}` cannot be applied to {found} data")
+            }
+            MediaError::SelectionOutOfRange { reason } => {
+                write!(f, "selection out of range: {reason}")
+            }
+            MediaError::UnsupportedConversion { reason } => {
+                write!(f, "unsupported conversion: {reason}")
+            }
+            MediaError::CorruptData { reason } => write!(f, "corrupt encoded data: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MediaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmif_core::channel::MediaKind;
+
+    #[test]
+    fn display_names_the_problem() {
+        assert!(MediaError::UnknownBlock { key: "x".into() }.to_string().contains("x"));
+        assert!(MediaError::WrongMedium { operation: "crop", found: MediaKind::Audio }
+            .to_string()
+            .contains("crop"));
+        assert!(MediaError::SelectionOutOfRange { reason: "past end".into() }
+            .to_string()
+            .contains("past end"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn is_error<E: std::error::Error>(_: &E) {}
+        is_error(&MediaError::CorruptData { reason: "truncated".into() });
+    }
+}

@@ -1,0 +1,209 @@
+//! Synthetic media generators.
+//!
+//! The paper's pipeline assumes media capture hardware ("we expect that
+//! equipment vendors or third-party organizations will do this better than
+//! we can", §2). This reproduction has no cameras or microphones, so the
+//! capture stage synthesizes deterministic media with realistic sizes,
+//! durations and rates instead: sine-tone PCM audio, procedurally patterned
+//! video frames and raster images, and word-salad text. The document layer
+//! never interprets media bytes, so any deterministic generator that
+//! produces the right *shape* of data exercises the same code paths.
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::block::{MediaBlock, MediaPayload};
+
+/// Deterministic generator for synthetic media blocks.
+#[derive(Debug)]
+pub struct MediaGenerator {
+    rng: SmallRng,
+}
+
+impl MediaGenerator {
+    /// Creates a generator with a fixed seed; the same seed always produces
+    /// the same media.
+    pub fn new(seed: u64) -> MediaGenerator {
+        MediaGenerator { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Generates a sine-tone 8-bit PCM audio block.
+    pub fn audio(&mut self, key: &str, duration_ms: i64, sample_rate: u32) -> MediaBlock {
+        let sample_count = (duration_ms.max(0) as u64 * sample_rate as u64 / 1000) as usize;
+        let frequency = self.rng.gen_range(110.0..880.0_f64);
+        let mut samples = Vec::with_capacity(sample_count);
+        for i in 0..sample_count {
+            let t = i as f64 / sample_rate as f64;
+            let value = (t * frequency * std::f64::consts::TAU).sin();
+            samples.push((value * 100.0 + 128.0) as u8);
+        }
+        MediaBlock::new(key, MediaPayload::Audio { sample_rate, samples: Bytes::from(samples) })
+    }
+
+    /// Generates a video block of procedurally patterned frames.
+    pub fn video(
+        &mut self,
+        key: &str,
+        duration_ms: i64,
+        width: u32,
+        height: u32,
+        fps: f64,
+        color_depth: u8,
+    ) -> MediaBlock {
+        let frame_count = ((duration_ms.max(0) as f64 / 1000.0) * fps).round().max(1.0) as u32;
+        let bytes_per_pixel = (color_depth as usize / 8).max(1);
+        let frame_size = width as usize * height as usize * bytes_per_pixel;
+        let phase = self.rng.gen_range(0u32..255);
+        let mut frames = Vec::with_capacity(frame_size * frame_count as usize);
+        for frame in 0..frame_count {
+            for y in 0..height {
+                for x in 0..width {
+                    for plane in 0..bytes_per_pixel {
+                        let value =
+                            (x ^ y).wrapping_add(frame).wrapping_add(phase) as u8 ^ (plane as u8 * 85);
+                        frames.push(value);
+                    }
+                }
+            }
+        }
+        MediaBlock::new(
+            key,
+            MediaPayload::Video {
+                width,
+                height,
+                fps,
+                color_depth,
+                frames: Bytes::from(frames),
+                frame_count,
+            },
+        )
+    }
+
+    /// Generates a gradient/checkerboard raster image.
+    pub fn image(&mut self, key: &str, width: u32, height: u32, color_depth: u8) -> MediaBlock {
+        let bytes_per_pixel = (color_depth as usize / 8).max(1);
+        let offset = self.rng.gen_range(0u32..255);
+        let mut pixels = Vec::with_capacity(width as usize * height as usize * bytes_per_pixel);
+        for y in 0..height {
+            for x in 0..width {
+                for plane in 0..bytes_per_pixel {
+                    let checker = if (x / 8 + y / 8) % 2 == 0 { 64 } else { 0 };
+                    let value = ((x + y + offset) % 256) as u8 ^ checker ^ (plane as u8 * 40);
+                    pixels.push(value);
+                }
+            }
+        }
+        MediaBlock::new(
+            key,
+            MediaPayload::Image { width, height, color_depth, pixels: Bytes::from(pixels) },
+        )
+    }
+
+    /// Generates word-salad text of roughly `words` words.
+    pub fn text(&mut self, key: &str, words: usize) -> MediaBlock {
+        const LEXICON: &[&str] = &[
+            "museum", "painting", "witness", "report", "announcer", "gallery", "insurance",
+            "evening", "broadcast", "caption", "channel", "synchronise", "document", "archive",
+            "story", "camera", "studio", "reporter", "bulletin", "headline",
+        ];
+        let mut content = String::new();
+        for i in 0..words {
+            if i > 0 {
+                content.push(if i % 12 == 0 { '\n' } else { ' ' });
+            }
+            content.push_str(LEXICON[self.rng.gen_range(0..LEXICON.len())]);
+        }
+        MediaBlock::new(key, MediaPayload::Text { content })
+    }
+
+    /// Generates a "program" block: a generator that would produce data of
+    /// another medium when executed.
+    pub fn generator(&mut self, key: &str, produces: cmif_core::channel::MediaKind) -> MediaBlock {
+        let scene = self.rng.gen_range(1..100);
+        MediaBlock::new(
+            key,
+            MediaPayload::Generator { program: format!("render --scene {scene}"), produces },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmif_core::channel::MediaKind;
+    use cmif_core::time::TimeMs;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = MediaGenerator::new(7);
+        let mut b = MediaGenerator::new(7);
+        assert_eq!(a.audio("x", 500, 8000), b.audio("x", 500, 8000));
+        assert_eq!(a.image("y", 16, 16, 8), b.image("y", 16, 16, 8));
+        let mut c = MediaGenerator::new(8);
+        assert_ne!(MediaGenerator::new(7).audio("x", 500, 8000), c.audio("x", 500, 8000));
+    }
+
+    #[test]
+    fn audio_has_requested_duration_and_rate() {
+        let block = MediaGenerator::new(1).audio("speech", 2_500, 8000);
+        assert_eq!(block.payload.size_bytes(), 20_000);
+        assert_eq!(block.payload.duration(), Some(TimeMs::from_millis(2_500)));
+        let descriptor = block.describe();
+        assert_eq!(descriptor.rates.samples_per_second, Some(8000));
+    }
+
+    #[test]
+    fn video_geometry_matches_request() {
+        let block = MediaGenerator::new(2).video("film", 2_000, 64, 48, 25.0, 24);
+        match &block.payload {
+            MediaPayload::Video { width, height, frame_count, frames, .. } => {
+                assert_eq!((*width, *height), (64, 48));
+                assert_eq!(*frame_count, 50);
+                assert_eq!(frames.len(), 64 * 48 * 3 * 50);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+        assert_eq!(block.payload.duration(), Some(TimeMs::from_secs(2)));
+    }
+
+    #[test]
+    fn image_size_follows_colour_depth() {
+        let rgb = MediaGenerator::new(3).image("pic", 32, 32, 24);
+        assert_eq!(rgb.payload.size_bytes(), 32 * 32 * 3);
+        let indexed = MediaGenerator::new(3).image("pic8", 32, 32, 8);
+        assert_eq!(indexed.payload.size_bytes(), 32 * 32);
+    }
+
+    #[test]
+    fn text_contains_requested_word_count() {
+        let block = MediaGenerator::new(4).text("caption", 24);
+        match &block.payload {
+            MediaPayload::Text { content } => {
+                assert_eq!(content.split_whitespace().count(), 24);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_duration_video_still_has_one_frame() {
+        let block = MediaGenerator::new(5).video("tiny", 0, 8, 8, 25.0, 8);
+        match &block.payload {
+            MediaPayload::Video { frame_count, .. } => assert_eq!(*frame_count, 1),
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generator_block_names_its_product() {
+        let block = MediaGenerator::new(6).generator("render", MediaKind::Image);
+        match &block.payload {
+            MediaPayload::Generator { produces, program } => {
+                assert_eq!(*produces, MediaKind::Image);
+                assert!(program.starts_with("render"));
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # cmif-media — the media substrate
+//!
+//! The CMIF paper assumes media capture hardware, storage servers and a
+//! descriptor database around the document format. This crate is that
+//! substrate, built synthetically so the whole pipeline runs on a laptop:
+//!
+//! * [`block`] — media blocks (audio, video frames, images, text, generator
+//!   programs) and the derivation of their data descriptors;
+//! * [`generate`] — deterministic synthetic media generators standing in for
+//!   capture hardware;
+//! * [`ops`] — the `slice`/`crop`/`clip` selections of Figure 7 applied to
+//!   real bytes, plus the constraint-filter degradations of §2 (colour-depth
+//!   reduction, downscaling, frame-rate sub-sampling, audio downsampling);
+//! * [`codec`] — a run-length codec so stored and transported blocks have a
+//!   real encoded form;
+//! * [`store`] — the local block store with descriptor/payload access
+//!   accounting;
+//! * [`ddbms`] — the attribute-indexed descriptor database of Figure 2, with
+//!   an indexed query path and a payload-scanning strawman to compare it
+//!   against.
+//!
+//! ```
+//! use cmif_media::generate::MediaGenerator;
+//! use cmif_media::store::BlockStore;
+//! use cmif_core::descriptor::DescriptorResolver;
+//!
+//! let store = BlockStore::new();
+//! let mut generator = MediaGenerator::new(42);
+//! store.put(generator.audio("intro-speech", 3_000, 8_000)).unwrap();
+//!
+//! // Documents and schedulers only ever need the descriptor:
+//! let descriptor = store.resolve("intro-speech").unwrap();
+//! assert_eq!(descriptor.duration.unwrap().as_millis(), 3_000);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod block;
+pub mod codec;
+pub mod ddbms;
+pub mod error;
+pub mod generate;
+pub mod ops;
+pub mod store;
+
+pub use block::{MediaBlock, MediaPayload};
+pub use codec::{decode_payload, encode_payload, EncodedPayload};
+pub use ddbms::{index_store, DescriptorDb, Query};
+pub use error::{MediaError, Result};
+pub use generate::MediaGenerator;
+pub use store::BlockStore;

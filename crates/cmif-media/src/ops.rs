@@ -1,0 +1,473 @@
+//! Operations on media payloads: selections and constraint-filter
+//! transcodes.
+//!
+//! Two groups of operations live here:
+//!
+//! * **selections** — the `slice`, `crop` and `clip` attributes of Figure 7
+//!   applied to actual data ([`apply_selection`]);
+//! * **constraint filters** — the degradations the paper's constraint
+//!   filtering tools perform to fit a document onto a weaker device (§2):
+//!   "24-bit color to 8-bit color, color to monochrome, high-resolution to
+//!   low resolution, full-frame-rate video to sub-sampled rate video".
+//!   [`reduce_color_depth`], [`downscale`], [`subsample_frame_rate`] and
+//!   [`downsample_audio`] implement those degradations on the synthetic
+//!   payloads.
+
+use bytes::Bytes;
+use cmif_core::descriptor::Selection;
+
+use crate::block::MediaPayload;
+use crate::error::{MediaError, Result};
+
+/// Applies a document selection to a payload, producing the reduced payload
+/// a presentation would actually use.
+pub fn apply_selection(payload: &MediaPayload, selection: &Selection) -> Result<MediaPayload> {
+    match selection {
+        Selection::Slice { start, length } => slice_bytes(payload, *start, *length),
+        Selection::Crop { x, y, width, height } => crop(payload, *x, *y, *width, *height),
+        Selection::Clip { start_ms, duration_ms } => clip(payload, *start_ms, *duration_ms),
+    }
+}
+
+/// Extracts a byte range from any payload (the `slice` attribute).
+pub fn slice_bytes(payload: &MediaPayload, start: u64, length: u64) -> Result<MediaPayload> {
+    let take = |bytes: &Bytes| -> Result<Bytes> {
+        let end = start.checked_add(length).ok_or_else(|| MediaError::SelectionOutOfRange {
+            reason: "slice end overflows".to_string(),
+        })?;
+        if end as usize > bytes.len() {
+            return Err(MediaError::SelectionOutOfRange {
+                reason: format!("slice {start}+{length} exceeds {} bytes", bytes.len()),
+            });
+        }
+        Ok(bytes.slice(start as usize..end as usize))
+    };
+    match payload {
+        MediaPayload::Audio { sample_rate, samples } => Ok(MediaPayload::Audio {
+            sample_rate: *sample_rate,
+            samples: take(samples)?,
+        }),
+        MediaPayload::Video { width, height, fps, color_depth, frames, .. } => {
+            let sliced = take(frames)?;
+            let frame_size = (*width as usize * *height as usize
+                * (*color_depth as usize / 8).max(1))
+            .max(1);
+            Ok(MediaPayload::Video {
+                width: *width,
+                height: *height,
+                fps: *fps,
+                color_depth: *color_depth,
+                frame_count: (sliced.len() / frame_size) as u32,
+                frames: sliced,
+            })
+        }
+        MediaPayload::Image { width, height, color_depth, pixels } => Ok(MediaPayload::Image {
+            width: *width,
+            height: *height,
+            color_depth: *color_depth,
+            pixels: take(pixels)?,
+        }),
+        MediaPayload::Text { content } => {
+            let end = (start + length) as usize;
+            if end > content.len() {
+                return Err(MediaError::SelectionOutOfRange {
+                    reason: format!("slice exceeds {} bytes of text", content.len()),
+                });
+            }
+            Ok(MediaPayload::Text { content: content[start as usize..end].to_string() })
+        }
+        MediaPayload::Generator { .. } => Err(MediaError::WrongMedium {
+            operation: "slice",
+            found: payload.medium(),
+        }),
+    }
+}
+
+/// Extracts a rectangular sub-image (the `crop` attribute).
+pub fn crop(payload: &MediaPayload, x: u32, y: u32, width: u32, height: u32) -> Result<MediaPayload> {
+    match payload {
+        MediaPayload::Image { width: full_w, height: full_h, color_depth, pixels } => {
+            if x + width > *full_w || y + height > *full_h {
+                return Err(MediaError::SelectionOutOfRange {
+                    reason: format!(
+                        "crop {x},{y} {width}x{height} exceeds image {full_w}x{full_h}"
+                    ),
+                });
+            }
+            let bpp = (*color_depth as usize / 8).max(1);
+            let mut out = Vec::with_capacity(width as usize * height as usize * bpp);
+            for row in y..y + height {
+                let row_start = (row as usize * *full_w as usize + x as usize) * bpp;
+                out.extend_from_slice(&pixels[row_start..row_start + width as usize * bpp]);
+            }
+            Ok(MediaPayload::Image {
+                width,
+                height,
+                color_depth: *color_depth,
+                pixels: Bytes::from(out),
+            })
+        }
+        other => Err(MediaError::WrongMedium { operation: "crop", found: other.medium() }),
+    }
+}
+
+/// Extracts a temporal part of an audio or video payload (the `clip`
+/// attribute).
+pub fn clip(payload: &MediaPayload, start_ms: i64, duration_ms: i64) -> Result<MediaPayload> {
+    if start_ms < 0 || duration_ms < 0 {
+        return Err(MediaError::SelectionOutOfRange {
+            reason: "clip times must be non-negative".to_string(),
+        });
+    }
+    match payload {
+        MediaPayload::Audio { sample_rate, samples } => {
+            let start = (start_ms as u64 * *sample_rate as u64 / 1000) as usize;
+            let len = (duration_ms as u64 * *sample_rate as u64 / 1000) as usize;
+            if start + len > samples.len() {
+                return Err(MediaError::SelectionOutOfRange {
+                    reason: format!("clip exceeds audio of {} samples", samples.len()),
+                });
+            }
+            Ok(MediaPayload::Audio {
+                sample_rate: *sample_rate,
+                samples: samples.slice(start..start + len),
+            })
+        }
+        MediaPayload::Video { width, height, fps, color_depth, frames, frame_count } => {
+            let frame_size =
+                (*width as usize * *height as usize * (*color_depth as usize / 8).max(1)).max(1);
+            let first = ((start_ms as f64 / 1000.0) * fps).floor() as usize;
+            let count = ((duration_ms as f64 / 1000.0) * fps).round() as usize;
+            if first + count > *frame_count as usize {
+                return Err(MediaError::SelectionOutOfRange {
+                    reason: format!("clip exceeds video of {frame_count} frames"),
+                });
+            }
+            Ok(MediaPayload::Video {
+                width: *width,
+                height: *height,
+                fps: *fps,
+                color_depth: *color_depth,
+                frames: frames.slice(first * frame_size..(first + count) * frame_size),
+                frame_count: count as u32,
+            })
+        }
+        other => Err(MediaError::WrongMedium { operation: "clip", found: other.medium() }),
+    }
+}
+
+/// Reduces 24-bit colour to 8-bit (or leaves 8-bit data untouched) — the
+/// "24-bit color to 8-bit color" constraint filter.
+pub fn reduce_color_depth(payload: &MediaPayload, target_bits: u8) -> Result<MediaPayload> {
+    if target_bits != 8 {
+        return Err(MediaError::UnsupportedConversion {
+            reason: format!("only 8-bit targets are supported, asked for {target_bits}"),
+        });
+    }
+    let quantize = |bytes: &Bytes, bpp: usize| -> Bytes {
+        if bpp == 1 {
+            return bytes.clone();
+        }
+        let mut out = Vec::with_capacity(bytes.len() / bpp);
+        for pixel in bytes.chunks(bpp) {
+            let luma = pixel.iter().map(|b| *b as u32).sum::<u32>() / bpp as u32;
+            out.push(luma as u8);
+        }
+        Bytes::from(out)
+    };
+    match payload {
+        MediaPayload::Image { width, height, color_depth, pixels } => Ok(MediaPayload::Image {
+            width: *width,
+            height: *height,
+            color_depth: 8,
+            pixels: quantize(pixels, (*color_depth as usize / 8).max(1)),
+        }),
+        MediaPayload::Video { width, height, fps, color_depth, frames, frame_count } => {
+            Ok(MediaPayload::Video {
+                width: *width,
+                height: *height,
+                fps: *fps,
+                color_depth: 8,
+                frames: quantize(frames, (*color_depth as usize / 8).max(1)),
+                frame_count: *frame_count,
+            })
+        }
+        other => Err(MediaError::WrongMedium {
+            operation: "reduce_color_depth",
+            found: other.medium(),
+        }),
+    }
+}
+
+/// Downscales a raster payload by an integer factor — the "high-resolution
+/// to low resolution" constraint filter.
+pub fn downscale(payload: &MediaPayload, factor: u32) -> Result<MediaPayload> {
+    if factor == 0 {
+        return Err(MediaError::UnsupportedConversion {
+            reason: "downscale factor must be at least 1".to_string(),
+        });
+    }
+    let scale_raster = |bytes: &Bytes, w: u32, h: u32, bpp: usize, frames: u32| -> (Bytes, u32, u32) {
+        let new_w = (w / factor).max(1);
+        let new_h = (h / factor).max(1);
+        let mut out = Vec::with_capacity(new_w as usize * new_h as usize * bpp * frames as usize);
+        let frame_size = w as usize * h as usize * bpp;
+        for frame in 0..frames as usize {
+            let base = frame * frame_size;
+            for y in 0..new_h {
+                for x in 0..new_w {
+                    let src = base + ((y * factor) as usize * w as usize + (x * factor) as usize) * bpp;
+                    out.extend_from_slice(&bytes[src..src + bpp]);
+                }
+            }
+        }
+        (Bytes::from(out), new_w, new_h)
+    };
+    match payload {
+        MediaPayload::Image { width, height, color_depth, pixels } => {
+            let bpp = (*color_depth as usize / 8).max(1);
+            let (scaled, new_w, new_h) = scale_raster(pixels, *width, *height, bpp, 1);
+            Ok(MediaPayload::Image { width: new_w, height: new_h, color_depth: *color_depth, pixels: scaled })
+        }
+        MediaPayload::Video { width, height, fps, color_depth, frames, frame_count } => {
+            let bpp = (*color_depth as usize / 8).max(1);
+            let (scaled, new_w, new_h) = scale_raster(frames, *width, *height, bpp, *frame_count);
+            Ok(MediaPayload::Video {
+                width: new_w,
+                height: new_h,
+                fps: *fps,
+                color_depth: *color_depth,
+                frames: scaled,
+                frame_count: *frame_count,
+            })
+        }
+        other => Err(MediaError::WrongMedium { operation: "downscale", found: other.medium() }),
+    }
+}
+
+/// Keeps every `keep_one_in`-th frame — the "full-frame-rate video to
+/// sub-sampled rate video" constraint filter.
+pub fn subsample_frame_rate(payload: &MediaPayload, keep_one_in: u32) -> Result<MediaPayload> {
+    if keep_one_in == 0 {
+        return Err(MediaError::UnsupportedConversion {
+            reason: "subsample factor must be at least 1".to_string(),
+        });
+    }
+    match payload {
+        MediaPayload::Video { width, height, fps, color_depth, frames, frame_count } => {
+            let frame_size =
+                (*width as usize * *height as usize * (*color_depth as usize / 8).max(1)).max(1);
+            let mut out = Vec::new();
+            let mut kept = 0;
+            for frame in 0..*frame_count as usize {
+                if frame % keep_one_in as usize == 0 {
+                    out.extend_from_slice(&frames[frame * frame_size..(frame + 1) * frame_size]);
+                    kept += 1;
+                }
+            }
+            Ok(MediaPayload::Video {
+                width: *width,
+                height: *height,
+                fps: fps / keep_one_in as f64,
+                color_depth: *color_depth,
+                frames: Bytes::from(out),
+                frame_count: kept,
+            })
+        }
+        other => Err(MediaError::WrongMedium {
+            operation: "subsample_frame_rate",
+            found: other.medium(),
+        }),
+    }
+}
+
+/// Halves (or otherwise integer-divides) the audio sampling rate.
+pub fn downsample_audio(payload: &MediaPayload, factor: u32) -> Result<MediaPayload> {
+    if factor == 0 {
+        return Err(MediaError::UnsupportedConversion {
+            reason: "downsample factor must be at least 1".to_string(),
+        });
+    }
+    match payload {
+        MediaPayload::Audio { sample_rate, samples } => {
+            let kept: Vec<u8> = samples.iter().copied().step_by(factor as usize).collect();
+            Ok(MediaPayload::Audio {
+                sample_rate: (*sample_rate / factor).max(1),
+                samples: Bytes::from(kept),
+            })
+        }
+        other => Err(MediaError::WrongMedium {
+            operation: "downsample_audio",
+            found: other.medium(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::MediaGenerator;
+    use cmif_core::time::TimeMs;
+
+    fn generator() -> MediaGenerator {
+        MediaGenerator::new(99)
+    }
+
+    #[test]
+    fn slice_respects_bounds() {
+        let audio = generator().audio("a", 1_000, 8000);
+        let sliced = slice_bytes(&audio.payload, 0, 4_000).unwrap();
+        assert_eq!(sliced.size_bytes(), 4_000);
+        assert!(slice_bytes(&audio.payload, 7_000, 2_000).is_err());
+    }
+
+    #[test]
+    fn slice_text_by_bytes() {
+        let text = MediaPayload::Text { content: "hello world".into() };
+        let sliced = slice_bytes(&text, 6, 5).unwrap();
+        match sliced {
+            MediaPayload::Text { content } => assert_eq!(content, "world"),
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crop_extracts_subimage() {
+        let image = generator().image("pic", 32, 32, 24);
+        let cropped = crop(&image.payload, 4, 4, 8, 8).unwrap();
+        match cropped {
+            MediaPayload::Image { width, height, pixels, .. } => {
+                assert_eq!((width, height), (8, 8));
+                assert_eq!(pixels.len(), 8 * 8 * 3);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+        assert!(crop(&image.payload, 30, 30, 8, 8).is_err());
+        let audio = generator().audio("a", 100, 8000);
+        assert!(matches!(
+            crop(&audio.payload, 0, 0, 1, 1).unwrap_err(),
+            MediaError::WrongMedium { .. }
+        ));
+    }
+
+    #[test]
+    fn clip_audio_by_time() {
+        let audio = generator().audio("a", 4_000, 8000);
+        let clipped = clip(&audio.payload, 1_000, 2_000).unwrap();
+        assert_eq!(clipped.duration(), Some(TimeMs::from_secs(2)));
+        assert!(clip(&audio.payload, 3_500, 1_000).is_err());
+        assert!(clip(&audio.payload, -1, 100).is_err());
+    }
+
+    #[test]
+    fn clip_video_by_time() {
+        let video = generator().video("v", 4_000, 16, 16, 25.0, 8);
+        let clipped = clip(&video.payload, 0, 2_000).unwrap();
+        match clipped {
+            MediaPayload::Video { frame_count, .. } => assert_eq!(frame_count, 50),
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_selection_dispatches() {
+        let image = generator().image("pic", 16, 16, 8);
+        let out = apply_selection(&image.payload, &Selection::Crop { x: 0, y: 0, width: 4, height: 4 })
+            .unwrap();
+        assert_eq!(out.size_bytes(), 16);
+        let audio = generator().audio("a", 1_000, 8000);
+        let out =
+            apply_selection(&audio.payload, &Selection::Clip { start_ms: 0, duration_ms: 500 })
+                .unwrap();
+        assert_eq!(out.size_bytes(), 4_000);
+        let out =
+            apply_selection(&audio.payload, &Selection::Slice { start: 0, length: 100 }).unwrap();
+        assert_eq!(out.size_bytes(), 100);
+    }
+
+    #[test]
+    fn reduce_color_depth_shrinks_by_three() {
+        let image = generator().image("pic", 16, 16, 24);
+        let reduced = reduce_color_depth(&image.payload, 8).unwrap();
+        assert_eq!(reduced.size_bytes(), 16 * 16);
+        match reduced {
+            MediaPayload::Image { color_depth, .. } => assert_eq!(color_depth, 8),
+            other => panic!("unexpected payload {other:?}"),
+        }
+        // Reducing already-8-bit data is a no-op.
+        let image8 = generator().image("pic8", 16, 16, 8);
+        assert_eq!(reduce_color_depth(&image8.payload, 8).unwrap().size_bytes(), 16 * 16);
+        assert!(reduce_color_depth(&image.payload, 4).is_err());
+    }
+
+    #[test]
+    fn downscale_reduces_geometry() {
+        let image = generator().image("pic", 32, 32, 24);
+        let small = downscale(&image.payload, 2).unwrap();
+        match small {
+            MediaPayload::Image { width, height, pixels, .. } => {
+                assert_eq!((width, height), (16, 16));
+                assert_eq!(pixels.len(), 16 * 16 * 3);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+        assert!(downscale(&image.payload, 0).is_err());
+        let video = generator().video("v", 1_000, 32, 32, 25.0, 8);
+        let small = downscale(&video.payload, 4).unwrap();
+        match small {
+            MediaPayload::Video { width, height, frame_count, .. } => {
+                assert_eq!((width, height), (8, 8));
+                assert_eq!(frame_count, 25);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subsample_halves_frame_rate() {
+        let video = generator().video("v", 2_000, 8, 8, 24.0, 8);
+        let sub = subsample_frame_rate(&video.payload, 2).unwrap();
+        match sub {
+            MediaPayload::Video { fps, frame_count, .. } => {
+                assert_eq!(fps, 12.0);
+                assert_eq!(frame_count, 24);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+        // Duration is (approximately) preserved.
+        assert_eq!(sub.duration(), video.payload.duration());
+        assert!(subsample_frame_rate(&video.payload, 0).is_err());
+    }
+
+    #[test]
+    fn downsample_audio_halves_rate_and_size() {
+        let audio = generator().audio("a", 1_000, 8000);
+        let down = downsample_audio(&audio.payload, 2).unwrap();
+        match &down {
+            MediaPayload::Audio { sample_rate, samples } => {
+                assert_eq!(*sample_rate, 4000);
+                assert_eq!(samples.len(), 4000);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+        assert_eq!(down.duration(), audio.payload.duration());
+    }
+
+    #[test]
+    fn filters_reject_wrong_media() {
+        let text = MediaPayload::Text { content: "x".into() };
+        assert!(matches!(downscale(&text, 2).unwrap_err(), MediaError::WrongMedium { .. }));
+        assert!(matches!(
+            subsample_frame_rate(&text, 2).unwrap_err(),
+            MediaError::WrongMedium { .. }
+        ));
+        assert!(matches!(
+            downsample_audio(&text, 2).unwrap_err(),
+            MediaError::WrongMedium { .. }
+        ));
+        assert!(matches!(
+            reduce_color_depth(&text, 8).unwrap_err(),
+            MediaError::WrongMedium { .. }
+        ));
+    }
+}

@@ -1,0 +1,261 @@
+//! The media block store.
+//!
+//! A [`BlockStore`] is the local storage server of the pipeline: it owns the
+//! media bytes and the data descriptors that describe them, and it exposes
+//! the [`DescriptorResolver`] interface so documents, schedulers and
+//! constraint filters can work entirely from descriptors without pulling a
+//! single media byte — the access pattern the paper argues for (§6).
+//!
+//! The store counts how often descriptors and payloads are fetched, so the
+//! Figure 2 benchmark can show that descriptor-only workflows touch only a
+//! tiny fraction of the stored bytes.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use cmif_core::descriptor::{DataDescriptor, DescriptorResolver};
+
+use crate::block::{MediaBlock, MediaPayload};
+use crate::error::{MediaError, Result};
+
+/// A thread-safe store of media blocks and their descriptors.
+#[derive(Debug, Default)]
+pub struct BlockStore {
+    blocks: RwLock<BTreeMap<String, MediaBlock>>,
+    descriptors: RwLock<BTreeMap<String, DataDescriptor>>,
+    descriptor_reads: AtomicU64,
+    payload_reads: AtomicU64,
+    payload_bytes_read: AtomicU64,
+}
+
+impl BlockStore {
+    /// Creates an empty store.
+    pub fn new() -> BlockStore {
+        BlockStore::default()
+    }
+
+    /// Stores a block and the descriptor derived from it, rejecting
+    /// duplicate keys.
+    pub fn put(&self, block: MediaBlock) -> Result<()> {
+        let mut blocks = self.blocks.write();
+        if blocks.contains_key(&block.key) {
+            return Err(MediaError::DuplicateBlock { key: block.key.clone() });
+        }
+        let descriptor = block.describe();
+        self.descriptors.write().insert(block.key.clone(), descriptor);
+        blocks.insert(block.key.clone(), block);
+        Ok(())
+    }
+
+    /// Stores a block with an explicitly provided descriptor (when a capture
+    /// tool supplies richer attributes than [`MediaBlock::describe`]).
+    pub fn put_with_descriptor(&self, block: MediaBlock, descriptor: DataDescriptor) -> Result<()> {
+        let mut blocks = self.blocks.write();
+        if blocks.contains_key(&block.key) {
+            return Err(MediaError::DuplicateBlock { key: block.key.clone() });
+        }
+        self.descriptors.write().insert(block.key.clone(), descriptor);
+        blocks.insert(block.key.clone(), block);
+        Ok(())
+    }
+
+    /// Number of stored blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.read().len()
+    }
+
+    /// True when the store holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.read().is_empty()
+    }
+
+    /// All stored keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.blocks.read().keys().cloned().collect()
+    }
+
+    /// Fetches a block's descriptor (cheap; counted separately from payload
+    /// reads).
+    pub fn descriptor(&self, key: &str) -> Result<DataDescriptor> {
+        self.descriptor_reads.fetch_add(1, Ordering::Relaxed);
+        self.descriptors
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| MediaError::UnknownBlock { key: key.to_string() })
+    }
+
+    /// Fetches a block's payload (expensive; counted, with bytes).
+    pub fn payload(&self, key: &str) -> Result<MediaPayload> {
+        let blocks = self.blocks.read();
+        let block = blocks
+            .get(key)
+            .ok_or_else(|| MediaError::UnknownBlock { key: key.to_string() })?;
+        self.payload_reads.fetch_add(1, Ordering::Relaxed);
+        self.payload_bytes_read
+            .fetch_add(block.payload.size_bytes(), Ordering::Relaxed);
+        Ok(block.payload.clone())
+    }
+
+    /// Replaces a block's payload and refreshes its descriptor (used by
+    /// constraint filters that materialise degraded versions).
+    pub fn replace_payload(&self, key: &str, payload: MediaPayload) -> Result<()> {
+        let mut blocks = self.blocks.write();
+        let block = blocks
+            .get_mut(key)
+            .ok_or_else(|| MediaError::UnknownBlock { key: key.to_string() })?;
+        block.payload = payload;
+        let descriptor = block.describe();
+        self.descriptors.write().insert(key.to_string(), descriptor);
+        Ok(())
+    }
+
+    /// Total bytes of stored media.
+    pub fn total_bytes(&self) -> u64 {
+        self.blocks
+            .read()
+            .values()
+            .map(|b| b.payload.size_bytes())
+            .sum()
+    }
+
+    /// Access statistics: `(descriptor reads, payload reads, payload bytes)`.
+    pub fn access_stats(&self) -> (u64, u64, u64) {
+        (
+            self.descriptor_reads.load(Ordering::Relaxed),
+            self.payload_reads.load(Ordering::Relaxed),
+            self.payload_bytes_read.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resets the access counters (between benchmark phases).
+    pub fn reset_stats(&self) {
+        self.descriptor_reads.store(0, Ordering::Relaxed);
+        self.payload_reads.store(0, Ordering::Relaxed);
+        self.payload_bytes_read.store(0, Ordering::Relaxed);
+    }
+
+    /// Copies every descriptor into a [`cmif_core::descriptor::DescriptorCatalog`]
+    /// so a document can be made self-contained before transport.
+    pub fn export_catalog(&self) -> cmif_core::descriptor::DescriptorCatalog {
+        let mut catalog = cmif_core::descriptor::DescriptorCatalog::new();
+        for descriptor in self.descriptors.read().values() {
+            catalog.upsert(descriptor.clone());
+        }
+        catalog
+    }
+}
+
+impl DescriptorResolver for BlockStore {
+    fn resolve(&self, key: &str) -> Option<DataDescriptor> {
+        self.descriptor_reads.fetch_add(1, Ordering::Relaxed);
+        self.descriptors.read().get(key).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::MediaGenerator;
+    use cmif_core::channel::MediaKind;
+
+    fn filled_store() -> BlockStore {
+        let store = BlockStore::new();
+        let mut generator = MediaGenerator::new(5);
+        store.put(generator.audio("speech", 2_000, 8000)).unwrap();
+        store.put(generator.image("map", 64, 64, 24)).unwrap();
+        store.put(generator.text("caption", 30)).unwrap();
+        store
+    }
+
+    #[test]
+    fn put_and_lookup() {
+        let store = filled_store();
+        assert_eq!(store.len(), 3);
+        assert!(!store.is_empty());
+        assert_eq!(store.keys(), vec!["caption", "map", "speech"]);
+        let descriptor = store.descriptor("speech").unwrap();
+        assert_eq!(descriptor.medium, MediaKind::Audio);
+        assert_eq!(store.payload("map").unwrap().size_bytes(), 64 * 64 * 3);
+        assert!(store.descriptor("missing").is_err());
+        assert!(store.payload("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let store = filled_store();
+        let block = MediaGenerator::new(9).text("caption", 5);
+        assert!(matches!(store.put(block).unwrap_err(), MediaError::DuplicateBlock { .. }));
+    }
+
+    #[test]
+    fn access_stats_distinguish_descriptor_and_payload_reads() {
+        let store = filled_store();
+        store.reset_stats();
+        store.descriptor("speech").unwrap();
+        store.descriptor("map").unwrap();
+        store.payload("speech").unwrap();
+        let (descriptor_reads, payload_reads, payload_bytes) = store.access_stats();
+        assert_eq!(descriptor_reads, 2);
+        assert_eq!(payload_reads, 1);
+        assert_eq!(payload_bytes, 16_000);
+        store.reset_stats();
+        assert_eq!(store.access_stats(), (0, 0, 0));
+    }
+
+    #[test]
+    fn resolver_interface_counts_as_descriptor_read() {
+        let store = filled_store();
+        store.reset_stats();
+        assert!(DescriptorResolver::resolve(&store, "map").is_some());
+        assert!(DescriptorResolver::resolve(&store, "missing").is_none());
+        assert_eq!(store.access_stats().0, 2);
+        assert_eq!(store.access_stats().1, 0);
+    }
+
+    #[test]
+    fn replace_payload_refreshes_descriptor() {
+        let store = filled_store();
+        let original = store.descriptor("map").unwrap();
+        assert_eq!(original.color_depth, Some(24));
+        let degraded = crate::ops::reduce_color_depth(&store.payload("map").unwrap(), 8).unwrap();
+        store.replace_payload("map", degraded).unwrap();
+        let updated = store.descriptor("map").unwrap();
+        assert_eq!(updated.color_depth, Some(8));
+        assert!(updated.size_bytes < original.size_bytes);
+        assert!(store.replace_payload("missing", MediaPayload::Text { content: "x".into() }).is_err());
+    }
+
+    #[test]
+    fn export_catalog_contains_every_descriptor() {
+        let store = filled_store();
+        let catalog = store.export_catalog();
+        assert_eq!(catalog.len(), 3);
+        assert!(catalog.get("speech").is_some());
+    }
+
+    #[test]
+    fn total_bytes_sums_payloads() {
+        let store = filled_store();
+        let expected = store.payload("speech").unwrap().size_bytes()
+            + store.payload("map").unwrap().size_bytes()
+            + store.payload("caption").unwrap().size_bytes();
+        assert_eq!(store.total_bytes(), expected);
+    }
+
+    #[test]
+    fn put_with_descriptor_keeps_custom_attributes() {
+        let store = BlockStore::new();
+        let block = MediaGenerator::new(1).image("poster", 32, 32, 8);
+        let descriptor = block
+            .describe()
+            .with_extra("title", cmif_core::value::AttrValue::Str("Poster".into()));
+        store.put_with_descriptor(block, descriptor).unwrap();
+        assert!(store.descriptor("poster").unwrap().extra_attr("title").is_some());
+        let dup = MediaGenerator::new(1).image("poster", 8, 8, 8);
+        let dup_descriptor = dup.describe();
+        assert!(store.put_with_descriptor(dup, dup_descriptor).is_err());
+    }
+}

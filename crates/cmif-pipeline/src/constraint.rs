@@ -1,0 +1,447 @@
+//! Constraint filtering tools (pipeline stage 4).
+//!
+//! "these tools allows the end-user presentation system to filter components
+//! of the document to meet local processing constraints. (This corresponds
+//! to a mapping of the document from the virtual presentation environment to
+//! a physical presentation environment.) Typical filterings may include
+//! 24-bit color to 8-bit color, color to monochrome, high-resolution to low
+//! resolution, full-frame-rate video to sub-sampled rate video, etc. As with
+//! all components, the assumption is that this tool manages a constraint
+//! mapping; the actual constraint implementation will be supported by user
+//! level, operating system, or hardware level modules." (§2)
+//!
+//! [`plan_filters`] inspects only data descriptors (never media bytes) and
+//! produces a [`FilterPlan`]: per-block actions plus channels that must be
+//! dropped entirely. [`apply_plan`] is the "hardware level module" stand-in
+//! that materialises the degraded blocks in a [`BlockStore`] using the
+//! `cmif-media` operations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cmif_core::channel::MediaKind;
+use cmif_core::descriptor::DescriptorResolver;
+use cmif_core::error::Result as CoreResult;
+use cmif_core::tree::Document;
+use cmif_media::ops;
+use cmif_media::store::BlockStore;
+use cmif_media::Result as MediaResult;
+use cmif_scheduler::EnvironmentLimits;
+
+/// A physical presentation device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Device name for reports.
+    pub name: String,
+    /// Physical display size in pixels, `None` for display-less devices.
+    pub display: Option<(u32, u32)>,
+    /// Colour depth in bits per pixel, `None` for display-less devices.
+    pub color_depth: Option<u8>,
+    /// Maximum video frame rate the device can sustain.
+    pub max_frame_rate: f64,
+    /// Number of loudspeaker channels.
+    pub audio_channels: u32,
+    /// Sustained delivery bandwidth in bytes per second.
+    pub bandwidth_bps: u64,
+    /// Decode capacity in abstract work units per second.
+    pub decode_capacity: u32,
+    /// How many events the device can present at once.
+    pub max_concurrent_events: usize,
+}
+
+impl DeviceProfile {
+    /// A 1991-vintage colour workstation.
+    pub fn workstation() -> DeviceProfile {
+        DeviceProfile {
+            name: "workstation".to_string(),
+            display: Some((1280, 1024)),
+            color_depth: Some(24),
+            max_frame_rate: 30.0,
+            audio_channels: 2,
+            bandwidth_bps: 20_000_000,
+            decode_capacity: 1_000,
+            max_concurrent_events: 16,
+        }
+    }
+
+    /// A low-end personal computer with an 8-bit display.
+    pub fn low_end_pc() -> DeviceProfile {
+        DeviceProfile {
+            name: "low-end-pc".to_string(),
+            display: Some((640, 480)),
+            color_depth: Some(8),
+            max_frame_rate: 12.0,
+            audio_channels: 1,
+            bandwidth_bps: 2_500_000,
+            decode_capacity: 100,
+            max_concurrent_events: 4,
+        }
+    }
+
+    /// An audio-only kiosk.
+    pub fn audio_kiosk() -> DeviceProfile {
+        DeviceProfile {
+            name: "audio-kiosk".to_string(),
+            display: None,
+            color_depth: None,
+            max_frame_rate: 0.0,
+            audio_channels: 1,
+            bandwidth_bps: 256_000,
+            decode_capacity: 20,
+            max_concurrent_events: 2,
+        }
+    }
+
+    /// The media this device can present at all.
+    pub fn supported_media(&self) -> Vec<MediaKind> {
+        if self.display.is_some() {
+            MediaKind::ALL.to_vec()
+        } else {
+            vec![MediaKind::Audio]
+        }
+    }
+
+    /// Maps the device onto the scheduler's [`EnvironmentLimits`] so that
+    /// conflict detection and the playback simulator can reason about it.
+    pub fn limits(&self) -> EnvironmentLimits {
+        EnvironmentLimits {
+            name: self.name.clone(),
+            supported_media: self.supported_media(),
+            max_concurrent_events: self.max_concurrent_events,
+            bandwidth_bps: self.bandwidth_bps,
+            decode_capacity: self.decode_capacity,
+            max_resolution: self.display,
+            max_color_depth: self.color_depth,
+        }
+    }
+}
+
+/// One degradation applied to one data block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterAction {
+    /// The block fits the device as-is.
+    PassThrough,
+    /// Reduce colour depth to the given number of bits.
+    ReduceColorDepth {
+        /// Target colour depth in bits.
+        to_bits: u8,
+    },
+    /// Downscale the raster by an integer factor.
+    Downscale {
+        /// The integer reduction factor (2 halves each dimension).
+        factor: u32,
+    },
+    /// Keep one frame in `keep_one_in` (frame-rate sub-sampling).
+    SubsampleFrames {
+        /// Keep one frame out of this many.
+        keep_one_in: u32,
+    },
+    /// Reduce the audio sampling rate by an integer factor.
+    DownsampleAudio {
+        /// The integer reduction factor.
+        factor: u32,
+    },
+    /// The device cannot present this medium at all; the block (and its
+    /// channel) must be dropped from the local presentation.
+    Drop,
+}
+
+impl fmt::Display for FilterAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterAction::PassThrough => write!(f, "pass through"),
+            FilterAction::ReduceColorDepth { to_bits } => write!(f, "reduce colour to {to_bits}-bit"),
+            FilterAction::Downscale { factor } => write!(f, "downscale by {factor}x"),
+            FilterAction::SubsampleFrames { keep_one_in } => {
+                write!(f, "keep 1 frame in {keep_one_in}")
+            }
+            FilterAction::DownsampleAudio { factor } => {
+                write!(f, "downsample audio by {factor}x")
+            }
+            FilterAction::Drop => write!(f, "drop"),
+        }
+    }
+}
+
+/// The constraint mapping for one document on one device.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FilterPlan {
+    /// Per-descriptor-key actions (several degradations may apply to one
+    /// block).
+    pub actions: BTreeMap<String, Vec<FilterAction>>,
+    /// Channels none of whose media the device can present.
+    pub dropped_channels: Vec<String>,
+}
+
+impl FilterPlan {
+    /// True when every block passes through unchanged and nothing is
+    /// dropped.
+    pub fn is_identity(&self) -> bool {
+        self.dropped_channels.is_empty()
+            && self
+                .actions
+                .values()
+                .all(|actions| actions.iter().all(|a| *a == FilterAction::PassThrough))
+    }
+
+    /// Number of blocks that need any degradation.
+    pub fn degraded_blocks(&self) -> usize {
+        self.actions
+            .values()
+            .filter(|actions| actions.iter().any(|a| *a != FilterAction::PassThrough))
+            .count()
+    }
+}
+
+impl fmt::Display for FilterPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (key, actions) in &self.actions {
+            let rendered: Vec<String> = actions.iter().map(FilterAction::to_string).collect();
+            writeln!(f, "{key}: {}", rendered.join(", "))?;
+        }
+        for channel in &self.dropped_channels {
+            writeln!(f, "channel `{channel}` dropped")?;
+        }
+        Ok(())
+    }
+}
+
+/// Plans the constraint mapping for a document on a device, using only the
+/// data descriptors reachable through `resolver`.
+pub fn plan_filters(
+    doc: &Document,
+    resolver: &dyn DescriptorResolver,
+    device: &DeviceProfile,
+) -> CoreResult<FilterPlan> {
+    let mut plan = FilterPlan::default();
+    let supported = device.supported_media();
+
+    // Channels whose medium the device cannot present are dropped outright.
+    for channel in doc.channels.iter() {
+        if !supported.contains(&channel.medium) {
+            plan.dropped_channels.push(channel.name.clone());
+        }
+    }
+
+    // Per-block actions, derived from descriptor attributes only.
+    for leaf in doc.leaves() {
+        let key = match doc.file_of(leaf)? {
+            Some(key) => key,
+            None => continue, // immediate data needs no filtering plan
+        };
+        if plan.actions.contains_key(&key) {
+            continue;
+        }
+        let descriptor = match resolver.resolve(&key) {
+            Some(descriptor) => descriptor,
+            None => continue,
+        };
+        let mut actions = Vec::new();
+        if !supported.contains(&descriptor.medium)
+            && descriptor.medium != MediaKind::Generator
+        {
+            plan.actions.insert(key, vec![FilterAction::Drop]);
+            continue;
+        }
+        if let (Some((block_w, block_h)), Some((dev_w, dev_h))) =
+            (descriptor.resolution, device.display)
+        {
+            if block_w > dev_w || block_h > dev_h {
+                let factor_w = block_w.div_ceil(dev_w);
+                let factor_h = block_h.div_ceil(dev_h);
+                actions.push(FilterAction::Downscale { factor: factor_w.max(factor_h).max(2) });
+            }
+        }
+        if let (Some(block_bits), Some(device_bits)) = (descriptor.color_depth, device.color_depth)
+        {
+            if block_bits > device_bits {
+                actions.push(FilterAction::ReduceColorDepth { to_bits: device_bits });
+            }
+        }
+        if let Some(fps) = descriptor.rates.frames_per_second {
+            if device.max_frame_rate > 0.0 && fps > device.max_frame_rate {
+                let keep_one_in = (fps / device.max_frame_rate).ceil() as u32;
+                actions.push(FilterAction::SubsampleFrames { keep_one_in: keep_one_in.max(2) });
+            }
+        }
+        if descriptor.medium == MediaKind::Audio {
+            if let Some(sample_rate) = descriptor.rates.samples_per_second {
+                // Crude rule: a device with little bandwidth takes half-rate
+                // audio.
+                if device.bandwidth_bps < sample_rate as u64 * 4 {
+                    actions.push(FilterAction::DownsampleAudio { factor: 2 });
+                }
+            }
+        }
+        if actions.is_empty() {
+            actions.push(FilterAction::PassThrough);
+        }
+        plan.actions.insert(key, actions);
+    }
+    Ok(plan)
+}
+
+/// Applies a filter plan to the blocks in a store, materialising degraded
+/// payloads in place (and refreshing their descriptors).
+///
+/// Returns the number of blocks that were modified.
+pub fn apply_plan(plan: &FilterPlan, store: &BlockStore) -> MediaResult<usize> {
+    let mut modified = 0;
+    for (key, actions) in &plan.actions {
+        if actions.iter().all(|a| matches!(a, FilterAction::PassThrough | FilterAction::Drop)) {
+            continue;
+        }
+        let mut payload = store.payload(key)?;
+        for action in actions {
+            payload = match action {
+                FilterAction::PassThrough | FilterAction::Drop => payload,
+                FilterAction::ReduceColorDepth { to_bits } => {
+                    ops::reduce_color_depth(&payload, *to_bits)?
+                }
+                FilterAction::Downscale { factor } => ops::downscale(&payload, *factor)?,
+                FilterAction::SubsampleFrames { keep_one_in } => {
+                    ops::subsample_frame_rate(&payload, *keep_one_in)?
+                }
+                FilterAction::DownsampleAudio { factor } => {
+                    ops::downsample_audio(&payload, *factor)?
+                }
+            };
+        }
+        store.replace_payload(key, payload)?;
+        modified += 1;
+    }
+    Ok(modified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{CaptureRequest, CaptureTool};
+    use cmif_core::prelude::*;
+
+    /// A document whose media are too rich for a low-end PC: 24-bit
+    /// 1024x768 video at 25 fps, 24-bit graphics, 8 kHz audio.
+    fn rich_doc_and_store() -> (Document, BlockStore) {
+        let store = BlockStore::new();
+        let mut tool = CaptureTool::new(&store, 17);
+        tool.capture(&CaptureRequest::video("film", 1_000, (1024, 768), 24)).unwrap();
+        tool.capture(&CaptureRequest::image("painting", (800, 600), 24)).unwrap();
+        tool.capture(&CaptureRequest::audio("speech", 2_000)).unwrap();
+        let catalog = store.export_catalog();
+
+        let mut builder = DocumentBuilder::new("news")
+            .channel("video", MediaKind::Video)
+            .channel("graphic", MediaKind::Image)
+            .channel("audio", MediaKind::Audio)
+            .channel("caption", MediaKind::Text);
+        for descriptor in catalog.iter() {
+            builder = builder.descriptor(descriptor.clone());
+        }
+        let doc = builder
+            .root_par(|story| {
+                story.ext("film", "video", "film");
+                story.ext("painting", "graphic", "painting");
+                story.ext("speech", "audio", "speech");
+                story.imm_text("line", "caption", "caption text", 2_000);
+            })
+            .build()
+            .unwrap();
+        (doc, store)
+    }
+
+    #[test]
+    fn workstation_plan_is_identity() {
+        let (doc, store) = rich_doc_and_store();
+        let plan = plan_filters(&doc, &store, &DeviceProfile::workstation()).unwrap();
+        assert!(plan.is_identity(), "unexpected plan:\n{plan}");
+        assert_eq!(plan.degraded_blocks(), 0);
+    }
+
+    #[test]
+    fn low_end_pc_plan_degrades_video_and_graphics() {
+        let (doc, store) = rich_doc_and_store();
+        let device = DeviceProfile::low_end_pc();
+        let plan = plan_filters(&doc, &store, &device).unwrap();
+        assert!(!plan.is_identity());
+        let film_actions = &plan.actions["film"];
+        assert!(film_actions.iter().any(|a| matches!(a, FilterAction::Downscale { .. })));
+        assert!(film_actions
+            .iter()
+            .any(|a| matches!(a, FilterAction::ReduceColorDepth { to_bits: 8 })));
+        assert!(film_actions
+            .iter()
+            .any(|a| matches!(a, FilterAction::SubsampleFrames { .. })));
+        let painting_actions = &plan.actions["painting"];
+        assert!(painting_actions
+            .iter()
+            .any(|a| matches!(a, FilterAction::ReduceColorDepth { .. })));
+        assert!(plan.dropped_channels.is_empty());
+    }
+
+    #[test]
+    fn audio_kiosk_drops_visual_channels() {
+        let (doc, store) = rich_doc_and_store();
+        let plan = plan_filters(&doc, &store, &DeviceProfile::audio_kiosk()).unwrap();
+        assert!(plan.dropped_channels.contains(&"video".to_string()));
+        assert!(plan.dropped_channels.contains(&"graphic".to_string()));
+        assert!(plan.dropped_channels.contains(&"caption".to_string()));
+        assert!(!plan.dropped_channels.contains(&"audio".to_string()));
+        assert_eq!(plan.actions["film"], vec![FilterAction::Drop]);
+        assert_eq!(plan.actions["painting"], vec![FilterAction::Drop]);
+    }
+
+    #[test]
+    fn applying_the_plan_shrinks_the_store() {
+        let (doc, store) = rich_doc_and_store();
+        let before = store.total_bytes();
+        let plan = plan_filters(&doc, &store, &DeviceProfile::low_end_pc()).unwrap();
+        let modified = apply_plan(&plan, &store).unwrap();
+        assert!(modified >= 2);
+        let after = store.total_bytes();
+        assert!(
+            after < before / 4,
+            "filtering should shrink the media substantially: {before} -> {after}"
+        );
+        // Descriptors now reflect the degraded media.
+        let film = store.descriptor("film").unwrap();
+        assert_eq!(film.color_depth, Some(8));
+        assert!(film.resolution.unwrap().0 <= 640);
+    }
+
+    #[test]
+    fn filtered_document_fits_the_device_limits() {
+        use cmif_scheduler::{device_conflicts, solve, ScheduleOptions};
+        let (doc, store) = rich_doc_and_store();
+        let device = DeviceProfile::low_end_pc();
+        // Before filtering: the schedule needs more than the device has.
+        let result = solve(&doc, &store, &ScheduleOptions::default()).unwrap();
+        let before = device_conflicts(&doc, &result.schedule, &store, &device.limits()).unwrap();
+        assert!(!before.is_empty());
+        // After filtering: the degraded media fit.
+        let plan = plan_filters(&doc, &store, &device).unwrap();
+        apply_plan(&plan, &store).unwrap();
+        let result = solve(&doc, &store, &ScheduleOptions::default()).unwrap();
+        let after = device_conflicts(&doc, &result.schedule, &store, &device.limits()).unwrap();
+        assert!(after.is_empty(), "conflicts remain after filtering: {after:?}");
+    }
+
+    #[test]
+    fn device_limits_mapping() {
+        let kiosk = DeviceProfile::audio_kiosk();
+        let limits = kiosk.limits();
+        assert_eq!(limits.supported_media, vec![MediaKind::Audio]);
+        assert_eq!(limits.max_resolution, None);
+        let ws = DeviceProfile::workstation().limits();
+        assert!(ws.supported_media.contains(&MediaKind::Video));
+        assert_eq!(ws.max_color_depth, Some(24));
+    }
+
+    #[test]
+    fn plan_display_mentions_actions_and_drops() {
+        let (doc, store) = rich_doc_and_store();
+        let plan = plan_filters(&doc, &store, &DeviceProfile::audio_kiosk()).unwrap();
+        let text = plan.to_string();
+        assert!(text.contains("drop"));
+        assert!(text.contains("channel `video` dropped"));
+    }
+}

@@ -1,0 +1,323 @@
+//! End-to-end orchestration of the CWI/Multimedia Pipeline (Figure 1).
+//!
+//! [`run_pipeline`] wires the five stages together for one document and one
+//! target device:
+//!
+//! 1. **capture** (done by the caller — blocks already sit in the store);
+//! 2. **document structure mapping** — the document itself, validated;
+//! 3. **presentation mapping** — the virtual layout of every channel;
+//! 4. **constraint filtering** — plan and (optionally) apply the device
+//!    mapping;
+//! 5. **viewing** — schedule, conflict report, table of contents and
+//!    storyboard.
+//!
+//! Each stage is timed so the Figure 1 benchmark can report where pipeline
+//! time goes as documents grow. The dividing line the paper draws —
+//! target-system *independent* (stages 2–3) vs target-system *dependent*
+//! (stages 4–5) — is visible in the [`PipelineRun`] type: everything up to
+//! the presentation map is reusable across devices, everything after is
+//! per-device.
+
+use std::time::{Duration, Instant};
+
+use cmif_core::descriptor::DescriptorResolver;
+use cmif_core::error::Result as CoreResult;
+use cmif_core::tree::Document;
+use cmif_core::validate;
+use cmif_media::store::BlockStore;
+use cmif_scheduler::{
+    full_report, solve, ConflictReport, JitterModel, PlaybackReport, ScheduleOptions, SolveResult,
+};
+
+use crate::constraint::{apply_plan, plan_filters, DeviceProfile, FilterPlan};
+use crate::presentation::{map_presentation, PresentationMap};
+use crate::viewer::{storyboard, table_of_contents, StoryboardFrame};
+
+/// Options controlling a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Scheduling policy.
+    pub schedule: ScheduleOptions,
+    /// When true, the filter plan is applied to the block store
+    /// (materialising degraded media); when false the plan is only computed.
+    pub materialize_filters: bool,
+    /// Step between storyboard frames, in milliseconds.
+    pub storyboard_step_ms: i64,
+    /// Device jitter used for the playback simulation.
+    pub jitter: JitterModel,
+    /// Number of playback simulation runs (0 disables playback).
+    pub playback_runs: u32,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            schedule: ScheduleOptions::default(),
+            materialize_filters: false,
+            storyboard_step_ms: 1_000,
+            jitter: JitterModel::ideal(),
+            playback_runs: 1,
+        }
+    }
+}
+
+/// Wall-clock time spent in each pipeline stage.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimings {
+    /// Structural validation of the document.
+    pub validate: Duration,
+    /// Presentation mapping.
+    pub presentation: Duration,
+    /// Constraint-filter planning (and application when requested).
+    pub filtering: Duration,
+    /// Scheduling and conflict detection.
+    pub scheduling: Duration,
+    /// Viewing-tool rendering (table of contents + storyboard).
+    pub viewing: Duration,
+    /// Playback simulation.
+    pub playback: Duration,
+}
+
+impl StageTimings {
+    /// Total time across all stages.
+    pub fn total(&self) -> Duration {
+        self.validate
+            + self.presentation
+            + self.filtering
+            + self.scheduling
+            + self.viewing
+            + self.playback
+    }
+}
+
+/// Everything one pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// The device the run targeted.
+    pub device: DeviceProfile,
+    /// The presentation map (target-system independent).
+    pub presentation: PresentationMap,
+    /// The constraint mapping for this device.
+    pub filter_plan: FilterPlan,
+    /// The solved schedule and its constraints.
+    pub solve: SolveResult,
+    /// The conflict report against this device.
+    pub conflicts: ConflictReport,
+    /// The reading view.
+    pub table_of_contents: String,
+    /// The viewing view.
+    pub storyboard: Vec<StoryboardFrame>,
+    /// Playback simulation of the last run, when requested.
+    pub playback: Option<PlaybackReport>,
+    /// Wall-clock cost of each stage.
+    pub timings: StageTimings,
+}
+
+impl PipelineRun {
+    /// True when the document can be presented on the device as planned
+    /// (no Must violations and no unresolved device conflicts).
+    pub fn is_presentable(&self) -> bool {
+        self.solve.is_consistent() && self.conflicts.of_class(2).is_empty()
+    }
+}
+
+/// Runs pipeline stages 2–5 for a document whose media already sit in
+/// `store`.
+pub fn run_pipeline(
+    doc: &Document,
+    store: &BlockStore,
+    device: &DeviceProfile,
+    options: &PipelineOptions,
+) -> CoreResult<PipelineRun> {
+    let mut timings = StageTimings::default();
+
+    // Stage 2: the document structure map — validate it.
+    let started = Instant::now();
+    validate::validate(doc)?;
+    timings.validate = started.elapsed();
+
+    // Stage 3: presentation mapping (target-system independent).
+    let started = Instant::now();
+    let presentation = map_presentation(doc)?;
+    timings.presentation = started.elapsed();
+
+    // Stage 4: constraint filtering (target-system dependent).
+    let started = Instant::now();
+    let filter_plan = plan_filters(doc, store, device)?;
+    if options.materialize_filters {
+        apply_plan(&filter_plan, store).map_err(|e| cmif_core::error::CoreError::Invariant {
+            message: format!("constraint filter application failed: {e}"),
+        })?;
+    }
+    timings.filtering = started.elapsed();
+
+    // Stage 5a: scheduling + conflict detection.
+    let started = Instant::now();
+    let solve_result = solve(doc, store, &options.schedule)?;
+    let conflicts = full_report(doc, &solve_result, store, Some(&device.limits()))?;
+    timings.scheduling = started.elapsed();
+
+    // Stage 5b: viewing tools.
+    let started = Instant::now();
+    let toc = table_of_contents(doc, &solve_result.schedule)?;
+    let frames = storyboard(
+        doc,
+        &solve_result.schedule,
+        &presentation,
+        Some(&filter_plan),
+        options.storyboard_step_ms,
+        store,
+    )?;
+    timings.viewing = started.elapsed();
+
+    // Stage 5c: playback simulation.
+    let started = Instant::now();
+    let playback = if options.playback_runs > 0 {
+        let mut last = None;
+        for run in 0..options.playback_runs {
+            let jitter = JitterModel {
+                seed: options.jitter.seed.wrapping_add(run as u64),
+                ..options.jitter.clone()
+            };
+            last = Some(cmif_scheduler::play(doc, &solve_result, store, &jitter)?);
+        }
+        last
+    } else {
+        None
+    };
+    timings.playback = started.elapsed();
+
+    Ok(PipelineRun {
+        device: device.clone(),
+        presentation,
+        filter_plan,
+        solve: solve_result,
+        conflicts,
+        table_of_contents: toc,
+        storyboard: frames,
+        playback,
+        timings,
+    })
+}
+
+/// Convenience for self-contained documents (descriptors embedded in the
+/// document's catalog, no block store): runs stages 2, 3 and 5a only.
+pub fn run_structure_only(
+    doc: &Document,
+    resolver: &dyn DescriptorResolver,
+    options: &ScheduleOptions,
+) -> CoreResult<(PresentationMap, SolveResult)> {
+    validate::validate(doc)?;
+    let presentation = map_presentation(doc)?;
+    let solve_result = solve(doc, resolver, options)?;
+    Ok((presentation, solve_result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{CaptureRequest, CaptureTool};
+    use cmif_core::prelude::*;
+
+    fn build_fixture() -> (Document, BlockStore) {
+        let store = BlockStore::new();
+        let mut tool = CaptureTool::new(&store, 31);
+        tool.capture(&CaptureRequest::audio("speech", 4_000)).unwrap();
+        tool.capture(&CaptureRequest::video("film", 4_000, (320, 240), 24)).unwrap();
+        tool.capture(&CaptureRequest::image("map", (256, 192), 24)).unwrap();
+        let catalog = store.export_catalog();
+        let mut builder = DocumentBuilder::new("news")
+            .channel("audio", MediaKind::Audio)
+            .channel("video", MediaKind::Video)
+            .channel("graphic", MediaKind::Image)
+            .channel("caption", MediaKind::Text);
+        for descriptor in catalog.iter() {
+            builder = builder.descriptor(descriptor.clone());
+        }
+        let doc = builder
+            .root_par(|story| {
+                story.ext("voice", "audio", "speech");
+                story.ext("film", "video", "film");
+                story.ext_with("map", "graphic", "map", |n| {
+                    n.duration_ms(4_000);
+                });
+                story.imm_text("line", "caption", "Paintings worth ten million", 4_000);
+            })
+            .build()
+            .unwrap();
+        (doc, store)
+    }
+
+    #[test]
+    fn full_pipeline_on_a_workstation_is_presentable() {
+        let (doc, store) = build_fixture();
+        let run = run_pipeline(&doc, &store, &DeviceProfile::workstation(), &PipelineOptions::default())
+            .unwrap();
+        assert!(run.is_presentable(), "conflicts: {}", run.conflicts);
+        assert!(run.filter_plan.is_identity());
+        assert_eq!(run.presentation.len(), 4);
+        assert!(run.table_of_contents.contains("par news"));
+        assert!(!run.storyboard.is_empty());
+        let playback = run.playback.as_ref().unwrap();
+        assert_eq!(playback.must_violations, 0);
+        assert_eq!(run.solve.schedule.total_duration, TimeMs::from_secs(4));
+        assert!(run.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn audio_kiosk_run_reports_device_conflicts_but_still_plans() {
+        let (doc, store) = build_fixture();
+        let run = run_pipeline(&doc, &store, &DeviceProfile::audio_kiosk(), &PipelineOptions::default())
+            .unwrap();
+        assert!(!run.is_presentable());
+        assert!(!run.conflicts.of_class(2).is_empty());
+        assert!(run.filter_plan.dropped_channels.contains(&"video".to_string()));
+        // The storyboard still renders, marking dropped channels.
+        let text = crate::viewer::render_storyboard(&run.storyboard);
+        assert!(text.contains("[dropped on this device]"));
+    }
+
+    #[test]
+    fn materializing_filters_makes_the_low_end_pc_presentable() {
+        let (doc, store) = build_fixture();
+        let device = DeviceProfile::low_end_pc();
+        let options = PipelineOptions { materialize_filters: true, ..PipelineOptions::default() };
+        let run = run_pipeline(&doc, &store, &device, &options).unwrap();
+        assert!(
+            run.conflicts.of_class(2).is_empty(),
+            "device conflicts remain: {}",
+            run.conflicts
+        );
+        // The store now holds the degraded media.
+        assert_eq!(store.descriptor("film").unwrap().color_depth, Some(8));
+    }
+
+    #[test]
+    fn playback_can_be_disabled() {
+        let (doc, store) = build_fixture();
+        let options = PipelineOptions { playback_runs: 0, ..PipelineOptions::default() };
+        let run = run_pipeline(&doc, &store, &DeviceProfile::workstation(), &options).unwrap();
+        assert!(run.playback.is_none());
+    }
+
+    #[test]
+    fn invalid_documents_are_rejected_at_stage_two() {
+        let (mut doc, store) = build_fixture();
+        let root = doc.root().unwrap();
+        let orphan = doc.add_ext(root).unwrap();
+        doc.set_attr(orphan, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
+        // No file attribute: stage 2 validation must fail.
+        let err = run_pipeline(&doc, &store, &DeviceProfile::workstation(), &PipelineOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::MissingFile { .. }));
+    }
+
+    #[test]
+    fn structure_only_run_needs_no_store() {
+        let (doc, _store) = build_fixture();
+        let (presentation, solve_result) =
+            run_structure_only(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        assert_eq!(presentation.len(), 4);
+        assert_eq!(solve_result.schedule.total_duration, TimeMs::from_secs(4));
+    }
+}

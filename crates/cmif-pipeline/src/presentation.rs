@@ -1,0 +1,395 @@
+//! The presentation mapping tool (pipeline stage 3).
+//!
+//! "this tool allows portions of a document to be allocated to a virtual
+//! presentation environment. This tool is used to allocate virtual
+//! presentation 'real estate' (such as areas on a display or channels of a
+//! loudspeaker) to a given multimedia document. […] this tool manipulates
+//! the definitions provided in the CMIF document and creates a presentation
+//! map that can be manipulated separately from the document itself." (§2)
+//!
+//! The virtual presentation environment is a fixed 1000×1000 coordinate
+//! space plus a set of loudspeaker slots. [`map_presentation`] assigns every
+//! channel of a document a [`Placement`] in that space, using channel
+//! preference hints when present and sensible defaults (main video area,
+//! graphics sidebar, caption strip, label banner) otherwise. The result is a
+//! [`PresentationMap`] that later stages (constraint filters, viewers) can
+//! edit without touching the document.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cmif_core::channel::MediaKind;
+use cmif_core::error::Result;
+use cmif_core::tree::Document;
+
+/// Width and height of the virtual display, in virtual units.
+pub const VIRTUAL_EXTENT: u32 = 1000;
+
+/// A rectangle in the virtual coordinate space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualRegion {
+    /// Left edge.
+    pub x: u32,
+    /// Top edge.
+    pub y: u32,
+    /// Width.
+    pub width: u32,
+    /// Height.
+    pub height: u32,
+}
+
+impl VirtualRegion {
+    /// The whole virtual display.
+    pub const FULL: VirtualRegion =
+        VirtualRegion { x: 0, y: 0, width: VIRTUAL_EXTENT, height: VIRTUAL_EXTENT };
+
+    /// Area of the region in virtual units squared.
+    pub fn area(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// True when two regions overlap.
+    pub fn overlaps(&self, other: &VirtualRegion) -> bool {
+        self.x < other.x + other.width
+            && other.x < self.x + self.width
+            && self.y < other.y + other.height
+            && other.y < self.y + self.height
+    }
+
+    /// Scales the region onto a physical display of the given size.
+    pub fn scaled_to(&self, display_width: u32, display_height: u32) -> (u32, u32, u32, u32) {
+        let sx = |v: u32| (v as u64 * display_width as u64 / VIRTUAL_EXTENT as u64) as u32;
+        let sy = |v: u32| (v as u64 * display_height as u64 / VIRTUAL_EXTENT as u64) as u32;
+        (sx(self.x), sy(self.y), sx(self.width).max(1), sy(self.height).max(1))
+    }
+}
+
+impl fmt::Display for VirtualRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{}) {}x{}", self.x, self.y, self.width, self.height)
+    }
+}
+
+/// Where one channel is presented in the virtual environment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// A rectangular region of the virtual display.
+    Screen(VirtualRegion),
+    /// A loudspeaker slot (0 = left, 1 = right, …).
+    Speaker {
+        /// The speaker index.
+        slot: u32,
+    },
+}
+
+impl Placement {
+    /// The screen region, when this is a screen placement.
+    pub fn region(&self) -> Option<VirtualRegion> {
+        match self {
+            Placement::Screen(region) => Some(*region),
+            Placement::Speaker { .. } => None,
+        }
+    }
+}
+
+/// The presentation map: channel name → placement, plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PresentationMap {
+    placements: BTreeMap<String, Placement>,
+}
+
+impl PresentationMap {
+    /// Creates an empty map.
+    pub fn new() -> PresentationMap {
+        PresentationMap::default()
+    }
+
+    /// Number of mapped channels.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// True when no channel is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Assigns (or reassigns) a channel's placement — the "manipulated
+    /// separately from the document" part.
+    pub fn assign(&mut self, channel: impl Into<String>, placement: Placement) {
+        self.placements.insert(channel.into(), placement);
+    }
+
+    /// The placement of a channel.
+    pub fn placement(&self, channel: &str) -> Option<&Placement> {
+        self.placements.get(channel)
+    }
+
+    /// Iterates over `(channel, placement)` pairs in channel-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Placement)> {
+        self.placements.iter()
+    }
+
+    /// Screen regions that overlap each other (a layout problem a
+    /// presentation editor would flag).
+    pub fn overlapping_regions(&self) -> Vec<(String, String)> {
+        let screens: Vec<(&String, VirtualRegion)> = self
+            .placements
+            .iter()
+            .filter_map(|(name, p)| p.region().map(|r| (name, r)))
+            .collect();
+        let mut out = Vec::new();
+        for (i, (name_a, region_a)) in screens.iter().enumerate() {
+            for (name_b, region_b) in screens.iter().skip(i + 1) {
+                if region_a.overlaps(region_b) {
+                    out.push(((*name_a).clone(), (*name_b).clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of the virtual display covered by screen placements
+    /// (ignoring overlap).
+    pub fn coverage(&self) -> f64 {
+        let covered: u64 = self
+            .placements
+            .values()
+            .filter_map(Placement::region)
+            .map(|r| r.area())
+            .sum();
+        covered as f64 / (VIRTUAL_EXTENT as u64 * VIRTUAL_EXTENT as u64) as f64
+    }
+}
+
+/// Builds a presentation map for every channel of a document.
+///
+/// Channel definitions may carry preference hints (`region` = `main`,
+/// `side`, `bottom`, `top`, or an explicit `(x y w h)` list; `speaker` =
+/// slot number). Channels without hints get defaults by medium:
+///
+/// * video → the main area (left ~70%, upper ~75%);
+/// * image/graphic → the right sidebar;
+/// * text/caption → the bottom strip;
+/// * label → the top banner;
+/// * audio → successive loudspeaker slots.
+pub fn map_presentation(doc: &Document) -> Result<PresentationMap> {
+    let mut map = PresentationMap::new();
+    let mut next_speaker = 0u32;
+    for channel in doc.channels.iter() {
+        // Explicit speaker hint.
+        if let Some(slot) = channel.extra_attr("speaker").and_then(|v| v.as_number()) {
+            map.assign(&channel.name, Placement::Speaker { slot: slot as u32 });
+            continue;
+        }
+        // Explicit region hint.
+        if let Some(region) = channel.extra_attr("region") {
+            if let Some(list) = region.as_list() {
+                if list.len() == 4 {
+                    let coordinates: Vec<u32> = list
+                        .iter()
+                        .filter_map(|v| v.as_number())
+                        .map(|n| n.clamp(0, VIRTUAL_EXTENT as i64) as u32)
+                        .collect();
+                    if coordinates.len() == 4 {
+                        map.assign(
+                            &channel.name,
+                            Placement::Screen(VirtualRegion {
+                                x: coordinates[0],
+                                y: coordinates[1],
+                                width: coordinates[2],
+                                height: coordinates[3],
+                            }),
+                        );
+                        continue;
+                    }
+                }
+            }
+            if let Some(name) = region.as_text() {
+                map.assign(&channel.name, Placement::Screen(named_region(name)));
+                continue;
+            }
+        }
+        // Defaults by medium.
+        let placement = match channel.medium {
+            MediaKind::Audio => {
+                let slot = next_speaker;
+                next_speaker += 1;
+                Placement::Speaker { slot }
+            }
+            MediaKind::Video => Placement::Screen(named_region("main")),
+            MediaKind::Image | MediaKind::Generator => Placement::Screen(named_region("side")),
+            MediaKind::Text => Placement::Screen(named_region("bottom")),
+            MediaKind::Label => Placement::Screen(named_region("top")),
+        };
+        map.assign(&channel.name, placement);
+    }
+    Ok(map)
+}
+
+/// The named standard regions of the default layout.
+fn named_region(name: &str) -> VirtualRegion {
+    match name {
+        "main" => VirtualRegion { x: 0, y: 100, width: 700, height: 650 },
+        "side" => VirtualRegion { x: 700, y: 100, width: 300, height: 650 },
+        "bottom" => VirtualRegion { x: 0, y: 750, width: 1000, height: 250 },
+        "top" => VirtualRegion { x: 0, y: 0, width: 1000, height: 100 },
+        _ => VirtualRegion::FULL,
+    }
+}
+
+/// Renders the presentation map as text (for viewers and EXPERIMENTS.md).
+pub fn render_map(map: &PresentationMap) -> String {
+    let mut out = String::new();
+    for (channel, placement) in map.iter() {
+        match placement {
+            Placement::Screen(region) => {
+                out.push_str(&format!("{channel:<12} screen {region}\n"));
+            }
+            Placement::Speaker { slot } => {
+                out.push_str(&format!("{channel:<12} speaker slot {slot}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmif_core::prelude::*;
+
+    fn news_doc() -> Document {
+        DocumentBuilder::new("news")
+            .channel("audio", MediaKind::Audio)
+            .channel("video", MediaKind::Video)
+            .channel("graphic", MediaKind::Image)
+            .channel("caption", MediaKind::Text)
+            .channel("label", MediaKind::Label)
+            .root_par(|root| {
+                root.imm_text("placeholder", "caption", "x", 1000);
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn default_layout_covers_the_standard_regions() {
+        let doc = news_doc();
+        let map = map_presentation(&doc).unwrap();
+        assert_eq!(map.len(), 5);
+        assert!(matches!(map.placement("audio"), Some(Placement::Speaker { slot: 0 })));
+        let video = map.placement("video").unwrap().region().unwrap();
+        let graphic = map.placement("graphic").unwrap().region().unwrap();
+        let caption = map.placement("caption").unwrap().region().unwrap();
+        let label = map.placement("label").unwrap().region().unwrap();
+        assert!(video.area() > graphic.area());
+        assert!(!video.overlaps(&graphic));
+        assert!(!video.overlaps(&caption));
+        assert!(!caption.overlaps(&label));
+        assert!(map.overlapping_regions().is_empty());
+        assert!(map.coverage() > 0.9);
+    }
+
+    #[test]
+    fn explicit_region_hints_win() {
+        let doc = DocumentBuilder::new("hints")
+            .channel_def(ChannelDef::new("video", MediaKind::Video).with_extra(
+                "region",
+                AttrValue::list([
+                    AttrValue::Number(10),
+                    AttrValue::Number(20),
+                    AttrValue::Number(300),
+                    AttrValue::Number(200),
+                ]),
+            ))
+            .channel_def(
+                ChannelDef::new("narration", MediaKind::Audio)
+                    .with_extra("speaker", AttrValue::Number(3)),
+            )
+            .channel_def(
+                ChannelDef::new("titles", MediaKind::Label)
+                    .with_extra("region", AttrValue::Id("bottom".into())),
+            )
+            .root_par(|root| {
+                root.imm_text("x", "titles", "t", 500);
+            })
+            .build()
+            .unwrap();
+        let map = map_presentation(&doc).unwrap();
+        assert_eq!(
+            map.placement("video").unwrap().region().unwrap(),
+            VirtualRegion { x: 10, y: 20, width: 300, height: 200 }
+        );
+        assert!(matches!(map.placement("narration"), Some(Placement::Speaker { slot: 3 })));
+        assert_eq!(
+            map.placement("titles").unwrap().region().unwrap(),
+            named_region("bottom")
+        );
+    }
+
+    #[test]
+    fn two_audio_channels_get_distinct_speakers() {
+        let doc = DocumentBuilder::new("stereo")
+            .channel("audio-left", MediaKind::Audio)
+            .channel("audio-right", MediaKind::Audio)
+            .root_par(|root| {
+                root.imm_text("x", "audio-left", "x", 100);
+            })
+            .build_unchecked()
+            .unwrap();
+        let map = map_presentation(&doc).unwrap();
+        let left = match map.placement("audio-left").unwrap() {
+            Placement::Speaker { slot } => *slot,
+            other => panic!("unexpected placement {other:?}"),
+        };
+        let right = match map.placement("audio-right").unwrap() {
+            Placement::Speaker { slot } => *slot,
+            other => panic!("unexpected placement {other:?}"),
+        };
+        assert_ne!(left, right);
+    }
+
+    #[test]
+    fn map_is_editable_independently_of_the_document() {
+        let doc = news_doc();
+        let mut map = map_presentation(&doc).unwrap();
+        map.assign("graphic", Placement::Screen(VirtualRegion { x: 0, y: 0, width: 100, height: 100 }));
+        assert_eq!(
+            map.placement("graphic").unwrap().region().unwrap().width,
+            100
+        );
+        // The document itself is untouched.
+        assert_eq!(doc.channels.get("graphic").unwrap().extra.len(), 0);
+    }
+
+    #[test]
+    fn overlap_detection_reports_pairs() {
+        let mut map = PresentationMap::new();
+        map.assign("a", Placement::Screen(VirtualRegion { x: 0, y: 0, width: 500, height: 500 }));
+        map.assign("b", Placement::Screen(VirtualRegion { x: 250, y: 250, width: 500, height: 500 }));
+        map.assign("c", Placement::Speaker { slot: 0 });
+        let overlaps = map.overlapping_regions();
+        assert_eq!(overlaps.len(), 1);
+        assert_eq!(overlaps[0], ("a".to_string(), "b".to_string()));
+    }
+
+    #[test]
+    fn regions_scale_to_physical_displays() {
+        let region = VirtualRegion { x: 0, y: 750, width: 1000, height: 250 };
+        assert_eq!(region.scaled_to(640, 480), (0, 360, 640, 120));
+        let tiny = VirtualRegion { x: 0, y: 0, width: 1, height: 1 };
+        let scaled = tiny.scaled_to(320, 200);
+        assert!(scaled.2 >= 1 && scaled.3 >= 1);
+    }
+
+    #[test]
+    fn render_map_lists_every_channel() {
+        let doc = news_doc();
+        let map = map_presentation(&doc).unwrap();
+        let text = render_map(&map);
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains("speaker slot"));
+        assert!(text.contains("screen"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Document viewing and reading tools (pipeline stage 5).
+//!
+//! "These tools present a document (based on the document structure map, the
+//! presentation map, and the local filter map) and provide a means for a
+//! reader to 'view' or (possibly) edit a document. Note that the document
+//! structure map provides a data-independent, position-independent and
+//! system-independent view of the multimedia document being read, acting as
+//! an internal table-of-contents function." (§2)
+//!
+//! Two textual renderings live here:
+//!
+//! * [`table_of_contents`] — the reading view: the document structure with
+//!   per-node timing, exactly the "internal table-of-contents function";
+//! * [`storyboard`] — the viewing view: what each channel shows at each
+//!   moment, combining the schedule, the presentation map and the filter
+//!   plan (dropped channels are marked rather than silently omitted).
+
+use std::fmt::Write as _;
+
+use cmif_core::descriptor::DescriptorResolver;
+use cmif_core::error::Result;
+use cmif_core::node::NodeId;
+use cmif_core::time::TimeMs;
+use cmif_core::tree::Document;
+use cmif_scheduler::Schedule;
+
+use crate::constraint::FilterPlan;
+use crate::presentation::{Placement, PresentationMap};
+
+/// Renders the reading view: an indented table of contents with node kinds,
+/// names and scheduled times.
+pub fn table_of_contents(doc: &Document, schedule: &Schedule) -> Result<String> {
+    let mut out = String::new();
+    let root = doc.root()?;
+    render_toc(doc, schedule, root, 0, &mut out)?;
+    Ok(out)
+}
+
+fn render_toc(
+    doc: &Document,
+    schedule: &Schedule,
+    node: NodeId,
+    depth: usize,
+    out: &mut String,
+) -> Result<()> {
+    let indent = "  ".repeat(depth);
+    let n = doc.node(node)?;
+    let name = n.name().unwrap_or("(unnamed)");
+    let timing = schedule
+        .node_times
+        .get(&node)
+        .map(|(begin, end)| format!("{begin} .. {end}"))
+        .unwrap_or_else(|| "unscheduled".to_string());
+    let _ = writeln!(out, "{indent}{} {:<24} [{timing}]", n.kind.keyword(), name);
+    for child in n.children.clone() {
+        render_toc(doc, schedule, child, depth + 1, out)?;
+    }
+    Ok(())
+}
+
+/// One moment of the storyboard: what every channel is doing at `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoryboardFrame {
+    /// The instant described.
+    pub at: TimeMs,
+    /// `(channel, description)` pairs, one per channel with activity.
+    pub lines: Vec<(String, String)>,
+}
+
+/// Renders the viewing view: samples the schedule every `step_ms`
+/// milliseconds and describes, for each channel, what is playing and where
+/// it appears in the virtual presentation space.
+pub fn storyboard(
+    doc: &Document,
+    schedule: &Schedule,
+    presentation: &PresentationMap,
+    filter: Option<&FilterPlan>,
+    step_ms: i64,
+    resolver: &dyn DescriptorResolver,
+) -> Result<Vec<StoryboardFrame>> {
+    let mut frames = Vec::new();
+    let step = step_ms.max(1);
+    let total = schedule.total_duration.as_millis();
+    let mut at = 0i64;
+    while at < total || (at == 0 && total == 0) {
+        let instant = TimeMs::from_millis(at);
+        let mut lines = Vec::new();
+        for entry in schedule.active_at(instant) {
+            let dropped = filter
+                .map(|plan| plan.dropped_channels.contains(&entry.channel))
+                .unwrap_or(false);
+            let place = match presentation.placement(&entry.channel) {
+                Some(Placement::Screen(region)) => format!("screen {region}"),
+                Some(Placement::Speaker { slot }) => format!("speaker {slot}"),
+                None => "unplaced".to_string(),
+            };
+            let content = describe_content(doc, entry.node, resolver)?;
+            let description = if dropped {
+                format!("[dropped on this device] {content}")
+            } else {
+                format!("{place}: {content}")
+            };
+            lines.push((entry.channel.clone(), description));
+        }
+        lines.sort();
+        frames.push(StoryboardFrame { at: instant, lines });
+        at += step;
+        if total == 0 {
+            break;
+        }
+    }
+    Ok(frames)
+}
+
+/// Renders a storyboard as plain text.
+pub fn render_storyboard(frames: &[StoryboardFrame]) -> String {
+    let mut out = String::new();
+    for frame in frames {
+        let _ = writeln!(out, "t = {}", frame.at);
+        if frame.lines.is_empty() {
+            let _ = writeln!(out, "  (silence / empty screen)");
+        }
+        for (channel, description) in &frame.lines {
+            let _ = writeln!(out, "  {channel:<10} {description}");
+        }
+    }
+    out
+}
+
+fn describe_content(
+    doc: &Document,
+    node: NodeId,
+    resolver: &dyn DescriptorResolver,
+) -> Result<String> {
+    let n = doc.node(node)?;
+    let name = n.name().unwrap_or("(unnamed)");
+    match &n.kind {
+        cmif_core::node::NodeKind::Imm(data) => match data.as_text() {
+            Some(text) => {
+                let preview: String = text.chars().take(32).collect();
+                Ok(format!("{name} \u{201c}{preview}\u{201d}"))
+            }
+            None => Ok(format!("{name} ({} inline bytes)", data.len())),
+        },
+        cmif_core::node::NodeKind::Ext => {
+            let key = doc.file_of(node)?.unwrap_or_else(|| "?".to_string());
+            match resolver.resolve(&key) {
+                Some(descriptor) => Ok(format!(
+                    "{name} <{key}: {} {}>",
+                    descriptor.format,
+                    human_size(descriptor.size_bytes)
+                )),
+                None => Ok(format!("{name} <{key}>")),
+            }
+        }
+        _ => Ok(name.to_string()),
+    }
+}
+
+fn human_size(bytes: u64) -> String {
+    if bytes >= 1_000_000 {
+        format!("{:.1} MB", bytes as f64 / 1_000_000.0)
+    } else if bytes >= 1_000 {
+        format!("{:.1} kB", bytes as f64 / 1_000.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presentation::map_presentation;
+    use cmif_core::prelude::*;
+    use cmif_scheduler::{solve, ScheduleOptions};
+
+    fn doc() -> Document {
+        DocumentBuilder::new("news")
+            .channel("audio", MediaKind::Audio)
+            .channel("caption", MediaKind::Text)
+            .descriptor(
+                DataDescriptor::new("speech", MediaKind::Audio, "pcm8")
+                    .with_size(48_000)
+                    .with_duration(TimeMs::from_secs(6)),
+            )
+            .root_seq(|news| {
+                news.par("story-1", |story| {
+                    story.ext("voice", "audio", "speech");
+                    story.imm_text("line-1", "caption", "Paintings stolen from museum", 3_000);
+                });
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn table_of_contents_lists_structure_with_times() {
+        let d = doc();
+        let result = solve(&d, &d.catalog, &ScheduleOptions::default()).unwrap();
+        let toc = table_of_contents(&d, &result.schedule).unwrap();
+        assert!(toc.contains("seq news"));
+        assert!(toc.contains("par story-1"));
+        assert!(toc.contains("ext voice"));
+        assert!(toc.contains("imm line-1"));
+        assert!(toc.contains("0s .. 6s"));
+        assert_eq!(toc.lines().count(), 4);
+    }
+
+    #[test]
+    fn storyboard_shows_active_events_and_placements() {
+        let d = doc();
+        let result = solve(&d, &d.catalog, &ScheduleOptions::default()).unwrap();
+        let map = map_presentation(&d).unwrap();
+        let frames =
+            storyboard(&d, &result.schedule, &map, None, 2_000, &d.catalog).unwrap();
+        assert_eq!(frames.len(), 3); // t = 0, 2s, 4s over a 6 s document
+        // At t=0 both the voice and the caption are active.
+        assert_eq!(frames[0].lines.len(), 2);
+        let text = render_storyboard(&frames);
+        assert!(text.contains("speaker 0"));
+        assert!(text.contains("Paintings stolen"));
+        assert!(text.contains("48.0 kB"));
+        // At t=4s only the voice remains.
+        assert_eq!(frames[2].lines.len(), 1);
+    }
+
+    #[test]
+    fn storyboard_marks_dropped_channels() {
+        let d = doc();
+        let result = solve(&d, &d.catalog, &ScheduleOptions::default()).unwrap();
+        let map = map_presentation(&d).unwrap();
+        let plan = FilterPlan {
+            dropped_channels: vec!["caption".to_string()],
+            ..FilterPlan::default()
+        };
+        let frames =
+            storyboard(&d, &result.schedule, &map, Some(&plan), 3_000, &d.catalog).unwrap();
+        let text = render_storyboard(&frames);
+        assert!(text.contains("[dropped on this device]"));
+    }
+
+    #[test]
+    fn empty_schedule_produces_a_single_silent_frame() {
+        let d = DocumentBuilder::new("empty")
+            .channel("caption", MediaKind::Text)
+            .root_par(|root| {
+                root.imm_text("x", "caption", "t", 0);
+            })
+            .build()
+            .unwrap();
+        let result = solve(&d, &d.catalog, &ScheduleOptions::default()).unwrap();
+        let map = map_presentation(&d).unwrap();
+        let frames = storyboard(&d, &result.schedule, &map, None, 1_000, &d.catalog).unwrap();
+        assert!(!frames.is_empty());
+        let text = render_storyboard(&frames);
+        assert!(text.contains("t = 0s"));
+    }
+
+    #[test]
+    fn human_size_formats() {
+        assert_eq!(human_size(12), "12 B");
+        assert_eq!(human_size(2_300), "2.3 kB");
+        assert_eq!(human_size(5_500_000), "5.5 MB");
+    }
+}

@@ -1,0 +1,204 @@
+//! Presentation-environment models.
+//!
+//! The paper's second conflict class is "device characteristics may limit
+//! the ability of a particular environment to support a given document"
+//! (§5.3.3). [`EnvironmentLimits`] is the scheduler-side abstraction of such
+//! a device: which media it can present, how many things it can do at once,
+//! and how much delivery bandwidth and decode capacity it has.
+//! `cmif-pipeline` builds richer device profiles on top of this and maps
+//! them down to these limits for conflict checking.
+//!
+//! [`JitterModel`] describes how sloppily a device launches events — the
+//! reason the δ/ε tolerance windows of §5.3.1 exist at all. The playback
+//! simulator draws per-event startup latencies from it.
+
+use std::collections::BTreeMap;
+
+use cmif_core::channel::MediaKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Resource and capability limits of a presentation environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvironmentLimits {
+    /// A short name for reports ("workstation", "laptop", "audio kiosk").
+    pub name: String,
+    /// The media this environment can present at all.
+    pub supported_media: Vec<MediaKind>,
+    /// Maximum number of simultaneously active events across all channels.
+    pub max_concurrent_events: usize,
+    /// Sustained delivery bandwidth in bytes per second.
+    pub bandwidth_bps: u64,
+    /// Decode/render capacity in abstract work units per second (compare
+    /// with [`cmif_core::descriptor::ResourceNeeds::decode_cost`]).
+    pub decode_capacity: u32,
+    /// Largest raster the environment can show, if it can show images at
+    /// all.
+    pub max_resolution: Option<(u32, u32)>,
+    /// Deepest colour it can show.
+    pub max_color_depth: Option<u8>,
+}
+
+impl EnvironmentLimits {
+    /// A generously provisioned workstation: every medium, 24-bit colour,
+    /// plenty of bandwidth. Documents should present without conflicts.
+    pub fn workstation() -> EnvironmentLimits {
+        EnvironmentLimits {
+            name: "workstation".to_string(),
+            supported_media: MediaKind::ALL.to_vec(),
+            max_concurrent_events: 16,
+            bandwidth_bps: 20_000_000,
+            decode_capacity: 1_000,
+            max_resolution: Some((1280, 1024)),
+            max_color_depth: Some(24),
+        }
+    }
+
+    /// A low-end personal computer: small 8-bit display, little bandwidth.
+    pub fn low_end_pc() -> EnvironmentLimits {
+        EnvironmentLimits {
+            name: "low-end-pc".to_string(),
+            supported_media: MediaKind::ALL.to_vec(),
+            max_concurrent_events: 4,
+            bandwidth_bps: 1_000_000,
+            decode_capacity: 100,
+            max_resolution: Some((640, 480)),
+            max_color_depth: Some(8),
+        }
+    }
+
+    /// An audio-only kiosk (the "no display" example of §1: a target system
+    /// that cannot implement the flying-bird document).
+    pub fn audio_kiosk() -> EnvironmentLimits {
+        EnvironmentLimits {
+            name: "audio-kiosk".to_string(),
+            supported_media: vec![MediaKind::Audio],
+            max_concurrent_events: 2,
+            bandwidth_bps: 256_000,
+            decode_capacity: 20,
+            max_resolution: None,
+            max_color_depth: None,
+        }
+    }
+
+    /// True when the environment can present the given medium.
+    pub fn supports(&self, medium: MediaKind) -> bool {
+        self.supported_media.contains(&medium)
+    }
+}
+
+/// Per-channel event startup jitter of a device.
+///
+/// Each event launched on a channel suffers a uniformly distributed startup
+/// latency in `[0, max_latency_ms]`. A `max_latency_ms` of zero models an
+/// ideal device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JitterModel {
+    /// Default maximum startup latency for channels with no specific entry.
+    pub default_max_latency_ms: i64,
+    /// Per-channel maximum startup latencies.
+    pub per_channel_max_ms: BTreeMap<String, i64>,
+    /// Seed for the deterministic random source.
+    pub seed: u64,
+}
+
+impl JitterModel {
+    /// An ideal device: no jitter anywhere.
+    pub fn ideal() -> JitterModel {
+        JitterModel { default_max_latency_ms: 0, per_channel_max_ms: BTreeMap::new(), seed: 0 }
+    }
+
+    /// A uniform jitter model: every channel may delay launches by up to
+    /// `max_latency_ms`.
+    pub fn uniform(max_latency_ms: i64, seed: u64) -> JitterModel {
+        JitterModel { default_max_latency_ms: max_latency_ms, per_channel_max_ms: BTreeMap::new(), seed }
+    }
+
+    /// Overrides the maximum latency for one channel.
+    pub fn with_channel(mut self, channel: impl Into<String>, max_latency_ms: i64) -> JitterModel {
+        self.per_channel_max_ms.insert(channel.into(), max_latency_ms);
+        self
+    }
+
+    /// The maximum latency that applies to a channel.
+    pub fn max_for(&self, channel: &str) -> i64 {
+        *self.per_channel_max_ms.get(channel).unwrap_or(&self.default_max_latency_ms)
+    }
+
+    /// Creates the deterministic sampler for one playback run.
+    pub fn sampler(&self) -> JitterSampler {
+        JitterSampler { model: self.clone(), rng: SmallRng::seed_from_u64(self.seed) }
+    }
+}
+
+/// Draws per-event startup latencies from a [`JitterModel`].
+#[derive(Debug, Clone)]
+pub struct JitterSampler {
+    model: JitterModel,
+    rng: SmallRng,
+}
+
+impl JitterSampler {
+    /// Samples the startup latency for one event on `channel`.
+    pub fn sample(&mut self, channel: &str) -> i64 {
+        let max = self.model.max_for(channel);
+        if max <= 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_environments_differ_sensibly() {
+        let ws = EnvironmentLimits::workstation();
+        let pc = EnvironmentLimits::low_end_pc();
+        let kiosk = EnvironmentLimits::audio_kiosk();
+        assert!(ws.bandwidth_bps > pc.bandwidth_bps);
+        assert!(pc.bandwidth_bps > kiosk.bandwidth_bps);
+        assert!(ws.supports(MediaKind::Video));
+        assert!(!kiosk.supports(MediaKind::Video));
+        assert!(kiosk.supports(MediaKind::Audio));
+        assert_eq!(kiosk.max_resolution, None);
+    }
+
+    #[test]
+    fn jitter_model_per_channel_override() {
+        let model = JitterModel::uniform(200, 7).with_channel("video", 500);
+        assert_eq!(model.max_for("audio"), 200);
+        assert_eq!(model.max_for("video"), 500);
+        assert_eq!(JitterModel::ideal().max_for("anything"), 0);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_for_a_seed() {
+        let model = JitterModel::uniform(300, 42);
+        let mut a = model.sampler();
+        let mut b = model.sampler();
+        let seq_a: Vec<i64> = (0..10).map(|_| a.sample("audio")).collect();
+        let seq_b: Vec<i64> = (0..10).map(|_| b.sample("audio")).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().all(|v| (0..=300).contains(v)));
+    }
+
+    #[test]
+    fn ideal_sampler_returns_zero() {
+        let mut sampler = JitterModel::ideal().sampler();
+        assert_eq!(sampler.sample("video"), 0);
+        assert_eq!(sampler.sample("audio"), 0);
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let mut a = JitterModel::uniform(1_000, 1).sampler();
+        let mut b = JitterModel::uniform(1_000, 2).sampler();
+        let seq_a: Vec<i64> = (0..20).map(|_| a.sample("x")).collect();
+        let seq_b: Vec<i64> = (0..20).map(|_| b.sample("x")).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+}

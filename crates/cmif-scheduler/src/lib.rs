@@ -1,0 +1,65 @@
+//! # cmif-scheduler — the CMIF synchronization engine
+//!
+//! This crate turns a CMIF document (see `cmif-core`) into presentable
+//! timelines and checks whether a presentation environment can honour them:
+//!
+//! * [`defaults`] derives the constraint set of a document — the default
+//!   structural arcs of §5.3.1 (sequential chains, parallel fork/join), the
+//!   rigid begin→end duration of every leaf, and the explicit arcs with
+//!   their offsets converted from media units;
+//! * [`solver`] computes the ASAP schedule over those constraints and
+//!   verifies every δ/ε window against it;
+//! * [`timeline`] holds the resulting [`timeline::Schedule`] and renders the
+//!   per-channel views and Gantt charts of Figures 3, 4 and 10;
+//! * [`conflict`] detects the paper's three conflict classes (§5.3.3):
+//!   unreasonable specifications, device limitations, and navigation past an
+//!   arc's source;
+//! * [`player`] simulates actual playback on a jittery device and measures
+//!   how well the Must/May tolerance windows absorb it (the Figure 8
+//!   experiment);
+//! * [`environment`] models the device: supported media, bandwidth, decode
+//!   capacity, and per-channel startup jitter.
+//!
+//! ```
+//! use cmif_core::prelude::*;
+//! use cmif_scheduler::{solve, ScheduleOptions};
+//!
+//! let doc = DocumentBuilder::new("demo")
+//!     .channel("audio", MediaKind::Audio)
+//!     .descriptor(
+//!         DataDescriptor::new("speech", MediaKind::Audio, "pcm8")
+//!             .with_duration(TimeMs::from_secs(4)),
+//!     )
+//!     .root_seq(|root| {
+//!         root.ext("part-1", "audio", "speech");
+//!         root.ext("part-2", "audio", "speech");
+//!     })
+//!     .build()
+//!     .unwrap();
+//!
+//! let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+//! assert_eq!(result.schedule.total_duration, TimeMs::from_secs(8));
+//! assert!(result.is_consistent());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conflict;
+pub mod defaults;
+pub mod environment;
+pub mod player;
+pub mod solver;
+pub mod timeline;
+pub mod types;
+
+pub use conflict::{
+    class_histogram, device_conflicts, full_report, invalid_arcs_when_seeking,
+    specification_conflicts, Conflict, ConflictReport,
+};
+pub use defaults::{derive_constraints, derive_structural, rates_of};
+pub use environment::{EnvironmentLimits, JitterModel, JitterSampler};
+pub use player::{must_satisfaction_rate, play, PlaybackReport, PlayedEvent};
+pub use solver::{point_time, solve, solve_constraints, SolveResult, WindowViolation};
+pub use timeline::{Schedule, TimelineEntry};
+pub use types::{Constraint, ConstraintOrigin, EventPoint, ScheduleOptions};

@@ -1,0 +1,93 @@
+//! Hyper navigation and conditional synchronization arcs (the paper's §3.2
+//! and §5.3.3 future-work directions).
+//!
+//! The reader watches the Evening News, turns captions on (a conditional
+//! arc), then jumps ahead to the insurance graphic — which invalidates the
+//! arcs whose controlling events were skipped, exactly the third conflict
+//! class of the paper.
+//!
+//! Run with `cargo run --example hyper_navigation`.
+
+use cmif::core::arc::SyncArc;
+use cmif::core::error::Result;
+use cmif::core::time::{MediaTime, TimeMs};
+use cmif::hyper::conditional::{
+    constraints_with_conditionals, Condition, ConditionalArc, PresentationContext,
+};
+use cmif::hyper::links::LinkSet;
+use cmif::hyper::navigation::Navigator;
+use cmif::news::evening_news;
+use cmif::scheduler::{solve, solve_constraints, ScheduleOptions};
+
+fn main() -> Result<()> {
+    let doc = evening_news()?;
+    let options = ScheduleOptions::default();
+
+    // A conditional arc: when the reader enables the "captions-on" flag the
+    // museum-name label waits two seconds into the narration before it
+    // appears (so it does not collide with the caption strip).
+    let label = doc.find("/story-3/label-track/museum-name")?;
+    let conditional = ConditionalArc::new(
+        label,
+        Condition::Flag("captions-on".into()),
+        SyncArc::relaxed_start("/story-3/narration", "").with_offset(MediaTime::seconds(10)),
+    );
+
+    for flags in [PresentationContext::full(), PresentationContext::full().with_flag("captions-on")]
+    {
+        let constraints = constraints_with_conditionals(
+            &doc,
+            &doc.catalog,
+            &options,
+            std::slice::from_ref(&conditional),
+            &flags,
+        )?;
+        let result = solve_constraints(&doc, &doc.catalog, constraints)?;
+        let museum_start = result.schedule.node_times[&label].0;
+        println!(
+            "captions-on = {:<5} -> museum label appears at {museum_start}",
+            flags.flags.contains("captions-on")
+        );
+    }
+
+    // Plain navigation over the unconditioned schedule.
+    let solved = solve(&doc, &doc.catalog, &options)?;
+    let mut links = LinkSet::new();
+    links.add(
+        &doc,
+        "skip to the insurance figures",
+        "/story-3/graphic-track/painting-one",
+        "/story-3/graphic-track/insurance-graph",
+    )?;
+    let navigator = Navigator::new(&doc, &solved).with_links(links);
+
+    let painting_one = doc.find("/story-3/graphic-track/painting-one")?;
+    println!("\nchoices while the first painting is on screen:");
+    for link in navigator.choices_at(painting_one) {
+        println!("  -> {}", link.label);
+    }
+
+    let nav = navigator
+        .follow(painting_one, "skip to the insurance figures")?
+        .expect("the link exists");
+    println!(
+        "\nfollowed the link: presentation resumes at {} ({} events skipped, {} remaining)",
+        nav.resume_at,
+        nav.skipped,
+        nav.remaining.len()
+    );
+    println!("arcs invalidated by the jump (class-3 conflicts): {}", nav.invalidated.len());
+    for conflict in &nav.invalidated {
+        println!("  {conflict}");
+    }
+
+    // Fast-forward 20 seconds from the start.
+    if let Some(ff) = navigator.fast_forward(TimeMs::ZERO, 20_000)? {
+        println!(
+            "\nfast-forward by 20 s lands at {} with {} events remaining",
+            ff.resume_at,
+            ff.remaining.len()
+        );
+    }
+    Ok(())
+}

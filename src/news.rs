@@ -1,0 +1,290 @@
+//! The Evening News example document (Figures 4 and 10 of the paper).
+//!
+//! "As an example multimedia document, consider a (pre-created) version of
+//! the evening television news. […] the news is divided into a number of
+//! separate program blocks, each of which consists of spoken text, a main
+//! video stream, one view of a static background graphic illustration, and
+//! one labelling text stream" plus a synchronized caption stream (§4).
+//!
+//! [`evening_news`] builds the Figure 10 fragment — the stolen-paintings
+//! story — complete with its five channels, its implicit synchronization and
+//! the explicit arcs the paper calls out:
+//!
+//! * the graphic channel is start-synchronized with the audio;
+//! * the captions are start-synchronized with the video (not the audio);
+//! * the end of the second caption starts the second painting, with an
+//!   offset;
+//! * the end of the fourth caption holds back the next video sequence
+//!   (the freeze-frame arc);
+//! * the label channel is loosely (`May`) synchronized.
+//!
+//! [`capture_news_media`] fills a block store with synthetic media whose
+//! shapes match the document, so the full pipeline can run on it.
+
+use cmif_core::arc::{Anchor, SyncArc};
+use cmif_core::channel::{ChannelDef, MediaKind};
+use cmif_core::descriptor::DataDescriptor;
+use cmif_core::error::Result;
+use cmif_core::prelude::{Attr, AttrName, AttrValue, DocumentBuilder, StyleDef};
+use cmif_core::time::{DelayMs, MaxDelay, MediaTime, RateInfo, TimeMs};
+use cmif_core::tree::Document;
+use cmif_media::store::BlockStore;
+use cmif_pipeline::capture::{CaptureRequest, CaptureTool};
+
+/// Durations (in milliseconds) of the audio/caption beats of the story.
+/// The story is 40 seconds long: intro, set-up, location, public outcry,
+/// painting value.
+const BEATS_MS: [i64; 5] = [6_000, 8_000, 10_000, 8_000, 8_000];
+
+/// Builds the Evening News story document of Figures 4 and 10.
+///
+/// The document is self-contained: every referenced data descriptor is
+/// embedded in its catalog, so it can be scheduled and transported without a
+/// block store. Use [`capture_news_media`] when the actual (synthetic) media
+/// bytes are needed too.
+pub fn evening_news() -> Result<Document> {
+    let total_ms: i64 = BEATS_MS.iter().sum();
+
+    let mut builder = DocumentBuilder::new("Evening News — stolen paintings")
+        .meta("author", AttrValue::Str("CWI news desk".into()))
+        .meta("language", AttrValue::Id("nl".into()))
+        .channel("audio", MediaKind::Audio)
+        .channel("video", MediaKind::Video)
+        .channel("graphic", MediaKind::Image)
+        .channel_def(
+            ChannelDef::new("caption", MediaKind::Text)
+                .with_extra("language", AttrValue::Id("en".into())),
+        )
+        .channel("label", MediaKind::Label)
+        .style(
+            StyleDef::new("caption-style").with_attr(Attr::new(
+                AttrName::TFormatting,
+                AttrValue::list([
+                    AttrValue::list([AttrValue::Id("font".into()), AttrValue::Id("helvetica".into())]),
+                    AttrValue::list([AttrValue::Id("size".into()), AttrValue::Number(14)]),
+                ]),
+            )),
+        )
+        .style(
+            StyleDef::new("label-style")
+                .with_parent("caption-style")
+                .with_attr(Attr::new(AttrName::Duration, AttrValue::Number(4_000))),
+        );
+
+    // Data descriptors for the story's media.
+    builder = builder
+        .descriptor(
+            DataDescriptor::new("story3/audio", MediaKind::Audio, "pcm8")
+                .with_duration(TimeMs::from_millis(total_ms))
+                .with_size((total_ms * 8) as u64)
+                .with_rates(RateInfo::audio(8_000, 8_000))
+                .with_extra("story", AttrValue::Id("stolen-paintings".into()))
+                .with_extra("language", AttrValue::Id("nl".into())),
+        )
+        .descriptor(
+            DataDescriptor::new("story3/talking-head-1", MediaKind::Video, "rgb24")
+                .with_duration(TimeMs::from_millis(10_000))
+                .with_size(10 * 25 * 320 * 240 * 3)
+                .with_resolution(320, 240)
+                .with_color_depth(24)
+                .with_rates(RateInfo::video(25.0)),
+        )
+        .descriptor(
+            DataDescriptor::new("story3/crime-scene", MediaKind::Video, "rgb24")
+                .with_duration(TimeMs::from_millis(20_000))
+                .with_size(20 * 25 * 320 * 240 * 3)
+                .with_resolution(320, 240)
+                .with_color_depth(24)
+                .with_rates(RateInfo::video(25.0)),
+        )
+        .descriptor(
+            DataDescriptor::new("story3/talking-head-2", MediaKind::Video, "rgb24")
+                .with_duration(TimeMs::from_millis(10_000))
+                .with_size(10 * 25 * 320 * 240 * 3)
+                .with_resolution(320, 240)
+                .with_color_depth(24)
+                .with_rates(RateInfo::video(25.0)),
+        );
+    for (key, title) in [
+        ("story3/painting-one", "Irises"),
+        ("story3/painting-two", "Self-portrait"),
+        ("story3/insurance-graph", "Insured value 1980-1991"),
+    ] {
+        builder = builder.descriptor(
+            DataDescriptor::new(key, MediaKind::Image, "raster24")
+                .with_size(640 * 480 * 3)
+                .with_resolution(640, 480)
+                .with_color_depth(24)
+                .with_extra("title", AttrValue::Str(title.into()))
+                .with_extra("subject", AttrValue::Id("painting".into())),
+        );
+    }
+
+    let caption_texts = [
+        "Tonight: paintings worth ten million stolen from the museum",
+        "The thieves entered through the restoration workshop",
+        "Police are questioning two witnesses seen near the service entrance",
+        "The insurance company had just revalued the collection",
+        "The museum reopens tomorrow with reproductions on display",
+    ];
+
+    let doc = builder
+        .root_seq(|news| {
+            news.par("story-3", |story| {
+                // Audio: one continuous narration block.
+                story.ext("narration", "audio", "story3/audio");
+
+                // Video: talking head, crime scene report, talking head.
+                story.seq("video-track", |track| {
+                    track.ext("talking-head-1", "video", "story3/talking-head-1");
+                    track.ext("crime-scene", "video", "story3/crime-scene");
+                    track.ext_with("talking-head-2", "video", "story3/talking-head-2", |n| {
+                        // Figure 10: the new video sequence may not start
+                        // until the caption text is over (freeze-frame arc).
+                        n.arc(
+                            SyncArc::hard_start("/story-3/caption-track/caption-4", "")
+                                .from_source_anchor(Anchor::End)
+                                .with_window(DelayMs::ZERO, MaxDelay::Unbounded),
+                        );
+                    });
+                });
+
+                // Graphic: three stills, start-synchronized with the audio.
+                story.seq("graphic-track", |track| {
+                    track.ext_with("painting-one", "graphic", "story3/painting-one", |n| {
+                        n.duration_ms(12_000);
+                        n.arc(
+                            SyncArc::hard_start("/story-3/narration", "").with_window(
+                                DelayMs::ZERO,
+                                MaxDelay::Bounded(DelayMs::from_millis(500)),
+                            ),
+                        );
+                    });
+                    track.ext_with("painting-two", "graphic", "story3/painting-two", |n| {
+                        n.duration_ms(12_000);
+                        // Figure 10: an arc from the end of the second
+                        // caption to the start of the second graphic, with
+                        // an offset.
+                        n.arc(
+                            SyncArc::hard_start("/story-3/caption-track/caption-2", "")
+                                .from_source_anchor(Anchor::End)
+                                .with_offset(MediaTime::seconds(1))
+                                .with_window(
+                                    DelayMs::ZERO,
+                                    MaxDelay::Bounded(DelayMs::from_millis(1_000)),
+                                ),
+                        );
+                    });
+                    track.ext_with("insurance-graph", "graphic", "story3/insurance-graph", |n| {
+                        n.duration_ms(10_000);
+                    });
+                });
+
+                // Caption: five beats, start-synchronized with the video.
+                story.seq("caption-track", |track| {
+                    for (i, (beat, text)) in BEATS_MS.iter().zip(caption_texts).enumerate() {
+                        let name = format!("caption-{}", i + 1);
+                        track.imm_text(&name, "caption", text, *beat);
+                    }
+                });
+
+                // Label: loosely synchronized titles.
+                story.seq("label-track", |track| {
+                    track.imm_text("story-name", "label", "Story 3: Museum theft", 8_000);
+                    track.imm_text("museum-name", "label", "Rijksmuseum van Moderne Kunst", 16_000);
+                    track.imm_text("announcer-name", "label", "Anchor: J. van Dam", 16_000);
+                });
+            });
+        })
+        .build_unchecked()?;
+
+    let mut doc = doc;
+    // The caption track is start-synchronized with the video track (and not
+    // with the audio), §5.3.4.
+    let caption_track = doc.find("/story-3/caption-track")?;
+    doc.add_arc(
+        caption_track,
+        SyncArc::hard_start("/story-3/video-track", "").with_window(
+            DelayMs::ZERO,
+            MaxDelay::Bounded(DelayMs::from_millis(250)),
+        ),
+    )?;
+    // The label channel is a May synchronization: "if the label is a little
+    // late, then there is no reason for panic" (§5.3.2).
+    let label_track = doc.find("/story-3/label-track")?;
+    doc.add_arc(
+        label_track,
+        SyncArc::relaxed_start("/story-3/narration", "").with_window(
+            DelayMs::ZERO,
+            MaxDelay::Bounded(DelayMs::from_millis(2_000)),
+        ),
+    )?;
+
+    cmif_core::validate::validate(&doc)?;
+    Ok(doc)
+}
+
+/// Captures synthetic media matching [`evening_news`] into `store` and
+/// returns the document (its catalog refreshed from the captured
+/// descriptors' sizes is not required — the embedded catalog already
+/// matches).
+pub fn capture_news_media(store: &BlockStore, seed: u64) -> cmif_media::Result<()> {
+    let mut tool = CaptureTool::new(store, seed);
+    let total_ms: i64 = BEATS_MS.iter().sum();
+    tool.capture(&CaptureRequest::audio("story3/audio", total_ms).with_attribute("language", "nl"))?;
+    // Keep the synthetic video small (64x48): the document's descriptors
+    // describe broadcast-sized media, but the pipeline only needs bytes with
+    // the right shape, not 1991 broadcast volumes in a unit-test heap.
+    tool.capture(&CaptureRequest::video("story3/talking-head-1", 10_000, (64, 48), 24))?;
+    tool.capture(&CaptureRequest::video("story3/crime-scene", 20_000, (64, 48), 24))?;
+    tool.capture(&CaptureRequest::video("story3/talking-head-2", 10_000, (64, 48), 24))?;
+    tool.capture(&CaptureRequest::image("story3/painting-one", (640, 480), 24))?;
+    tool.capture(&CaptureRequest::image("story3/painting-two", (640, 480), 24))?;
+    tool.capture(&CaptureRequest::image("story3/insurance-graph", (640, 480), 24))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmif_scheduler::{solve, ScheduleOptions};
+
+    #[test]
+    fn evening_news_is_valid_and_schedulable() {
+        let doc = evening_news().unwrap();
+        assert_eq!(doc.channels.len(), 5);
+        assert!(doc.catalog.len() >= 7);
+        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        assert!(result.is_consistent(), "violations: {:?}", result.violations);
+        // The story runs 40 s of narration; the freeze-frame arc pushes the
+        // final talking head to the end of the fourth caption (t = 32 s), so
+        // the video track ends at 42 s.
+        assert_eq!(result.schedule.total_duration, TimeMs::from_secs(42));
+    }
+
+    #[test]
+    fn figure10_arcs_shape_the_schedule() {
+        let doc = evening_news().unwrap();
+        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        // The second painting starts one second after the second caption
+        // ends (caption-1 6 s + caption-2 8 s + 1 s offset = 15 s).
+        let painting_two = doc.find("/story-3/graphic-track/painting-two").unwrap();
+        assert_eq!(result.schedule.node_times[&painting_two].0, TimeMs::from_secs(15));
+        // The final talking head waits for the fourth caption to end (32 s)
+        // even though the crime-scene footage ends at 30 s.
+        let head2 = doc.find("/story-3/video-track/talking-head-2").unwrap();
+        assert_eq!(result.schedule.node_times[&head2].0, TimeMs::from_secs(32));
+    }
+
+    #[test]
+    fn media_capture_matches_the_document() {
+        let store = BlockStore::new();
+        capture_news_media(&store, 7).unwrap();
+        let doc = evening_news().unwrap();
+        for leaf in doc.leaves() {
+            if let Some(key) = doc.file_of(leaf).unwrap() {
+                assert!(store.descriptor(&key).is_ok(), "missing media for {key}");
+            }
+        }
+    }
+}

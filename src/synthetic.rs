@@ -1,0 +1,250 @@
+//! Parameterised synthetic news documents.
+//!
+//! The benchmark harness needs documents of controlled size and shape: a
+//! broadcast with `n` stories, each with the five-channel structure of the
+//! Evening News, optionally decorated with explicit synchronization arcs.
+//! [`SyntheticNews`] generates them deterministically, and
+//! [`balanced_tree`] generates abstract seq/par trees of a given depth and
+//! fan-out for the Figure 5/6 parsing and serialization benches.
+
+use cmif_core::arc::SyncArc;
+use cmif_core::channel::MediaKind;
+use cmif_core::descriptor::DataDescriptor;
+use cmif_core::error::Result;
+use cmif_core::prelude::{AttrValue, DocumentBuilder, NodeBuilder};
+use cmif_core::time::{DelayMs, MaxDelay, RateInfo, TimeMs};
+use cmif_core::tree::Document;
+use cmif_core::node::NodeKind;
+
+/// Parameters of a synthetic news broadcast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticNews {
+    /// Number of stories in the broadcast.
+    pub stories: usize,
+    /// Seconds of narration per story.
+    pub story_seconds: i64,
+    /// Captions per story.
+    pub captions_per_story: usize,
+    /// Graphics per story.
+    pub graphics_per_story: usize,
+    /// When true, each story gets explicit arcs (graphic onto audio,
+    /// captions onto video) like Figure 10; when false only the implicit
+    /// structure synchronizes it.
+    pub explicit_arcs: bool,
+}
+
+impl Default for SyntheticNews {
+    fn default() -> Self {
+        SyntheticNews {
+            stories: 4,
+            story_seconds: 30,
+            captions_per_story: 5,
+            graphics_per_story: 3,
+            explicit_arcs: true,
+        }
+    }
+}
+
+impl SyntheticNews {
+    /// Convenience constructor: a broadcast with `stories` stories and the
+    /// other parameters at their defaults.
+    pub fn with_stories(stories: usize) -> SyntheticNews {
+        SyntheticNews { stories, ..SyntheticNews::default() }
+    }
+
+    /// Builds the document.
+    pub fn build(&self) -> Result<Document> {
+        let mut builder = DocumentBuilder::new("synthetic news")
+            .channel("audio", MediaKind::Audio)
+            .channel("video", MediaKind::Video)
+            .channel("graphic", MediaKind::Image)
+            .channel("caption", MediaKind::Text)
+            .channel("label", MediaKind::Label);
+
+        for story in 0..self.stories {
+            builder = builder
+                .descriptor(
+                    DataDescriptor::new(format!("s{story}/audio"), MediaKind::Audio, "pcm8")
+                        .with_duration(TimeMs::from_secs(self.story_seconds))
+                        .with_size((self.story_seconds * 8_000) as u64)
+                        .with_rates(RateInfo::audio(8_000, 8_000))
+                        .with_extra("story", AttrValue::Id(format!("s{story}"))),
+                )
+                .descriptor(
+                    DataDescriptor::new(format!("s{story}/video"), MediaKind::Video, "rgb24")
+                        .with_duration(TimeMs::from_secs(self.story_seconds))
+                        .with_size((self.story_seconds * 25 * 320 * 240 * 3) as u64)
+                        .with_resolution(320, 240)
+                        .with_color_depth(24)
+                        .with_rates(RateInfo::video(25.0))
+                        .with_extra("story", AttrValue::Id(format!("s{story}"))),
+                );
+            for graphic in 0..self.graphics_per_story {
+                builder = builder.descriptor(
+                    DataDescriptor::new(
+                        format!("s{story}/graphic-{graphic}"),
+                        MediaKind::Image,
+                        "raster24",
+                    )
+                    .with_size(640 * 480 * 3)
+                    .with_resolution(640, 480)
+                    .with_color_depth(24)
+                    .with_extra("story", AttrValue::Id(format!("s{story}"))),
+                );
+            }
+        }
+
+        let config = *self;
+        let mut doc = builder
+            .root_seq(|news| {
+                for story in 0..config.stories {
+                    news.par(&format!("story-{story}"), |s| {
+                        config.build_story(s, story);
+                    });
+                }
+            })
+            .build_unchecked()?;
+
+        if self.explicit_arcs {
+            for story in 0..self.stories {
+                let graphics = doc.find(&format!("/story-{story}/graphics"))?;
+                doc.add_arc(
+                    graphics,
+                    SyncArc::hard_start(format!("/story-{story}/narration").as_str(), "")
+                        .with_window(DelayMs::ZERO, MaxDelay::Bounded(DelayMs::from_millis(500))),
+                )?;
+                let captions = doc.find(&format!("/story-{story}/captions"))?;
+                doc.add_arc(
+                    captions,
+                    SyncArc::hard_start(format!("/story-{story}/film").as_str(), "")
+                        .with_window(DelayMs::ZERO, MaxDelay::Bounded(DelayMs::from_millis(250))),
+                )?;
+            }
+        }
+        cmif_core::validate::validate(&doc)?;
+        Ok(doc)
+    }
+
+    fn build_story(&self, s: &mut NodeBuilder<'_>, story: usize) {
+        s.ext("narration", "audio", &format!("s{story}/audio"));
+        s.ext("film", "video", &format!("s{story}/video"));
+        s.seq("graphics", |track| {
+            let each_ms = (self.story_seconds * 1_000) / self.graphics_per_story.max(1) as i64;
+            for graphic in 0..self.graphics_per_story {
+                track.ext_with(
+                    &format!("graphic-{graphic}"),
+                    "graphic",
+                    &format!("s{story}/graphic-{graphic}"),
+                    |n| {
+                        n.duration_ms(each_ms);
+                    },
+                );
+            }
+        });
+        s.seq("captions", |track| {
+            let each_ms = (self.story_seconds * 1_000) / self.captions_per_story.max(1) as i64;
+            for caption in 0..self.captions_per_story {
+                track.imm_text(
+                    &format!("caption-{caption}"),
+                    "caption",
+                    format!("story {story} caption {caption}: witnesses report new developments"),
+                    each_ms,
+                );
+            }
+        });
+        s.imm_text("title", "label", format!("Story {story}"), 5_000);
+    }
+
+    /// The number of leaf events a built document will contain.
+    pub fn expected_events(&self) -> usize {
+        self.stories * (3 + self.captions_per_story + self.graphics_per_story)
+    }
+}
+
+/// Builds an abstract balanced document tree of the given depth and fan-out:
+/// alternating parallel and sequential interior levels with immediate text
+/// leaves at the bottom. Used by the tree-form and node-format benches.
+pub fn balanced_tree(depth: usize, fanout: usize) -> Result<Document> {
+    fn fill(node: &mut NodeBuilder<'_>, level: usize, depth: usize, fanout: usize) {
+        if level + 2 >= depth {
+            for i in 0..fanout {
+                node.imm_text(&format!("leaf-{i}"), "caption", format!("leaf at level {level}"), 1_000);
+            }
+            return;
+        }
+        for i in 0..fanout {
+            if level % 2 == 0 {
+                node.seq(&format!("seq-{i}"), |child| fill(child, level + 1, depth, fanout));
+            } else {
+                node.par(&format!("par-{i}"), |child| fill(child, level + 1, depth, fanout));
+            }
+        }
+    }
+    let doc = DocumentBuilder::new("balanced tree")
+        .channel("caption", MediaKind::Text)
+        .root_par(|root| fill(root, 0, depth.max(1), fanout.max(1)))
+        .build()?;
+    Ok(doc)
+}
+
+/// Counts the nodes of each kind in a document: `(seq, par, ext, imm)`.
+pub fn node_kind_counts(doc: &Document) -> (usize, usize, usize, usize) {
+    let mut counts = (0, 0, 0, 0);
+    for id in doc.preorder() {
+        match doc.node(id).map(|n| n.kind.clone()) {
+            Ok(NodeKind::Seq) => counts.0 += 1,
+            Ok(NodeKind::Par) => counts.1 += 1,
+            Ok(NodeKind::Ext) => counts.2 += 1,
+            Ok(NodeKind::Imm(_)) => counts.3 += 1,
+            Err(_) => {}
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmif_scheduler::{solve, ScheduleOptions};
+
+    #[test]
+    fn synthetic_news_builds_and_schedules() {
+        let config = SyntheticNews::with_stories(3);
+        let doc = config.build().unwrap();
+        assert_eq!(doc.leaves().len(), config.expected_events());
+        assert_eq!(doc.arcs().len(), 6);
+        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        assert!(result.is_consistent());
+        assert_eq!(result.schedule.total_duration, TimeMs::from_secs(90));
+    }
+
+    #[test]
+    fn implicit_only_variant_has_no_arcs() {
+        let config = SyntheticNews { explicit_arcs: false, ..SyntheticNews::with_stories(2) };
+        let doc = config.build().unwrap();
+        assert!(doc.arcs().is_empty());
+        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        assert_eq!(result.schedule.total_duration, TimeMs::from_secs(60));
+    }
+
+    #[test]
+    fn story_count_scales_the_document() {
+        let small = SyntheticNews::with_stories(1).build().unwrap();
+        let large = SyntheticNews::with_stories(8).build().unwrap();
+        assert!(large.node_count() > 6 * small.node_count());
+        assert_eq!(large.catalog.len(), 8 * small.catalog.len());
+    }
+
+    #[test]
+    fn balanced_tree_has_expected_shape() {
+        let doc = balanced_tree(3, 3).unwrap();
+        assert_eq!(doc.depth(), 3);
+        let (seq, par, ext, imm) = node_kind_counts(&doc);
+        assert_eq!(par, 1); // the root
+        assert_eq!(seq, 3); // level 1
+        assert_eq!(ext, 0);
+        assert_eq!(imm, 9); // level 2 leaves
+        let flat = balanced_tree(1, 4).unwrap();
+        assert_eq!(flat.leaves().len(), 4);
+    }
+}

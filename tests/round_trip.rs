@@ -1,0 +1,129 @@
+//! Integration tests: the interchange format round-trips real documents and
+//! the scheduler sees the same document on both sides.
+
+use cmif::core::prelude::*;
+use cmif::format::{parse_document, write_document};
+use cmif::news::evening_news;
+use cmif::scheduler::{solve, ScheduleOptions};
+use cmif::synthetic::{balanced_tree, SyntheticNews};
+use proptest::prelude::*;
+
+fn schedules_match(a: &Document, b: &Document) {
+    let options = ScheduleOptions::default();
+    let result_a = solve(a, &a.catalog, &options).unwrap();
+    let result_b = solve(b, &b.catalog, &options).unwrap();
+    assert_eq!(result_a.schedule.total_duration, result_b.schedule.total_duration);
+    assert_eq!(result_a.schedule.entries.len(), result_b.schedule.entries.len());
+    for (ea, eb) in result_a.schedule.entries.iter().zip(&result_b.schedule.entries) {
+        assert_eq!(ea.name, eb.name);
+        assert_eq!(ea.channel, eb.channel);
+        assert_eq!(ea.begin, eb.begin);
+        assert_eq!(ea.end, eb.end);
+    }
+    assert_eq!(result_a.violations.len(), result_b.violations.len());
+}
+
+#[test]
+fn evening_news_round_trips_through_the_interchange_format() {
+    let doc = evening_news().unwrap();
+    let text = write_document(&doc).unwrap();
+    let parsed = parse_document(&text).unwrap();
+
+    assert_eq!(parsed.channels, doc.channels);
+    assert_eq!(parsed.styles, doc.styles);
+    assert_eq!(parsed.catalog, doc.catalog);
+    assert_eq!(parsed.meta, doc.meta);
+    assert_eq!(parsed.leaves().len(), doc.leaves().len());
+    assert_eq!(parsed.arcs().len(), doc.arcs().len());
+    schedules_match(&doc, &parsed);
+
+    // The second generation of text is identical to the first: the format is
+    // a fixed point after one round trip.
+    let text_again = write_document(&parsed).unwrap();
+    assert_eq!(text, text_again);
+}
+
+#[test]
+fn synthetic_broadcasts_round_trip_at_every_size() {
+    for stories in [1, 2, 5, 10] {
+        let doc = SyntheticNews::with_stories(stories).build().unwrap();
+        let text = write_document(&doc).unwrap();
+        let parsed = parse_document(&text).unwrap();
+        assert_eq!(parsed.leaves().len(), doc.leaves().len(), "stories = {stories}");
+        assert_eq!(parsed.arcs().len(), doc.arcs().len());
+        schedules_match(&doc, &parsed);
+    }
+}
+
+#[test]
+fn structure_text_is_small_compared_to_referenced_media() {
+    let doc = evening_news().unwrap();
+    let text = write_document(&doc).unwrap();
+    let stats = cmif::core::stats::stats(&doc, &doc.catalog).unwrap();
+    assert!(text.len() < 16 * 1024, "structure text is {} bytes", text.len());
+    assert!(stats.referenced_data_bytes > 10 * 1_000_000);
+    assert!(stats.data_to_structure_ratio() > 100.0);
+}
+
+#[test]
+fn parse_rejects_truncated_documents() {
+    let doc = evening_news().unwrap();
+    let text = write_document(&doc).unwrap();
+    let truncated = &text[..text.len() / 2];
+    assert!(parse_document(truncated).is_err());
+}
+
+#[test]
+fn tree_views_render_for_parsed_documents() {
+    let doc = evening_news().unwrap();
+    let text = write_document(&doc).unwrap();
+    let parsed = parse_document(&text).unwrap();
+    let conventional = cmif::format::conventional_view(&parsed).unwrap();
+    let embedded = cmif::format::embedded_view(&parsed).unwrap();
+    assert_eq!(conventional.lines().count(), parsed.preorder().len());
+    assert!(embedded.contains("[seq caption-track"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Balanced trees of any shape survive the round trip with identical
+    /// node-kind counts, depth and leaf count.
+    #[test]
+    fn balanced_trees_round_trip(depth in 1usize..5, fanout in 1usize..5) {
+        let doc = balanced_tree(depth, fanout).unwrap();
+        let text = write_document(&doc).unwrap();
+        let parsed = parse_document(&text).unwrap();
+        prop_assert_eq!(parsed.depth(), doc.depth());
+        prop_assert_eq!(parsed.leaves().len(), doc.leaves().len());
+        prop_assert_eq!(
+            cmif::synthetic::node_kind_counts(&parsed),
+            cmif::synthetic::node_kind_counts(&doc)
+        );
+        let text_again = write_document(&parsed).unwrap();
+        prop_assert_eq!(text, text_again);
+    }
+
+    /// Synthetic broadcasts of any parameterisation stay schedulable and
+    /// consistent after a round trip.
+    #[test]
+    fn synthetic_news_round_trips(
+        stories in 1usize..4,
+        captions in 1usize..6,
+        graphics in 1usize..4,
+        explicit_arcs in proptest::bool::ANY,
+    ) {
+        let config = SyntheticNews {
+            stories,
+            captions_per_story: captions,
+            graphics_per_story: graphics,
+            explicit_arcs,
+            story_seconds: 20,
+        };
+        let doc = config.build().unwrap();
+        let parsed = parse_document(&write_document(&doc).unwrap()).unwrap();
+        let result = solve(&parsed, &parsed.catalog, &ScheduleOptions::default()).unwrap();
+        prop_assert!(result.is_consistent());
+        prop_assert_eq!(parsed.leaves().len(), config.expected_events());
+    }
+}
