@@ -37,7 +37,9 @@ fn cluster_with(doc: &Document) -> DistributedStore {
             MediaKind::Video => generator.video(&descriptor.key, 2_000, 64, 48, 25.0, 24),
             _ => generator.image(&descriptor.key, 160, 120, 24),
         };
-        store.put_block("server", block, descriptor.clone()).unwrap();
+        store
+            .put_block("server", block, descriptor.clone())
+            .unwrap();
     }
     store.publish_document("server", "doc", doc).unwrap();
     store
@@ -96,9 +98,7 @@ fn bench_distrib(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("transport_structure", stories),
             &cluster,
-            |b, cluster| {
-                b.iter(|| cluster.transport_document("server", "desk", "doc").unwrap())
-            },
+            |b, cluster| b.iter(|| cluster.transport_document("server", "desk", "doc").unwrap()),
         );
         group.bench_with_input(
             BenchmarkId::new("select_presentable_blocks", stories),

@@ -19,8 +19,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_pipeline(c: &mut Criterion) {
     // Regenerate the artifact: one full pipeline run with per-stage timings.
     let (doc, store) = news_fixture();
-    let run = run_pipeline(&doc, &store, &DeviceProfile::workstation(), &PipelineOptions::default())
-        .expect("pipeline runs");
+    let run = run_pipeline(
+        &doc,
+        &store,
+        &DeviceProfile::workstation(),
+        &PipelineOptions::default(),
+    )
+    .expect("pipeline runs");
     banner(
         "Figure 1: pipeline stages (Evening News on a workstation)",
         &format!(
@@ -40,8 +45,13 @@ fn bench_pipeline(c: &mut Criterion) {
     // Full pipeline on the Evening News.
     group.bench_function("evening_news_full_pipeline", |b| {
         b.iter(|| {
-            run_pipeline(&doc, &store, &DeviceProfile::workstation(), &PipelineOptions::default())
-                .unwrap()
+            run_pipeline(
+                &doc,
+                &store,
+                &DeviceProfile::workstation(),
+                &PipelineOptions::default(),
+            )
+            .unwrap()
         })
     });
 

@@ -32,7 +32,10 @@ fn build_store(blocks: usize) -> BlockStore {
         let descriptor = block
             .describe()
             .with_extra("story", AttrValue::Id(format!("story-{}", i % 10)))
-            .with_extra("language", AttrValue::Id(if i % 2 == 0 { "nl" } else { "en" }.into()));
+            .with_extra(
+                "language",
+                AttrValue::Id(if i % 2 == 0 { "nl" } else { "en" }.into()),
+            );
         store.put_with_descriptor(block, descriptor).unwrap();
     }
     store

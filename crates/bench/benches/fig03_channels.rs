@@ -39,11 +39,17 @@ fn bench_channels(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("derive_default_arcs", events),
             &doc,
-            |b, doc| b.iter(|| derive_constraints(doc, &doc.catalog, &ScheduleOptions::default()).unwrap()),
+            |b, doc| {
+                b.iter(|| {
+                    derive_constraints(doc, &doc.catalog, &ScheduleOptions::default()).unwrap()
+                })
+            },
         );
-        group.bench_with_input(BenchmarkId::new("solve_schedule", events), &doc, |b, doc| {
-            b.iter(|| solve(doc, &doc.catalog, &ScheduleOptions::default()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("solve_schedule", events),
+            &doc,
+            |b, doc| b.iter(|| solve(doc, &doc.catalog, &ScheduleOptions::default()).unwrap()),
+        );
     }
     group.finish();
 }

@@ -19,8 +19,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_evening_news(c: &mut Criterion) {
     let (doc, store) = news_fixture();
-    let run = run_pipeline(&doc, &store, &DeviceProfile::workstation(), &PipelineOptions::default())
-        .unwrap();
+    let run = run_pipeline(
+        &doc,
+        &store,
+        &DeviceProfile::workstation(),
+        &PipelineOptions::default(),
+    )
+    .unwrap();
     let mid_frames: Vec<_> = run
         .storyboard
         .iter()

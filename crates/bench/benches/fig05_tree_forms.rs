@@ -32,16 +32,22 @@ fn bench_tree_forms(c: &mut Criterion) {
             &doc,
             |b, doc| b.iter(|| conventional_view(doc).unwrap()),
         );
-        group.bench_with_input(BenchmarkId::new("render_embedded", nodes), &doc, |b, doc| {
-            b.iter(|| embedded_view(doc).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("write_interchange", nodes), &doc, |b, doc| {
-            b.iter(|| write_document(doc).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("render_embedded", nodes),
+            &doc,
+            |b, doc| b.iter(|| embedded_view(doc).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("write_interchange", nodes),
+            &doc,
+            |b, doc| b.iter(|| write_document(doc).unwrap()),
+        );
         let text = write_document(&doc).unwrap();
-        group.bench_with_input(BenchmarkId::new("parse_interchange", nodes), &text, |b, text| {
-            b.iter(|| parse_document(text).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parse_interchange", nodes),
+            &text,
+            |b, text| b.iter(|| parse_document(text).unwrap()),
+        );
     }
     group.finish();
 }

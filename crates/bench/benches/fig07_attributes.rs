@@ -18,17 +18,23 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn inheritance_chain(depth: usize) -> (Document, NodeId) {
     let mut doc = Document::with_root(NodeKind::Seq);
     let root = doc.root().unwrap();
-    doc.channels.define(ChannelDef::new("caption", MediaKind::Text)).unwrap();
-    doc.set_attr(root, AttrName::Channel, AttrValue::Id("caption".into())).unwrap();
+    doc.channels
+        .define(ChannelDef::new("caption", MediaKind::Text))
+        .unwrap();
+    doc.set_attr(root, AttrName::Channel, AttrValue::Id("caption".into()))
+        .unwrap();
     let mut current = root;
     for i in 0..depth {
         let child = doc.add_seq(current).unwrap();
-        doc.set_attr(child, AttrName::Name, AttrValue::Id(format!("level-{i}"))).unwrap();
+        doc.set_attr(child, AttrName::Name, AttrValue::Id(format!("level-{i}")))
+            .unwrap();
         current = child;
     }
     let leaf = doc.add_imm_text(current, "deep leaf").unwrap();
-    doc.set_attr(leaf, AttrName::Name, AttrValue::Id("leaf".into())).unwrap();
-    doc.set_attr(leaf, AttrName::Duration, AttrValue::Number(1_000)).unwrap();
+    doc.set_attr(leaf, AttrName::Name, AttrValue::Id("leaf".into()))
+        .unwrap();
+    doc.set_attr(leaf, AttrName::Duration, AttrValue::Number(1_000))
+        .unwrap();
     (doc, leaf)
 }
 
@@ -37,8 +43,10 @@ fn inheritance_chain(depth: usize) -> (Document, NodeId) {
 fn style_stack(depth: usize) -> StyleDictionary {
     let mut dict = StyleDictionary::new();
     for i in 0..depth {
-        let mut def = StyleDef::new(format!("s{i}"))
-            .with_attr(Attr::new(AttrName::custom(format!("attr-{i}")), AttrValue::Number(i as i64)));
+        let mut def = StyleDef::new(format!("s{i}")).with_attr(Attr::new(
+            AttrName::custom(format!("attr-{i}")),
+            AttrValue::Number(i as i64),
+        ));
         if i > 0 {
             def = def.with_parent(format!("s{}", i - 1));
         }
@@ -93,13 +101,24 @@ fn bench_attributes(c: &mut Criterion) {
     // Ablation: resolving through a style versus reading a flat attribute.
     let mut styled = Document::with_root(NodeKind::Par);
     let root = styled.root().unwrap();
-    styled.channels.define(ChannelDef::new("caption", MediaKind::Text)).unwrap();
+    styled
+        .channels
+        .define(ChannelDef::new("caption", MediaKind::Text))
+        .unwrap();
     styled.styles = style_stack(8);
     let leaf = styled.add_imm_text(root, "styled").unwrap();
-    styled.set_attr(leaf, AttrName::Channel, AttrValue::Id("caption".into())).unwrap();
-    styled.set_attr(leaf, AttrName::Style, AttrValue::Id("s7".into())).unwrap();
+    styled
+        .set_attr(leaf, AttrName::Channel, AttrValue::Id("caption".into()))
+        .unwrap();
+    styled
+        .set_attr(leaf, AttrName::Style, AttrValue::Id("s7".into()))
+        .unwrap();
     group.bench_function("effective_attr_via_style", |b| {
-        b.iter(|| styled.effective_attr(leaf, &AttrName::custom("attr-3")).unwrap())
+        b.iter(|| {
+            styled
+                .effective_attr(leaf, &AttrName::custom("attr-3"))
+                .unwrap()
+        })
     });
     group.bench_function("effective_attr_flat", |b| {
         b.iter(|| styled.effective_attr(leaf, &AttrName::Channel).unwrap())

@@ -16,9 +16,7 @@ use std::time::Duration;
 
 use cmif::core::arc::SyncArc;
 use cmif::core::prelude::*;
-use cmif::scheduler::{
-    must_satisfaction_rate, play, solve, JitterModel, ScheduleOptions,
-};
+use cmif::scheduler::{must_satisfaction_rate, play, solve, JitterModel, ScheduleOptions};
 use cmif_bench::banner;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -51,7 +49,10 @@ fn windowed_doc(window_ms: i64) -> Document {
             caption,
             SyncArc::hard_start("/narration", "")
                 .with_offset(MediaTime::seconds(4 * i as i64))
-                .with_window(DelayMs::ZERO, MaxDelay::Bounded(DelayMs::from_millis(window_ms))),
+                .with_window(
+                    DelayMs::ZERO,
+                    MaxDelay::Bounded(DelayMs::from_millis(window_ms)),
+                ),
         )
         .unwrap();
     }
@@ -80,7 +81,10 @@ fn bench_sync_delay(c: &mut Criterion) {
         table.push_str(&row);
         table.push('\n');
     }
-    banner("Figure 8: Must-satisfaction rate vs device jitter and window width", &table);
+    banner(
+        "Figure 8: Must-satisfaction rate vs device jitter and window width",
+        &table,
+    );
 
     let mut group = c.benchmark_group("fig08_sync_delay");
     let doc = windowed_doc(250);
@@ -113,12 +117,19 @@ fn bench_sync_delay(c: &mut Criterion) {
         40,
     )
     .unwrap();
-    let rate_windowed =
-        must_satisfaction_rate(&doc, &solved, &doc.catalog, &JitterModel::uniform(100, 5), 40)
-            .unwrap();
+    let rate_windowed = must_satisfaction_rate(
+        &doc,
+        &solved,
+        &doc.catalog,
+        &JitterModel::uniform(100, 5),
+        40,
+    )
+    .unwrap();
     banner(
         "Figure 8 ablation: windows vs hard synchronization under 100 ms jitter",
-        &format!("hard arcs: {rate_hard:.2} satisfied, 250 ms windows: {rate_windowed:.2} satisfied"),
+        &format!(
+            "hard arcs: {rate_hard:.2} satisfied, 250 ms windows: {rate_windowed:.2} satisfied"
+        ),
     );
     group.finish();
 }

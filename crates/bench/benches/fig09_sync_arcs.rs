@@ -33,7 +33,10 @@ fn arc_heavy(arcs: usize) -> Document {
             carrier,
             SyncArc::hard_start(format!("../block-{}", i - 1).as_str(), "")
                 .with_offset(MediaTime::millis(200))
-                .with_window(DelayMs::from_millis(-50), MaxDelay::Bounded(DelayMs::from_millis(100))),
+                .with_window(
+                    DelayMs::from_millis(-50),
+                    MaxDelay::Bounded(DelayMs::from_millis(100)),
+                ),
         )
         .unwrap();
     }
@@ -45,7 +48,11 @@ fn bench_sync_arcs(c: &mut Criterion) {
     let news = evening_news().unwrap();
     let mut table = String::from("type source offset destination min_delay max_delay\n");
     for (carrier, arc) in news.arcs() {
-        table.push_str(&format!("carried by {}: {}\n", news.path_of(*carrier).unwrap(), write_arc(arc)));
+        table.push_str(&format!(
+            "carried by {}: {}\n",
+            news.path_of(*carrier).unwrap(),
+            write_arc(arc)
+        ));
     }
     banner("Figure 9: synchronization arcs of the Evening News", &table);
 
@@ -59,16 +66,22 @@ fn bench_sync_arcs(c: &mut Criterion) {
                 }
             })
         });
-        group.bench_with_input(BenchmarkId::new("resolve_endpoints", arcs), &doc, |b, doc| {
-            b.iter(|| doc.resolved_arcs().unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("write_interchange", arcs), &doc, |b, doc| {
-            b.iter(|| write_document(doc).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("resolve_endpoints", arcs),
+            &doc,
+            |b, doc| b.iter(|| doc.resolved_arcs().unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("write_interchange", arcs),
+            &doc,
+            |b, doc| b.iter(|| write_document(doc).unwrap()),
+        );
         let text = write_document(&doc).unwrap();
-        group.bench_with_input(BenchmarkId::new("parse_interchange", arcs), &text, |b, text| {
-            b.iter(|| parse_document(text).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parse_interchange", arcs),
+            &text,
+            |b, text| b.iter(|| parse_document(text).unwrap()),
+        );
     }
     group.finish();
 }

@@ -10,8 +10,8 @@ use std::time::Duration;
 
 use cmif::news::evening_news;
 use cmif::scheduler::{
-    device_conflicts, full_report, invalid_arcs_when_seeking, play, solve,
-    specification_conflicts, EnvironmentLimits, JitterModel, ScheduleOptions,
+    device_conflicts, full_report, invalid_arcs_when_seeking, play, solve, specification_conflicts,
+    EnvironmentLimits, JitterModel, ScheduleOptions,
 };
 use cmif_bench::{banner, news_fixture};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

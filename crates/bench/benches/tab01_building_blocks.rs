@@ -18,18 +18,25 @@ fn bench_building_blocks(c: &mut Criterion) {
     // Regenerate the artifact: the building-block inventory of the news.
     let doc = evening_news().unwrap();
     let summary = stats(&doc, &doc.catalog).unwrap();
-    banner("Table (§3.1): CMIF building blocks of the Evening News", &summary.to_string());
+    banner(
+        "Table (§3.1): CMIF building blocks of the Evening News",
+        &summary.to_string(),
+    );
 
     let mut group = c.benchmark_group("tab01_building_blocks");
     for stories in [1usize, 8, 32] {
         let config = SyntheticNews::with_stories(stories);
-        group.bench_with_input(BenchmarkId::new("build_document", stories), &config, |b, config| {
-            b.iter(|| config.build().unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_document", stories),
+            &config,
+            |b, config| b.iter(|| config.build().unwrap()),
+        );
         let doc = config.build().unwrap();
-        group.bench_with_input(BenchmarkId::new("document_stats", stories), &doc, |b, doc| {
-            b.iter(|| stats(doc, &doc.catalog).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("document_stats", stories),
+            &doc,
+            |b, doc| b.iter(|| stats(doc, &doc.catalog).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("events", stories), &doc, |b, doc| {
             b.iter(|| doc.events(&doc.catalog).unwrap())
         });

@@ -130,7 +130,12 @@ pub fn convert(doc: &Document) -> Result<(StaticDocument, StaticConversion)> {
             report.continuous_media_lost += 1;
         }
     }
-    Ok((StaticDocument { elements: vec![element] }, report))
+    Ok((
+        StaticDocument {
+            elements: vec![element],
+        },
+        report,
+    ))
 }
 
 fn convert_node(doc: &Document, id: NodeId) -> Result<StaticElement> {
@@ -186,7 +191,8 @@ mod tests {
             .build()
             .unwrap();
         let line = doc.find("/story-1/line").unwrap();
-        doc.add_arc(line, SyncArc::hard_start("../voice", "")).unwrap();
+        doc.add_arc(line, SyncArc::hard_start("../voice", ""))
+            .unwrap();
         doc
     }
 
@@ -222,7 +228,8 @@ mod tests {
             .unwrap();
         let root = d.root().unwrap();
         let blob = d.add_imm_binary(root, vec![1, 2, 3]).unwrap();
-        d.set_attr(blob, AttrName::Channel, AttrValue::Id("label".into())).unwrap();
+        d.set_attr(blob, AttrName::Channel, AttrValue::Id("label".into()))
+            .unwrap();
         let (static_doc, _) = convert(&d).unwrap();
         assert!(static_doc.render().contains("(3 bytes of inline data)"));
     }

@@ -73,7 +73,11 @@ impl MuseTimeline {
 
     /// Total duration of the timeline.
     pub fn duration(&self) -> TimeMs {
-        self.cues.iter().map(|c| c.stop).max().unwrap_or(TimeMs::ZERO)
+        self.cues
+            .iter()
+            .map(|c| c.stop)
+            .max()
+            .unwrap_or(TimeMs::ZERO)
     }
 
     /// Simulates the edit a timeline author must perform when one block's
@@ -246,8 +250,7 @@ mod tests {
         // arithmetic, and the result agrees.
         let mut d2 = doc();
         d2.catalog.upsert(
-            DataDescriptor::new("s1", MediaKind::Audio, "pcm8")
-                .with_duration(TimeMs::from_secs(5)),
+            DataDescriptor::new("s1", MediaKind::Audio, "pcm8").with_duration(TimeMs::from_secs(5)),
         );
         let solved = solve(&d2, &d2.catalog, &ScheduleOptions::default()).unwrap();
         assert_eq!(solved.schedule.total_duration, TimeMs::from_secs(8));
@@ -257,7 +260,8 @@ mod tests {
     fn conversion_loss_counts_structure_arcs_and_styles() {
         let mut d = doc();
         let line = d.find("/story-2/line").unwrap();
-        d.add_arc(line, SyncArc::hard_start("../voice", "")).unwrap();
+        d.add_arc(line, SyncArc::hard_start("../voice", ""))
+            .unwrap();
         let loss = conversion_loss(&d);
         assert_eq!(loss.structure_nodes_lost, 3); // root + two stories
         assert_eq!(loss.arcs_lost, 1);

@@ -137,10 +137,7 @@ impl SyncArc {
     }
 
     /// Creates an advisory (`May`) arc with an unbounded tolerance window.
-    pub fn relaxed_start(
-        source: impl Into<NodePath>,
-        destination: impl Into<NodePath>,
-    ) -> SyncArc {
+    pub fn relaxed_start(source: impl Into<NodePath>, destination: impl Into<NodePath>) -> SyncArc {
         SyncArc {
             anchor: Anchor::Begin,
             strictness: Strictness::May,
@@ -321,7 +318,10 @@ mod tests {
     fn validation_rejects_positive_min_delay() {
         let arc = SyncArc::hard_start("a", "b")
             .with_window(DelayMs::from_millis(10), MaxDelay::Unbounded);
-        assert!(matches!(arc.validate().unwrap_err(), CoreError::InvalidDelayWindow { .. }));
+        assert!(matches!(
+            arc.validate().unwrap_err(),
+            CoreError::InvalidDelayWindow { .. }
+        ));
     }
 
     #[test]
@@ -352,18 +352,32 @@ mod tests {
         let begin = TimeMs::from_secs(10);
         let end = TimeMs::from_secs(18);
         let arc = SyncArc::hard_start("a", "b").with_offset(MediaTime::seconds(2));
-        assert_eq!(arc.reference_time(begin, end, &RateInfo::NONE).unwrap().as_millis(), 12_000);
+        assert_eq!(
+            arc.reference_time(begin, end, &RateInfo::NONE)
+                .unwrap()
+                .as_millis(),
+            12_000
+        );
         let arc = arc.from_source_anchor(Anchor::End);
-        assert_eq!(arc.reference_time(begin, end, &RateInfo::NONE).unwrap().as_millis(), 20_000);
+        assert_eq!(
+            arc.reference_time(begin, end, &RateInfo::NONE)
+                .unwrap()
+                .as_millis(),
+            20_000
+        );
     }
 
     #[test]
     fn reference_time_converts_frame_offsets() {
         let arc = SyncArc::hard_start("a", "b").with_offset(MediaTime::frames(50));
         let rates = RateInfo::video(25.0);
-        let t = arc.reference_time(TimeMs::ZERO, TimeMs::ZERO, &rates).unwrap();
+        let t = arc
+            .reference_time(TimeMs::ZERO, TimeMs::ZERO, &rates)
+            .unwrap();
         assert_eq!(t.as_millis(), 2000);
-        assert!(arc.reference_time(TimeMs::ZERO, TimeMs::ZERO, &RateInfo::NONE).is_err());
+        assert!(arc
+            .reference_time(TimeMs::ZERO, TimeMs::ZERO, &RateInfo::NONE)
+            .is_err());
     }
 
     #[test]

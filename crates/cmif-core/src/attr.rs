@@ -122,7 +122,10 @@ impl AttrName {
     /// True for attributes that "should currently only occur on the root
     /// node" (Figure 7): the style dictionary and the channel dictionary.
     pub fn is_root_only(&self) -> bool {
-        matches!(self, AttrName::StyleDictionary | AttrName::ChannelDictionary)
+        matches!(
+            self,
+            AttrName::StyleDictionary | AttrName::ChannelDictionary
+        )
     }
 
     /// True if this is one of the standard attributes of Figure 7 (as
@@ -156,7 +159,10 @@ pub struct Attr {
 impl Attr {
     /// Creates an attribute.
     pub fn new(name: impl Into<AttrName>, value: AttrValue) -> Attr {
-        Attr { name: name.into(), value }
+        Attr {
+            name: name.into(),
+            value,
+        }
     }
 }
 
@@ -203,7 +209,10 @@ impl AttrList {
     /// [`NodeId::detached`] when the list is not yet attached to a node.
     pub fn insert(&mut self, node: NodeId, attr: Attr) -> Result<()> {
         if self.contains(&attr.name) {
-            return Err(CoreError::DuplicateAttribute { node, name: attr.name });
+            return Err(CoreError::DuplicateAttribute {
+                node,
+                name: attr.name,
+            });
         }
         self.attrs.push(attr);
         Ok(())
@@ -232,7 +241,10 @@ impl AttrList {
 
     /// Looks up an attribute value by name.
     pub fn get(&self, name: &AttrName) -> Option<&AttrValue> {
-        self.attrs.iter().find(|a| &a.name == name).map(|a| &a.value)
+        self.attrs
+            .iter()
+            .find(|a| &a.name == name)
+            .map(|a| &a.value)
     }
 
     /// Looks up a textual (`Id` or `Str`) attribute value by name.
@@ -262,7 +274,10 @@ impl AttrList {
     pub fn validate_unique(&self, node: NodeId) -> Result<()> {
         for (i, attr) in self.attrs.iter().enumerate() {
             if self.attrs[..i].iter().any(|a| a.name == attr.name) {
-                return Err(CoreError::DuplicateAttribute { node, name: attr.name.clone() });
+                return Err(CoreError::DuplicateAttribute {
+                    node,
+                    name: attr.name.clone(),
+                });
             }
         }
         Ok(())
@@ -354,7 +369,10 @@ impl TextFormatting {
             ]));
         }
         if let Some(size) = self.size {
-            items.push(AttrValue::list([AttrValue::Id("size".into()), AttrValue::Number(size)]));
+            items.push(AttrValue::list([
+                AttrValue::Id("size".into()),
+                AttrValue::Number(size),
+            ]));
         }
         if let Some(indent) = self.indent {
             items.push(AttrValue::list([
@@ -430,7 +448,8 @@ mod tests {
     #[test]
     fn attr_list_rejects_duplicates() {
         let mut list = AttrList::new();
-        list.insert(nid(), Attr::new(AttrName::Name, AttrValue::Id("a".into()))).unwrap();
+        list.insert(nid(), Attr::new(AttrName::Name, AttrValue::Id("a".into())))
+            .unwrap();
         let err = list
             .insert(nid(), Attr::new(AttrName::Name, AttrValue::Id("b".into())))
             .unwrap_err();
@@ -465,7 +484,10 @@ mod tests {
         list.set(Attr::new(AttrName::Channel, AttrValue::Id("c".into())));
         list.set(Attr::new(AttrName::Duration, AttrValue::Number(10)));
         let names: Vec<_> = list.iter().map(|a| a.name.clone()).collect();
-        assert_eq!(names, vec![AttrName::Name, AttrName::Channel, AttrName::Duration]);
+        assert_eq!(
+            names,
+            vec![AttrName::Name, AttrName::Channel, AttrName::Duration]
+        );
     }
 
     #[test]
@@ -512,8 +534,16 @@ mod tests {
 
     #[test]
     fn text_formatting_merge_prefers_override() {
-        let base = TextFormatting { font: Some("times".into()), size: Some(10), ..Default::default() };
-        let over = TextFormatting { size: Some(14), indent: Some(2), ..Default::default() };
+        let base = TextFormatting {
+            font: Some("times".into()),
+            size: Some(10),
+            ..Default::default()
+        };
+        let over = TextFormatting {
+            size: Some(14),
+            indent: Some(2),
+            ..Default::default()
+        };
         let merged = base.merged_with(&over);
         assert_eq!(merged.font.as_deref(), Some("times"));
         assert_eq!(merged.size, Some(14));

@@ -107,7 +107,10 @@ impl DocumentBuilder {
     fn root(mut self, kind: NodeKind, f: impl FnOnce(&mut NodeBuilder<'_>)) -> Self {
         let root = self.doc.set_root(kind);
         let title = self.title.clone();
-        if let Err(e) = self.doc.set_attr(root, AttrName::Name, AttrValue::Str(title)) {
+        if let Err(e) = self
+            .doc
+            .set_attr(root, AttrName::Name, AttrValue::Str(title))
+        {
             self.errors.push(e);
         }
         {
@@ -204,7 +207,8 @@ impl<'a> NodeBuilder<'a> {
         match self.doc.add_child(self.node, kind) {
             Ok(child) => {
                 if let Err(e) =
-                    self.doc.set_attr(child, AttrName::Name, AttrValue::Id(name.to_string()))
+                    self.doc
+                        .set_attr(child, AttrName::Name, AttrValue::Id(name.to_string()))
                 {
                     self.errors.push(e);
                 }
@@ -336,7 +340,12 @@ mod tests {
         assert_eq!(doc.leaves().len(), 2);
         assert_eq!(doc.depth(), 3);
         assert!(doc.find("/scene-1/voice").is_ok());
-        assert_eq!(doc.channel_of(doc.find("/scene-1/line").unwrap()).unwrap().as_deref(), Some("caption"));
+        assert_eq!(
+            doc.channel_of(doc.find("/scene-1/line").unwrap())
+                .unwrap()
+                .as_deref(),
+            Some("caption")
+        );
     }
 
     #[test]

@@ -107,7 +107,11 @@ pub struct ChannelDef {
 impl ChannelDef {
     /// Creates a channel definition with no extra attributes.
     pub fn new(name: impl Into<String>, medium: MediaKind) -> ChannelDef {
-        ChannelDef { name: name.into(), medium, extra: Vec::new() }
+        ChannelDef {
+            name: name.into(),
+            medium,
+            extra: Vec::new(),
+        }
     }
 
     /// Adds an extra attribute (builder style).
@@ -135,7 +139,9 @@ pub struct ChannelDictionary {
 impl ChannelDictionary {
     /// Creates an empty dictionary.
     pub fn new() -> ChannelDictionary {
-        ChannelDictionary { channels: Vec::new() }
+        ChannelDictionary {
+            channels: Vec::new(),
+        }
     }
 
     /// Number of channels defined.
@@ -225,8 +231,10 @@ mod tests {
     #[test]
     fn channel_dictionary_defines_and_looks_up() {
         let mut dict = ChannelDictionary::new();
-        dict.define(ChannelDef::new("audio", MediaKind::Audio)).unwrap();
-        dict.define(ChannelDef::new("video", MediaKind::Video)).unwrap();
+        dict.define(ChannelDef::new("audio", MediaKind::Audio))
+            .unwrap();
+        dict.define(ChannelDef::new("video", MediaKind::Video))
+            .unwrap();
         assert_eq!(dict.len(), 2);
         assert!(dict.contains("audio"));
         assert!(!dict.contains("caption"));
@@ -236,8 +244,11 @@ mod tests {
     #[test]
     fn channel_dictionary_rejects_duplicates() {
         let mut dict = ChannelDictionary::new();
-        dict.define(ChannelDef::new("audio", MediaKind::Audio)).unwrap();
-        let err = dict.define(ChannelDef::new("audio", MediaKind::Video)).unwrap_err();
+        dict.define(ChannelDef::new("audio", MediaKind::Audio))
+            .unwrap();
+        let err = dict
+            .define(ChannelDef::new("audio", MediaKind::Video))
+            .unwrap_err();
         assert!(matches!(err, CoreError::DuplicateChannel { .. }));
     }
 

@@ -65,10 +65,18 @@ impl fmt::Display for Selection {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Selection::Slice { start, length } => write!(f, "slice({start}+{length})"),
-            Selection::Crop { x, y, width, height } => {
+            Selection::Crop {
+                x,
+                y,
+                width,
+                height,
+            } => {
                 write!(f, "crop({x},{y} {width}x{height})")
             }
-            Selection::Clip { start_ms, duration_ms } => {
+            Selection::Clip {
+                start_ms,
+                duration_ms,
+            } => {
                 write!(f, "clip({start_ms}ms+{duration_ms}ms)")
             }
         }
@@ -252,7 +260,9 @@ pub struct DescriptorCatalog {
 impl DescriptorCatalog {
     /// Creates an empty catalog.
     pub fn new() -> DescriptorCatalog {
-        DescriptorCatalog { entries: BTreeMap::new() }
+        DescriptorCatalog {
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Number of descriptors registered.
@@ -268,7 +278,9 @@ impl DescriptorCatalog {
     /// Registers a descriptor, rejecting duplicate keys.
     pub fn register(&mut self, descriptor: DataDescriptor) -> Result<()> {
         if self.entries.contains_key(&descriptor.key) {
-            return Err(CoreError::DuplicateDescriptor { key: descriptor.key });
+            return Err(CoreError::DuplicateDescriptor {
+                key: descriptor.key,
+            });
         }
         self.entries.insert(descriptor.key.clone(), descriptor);
         Ok(())
@@ -286,7 +298,9 @@ impl DescriptorCatalog {
 
     /// Looks up a descriptor by key, producing an error when missing.
     pub fn require(&self, key: &str) -> Result<&DataDescriptor> {
-        self.get(key).ok_or_else(|| CoreError::UnknownDescriptor { key: key.to_string() })
+        self.get(key).ok_or_else(|| CoreError::UnknownDescriptor {
+            key: key.to_string(),
+        })
     }
 
     /// Iterates over descriptors in key order.
@@ -301,7 +315,10 @@ impl DescriptorCatalog {
 
     /// Total size of the descriptors themselves, in bytes.
     pub fn total_descriptor_bytes(&self) -> usize {
-        self.entries.values().map(DataDescriptor::approx_descriptor_size).sum()
+        self.entries
+            .values()
+            .map(DataDescriptor::approx_descriptor_size)
+            .sum()
     }
 }
 
@@ -349,8 +366,14 @@ mod tests {
         assert_eq!(d.color_depth, Some(24));
         assert_eq!(d.rates.frames_per_second, Some(25.0));
         assert_eq!(d.resources.decode_cost, 40);
-        assert_eq!(d.location.as_deref(), Some("store://host-a/news/intro-video"));
-        assert_eq!(d.extra_attr("title").unwrap().as_text(), Some("Opening shot"));
+        assert_eq!(
+            d.location.as_deref(),
+            Some("store://host-a/news/intro-video")
+        );
+        assert_eq!(
+            d.extra_attr("title").unwrap().as_text(),
+            Some("Opening shot")
+        );
         assert!(d.extra_attr("missing").is_none());
     }
 
@@ -390,10 +413,8 @@ mod tests {
     fn catalog_totals() {
         let mut cat = DescriptorCatalog::new();
         cat.register(sample()).unwrap();
-        cat.register(
-            DataDescriptor::new("news/map", MediaKind::Image, "rgb8").with_size(300_000),
-        )
-        .unwrap();
+        cat.register(DataDescriptor::new("news/map", MediaKind::Image, "rgb8").with_size(300_000))
+            .unwrap();
         assert_eq!(cat.total_data_bytes(), 12_300_000);
         assert!(cat.total_descriptor_bytes() > 0);
         assert_eq!(cat.iter().count(), 2);
@@ -401,15 +422,36 @@ mod tests {
 
     #[test]
     fn selection_display_and_duration() {
-        assert_eq!(Selection::Slice { start: 10, length: 20 }.to_string(), "slice(10+20)");
         assert_eq!(
-            Selection::Crop { x: 1, y: 2, width: 3, height: 4 }.to_string(),
+            Selection::Slice {
+                start: 10,
+                length: 20
+            }
+            .to_string(),
+            "slice(10+20)"
+        );
+        assert_eq!(
+            Selection::Crop {
+                x: 1,
+                y: 2,
+                width: 3,
+                height: 4
+            }
+            .to_string(),
             "crop(1,2 3x4)"
         );
-        let clip = Selection::Clip { start_ms: 500, duration_ms: 1500 };
+        let clip = Selection::Clip {
+            start_ms: 500,
+            duration_ms: 1500,
+        };
         assert_eq!(clip.to_string(), "clip(500ms+1500ms)");
         assert_eq!(clip.duration(), Some(TimeMs::from_millis(1500)));
-        assert!(Selection::Slice { start: 0, length: 1 }.duration().is_none());
+        assert!(Selection::Slice {
+            start: 0,
+            length: 1
+        }
+        .duration()
+        .is_none());
     }
 
     #[test]

@@ -163,16 +163,25 @@ impl fmt::Display for CoreError {
                 "attribute `{name}` may only occur on the root node, found on node {node}"
             ),
             CoreError::AttributeType { name, expected } => {
-                write!(f, "attribute `{name}` has the wrong value type, expected {expected}")
+                write!(
+                    f,
+                    "attribute `{name}` has the wrong value type, expected {expected}"
+                )
             }
             CoreError::UnknownStyle { style } => {
-                write!(f, "style `{style}` is not defined in the root style dictionary")
+                write!(
+                    f,
+                    "style `{style}` is not defined in the root style dictionary"
+                )
             }
             CoreError::StyleCycle { style } => {
                 write!(f, "style `{style}` participates in a definition cycle")
             }
             CoreError::UnknownChannel { channel } => {
-                write!(f, "channel `{channel}` is not defined in the root channel dictionary")
+                write!(
+                    f,
+                    "channel `{channel}` is not defined in the root channel dictionary"
+                )
             }
             CoreError::DuplicateChannel { channel } => {
                 write!(f, "channel `{channel}` is defined more than once")
@@ -182,29 +191,44 @@ impl fmt::Display for CoreError {
             }
             CoreError::UnknownNode { node } => write!(f, "node {node} does not exist"),
             CoreError::UnresolvedPath { path, base } => {
-                write!(f, "path `{path}` could not be resolved starting from node {base}")
+                write!(
+                    f,
+                    "path `{path}` could not be resolved starting from node {base}"
+                )
             }
             CoreError::InvalidChild { parent } => {
                 write!(f, "node {parent} is a leaf and cannot have children")
             }
             CoreError::MissingFile { node } => {
-                write!(f, "external node {node} has no `file` attribute (own or inherited)")
+                write!(
+                    f,
+                    "external node {node} has no `file` attribute (own or inherited)"
+                )
             }
             CoreError::MissingChannel { node } => {
-                write!(f, "leaf node {node} has no `channel` attribute (own or inherited)")
+                write!(
+                    f,
+                    "leaf node {node} has no `channel` attribute (own or inherited)"
+                )
             }
             CoreError::InvalidDelayWindow { reason } => {
                 write!(f, "invalid synchronization delay window: {reason}")
             }
             CoreError::UnresolvedArcEndpoint { path } => {
-                write!(f, "synchronization arc endpoint `{path}` could not be resolved")
+                write!(
+                    f,
+                    "synchronization arc endpoint `{path}` could not be resolved"
+                )
             }
             CoreError::UnitConversion { reason } => {
                 write!(f, "media unit conversion failed: {reason}")
             }
             CoreError::EmptyDocument => write!(f, "the document has no root node"),
             CoreError::TreeCycle { node } => {
-                write!(f, "attaching node {node} would create a cycle in the document tree")
+                write!(
+                    f,
+                    "attaching node {node} would create a cycle in the document tree"
+                )
             }
             CoreError::UnknownDescriptor { key } => {
                 write!(f, "data descriptor `{key}` is not present in the catalog")
@@ -251,13 +275,17 @@ mod tests {
 
     #[test]
     fn unknown_channel_message_names_channel() {
-        let err = CoreError::UnknownChannel { channel: "audio-left".into() };
+        let err = CoreError::UnknownChannel {
+            channel: "audio-left".into(),
+        };
         assert!(err.to_string().contains("audio-left"));
     }
 
     #[test]
     fn unit_conversion_message_includes_reason() {
-        let err = CoreError::UnitConversion { reason: "frames without frame rate".into() };
+        let err = CoreError::UnitConversion {
+            reason: "frames without frame rate".into(),
+        };
         assert!(err.to_string().contains("frames without frame rate"));
     }
 }

@@ -26,6 +26,7 @@
 //! ```
 //! use cmif_core::prelude::*;
 //!
+//! # fn main() -> Result<()> {
 //! let doc = DocumentBuilder::new("hello")
 //!     .channel("audio", MediaKind::Audio)
 //!     .channel("caption", MediaKind::Text)
@@ -38,11 +39,11 @@
 //!         scene.ext("voice", "audio", "greeting");
 //!         scene.imm_text("subtitle", "caption", "Hello, world", 3_000);
 //!     })
-//!     .build()
-//!     .unwrap();
+//!     .build()?;
 //!
-//! let stats = cmif_core::stats::stats(&doc, &doc.catalog).unwrap();
+//! let stats = cmif_core::stats::stats(&doc, &doc.catalog)?;
 //! assert_eq!(stats.events(), 2);
+//! # Ok(()) }
 //! ```
 
 #![warn(missing_docs)]

@@ -150,7 +150,13 @@ impl Node {
     /// Creates a node with the given id and kind and an empty attribute
     /// list. Intended for use by the document arena.
     pub(crate) fn new(id: NodeId, kind: NodeKind) -> Node {
-        Node { id, kind, attrs: AttrList::new(), parent: None, children: Vec::new() }
+        Node {
+            id,
+            kind,
+            attrs: AttrList::new(),
+            parent: None,
+            children: Vec::new(),
+        }
     }
 
     /// The node's `name` attribute, if present.
@@ -206,7 +212,10 @@ mod tests {
         assert_eq!(NodeKind::Seq.keyword(), "seq");
         assert_eq!(NodeKind::Par.keyword(), "par");
         assert_eq!(NodeKind::Ext.keyword(), "ext");
-        assert_eq!(NodeKind::Imm(ImmediateData::Text(String::new())).keyword(), "imm");
+        assert_eq!(
+            NodeKind::Imm(ImmediateData::Text(String::new())).keyword(),
+            "imm"
+        );
     }
 
     #[test]

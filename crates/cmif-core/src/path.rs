@@ -70,7 +70,10 @@ impl NodePath {
     {
         NodePath {
             absolute: true,
-            segments: names.into_iter().map(|n| PathSegment::Child(n.into())).collect(),
+            segments: names
+                .into_iter()
+                .map(|n| PathSegment::Child(n.into()))
+                .collect(),
         }
     }
 
@@ -82,7 +85,10 @@ impl NodePath {
     {
         NodePath {
             absolute: false,
-            segments: names.into_iter().map(|n| PathSegment::Child(n.into())).collect(),
+            segments: names
+                .into_iter()
+                .map(|n| PathSegment::Child(n.into()))
+                .collect(),
         }
     }
 

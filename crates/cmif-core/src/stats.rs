@@ -154,8 +154,12 @@ mod tests {
     fn sample_doc() -> Document {
         let mut doc = Document::with_root(NodeKind::Seq);
         let root = doc.root().unwrap();
-        doc.channels.define(ChannelDef::new("audio", MediaKind::Audio)).unwrap();
-        doc.channels.define(ChannelDef::new("label", MediaKind::Label)).unwrap();
+        doc.channels
+            .define(ChannelDef::new("audio", MediaKind::Audio))
+            .unwrap();
+        doc.channels
+            .define(ChannelDef::new("label", MediaKind::Label))
+            .unwrap();
         doc.catalog
             .register(
                 DataDescriptor::new("clip", MediaKind::Audio, "pcm8")
@@ -164,15 +168,22 @@ mod tests {
             )
             .unwrap();
         let par = doc.add_par(root).unwrap();
-        doc.set_attr(par, AttrName::Name, AttrValue::Id("scene".into())).unwrap();
+        doc.set_attr(par, AttrName::Name, AttrValue::Id("scene".into()))
+            .unwrap();
         let voice = doc.add_ext(par).unwrap();
-        doc.set_attr(voice, AttrName::Name, AttrValue::Id("voice".into())).unwrap();
-        doc.set_attr(voice, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
-        doc.set_attr(voice, AttrName::File, AttrValue::Str("clip".into())).unwrap();
+        doc.set_attr(voice, AttrName::Name, AttrValue::Id("voice".into()))
+            .unwrap();
+        doc.set_attr(voice, AttrName::Channel, AttrValue::Id("audio".into()))
+            .unwrap();
+        doc.set_attr(voice, AttrName::File, AttrValue::Str("clip".into()))
+            .unwrap();
         let label = doc.add_imm_text(par, "Story").unwrap();
-        doc.set_attr(label, AttrName::Name, AttrValue::Id("title".into())).unwrap();
-        doc.set_attr(label, AttrName::Channel, AttrValue::Id("label".into())).unwrap();
-        doc.set_attr(label, AttrName::Duration, AttrValue::Number(2_000)).unwrap();
+        doc.set_attr(label, AttrName::Name, AttrValue::Id("title".into()))
+            .unwrap();
+        doc.set_attr(label, AttrName::Channel, AttrValue::Id("label".into()))
+            .unwrap();
+        doc.set_attr(label, AttrName::Duration, AttrValue::Number(2_000))
+            .unwrap();
         doc
     }
 

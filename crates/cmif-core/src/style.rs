@@ -31,7 +31,11 @@ pub struct StyleDef {
 impl StyleDef {
     /// Creates a style with no parents and no attributes.
     pub fn new(name: impl Into<String>) -> StyleDef {
-        StyleDef { name: name.into(), parents: Vec::new(), attrs: Vec::new() }
+        StyleDef {
+            name: name.into(),
+            parents: Vec::new(),
+            attrs: Vec::new(),
+        }
     }
 
     /// Adds a parent style reference (builder style).
@@ -131,12 +135,16 @@ impl StyleDictionary {
         visiting: &mut Vec<String>,
     ) -> Result<()> {
         if visiting.iter().any(|n| n == name) {
-            return Err(CoreError::StyleCycle { style: name.to_string() });
+            return Err(CoreError::StyleCycle {
+                style: name.to_string(),
+            });
         }
         let def = self
             .styles
             .get(name)
-            .ok_or_else(|| CoreError::UnknownStyle { style: name.to_string() })?;
+            .ok_or_else(|| CoreError::UnknownStyle {
+                style: name.to_string(),
+            })?;
         visiting.push(name.to_string());
         for parent in &def.parents {
             self.expand_into(parent, out, visiting)?;
@@ -159,18 +167,18 @@ impl StyleDictionary {
     /// The maximum depth of style nesting (1 for a style with no parents).
     /// Used by the Figure 7 benchmark to sweep expansion depth.
     pub fn nesting_depth(&self, name: &str) -> Result<usize> {
-        fn depth(
-            dict: &StyleDictionary,
-            name: &str,
-            visiting: &mut Vec<String>,
-        ) -> Result<usize> {
+        fn depth(dict: &StyleDictionary, name: &str, visiting: &mut Vec<String>) -> Result<usize> {
             if visiting.iter().any(|n| n == name) {
-                return Err(CoreError::StyleCycle { style: name.to_string() });
+                return Err(CoreError::StyleCycle {
+                    style: name.to_string(),
+                });
             }
             let def = dict
                 .styles
                 .get(name)
-                .ok_or_else(|| CoreError::UnknownStyle { style: name.to_string() })?;
+                .ok_or_else(|| CoreError::UnknownStyle {
+                    style: name.to_string(),
+                })?;
             visiting.push(name.to_string());
             let mut max_parent = 0;
             for parent in &def.parents {
@@ -230,7 +238,10 @@ mod tests {
 
     fn caption_style() -> StyleDef {
         StyleDef::new("caption-text")
-            .with_attr(Attr::new(AttrName::Channel, AttrValue::Id("caption".into())))
+            .with_attr(Attr::new(
+                AttrName::Channel,
+                AttrValue::Id("caption".into()),
+            ))
             .with_attr(Attr::new(
                 AttrName::TFormatting,
                 AttrValue::list([AttrValue::list([
@@ -272,7 +283,10 @@ mod tests {
         let mut dict = StyleDictionary::new();
         dict.define(
             StyleDef::new("base")
-                .with_attr(Attr::new(AttrName::Channel, AttrValue::Id("caption".into())))
+                .with_attr(Attr::new(
+                    AttrName::Channel,
+                    AttrValue::Id("caption".into()),
+                ))
                 .with_attr(Attr::new(AttrName::Duration, AttrValue::Number(1000))),
         )
         .unwrap();
@@ -290,14 +304,20 @@ mod tests {
     #[test]
     fn expand_unknown_style_is_error() {
         let dict = StyleDictionary::new();
-        assert!(matches!(dict.expand("nope").unwrap_err(), CoreError::UnknownStyle { .. }));
+        assert!(matches!(
+            dict.expand("nope").unwrap_err(),
+            CoreError::UnknownStyle { .. }
+        ));
     }
 
     #[test]
     fn direct_cycle_is_detected() {
         let mut dict = StyleDictionary::new();
         dict.define(StyleDef::new("a").with_parent("a")).unwrap();
-        assert!(matches!(dict.expand("a").unwrap_err(), CoreError::StyleCycle { .. }));
+        assert!(matches!(
+            dict.expand("a").unwrap_err(),
+            CoreError::StyleCycle { .. }
+        ));
         assert!(dict.validate().is_err());
     }
 
@@ -307,7 +327,10 @@ mod tests {
         dict.define(StyleDef::new("a").with_parent("b")).unwrap();
         dict.define(StyleDef::new("b").with_parent("c")).unwrap();
         dict.define(StyleDef::new("c").with_parent("a")).unwrap();
-        assert!(matches!(dict.expand("a").unwrap_err(), CoreError::StyleCycle { .. }));
+        assert!(matches!(
+            dict.expand("a").unwrap_err(),
+            CoreError::StyleCycle { .. }
+        ));
     }
 
     #[test]
@@ -320,7 +343,8 @@ mod tests {
         .unwrap();
         dict.define(StyleDef::new("b").with_parent("d")).unwrap();
         dict.define(StyleDef::new("c").with_parent("d")).unwrap();
-        dict.define(StyleDef::new("a").with_parent("b").with_parent("c")).unwrap();
+        dict.define(StyleDef::new("a").with_parent("b").with_parent("c"))
+            .unwrap();
         let attrs = dict.expand("a").unwrap();
         assert_eq!(attrs.get_number(&AttrName::Duration), Some(5));
         assert!(dict.validate().is_ok());
@@ -340,13 +364,11 @@ mod tests {
     fn expand_all_applies_styles_in_order() {
         let mut dict = StyleDictionary::new();
         dict.define(
-            StyleDef::new("first")
-                .with_attr(Attr::new(AttrName::Duration, AttrValue::Number(1))),
+            StyleDef::new("first").with_attr(Attr::new(AttrName::Duration, AttrValue::Number(1))),
         )
         .unwrap();
         dict.define(
-            StyleDef::new("second")
-                .with_attr(Attr::new(AttrName::Duration, AttrValue::Number(2))),
+            StyleDef::new("second").with_attr(Attr::new(AttrName::Duration, AttrValue::Number(2))),
         )
         .unwrap();
         let attrs = dict.expand_all(["first", "second"]).unwrap();

@@ -246,27 +246,42 @@ pub struct MediaTime {
 impl MediaTime {
     /// Creates a quantity in milliseconds.
     pub const fn millis(value: i64) -> Self {
-        MediaTime { value, unit: MediaUnit::Milliseconds }
+        MediaTime {
+            value,
+            unit: MediaUnit::Milliseconds,
+        }
     }
 
     /// Creates a quantity in seconds.
     pub const fn seconds(value: i64) -> Self {
-        MediaTime { value, unit: MediaUnit::Seconds }
+        MediaTime {
+            value,
+            unit: MediaUnit::Seconds,
+        }
     }
 
     /// Creates a quantity in frames.
     pub const fn frames(value: i64) -> Self {
-        MediaTime { value, unit: MediaUnit::Frames }
+        MediaTime {
+            value,
+            unit: MediaUnit::Frames,
+        }
     }
 
     /// Creates a quantity in audio samples.
     pub const fn samples(value: i64) -> Self {
-        MediaTime { value, unit: MediaUnit::Samples }
+        MediaTime {
+            value,
+            unit: MediaUnit::Samples,
+        }
     }
 
     /// Creates a quantity in bytes.
     pub const fn bytes(value: i64) -> Self {
-        MediaTime { value, unit: MediaUnit::Bytes }
+        MediaTime {
+            value,
+            unit: MediaUnit::Bytes,
+        }
     }
 
     /// Converts the quantity to the document clock using `rates`.
@@ -278,9 +293,11 @@ impl MediaTime {
             MediaUnit::Milliseconds => self.value,
             MediaUnit::Seconds => self.value.saturating_mul(1000),
             MediaUnit::Frames => {
-                let fps = rates.frames_per_second.ok_or_else(|| CoreError::UnitConversion {
-                    reason: "offset in frames requires a frame rate".to_string(),
-                })?;
+                let fps = rates
+                    .frames_per_second
+                    .ok_or_else(|| CoreError::UnitConversion {
+                        reason: "offset in frames requires a frame rate".to_string(),
+                    })?;
                 if fps <= 0.0 {
                     return Err(CoreError::UnitConversion {
                         reason: format!("frame rate must be positive, got {fps}"),
@@ -289,9 +306,11 @@ impl MediaTime {
                 (self.value as f64 * 1000.0 / fps).round() as i64
             }
             MediaUnit::Samples => {
-                let sr = rates.samples_per_second.ok_or_else(|| CoreError::UnitConversion {
-                    reason: "offset in samples requires a sampling rate".to_string(),
-                })?;
+                let sr = rates
+                    .samples_per_second
+                    .ok_or_else(|| CoreError::UnitConversion {
+                        reason: "offset in samples requires a sampling rate".to_string(),
+                    })?;
                 if sr == 0 {
                     return Err(CoreError::UnitConversion {
                         reason: "sampling rate must be positive".to_string(),
@@ -300,9 +319,11 @@ impl MediaTime {
                 (self.value as f64 * 1000.0 / sr as f64).round() as i64
             }
             MediaUnit::Bytes => {
-                let bps = rates.bytes_per_second.ok_or_else(|| CoreError::UnitConversion {
-                    reason: "offset in bytes requires a byte rate".to_string(),
-                })?;
+                let bps = rates
+                    .bytes_per_second
+                    .ok_or_else(|| CoreError::UnitConversion {
+                        reason: "offset in bytes requires a byte rate".to_string(),
+                    })?;
                 if bps == 0 {
                     return Err(CoreError::UnitConversion {
                         reason: "byte rate must be positive".to_string(),
@@ -345,7 +366,10 @@ impl RateInfo {
 
     /// Convenience constructor for a video-style rate table.
     pub fn video(fps: f64) -> Self {
-        RateInfo { frames_per_second: Some(fps), ..RateInfo::NONE }
+        RateInfo {
+            frames_per_second: Some(fps),
+            ..RateInfo::NONE
+        }
     }
 
     /// Convenience constructor for an audio-style rate table.
@@ -390,8 +414,9 @@ mod tests {
         // Hard synchronization: both zero.
         assert!(MaxDelay::HARD.window_is_valid(DelayMs::ZERO));
         // Negative minimum (start earlier) with bounded positive maximum.
-        assert!(MaxDelay::Bounded(DelayMs::from_millis(100))
-            .window_is_valid(DelayMs::from_millis(-50)));
+        assert!(
+            MaxDelay::Bounded(DelayMs::from_millis(100)).window_is_valid(DelayMs::from_millis(-50))
+        );
         // Positive minimum delay has no meaning.
         assert!(!MaxDelay::Unbounded.window_is_valid(DelayMs::from_millis(1)));
         // Negative maximum delay has no meaning.
@@ -402,31 +427,65 @@ mod tests {
 
     #[test]
     fn media_time_conversion_seconds_and_millis() {
-        assert_eq!(MediaTime::seconds(3).to_millis(&RateInfo::NONE).unwrap().as_millis(), 3000);
-        assert_eq!(MediaTime::millis(42).to_millis(&RateInfo::NONE).unwrap().as_millis(), 42);
+        assert_eq!(
+            MediaTime::seconds(3)
+                .to_millis(&RateInfo::NONE)
+                .unwrap()
+                .as_millis(),
+            3000
+        );
+        assert_eq!(
+            MediaTime::millis(42)
+                .to_millis(&RateInfo::NONE)
+                .unwrap()
+                .as_millis(),
+            42
+        );
     }
 
     #[test]
     fn media_time_conversion_frames() {
         let rates = RateInfo::video(25.0);
-        assert_eq!(MediaTime::frames(50).to_millis(&rates).unwrap().as_millis(), 2000);
+        assert_eq!(
+            MediaTime::frames(50).to_millis(&rates).unwrap().as_millis(),
+            2000
+        );
         // 30 fps, 15 frames -> 500ms.
         let rates = RateInfo::video(30.0);
-        assert_eq!(MediaTime::frames(15).to_millis(&rates).unwrap().as_millis(), 500);
+        assert_eq!(
+            MediaTime::frames(15).to_millis(&rates).unwrap().as_millis(),
+            500
+        );
     }
 
     #[test]
     fn media_time_conversion_samples_and_bytes() {
         let rates = RateInfo::audio(8000, 16_000);
-        assert_eq!(MediaTime::samples(4000).to_millis(&rates).unwrap().as_millis(), 500);
-        assert_eq!(MediaTime::bytes(16_000).to_millis(&rates).unwrap().as_millis(), 1000);
+        assert_eq!(
+            MediaTime::samples(4000)
+                .to_millis(&rates)
+                .unwrap()
+                .as_millis(),
+            500
+        );
+        assert_eq!(
+            MediaTime::bytes(16_000)
+                .to_millis(&rates)
+                .unwrap()
+                .as_millis(),
+            1000
+        );
     }
 
     #[test]
     fn media_time_conversion_missing_rate_is_error() {
-        let err = MediaTime::frames(10).to_millis(&RateInfo::NONE).unwrap_err();
+        let err = MediaTime::frames(10)
+            .to_millis(&RateInfo::NONE)
+            .unwrap_err();
         assert!(matches!(err, CoreError::UnitConversion { .. }));
-        let err = MediaTime::samples(10).to_millis(&RateInfo::NONE).unwrap_err();
+        let err = MediaTime::samples(10)
+            .to_millis(&RateInfo::NONE)
+            .unwrap_err();
         assert!(matches!(err, CoreError::UnitConversion { .. }));
         let err = MediaTime::bytes(10).to_millis(&RateInfo::NONE).unwrap_err();
         assert!(matches!(err, CoreError::UnitConversion { .. }));
@@ -434,7 +493,10 @@ mod tests {
 
     #[test]
     fn media_time_conversion_zero_rate_is_error() {
-        let rates = RateInfo { frames_per_second: Some(0.0), ..RateInfo::NONE };
+        let rates = RateInfo {
+            frames_per_second: Some(0.0),
+            ..RateInfo::NONE
+        };
         assert!(MediaTime::frames(10).to_millis(&rates).is_err());
     }
 
@@ -447,6 +509,9 @@ mod tests {
     #[test]
     fn max_delay_display() {
         assert_eq!(MaxDelay::Unbounded.to_string(), "inf");
-        assert_eq!(MaxDelay::Bounded(DelayMs::from_millis(5)).to_string(), "5ms");
+        assert_eq!(
+            MaxDelay::Bounded(DelayMs::from_millis(5)).to_string(),
+            "5ms"
+        );
     }
 }

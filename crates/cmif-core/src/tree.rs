@@ -85,12 +85,16 @@ impl Document {
 
     /// Immutable access to a node.
     pub fn node(&self, id: NodeId) -> Result<&Node> {
-        self.nodes.get(id.index()).ok_or(CoreError::UnknownNode { node: id })
+        self.nodes
+            .get(id.index())
+            .ok_or(CoreError::UnknownNode { node: id })
     }
 
     /// Mutable access to a node.
     pub fn node_mut(&mut self, id: NodeId) -> Result<&mut Node> {
-        self.nodes.get_mut(id.index()).ok_or(CoreError::UnknownNode { node: id })
+        self.nodes
+            .get_mut(id.index())
+            .ok_or(CoreError::UnknownNode { node: id })
     }
 
     /// Adds a child node of the given kind under `parent`.
@@ -213,9 +217,7 @@ impl Document {
                 if name != &AttrName::Style {
                     if let Some(style_value) = node.attrs.get(&AttrName::Style) {
                         let names = style_names(style_value)?;
-                        let expanded = self
-                            .styles
-                            .expand_all(names.iter().map(String::as_str))?;
+                        let expanded = self.styles.expand_all(names.iter().map(String::as_str))?;
                         if let Some(value) = expanded.get(name) {
                             return Ok(Some(value.clone()));
                         }
@@ -250,7 +252,10 @@ impl Document {
         let node = self.node(id)?;
         if let Some(value) = node.attrs.get(&AttrName::Clip) {
             let items = Self::numbers(value, &AttrName::Clip, 2)?;
-            return Ok(Some(Selection::Clip { start_ms: items[0], duration_ms: items[1] }));
+            return Ok(Some(Selection::Clip {
+                start_ms: items[0],
+                duration_ms: items[1],
+            }));
         }
         if let Some(value) = node.attrs.get(&AttrName::Crop) {
             let items = Self::numbers(value, &AttrName::Crop, 4)?;
@@ -448,14 +453,19 @@ impl Document {
         for segment in &path.segments {
             match segment {
                 PathSegment::Parent => {
-                    current = self.parent(current)?.ok_or_else(|| CoreError::UnresolvedPath {
-                        path: path.to_string(),
-                        base,
-                    })?;
+                    current = self
+                        .parent(current)?
+                        .ok_or_else(|| CoreError::UnresolvedPath {
+                            path: path.to_string(),
+                            base,
+                        })?;
                 }
                 PathSegment::Child(name) => {
                     current = self.named_child(current, name)?.ok_or_else(|| {
-                        CoreError::UnresolvedPath { path: path.to_string(), base }
+                        CoreError::UnresolvedPath {
+                            path: path.to_string(),
+                            base,
+                        }
                     })?;
                 }
             }
@@ -490,7 +500,10 @@ impl Document {
             cursor = parent;
         }
         segments.reverse();
-        Ok(NodePath { absolute: true, segments })
+        Ok(NodePath {
+            absolute: true,
+            segments,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -528,10 +541,14 @@ impl Document {
         let mut out = Vec::with_capacity(self.arcs.len());
         for (carrier, arc) in &self.arcs {
             let source = self.resolve_path(*carrier, &arc.source).map_err(|_| {
-                CoreError::UnresolvedArcEndpoint { path: arc.source.to_string() }
+                CoreError::UnresolvedArcEndpoint {
+                    path: arc.source.to_string(),
+                }
             })?;
             let destination = self.resolve_path(*carrier, &arc.destination).map_err(|_| {
-                CoreError::UnresolvedArcEndpoint { path: arc.destination.to_string() }
+                CoreError::UnresolvedArcEndpoint {
+                    path: arc.destination.to_string(),
+                }
             })?;
             out.push((*carrier, arc, source, destination));
         }
@@ -554,13 +571,17 @@ impl Document {
                 message: format!("node {id} is not a leaf and has no event descriptor"),
             });
         }
-        let channel = self.channel_of(id)?.ok_or(CoreError::MissingChannel { node: id })?;
+        let channel = self
+            .channel_of(id)?
+            .ok_or(CoreError::MissingChannel { node: id })?;
         let selection = self.selection_of(id)?;
         let medium = self.medium_of(id, resolver)?;
         let duration = self.duration_of(id, resolver)?.unwrap_or(TimeMs::ZERO);
         let (descriptor, data_bytes) = match &node.kind {
             NodeKind::Ext => {
-                let key = self.file_of(id)?.ok_or(CoreError::MissingFile { node: id })?;
+                let key = self
+                    .file_of(id)?
+                    .ok_or(CoreError::MissingFile { node: id })?;
                 let bytes = match (&selection, resolver.resolve(&key)) {
                     (Some(Selection::Slice { length, .. }), _) => *length,
                     (_, Some(d)) => d.size_bytes,
@@ -584,7 +605,10 @@ impl Document {
 
     /// Builds event descriptors for every leaf, in document order.
     pub fn events(&self, resolver: &dyn DescriptorResolver) -> Result<Vec<EventDescriptor>> {
-        self.leaves().into_iter().map(|leaf| self.event_of(leaf, resolver)).collect()
+        self.leaves()
+            .into_iter()
+            .map(|leaf| self.event_of(leaf, resolver))
+            .collect()
     }
 
     /// Groups leaves by their effective channel, preserving document order
@@ -621,9 +645,14 @@ mod tests {
     fn mini_doc() -> (Document, NodeId, NodeId, NodeId) {
         let mut doc = Document::with_root(NodeKind::Seq);
         let root = doc.root().unwrap();
-        doc.set_attr(root, AttrName::Name, AttrValue::Id("news".into())).unwrap();
-        doc.channels.define(ChannelDef::new("video", MediaKind::Video)).unwrap();
-        doc.channels.define(ChannelDef::new("caption", MediaKind::Text)).unwrap();
+        doc.set_attr(root, AttrName::Name, AttrValue::Id("news".into()))
+            .unwrap();
+        doc.channels
+            .define(ChannelDef::new("video", MediaKind::Video))
+            .unwrap();
+        doc.channels
+            .define(ChannelDef::new("caption", MediaKind::Text))
+            .unwrap();
         doc.catalog
             .register(
                 DataDescriptor::new("clip-v", MediaKind::Video, "rgb24")
@@ -633,17 +662,24 @@ mod tests {
             .unwrap();
 
         let story = doc.add_par(root).unwrap();
-        doc.set_attr(story, AttrName::Name, AttrValue::Id("story-1".into())).unwrap();
+        doc.set_attr(story, AttrName::Name, AttrValue::Id("story-1".into()))
+            .unwrap();
 
         let video = doc.add_ext(story).unwrap();
-        doc.set_attr(video, AttrName::Name, AttrValue::Id("video".into())).unwrap();
-        doc.set_attr(video, AttrName::Channel, AttrValue::Id("video".into())).unwrap();
-        doc.set_attr(video, AttrName::File, AttrValue::Str("clip-v".into())).unwrap();
+        doc.set_attr(video, AttrName::Name, AttrValue::Id("video".into()))
+            .unwrap();
+        doc.set_attr(video, AttrName::Channel, AttrValue::Id("video".into()))
+            .unwrap();
+        doc.set_attr(video, AttrName::File, AttrValue::Str("clip-v".into()))
+            .unwrap();
 
         let caption = doc.add_imm_text(story, "Gestolen van Goghs").unwrap();
-        doc.set_attr(caption, AttrName::Name, AttrValue::Id("caption".into())).unwrap();
-        doc.set_attr(caption, AttrName::Channel, AttrValue::Id("caption".into())).unwrap();
-        doc.set_attr(caption, AttrName::Duration, AttrValue::Number(4000)).unwrap();
+        doc.set_attr(caption, AttrName::Name, AttrValue::Id("caption".into()))
+            .unwrap();
+        doc.set_attr(caption, AttrName::Channel, AttrValue::Id("caption".into()))
+            .unwrap();
+        doc.set_attr(caption, AttrName::Duration, AttrValue::Number(4000))
+            .unwrap();
 
         (doc, story, video, caption)
     }
@@ -683,23 +719,35 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, CoreError::RootOnlyAttribute { .. }));
         let root = doc.root().unwrap();
-        assert!(doc.set_attr(root, AttrName::ChannelDictionary, AttrValue::list([])).is_ok());
+        assert!(doc
+            .set_attr(root, AttrName::ChannelDictionary, AttrValue::list([]))
+            .is_ok());
     }
 
     #[test]
     fn effective_attr_inherits_channel_but_not_name() {
         let (mut doc, story, video, _) = mini_doc();
         // Remove the leaf's own channel: it should now inherit the parent's.
-        doc.node_mut(video).unwrap().attrs.remove(&AttrName::Channel);
-        doc.set_attr(story, AttrName::Channel, AttrValue::Id("video".into())).unwrap();
+        doc.node_mut(video)
+            .unwrap()
+            .attrs
+            .remove(&AttrName::Channel);
+        doc.set_attr(story, AttrName::Channel, AttrValue::Id("video".into()))
+            .unwrap();
         assert_eq!(doc.channel_of(video).unwrap().as_deref(), Some("video"));
         // Name is not inherited.
         assert_eq!(
-            doc.effective_attr(video, &AttrName::Name).unwrap().unwrap().as_text(),
+            doc.effective_attr(video, &AttrName::Name)
+                .unwrap()
+                .unwrap()
+                .as_text(),
             Some("video")
         );
         let unnamed = doc.add_ext(story).unwrap();
-        assert!(doc.effective_attr(unnamed, &AttrName::Name).unwrap().is_none());
+        assert!(doc
+            .effective_attr(unnamed, &AttrName::Name)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -711,16 +759,27 @@ mod tests {
                     .with_attr(Attr::new(AttrName::Duration, AttrValue::Number(9000))),
             )
             .unwrap();
-        doc.node_mut(video).unwrap().attrs.remove(&AttrName::Duration);
-        doc.set_attr(video, AttrName::Style, AttrValue::Id("fullscreen".into())).unwrap();
+        doc.node_mut(video)
+            .unwrap()
+            .attrs
+            .remove(&AttrName::Duration);
+        doc.set_attr(video, AttrName::Style, AttrValue::Id("fullscreen".into()))
+            .unwrap();
         assert_eq!(
-            doc.effective_attr(video, &AttrName::Duration).unwrap().unwrap().as_number(),
+            doc.effective_attr(video, &AttrName::Duration)
+                .unwrap()
+                .unwrap()
+                .as_number(),
             Some(9000)
         );
         // The node's own attribute would still win over its style.
-        doc.set_attr(video, AttrName::Duration, AttrValue::Number(100)).unwrap();
+        doc.set_attr(video, AttrName::Duration, AttrValue::Number(100))
+            .unwrap();
         assert_eq!(
-            doc.effective_attr(video, &AttrName::Duration).unwrap().unwrap().as_number(),
+            doc.effective_attr(video, &AttrName::Duration)
+                .unwrap()
+                .unwrap()
+                .as_number(),
             Some(100)
         );
     }
@@ -734,7 +793,10 @@ mod tests {
             Some(TimeMs::from_millis(4000))
         );
         // video: falls back to the descriptor's duration.
-        assert_eq!(doc.duration_of(video, &doc.catalog).unwrap(), Some(TimeMs::from_secs(8)));
+        assert_eq!(
+            doc.duration_of(video, &doc.catalog).unwrap(),
+            Some(TimeMs::from_secs(8))
+        );
         // A clip selection wins over everything.
         doc.set_attr(
             video,
@@ -764,7 +826,12 @@ mod tests {
         .unwrap();
         assert_eq!(
             doc.selection_of(video).unwrap(),
-            Some(Selection::Crop { x: 10, y: 20, width: 320, height: 240 })
+            Some(Selection::Crop {
+                x: 10,
+                y: 20,
+                width: 320,
+                height: 240
+            })
         );
         doc.set_attr(
             video,
@@ -778,15 +845,22 @@ mod tests {
             Some(Selection::Crop { .. })
         ));
         // Malformed selection values are type errors.
-        doc.set_attr(video, AttrName::Clip, AttrValue::Number(3)).unwrap();
+        doc.set_attr(video, AttrName::Clip, AttrValue::Number(3))
+            .unwrap();
         assert!(doc.selection_of(video).is_err());
     }
 
     #[test]
     fn medium_resolution() {
         let (doc, _, video, caption) = mini_doc();
-        assert_eq!(doc.medium_of(video, &doc.catalog).unwrap(), MediaKind::Video);
-        assert_eq!(doc.medium_of(caption, &doc.catalog).unwrap(), MediaKind::Text);
+        assert_eq!(
+            doc.medium_of(video, &doc.catalog).unwrap(),
+            MediaKind::Video
+        );
+        assert_eq!(
+            doc.medium_of(caption, &doc.catalog).unwrap(),
+            MediaKind::Text
+        );
     }
 
     #[test]
@@ -794,10 +868,23 @@ mod tests {
         let (doc, story, video, caption) = mini_doc();
         let root = doc.root().unwrap();
         assert_eq!(doc.find("/story-1/video").unwrap(), video);
-        assert_eq!(doc.resolve_path(video, &NodePath::parse("../caption")).unwrap(), caption);
-        assert_eq!(doc.resolve_path(video, &NodePath::parse("")).unwrap(), video);
-        assert_eq!(doc.resolve_path(caption, &NodePath::parse("/")).unwrap(), root);
-        assert_eq!(doc.resolve_path(root, &NodePath::parse("story-1")).unwrap(), story);
+        assert_eq!(
+            doc.resolve_path(video, &NodePath::parse("../caption"))
+                .unwrap(),
+            caption
+        );
+        assert_eq!(
+            doc.resolve_path(video, &NodePath::parse("")).unwrap(),
+            video
+        );
+        assert_eq!(
+            doc.resolve_path(caption, &NodePath::parse("/")).unwrap(),
+            root
+        );
+        assert_eq!(
+            doc.resolve_path(root, &NodePath::parse("story-1")).unwrap(),
+            story
+        );
         assert!(doc.resolve_path(root, &NodePath::parse("missing")).is_err());
         assert!(doc.resolve_path(root, &NodePath::parse("..")).is_err());
     }
@@ -838,14 +925,21 @@ mod tests {
         doc.attach(caption, root).unwrap();
         assert_eq!(doc.children(root).unwrap(), &[story, caption]);
         // Cannot attach a node beneath itself or under a leaf.
-        assert!(matches!(doc.attach(story, video).unwrap_err(), CoreError::InvalidChild { .. }));
-        assert!(matches!(doc.attach(root, story).unwrap_err(), CoreError::TreeCycle { .. }));
+        assert!(matches!(
+            doc.attach(story, video).unwrap_err(),
+            CoreError::InvalidChild { .. }
+        ));
+        assert!(matches!(
+            doc.attach(root, story).unwrap_err(),
+            CoreError::TreeCycle { .. }
+        ));
     }
 
     #[test]
     fn arcs_are_validated_and_resolved() {
         let (mut doc, _, video, caption) = mini_doc();
-        doc.add_arc(caption, SyncArc::hard_start("../video", "")).unwrap();
+        doc.add_arc(caption, SyncArc::hard_start("../video", ""))
+            .unwrap();
         let resolved = doc.resolved_arcs().unwrap();
         assert_eq!(resolved.len(), 1);
         let (carrier, _, source, destination) = resolved[0];
@@ -861,7 +955,8 @@ mod tests {
         assert!(doc.add_arc(caption, bad).is_err());
 
         // Dangling endpoints are caught at resolution time.
-        doc.add_arc(caption, SyncArc::hard_start("../no-such-node", "")).unwrap();
+        doc.add_arc(caption, SyncArc::hard_start("../no-such-node", ""))
+            .unwrap();
         assert!(matches!(
             doc.resolved_arcs().unwrap_err(),
             CoreError::UnresolvedArcEndpoint { .. }
@@ -911,6 +1006,9 @@ mod tests {
     fn unknown_node_errors() {
         let doc = Document::new();
         let bogus = NodeId::from_index(42);
-        assert!(matches!(doc.node(bogus).unwrap_err(), CoreError::UnknownNode { .. }));
+        assert!(matches!(
+            doc.node(bogus).unwrap_err(),
+            CoreError::UnknownNode { .. }
+        ));
     }
 }

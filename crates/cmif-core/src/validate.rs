@@ -51,7 +51,10 @@ pub fn validate_all(doc: &Document) -> Vec<CoreError> {
         // Root-only attributes.
         for attr in node.attrs.iter() {
             if attr.name.is_root_only() && id != root {
-                problems.push(CoreError::RootOnlyAttribute { node: id, name: attr.name.clone() });
+                problems.push(CoreError::RootOnlyAttribute {
+                    node: id,
+                    name: attr.name.clone(),
+                });
             }
         }
 
@@ -99,7 +102,9 @@ pub fn validate_all(doc: &Document) -> Vec<CoreError> {
         // attribute; inheritance then cannot introduce dangling references).
         if let Some(channel) = node.attrs.get_text(&AttrName::Channel) {
             if !doc.channels.contains(channel) {
-                problems.push(CoreError::UnknownChannel { channel: channel.to_string() });
+                problems.push(CoreError::UnknownChannel {
+                    channel: channel.to_string(),
+                });
             }
         }
 
@@ -127,10 +132,14 @@ pub fn validate_all(doc: &Document) -> Vec<CoreError> {
             problems.push(e);
         }
         if doc.resolve_path(*carrier, &arc.source).is_err() {
-            problems.push(CoreError::UnresolvedArcEndpoint { path: arc.source.to_string() });
+            problems.push(CoreError::UnresolvedArcEndpoint {
+                path: arc.source.to_string(),
+            });
         }
         if doc.resolve_path(*carrier, &arc.destination).is_err() {
-            problems.push(CoreError::UnresolvedArcEndpoint { path: arc.destination.to_string() });
+            problems.push(CoreError::UnresolvedArcEndpoint {
+                path: arc.destination.to_string(),
+            });
         }
     }
 
@@ -152,7 +161,9 @@ mod tests {
     fn valid_doc() -> Document {
         let mut doc = Document::with_root(NodeKind::Seq);
         let root = doc.root().unwrap();
-        doc.channels.define(ChannelDef::new("audio", MediaKind::Audio)).unwrap();
+        doc.channels
+            .define(ChannelDef::new("audio", MediaKind::Audio))
+            .unwrap();
         doc.catalog
             .register(
                 DataDescriptor::new("clip", MediaKind::Audio, "pcm8")
@@ -160,9 +171,12 @@ mod tests {
             )
             .unwrap();
         let leaf = doc.add_ext(root).unwrap();
-        doc.set_attr(leaf, AttrName::Name, AttrValue::Id("voice".into())).unwrap();
-        doc.set_attr(leaf, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
-        doc.set_attr(leaf, AttrName::File, AttrValue::Str("clip".into())).unwrap();
+        doc.set_attr(leaf, AttrName::Name, AttrValue::Id("voice".into()))
+            .unwrap();
+        doc.set_attr(leaf, AttrName::Channel, AttrValue::Id("audio".into()))
+            .unwrap();
+        doc.set_attr(leaf, AttrName::File, AttrValue::Str("clip".into()))
+            .unwrap();
         doc
     }
 
@@ -175,7 +189,10 @@ mod tests {
     #[test]
     fn empty_document_fails() {
         let doc = Document::new();
-        assert!(matches!(validate(&doc).unwrap_err(), CoreError::EmptyDocument));
+        assert!(matches!(
+            validate(&doc).unwrap_err(),
+            CoreError::EmptyDocument
+        ));
     }
 
     #[test]
@@ -183,8 +200,10 @@ mod tests {
         let mut doc = valid_doc();
         let root = doc.root().unwrap();
         let second = doc.add_imm_text(root, "x").unwrap();
-        doc.set_attr(second, AttrName::Name, AttrValue::Id("voice".into())).unwrap();
-        doc.set_attr(second, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
+        doc.set_attr(second, AttrName::Name, AttrValue::Id("voice".into()))
+            .unwrap();
+        doc.set_attr(second, AttrName::Channel, AttrValue::Id("audio".into()))
+            .unwrap();
         let problems = validate_all(&doc);
         assert!(problems
             .iter()
@@ -197,13 +216,17 @@ mod tests {
         let mut doc = valid_doc();
         let root = doc.root().unwrap();
         let group_a = doc.add_par(root).unwrap();
-        doc.set_attr(group_a, AttrName::Name, AttrValue::Id("block".into())).unwrap();
+        doc.set_attr(group_a, AttrName::Name, AttrValue::Id("block".into()))
+            .unwrap();
         let group_b = doc.add_par(root).unwrap();
-        doc.set_attr(group_b, AttrName::Name, AttrValue::Id("other".into())).unwrap();
+        doc.set_attr(group_b, AttrName::Name, AttrValue::Id("other".into()))
+            .unwrap();
         for group in [group_a, group_b] {
             let leaf = doc.add_imm_text(group, "t").unwrap();
-            doc.set_attr(leaf, AttrName::Name, AttrValue::Id("shared-name".into())).unwrap();
-            doc.set_attr(leaf, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
+            doc.set_attr(leaf, AttrName::Name, AttrValue::Id("shared-name".into()))
+                .unwrap();
+            doc.set_attr(leaf, AttrName::Channel, AttrValue::Id("audio".into()))
+                .unwrap();
         }
         assert!(validate(&doc).is_ok());
     }
@@ -213,18 +236,23 @@ mod tests {
         let mut doc = valid_doc();
         let root = doc.root().unwrap();
         let bad = doc.add_ext(root).unwrap();
-        doc.set_attr(bad, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
+        doc.set_attr(bad, AttrName::Channel, AttrValue::Id("audio".into()))
+            .unwrap();
         let problems = validate_all(&doc);
-        assert!(problems.iter().any(|p| matches!(p, CoreError::MissingFile { .. })));
+        assert!(problems
+            .iter()
+            .any(|p| matches!(p, CoreError::MissingFile { .. })));
     }
 
     #[test]
     fn inherited_file_satisfies_external_node() {
         let mut doc = valid_doc();
         let root = doc.root().unwrap();
-        doc.set_attr(root, AttrName::File, AttrValue::Str("clip".into())).unwrap();
+        doc.set_attr(root, AttrName::File, AttrValue::Str("clip".into()))
+            .unwrap();
         let leaf = doc.add_ext(root).unwrap();
-        doc.set_attr(leaf, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
+        doc.set_attr(leaf, AttrName::Channel, AttrValue::Id("audio".into()))
+            .unwrap();
         assert!(validate(&doc).is_ok());
     }
 
@@ -233,27 +261,40 @@ mod tests {
         let mut doc = valid_doc();
         let root = doc.root().unwrap();
         let leaf = doc.add_imm_text(root, "x").unwrap();
-        doc.set_attr(leaf, AttrName::Channel, AttrValue::Id("video".into())).unwrap();
-        doc.set_attr(leaf, AttrName::Style, AttrValue::Id("missing-style".into())).unwrap();
+        doc.set_attr(leaf, AttrName::Channel, AttrValue::Id("video".into()))
+            .unwrap();
+        doc.set_attr(leaf, AttrName::Style, AttrValue::Id("missing-style".into()))
+            .unwrap();
         let problems = validate_all(&doc);
-        assert!(problems.iter().any(|p| matches!(p, CoreError::UnknownChannel { .. })));
-        assert!(problems.iter().any(|p| matches!(p, CoreError::UnknownStyle { .. })));
+        assert!(problems
+            .iter()
+            .any(|p| matches!(p, CoreError::UnknownChannel { .. })));
+        assert!(problems
+            .iter()
+            .any(|p| matches!(p, CoreError::UnknownStyle { .. })));
     }
 
     #[test]
     fn style_cycles_are_reported() {
         let mut doc = valid_doc();
-        doc.styles.define(StyleDef::new("a").with_parent("b")).unwrap();
-        doc.styles.define(StyleDef::new("b").with_parent("a")).unwrap();
+        doc.styles
+            .define(StyleDef::new("a").with_parent("b"))
+            .unwrap();
+        doc.styles
+            .define(StyleDef::new("b").with_parent("a"))
+            .unwrap();
         let problems = validate_all(&doc);
-        assert!(problems.iter().any(|p| matches!(p, CoreError::StyleCycle { .. })));
+        assert!(problems
+            .iter()
+            .any(|p| matches!(p, CoreError::StyleCycle { .. })));
     }
 
     #[test]
     fn dangling_arc_endpoints_are_reported() {
         let mut doc = valid_doc();
         let leaf = doc.find("/voice").unwrap();
-        doc.add_arc(leaf, SyncArc::hard_start("/no-such", "")).unwrap();
+        doc.add_arc(leaf, SyncArc::hard_start("/no-such", ""))
+            .unwrap();
         let problems = validate_all(&doc);
         assert!(problems
             .iter()
@@ -266,6 +307,8 @@ mod tests {
         let root = doc.root().unwrap();
         doc.add_imm_text(root, "orphan").unwrap();
         let problems = validate_all(&doc);
-        assert!(problems.iter().any(|p| matches!(p, CoreError::MissingChannel { .. })));
+        assert!(problems
+            .iter()
+            .any(|p| matches!(p, CoreError::MissingChannel { .. })));
     }
 }

@@ -203,7 +203,10 @@ mod tests {
     #[test]
     fn accessors_return_expected_shapes() {
         assert_eq!(AttrValue::id("x").unwrap().as_id(), Some("x"));
-        assert_eq!(AttrValue::string("hello world").as_text(), Some("hello world"));
+        assert_eq!(
+            AttrValue::string("hello world").as_text(),
+            Some("hello world")
+        );
         assert_eq!(AttrValue::id("x").unwrap().as_text(), Some("x"));
         assert_eq!(AttrValue::number(5).as_number(), Some(5));
         assert_eq!(AttrValue::real(2.0).as_number(), Some(2));
@@ -252,7 +255,10 @@ mod tests {
     fn from_impls() {
         assert_eq!(AttrValue::from(7i64), AttrValue::Number(7));
         assert_eq!(AttrValue::from("x"), AttrValue::Str("x".into()));
-        assert_eq!(AttrValue::from(String::from("y")), AttrValue::Str("y".into()));
+        assert_eq!(
+            AttrValue::from(String::from("y")),
+            AttrValue::Str("y".into())
+        );
         assert_eq!(AttrValue::from(1.5f64), AttrValue::Real(1.5));
     }
 }

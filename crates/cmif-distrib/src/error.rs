@@ -3,6 +3,7 @@
 use std::fmt;
 
 use cmif_core::error::CoreError;
+use cmif_format::FormatError;
 use cmif_media::MediaError;
 
 /// Result alias used throughout `cmif-distrib`.
@@ -34,8 +35,10 @@ pub enum DistribError {
     Media(MediaError),
     /// A document-model error.
     Core(CoreError),
-    /// A document failed to parse after transport.
-    Format(String),
+    /// A document failed to parse or serialize during transport. The inner
+    /// error keeps the lexer/parser source position (line, column, byte
+    /// offset).
+    Format(FormatError),
 }
 
 impl fmt::Display for DistribError {
@@ -55,7 +58,22 @@ impl fmt::Display for DistribError {
     }
 }
 
-impl std::error::Error for DistribError {}
+impl std::error::Error for DistribError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistribError::Media(e) => Some(e),
+            DistribError::Core(e) => Some(e),
+            DistribError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FormatError> for DistribError {
+    fn from(e: FormatError) -> Self {
+        DistribError::Format(e)
+    }
+}
 
 impl From<MediaError> for DistribError {
     fn from(e: MediaError) -> Self {
@@ -77,9 +95,15 @@ mod tests {
     fn display_names_hosts_and_documents() {
         let err = DistribError::UnknownHost { host: "vax".into() };
         assert!(err.to_string().contains("vax"));
-        let err = DistribError::UnknownDocument { host: "a".into(), name: "news".into() };
+        let err = DistribError::UnknownDocument {
+            host: "a".into(),
+            name: "news".into(),
+        };
         assert!(err.to_string().contains("news"));
-        let err = DistribError::Unreachable { from: "a".into(), to: "b".into() };
+        let err = DistribError::Unreachable {
+            from: "a".into(),
+            to: "b".into(),
+        };
         assert!(err.to_string().contains("not connected"));
     }
 

@@ -17,8 +17,10 @@
 //! use cmif_distrib::network::{Link, Network};
 //! use cmif_distrib::store::DistributedStore;
 //!
+//! # fn main() -> Result<(), cmif_distrib::DistribError> {
 //! let cluster = DistributedStore::new(Network::uniform(&["cwi", "home"], Link::wan()));
-//! assert!(cluster.documents_on("home").unwrap().is_empty());
+//! assert!(cluster.documents_on("home")?.is_empty());
+//! # Ok(()) }
 //! ```
 
 #![warn(missing_docs)]

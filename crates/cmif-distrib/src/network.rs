@@ -27,12 +27,18 @@ pub struct Link {
 impl Link {
     /// A campus LAN of the early 1990s: 10 Mbit/s Ethernet, 2 ms latency.
     pub fn lan() -> Link {
-        Link { latency_ms: 2, bandwidth_bps: 1_250_000 }
+        Link {
+            latency_ms: 2,
+            bandwidth_bps: 1_250_000,
+        }
     }
 
     /// A wide-area link: 512 kbit/s, 80 ms latency.
     pub fn wan() -> Link {
-        Link { latency_ms: 80, bandwidth_bps: 64_000 }
+        Link {
+            latency_ms: 80,
+            bandwidth_bps: 64_000,
+        }
     }
 
     /// Time to move `bytes` over this link, in simulated milliseconds.
@@ -100,7 +106,10 @@ impl Network {
     /// transfers within one host are free).
     pub fn link(&self, from: &str, to: &str) -> Option<Link> {
         if from == to {
-            return Some(Link { latency_ms: 0, bandwidth_bps: u64::MAX });
+            return Some(Link {
+                latency_ms: 0,
+                bandwidth_bps: u64::MAX,
+            });
         }
         self.links
             .get(&(from.to_string(), to.to_string()))
@@ -126,7 +135,10 @@ mod tests {
         assert_eq!(lan.transfer_ms(1_250_000), 1_002);
         let wan = Link::wan();
         assert!(wan.transfer_ms(64_000) > 1_000);
-        let dead = Link { latency_ms: 1, bandwidth_bps: 0 };
+        let dead = Link {
+            latency_ms: 1,
+            bandwidth_bps: 0,
+        };
         assert_eq!(dead.transfer_ms(10), u64::MAX);
     }
 

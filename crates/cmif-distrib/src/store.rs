@@ -58,22 +58,50 @@ impl DistributedStore {
         for host in network.hosts() {
             hosts.insert(host.clone(), HostStore::default());
         }
-        DistributedStore { network, hosts: RwLock::new(hosts), traffic: RwLock::new(TrafficStats::default()) }
+        DistributedStore {
+            network,
+            hosts: RwLock::new(hosts),
+            traffic: RwLock::new(TrafficStats::default()),
+        }
     }
 
     fn require_host(&self, host: &str) -> Result<()> {
         if self.network.contains(host) {
             Ok(())
         } else {
-            Err(DistribError::UnknownHost { host: host.to_string() })
+            Err(DistribError::UnknownHost {
+                host: host.to_string(),
+            })
         }
     }
 
+    /// Looks a host's store up in a read guard, as a typed error instead of
+    /// a panic when the host is unknown.
+    fn host_store<'a>(hosts: &'a BTreeMap<HostId, HostStore>, host: &str) -> Result<&'a HostStore> {
+        hosts.get(host).ok_or_else(|| DistribError::UnknownHost {
+            host: host.to_string(),
+        })
+    }
+
+    fn host_store_mut<'a>(
+        hosts: &'a mut BTreeMap<HostId, HostStore>,
+        host: &str,
+    ) -> Result<&'a mut HostStore> {
+        hosts
+            .get_mut(host)
+            .ok_or_else(|| DistribError::UnknownHost {
+                host: host.to_string(),
+            })
+    }
+
     fn charge(&self, from: &str, to: &str, bytes: u64, is_structure: bool) -> Result<u64> {
-        let cost = self
-            .network
-            .transfer_ms(from, to, bytes)
-            .ok_or_else(|| DistribError::Unreachable { from: from.to_string(), to: to.to_string() })?;
+        let cost =
+            self.network
+                .transfer_ms(from, to, bytes)
+                .ok_or_else(|| DistribError::Unreachable {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                })?;
         let mut traffic = self.traffic.write();
         traffic.simulated_ms += cost;
         traffic.transfers += 1;
@@ -100,10 +128,14 @@ impl DistributedStore {
     // ------------------------------------------------------------------
 
     /// Stores a media block on a host.
-    pub fn put_block(&self, host: &str, block: MediaBlock, descriptor: DataDescriptor) -> Result<()> {
-        self.require_host(host)?;
+    pub fn put_block(
+        &self,
+        host: &str,
+        block: MediaBlock,
+        descriptor: DataDescriptor,
+    ) -> Result<()> {
         let hosts = self.hosts.read();
-        let store = hosts.get(host).expect("host checked above");
+        let store = Self::host_store(&hosts, host)?;
         store
             .blocks
             .put_with_descriptor(block, descriptor)
@@ -112,8 +144,8 @@ impl DistributedStore {
 
     /// The keys of the blocks a host holds locally.
     pub fn local_blocks(&self, host: &str) -> Result<Vec<String>> {
-        self.require_host(host)?;
-        Ok(self.hosts.read().get(host).expect("checked").blocks.keys())
+        let hosts = self.hosts.read();
+        Ok(Self::host_store(&hosts, host)?.blocks.keys())
     }
 
     /// Finds which host holds a block.
@@ -129,14 +161,14 @@ impl DistributedStore {
     /// Only descriptor bytes move.
     pub fn fetch_descriptor(&self, to: &str, key: &str) -> Result<DataDescriptor> {
         self.require_host(to)?;
-        let from = self
-            .locate_block(key)
-            .ok_or_else(|| DistribError::Media(MediaError::UnknownBlock { key: key.to_string() }))?;
+        let from = self.locate_block(key).ok_or_else(|| {
+            DistribError::Media(MediaError::UnknownBlock {
+                key: key.to_string(),
+            })
+        })?;
         let descriptor = {
             let hosts = self.hosts.read();
-            hosts
-                .get(&from)
-                .expect("located host exists")
+            Self::host_store(&hosts, &from)?
                 .blocks
                 .descriptor(key)
                 .map_err(DistribError::Media)?
@@ -148,20 +180,21 @@ impl DistributedStore {
     /// Fetches a block's payload to `to`, copying it into `to`'s local store
     /// (so later fetches are free) and charging the media transfer.
     pub fn fetch_block(&self, to: &str, key: &str) -> Result<u64> {
-        self.require_host(to)?;
         {
             // Already local?
             let hosts = self.hosts.read();
-            if hosts.get(to).expect("checked").blocks.keys().iter().any(|k| k == key) {
+            if Self::host_store(&hosts, to)?.blocks.contains(key) {
                 return Ok(0);
             }
         }
-        let from = self
-            .locate_block(key)
-            .ok_or_else(|| DistribError::Media(MediaError::UnknownBlock { key: key.to_string() }))?;
+        let from = self.locate_block(key).ok_or_else(|| {
+            DistribError::Media(MediaError::UnknownBlock {
+                key: key.to_string(),
+            })
+        })?;
         let (payload, descriptor) = {
             let hosts = self.hosts.read();
-            let source = hosts.get(&from).expect("located host exists");
+            let source = Self::host_store(&hosts, &from)?;
             (
                 source.blocks.payload(key).map_err(DistribError::Media)?,
                 source.blocks.descriptor(key).map_err(DistribError::Media)?,
@@ -170,13 +203,17 @@ impl DistributedStore {
         let bytes = payload.size_bytes();
         let cost = self.charge(&from, to, bytes, false)?;
         let hosts = self.hosts.read();
-        hosts
-            .get(to)
-            .expect("checked")
+        match Self::host_store(&hosts, to)?
             .blocks
             .put_with_descriptor(MediaBlock::new(key, payload), descriptor)
-            .map_err(DistribError::Media)?;
-        Ok(cost)
+        {
+            Ok(()) => Ok(cost),
+            // A concurrent fetch of the same block won the race between our
+            // locality check and this insert: the block is local, which is
+            // all the caller asked for.
+            Err(MediaError::DuplicateBlock { .. }) => Ok(cost),
+            Err(e) => Err(DistribError::Media(e)),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -190,9 +227,7 @@ impl DistributedStore {
         let text = write_document(doc).map_err(DistribError::Core)?;
         let size = text.len();
         let mut hosts = self.hosts.write();
-        hosts
-            .get_mut(host)
-            .expect("checked")
+        Self::host_store_mut(&mut hosts, host)?
             .documents
             .insert(name.to_string(), text);
         Ok(size)
@@ -200,12 +235,8 @@ impl DistributedStore {
 
     /// The documents a host holds.
     pub fn documents_on(&self, host: &str) -> Result<Vec<String>> {
-        self.require_host(host)?;
-        Ok(self
-            .hosts
-            .read()
-            .get(host)
-            .expect("checked")
+        let hosts = self.hosts.read();
+        Ok(Self::host_store(&hosts, host)?
             .documents
             .keys()
             .cloned()
@@ -216,13 +247,10 @@ impl DistributedStore {
     /// only the structure bytes. Returns the parsed document at the
     /// destination.
     pub fn transport_document(&self, from: &str, to: &str, name: &str) -> Result<Document> {
-        self.require_host(from)?;
         self.require_host(to)?;
         let text = {
             let hosts = self.hosts.read();
-            hosts
-                .get(from)
-                .expect("checked")
+            Self::host_store(&hosts, from)?
                 .documents
                 .get(name)
                 .cloned()
@@ -234,29 +262,24 @@ impl DistributedStore {
         self.charge(from, to, text.len() as u64, true)?;
         {
             let mut hosts = self.hosts.write();
-            hosts
-                .get_mut(to)
-                .expect("checked")
+            Self::host_store_mut(&mut hosts, to)?
                 .documents
                 .insert(name.to_string(), text.clone());
         }
-        parse_document(&text).map_err(|e| DistribError::Format(e.to_string()))
+        parse_document(&text).map_err(DistribError::Format)
     }
 
     /// Reads a document a host already holds (no traffic).
     pub fn open_document(&self, host: &str, name: &str) -> Result<Document> {
-        self.require_host(host)?;
         let hosts = self.hosts.read();
-        let text = hosts
-            .get(host)
-            .expect("checked")
+        let text = Self::host_store(&hosts, host)?
             .documents
             .get(name)
             .ok_or_else(|| DistribError::UnknownDocument {
                 host: host.to_string(),
                 name: name.to_string(),
             })?;
-        parse_document(text).map_err(|e| DistribError::Format(e.to_string()))
+        parse_document(text).map_err(DistribError::Format)
     }
 
     /// Fetches to `host` the payloads of exactly the given descriptor keys
@@ -273,9 +296,8 @@ impl DistributedStore {
     /// Access to one host's local block store (for presentation pipelines
     /// running on that host).
     pub fn with_local_store<R>(&self, host: &str, f: impl FnOnce(&BlockStore) -> R) -> Result<R> {
-        self.require_host(host)?;
         let hosts = self.hosts.read();
-        Ok(f(&hosts.get(host).expect("checked").blocks))
+        Ok(f(&Self::host_store(&hosts, host)?.blocks))
     }
 }
 
@@ -368,11 +390,15 @@ mod tests {
         let store = cluster();
         seed_media(&store, "server");
         let doc = news_doc();
-        let published = store.publish_document("server", "evening-news", &doc).unwrap();
+        let published = store
+            .publish_document("server", "evening-news", &doc)
+            .unwrap();
         assert!(published > 0);
         store.reset_traffic();
 
-        let received = store.transport_document("server", "desk", "evening-news").unwrap();
+        let received = store
+            .transport_document("server", "desk", "evening-news")
+            .unwrap();
         assert_eq!(received.leaves().len(), 2);
         assert!(store
             .documents_on("desk")
@@ -380,7 +406,10 @@ mod tests {
             .contains(&"evening-news".to_string()));
         let traffic = store.traffic();
         assert!(traffic.structure_bytes > 0);
-        assert_eq!(traffic.media_bytes, 0, "transporting the structure must not move media");
+        assert_eq!(
+            traffic.media_bytes, 0,
+            "transporting the structure must not move media"
+        );
         // The structure is tiny compared to the media it references.
         assert!(traffic.structure_bytes < 10_000);
     }
@@ -396,7 +425,9 @@ mod tests {
             DistribError::UnknownDocument { .. }
         ));
         assert!(matches!(
-            store.transport_document("server", "desk", "absent").unwrap_err(),
+            store
+                .transport_document("server", "desk", "absent")
+                .unwrap_err(),
             DistribError::UnknownDocument { .. }
         ));
     }
@@ -422,7 +453,12 @@ mod tests {
         store.fetch_block("desk", "speech").unwrap();
         let duration = store
             .with_local_store("desk", |local| {
-                local.descriptor("speech").unwrap().duration.unwrap().as_millis()
+                local
+                    .descriptor("speech")
+                    .unwrap()
+                    .duration
+                    .unwrap()
+                    .as_millis()
             })
             .unwrap();
         assert_eq!(duration, 4_000);

@@ -60,7 +60,11 @@ impl TransportComparison {
 pub fn referenced_keys(doc: &Document, presentable: Option<&[MediaKind]>) -> Vec<String> {
     let mut keys = BTreeSet::new();
     for leaf in doc.leaves() {
-        if doc.node(leaf).map(|n| n.kind != NodeKind::Ext).unwrap_or(true) {
+        if doc
+            .node(leaf)
+            .map(|n| n.kind != NodeKind::Ext)
+            .unwrap_or(true)
+        {
             continue;
         }
         let key = match doc.file_of(leaf) {

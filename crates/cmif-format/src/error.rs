@@ -7,25 +7,69 @@ use cmif_core::error::CoreError;
 /// Result alias used throughout `cmif-format`.
 pub type Result<T> = std::result::Result<T, FormatError>;
 
-/// A position in the source text (1-based line and column).
+/// A position in the source text: 1-based line and column plus the 0-based
+/// byte offset from the start of the input.
+///
+/// The byte offset survives every conversion up the error chain
+/// (`FormatError` → `DistribError` → `cmif::Error`), so a tool holding the
+/// original text can always slice out the offending region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Position {
     /// 1-based line number.
     pub line: u32,
     /// 1-based column number.
     pub column: u32,
+    /// 0-based byte offset from the start of the source text.
+    pub offset: usize,
 }
 
 impl Position {
     /// Creates a position.
-    pub fn new(line: u32, column: u32) -> Position {
-        Position { line, column }
+    pub fn new(line: u32, column: u32, offset: usize) -> Position {
+        Position {
+            line,
+            column,
+            offset,
+        }
     }
 }
 
 impl fmt::Display for Position {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A half-open byte range of the source text, with the position where it
+/// starts. Produced by the lexer for every token; errors anchored on a
+/// token carry its span start as their [`Position`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Where the spanned text starts.
+    pub start: Position,
+    /// Byte offset one past the end of the spanned text.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span from a start position and an exclusive end offset.
+    pub fn new(start: Position, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The spanned byte length.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start.offset)
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slices the spanned text out of the original source.
+    pub fn text<'a>(&self, source: &'a str) -> Option<&'a str> {
+        source.get(self.start.offset..self.end)
     }
 }
 
@@ -77,6 +121,24 @@ pub enum FormatError {
     Core(CoreError),
 }
 
+impl FormatError {
+    /// The source position the error is anchored on, when it has one.
+    ///
+    /// Lexer and parser errors always do; [`FormatError::UnexpectedEof`]
+    /// and wrapped core errors have no position.
+    pub fn position(&self) -> Option<Position> {
+        match self {
+            FormatError::UnexpectedChar { at, .. }
+            | FormatError::UnterminatedString { at }
+            | FormatError::BadNumber { at, .. }
+            | FormatError::UnbalancedParens { at }
+            | FormatError::TrailingContent { at }
+            | FormatError::Malformed { at, .. } => Some(*at),
+            FormatError::UnexpectedEof | FormatError::Core(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for FormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -96,7 +158,11 @@ impl fmt::Display for FormatError {
             FormatError::TrailingContent { at } => {
                 write!(f, "{at}: trailing content after the document expression")
             }
-            FormatError::Malformed { context, message, at } => {
+            FormatError::Malformed {
+                context,
+                message,
+                at,
+            } => {
                 write!(f, "{at}: malformed {context}: {message}")
             }
             FormatError::Core(e) => write!(f, "document error: {e}"),
@@ -125,14 +191,33 @@ mod tests {
 
     #[test]
     fn position_display() {
-        assert_eq!(Position::new(3, 14).to_string(), "3:14");
+        assert_eq!(Position::new(3, 14, 120).to_string(), "3:14");
     }
 
     #[test]
     fn error_display_includes_position() {
-        let err = FormatError::UnexpectedChar { found: '%', at: Position::new(2, 7) };
+        let err = FormatError::UnexpectedChar {
+            found: '%',
+            at: Position::new(2, 7, 31),
+        };
         assert!(err.to_string().contains("2:7"));
         assert!(err.to_string().contains('%'));
+        assert_eq!(err.position(), Some(Position::new(2, 7, 31)));
+    }
+
+    #[test]
+    fn spans_slice_the_source() {
+        let source = "(seq news)";
+        let span = Span::new(Position::new(1, 2, 1), 4);
+        assert_eq!(span.len(), 3);
+        assert_eq!(span.text(source), Some("seq"));
+        assert!(!span.is_empty());
+    }
+
+    #[test]
+    fn positionless_errors_report_none() {
+        assert_eq!(FormatError::UnexpectedEof.position(), None);
+        assert_eq!(FormatError::Core(CoreError::EmptyDocument).position(), None);
     }
 
     #[test]

@@ -6,15 +6,22 @@
 //! documents are "human-readable" (§5, §6); a parenthesized syntax keeps
 //! the reader and writer small while remaining easy to inspect and diff.
 
-use crate::error::{FormatError, Position, Result};
+use crate::error::{FormatError, Position, Result, Span};
 
-/// One lexical token, together with the position where it starts.
+/// One lexical token, together with the source span it was read from.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token's kind and payload.
     pub kind: TokenKind,
+    /// The bytes of the source text the token covers.
+    pub span: Span,
+}
+
+impl Token {
     /// Where the token starts in the source text.
-    pub position: Position,
+    pub fn position(&self) -> Position {
+        self.span.start
+    }
 }
 
 /// The kinds of token the format uses.
@@ -45,19 +52,26 @@ struct Lexer<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
     line: u32,
     column: u32,
+    offset: usize,
 }
 
 impl<'a> Lexer<'a> {
     fn new(source: &'a str) -> Lexer<'a> {
-        Lexer { chars: source.chars().peekable(), line: 1, column: 1 }
+        Lexer {
+            chars: source.chars().peekable(),
+            line: 1,
+            column: 1,
+            offset: 0,
+        }
     }
 
     fn position(&self) -> Position {
-        Position::new(self.line, self.column)
+        Position::new(self.line, self.column, self.offset)
     }
 
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.next()?;
+        self.offset += c.len_utf8();
         if c == '\n' {
             self.line += 1;
             self.column = 1;
@@ -89,41 +103,50 @@ impl<'a> Lexer<'a> {
             }
 
             let position = self.position();
-            let c = *self.chars.peek().expect("peeked above");
-            match c {
+            let c = match self.chars.peek() {
+                Some(&c) => c,
+                None => break,
+            };
+            let kind = match c {
                 '(' => {
                     self.bump();
-                    tokens.push(Token { kind: TokenKind::LParen, position });
+                    TokenKind::LParen
                 }
                 ')' => {
                     self.bump();
-                    tokens.push(Token { kind: TokenKind::RParen, position });
+                    TokenKind::RParen
                 }
                 '"' => {
                     self.bump();
-                    let text = self.read_string(position)?;
-                    tokens.push(Token { kind: TokenKind::Str(text), position });
+                    TokenKind::Str(self.read_string(position)?)
                 }
                 '&' => {
                     self.bump();
                     let name = self.read_bareword();
                     if name.is_empty() {
-                        return Err(FormatError::UnexpectedChar { found: '&', at: position });
+                        return Err(FormatError::UnexpectedChar {
+                            found: '&',
+                            at: position,
+                        });
                     }
-                    tokens.push(Token { kind: TokenKind::Ref(name), position });
+                    TokenKind::Ref(name)
                 }
                 c if c == '-' || c.is_ascii_digit() => {
                     let word = self.read_bareword();
-                    tokens.push(Token { kind: Self::classify_number_or_ident(word, position)?, position });
+                    Self::classify_number_or_ident(word, position)?
                 }
-                c if is_ident_char(c) => {
-                    let word = self.read_bareword();
-                    tokens.push(Token { kind: TokenKind::Ident(word), position });
-                }
+                c if is_ident_char(c) => TokenKind::Ident(self.read_bareword()),
                 other => {
-                    return Err(FormatError::UnexpectedChar { found: other, at: position });
+                    return Err(FormatError::UnexpectedChar {
+                        found: other,
+                        at: position,
+                    });
                 }
-            }
+            };
+            tokens.push(Token {
+                kind,
+                span: Span::new(position, self.offset),
+            });
         }
         Ok(tokens)
     }
@@ -142,8 +165,14 @@ impl<'a> Lexer<'a> {
         }
         // Words like `-abc` or `12x` fall back to identifiers unless they
         // look overwhelmingly numeric, in which case report a bad number.
-        if word.chars().all(|c| c.is_ascii_digit() || c == '.' || c == '-' || c == '+') {
-            return Err(FormatError::BadNumber { text: word, at: position });
+        if word
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == '-' || c == '+')
+        {
+            return Err(FormatError::BadNumber {
+                text: word,
+                at: position,
+            });
         }
         Ok(TokenKind::Ident(word))
     }
@@ -189,7 +218,11 @@ mod tests {
     use super::*;
 
     fn kinds(source: &str) -> Vec<TokenKind> {
-        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(source)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -252,8 +285,20 @@ mod tests {
     #[test]
     fn reports_positions() {
         let toks = tokenize("(a\n  b)").unwrap();
-        assert_eq!(toks[0].position, Position::new(1, 1));
-        assert_eq!(toks[2].position, Position::new(2, 3));
+        assert_eq!(toks[0].position(), Position::new(1, 1, 0));
+        assert_eq!(toks[2].position(), Position::new(2, 3, 5));
+    }
+
+    #[test]
+    fn spans_cover_exactly_the_token_text() {
+        let source = "(story-3 \"two words\" 42)";
+        let toks = tokenize(source).unwrap();
+        let texts: Vec<&str> = toks
+            .iter()
+            .map(|t| t.span.text(source).expect("span in range"))
+            .collect();
+        assert_eq!(texts, vec!["(", "story-3", "\"two words\"", "42", ")"]);
+        assert_eq!(toks[1].span.len(), "story-3".len());
     }
 
     #[test]
@@ -266,20 +311,29 @@ mod tests {
 
     #[test]
     fn bad_number_is_an_error() {
-        assert!(matches!(tokenize("1.2.3").unwrap_err(), FormatError::BadNumber { .. }));
+        assert!(matches!(
+            tokenize("1.2.3").unwrap_err(),
+            FormatError::BadNumber { .. }
+        ));
     }
 
     #[test]
     fn dangling_ref_is_an_error() {
-        assert!(matches!(tokenize("& ").unwrap_err(), FormatError::UnexpectedChar { .. }));
+        assert!(matches!(
+            tokenize("& ").unwrap_err(),
+            FormatError::UnexpectedChar { .. }
+        ));
     }
 
     #[test]
     fn hyphenated_identifiers_are_idents() {
-        assert_eq!(kinds("story-3 talking-head"), vec![
-            TokenKind::Ident("story-3".into()),
-            TokenKind::Ident("talking-head".into()),
-        ]);
+        assert_eq!(
+            kinds("story-3 talking-head"),
+            vec![
+                TokenKind::Ident("story-3".into()),
+                TokenKind::Ident("talking-head".into()),
+            ]
+        );
         assert_eq!(kinds("-"), vec![TokenKind::Ident("-".into())]);
     }
 

@@ -20,6 +20,7 @@
 //! ```
 //! use cmif_format::{parse_document, write_document};
 //!
+//! # fn main() -> Result<(), cmif_format::FormatError> {
 //! let source = r#"
 //! (cmif
 //!   (channels (channel caption text))
@@ -27,10 +28,11 @@
 //!     (imm (name hello) (channel caption) (duration 1000)
 //!       (data "Hello, CMIF"))))
 //! "#;
-//! let doc = parse_document(source).unwrap();
-//! let text = write_document(&doc).unwrap();
-//! let again = parse_document(&text).unwrap();
+//! let doc = parse_document(source)?;
+//! let text = write_document(&doc)?;
+//! let again = parse_document(&text)?;
 //! assert_eq!(doc.leaves().len(), again.leaves().len());
+//! # Ok(()) }
 //! ```
 
 #![warn(missing_docs)]
@@ -43,7 +45,7 @@ pub mod sexpr;
 pub mod treeview;
 pub mod writer;
 
-pub use error::{FormatError, Position, Result};
+pub use error::{FormatError, Position, Result, Span};
 pub use parser::{parse_document, parse_document_unvalidated};
 pub use treeview::{channel_view, conventional_view, embedded_view};
 pub use writer::{write_arc, write_document};

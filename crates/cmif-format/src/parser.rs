@@ -63,9 +63,7 @@ pub fn parse_document_unvalidated(source: &str) -> Result<Document> {
                 }
                 root_expr = Some(section);
             }
-            other => {
-                return Err(section.malformed("section", format!("unknown section `{other}`")))
-            }
+            other => return Err(section.malformed("section", format!("unknown section `{other}`"))),
         }
     }
 
@@ -155,8 +153,9 @@ fn parse_styles(doc: &mut Document, items: &[SExpr]) -> Result<()> {
                             attr_expr.malformed("style", "attrs must be (name value) pairs")
                         })?;
                         if pair.is_empty() {
-                            return Err(attr_expr
-                                .malformed("style", "attrs must be (name value) pairs"));
+                            return Err(
+                                attr_expr.malformed("style", "attrs must be (name value) pairs")
+                            );
                         }
                         let attr_name = pair[0].as_text().ok_or_else(|| {
                             attr_expr.malformed("style", "attribute name must be an identifier")
@@ -181,9 +180,7 @@ fn parse_descriptors(doc: &mut Document, items: &[SExpr]) -> Result<()> {
             item.malformed("descriptor", "expected (descriptor key medium format ...)")
         })?;
         if tag != "descriptor" || body.len() < 3 {
-            return Err(
-                item.malformed("descriptor", "expected (descriptor key medium format ...)")
-            );
+            return Err(item.malformed("descriptor", "expected (descriptor key medium format ...)"));
         }
         let key = body[0]
             .as_text()
@@ -262,13 +259,13 @@ fn parse_descriptors(doc: &mut Document, items: &[SExpr]) -> Result<()> {
                         let extra_key = pair[0].as_text().ok_or_else(|| {
                             pair_expr.malformed("descriptor", "extra key must be an identifier")
                         })?;
-                        descriptor.extra.insert(extra_key.to_string(), expr_to_value(&pair[1]));
+                        descriptor
+                            .extra
+                            .insert(extra_key.to_string(), expr_to_value(&pair[1]));
                     }
                 }
                 other => {
-                    return Err(
-                        field.malformed("descriptor", format!("unknown field `{other}`"))
-                    )
+                    return Err(field.malformed("descriptor", format!("unknown field `{other}`")))
                 }
             }
         }
@@ -303,9 +300,10 @@ fn parse_node(doc: &mut Document, parent: Option<NodeId>, expr: &SExpr) -> Resul
                             data = cmif_core::node::ImmediateData::Text(text.to_string());
                         }
                         "bindata" => {
-                            let text = item_body.first().and_then(SExpr::as_text).ok_or_else(
-                                || item.malformed("imm node", "bindata needs a hex string"),
-                            )?;
+                            let text =
+                                item_body.first().and_then(SExpr::as_text).ok_or_else(|| {
+                                    item.malformed("imm node", "bindata needs a hex string")
+                                })?;
                             let bytes = hex_decode(text).ok_or_else(|| {
                                 item.malformed("imm node", "bindata is not valid hex")
                             })?;
@@ -364,9 +362,8 @@ fn parse_arc(expr: &SExpr, body: &[SExpr]) -> Result<SyncArc> {
     let strict_text = body[1]
         .as_text()
         .ok_or_else(|| expr.malformed("sync_arc", "strictness must be must or may"))?;
-    let strictness = Strictness::parse(strict_text).ok_or_else(|| {
-        expr.malformed("sync_arc", format!("unknown strictness `{strict_text}`"))
-    })?;
+    let strictness = Strictness::parse(strict_text)
+        .ok_or_else(|| expr.malformed("sync_arc", format!("unknown strictness `{strict_text}`")))?;
     let source_anchor_text = body[2]
         .as_text()
         .ok_or_else(|| expr.malformed("sync_arc", "source anchor must be begin or end"))?;
@@ -400,7 +397,10 @@ fn parse_arc(expr: &SExpr, body: &[SExpr]) -> Result<SyncArc> {
         strictness,
         source_anchor,
         source: NodePath::parse(source),
-        offset: MediaTime { value: offset_value, unit },
+        offset: MediaTime {
+            value: offset_value,
+            unit,
+        },
         destination: NodePath::parse(destination),
         min_delay: DelayMs::from_millis(min_delay),
         max_delay,
@@ -485,7 +485,10 @@ mod tests {
         let voice = doc.find("/story-1/voice").unwrap();
         assert_eq!(doc.channel_of(voice).unwrap().as_deref(), Some("audio"));
         let line = doc.find("/story-1/line").unwrap();
-        assert_eq!(doc.duration_of(line, &doc.catalog).unwrap(), Some(TimeMs::from_millis(3000)));
+        assert_eq!(
+            doc.duration_of(line, &doc.catalog).unwrap(),
+            Some(TimeMs::from_millis(3000))
+        );
         assert_eq!(doc.arcs().len(), 1);
         let descriptor = doc.catalog.get("story-audio").unwrap();
         assert_eq!(descriptor.rates.samples_per_second, Some(8000));
@@ -520,7 +523,10 @@ mod tests {
         }
         let text = write_document(&doc).unwrap();
         let again = parse_document(&text).unwrap();
-        assert_eq!(doc.node(blob).unwrap().kind, again.node(again.find("/blob").unwrap()).unwrap().kind);
+        assert_eq!(
+            doc.node(blob).unwrap().kind,
+            again.node(again.find("/blob").unwrap()).unwrap().kind
+        );
     }
 
     #[test]

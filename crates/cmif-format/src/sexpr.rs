@@ -73,14 +73,21 @@ impl SExpr {
 
     /// Produces a malformed-expression error at this expression's position.
     pub fn malformed(&self, context: &'static str, message: impl Into<String>) -> FormatError {
-        FormatError::Malformed { context, message: message.into(), at: self.position }
+        FormatError::Malformed {
+            context,
+            message: message.into(),
+            at: self.position,
+        }
     }
 }
 
 /// Reads every top-level expression from a source text.
 pub fn read_all(source: &str) -> Result<Vec<SExpr>> {
     let tokens = tokenize(source)?;
-    let mut reader = Reader { tokens: &tokens, index: 0 };
+    let mut reader = Reader {
+        tokens: &tokens,
+        index: 0,
+    };
     let mut out = Vec::new();
     while !reader.at_end() {
         out.push(reader.read_expr()?);
@@ -91,10 +98,15 @@ pub fn read_all(source: &str) -> Result<Vec<SExpr>> {
 /// Reads exactly one top-level expression, rejecting trailing content.
 pub fn read_one(source: &str) -> Result<SExpr> {
     let tokens = tokenize(source)?;
-    let mut reader = Reader { tokens: &tokens, index: 0 };
+    let mut reader = Reader {
+        tokens: &tokens,
+        index: 0,
+    };
     let expr = reader.read_expr()?;
     if let Some(extra) = reader.peek() {
-        return Err(FormatError::TrailingContent { at: extra.position });
+        return Err(FormatError::TrailingContent {
+            at: extra.position(),
+        });
     }
     Ok(expr)
 }
@@ -121,7 +133,7 @@ impl<'a> Reader<'a> {
 
     fn read_expr(&mut self) -> Result<SExpr> {
         let token = self.next().ok_or(FormatError::UnexpectedEof)?;
-        let position = token.position;
+        let position = token.position();
         let kind = match &token.kind {
             TokenKind::Ident(s) => SExprKind::Ident(s.clone()),
             TokenKind::Number(n) => SExprKind::Number(*n),
@@ -175,8 +187,14 @@ mod tests {
 
     #[test]
     fn rejects_unbalanced_parens() {
-        assert!(matches!(read_one("(a (b)").unwrap_err(), FormatError::UnbalancedParens { .. }));
-        assert!(matches!(read_one(")").unwrap_err(), FormatError::UnbalancedParens { .. }));
+        assert!(matches!(
+            read_one("(a (b)").unwrap_err(),
+            FormatError::UnbalancedParens { .. }
+        ));
+        assert!(matches!(
+            read_one(")").unwrap_err(),
+            FormatError::UnbalancedParens { .. }
+        ));
     }
 
     #[test]
@@ -189,7 +207,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_input_for_read_one() {
-        assert!(matches!(read_one("").unwrap_err(), FormatError::UnexpectedEof));
+        assert!(matches!(
+            read_one("").unwrap_err(),
+            FormatError::UnexpectedEof
+        ));
     }
 
     #[test]
@@ -206,7 +227,7 @@ mod tests {
         let expr = read_one("\n  (oops)").unwrap();
         let err = expr.malformed("node", "bad");
         match err {
-            FormatError::Malformed { at, .. } => assert_eq!(at, Position::new(2, 3)),
+            FormatError::Malformed { at, .. } => assert_eq!(at, Position::new(2, 3, 3)),
             other => panic!("unexpected error {other:?}"),
         }
     }

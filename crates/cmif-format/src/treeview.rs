@@ -49,7 +49,14 @@ fn render_conventional(
     };
     let children = node.children.clone();
     for (i, child) in children.iter().enumerate() {
-        render_conventional(doc, *child, &child_prefix, i + 1 == children.len(), false, out)?;
+        render_conventional(
+            doc,
+            *child,
+            &child_prefix,
+            i + 1 == children.len(),
+            false,
+            out,
+        )?;
     }
     Ok(())
 }
@@ -87,8 +94,7 @@ pub fn channel_view(doc: &Document, resolver: &dyn DescriptorResolver) -> Result
     let groups = doc.leaves_by_channel()?;
     // Preserve the channel dictionary's declaration order, then any
     // channels that only appear on nodes.
-    let mut channel_order: Vec<String> =
-        doc.channels.iter().map(|c| c.name.clone()).collect();
+    let mut channel_order: Vec<String> = doc.channels.iter().map(|c| c.name.clone()).collect();
     for name in groups.keys() {
         if !channel_order.contains(name) {
             channel_order.push(name.clone());

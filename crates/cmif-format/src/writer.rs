@@ -31,7 +31,12 @@ pub fn write_document(doc: &Document) -> CoreResult<String> {
     if !doc.channels.is_empty() {
         out.push_str("  (channels\n");
         for channel in doc.channels.iter() {
-            let _ = write!(out, "    (channel {} {}", ident_or_string(&channel.name), channel.medium);
+            let _ = write!(
+                out,
+                "    (channel {} {}",
+                ident_or_string(&channel.name),
+                channel.medium
+            );
             for (key, value) in &channel.extra {
                 let _ = write!(out, " ({} {})", key, value_text(value));
             }
@@ -105,7 +110,9 @@ fn write_descriptor(d: &DataDescriptor) -> String {
     if let Some(bps) = d.rates.bytes_per_second {
         let _ = write!(out, " (byte_rate {bps})");
     }
-    if d.resources.bandwidth_bps != 0 || d.resources.decode_cost != 0 || d.resources.memory_bytes != 0
+    if d.resources.bandwidth_bps != 0
+        || d.resources.decode_cost != 0
+        || d.resources.memory_bytes != 0
     {
         let _ = write!(
             out,
@@ -133,7 +140,12 @@ fn write_node(doc: &Document, id: NodeId, depth: usize, out: &mut String) -> Cor
     let _ = write!(out, "{indent}({}", node.kind.keyword());
 
     for attr in node.attrs.iter() {
-        let _ = write!(out, "\n{indent}  ({} {})", attr.name, value_text(&attr.value));
+        let _ = write!(
+            out,
+            "\n{indent}  ({} {})",
+            attr.name,
+            value_text(&attr.value)
+        );
     }
 
     for arc in doc.arcs_of(id) {
@@ -324,7 +336,10 @@ mod tests {
         assert_eq!(value_text(&AttrValue::Str("a b".into())), "\"a b\"");
         assert_eq!(value_text(&AttrValue::Ref("x".into())), "&x");
         assert_eq!(
-            value_text(&AttrValue::list([AttrValue::Number(1), AttrValue::Id("s".into())])),
+            value_text(&AttrValue::list([
+                AttrValue::Number(1),
+                AttrValue::Id("s".into())
+            ])),
             "(1 s)"
         );
     }
@@ -358,7 +373,10 @@ mod tests {
     fn arc_serialization_mentions_all_fields() {
         let arc = SyncArc::hard_start("/news/audio", "graphic")
             .with_offset(MediaTime::seconds(2))
-            .with_window(DelayMs::from_millis(-100), MaxDelay::Bounded(DelayMs::from_millis(250)));
+            .with_window(
+                DelayMs::from_millis(-100),
+                MaxDelay::Bounded(DelayMs::from_millis(250)),
+            );
         let text = write_arc(&arc);
         assert_eq!(
             text,

@@ -13,11 +13,13 @@
 
 use std::collections::BTreeSet;
 
+use crate::error::Result;
 use cmif_core::arc::SyncArc;
-use cmif_core::error::Result;
 use cmif_core::node::NodeId;
 use cmif_core::tree::Document;
-use cmif_scheduler::{derive_constraints, rates_of, Constraint, ConstraintOrigin, EventPoint, ScheduleOptions};
+use cmif_scheduler::{
+    derive_constraints, rates_of, Constraint, ConstraintOrigin, EventPoint, ScheduleOptions,
+};
 
 /// The condition guarding a conditional arc.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,7 +96,11 @@ pub struct ConditionalArc {
 impl ConditionalArc {
     /// Creates a conditional arc.
     pub fn new(carrier: NodeId, condition: Condition, arc: SyncArc) -> ConditionalArc {
-        ConditionalArc { carrier, condition, arc }
+        ConditionalArc {
+            carrier,
+            condition,
+            arc,
+        }
     }
 
     /// Evaluates the guard against a context (needs the document to resolve
@@ -122,13 +128,22 @@ impl ConditionalArc {
         let rates = rates_of(doc, source, resolver)?;
         let offset_ms = self.arc.offset.to_millis(&rates)?.as_millis();
         Ok(Constraint {
-            source: EventPoint { node: source, anchor: self.arc.source_anchor },
-            target: EventPoint { node: destination, anchor: self.arc.anchor },
+            source: EventPoint {
+                node: source,
+                anchor: self.arc.source_anchor,
+            },
+            target: EventPoint {
+                node: destination,
+                anchor: self.arc.anchor,
+            },
             offset_ms,
             min_delay_ms: self.arc.min_delay.as_millis(),
             max_delay_ms: self.arc.max_delay.bound().map(|d| d.as_millis()),
             strictness: self.arc.strictness,
-            origin: ConstraintOrigin::Explicit { carrier: self.carrier, index: usize::MAX },
+            origin: ConstraintOrigin::Explicit {
+                carrier: self.carrier,
+                index: usize::MAX,
+            },
         })
     }
 }
@@ -190,22 +205,24 @@ mod tests {
 
         // Without the flag the subtitle starts at t=0; with it, at t=2s.
         let options = ScheduleOptions::default();
-        let constraints =
-            constraints_with_conditionals(
-                &d,
-                &d.catalog,
-                &options,
-                std::slice::from_ref(&conditional),
-                &off,
-            )
-            .unwrap();
+        let constraints = constraints_with_conditionals(
+            &d,
+            &d.catalog,
+            &options,
+            std::slice::from_ref(&conditional),
+            &off,
+        )
+        .unwrap();
         let result = solve_constraints(&d, &d.catalog, constraints).unwrap();
         assert_eq!(result.schedule.node_times[&subtitle].0, TimeMs::ZERO);
 
         let constraints =
             constraints_with_conditionals(&d, &d.catalog, &options, &[conditional], &on).unwrap();
         let result = solve_constraints(&d, &d.catalog, constraints).unwrap();
-        assert_eq!(result.schedule.node_times[&subtitle].0, TimeMs::from_secs(2));
+        assert_eq!(
+            result.schedule.node_times[&subtitle].0,
+            TimeMs::from_secs(2)
+        );
     }
 
     #[test]
@@ -255,8 +272,20 @@ mod tests {
             SyncArc::hard_start("../voice", "").from_source_anchor(Anchor::End),
         );
         let constraint = conditional.to_constraint(&d, &d.catalog).unwrap();
-        assert_eq!(constraint.source, EventPoint { node: voice, anchor: Anchor::End });
-        assert_eq!(constraint.target, EventPoint { node: subtitle, anchor: Anchor::Begin });
+        assert_eq!(
+            constraint.source,
+            EventPoint {
+                node: voice,
+                anchor: Anchor::End
+            }
+        );
+        assert_eq!(
+            constraint.target,
+            EventPoint {
+                node: subtitle,
+                anchor: Anchor::Begin
+            }
+        );
         assert_eq!(constraint.strictness, Strictness::Must);
     }
 }

@@ -1,0 +1,95 @@
+//! Error types for the hypermedia extension.
+//!
+//! Link and navigation failures carry the reader-visible context (the link
+//! label or the path as written) rather than the raw node-model failure, so
+//! an authoring or presentation tool can say "the link `more about the
+//! artist` dangles" instead of "node 17 does not exist". Lower-layer errors
+//! from the document model and the scheduler stay reachable through
+//! [`std::error::Error::source`].
+
+use std::fmt;
+
+use cmif_core::error::CoreError;
+use cmif_scheduler::SchedulerError;
+
+/// Result alias used throughout `cmif-hyper`.
+pub type Result<T> = std::result::Result<T, HyperError>;
+
+/// Errors raised by links, conditional arcs and navigation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HyperError {
+    /// A link endpoint written as a path does not resolve in the document.
+    UnresolvedLink {
+        /// The path exactly as the author wrote it.
+        path: String,
+        /// The underlying resolution failure.
+        source: CoreError,
+    },
+    /// A structural error from the document model.
+    Core(CoreError),
+    /// A scheduling error while seeking or re-deriving constraints.
+    Scheduler(SchedulerError),
+}
+
+impl fmt::Display for HyperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyperError::UnresolvedLink { path, .. } => {
+                write!(f, "hyper link endpoint `{path}` does not resolve")
+            }
+            HyperError::Core(e) => write!(f, "document error: {e}"),
+            HyperError::Scheduler(e) => write!(f, "scheduling error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HyperError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HyperError::UnresolvedLink { source, .. } => Some(source),
+            HyperError::Core(e) => Some(e),
+            HyperError::Scheduler(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for HyperError {
+    fn from(e: CoreError) -> Self {
+        HyperError::Core(e)
+    }
+}
+
+impl From<SchedulerError> for HyperError {
+    fn from(e: SchedulerError) -> Self {
+        HyperError::Scheduler(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unresolved_links_keep_the_authored_path() {
+        use std::error::Error;
+        let err = HyperError::UnresolvedLink {
+            path: "/story-9".into(),
+            source: CoreError::EmptyDocument,
+        };
+        assert!(err.to_string().contains("/story-9"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn lower_layers_convert() {
+        assert!(matches!(
+            HyperError::from(CoreError::EmptyDocument),
+            HyperError::Core(_)
+        ));
+        let s = SchedulerError::ConstraintCycle {
+            phase: "solve",
+            points: 1,
+        };
+        assert!(matches!(HyperError::from(s), HyperError::Scheduler(_)));
+    }
+}

@@ -18,26 +18,30 @@
 //! use cmif_scheduler::{solve, ScheduleOptions};
 //! use cmif_hyper::navigation::Navigator;
 //!
+//! # fn main() -> std::result::Result<(), cmif_hyper::HyperError> {
 //! let doc = DocumentBuilder::new("doc")
 //!     .channel("caption", MediaKind::Text)
 //!     .root_seq(|root| {
 //!         root.imm_text("a", "caption", "first", 1_000);
 //!         root.imm_text("b", "caption", "second", 1_000);
 //!     })
-//!     .build()
-//!     .unwrap();
-//! let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+//!     .build()?;
+//! let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default())?;
 //! let navigator = Navigator::new(&doc, &solved);
-//! let b = doc.find("/b").unwrap();
-//! assert_eq!(navigator.seek(b).unwrap().skipped, 1);
+//! let b = doc.find("/b")?;
+//! assert_eq!(navigator.seek(b)?.skipped, 1);
+//! # Ok(()) }
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod conditional;
+pub mod error;
 pub mod links;
 pub mod navigation;
+
+pub use error::{HyperError, Result};
 
 pub use conditional::{
     constraints_with_conditionals, Condition, ConditionalArc, PresentationContext,

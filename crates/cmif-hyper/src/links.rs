@@ -7,7 +7,8 @@
 //! between nodes of one document — so navigation (and the arc-invalidation
 //! semantics of §5.3.3 case 3) can be exercised end-to-end.
 
-use cmif_core::error::{CoreError, Result};
+use crate::error::{HyperError, Result};
+use cmif_core::error::CoreError;
 use cmif_core::node::NodeId;
 use cmif_core::path::NodePath;
 use cmif_core::tree::Document;
@@ -53,16 +54,23 @@ impl LinkSet {
         source: &str,
         target: &str,
     ) -> Result<()> {
-        let root = doc.root()?;
-        let source = doc.resolve_path(root, &NodePath::parse(source))?;
-        let target = doc.resolve_path(root, &NodePath::parse(target))?;
-        self.links.push(HyperLink { label: label.into(), source, target });
+        let source = resolve(doc, source)?;
+        let target = resolve(doc, target)?;
+        self.links.push(HyperLink {
+            label: label.into(),
+            source,
+            target,
+        });
         Ok(())
     }
 
     /// Adds a link between two already-resolved nodes.
     pub fn add_resolved(&mut self, label: impl Into<String>, source: NodeId, target: NodeId) {
-        self.links.push(HyperLink { label: label.into(), source, target });
+        self.links.push(HyperLink {
+            label: label.into(),
+            source,
+            target,
+        });
     }
 
     /// The links anchored on a node (the reader's choices while that node is
@@ -92,13 +100,15 @@ impl LinkSet {
     }
 }
 
-/// Convenience: resolve a path or return a descriptive error.
+/// Convenience: resolve a path or return a descriptive error that keeps the
+/// path exactly as the author wrote it.
 pub fn resolve(doc: &Document, path: &str) -> Result<NodeId> {
     let root = doc.root()?;
-    doc.resolve_path(root, &NodePath::parse(path)).map_err(|_| CoreError::UnresolvedPath {
-        path: path.to_string(),
-        base: root,
-    })
+    doc.resolve_path(root, &NodePath::parse(path))
+        .map_err(|source: CoreError| HyperError::UnresolvedLink {
+            path: path.to_string(),
+            source,
+        })
 }
 
 #[cfg(test)]
@@ -125,8 +135,12 @@ mod tests {
     fn links_resolve_paths_and_filter_by_source() {
         let d = doc();
         let mut links = LinkSet::new();
-        links.add(&d, "skip to story 2", "/story-1", "/story-2").unwrap();
-        links.add(&d, "back to start", "/story-2", "/story-1").unwrap();
+        links
+            .add(&d, "skip to story 2", "/story-1", "/story-2")
+            .unwrap();
+        links
+            .add(&d, "back to start", "/story-2", "/story-1")
+            .unwrap();
         assert_eq!(links.len(), 2);
         let story1 = d.find("/story-1").unwrap();
         let from_story1 = links.from_node(story1);
@@ -143,7 +157,10 @@ mod tests {
         let mut links = LinkSet::new();
         assert!(links.add(&d, "broken", "/story-1", "/story-9").is_err());
         assert!(resolve(&d, "/story-9").is_err());
-        assert_eq!(resolve(&d, "/story-2").unwrap(), d.find("/story-2").unwrap());
+        assert_eq!(
+            resolve(&d, "/story-2").unwrap(),
+            d.find("/story-2").unwrap()
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! it reports which explicit arcs become invalid, which events remain to be
 //! presented, and the re-based timeline starting at the seek point.
 
-use cmif_core::error::Result;
+use crate::error::Result;
 use cmif_core::node::NodeId;
 use cmif_core::time::TimeMs;
 use cmif_core::tree::Document;
@@ -54,7 +54,11 @@ pub struct Navigator<'a> {
 impl<'a> Navigator<'a> {
     /// Creates a navigator with no links.
     pub fn new(doc: &'a Document, solve: &'a SolveResult) -> Navigator<'a> {
-        Navigator { doc, solve, links: LinkSet::new() }
+        Navigator {
+            doc,
+            solve,
+            links: LinkSet::new(),
+        }
     }
 
     /// Attaches a link set (builder style).
@@ -101,7 +105,13 @@ impl<'a> Navigator<'a> {
                 end: TimeMs::from_millis(entry.end.as_millis() - resume_at.as_millis()),
             });
         }
-        Ok(NavigationResult { target, resume_at, remaining, invalidated, skipped })
+        Ok(NavigationResult {
+            target,
+            resume_at,
+            remaining,
+            invalidated,
+            skipped,
+        })
     }
 
     /// Follows a link by label from the current node.
@@ -207,11 +217,16 @@ mod tests {
         let doc = three_story_doc();
         let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
         let mut links = LinkSet::new();
-        links.add(&doc, "skip to the weather", "/story-1", "/story-3").unwrap();
+        links
+            .add(&doc, "skip to the weather", "/story-1", "/story-3")
+            .unwrap();
         let navigator = Navigator::new(&doc, &result).with_links(links);
         let story1 = doc.find("/story-1").unwrap();
         assert_eq!(navigator.choices_at(story1).len(), 1);
-        let nav = navigator.follow(story1, "skip to the weather").unwrap().unwrap();
+        let nav = navigator
+            .follow(story1, "skip to the weather")
+            .unwrap()
+            .unwrap();
         assert_eq!(nav.resume_at, TimeMs::from_secs(8));
         assert!(navigator.follow(story1, "no such link").unwrap().is_none());
     }
@@ -221,12 +236,18 @@ mod tests {
         let doc = three_story_doc();
         let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
         let navigator = Navigator::new(&doc, &result);
-        let nav = navigator.fast_forward(TimeMs::ZERO, 5_000).unwrap().unwrap();
+        let nav = navigator
+            .fast_forward(TimeMs::ZERO, 5_000)
+            .unwrap()
+            .unwrap();
         // The next event at or after t=5s is story-3's material (story-2
         // started at 4s).
         assert!(nav.resume_at >= TimeMs::from_secs(5));
         // Jumping far past the end lands on the last event.
-        let nav = navigator.fast_forward(TimeMs::ZERO, 60_000).unwrap().unwrap();
+        let nav = navigator
+            .fast_forward(TimeMs::ZERO, 60_000)
+            .unwrap()
+            .unwrap();
         assert!(nav.resume_at >= TimeMs::from_secs(8));
     }
 }

@@ -93,7 +93,10 @@ impl MediaPayload {
     /// The natural presentation duration of the payload, if it has one.
     pub fn duration(&self) -> Option<TimeMs> {
         match self {
-            MediaPayload::Audio { sample_rate, samples } => {
+            MediaPayload::Audio {
+                sample_rate,
+                samples,
+            } => {
                 if *sample_rate == 0 {
                     None
                 } else {
@@ -102,11 +105,15 @@ impl MediaPayload {
                     ))
                 }
             }
-            MediaPayload::Video { fps, frame_count, .. } => {
+            MediaPayload::Video {
+                fps, frame_count, ..
+            } => {
                 if *fps <= 0.0 {
                     None
                 } else {
-                    Some(TimeMs::from_millis((*frame_count as f64 * 1000.0 / fps) as i64))
+                    Some(TimeMs::from_millis(
+                        (*frame_count as f64 * 1000.0 / fps) as i64,
+                    ))
                 }
             }
             _ => None,
@@ -116,10 +123,18 @@ impl MediaPayload {
     /// Bytes per frame for a raster payload (video frame or whole image).
     pub fn bytes_per_frame(&self) -> Option<u64> {
         match self {
-            MediaPayload::Video { width, height, color_depth, .. }
-            | MediaPayload::Image { width, height, color_depth, .. } => {
-                Some(*width as u64 * *height as u64 * (*color_depth as u64 / 8).max(1))
+            MediaPayload::Video {
+                width,
+                height,
+                color_depth,
+                ..
             }
+            | MediaPayload::Image {
+                width,
+                height,
+                color_depth,
+                ..
+            } => Some(*width as u64 * *height as u64 * (*color_depth as u64 / 8).max(1)),
             _ => None,
         }
     }
@@ -138,7 +153,10 @@ pub struct MediaBlock {
 impl MediaBlock {
     /// Creates a block.
     pub fn new(key: impl Into<String>, payload: MediaPayload) -> MediaBlock {
-        MediaBlock { key: key.into(), payload }
+        MediaBlock {
+            key: key.into(),
+            payload,
+        }
     }
 
     /// Builds the [`DataDescriptor`] that describes this block — the
@@ -146,8 +164,9 @@ impl MediaBlock {
     pub fn describe(&self) -> DataDescriptor {
         let medium = self.payload.medium();
         let size = self.payload.size_bytes();
-        let mut descriptor = DataDescriptor::new(self.key.clone(), medium, format_name(&self.payload))
-            .with_size(size);
+        let mut descriptor =
+            DataDescriptor::new(self.key.clone(), medium, format_name(&self.payload))
+                .with_size(size);
         if let Some(duration) = self.payload.duration() {
             descriptor = descriptor.with_duration(duration);
             let seconds = (duration.as_millis() as f64 / 1000.0).max(0.001);
@@ -165,16 +184,30 @@ impl MediaBlock {
         }
         match &self.payload {
             MediaPayload::Audio { sample_rate, .. } => {
-                descriptor = descriptor.with_rates(RateInfo::audio(*sample_rate, *sample_rate as u64));
+                descriptor =
+                    descriptor.with_rates(RateInfo::audio(*sample_rate, *sample_rate as u64));
             }
-            MediaPayload::Video { width, height, fps, color_depth, .. } => {
+            MediaPayload::Video {
+                width,
+                height,
+                fps,
+                color_depth,
+                ..
+            } => {
                 descriptor = descriptor
                     .with_resolution(*width, *height)
                     .with_color_depth(*color_depth)
                     .with_rates(RateInfo::video(*fps));
             }
-            MediaPayload::Image { width, height, color_depth, .. } => {
-                descriptor = descriptor.with_resolution(*width, *height).with_color_depth(*color_depth);
+            MediaPayload::Image {
+                width,
+                height,
+                color_depth,
+                ..
+            } => {
+                descriptor = descriptor
+                    .with_resolution(*width, *height)
+                    .with_color_depth(*color_depth);
             }
             MediaPayload::Text { .. } | MediaPayload::Generator { .. } => {}
         }
@@ -219,15 +252,23 @@ mod tests {
     fn payload_medium_and_size() {
         assert_eq!(audio_payload(1, 8000).medium(), MediaKind::Audio);
         assert_eq!(audio_payload(1, 8000).size_bytes(), 8000);
-        let text = MediaPayload::Text { content: "abc".into() };
+        let text = MediaPayload::Text {
+            content: "abc".into(),
+        };
         assert_eq!(text.medium(), MediaKind::Text);
         assert_eq!(text.size_bytes(), 3);
     }
 
     #[test]
     fn audio_duration_from_sample_count() {
-        assert_eq!(audio_payload(3, 8000).duration(), Some(TimeMs::from_secs(3)));
-        let silent = MediaPayload::Audio { sample_rate: 0, samples: Bytes::new() };
+        assert_eq!(
+            audio_payload(3, 8000).duration(),
+            Some(TimeMs::from_secs(3))
+        );
+        let silent = MediaPayload::Audio {
+            sample_rate: 0,
+            samples: Bytes::new(),
+        };
         assert_eq!(silent.duration(), None);
     }
 
@@ -255,7 +296,13 @@ mod tests {
         };
         assert_eq!(image.duration(), None);
         assert_eq!(image.bytes_per_frame(), Some(12));
-        assert_eq!(MediaPayload::Text { content: "x".into() }.duration(), None);
+        assert_eq!(
+            MediaPayload::Text {
+                content: "x".into()
+            }
+            .duration(),
+            None
+        );
     }
 
     #[test]
@@ -295,7 +342,10 @@ mod tests {
     fn generator_payload_describes_its_product() {
         let block = MediaBlock::new(
             "render",
-            MediaPayload::Generator { program: "ray-trace scene-7".into(), produces: MediaKind::Image },
+            MediaPayload::Generator {
+                program: "ray-trace scene-7".into(),
+                produces: MediaKind::Image,
+            },
         );
         let descriptor = block.describe();
         assert_eq!(descriptor.medium, MediaKind::Generator);

@@ -98,7 +98,11 @@ pub fn encode_payload(payload: &MediaPayload) -> EncodedPayload {
         Some(bytes) => {
             let encoded = rle_encode(bytes);
             if encoded.len() < bytes.len() {
-                EncodedPayload { encoding: "rle", data: encoded, original_len: bytes.len() }
+                EncodedPayload {
+                    encoding: "rle",
+                    data: encoded,
+                    original_len: bytes.len(),
+                }
             } else {
                 EncodedPayload {
                     encoding: "identity",
@@ -113,7 +117,11 @@ pub fn encode_payload(payload: &MediaPayload) -> EncodedPayload {
                 MediaPayload::Generator { program, .. } => program.clone().into_bytes(),
                 _ => unreachable!("raw_bytes covered the other variants"),
             };
-            EncodedPayload { encoding: "identity", original_len: text.len(), data: text }
+            EncodedPayload {
+                encoding: "identity",
+                original_len: text.len(),
+                data: text,
+            }
         }
     }
 }
@@ -123,7 +131,9 @@ pub fn decode_payload(encoded: &EncodedPayload) -> Result<Vec<u8>> {
     match encoded.encoding {
         "rle" => rle_decode(&encoded.data),
         "identity" => Ok(encoded.data.clone()),
-        other => Err(MediaError::CorruptData { reason: format!("unknown encoding `{other}`") }),
+        other => Err(MediaError::CorruptData {
+            reason: format!("unknown encoding `{other}`"),
+        }),
     }
 }
 
@@ -182,7 +192,9 @@ mod tests {
 
     #[test]
     fn text_payloads_use_identity() {
-        let text = MediaPayload::Text { content: "no runs here".into() };
+        let text = MediaPayload::Text {
+            content: "no runs here".into(),
+        };
         let encoded = encode_payload(&text);
         assert_eq!(encoded.encoding, "identity");
         assert_eq!(decode_payload(&encoded).unwrap(), b"no runs here".to_vec());
@@ -190,7 +202,11 @@ mod tests {
 
     #[test]
     fn unknown_encoding_is_rejected() {
-        let bogus = EncodedPayload { encoding: "huffman", data: vec![], original_len: 0 };
+        let bogus = EncodedPayload {
+            encoding: "huffman",
+            data: vec![],
+            original_len: 0,
+        };
         assert!(decode_payload(&bogus).is_err());
     }
 

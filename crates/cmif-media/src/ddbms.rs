@@ -143,8 +143,9 @@ impl DescriptorDb {
         }
         for (attr_key, value) in &descriptor.extra {
             if let Some(text) = value.as_text() {
-                if let Some(set) =
-                    self.by_attribute.get_mut(&(attr_key.clone(), text.to_string()))
+                if let Some(set) = self
+                    .by_attribute
+                    .get_mut(&(attr_key.clone(), text.to_string()))
                 {
                     set.remove(key);
                 }
@@ -330,9 +331,13 @@ mod tests {
         assert_eq!(long.len(), 2); // story-3 and story-4 audio
         let between = db.query(&Query::any().with_duration_range(Some(1_500), Some(3_500)));
         assert_eq!(between.len(), 2); // 2s and 3s audio
-        // Descriptors without a duration never match a duration condition.
+                                      // Descriptors without a duration never match a duration condition.
         assert!(db
-            .query(&Query::any().with_medium(MediaKind::Image).with_duration_range(Some(1), None))
+            .query(
+                &Query::any()
+                    .with_medium(MediaKind::Image)
+                    .with_duration_range(Some(1), None)
+            )
             .is_empty());
     }
 
@@ -374,10 +379,15 @@ mod tests {
         let db = index_store(&store).unwrap();
         store.reset_stats();
 
-        let query = Query::any().with_medium(MediaKind::Audio).with_duration_range(Some(2_000), None);
+        let query = Query::any()
+            .with_medium(MediaKind::Audio)
+            .with_duration_range(Some(2_000), None);
         let indexed = db.query(&query);
         let (_, payload_reads_after_index, _) = store.access_stats();
-        assert_eq!(payload_reads_after_index, 0, "indexed query must not touch payloads");
+        assert_eq!(
+            payload_reads_after_index, 0,
+            "indexed query must not touch payloads"
+        );
 
         let scanned = db.scan_blocks(&store, &query).unwrap();
         let (_, payload_reads_after_scan, bytes) = store.access_stats();

@@ -41,6 +41,9 @@ pub enum MediaError {
         /// Description of the corruption.
         reason: String,
     },
+    /// A structural error from the document model (e.g. while resolving the
+    /// descriptor or channel a block is stored against).
+    Core(cmif_core::error::CoreError),
 }
 
 impl fmt::Display for MediaError {
@@ -51,7 +54,10 @@ impl fmt::Display for MediaError {
                 write!(f, "media block `{key}` is already stored")
             }
             MediaError::WrongMedium { operation, found } => {
-                write!(f, "operation `{operation}` cannot be applied to {found} data")
+                write!(
+                    f,
+                    "operation `{operation}` cannot be applied to {found} data"
+                )
             }
             MediaError::SelectionOutOfRange { reason } => {
                 write!(f, "selection out of range: {reason}")
@@ -60,11 +66,25 @@ impl fmt::Display for MediaError {
                 write!(f, "unsupported conversion: {reason}")
             }
             MediaError::CorruptData { reason } => write!(f, "corrupt encoded data: {reason}"),
+            MediaError::Core(e) => write!(f, "document error: {e}"),
         }
     }
 }
 
-impl std::error::Error for MediaError {}
+impl std::error::Error for MediaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MediaError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cmif_core::error::CoreError> for MediaError {
+    fn from(e: cmif_core::error::CoreError) -> Self {
+        MediaError::Core(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -73,18 +93,35 @@ mod tests {
 
     #[test]
     fn display_names_the_problem() {
-        assert!(MediaError::UnknownBlock { key: "x".into() }.to_string().contains("x"));
-        assert!(MediaError::WrongMedium { operation: "crop", found: MediaKind::Audio }
+        assert!(MediaError::UnknownBlock { key: "x".into() }
             .to_string()
-            .contains("crop"));
-        assert!(MediaError::SelectionOutOfRange { reason: "past end".into() }
-            .to_string()
-            .contains("past end"));
+            .contains("x"));
+        assert!(MediaError::WrongMedium {
+            operation: "crop",
+            found: MediaKind::Audio
+        }
+        .to_string()
+        .contains("crop"));
+        assert!(MediaError::SelectionOutOfRange {
+            reason: "past end".into()
+        }
+        .to_string()
+        .contains("past end"));
     }
 
     #[test]
     fn implements_std_error() {
         fn is_error<E: std::error::Error>(_: &E) {}
-        is_error(&MediaError::CorruptData { reason: "truncated".into() });
+        is_error(&MediaError::CorruptData {
+            reason: "truncated".into(),
+        });
+    }
+
+    #[test]
+    fn core_errors_convert_and_chain() {
+        use std::error::Error;
+        let err: MediaError = cmif_core::error::CoreError::EmptyDocument.into();
+        assert!(matches!(err, MediaError::Core(_)));
+        assert!(err.source().is_some());
     }
 }

@@ -25,7 +25,9 @@ impl MediaGenerator {
     /// Creates a generator with a fixed seed; the same seed always produces
     /// the same media.
     pub fn new(seed: u64) -> MediaGenerator {
-        MediaGenerator { rng: SmallRng::seed_from_u64(seed) }
+        MediaGenerator {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Generates a sine-tone 8-bit PCM audio block.
@@ -38,7 +40,13 @@ impl MediaGenerator {
             let value = (t * frequency * std::f64::consts::TAU).sin();
             samples.push((value * 100.0 + 128.0) as u8);
         }
-        MediaBlock::new(key, MediaPayload::Audio { sample_rate, samples: Bytes::from(samples) })
+        MediaBlock::new(
+            key,
+            MediaPayload::Audio {
+                sample_rate,
+                samples: Bytes::from(samples),
+            },
+        )
     }
 
     /// Generates a video block of procedurally patterned frames.
@@ -51,7 +59,9 @@ impl MediaGenerator {
         fps: f64,
         color_depth: u8,
     ) -> MediaBlock {
-        let frame_count = ((duration_ms.max(0) as f64 / 1000.0) * fps).round().max(1.0) as u32;
+        let frame_count = ((duration_ms.max(0) as f64 / 1000.0) * fps)
+            .round()
+            .max(1.0) as u32;
         let bytes_per_pixel = (color_depth as usize / 8).max(1);
         let frame_size = width as usize * height as usize * bytes_per_pixel;
         let phase = self.rng.gen_range(0u32..255);
@@ -60,8 +70,8 @@ impl MediaGenerator {
             for y in 0..height {
                 for x in 0..width {
                     for plane in 0..bytes_per_pixel {
-                        let value =
-                            (x ^ y).wrapping_add(frame).wrapping_add(phase) as u8 ^ (plane as u8 * 85);
+                        let value = (x ^ y).wrapping_add(frame).wrapping_add(phase) as u8
+                            ^ (plane as u8 * 85);
                         frames.push(value);
                     }
                 }
@@ -96,16 +106,38 @@ impl MediaGenerator {
         }
         MediaBlock::new(
             key,
-            MediaPayload::Image { width, height, color_depth, pixels: Bytes::from(pixels) },
+            MediaPayload::Image {
+                width,
+                height,
+                color_depth,
+                pixels: Bytes::from(pixels),
+            },
         )
     }
 
     /// Generates word-salad text of roughly `words` words.
     pub fn text(&mut self, key: &str, words: usize) -> MediaBlock {
         const LEXICON: &[&str] = &[
-            "museum", "painting", "witness", "report", "announcer", "gallery", "insurance",
-            "evening", "broadcast", "caption", "channel", "synchronise", "document", "archive",
-            "story", "camera", "studio", "reporter", "bulletin", "headline",
+            "museum",
+            "painting",
+            "witness",
+            "report",
+            "announcer",
+            "gallery",
+            "insurance",
+            "evening",
+            "broadcast",
+            "caption",
+            "channel",
+            "synchronise",
+            "document",
+            "archive",
+            "story",
+            "camera",
+            "studio",
+            "reporter",
+            "bulletin",
+            "headline",
         ];
         let mut content = String::new();
         for i in 0..words {
@@ -123,7 +155,10 @@ impl MediaGenerator {
         let scene = self.rng.gen_range(1..100);
         MediaBlock::new(
             key,
-            MediaPayload::Generator { program: format!("render --scene {scene}"), produces },
+            MediaPayload::Generator {
+                program: format!("render --scene {scene}"),
+                produces,
+            },
         )
     }
 }
@@ -141,7 +176,10 @@ mod tests {
         assert_eq!(a.audio("x", 500, 8000), b.audio("x", 500, 8000));
         assert_eq!(a.image("y", 16, 16, 8), b.image("y", 16, 16, 8));
         let mut c = MediaGenerator::new(8);
-        assert_ne!(MediaGenerator::new(7).audio("x", 500, 8000), c.audio("x", 500, 8000));
+        assert_ne!(
+            MediaGenerator::new(7).audio("x", 500, 8000),
+            c.audio("x", 500, 8000)
+        );
     }
 
     #[test]
@@ -157,7 +195,13 @@ mod tests {
     fn video_geometry_matches_request() {
         let block = MediaGenerator::new(2).video("film", 2_000, 64, 48, 25.0, 24);
         match &block.payload {
-            MediaPayload::Video { width, height, frame_count, frames, .. } => {
+            MediaPayload::Video {
+                width,
+                height,
+                frame_count,
+                frames,
+                ..
+            } => {
                 assert_eq!((*width, *height), (64, 48));
                 assert_eq!(*frame_count, 50);
                 assert_eq!(frames.len(), 64 * 48 * 3 * 50);

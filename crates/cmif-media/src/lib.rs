@@ -24,13 +24,15 @@
 //! use cmif_media::store::BlockStore;
 //! use cmif_core::descriptor::DescriptorResolver;
 //!
+//! # fn main() -> Result<(), cmif_media::MediaError> {
 //! let store = BlockStore::new();
 //! let mut generator = MediaGenerator::new(42);
-//! store.put(generator.audio("intro-speech", 3_000, 8_000)).unwrap();
+//! store.put(generator.audio("intro-speech", 3_000, 8_000))?;
 //!
 //! // Documents and schedulers only ever need the descriptor:
-//! let descriptor = store.resolve("intro-speech").unwrap();
-//! assert_eq!(descriptor.duration.unwrap().as_millis(), 3_000);
+//! let descriptor = store.resolve("intro-speech").expect("stored above");
+//! assert_eq!(descriptor.duration.expect("duration set").as_millis(), 3_000);
+//! # Ok(()) }
 //! ```
 
 #![warn(missing_docs)]

@@ -24,17 +24,27 @@ use crate::error::{MediaError, Result};
 pub fn apply_selection(payload: &MediaPayload, selection: &Selection) -> Result<MediaPayload> {
     match selection {
         Selection::Slice { start, length } => slice_bytes(payload, *start, *length),
-        Selection::Crop { x, y, width, height } => crop(payload, *x, *y, *width, *height),
-        Selection::Clip { start_ms, duration_ms } => clip(payload, *start_ms, *duration_ms),
+        Selection::Crop {
+            x,
+            y,
+            width,
+            height,
+        } => crop(payload, *x, *y, *width, *height),
+        Selection::Clip {
+            start_ms,
+            duration_ms,
+        } => clip(payload, *start_ms, *duration_ms),
     }
 }
 
 /// Extracts a byte range from any payload (the `slice` attribute).
 pub fn slice_bytes(payload: &MediaPayload, start: u64, length: u64) -> Result<MediaPayload> {
     let take = |bytes: &Bytes| -> Result<Bytes> {
-        let end = start.checked_add(length).ok_or_else(|| MediaError::SelectionOutOfRange {
-            reason: "slice end overflows".to_string(),
-        })?;
+        let end = start
+            .checked_add(length)
+            .ok_or_else(|| MediaError::SelectionOutOfRange {
+                reason: "slice end overflows".to_string(),
+            })?;
         if end as usize > bytes.len() {
             return Err(MediaError::SelectionOutOfRange {
                 reason: format!("slice {start}+{length} exceeds {} bytes", bytes.len()),
@@ -43,15 +53,24 @@ pub fn slice_bytes(payload: &MediaPayload, start: u64, length: u64) -> Result<Me
         Ok(bytes.slice(start as usize..end as usize))
     };
     match payload {
-        MediaPayload::Audio { sample_rate, samples } => Ok(MediaPayload::Audio {
+        MediaPayload::Audio {
+            sample_rate,
+            samples,
+        } => Ok(MediaPayload::Audio {
             sample_rate: *sample_rate,
             samples: take(samples)?,
         }),
-        MediaPayload::Video { width, height, fps, color_depth, frames, .. } => {
+        MediaPayload::Video {
+            width,
+            height,
+            fps,
+            color_depth,
+            frames,
+            ..
+        } => {
             let sliced = take(frames)?;
-            let frame_size = (*width as usize * *height as usize
-                * (*color_depth as usize / 8).max(1))
-            .max(1);
+            let frame_size =
+                (*width as usize * *height as usize * (*color_depth as usize / 8).max(1)).max(1);
             Ok(MediaPayload::Video {
                 width: *width,
                 height: *height,
@@ -61,7 +80,12 @@ pub fn slice_bytes(payload: &MediaPayload, start: u64, length: u64) -> Result<Me
                 frames: sliced,
             })
         }
-        MediaPayload::Image { width, height, color_depth, pixels } => Ok(MediaPayload::Image {
+        MediaPayload::Image {
+            width,
+            height,
+            color_depth,
+            pixels,
+        } => Ok(MediaPayload::Image {
             width: *width,
             height: *height,
             color_depth: *color_depth,
@@ -74,7 +98,9 @@ pub fn slice_bytes(payload: &MediaPayload, start: u64, length: u64) -> Result<Me
                     reason: format!("slice exceeds {} bytes of text", content.len()),
                 });
             }
-            Ok(MediaPayload::Text { content: content[start as usize..end].to_string() })
+            Ok(MediaPayload::Text {
+                content: content[start as usize..end].to_string(),
+            })
         }
         MediaPayload::Generator { .. } => Err(MediaError::WrongMedium {
             operation: "slice",
@@ -84,9 +110,20 @@ pub fn slice_bytes(payload: &MediaPayload, start: u64, length: u64) -> Result<Me
 }
 
 /// Extracts a rectangular sub-image (the `crop` attribute).
-pub fn crop(payload: &MediaPayload, x: u32, y: u32, width: u32, height: u32) -> Result<MediaPayload> {
+pub fn crop(
+    payload: &MediaPayload,
+    x: u32,
+    y: u32,
+    width: u32,
+    height: u32,
+) -> Result<MediaPayload> {
     match payload {
-        MediaPayload::Image { width: full_w, height: full_h, color_depth, pixels } => {
+        MediaPayload::Image {
+            width: full_w,
+            height: full_h,
+            color_depth,
+            pixels,
+        } => {
             if x + width > *full_w || y + height > *full_h {
                 return Err(MediaError::SelectionOutOfRange {
                     reason: format!(
@@ -107,7 +144,10 @@ pub fn crop(payload: &MediaPayload, x: u32, y: u32, width: u32, height: u32) -> 
                 pixels: Bytes::from(out),
             })
         }
-        other => Err(MediaError::WrongMedium { operation: "crop", found: other.medium() }),
+        other => Err(MediaError::WrongMedium {
+            operation: "crop",
+            found: other.medium(),
+        }),
     }
 }
 
@@ -120,7 +160,10 @@ pub fn clip(payload: &MediaPayload, start_ms: i64, duration_ms: i64) -> Result<M
         });
     }
     match payload {
-        MediaPayload::Audio { sample_rate, samples } => {
+        MediaPayload::Audio {
+            sample_rate,
+            samples,
+        } => {
             let start = (start_ms as u64 * *sample_rate as u64 / 1000) as usize;
             let len = (duration_ms as u64 * *sample_rate as u64 / 1000) as usize;
             if start + len > samples.len() {
@@ -133,7 +176,14 @@ pub fn clip(payload: &MediaPayload, start_ms: i64, duration_ms: i64) -> Result<M
                 samples: samples.slice(start..start + len),
             })
         }
-        MediaPayload::Video { width, height, fps, color_depth, frames, frame_count } => {
+        MediaPayload::Video {
+            width,
+            height,
+            fps,
+            color_depth,
+            frames,
+            frame_count,
+        } => {
             let frame_size =
                 (*width as usize * *height as usize * (*color_depth as usize / 8).max(1)).max(1);
             let first = ((start_ms as f64 / 1000.0) * fps).floor() as usize;
@@ -152,7 +202,10 @@ pub fn clip(payload: &MediaPayload, start_ms: i64, duration_ms: i64) -> Result<M
                 frame_count: count as u32,
             })
         }
-        other => Err(MediaError::WrongMedium { operation: "clip", found: other.medium() }),
+        other => Err(MediaError::WrongMedium {
+            operation: "clip",
+            found: other.medium(),
+        }),
     }
 }
 
@@ -176,22 +229,32 @@ pub fn reduce_color_depth(payload: &MediaPayload, target_bits: u8) -> Result<Med
         Bytes::from(out)
     };
     match payload {
-        MediaPayload::Image { width, height, color_depth, pixels } => Ok(MediaPayload::Image {
+        MediaPayload::Image {
+            width,
+            height,
+            color_depth,
+            pixels,
+        } => Ok(MediaPayload::Image {
             width: *width,
             height: *height,
             color_depth: 8,
             pixels: quantize(pixels, (*color_depth as usize / 8).max(1)),
         }),
-        MediaPayload::Video { width, height, fps, color_depth, frames, frame_count } => {
-            Ok(MediaPayload::Video {
-                width: *width,
-                height: *height,
-                fps: *fps,
-                color_depth: 8,
-                frames: quantize(frames, (*color_depth as usize / 8).max(1)),
-                frame_count: *frame_count,
-            })
-        }
+        MediaPayload::Video {
+            width,
+            height,
+            fps,
+            color_depth,
+            frames,
+            frame_count,
+        } => Ok(MediaPayload::Video {
+            width: *width,
+            height: *height,
+            fps: *fps,
+            color_depth: 8,
+            frames: quantize(frames, (*color_depth as usize / 8).max(1)),
+            frame_count: *frame_count,
+        }),
         other => Err(MediaError::WrongMedium {
             operation: "reduce_color_depth",
             found: other.medium(),
@@ -207,29 +270,49 @@ pub fn downscale(payload: &MediaPayload, factor: u32) -> Result<MediaPayload> {
             reason: "downscale factor must be at least 1".to_string(),
         });
     }
-    let scale_raster = |bytes: &Bytes, w: u32, h: u32, bpp: usize, frames: u32| -> (Bytes, u32, u32) {
-        let new_w = (w / factor).max(1);
-        let new_h = (h / factor).max(1);
-        let mut out = Vec::with_capacity(new_w as usize * new_h as usize * bpp * frames as usize);
-        let frame_size = w as usize * h as usize * bpp;
-        for frame in 0..frames as usize {
-            let base = frame * frame_size;
-            for y in 0..new_h {
-                for x in 0..new_w {
-                    let src = base + ((y * factor) as usize * w as usize + (x * factor) as usize) * bpp;
-                    out.extend_from_slice(&bytes[src..src + bpp]);
+    let scale_raster =
+        |bytes: &Bytes, w: u32, h: u32, bpp: usize, frames: u32| -> (Bytes, u32, u32) {
+            let new_w = (w / factor).max(1);
+            let new_h = (h / factor).max(1);
+            let mut out =
+                Vec::with_capacity(new_w as usize * new_h as usize * bpp * frames as usize);
+            let frame_size = w as usize * h as usize * bpp;
+            for frame in 0..frames as usize {
+                let base = frame * frame_size;
+                for y in 0..new_h {
+                    for x in 0..new_w {
+                        let src = base
+                            + ((y * factor) as usize * w as usize + (x * factor) as usize) * bpp;
+                        out.extend_from_slice(&bytes[src..src + bpp]);
+                    }
                 }
             }
-        }
-        (Bytes::from(out), new_w, new_h)
-    };
+            (Bytes::from(out), new_w, new_h)
+        };
     match payload {
-        MediaPayload::Image { width, height, color_depth, pixels } => {
+        MediaPayload::Image {
+            width,
+            height,
+            color_depth,
+            pixels,
+        } => {
             let bpp = (*color_depth as usize / 8).max(1);
             let (scaled, new_w, new_h) = scale_raster(pixels, *width, *height, bpp, 1);
-            Ok(MediaPayload::Image { width: new_w, height: new_h, color_depth: *color_depth, pixels: scaled })
+            Ok(MediaPayload::Image {
+                width: new_w,
+                height: new_h,
+                color_depth: *color_depth,
+                pixels: scaled,
+            })
         }
-        MediaPayload::Video { width, height, fps, color_depth, frames, frame_count } => {
+        MediaPayload::Video {
+            width,
+            height,
+            fps,
+            color_depth,
+            frames,
+            frame_count,
+        } => {
             let bpp = (*color_depth as usize / 8).max(1);
             let (scaled, new_w, new_h) = scale_raster(frames, *width, *height, bpp, *frame_count);
             Ok(MediaPayload::Video {
@@ -241,7 +324,10 @@ pub fn downscale(payload: &MediaPayload, factor: u32) -> Result<MediaPayload> {
                 frame_count: *frame_count,
             })
         }
-        other => Err(MediaError::WrongMedium { operation: "downscale", found: other.medium() }),
+        other => Err(MediaError::WrongMedium {
+            operation: "downscale",
+            found: other.medium(),
+        }),
     }
 }
 
@@ -254,7 +340,14 @@ pub fn subsample_frame_rate(payload: &MediaPayload, keep_one_in: u32) -> Result<
         });
     }
     match payload {
-        MediaPayload::Video { width, height, fps, color_depth, frames, frame_count } => {
+        MediaPayload::Video {
+            width,
+            height,
+            fps,
+            color_depth,
+            frames,
+            frame_count,
+        } => {
             let frame_size =
                 (*width as usize * *height as usize * (*color_depth as usize / 8).max(1)).max(1);
             let mut out = Vec::new();
@@ -289,7 +382,10 @@ pub fn downsample_audio(payload: &MediaPayload, factor: u32) -> Result<MediaPayl
         });
     }
     match payload {
-        MediaPayload::Audio { sample_rate, samples } => {
+        MediaPayload::Audio {
+            sample_rate,
+            samples,
+        } => {
             let kept: Vec<u8> = samples.iter().copied().step_by(factor as usize).collect();
             Ok(MediaPayload::Audio {
                 sample_rate: (*sample_rate / factor).max(1),
@@ -323,7 +419,9 @@ mod tests {
 
     #[test]
     fn slice_text_by_bytes() {
-        let text = MediaPayload::Text { content: "hello world".into() };
+        let text = MediaPayload::Text {
+            content: "hello world".into(),
+        };
         let sliced = slice_bytes(&text, 6, 5).unwrap();
         match sliced {
             MediaPayload::Text { content } => assert_eq!(content, "world"),
@@ -336,7 +434,12 @@ mod tests {
         let image = generator().image("pic", 32, 32, 24);
         let cropped = crop(&image.payload, 4, 4, 8, 8).unwrap();
         match cropped {
-            MediaPayload::Image { width, height, pixels, .. } => {
+            MediaPayload::Image {
+                width,
+                height,
+                pixels,
+                ..
+            } => {
                 assert_eq!((width, height), (8, 8));
                 assert_eq!(pixels.len(), 8 * 8 * 3);
             }
@@ -372,16 +475,35 @@ mod tests {
     #[test]
     fn apply_selection_dispatches() {
         let image = generator().image("pic", 16, 16, 8);
-        let out = apply_selection(&image.payload, &Selection::Crop { x: 0, y: 0, width: 4, height: 4 })
-            .unwrap();
+        let out = apply_selection(
+            &image.payload,
+            &Selection::Crop {
+                x: 0,
+                y: 0,
+                width: 4,
+                height: 4,
+            },
+        )
+        .unwrap();
         assert_eq!(out.size_bytes(), 16);
         let audio = generator().audio("a", 1_000, 8000);
-        let out =
-            apply_selection(&audio.payload, &Selection::Clip { start_ms: 0, duration_ms: 500 })
-                .unwrap();
+        let out = apply_selection(
+            &audio.payload,
+            &Selection::Clip {
+                start_ms: 0,
+                duration_ms: 500,
+            },
+        )
+        .unwrap();
         assert_eq!(out.size_bytes(), 4_000);
-        let out =
-            apply_selection(&audio.payload, &Selection::Slice { start: 0, length: 100 }).unwrap();
+        let out = apply_selection(
+            &audio.payload,
+            &Selection::Slice {
+                start: 0,
+                length: 100,
+            },
+        )
+        .unwrap();
         assert_eq!(out.size_bytes(), 100);
     }
 
@@ -396,7 +518,10 @@ mod tests {
         }
         // Reducing already-8-bit data is a no-op.
         let image8 = generator().image("pic8", 16, 16, 8);
-        assert_eq!(reduce_color_depth(&image8.payload, 8).unwrap().size_bytes(), 16 * 16);
+        assert_eq!(
+            reduce_color_depth(&image8.payload, 8).unwrap().size_bytes(),
+            16 * 16
+        );
         assert!(reduce_color_depth(&image.payload, 4).is_err());
     }
 
@@ -405,7 +530,12 @@ mod tests {
         let image = generator().image("pic", 32, 32, 24);
         let small = downscale(&image.payload, 2).unwrap();
         match small {
-            MediaPayload::Image { width, height, pixels, .. } => {
+            MediaPayload::Image {
+                width,
+                height,
+                pixels,
+                ..
+            } => {
                 assert_eq!((width, height), (16, 16));
                 assert_eq!(pixels.len(), 16 * 16 * 3);
             }
@@ -415,7 +545,12 @@ mod tests {
         let video = generator().video("v", 1_000, 32, 32, 25.0, 8);
         let small = downscale(&video.payload, 4).unwrap();
         match small {
-            MediaPayload::Video { width, height, frame_count, .. } => {
+            MediaPayload::Video {
+                width,
+                height,
+                frame_count,
+                ..
+            } => {
                 assert_eq!((width, height), (8, 8));
                 assert_eq!(frame_count, 25);
             }
@@ -428,7 +563,9 @@ mod tests {
         let video = generator().video("v", 2_000, 8, 8, 24.0, 8);
         let sub = subsample_frame_rate(&video.payload, 2).unwrap();
         match sub {
-            MediaPayload::Video { fps, frame_count, .. } => {
+            MediaPayload::Video {
+                fps, frame_count, ..
+            } => {
                 assert_eq!(fps, 12.0);
                 assert_eq!(frame_count, 24);
             }
@@ -444,7 +581,10 @@ mod tests {
         let audio = generator().audio("a", 1_000, 8000);
         let down = downsample_audio(&audio.payload, 2).unwrap();
         match &down {
-            MediaPayload::Audio { sample_rate, samples } => {
+            MediaPayload::Audio {
+                sample_rate,
+                samples,
+            } => {
                 assert_eq!(*sample_rate, 4000);
                 assert_eq!(samples.len(), 4000);
             }
@@ -455,8 +595,13 @@ mod tests {
 
     #[test]
     fn filters_reject_wrong_media() {
-        let text = MediaPayload::Text { content: "x".into() };
-        assert!(matches!(downscale(&text, 2).unwrap_err(), MediaError::WrongMedium { .. }));
+        let text = MediaPayload::Text {
+            content: "x".into(),
+        };
+        assert!(matches!(
+            downscale(&text, 2).unwrap_err(),
+            MediaError::WrongMedium { .. }
+        ));
         assert!(matches!(
             subsample_frame_rate(&text, 2).unwrap_err(),
             MediaError::WrongMedium { .. }

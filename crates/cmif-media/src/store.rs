@@ -41,10 +41,14 @@ impl BlockStore {
     pub fn put(&self, block: MediaBlock) -> Result<()> {
         let mut blocks = self.blocks.write();
         if blocks.contains_key(&block.key) {
-            return Err(MediaError::DuplicateBlock { key: block.key.clone() });
+            return Err(MediaError::DuplicateBlock {
+                key: block.key.clone(),
+            });
         }
         let descriptor = block.describe();
-        self.descriptors.write().insert(block.key.clone(), descriptor);
+        self.descriptors
+            .write()
+            .insert(block.key.clone(), descriptor);
         blocks.insert(block.key.clone(), block);
         Ok(())
     }
@@ -54,9 +58,13 @@ impl BlockStore {
     pub fn put_with_descriptor(&self, block: MediaBlock, descriptor: DataDescriptor) -> Result<()> {
         let mut blocks = self.blocks.write();
         if blocks.contains_key(&block.key) {
-            return Err(MediaError::DuplicateBlock { key: block.key.clone() });
+            return Err(MediaError::DuplicateBlock {
+                key: block.key.clone(),
+            });
         }
-        self.descriptors.write().insert(block.key.clone(), descriptor);
+        self.descriptors
+            .write()
+            .insert(block.key.clone(), descriptor);
         blocks.insert(block.key.clone(), block);
         Ok(())
     }
@@ -76,6 +84,12 @@ impl BlockStore {
         self.blocks.read().keys().cloned().collect()
     }
 
+    /// True when a block with this key is stored (no read accounting, no
+    /// allocation).
+    pub fn contains(&self, key: &str) -> bool {
+        self.blocks.read().contains_key(key)
+    }
+
     /// Fetches a block's descriptor (cheap; counted separately from payload
     /// reads).
     pub fn descriptor(&self, key: &str) -> Result<DataDescriptor> {
@@ -84,15 +98,17 @@ impl BlockStore {
             .read()
             .get(key)
             .cloned()
-            .ok_or_else(|| MediaError::UnknownBlock { key: key.to_string() })
+            .ok_or_else(|| MediaError::UnknownBlock {
+                key: key.to_string(),
+            })
     }
 
     /// Fetches a block's payload (expensive; counted, with bytes).
     pub fn payload(&self, key: &str) -> Result<MediaPayload> {
         let blocks = self.blocks.read();
-        let block = blocks
-            .get(key)
-            .ok_or_else(|| MediaError::UnknownBlock { key: key.to_string() })?;
+        let block = blocks.get(key).ok_or_else(|| MediaError::UnknownBlock {
+            key: key.to_string(),
+        })?;
         self.payload_reads.fetch_add(1, Ordering::Relaxed);
         self.payload_bytes_read
             .fetch_add(block.payload.size_bytes(), Ordering::Relaxed);
@@ -105,7 +121,9 @@ impl BlockStore {
         let mut blocks = self.blocks.write();
         let block = blocks
             .get_mut(key)
-            .ok_or_else(|| MediaError::UnknownBlock { key: key.to_string() })?;
+            .ok_or_else(|| MediaError::UnknownBlock {
+                key: key.to_string(),
+            })?;
         block.payload = payload;
         let descriptor = block.describe();
         self.descriptors.write().insert(key.to_string(), descriptor);
@@ -187,7 +205,10 @@ mod tests {
     fn duplicate_keys_are_rejected() {
         let store = filled_store();
         let block = MediaGenerator::new(9).text("caption", 5);
-        assert!(matches!(store.put(block).unwrap_err(), MediaError::DuplicateBlock { .. }));
+        assert!(matches!(
+            store.put(block).unwrap_err(),
+            MediaError::DuplicateBlock { .. }
+        ));
     }
 
     #[test]
@@ -225,7 +246,14 @@ mod tests {
         let updated = store.descriptor("map").unwrap();
         assert_eq!(updated.color_depth, Some(8));
         assert!(updated.size_bytes < original.size_bytes);
-        assert!(store.replace_payload("missing", MediaPayload::Text { content: "x".into() }).is_err());
+        assert!(store
+            .replace_payload(
+                "missing",
+                MediaPayload::Text {
+                    content: "x".into()
+                }
+            )
+            .is_err());
     }
 
     #[test]
@@ -253,7 +281,11 @@ mod tests {
             .describe()
             .with_extra("title", cmif_core::value::AttrValue::Str("Poster".into()));
         store.put_with_descriptor(block, descriptor).unwrap();
-        assert!(store.descriptor("poster").unwrap().extra_attr("title").is_some());
+        assert!(store
+            .descriptor("poster")
+            .unwrap()
+            .extra_attr("title")
+            .is_some());
         let dup = MediaGenerator::new(1).image("poster", 8, 8, 8);
         let dup_descriptor = dup.describe();
         assert!(store.put_with_descriptor(dup, dup_descriptor).is_err());

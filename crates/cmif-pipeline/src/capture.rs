@@ -11,12 +11,12 @@
 //! blocks in a [`BlockStore`], and returns the data descriptors — which is
 //! all later pipeline stages ever see.
 
+use crate::error::Result;
 use cmif_core::channel::MediaKind;
 use cmif_core::descriptor::{DataDescriptor, DescriptorCatalog};
 use cmif_core::value::AttrValue;
 use cmif_media::generate::MediaGenerator;
 use cmif_media::store::BlockStore;
-use cmif_media::{MediaError, Result};
 
 /// One item on the capture shot list.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,7 +71,11 @@ impl CaptureRequest {
     }
 
     /// A still image capture request.
-    pub fn image(key: impl Into<String>, resolution: (u32, u32), color_depth: u8) -> CaptureRequest {
+    pub fn image(
+        key: impl Into<String>,
+        resolution: (u32, u32),
+        color_depth: u8,
+    ) -> CaptureRequest {
         CaptureRequest {
             key: key.into(),
             medium: MediaKind::Image,
@@ -117,7 +121,12 @@ impl<'a> CaptureTool<'a> {
     /// Creates a capture tool writing into `store`, seeded for
     /// reproducibility.
     pub fn new(store: &'a BlockStore, seed: u64) -> CaptureTool<'a> {
-        CaptureTool { store, generator: MediaGenerator::new(seed), audio_sample_rate: 8_000, video_fps: 25.0 }
+        CaptureTool {
+            store,
+            generator: MediaGenerator::new(seed),
+            audio_sample_rate: 8_000,
+            video_fps: 25.0,
+        }
     }
 
     /// Overrides the audio sampling rate used for captures.
@@ -157,9 +166,7 @@ impl<'a> CaptureTool<'a> {
             MediaKind::Text | MediaKind::Label => {
                 self.generator.text(&request.key, request.words.max(1))
             }
-            MediaKind::Generator => {
-                self.generator.generator(&request.key, MediaKind::Image)
-            }
+            MediaKind::Generator => self.generator.generator(&request.key, MediaKind::Image),
         };
         let mut descriptor = block.describe();
         for (key, value) in &request.attributes {
@@ -168,10 +175,7 @@ impl<'a> CaptureTool<'a> {
         descriptor = descriptor.with_location(format!("store://local/{}", request.key));
         self.store
             .put_with_descriptor(block, descriptor.clone())
-            .map_err(|e| match e {
-                MediaError::DuplicateBlock { key } => MediaError::DuplicateBlock { key },
-                other => other,
-            })?;
+            .map_err(|e| crate::error::PipelineError::from(e).in_stage("capture"))?;
         Ok(descriptor)
     }
 
@@ -197,13 +201,25 @@ mod tests {
         let store = BlockStore::new();
         let mut tool = CaptureTool::new(&store, 1);
         let descriptor = tool
-            .capture(&CaptureRequest::audio("story-1/speech", 5_000).with_attribute("language", "nl"))
+            .capture(
+                &CaptureRequest::audio("story-1/speech", 5_000).with_attribute("language", "nl"),
+            )
             .unwrap();
         assert_eq!(descriptor.duration, Some(TimeMs::from_secs(5)));
-        assert_eq!(descriptor.extra_attr("language").unwrap().as_text(), Some("nl"));
-        assert!(descriptor.location.as_deref().unwrap().contains("story-1/speech"));
+        assert_eq!(
+            descriptor.extra_attr("language").unwrap().as_text(),
+            Some("nl")
+        );
+        assert!(descriptor
+            .location
+            .as_deref()
+            .unwrap()
+            .contains("story-1/speech"));
         assert_eq!(store.len(), 1);
-        assert_eq!(store.payload("story-1/speech").unwrap().size_bytes(), 40_000);
+        assert_eq!(
+            store.payload("story-1/speech").unwrap().size_bytes(),
+            40_000
+        );
     }
 
     #[test]
@@ -251,7 +267,10 @@ mod tests {
         CaptureTool::new(&store_b, 7)
             .capture(&CaptureRequest::image("pic", (16, 16), 8))
             .unwrap();
-        assert_eq!(store_a.payload("pic").unwrap(), store_b.payload("pic").unwrap());
+        assert_eq!(
+            store_a.payload("pic").unwrap(),
+            store_b.payload("pic").unwrap()
+        );
     }
 
     #[test]

@@ -19,13 +19,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::error::Result;
 use cmif_core::channel::MediaKind;
 use cmif_core::descriptor::DescriptorResolver;
-use cmif_core::error::Result as CoreResult;
 use cmif_core::tree::Document;
 use cmif_media::ops;
 use cmif_media::store::BlockStore;
-use cmif_media::Result as MediaResult;
+
 use cmif_scheduler::EnvironmentLimits;
 
 /// A physical presentation device.
@@ -150,7 +150,9 @@ impl fmt::Display for FilterAction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FilterAction::PassThrough => write!(f, "pass through"),
-            FilterAction::ReduceColorDepth { to_bits } => write!(f, "reduce colour to {to_bits}-bit"),
+            FilterAction::ReduceColorDepth { to_bits } => {
+                write!(f, "reduce colour to {to_bits}-bit")
+            }
             FilterAction::Downscale { factor } => write!(f, "downscale by {factor}x"),
             FilterAction::SubsampleFrames { keep_one_in } => {
                 write!(f, "keep 1 frame in {keep_one_in}")
@@ -212,7 +214,7 @@ pub fn plan_filters(
     doc: &Document,
     resolver: &dyn DescriptorResolver,
     device: &DeviceProfile,
-) -> CoreResult<FilterPlan> {
+) -> Result<FilterPlan> {
     let mut plan = FilterPlan::default();
     let supported = device.supported_media();
 
@@ -237,9 +239,7 @@ pub fn plan_filters(
             None => continue,
         };
         let mut actions = Vec::new();
-        if !supported.contains(&descriptor.medium)
-            && descriptor.medium != MediaKind::Generator
-        {
+        if !supported.contains(&descriptor.medium) && descriptor.medium != MediaKind::Generator {
             plan.actions.insert(key, vec![FilterAction::Drop]);
             continue;
         }
@@ -249,19 +249,25 @@ pub fn plan_filters(
             if block_w > dev_w || block_h > dev_h {
                 let factor_w = block_w.div_ceil(dev_w);
                 let factor_h = block_h.div_ceil(dev_h);
-                actions.push(FilterAction::Downscale { factor: factor_w.max(factor_h).max(2) });
+                actions.push(FilterAction::Downscale {
+                    factor: factor_w.max(factor_h).max(2),
+                });
             }
         }
         if let (Some(block_bits), Some(device_bits)) = (descriptor.color_depth, device.color_depth)
         {
             if block_bits > device_bits {
-                actions.push(FilterAction::ReduceColorDepth { to_bits: device_bits });
+                actions.push(FilterAction::ReduceColorDepth {
+                    to_bits: device_bits,
+                });
             }
         }
         if let Some(fps) = descriptor.rates.frames_per_second {
             if device.max_frame_rate > 0.0 && fps > device.max_frame_rate {
                 let keep_one_in = (fps / device.max_frame_rate).ceil() as u32;
-                actions.push(FilterAction::SubsampleFrames { keep_one_in: keep_one_in.max(2) });
+                actions.push(FilterAction::SubsampleFrames {
+                    keep_one_in: keep_one_in.max(2),
+                });
             }
         }
         if descriptor.medium == MediaKind::Audio {
@@ -285,10 +291,13 @@ pub fn plan_filters(
 /// payloads in place (and refreshing their descriptors).
 ///
 /// Returns the number of blocks that were modified.
-pub fn apply_plan(plan: &FilterPlan, store: &BlockStore) -> MediaResult<usize> {
+pub fn apply_plan(plan: &FilterPlan, store: &BlockStore) -> Result<usize> {
     let mut modified = 0;
     for (key, actions) in &plan.actions {
-        if actions.iter().all(|a| matches!(a, FilterAction::PassThrough | FilterAction::Drop)) {
+        if actions
+            .iter()
+            .all(|a| matches!(a, FilterAction::PassThrough | FilterAction::Drop))
+        {
             continue;
         }
         let mut payload = store.payload(key)?;
@@ -324,9 +333,12 @@ mod tests {
     fn rich_doc_and_store() -> (Document, BlockStore) {
         let store = BlockStore::new();
         let mut tool = CaptureTool::new(&store, 17);
-        tool.capture(&CaptureRequest::video("film", 1_000, (1024, 768), 24)).unwrap();
-        tool.capture(&CaptureRequest::image("painting", (800, 600), 24)).unwrap();
-        tool.capture(&CaptureRequest::audio("speech", 2_000)).unwrap();
+        tool.capture(&CaptureRequest::video("film", 1_000, (1024, 768), 24))
+            .unwrap();
+        tool.capture(&CaptureRequest::image("painting", (800, 600), 24))
+            .unwrap();
+        tool.capture(&CaptureRequest::audio("speech", 2_000))
+            .unwrap();
         let catalog = store.export_catalog();
 
         let mut builder = DocumentBuilder::new("news")
@@ -364,7 +376,9 @@ mod tests {
         let plan = plan_filters(&doc, &store, &device).unwrap();
         assert!(!plan.is_identity());
         let film_actions = &plan.actions["film"];
-        assert!(film_actions.iter().any(|a| matches!(a, FilterAction::Downscale { .. })));
+        assert!(film_actions
+            .iter()
+            .any(|a| matches!(a, FilterAction::Downscale { .. })));
         assert!(film_actions
             .iter()
             .any(|a| matches!(a, FilterAction::ReduceColorDepth { to_bits: 8 })));
@@ -422,7 +436,10 @@ mod tests {
         apply_plan(&plan, &store).unwrap();
         let result = solve(&doc, &store, &ScheduleOptions::default()).unwrap();
         let after = device_conflicts(&doc, &result.schedule, &store, &device.limits()).unwrap();
-        assert!(after.is_empty(), "conflicts remain after filtering: {after:?}");
+        assert!(
+            after.is_empty(),
+            "conflicts remain after filtering: {after:?}"
+        );
     }
 
     #[test]

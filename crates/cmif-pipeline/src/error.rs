@@ -1,0 +1,139 @@
+//! Error types for the CWI/Multimedia Pipeline.
+//!
+//! A pipeline failure always happens inside a named stage (Figure 1:
+//! capture, structure, presentation, filtering, scheduling, viewing,
+//! playback). Every variant therefore carries the stage it surfaced in plus
+//! the lower-layer error as a typed source, so a caller can both route on
+//! the failing layer and report *where in the pipeline* the document broke.
+
+use std::fmt;
+
+use cmif_core::error::CoreError;
+use cmif_media::MediaError;
+use cmif_scheduler::SchedulerError;
+
+/// Result alias used throughout `cmif-pipeline`.
+pub type Result<T> = std::result::Result<T, PipelineError>;
+
+/// Errors raised while running pipeline stages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A document-model error surfaced by a pipeline stage.
+    Core {
+        /// The pipeline stage that was running.
+        stage: &'static str,
+        /// The underlying document error.
+        source: CoreError,
+    },
+    /// A media-store error surfaced by a pipeline stage.
+    Media {
+        /// The pipeline stage that was running.
+        stage: &'static str,
+        /// The underlying media error.
+        source: MediaError,
+    },
+    /// A scheduling error surfaced by a pipeline stage.
+    Scheduler {
+        /// The pipeline stage that was running.
+        stage: &'static str,
+        /// The underlying scheduler error.
+        source: SchedulerError,
+    },
+}
+
+impl PipelineError {
+    /// The pipeline stage the error surfaced in.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            PipelineError::Core { stage, .. }
+            | PipelineError::Media { stage, .. }
+            | PipelineError::Scheduler { stage, .. } => stage,
+        }
+    }
+
+    /// Re-attributes the error to `stage` (used by `run_pipeline` to tag
+    /// errors with the stage that was executing when they surfaced).
+    pub fn in_stage(self, stage: &'static str) -> PipelineError {
+        match self {
+            PipelineError::Core { source, .. } => PipelineError::Core { stage, source },
+            PipelineError::Media { source, .. } => PipelineError::Media { stage, source },
+            PipelineError::Scheduler { source, .. } => PipelineError::Scheduler { stage, source },
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Core { stage, source } => {
+                write!(f, "pipeline stage `{stage}`: document error: {source}")
+            }
+            PipelineError::Media { stage, source } => {
+                write!(f, "pipeline stage `{stage}`: media error: {source}")
+            }
+            PipelineError::Scheduler { stage, source } => {
+                write!(f, "pipeline stage `{stage}`: scheduling error: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Core { source, .. } => Some(source),
+            PipelineError::Media { source, .. } => Some(source),
+            PipelineError::Scheduler { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<CoreError> for PipelineError {
+    fn from(source: CoreError) -> Self {
+        PipelineError::Core {
+            stage: "structure",
+            source,
+        }
+    }
+}
+
+impl From<MediaError> for PipelineError {
+    fn from(source: MediaError) -> Self {
+        PipelineError::Media {
+            stage: "media",
+            source,
+        }
+    }
+}
+
+impl From<SchedulerError> for PipelineError {
+    fn from(source: SchedulerError) -> Self {
+        PipelineError::Scheduler {
+            stage: "scheduling",
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_tag_a_default_stage() {
+        let err: PipelineError = CoreError::EmptyDocument.into();
+        assert_eq!(err.stage(), "structure");
+        let err = err.in_stage("viewing");
+        assert_eq!(err.stage(), "viewing");
+        assert!(err.to_string().contains("viewing"));
+    }
+
+    #[test]
+    fn sources_chain_to_the_originating_layer() {
+        use std::error::Error;
+        let err = PipelineError::from(MediaError::UnknownBlock { key: "film".into() })
+            .in_stage("filtering");
+        let source = err.source().expect("media source");
+        assert!(source.to_string().contains("film"));
+    }
+}

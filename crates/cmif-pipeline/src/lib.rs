@@ -24,21 +24,22 @@
 //! use cmif_pipeline::constraint::DeviceProfile;
 //! use cmif_pipeline::pipeline::{run_pipeline, PipelineOptions};
 //!
+//! # fn main() -> std::result::Result<(), cmif_pipeline::PipelineError> {
 //! let store = BlockStore::new();
 //! let mut capture = CaptureTool::new(&store, 1);
-//! capture.capture(&CaptureRequest::audio("speech", 3_000)).unwrap();
+//! capture.capture(&CaptureRequest::audio("speech", 3_000))?;
 //!
 //! let doc = DocumentBuilder::new("demo")
 //!     .channel("audio", MediaKind::Audio)
 //!     .root_seq(|root| {
 //!         root.ext("voice", "audio", "speech");
 //!     })
-//!     .build()
-//!     .unwrap();
+//!     .build()?;
 //!
 //! let run = run_pipeline(&doc, &store, &DeviceProfile::workstation(),
-//!                        &PipelineOptions::default()).unwrap();
+//!                        &PipelineOptions::default())?;
 //! assert!(run.is_presentable());
+//! # Ok(()) }
 //! ```
 
 #![warn(missing_docs)]
@@ -46,9 +47,12 @@
 
 pub mod capture;
 pub mod constraint;
+pub mod error;
 pub mod pipeline;
 pub mod presentation;
 pub mod viewer;
+
+pub use error::{PipelineError, Result};
 
 pub use capture::{CaptureRequest, CaptureTool};
 pub use constraint::{apply_plan, plan_filters, DeviceProfile, FilterAction, FilterPlan};

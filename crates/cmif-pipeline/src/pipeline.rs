@@ -20,8 +20,8 @@
 
 use std::time::{Duration, Instant};
 
+use crate::error::{PipelineError, Result};
 use cmif_core::descriptor::DescriptorResolver;
-use cmif_core::error::Result as CoreResult;
 use cmif_core::tree::Document;
 use cmif_core::validate;
 use cmif_media::store::BlockStore;
@@ -128,38 +128,38 @@ pub fn run_pipeline(
     store: &BlockStore,
     device: &DeviceProfile,
     options: &PipelineOptions,
-) -> CoreResult<PipelineRun> {
+) -> Result<PipelineRun> {
     let mut timings = StageTimings::default();
 
     // Stage 2: the document structure map — validate it.
     let started = Instant::now();
-    validate::validate(doc)?;
+    validate::validate(doc).map_err(|e| PipelineError::from(e).in_stage("structure"))?;
     timings.validate = started.elapsed();
 
     // Stage 3: presentation mapping (target-system independent).
     let started = Instant::now();
-    let presentation = map_presentation(doc)?;
+    let presentation = map_presentation(doc).map_err(|e| e.in_stage("presentation"))?;
     timings.presentation = started.elapsed();
 
     // Stage 4: constraint filtering (target-system dependent).
     let started = Instant::now();
-    let filter_plan = plan_filters(doc, store, device)?;
+    let filter_plan = plan_filters(doc, store, device).map_err(|e| e.in_stage("filtering"))?;
     if options.materialize_filters {
-        apply_plan(&filter_plan, store).map_err(|e| cmif_core::error::CoreError::Invariant {
-            message: format!("constraint filter application failed: {e}"),
-        })?;
+        apply_plan(&filter_plan, store).map_err(|e| e.in_stage("filtering"))?;
     }
     timings.filtering = started.elapsed();
 
     // Stage 5a: scheduling + conflict detection.
     let started = Instant::now();
-    let solve_result = solve(doc, store, &options.schedule)?;
-    let conflicts = full_report(doc, &solve_result, store, Some(&device.limits()))?;
+    let solve_result = solve(doc, store, &options.schedule)
+        .map_err(|e| PipelineError::from(e).in_stage("scheduling"))?;
+    let conflicts = full_report(doc, &solve_result, store, Some(&device.limits()))
+        .map_err(|e| PipelineError::from(e).in_stage("scheduling"))?;
     timings.scheduling = started.elapsed();
 
     // Stage 5b: viewing tools.
     let started = Instant::now();
-    let toc = table_of_contents(doc, &solve_result.schedule)?;
+    let toc = table_of_contents(doc, &solve_result.schedule).map_err(|e| e.in_stage("viewing"))?;
     let frames = storyboard(
         doc,
         &solve_result.schedule,
@@ -167,7 +167,8 @@ pub fn run_pipeline(
         Some(&filter_plan),
         options.storyboard_step_ms,
         store,
-    )?;
+    )
+    .map_err(|e| e.in_stage("viewing"))?;
     timings.viewing = started.elapsed();
 
     // Stage 5c: playback simulation.
@@ -179,7 +180,10 @@ pub fn run_pipeline(
                 seed: options.jitter.seed.wrapping_add(run as u64),
                 ..options.jitter.clone()
             };
-            last = Some(cmif_scheduler::play(doc, &solve_result, store, &jitter)?);
+            last = Some(
+                cmif_scheduler::play(doc, &solve_result, store, &jitter)
+                    .map_err(|e| PipelineError::from(e).in_stage("playback"))?,
+            );
         }
         last
     } else {
@@ -206,7 +210,7 @@ pub fn run_structure_only(
     doc: &Document,
     resolver: &dyn DescriptorResolver,
     options: &ScheduleOptions,
-) -> CoreResult<(PresentationMap, SolveResult)> {
+) -> Result<(PresentationMap, SolveResult)> {
     validate::validate(doc)?;
     let presentation = map_presentation(doc)?;
     let solve_result = solve(doc, resolver, options)?;
@@ -222,9 +226,12 @@ mod tests {
     fn build_fixture() -> (Document, BlockStore) {
         let store = BlockStore::new();
         let mut tool = CaptureTool::new(&store, 31);
-        tool.capture(&CaptureRequest::audio("speech", 4_000)).unwrap();
-        tool.capture(&CaptureRequest::video("film", 4_000, (320, 240), 24)).unwrap();
-        tool.capture(&CaptureRequest::image("map", (256, 192), 24)).unwrap();
+        tool.capture(&CaptureRequest::audio("speech", 4_000))
+            .unwrap();
+        tool.capture(&CaptureRequest::video("film", 4_000, (320, 240), 24))
+            .unwrap();
+        tool.capture(&CaptureRequest::image("map", (256, 192), 24))
+            .unwrap();
         let catalog = store.export_catalog();
         let mut builder = DocumentBuilder::new("news")
             .channel("audio", MediaKind::Audio)
@@ -251,8 +258,13 @@ mod tests {
     #[test]
     fn full_pipeline_on_a_workstation_is_presentable() {
         let (doc, store) = build_fixture();
-        let run = run_pipeline(&doc, &store, &DeviceProfile::workstation(), &PipelineOptions::default())
-            .unwrap();
+        let run = run_pipeline(
+            &doc,
+            &store,
+            &DeviceProfile::workstation(),
+            &PipelineOptions::default(),
+        )
+        .unwrap();
         assert!(run.is_presentable(), "conflicts: {}", run.conflicts);
         assert!(run.filter_plan.is_identity());
         assert_eq!(run.presentation.len(), 4);
@@ -267,11 +279,19 @@ mod tests {
     #[test]
     fn audio_kiosk_run_reports_device_conflicts_but_still_plans() {
         let (doc, store) = build_fixture();
-        let run = run_pipeline(&doc, &store, &DeviceProfile::audio_kiosk(), &PipelineOptions::default())
-            .unwrap();
+        let run = run_pipeline(
+            &doc,
+            &store,
+            &DeviceProfile::audio_kiosk(),
+            &PipelineOptions::default(),
+        )
+        .unwrap();
         assert!(!run.is_presentable());
         assert!(!run.conflicts.of_class(2).is_empty());
-        assert!(run.filter_plan.dropped_channels.contains(&"video".to_string()));
+        assert!(run
+            .filter_plan
+            .dropped_channels
+            .contains(&"video".to_string()));
         // The storyboard still renders, marking dropped channels.
         let text = crate::viewer::render_storyboard(&run.storyboard);
         assert!(text.contains("[dropped on this device]"));
@@ -281,7 +301,10 @@ mod tests {
     fn materializing_filters_makes_the_low_end_pc_presentable() {
         let (doc, store) = build_fixture();
         let device = DeviceProfile::low_end_pc();
-        let options = PipelineOptions { materialize_filters: true, ..PipelineOptions::default() };
+        let options = PipelineOptions {
+            materialize_filters: true,
+            ..PipelineOptions::default()
+        };
         let run = run_pipeline(&doc, &store, &device, &options).unwrap();
         assert!(
             run.conflicts.of_class(2).is_empty(),
@@ -295,7 +318,10 @@ mod tests {
     #[test]
     fn playback_can_be_disabled() {
         let (doc, store) = build_fixture();
-        let options = PipelineOptions { playback_runs: 0, ..PipelineOptions::default() };
+        let options = PipelineOptions {
+            playback_runs: 0,
+            ..PipelineOptions::default()
+        };
         let run = run_pipeline(&doc, &store, &DeviceProfile::workstation(), &options).unwrap();
         assert!(run.playback.is_none());
     }
@@ -305,11 +331,24 @@ mod tests {
         let (mut doc, store) = build_fixture();
         let root = doc.root().unwrap();
         let orphan = doc.add_ext(root).unwrap();
-        doc.set_attr(orphan, AttrName::Channel, AttrValue::Id("audio".into())).unwrap();
+        doc.set_attr(orphan, AttrName::Channel, AttrValue::Id("audio".into()))
+            .unwrap();
         // No file attribute: stage 2 validation must fail.
-        let err = run_pipeline(&doc, &store, &DeviceProfile::workstation(), &PipelineOptions::default())
-            .unwrap_err();
-        assert!(matches!(err, CoreError::MissingFile { .. }));
+        let err = run_pipeline(
+            &doc,
+            &store,
+            &DeviceProfile::workstation(),
+            &PipelineOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.stage(), "structure");
+        assert!(matches!(
+            err,
+            crate::error::PipelineError::Core {
+                source: CoreError::MissingFile { .. },
+                ..
+            }
+        ));
     }
 
     #[test]

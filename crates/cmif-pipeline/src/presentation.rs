@@ -18,8 +18,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::error::Result;
 use cmif_core::channel::MediaKind;
-use cmif_core::error::Result;
 use cmif_core::tree::Document;
 
 /// Width and height of the virtual display, in virtual units.
@@ -40,8 +40,12 @@ pub struct VirtualRegion {
 
 impl VirtualRegion {
     /// The whole virtual display.
-    pub const FULL: VirtualRegion =
-        VirtualRegion { x: 0, y: 0, width: VIRTUAL_EXTENT, height: VIRTUAL_EXTENT };
+    pub const FULL: VirtualRegion = VirtualRegion {
+        x: 0,
+        y: 0,
+        width: VIRTUAL_EXTENT,
+        height: VIRTUAL_EXTENT,
+    };
 
     /// Area of the region in virtual units squared.
     pub fn area(&self) -> u64 {
@@ -60,7 +64,12 @@ impl VirtualRegion {
     pub fn scaled_to(&self, display_width: u32, display_height: u32) -> (u32, u32, u32, u32) {
         let sx = |v: u32| (v as u64 * display_width as u64 / VIRTUAL_EXTENT as u64) as u32;
         let sy = |v: u32| (v as u64 * display_height as u64 / VIRTUAL_EXTENT as u64) as u32;
-        (sx(self.x), sy(self.y), sx(self.width).max(1), sy(self.height).max(1))
+        (
+            sx(self.x),
+            sy(self.y),
+            sx(self.width).max(1),
+            sy(self.height).max(1),
+        )
     }
 }
 
@@ -230,10 +239,30 @@ pub fn map_presentation(doc: &Document) -> Result<PresentationMap> {
 /// The named standard regions of the default layout.
 fn named_region(name: &str) -> VirtualRegion {
     match name {
-        "main" => VirtualRegion { x: 0, y: 100, width: 700, height: 650 },
-        "side" => VirtualRegion { x: 700, y: 100, width: 300, height: 650 },
-        "bottom" => VirtualRegion { x: 0, y: 750, width: 1000, height: 250 },
-        "top" => VirtualRegion { x: 0, y: 0, width: 1000, height: 100 },
+        "main" => VirtualRegion {
+            x: 0,
+            y: 100,
+            width: 700,
+            height: 650,
+        },
+        "side" => VirtualRegion {
+            x: 700,
+            y: 100,
+            width: 300,
+            height: 650,
+        },
+        "bottom" => VirtualRegion {
+            x: 0,
+            y: 750,
+            width: 1000,
+            height: 250,
+        },
+        "top" => VirtualRegion {
+            x: 0,
+            y: 0,
+            width: 1000,
+            height: 100,
+        },
         _ => VirtualRegion::FULL,
     }
 }
@@ -278,7 +307,10 @@ mod tests {
         let doc = news_doc();
         let map = map_presentation(&doc).unwrap();
         assert_eq!(map.len(), 5);
-        assert!(matches!(map.placement("audio"), Some(Placement::Speaker { slot: 0 })));
+        assert!(matches!(
+            map.placement("audio"),
+            Some(Placement::Speaker { slot: 0 })
+        ));
         let video = map.placement("video").unwrap().region().unwrap();
         let graphic = map.placement("graphic").unwrap().region().unwrap();
         let caption = map.placement("caption").unwrap().region().unwrap();
@@ -319,9 +351,17 @@ mod tests {
         let map = map_presentation(&doc).unwrap();
         assert_eq!(
             map.placement("video").unwrap().region().unwrap(),
-            VirtualRegion { x: 10, y: 20, width: 300, height: 200 }
+            VirtualRegion {
+                x: 10,
+                y: 20,
+                width: 300,
+                height: 200
+            }
         );
-        assert!(matches!(map.placement("narration"), Some(Placement::Speaker { slot: 3 })));
+        assert!(matches!(
+            map.placement("narration"),
+            Some(Placement::Speaker { slot: 3 })
+        ));
         assert_eq!(
             map.placement("titles").unwrap().region().unwrap(),
             named_region("bottom")
@@ -354,7 +394,15 @@ mod tests {
     fn map_is_editable_independently_of_the_document() {
         let doc = news_doc();
         let mut map = map_presentation(&doc).unwrap();
-        map.assign("graphic", Placement::Screen(VirtualRegion { x: 0, y: 0, width: 100, height: 100 }));
+        map.assign(
+            "graphic",
+            Placement::Screen(VirtualRegion {
+                x: 0,
+                y: 0,
+                width: 100,
+                height: 100,
+            }),
+        );
         assert_eq!(
             map.placement("graphic").unwrap().region().unwrap().width,
             100
@@ -366,8 +414,24 @@ mod tests {
     #[test]
     fn overlap_detection_reports_pairs() {
         let mut map = PresentationMap::new();
-        map.assign("a", Placement::Screen(VirtualRegion { x: 0, y: 0, width: 500, height: 500 }));
-        map.assign("b", Placement::Screen(VirtualRegion { x: 250, y: 250, width: 500, height: 500 }));
+        map.assign(
+            "a",
+            Placement::Screen(VirtualRegion {
+                x: 0,
+                y: 0,
+                width: 500,
+                height: 500,
+            }),
+        );
+        map.assign(
+            "b",
+            Placement::Screen(VirtualRegion {
+                x: 250,
+                y: 250,
+                width: 500,
+                height: 500,
+            }),
+        );
         map.assign("c", Placement::Speaker { slot: 0 });
         let overlaps = map.overlapping_regions();
         assert_eq!(overlaps.len(), 1);
@@ -376,9 +440,19 @@ mod tests {
 
     #[test]
     fn regions_scale_to_physical_displays() {
-        let region = VirtualRegion { x: 0, y: 750, width: 1000, height: 250 };
+        let region = VirtualRegion {
+            x: 0,
+            y: 750,
+            width: 1000,
+            height: 250,
+        };
         assert_eq!(region.scaled_to(640, 480), (0, 360, 640, 120));
-        let tiny = VirtualRegion { x: 0, y: 0, width: 1, height: 1 };
+        let tiny = VirtualRegion {
+            x: 0,
+            y: 0,
+            width: 1,
+            height: 1,
+        };
         let scaled = tiny.scaled_to(320, 200);
         assert!(scaled.2 >= 1 && scaled.3 >= 1);
     }

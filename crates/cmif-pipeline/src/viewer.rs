@@ -17,8 +17,8 @@
 
 use std::fmt::Write as _;
 
+use crate::error::Result;
 use cmif_core::descriptor::DescriptorResolver;
-use cmif_core::error::Result;
 use cmif_core::node::NodeId;
 use cmif_core::time::TimeMs;
 use cmif_core::tree::Document;
@@ -211,10 +211,9 @@ mod tests {
         let d = doc();
         let result = solve(&d, &d.catalog, &ScheduleOptions::default()).unwrap();
         let map = map_presentation(&d).unwrap();
-        let frames =
-            storyboard(&d, &result.schedule, &map, None, 2_000, &d.catalog).unwrap();
+        let frames = storyboard(&d, &result.schedule, &map, None, 2_000, &d.catalog).unwrap();
         assert_eq!(frames.len(), 3); // t = 0, 2s, 4s over a 6 s document
-        // At t=0 both the voice and the caption are active.
+                                     // At t=0 both the voice and the caption are active.
         assert_eq!(frames[0].lines.len(), 2);
         let text = render_storyboard(&frames);
         assert!(text.contains("speaker 0"));

@@ -18,9 +18,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::error::Result;
 use cmif_core::channel::MediaKind;
 use cmif_core::descriptor::DescriptorResolver;
-use cmif_core::error::Result;
 use cmif_core::node::{NodeId, NodeKind};
 use cmif_core::time::TimeMs;
 use cmif_core::tree::Document;
@@ -122,32 +122,61 @@ impl fmt::Display for Conflict {
                 "window violated: {} lands at {} but must be within [{}, {}]",
                 v.constraint.target, v.actual, v.reference, v.latest
             ),
-            Conflict::ChannelOverlap { channel, first, second } => {
-                write!(f, "events {first} and {second} overlap on channel `{channel}`")
+            Conflict::ChannelOverlap {
+                channel,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "events {first} and {second} overlap on channel `{channel}`"
+                )
             }
-            Conflict::UnsupportedMedium { node, channel, medium } => write!(
+            Conflict::UnsupportedMedium {
+                node,
+                channel,
+                medium,
+            } => write!(
                 f,
                 "event {node} on channel `{channel}` needs medium `{medium}` which the \
                  environment cannot present"
             ),
             Conflict::ConcurrencyExceeded { peak, allowed } => {
-                write!(f, "{peak} simultaneous events exceed the environment limit of {allowed}")
+                write!(
+                    f,
+                    "{peak} simultaneous events exceed the environment limit of {allowed}"
+                )
             }
-            Conflict::BandwidthExceeded { required_bps, available_bps } => write!(
+            Conflict::BandwidthExceeded {
+                required_bps,
+                available_bps,
+            } => write!(
                 f,
                 "document needs {required_bps} B/s sustained but the environment delivers \
                  {available_bps} B/s"
             ),
-            Conflict::ResolutionExceeded { node, required, available } => write!(
+            Conflict::ResolutionExceeded {
+                node,
+                required,
+                available,
+            } => write!(
                 f,
                 "event {node} needs {}x{} pixels but the display is {}x{}",
                 required.0, required.1, available.0, available.1
             ),
-            Conflict::ColorDepthExceeded { node, required, available } => write!(
+            Conflict::ColorDepthExceeded {
+                node,
+                required,
+                available,
+            } => write!(
                 f,
                 "event {node} needs {required}-bit colour but the display has {available}-bit"
             ),
-            Conflict::InactiveArcSource { carrier, source, destination } => write!(
+            Conflict::InactiveArcSource {
+                carrier,
+                source,
+                destination,
+            } => write!(
                 f,
                 "arc carried by {carrier} from {source} to {destination} is invalid: its source \
                  will not execute from the seek position"
@@ -171,7 +200,10 @@ impl ConflictReport {
 
     /// The conflicts belonging to one of the paper's three classes.
     pub fn of_class(&self, class: u8) -> Vec<&Conflict> {
-        self.conflicts.iter().filter(|c| c.class() == class).collect()
+        self.conflicts
+            .iter()
+            .filter(|c| c.class() == class)
+            .collect()
     }
 }
 
@@ -189,8 +221,12 @@ impl fmt::Display for ConflictReport {
 
 /// Detects class-1 (specification) conflicts in a solve result.
 pub fn specification_conflicts(result: &SolveResult) -> Vec<Conflict> {
-    let mut out: Vec<Conflict> =
-        result.violations.iter().cloned().map(Conflict::Window).collect();
+    let mut out: Vec<Conflict> = result
+        .violations
+        .iter()
+        .cloned()
+        .map(Conflict::Window)
+        .collect();
     // Overlaps on a single channel.
     for (channel, entries) in result.schedule.channel_timelines() {
         for window in entries.windows(2) {
@@ -227,7 +263,10 @@ pub fn device_conflicts(
 
     let peak = schedule.peak_concurrency();
     if peak > limits.max_concurrent_events {
-        out.push(Conflict::ConcurrencyExceeded { peak, allowed: limits.max_concurrent_events });
+        out.push(Conflict::ConcurrencyExceeded {
+            peak,
+            allowed: limits.max_concurrent_events,
+        });
     }
 
     // Sustained bandwidth: total bytes of presented external data divided by
@@ -311,7 +350,11 @@ pub fn invalid_arcs_when_seeking(
             .map(|(_, end)| *end > seek_time)
             .unwrap_or(false);
         if destination_pending && !source_executes {
-            out.push(Conflict::InactiveArcSource { carrier, source, destination });
+            out.push(Conflict::InactiveArcSource {
+                carrier,
+                source,
+                destination,
+            });
         }
     }
     Ok(out)
@@ -382,9 +425,13 @@ mod tests {
     fn clean_document_on_workstation_has_no_conflicts() {
         let doc = news_like_doc();
         let result = solved(&doc);
-        let report =
-            full_report(&doc, &result, &doc.catalog, Some(&EnvironmentLimits::workstation()))
-                .unwrap();
+        let report = full_report(
+            &doc,
+            &result,
+            &doc.catalog,
+            Some(&EnvironmentLimits::workstation()),
+        )
+        .unwrap();
         assert!(report.is_clean(), "unexpected conflicts: {report}");
     }
 
@@ -392,14 +439,22 @@ mod tests {
     fn audio_kiosk_cannot_present_video_or_captions() {
         let doc = news_like_doc();
         let result = solved(&doc);
-        let report =
-            full_report(&doc, &result, &doc.catalog, Some(&EnvironmentLimits::audio_kiosk()))
-                .unwrap();
+        let report = full_report(
+            &doc,
+            &result,
+            &doc.catalog,
+            Some(&EnvironmentLimits::audio_kiosk()),
+        )
+        .unwrap();
         assert!(!report.is_clean());
         let class2 = report.of_class(2);
-        assert!(class2
-            .iter()
-            .any(|c| matches!(c, Conflict::UnsupportedMedium { medium: MediaKind::Video, .. })));
+        assert!(class2.iter().any(|c| matches!(
+            c,
+            Conflict::UnsupportedMedium {
+                medium: MediaKind::Video,
+                ..
+            }
+        )));
         assert!(class2
             .iter()
             .any(|c| matches!(c, Conflict::BandwidthExceeded { .. })));
@@ -416,8 +471,12 @@ mod tests {
             &EnvironmentLimits::low_end_pc(),
         )
         .unwrap();
-        assert!(conflicts.iter().any(|c| matches!(c, Conflict::ResolutionExceeded { .. })));
-        assert!(conflicts.iter().any(|c| matches!(c, Conflict::ColorDepthExceeded { .. })));
+        assert!(conflicts
+            .iter()
+            .any(|c| matches!(c, Conflict::ResolutionExceeded { .. })));
+        assert!(conflicts
+            .iter()
+            .any(|c| matches!(c, Conflict::ColorDepthExceeded { .. })));
     }
 
     #[test]
@@ -464,7 +523,9 @@ mod tests {
         .unwrap();
         let result = solved(&doc);
         let conflicts = specification_conflicts(&result);
-        assert!(conflicts.iter().any(|c| matches!(c, Conflict::ChannelOverlap { .. })));
+        assert!(conflicts
+            .iter()
+            .any(|c| matches!(c, Conflict::ChannelOverlap { .. })));
     }
 
     #[test]
@@ -508,20 +569,28 @@ mod tests {
         assert_eq!(invalid[0].class(), 3);
         // Seeking to the beginning invalidates nothing.
         let root = doc.root().unwrap();
-        assert!(invalid_arcs_when_seeking(&doc, &result.schedule, root).unwrap().is_empty());
+        assert!(invalid_arcs_when_seeking(&doc, &result.schedule, root)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn report_display_and_histogram() {
         let doc = news_like_doc();
         let result = solved(&doc);
-        let report =
-            full_report(&doc, &result, &doc.catalog, Some(&EnvironmentLimits::audio_kiosk()))
-                .unwrap();
+        let report = full_report(
+            &doc,
+            &result,
+            &doc.catalog,
+            Some(&EnvironmentLimits::audio_kiosk()),
+        )
+        .unwrap();
         let text = report.to_string();
         assert!(text.contains("[class 2]"));
         let histogram = class_histogram(&report);
         assert!(histogram[&2] >= 2);
-        assert!(ConflictReport::default().to_string().contains("no conflicts"));
+        assert!(ConflictReport::default()
+            .to_string()
+            .contains("no conflicts"));
     }
 }

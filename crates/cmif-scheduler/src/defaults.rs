@@ -16,9 +16,9 @@
 //! document (with their offsets converted from media units to the document
 //! clock).
 
+use crate::error::Result;
 use cmif_core::arc::Strictness;
 use cmif_core::descriptor::DescriptorResolver;
-use cmif_core::error::Result;
 use cmif_core::node::{NodeId, NodeKind};
 use cmif_core::time::{MaxDelay, RateInfo};
 use cmif_core::tree::Document;
@@ -41,11 +41,7 @@ pub fn derive_constraints(
 }
 
 /// Default arcs from the tree structure (fork/join shapes of §5.3.1).
-pub fn derive_structural(
-    doc: &Document,
-    node: NodeId,
-    out: &mut Vec<Constraint>,
-) -> Result<()> {
+pub fn derive_structural(doc: &Document, node: NodeId, out: &mut Vec<Constraint>) -> Result<()> {
     let kind = doc.node(node)?.kind.clone();
     let children = doc.children(node)?.to_vec();
     match kind {
@@ -155,8 +151,7 @@ fn derive_explicit(
     resolver: &dyn DescriptorResolver,
     out: &mut Vec<Constraint>,
 ) -> Result<()> {
-    for (index, (carrier, arc, source, destination)) in
-        doc.resolved_arcs()?.into_iter().enumerate()
+    for (index, (carrier, arc, source, destination)) in doc.resolved_arcs()?.into_iter().enumerate()
     {
         let rates = rates_of(doc, source, resolver)?;
         let offset_ms = arc.offset.to_millis(&rates)?.as_millis();
@@ -165,8 +160,14 @@ fn derive_explicit(
             MaxDelay::Bounded(d) => Some(d.as_millis()),
         };
         out.push(Constraint {
-            source: EventPoint { node: source, anchor: arc.source_anchor },
-            target: EventPoint { node: destination, anchor: arc.anchor },
+            source: EventPoint {
+                node: source,
+                anchor: arc.source_anchor,
+            },
+            target: EventPoint {
+                node: destination,
+                anchor: arc.anchor,
+            },
             offset_ms,
             min_delay_ms: arc.min_delay.as_millis(),
             max_delay_ms,
@@ -257,15 +258,19 @@ mod tests {
         let first = doc.find("/first").unwrap();
         let second = doc.find("/second").unwrap();
         // parent begin -> first child begin
-        assert!(constraints.iter().any(|c| c.source == EventPoint::begin(root)
-            && c.target == EventPoint::begin(first)
-            && c.origin == ConstraintOrigin::SequentialOrder));
+        assert!(constraints
+            .iter()
+            .any(|c| c.source == EventPoint::begin(root)
+                && c.target == EventPoint::begin(first)
+                && c.origin == ConstraintOrigin::SequentialOrder));
         // end of first -> begin of second
-        assert!(constraints.iter().any(|c| c.source == EventPoint::end(first)
-            && c.target == EventPoint::begin(second)));
+        assert!(constraints
+            .iter()
+            .any(|c| c.source == EventPoint::end(first) && c.target == EventPoint::begin(second)));
         // end of last child -> end of parent
-        assert!(constraints.iter().any(|c| c.source == EventPoint::end(second)
-            && c.target == EventPoint::end(root)));
+        assert!(constraints
+            .iter()
+            .any(|c| c.source == EventPoint::end(second) && c.target == EventPoint::end(root)));
     }
 
     #[test]
@@ -276,11 +281,15 @@ mod tests {
         let root = doc.root().unwrap();
         let forks = constraints
             .iter()
-            .filter(|c| c.origin == ConstraintOrigin::ParallelFork && c.source == EventPoint::begin(root))
+            .filter(|c| {
+                c.origin == ConstraintOrigin::ParallelFork && c.source == EventPoint::begin(root)
+            })
             .count();
         let joins = constraints
             .iter()
-            .filter(|c| c.origin == ConstraintOrigin::ParallelJoin && c.target == EventPoint::end(root))
+            .filter(|c| {
+                c.origin == ConstraintOrigin::ParallelJoin && c.target == EventPoint::end(root)
+            })
             .count();
         assert_eq!(forks, 2);
         assert_eq!(joins, 2);
@@ -294,8 +303,9 @@ mod tests {
         let first = doc.find("/first").unwrap();
         let duration = constraints
             .iter()
-            .find(|c| c.origin == ConstraintOrigin::LeafDuration
-                && c.source == EventPoint::begin(first))
+            .find(|c| {
+                c.origin == ConstraintOrigin::LeafDuration && c.source == EventPoint::begin(first)
+            })
             .unwrap();
         assert_eq!(duration.offset_ms, 2_000);
         assert_eq!(duration.target, EventPoint::end(first));
@@ -306,24 +316,34 @@ mod tests {
         let mut doc = par_doc();
         let root = doc.root().unwrap();
         let extra = doc.add_imm_text(root, "no duration").unwrap();
-        doc.set_attr(extra, AttrName::Name, AttrValue::Id("still".into())).unwrap();
-        doc.set_attr(extra, AttrName::Channel, AttrValue::Id("caption".into())).unwrap();
+        doc.set_attr(extra, AttrName::Name, AttrValue::Id("still".into()))
+            .unwrap();
+        doc.set_attr(extra, AttrName::Channel, AttrValue::Id("caption".into()))
+            .unwrap();
 
-        let options = ScheduleOptions { default_discrete_ms: 1_234, ..Default::default() };
+        let options = ScheduleOptions {
+            default_discrete_ms: 1_234,
+            ..Default::default()
+        };
         let constraints = derive_constraints(&doc, &doc.catalog, &options).unwrap();
         let duration = constraints
             .iter()
-            .find(|c| c.origin == ConstraintOrigin::LeafDuration
-                && c.source == EventPoint::begin(extra))
+            .find(|c| {
+                c.origin == ConstraintOrigin::LeafDuration && c.source == EventPoint::begin(extra)
+            })
             .unwrap();
         assert_eq!(duration.offset_ms, 1_234);
 
-        let fill = ScheduleOptions { fill_unknown_in_parallel: true, ..Default::default() };
+        let fill = ScheduleOptions {
+            fill_unknown_in_parallel: true,
+            ..Default::default()
+        };
         let constraints = derive_constraints(&doc, &doc.catalog, &fill).unwrap();
         let duration = constraints
             .iter()
-            .find(|c| c.origin == ConstraintOrigin::LeafDuration
-                && c.source == EventPoint::begin(extra))
+            .find(|c| {
+                c.origin == ConstraintOrigin::LeafDuration && c.source == EventPoint::begin(extra)
+            })
             .unwrap();
         assert_eq!(duration.offset_ms, 0);
     }
@@ -337,7 +357,10 @@ mod tests {
             line,
             SyncArc::hard_start("../voice", "")
                 .with_offset(MediaTime::seconds(1))
-                .with_window(DelayMs::from_millis(-50), MaxDelay::Bounded(DelayMs::from_millis(200))),
+                .with_window(
+                    DelayMs::from_millis(-50),
+                    MaxDelay::Bounded(DelayMs::from_millis(200)),
+                ),
         )
         .unwrap();
         let constraints =
@@ -397,7 +420,9 @@ mod tests {
         let constraints =
             derive_constraints(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
         let empty_par = doc.find("/empty-par").unwrap();
-        assert!(constraints.iter().any(|c| c.source == EventPoint::begin(empty_par)
-            && c.target == EventPoint::end(empty_par)));
+        assert!(constraints
+            .iter()
+            .any(|c| c.source == EventPoint::begin(empty_par)
+                && c.target == EventPoint::end(empty_par)));
     }
 }

@@ -105,29 +105,44 @@ pub struct JitterModel {
 impl JitterModel {
     /// An ideal device: no jitter anywhere.
     pub fn ideal() -> JitterModel {
-        JitterModel { default_max_latency_ms: 0, per_channel_max_ms: BTreeMap::new(), seed: 0 }
+        JitterModel {
+            default_max_latency_ms: 0,
+            per_channel_max_ms: BTreeMap::new(),
+            seed: 0,
+        }
     }
 
     /// A uniform jitter model: every channel may delay launches by up to
     /// `max_latency_ms`.
     pub fn uniform(max_latency_ms: i64, seed: u64) -> JitterModel {
-        JitterModel { default_max_latency_ms: max_latency_ms, per_channel_max_ms: BTreeMap::new(), seed }
+        JitterModel {
+            default_max_latency_ms: max_latency_ms,
+            per_channel_max_ms: BTreeMap::new(),
+            seed,
+        }
     }
 
     /// Overrides the maximum latency for one channel.
     pub fn with_channel(mut self, channel: impl Into<String>, max_latency_ms: i64) -> JitterModel {
-        self.per_channel_max_ms.insert(channel.into(), max_latency_ms);
+        self.per_channel_max_ms
+            .insert(channel.into(), max_latency_ms);
         self
     }
 
     /// The maximum latency that applies to a channel.
     pub fn max_for(&self, channel: &str) -> i64 {
-        *self.per_channel_max_ms.get(channel).unwrap_or(&self.default_max_latency_ms)
+        *self
+            .per_channel_max_ms
+            .get(channel)
+            .unwrap_or(&self.default_max_latency_ms)
     }
 
     /// Creates the deterministic sampler for one playback run.
     pub fn sampler(&self) -> JitterSampler {
-        JitterSampler { model: self.clone(), rng: SmallRng::seed_from_u64(self.seed) }
+        JitterSampler {
+            model: self.clone(),
+            rng: SmallRng::seed_from_u64(self.seed),
+        }
     }
 }
 

@@ -1,0 +1,99 @@
+//! Error types for the synchronization layer.
+//!
+//! Before the workspace-wide error unification the scheduler smuggled its
+//! failures through `CoreError::Invariant` with free-form strings. The
+//! variants here are typed instead: a constraint cycle names the phase that
+//! diverged and the size of the event-point graph, so callers (the pipeline,
+//! the hypermedia navigator, distributed players) can react programmatically
+//! and error chains keep their context across crate boundaries.
+
+use std::fmt;
+
+use cmif_core::error::CoreError;
+
+/// Result alias used throughout `cmif-scheduler`.
+pub type Result<T> = std::result::Result<T, SchedulerError>;
+
+/// Errors raised while deriving, solving or playing a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerError {
+    /// The constraint graph contains a positive cycle, so longest-path
+    /// relaxation cannot converge (§5.3.3, conflict class 1: an
+    /// unsatisfiable specification).
+    ConstraintCycle {
+        /// The computation that diverged (`"solve"` or `"playback"`).
+        phase: &'static str,
+        /// Number of event points in the graph when relaxation was
+        /// abandoned.
+        points: usize,
+    },
+    /// A schedule or playback query referenced a node the solve result does
+    /// not cover (e.g. seeking to a node of a different document).
+    UnscheduledNode {
+        /// The node missing from the schedule.
+        node: cmif_core::node::NodeId,
+        /// The operation that needed the node's times.
+        operation: &'static str,
+    },
+    /// A structural error from the document model.
+    Core(CoreError),
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerError::ConstraintCycle { phase, points } => write!(
+                f,
+                "the synchronization constraints contain a cycle that forces events ever later \
+                 (unsatisfiable specification): {phase} did not converge over {points} event points"
+            ),
+            SchedulerError::UnscheduledNode { node, operation } => {
+                write!(
+                    f,
+                    "{operation}: node {node} is not covered by the solved schedule"
+                )
+            }
+            SchedulerError::Core(e) => write!(f, "document error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedulerError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SchedulerError {
+    fn from(e: CoreError) -> Self {
+        SchedulerError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_errors_convert_and_chain() {
+        use std::error::Error;
+        let err: SchedulerError = CoreError::EmptyDocument.into();
+        assert!(matches!(err, SchedulerError::Core(_)));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn cycle_display_names_the_phase() {
+        let err = SchedulerError::ConstraintCycle {
+            phase: "solve",
+            points: 42,
+        };
+        let text = err.to_string();
+        assert!(text.contains("solve"));
+        assert!(text.contains("42"));
+        assert!(err.to_string().contains("cycle"));
+    }
+}

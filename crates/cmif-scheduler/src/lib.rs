@@ -24,6 +24,7 @@
 //! use cmif_core::prelude::*;
 //! use cmif_scheduler::{solve, ScheduleOptions};
 //!
+//! # fn main() -> std::result::Result<(), cmif_scheduler::SchedulerError> {
 //! let doc = DocumentBuilder::new("demo")
 //!     .channel("audio", MediaKind::Audio)
 //!     .descriptor(
@@ -34,12 +35,12 @@
 //!         root.ext("part-1", "audio", "speech");
 //!         root.ext("part-2", "audio", "speech");
 //!     })
-//!     .build()
-//!     .unwrap();
+//!     .build()?;
 //!
-//! let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+//! let result = solve(&doc, &doc.catalog, &ScheduleOptions::default())?;
 //! assert_eq!(result.schedule.total_duration, TimeMs::from_secs(8));
 //! assert!(result.is_consistent());
+//! # Ok(()) }
 //! ```
 
 #![warn(missing_docs)]
@@ -48,10 +49,13 @@
 pub mod conflict;
 pub mod defaults;
 pub mod environment;
+pub mod error;
 pub mod player;
 pub mod solver;
 pub mod timeline;
 pub mod types;
+
+pub use error::{Result, SchedulerError};
 
 pub use conflict::{
     class_histogram, device_conflicts, full_report, invalid_arcs_when_seeking,

@@ -17,9 +17,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::error::{Result, SchedulerError};
 use cmif_core::arc::Anchor;
 use cmif_core::descriptor::DescriptorResolver;
-use cmif_core::error::{CoreError, Result};
 use cmif_core::node::NodeId;
 use cmif_core::time::TimeMs;
 use cmif_core::tree::Document;
@@ -72,7 +72,11 @@ pub struct PlaybackReport {
 impl PlaybackReport {
     /// Largest absolute drift of any event.
     pub fn max_drift_ms(&self) -> i64 {
-        self.events.iter().map(|e| e.drift_ms().abs()).max().unwrap_or(0)
+        self.events
+            .iter()
+            .map(|e| e.drift_ms().abs())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean absolute drift over all events.
@@ -80,7 +84,10 @@ impl PlaybackReport {
         if self.events.is_empty() {
             return 0.0;
         }
-        self.events.iter().map(|e| e.drift_ms().abs() as f64).sum::<f64>()
+        self.events
+            .iter()
+            .map(|e| e.drift_ms().abs() as f64)
+            .sum::<f64>()
             / self.events.len() as f64
     }
 
@@ -141,8 +148,9 @@ pub fn play(
         changed = false;
         passes += 1;
         if passes > max_passes {
-            return Err(CoreError::Invariant {
-                message: "playback simulation did not converge (cyclic constraints)".to_string(),
+            return Err(SchedulerError::ConstraintCycle {
+                phase: "playback",
+                points: actual.len(),
             });
         }
         for constraint in &result.constraints {
@@ -216,7 +224,10 @@ pub fn play(
     let mut freeze_frame_ms = 0;
     let mut per_channel: HashMap<&str, Vec<&PlayedEvent>> = HashMap::new();
     for event in &events {
-        per_channel.entry(event.channel.as_str()).or_default().push(event);
+        per_channel
+            .entry(event.channel.as_str())
+            .or_default()
+            .push(event);
     }
     for (channel, channel_events) in per_channel {
         let continuous = match doc.channels.get(channel) {
@@ -247,7 +258,13 @@ pub fn play(
         .max()
         .unwrap_or(TimeMs::ZERO);
 
-    Ok(PlaybackReport { events, must_violations, may_violations, freeze_frame_ms, total_duration })
+    Ok(PlaybackReport {
+        events,
+        must_violations,
+        may_violations,
+        freeze_frame_ms,
+        total_duration,
+    })
 }
 
 /// Runs `runs` playback simulations with different seeds and returns the
@@ -266,7 +283,10 @@ pub fn must_satisfaction_rate(
     }
     let mut ok = 0u32;
     for run in 0..runs {
-        let jitter = JitterModel { seed: base_jitter.seed.wrapping_add(run as u64), ..base_jitter.clone() };
+        let jitter = JitterModel {
+            seed: base_jitter.seed.wrapping_add(run as u64),
+            ..base_jitter.clone()
+        };
         let report = play(doc, result, resolver, &jitter)?;
         if report.meets_must_constraints() {
             ok += 1;
@@ -341,7 +361,10 @@ mod tests {
     fn wide_windows_absorb_the_same_jitter() {
         let doc = doc_with_window(500);
         let result = solved(&doc);
-        let jitter = JitterModel { seed: 3, ..JitterModel::ideal().with_channel("caption", 400) };
+        let jitter = JitterModel {
+            seed: 3,
+            ..JitterModel::ideal().with_channel("caption", 400)
+        };
         let report = play(&doc, &result, &doc.catalog, &jitter).unwrap();
         assert_eq!(report.must_violations, 0);
     }
@@ -367,7 +390,10 @@ mod tests {
         // late, the caption moves with it and the Must window still holds.
         let doc = doc_with_window(0);
         let result = solved(&doc);
-        let jitter = JitterModel { seed: 9, ..JitterModel::ideal().with_channel("audio", 300) };
+        let jitter = JitterModel {
+            seed: 9,
+            ..JitterModel::ideal().with_channel("audio", 300)
+        };
         let report = play(&doc, &result, &doc.catalog, &jitter).unwrap();
         let voice = report.events.iter().find(|e| e.name == "voice").unwrap();
         let line = report.events.iter().find(|e| e.name == "line").unwrap();
@@ -422,8 +448,8 @@ mod tests {
     fn empty_rate_run_count_defaults_to_full_satisfaction() {
         let doc = doc_with_window(100);
         let result = solved(&doc);
-        let rate = must_satisfaction_rate(&doc, &result, &doc.catalog, &JitterModel::ideal(), 0)
-            .unwrap();
+        let rate =
+            must_satisfaction_rate(&doc, &result, &doc.catalog, &JitterModel::ideal(), 0).unwrap();
         assert_eq!(rate, 1.0);
     }
 }

@@ -17,9 +17,9 @@
 
 use std::collections::HashMap;
 
+use crate::error::{Result, SchedulerError};
 use cmif_core::arc::{Anchor, Strictness};
 use cmif_core::descriptor::DescriptorResolver;
-use cmif_core::error::{CoreError, Result};
 use cmif_core::node::NodeId;
 use cmif_core::time::TimeMs;
 use cmif_core::tree::Document;
@@ -111,10 +111,9 @@ pub fn solve_constraints(
         changed = false;
         passes += 1;
         if passes > max_passes {
-            return Err(CoreError::Invariant {
-                message: "the synchronization constraints contain a cycle that forces events \
-                          ever later (unsatisfiable specification)"
-                    .to_string(),
+            return Err(SchedulerError::ConstraintCycle {
+                phase: "solve",
+                points: times.len(),
             });
         }
         for constraint in &constraints {
@@ -149,7 +148,11 @@ pub fn solve_constraints(
     }
 
     let schedule = build_schedule(doc, resolver, &times)?;
-    Ok(SolveResult { schedule, violations, constraints })
+    Ok(SolveResult {
+        schedule,
+        violations,
+        constraints,
+    })
 }
 
 fn build_schedule(
@@ -171,7 +174,14 @@ fn build_schedule(
             .map(str::to_string)
             .unwrap_or_else(|| doc.path_of(leaf).map(|p| p.to_string()).unwrap_or_default());
         let medium = doc.medium_of(leaf, resolver)?;
-        entries.push(TimelineEntry { node: leaf, name, channel, medium, begin, end });
+        entries.push(TimelineEntry {
+            node: leaf,
+            name,
+            channel,
+            medium,
+            begin,
+            end,
+        });
     }
     entries.sort_by_key(|e| (e.begin, e.node));
 
@@ -181,16 +191,27 @@ fn build_schedule(
         let end = times[&EventPoint::end(node)].max(begin);
         node_times.insert(node, (begin, end));
     }
-    let total = node_times.get(&root).map(|(_, end)| *end).unwrap_or(TimeMs::ZERO);
-    Ok(Schedule { entries, node_times, total_duration: total })
+    let total = node_times
+        .get(&root)
+        .map(|(_, end)| *end)
+        .unwrap_or(TimeMs::ZERO);
+    Ok(Schedule {
+        entries,
+        node_times,
+        total_duration: total,
+    })
 }
 
 /// Convenience: the time assigned to one event point in a solve result.
 pub fn point_time(result: &SolveResult, node: NodeId, anchor: Anchor) -> Option<TimeMs> {
-    result.schedule.node_times.get(&node).map(|(begin, end)| match anchor {
-        Anchor::Begin => *begin,
-        Anchor::End => *end,
-    })
+    result
+        .schedule
+        .node_times
+        .get(&node)
+        .map(|(begin, end)| match anchor {
+            Anchor::Begin => *begin,
+            Anchor::End => *end,
+        })
 }
 
 #[cfg(test)]
@@ -223,7 +244,10 @@ mod tests {
         assert!(result.is_consistent());
         let first = doc.find("/first").unwrap();
         let second = doc.find("/second").unwrap();
-        assert_eq!(result.schedule.node_times[&first], (TimeMs::ZERO, TimeMs::from_secs(2)));
+        assert_eq!(
+            result.schedule.node_times[&first],
+            (TimeMs::ZERO, TimeMs::from_secs(2))
+        );
         assert_eq!(
             result.schedule.node_times[&second],
             (TimeMs::from_secs(2), TimeMs::from_secs(5))
@@ -275,7 +299,10 @@ mod tests {
         assert!(result.is_consistent());
         assert_eq!(result.schedule.total_duration, TimeMs::from_secs(12));
         let story2_voice = doc.find("/story-2/voice").unwrap();
-        assert_eq!(result.schedule.node_times[&story2_voice].0, TimeMs::from_secs(5));
+        assert_eq!(
+            result.schedule.node_times[&story2_voice].0,
+            TimeMs::from_secs(5)
+        );
     }
 
     #[test]
@@ -299,8 +326,14 @@ mod tests {
         )
         .unwrap();
         let result = solve_doc(&doc);
-        assert_eq!(result.schedule.node_times[&painting].0, TimeMs::from_secs(4));
-        assert_eq!(result.schedule.node_times[&painting].1, TimeMs::from_secs(7));
+        assert_eq!(
+            result.schedule.node_times[&painting].0,
+            TimeMs::from_secs(4)
+        );
+        assert_eq!(
+            result.schedule.node_times[&painting].1,
+            TimeMs::from_secs(7)
+        );
     }
 
     #[test]
@@ -366,18 +399,14 @@ mod tests {
         // but also must not start before the second audio block.
         doc.add_arc(
             line,
-            SyncArc::hard_start("/sound-track/second", "").with_window(
-                DelayMs::ZERO,
-                MaxDelay::Unbounded,
-            ),
+            SyncArc::hard_start("/sound-track/second", "")
+                .with_window(DelayMs::ZERO, MaxDelay::Unbounded),
         )
         .unwrap();
         doc.add_arc(
             line,
-            SyncArc::hard_start("/", "").with_window(
-                DelayMs::ZERO,
-                MaxDelay::Bounded(DelayMs::from_millis(500)),
-            ),
+            SyncArc::hard_start("/", "")
+                .with_window(DelayMs::ZERO, MaxDelay::Bounded(DelayMs::from_millis(500))),
         )
         .unwrap();
         let result = solve_doc(&doc);
@@ -404,10 +433,8 @@ mod tests {
         let title = doc.find("/title").unwrap();
         doc.add_arc(
             title,
-            SyncArc::relaxed_start("/", "").with_window(
-                DelayMs::ZERO,
-                MaxDelay::Bounded(DelayMs::from_millis(100)),
-            ),
+            SyncArc::relaxed_start("/", "")
+                .with_window(DelayMs::ZERO, MaxDelay::Bounded(DelayMs::from_millis(100))),
         )
         .unwrap();
         let result = solve_doc(&doc);
@@ -458,12 +485,21 @@ mod tests {
         let x = doc.find("/x").unwrap();
         let y = doc.find("/y").unwrap();
         // x must start 1s after y starts, and y must start 1s after x starts.
-        doc.add_arc(x, SyncArc::hard_start("../y", "").with_offset(MediaTime::seconds(1)))
-            .unwrap();
-        doc.add_arc(y, SyncArc::hard_start("../x", "").with_offset(MediaTime::seconds(1)))
-            .unwrap();
+        doc.add_arc(
+            x,
+            SyncArc::hard_start("../y", "").with_offset(MediaTime::seconds(1)),
+        )
+        .unwrap();
+        doc.add_arc(
+            y,
+            SyncArc::hard_start("../x", "").with_offset(MediaTime::seconds(1)),
+        )
+        .unwrap();
         let err = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap_err();
-        assert!(matches!(err, CoreError::Invariant { .. }));
+        assert!(matches!(
+            err,
+            SchedulerError::ConstraintCycle { phase: "solve", .. }
+        ));
     }
 
     #[test]
@@ -498,8 +534,17 @@ mod tests {
             .unwrap();
         let result = solve_doc(&doc);
         let voice = doc.find("/voice").unwrap();
-        assert_eq!(point_time(&result, voice, Anchor::Begin), Some(TimeMs::ZERO));
-        assert_eq!(point_time(&result, voice, Anchor::End), Some(TimeMs::from_secs(2)));
-        assert_eq!(point_time(&result, NodeId::from_index(99), Anchor::Begin), None);
+        assert_eq!(
+            point_time(&result, voice, Anchor::Begin),
+            Some(TimeMs::ZERO)
+        );
+        assert_eq!(
+            point_time(&result, voice, Anchor::End),
+            Some(TimeMs::from_secs(2))
+        );
+        assert_eq!(
+            point_time(&result, NodeId::from_index(99), Anchor::Begin),
+            None
+        );
     }
 }

@@ -193,7 +193,11 @@ mod tests {
         for e in &entries {
             node_times.insert(e.node, (e.begin, e.end));
         }
-        Schedule { entries, node_times, total_duration: TimeMs::from_millis(6_000) }
+        Schedule {
+            entries,
+            node_times,
+            total_duration: TimeMs::from_millis(6_000),
+        }
     }
 
     #[test]
@@ -219,7 +223,11 @@ mod tests {
     #[test]
     fn active_at_finds_running_events() {
         let s = schedule();
-        let names: Vec<_> = s.active_at(TimeMs::from_millis(2_500)).iter().map(|e| e.name.as_str()).collect();
+        let names: Vec<_> = s
+            .active_at(TimeMs::from_millis(2_500))
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect();
         assert_eq!(names, vec!["a", "c"]);
         assert!(s.active_at(TimeMs::from_millis(6_000)).is_empty());
     }

@@ -18,12 +18,18 @@ pub struct EventPoint {
 impl EventPoint {
     /// The beginning of a node.
     pub fn begin(node: NodeId) -> EventPoint {
-        EventPoint { node, anchor: Anchor::Begin }
+        EventPoint {
+            node,
+            anchor: Anchor::Begin,
+        }
     }
 
     /// The end of a node.
     pub fn end(node: NodeId) -> EventPoint {
-        EventPoint { node, anchor: Anchor::End }
+        EventPoint {
+            node,
+            anchor: Anchor::End,
+        }
     }
 }
 
@@ -98,7 +104,8 @@ impl Constraint {
     /// The upper bound the constraint imposes on the target given a source
     /// time, or `None` when unbounded.
     pub fn upper_bound(&self, source_time: TimeMs) -> Option<TimeMs> {
-        self.max_delay_ms.map(|max| TimeMs(source_time.0 + self.offset_ms + max))
+        self.max_delay_ms
+            .map(|max| TimeMs(source_time.0 + self.offset_ms + max))
     }
 
     /// True when an actual target time satisfies the window.
@@ -142,7 +149,10 @@ pub struct ScheduleOptions {
 
 impl Default for ScheduleOptions {
     fn default() -> Self {
-        ScheduleOptions { default_discrete_ms: 2_000, fill_unknown_in_parallel: false }
+        ScheduleOptions {
+            default_discrete_ms: 2_000,
+            fill_unknown_in_parallel: false,
+        }
     }
 }
 
@@ -196,8 +206,11 @@ mod tests {
     fn origin_classification() {
         assert!(ConstraintOrigin::SequentialOrder.is_default());
         assert!(ConstraintOrigin::LeafDuration.is_default());
-        assert!(!ConstraintOrigin::Explicit { carrier: NodeId::from_index(0), index: 0 }
-            .is_default());
+        assert!(!ConstraintOrigin::Explicit {
+            carrier: NodeId::from_index(0),
+            index: 0
+        }
+        .is_default());
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the integration tests use: the [`proptest!`] macro
+//! with `#![proptest_config(...)]`, arguments drawn from integer range
+//! strategies and [`bool::ANY`], and the `prop_assert*` family. Instead of
+//! random exploration with shrinking, cases are sampled deterministically
+//! from a per-case seeded generator, so failures reproduce exactly across
+//! runs without persisting a regression file.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SampleRange, SeedableRng};
+
+/// Test-runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// A generator whose sequence is a pure function of the case index.
+    pub fn for_case(case: u64) -> TestRng {
+        TestRng {
+            inner: SmallRng::seed_from_u64(case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// A source of values for one property argument.
+///
+/// The real proptest `Strategy` produces shrinkable value trees; this
+/// stand-in only needs to produce the value itself.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.clone().sample_from(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary` for the primitives the tests draw.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for core::primitive::bool {
+    fn arbitrary(rng: &mut TestRng) -> core::primitive::bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for every value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use std::ops::Range;
+
+    use super::{SampleRange, Strategy, TestRng};
+
+    /// Strategy for vectors with element strategy `S` and length in `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of values drawn from `element`, with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                self.size.clone().sample_from(rng)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{RngCore, Strategy, TestRng};
+
+    /// Strategy producing both boolean values.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Draws `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The `proptest!` macro: wraps `#[test]` functions whose arguments are
+/// drawn from strategies, running each body for `config.cases` cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each property function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(u64::from(case));
+                $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a property holds; on failure the case panics (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two values are equal; on failure the case panics (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two values differ; on failure the case panics (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The glob-import surface the tests use.
+pub mod prelude {
+    pub use crate::bool;
+    pub use crate::{any, Any, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Arguments stay inside their declared ranges.
+        #[test]
+        fn ranges_respected(a in 1usize..5, b in 10i64..40, flag in crate::bool::ANY) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert!((10..40).contains(&b));
+            prop_assert_eq!(u64::from(flag) <= 1, true);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut one = TestRng::for_case(3);
+        let mut two = TestRng::for_case(3);
+        let s = 1usize..100;
+        assert_eq!(
+            Strategy::sample(&s, &mut one),
+            Strategy::sample(&s, &mut two)
+        );
+    }
+}

@@ -10,12 +10,12 @@
 //!
 //! Run with `cargo run --example constraint_adaptation`.
 
-use cmif::core::error::Result;
 use cmif::media::store::BlockStore;
 use cmif::news::{capture_news_media, evening_news};
 use cmif::pipeline::constraint::DeviceProfile;
 use cmif::pipeline::pipeline::{run_pipeline, PipelineOptions};
 use cmif::scheduler::JitterModel;
+use cmif::Result;
 
 fn main() -> Result<()> {
     let doc = evening_news()?;
@@ -29,7 +29,7 @@ fn main() -> Result<()> {
         // Each device gets its own copy of the captured media, because the
         // constraint filters materialise degraded blocks in place.
         let store = BlockStore::new();
-        capture_news_media(&store, 1991).expect("capture succeeds");
+        capture_news_media(&store, 1991)?;
         let before_bytes = store.total_bytes();
 
         let options = PipelineOptions {
@@ -57,7 +57,10 @@ fn main() -> Result<()> {
             run.solve.schedule.total_duration,
             run.solve.violations.len()
         );
-        println!("device conflicts remaining: {}", run.conflicts.of_class(2).len());
+        println!(
+            "device conflicts remaining: {}",
+            run.conflicts.of_class(2).len()
+        );
         if let Some(playback) = &run.playback {
             println!(
                 "playback under jitter: {} must violations, {} may violations, max drift {} ms",

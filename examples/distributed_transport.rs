@@ -10,12 +10,12 @@
 //! Run with `cargo run --example distributed_transport`.
 
 use cmif::core::channel::MediaKind;
-use cmif::core::error::Result;
 use cmif::distrib::network::{Link, Network};
 use cmif::distrib::store::DistributedStore;
 use cmif::distrib::transport::{compare_transport, referenced_keys};
 use cmif::media::MediaGenerator;
 use cmif::news::evening_news;
+use cmif::Result;
 
 fn main() -> Result<()> {
     // A LAN between the media server and the desk, a WAN link to the home
@@ -44,13 +44,9 @@ fn main() -> Result<()> {
             ),
             _ => generator.image(&descriptor.key, 320, 240, 24),
         };
-        cluster
-            .put_block("cwi-server", block, descriptor.clone())
-            .expect("server accepts the captured block");
+        cluster.put_block("cwi-server", block, descriptor.clone())?;
     }
-    let published = cluster
-        .publish_document("cwi-server", "evening-news", &doc)
-        .expect("publishing succeeds");
+    let published = cluster.publish_document("cwi-server", "evening-news", &doc)?;
     println!("document structure published on cwi-server: {published} bytes");
     println!(
         "referenced media blocks: {} ({} if only audio is wanted)",
@@ -67,8 +63,7 @@ fn main() -> Result<()> {
         "home",
         "evening-news",
         Some(&[MediaKind::Audio]),
-    )
-    .expect("transport comparison succeeds");
+    )?;
 
     println!("\n--- eager transport to `desk` (structure + every block) ---");
     println!(
@@ -93,9 +88,7 @@ fn main() -> Result<()> {
 
     // The home terminal can still open and reason about the whole document —
     // structure access never needed the media.
-    let received = cluster
-        .open_document("home", "evening-news")
-        .expect("the home terminal received the structure");
+    let received = cluster.open_document("home", "evening-news")?;
     println!(
         "home terminal sees {} events on {} channels without holding the video",
         received.leaves().len(),

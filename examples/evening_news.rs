@@ -8,7 +8,6 @@
 //!
 //! Run with `cargo run --example evening_news`.
 
-use cmif::core::error::Result;
 use cmif::format::{channel_view, conventional_view, embedded_view};
 use cmif::media::store::BlockStore;
 use cmif::news::{capture_news_media, evening_news};
@@ -16,11 +15,12 @@ use cmif::pipeline::constraint::DeviceProfile;
 use cmif::pipeline::pipeline::{run_pipeline, PipelineOptions};
 use cmif::pipeline::presentation::render_map;
 use cmif::pipeline::viewer::render_storyboard;
+use cmif::Result;
 
 fn main() -> Result<()> {
     // Stage 1: capture the media (synthetic stand-ins for the broadcast).
     let store = BlockStore::new();
-    capture_news_media(&store, 1991).expect("capture of synthetic media succeeds");
+    capture_news_media(&store, 1991)?;
 
     // Stage 2: the document structure (the CMIF contribution).
     let doc = evening_news()?;
@@ -33,7 +33,12 @@ fn main() -> Result<()> {
 
     // Stages 3-5: presentation mapping, constraint filtering, scheduling,
     // conflicts, viewing, playback — on a workstation.
-    let run = run_pipeline(&doc, &store, &DeviceProfile::workstation(), &PipelineOptions::default())?;
+    let run = run_pipeline(
+        &doc,
+        &store,
+        &DeviceProfile::workstation(),
+        &PipelineOptions::default(),
+    )?;
 
     println!("=== presentation map (virtual real estate) ===");
     println!("{}", render_map(&run.presentation));
@@ -48,7 +53,12 @@ fn main() -> Result<()> {
     println!("{}", run.table_of_contents);
 
     println!("=== storyboard (one frame every 8 s) ===");
-    let frames: Vec<_> = run.storyboard.iter().filter(|f| f.at.as_millis() % 8_000 == 0).cloned().collect();
+    let frames: Vec<_> = run
+        .storyboard
+        .iter()
+        .filter(|f| f.at.as_millis() % 8_000 == 0)
+        .cloned()
+        .collect();
     println!("{}", render_storyboard(&frames));
 
     if let Some(playback) = &run.playback {

@@ -9,7 +9,6 @@
 //! Run with `cargo run --example hyper_navigation`.
 
 use cmif::core::arc::SyncArc;
-use cmif::core::error::Result;
 use cmif::core::time::{MediaTime, TimeMs};
 use cmif::hyper::conditional::{
     constraints_with_conditionals, Condition, ConditionalArc, PresentationContext,
@@ -18,6 +17,7 @@ use cmif::hyper::links::LinkSet;
 use cmif::hyper::navigation::Navigator;
 use cmif::news::evening_news;
 use cmif::scheduler::{solve, solve_constraints, ScheduleOptions};
+use cmif::Result;
 
 fn main() -> Result<()> {
     let doc = evening_news()?;
@@ -33,8 +33,10 @@ fn main() -> Result<()> {
         SyncArc::relaxed_start("/story-3/narration", "").with_offset(MediaTime::seconds(10)),
     );
 
-    for flags in [PresentationContext::full(), PresentationContext::full().with_flag("captions-on")]
-    {
+    for flags in [
+        PresentationContext::full(),
+        PresentationContext::full().with_flag("captions-on"),
+    ] {
         let constraints = constraints_with_conditionals(
             &doc,
             &doc.catalog,
@@ -76,7 +78,10 @@ fn main() -> Result<()> {
         nav.skipped,
         nav.remaining.len()
     );
-    println!("arcs invalidated by the jump (class-3 conflicts): {}", nav.invalidated.len());
+    println!(
+        "arcs invalidated by the jump (class-3 conflicts): {}",
+        nav.invalidated.len()
+    );
     for conflict in &nav.invalidated {
         println!("  {conflict}");
     }

@@ -7,40 +7,42 @@
 use cmif::core::prelude::*;
 use cmif::format::{parse_document, write_document};
 use cmif::scheduler::{solve, ScheduleOptions};
+use cmif::Result;
 
 fn main() -> Result<()> {
     // 1. Author a document: two channels, one parallel scene.
-    let doc = DocumentBuilder::new("quickstart")
-        .channel("audio", MediaKind::Audio)
-        .channel("caption", MediaKind::Text)
-        .descriptor(
-            DataDescriptor::new("greeting", MediaKind::Audio, "pcm8")
-                .with_duration(TimeMs::from_secs(4))
-                .with_size(32_000)
-                .with_rates(RateInfo::audio(8_000, 8_000)),
-        )
-        .root_seq(|root| {
-            root.par("scene-1", |scene| {
-                scene.ext("voice", "audio", "greeting");
-                scene.ext_with("subtitle", "caption", "greeting", |n| {
-                    n.duration_ms(3_000);
-                    // The subtitle must start within 250 ms of the voice.
-                    n.arc(SyncArc::hard_start("../voice", "").with_window(
-                        DelayMs::ZERO,
-                        MaxDelay::Bounded(DelayMs::from_millis(250)),
-                    ));
+    let doc =
+        DocumentBuilder::new("quickstart")
+            .channel("audio", MediaKind::Audio)
+            .channel("caption", MediaKind::Text)
+            .descriptor(
+                DataDescriptor::new("greeting", MediaKind::Audio, "pcm8")
+                    .with_duration(TimeMs::from_secs(4))
+                    .with_size(32_000)
+                    .with_rates(RateInfo::audio(8_000, 8_000)),
+            )
+            .root_seq(|root| {
+                root.par("scene-1", |scene| {
+                    scene.ext("voice", "audio", "greeting");
+                    scene.ext_with("subtitle", "caption", "greeting", |n| {
+                        n.duration_ms(3_000);
+                        // The subtitle must start within 250 ms of the voice.
+                        n.arc(SyncArc::hard_start("../voice", "").with_window(
+                            DelayMs::ZERO,
+                            MaxDelay::Bounded(DelayMs::from_millis(250)),
+                        ));
+                    });
                 });
-            });
-            root.par("scene-2", |scene| {
-                scene.imm_text("credits", "caption", "produced with CMIF", 2_000);
-            });
-        })
-        .build()?;
+                root.par("scene-2", |scene| {
+                    scene.imm_text("credits", "caption", "produced with CMIF", 2_000);
+                });
+            })
+            .build()?;
 
     // 2. Serialize to the transportable interchange form and parse it back.
     let text = write_document(&doc)?;
     println!("--- interchange form ({} bytes) ---\n{text}", text.len());
-    let parsed = parse_document(&text).expect("the writer's output always parses");
+    let parsed = parse_document(&text)?;
     assert_eq!(parsed.leaves().len(), doc.leaves().len());
 
     // 3. Schedule the parsed document and print the timeline.

@@ -1,0 +1,187 @@
+//! The unified error type of the `cmif` umbrella crate.
+//!
+//! Every layer of the workspace keeps its own error enum with
+//! layer-specific context (node ids, source positions with byte offsets,
+//! channel names, pipeline stages, host names), and `From` conversions run
+//! along the crate dependency DAG:
+//!
+//! ```text
+//! core ← format / media / scheduler ← pipeline / distrib / hyper ← cmif::Error
+//! ```
+//!
+//! [`Error`] is the top of that lattice: any workspace error converts into
+//! it with `?`, and [`std::error::Error::source`] walks back down to the
+//! layer that actually failed. Application code (the examples, integration
+//! tests and benches) only needs [`cmif::Result`](crate::Result).
+
+use std::fmt;
+
+use cmif_core::error::CoreError;
+use cmif_distrib::DistribError;
+use cmif_format::FormatError;
+use cmif_hyper::HyperError;
+use cmif_media::MediaError;
+use cmif_pipeline::PipelineError;
+use cmif_scheduler::SchedulerError;
+
+/// Result alias for application code built on the umbrella crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Any error the CMIF workspace can produce, tagged by the layer it
+/// surfaced from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// From `cmif-core`: the document model.
+    Core(CoreError),
+    /// From `cmif-format`: the interchange format (carries source
+    /// positions with line, column and byte offset).
+    Format(FormatError),
+    /// From `cmif-media`: blocks, stores and codecs.
+    Media(MediaError),
+    /// From `cmif-scheduler`: constraint solving and playback.
+    Scheduler(SchedulerError),
+    /// From `cmif-pipeline`: the CWI/Multimedia Pipeline (carries the
+    /// failing stage).
+    Pipeline(PipelineError),
+    /// From `cmif-distrib`: the simulated distributed store.
+    Distrib(DistribError),
+    /// From `cmif-hyper`: links, conditional arcs and navigation.
+    Hyper(HyperError),
+}
+
+impl Error {
+    /// The name of the layer the error surfaced from.
+    pub fn layer(&self) -> &'static str {
+        match self {
+            Error::Core(_) => "core",
+            Error::Format(_) => "format",
+            Error::Media(_) => "media",
+            Error::Scheduler(_) => "scheduler",
+            Error::Pipeline(_) => "pipeline",
+            Error::Distrib(_) => "distrib",
+            Error::Hyper(_) => "hyper",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "cmif core: {e}"),
+            Error::Format(e) => write!(f, "cmif format: {e}"),
+            Error::Media(e) => write!(f, "cmif media: {e}"),
+            Error::Scheduler(e) => write!(f, "cmif scheduler: {e}"),
+            Error::Pipeline(e) => write!(f, "cmif pipeline: {e}"),
+            Error::Distrib(e) => write!(f, "cmif distrib: {e}"),
+            Error::Hyper(e) => write!(f, "cmif hyper: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Format(e) => Some(e),
+            Error::Media(e) => Some(e),
+            Error::Scheduler(e) => Some(e),
+            Error::Pipeline(e) => Some(e),
+            Error::Distrib(e) => Some(e),
+            Error::Hyper(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for Error {
+    fn from(e: CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<FormatError> for Error {
+    fn from(e: FormatError) -> Self {
+        Error::Format(e)
+    }
+}
+
+impl From<MediaError> for Error {
+    fn from(e: MediaError) -> Self {
+        Error::Media(e)
+    }
+}
+
+impl From<SchedulerError> for Error {
+    fn from(e: SchedulerError) -> Self {
+        Error::Scheduler(e)
+    }
+}
+
+impl From<PipelineError> for Error {
+    fn from(e: PipelineError) -> Self {
+        Error::Pipeline(e)
+    }
+}
+
+impl From<DistribError> for Error {
+    fn from(e: DistribError) -> Self {
+        Error::Distrib(e)
+    }
+}
+
+impl From<HyperError> for Error {
+    fn from(e: HyperError) -> Self {
+        Error::Hyper(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as StdError;
+
+    #[test]
+    fn every_layer_converts() {
+        let layers: Vec<Error> = vec![
+            CoreError::EmptyDocument.into(),
+            FormatError::UnexpectedEof.into(),
+            MediaError::UnknownBlock { key: "x".into() }.into(),
+            SchedulerError::ConstraintCycle {
+                phase: "solve",
+                points: 2,
+            }
+            .into(),
+            PipelineError::from(CoreError::EmptyDocument).into(),
+            DistribError::UnknownHost { host: "vax".into() }.into(),
+            HyperError::Core(CoreError::EmptyDocument).into(),
+        ];
+        let names: Vec<&str> = layers.iter().map(Error::layer).collect();
+        assert_eq!(
+            names,
+            [
+                "core",
+                "format",
+                "media",
+                "scheduler",
+                "pipeline",
+                "distrib",
+                "hyper"
+            ]
+        );
+    }
+
+    #[test]
+    fn sources_walk_back_down_the_dag() {
+        // distrib wraps format wraps nothing: the chain has two hops.
+        let err: Error = DistribError::Format(FormatError::UnexpectedEof).into();
+        let distrib = err.source().expect("distrib source");
+        let format = distrib.source().expect("format source");
+        assert!(format.to_string().contains("end of input"));
+        assert!(format.source().is_none());
+    }
+
+    #[test]
+    fn display_prefixes_the_layer() {
+        let err: Error = CoreError::EmptyDocument.into();
+        assert!(err.to_string().starts_with("cmif core:"));
+    }
+}

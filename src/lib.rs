@@ -28,5 +28,8 @@ pub use cmif_media as media;
 pub use cmif_pipeline as pipeline;
 pub use cmif_scheduler as scheduler;
 
+pub mod error;
 pub mod news;
 pub mod synthetic;
+
+pub use error::{Error, Result};

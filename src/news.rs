@@ -21,10 +21,10 @@
 //! [`capture_news_media`] fills a block store with synthetic media whose
 //! shapes match the document, so the full pipeline can run on it.
 
+use crate::error::Result;
 use cmif_core::arc::{Anchor, SyncArc};
 use cmif_core::channel::{ChannelDef, MediaKind};
 use cmif_core::descriptor::DataDescriptor;
-use cmif_core::error::Result;
 use cmif_core::prelude::{Attr, AttrName, AttrValue, DocumentBuilder, StyleDef};
 use cmif_core::time::{DelayMs, MaxDelay, MediaTime, RateInfo, TimeMs};
 use cmif_core::tree::Document;
@@ -56,15 +56,16 @@ pub fn evening_news() -> Result<Document> {
                 .with_extra("language", AttrValue::Id("en".into())),
         )
         .channel("label", MediaKind::Label)
-        .style(
-            StyleDef::new("caption-style").with_attr(Attr::new(
-                AttrName::TFormatting,
+        .style(StyleDef::new("caption-style").with_attr(Attr::new(
+            AttrName::TFormatting,
+            AttrValue::list([
                 AttrValue::list([
-                    AttrValue::list([AttrValue::Id("font".into()), AttrValue::Id("helvetica".into())]),
-                    AttrValue::list([AttrValue::Id("size".into()), AttrValue::Number(14)]),
+                    AttrValue::Id("font".into()),
+                    AttrValue::Id("helvetica".into()),
                 ]),
-            )),
-        )
+                AttrValue::list([AttrValue::Id("size".into()), AttrValue::Number(14)]),
+            ]),
+        )))
         .style(
             StyleDef::new("label-style")
                 .with_parent("caption-style")
@@ -153,12 +154,10 @@ pub fn evening_news() -> Result<Document> {
                 story.seq("graphic-track", |track| {
                     track.ext_with("painting-one", "graphic", "story3/painting-one", |n| {
                         n.duration_ms(12_000);
-                        n.arc(
-                            SyncArc::hard_start("/story-3/narration", "").with_window(
-                                DelayMs::ZERO,
-                                MaxDelay::Bounded(DelayMs::from_millis(500)),
-                            ),
-                        );
+                        n.arc(SyncArc::hard_start("/story-3/narration", "").with_window(
+                            DelayMs::ZERO,
+                            MaxDelay::Bounded(DelayMs::from_millis(500)),
+                        ));
                     });
                     track.ext_with("painting-two", "graphic", "story3/painting-two", |n| {
                         n.duration_ms(12_000);
@@ -175,9 +174,14 @@ pub fn evening_news() -> Result<Document> {
                                 ),
                         );
                     });
-                    track.ext_with("insurance-graph", "graphic", "story3/insurance-graph", |n| {
-                        n.duration_ms(10_000);
-                    });
+                    track.ext_with(
+                        "insurance-graph",
+                        "graphic",
+                        "story3/insurance-graph",
+                        |n| {
+                            n.duration_ms(10_000);
+                        },
+                    );
                 });
 
                 // Caption: five beats, start-synchronized with the video.
@@ -191,7 +195,12 @@ pub fn evening_news() -> Result<Document> {
                 // Label: loosely synchronized titles.
                 story.seq("label-track", |track| {
                     track.imm_text("story-name", "label", "Story 3: Museum theft", 8_000);
-                    track.imm_text("museum-name", "label", "Rijksmuseum van Moderne Kunst", 16_000);
+                    track.imm_text(
+                        "museum-name",
+                        "label",
+                        "Rijksmuseum van Moderne Kunst",
+                        16_000,
+                    );
                     track.imm_text("announcer-name", "label", "Anchor: J. van Dam", 16_000);
                 });
             });
@@ -204,10 +213,8 @@ pub fn evening_news() -> Result<Document> {
     let caption_track = doc.find("/story-3/caption-track")?;
     doc.add_arc(
         caption_track,
-        SyncArc::hard_start("/story-3/video-track", "").with_window(
-            DelayMs::ZERO,
-            MaxDelay::Bounded(DelayMs::from_millis(250)),
-        ),
+        SyncArc::hard_start("/story-3/video-track", "")
+            .with_window(DelayMs::ZERO, MaxDelay::Bounded(DelayMs::from_millis(250))),
     )?;
     // The label channel is a May synchronization: "if the label is a little
     // late, then there is no reason for panic" (§5.3.2).
@@ -228,19 +235,48 @@ pub fn evening_news() -> Result<Document> {
 /// returns the document (its catalog refreshed from the captured
 /// descriptors' sizes is not required — the embedded catalog already
 /// matches).
-pub fn capture_news_media(store: &BlockStore, seed: u64) -> cmif_media::Result<()> {
+pub fn capture_news_media(store: &BlockStore, seed: u64) -> Result<()> {
     let mut tool = CaptureTool::new(store, seed);
     let total_ms: i64 = BEATS_MS.iter().sum();
-    tool.capture(&CaptureRequest::audio("story3/audio", total_ms).with_attribute("language", "nl"))?;
+    tool.capture(
+        &CaptureRequest::audio("story3/audio", total_ms).with_attribute("language", "nl"),
+    )?;
     // Keep the synthetic video small (64x48): the document's descriptors
     // describe broadcast-sized media, but the pipeline only needs bytes with
     // the right shape, not 1991 broadcast volumes in a unit-test heap.
-    tool.capture(&CaptureRequest::video("story3/talking-head-1", 10_000, (64, 48), 24))?;
-    tool.capture(&CaptureRequest::video("story3/crime-scene", 20_000, (64, 48), 24))?;
-    tool.capture(&CaptureRequest::video("story3/talking-head-2", 10_000, (64, 48), 24))?;
-    tool.capture(&CaptureRequest::image("story3/painting-one", (640, 480), 24))?;
-    tool.capture(&CaptureRequest::image("story3/painting-two", (640, 480), 24))?;
-    tool.capture(&CaptureRequest::image("story3/insurance-graph", (640, 480), 24))?;
+    tool.capture(&CaptureRequest::video(
+        "story3/talking-head-1",
+        10_000,
+        (64, 48),
+        24,
+    ))?;
+    tool.capture(&CaptureRequest::video(
+        "story3/crime-scene",
+        20_000,
+        (64, 48),
+        24,
+    ))?;
+    tool.capture(&CaptureRequest::video(
+        "story3/talking-head-2",
+        10_000,
+        (64, 48),
+        24,
+    ))?;
+    tool.capture(&CaptureRequest::image(
+        "story3/painting-one",
+        (640, 480),
+        24,
+    ))?;
+    tool.capture(&CaptureRequest::image(
+        "story3/painting-two",
+        (640, 480),
+        24,
+    ))?;
+    tool.capture(&CaptureRequest::image(
+        "story3/insurance-graph",
+        (640, 480),
+        24,
+    ))?;
     Ok(())
 }
 
@@ -255,7 +291,11 @@ mod tests {
         assert_eq!(doc.channels.len(), 5);
         assert!(doc.catalog.len() >= 7);
         let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
-        assert!(result.is_consistent(), "violations: {:?}", result.violations);
+        assert!(
+            result.is_consistent(),
+            "violations: {:?}",
+            result.violations
+        );
         // The story runs 40 s of narration; the freeze-frame arc pushes the
         // final talking head to the end of the fourth caption (t = 32 s), so
         // the video track ends at 42 s.
@@ -269,7 +309,10 @@ mod tests {
         // The second painting starts one second after the second caption
         // ends (caption-1 6 s + caption-2 8 s + 1 s offset = 15 s).
         let painting_two = doc.find("/story-3/graphic-track/painting-two").unwrap();
-        assert_eq!(result.schedule.node_times[&painting_two].0, TimeMs::from_secs(15));
+        assert_eq!(
+            result.schedule.node_times[&painting_two].0,
+            TimeMs::from_secs(15)
+        );
         // The final talking head waits for the fourth caption to end (32 s)
         // even though the crime-scene footage ends at 30 s.
         let head2 = doc.find("/story-3/video-track/talking-head-2").unwrap();

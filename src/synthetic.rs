@@ -7,14 +7,14 @@
 //! [`balanced_tree`] generates abstract seq/par trees of a given depth and
 //! fan-out for the Figure 5/6 parsing and serialization benches.
 
+use crate::error::Result;
 use cmif_core::arc::SyncArc;
 use cmif_core::channel::MediaKind;
 use cmif_core::descriptor::DataDescriptor;
-use cmif_core::error::Result;
+use cmif_core::node::NodeKind;
 use cmif_core::prelude::{AttrValue, DocumentBuilder, NodeBuilder};
 use cmif_core::time::{DelayMs, MaxDelay, RateInfo, TimeMs};
 use cmif_core::tree::Document;
-use cmif_core::node::NodeKind;
 
 /// Parameters of a synthetic news broadcast.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,7 +49,10 @@ impl SyntheticNews {
     /// Convenience constructor: a broadcast with `stories` stories and the
     /// other parameters at their defaults.
     pub fn with_stories(stories: usize) -> SyntheticNews {
-        SyntheticNews { stories, ..SyntheticNews::default() }
+        SyntheticNews {
+            stories,
+            ..SyntheticNews::default()
+        }
     }
 
     /// Builds the document.
@@ -168,15 +171,24 @@ pub fn balanced_tree(depth: usize, fanout: usize) -> Result<Document> {
     fn fill(node: &mut NodeBuilder<'_>, level: usize, depth: usize, fanout: usize) {
         if level + 2 >= depth {
             for i in 0..fanout {
-                node.imm_text(&format!("leaf-{i}"), "caption", format!("leaf at level {level}"), 1_000);
+                node.imm_text(
+                    &format!("leaf-{i}"),
+                    "caption",
+                    format!("leaf at level {level}"),
+                    1_000,
+                );
             }
             return;
         }
         for i in 0..fanout {
             if level % 2 == 0 {
-                node.seq(&format!("seq-{i}"), |child| fill(child, level + 1, depth, fanout));
+                node.seq(&format!("seq-{i}"), |child| {
+                    fill(child, level + 1, depth, fanout)
+                });
             } else {
-                node.par(&format!("par-{i}"), |child| fill(child, level + 1, depth, fanout));
+                node.par(&format!("par-{i}"), |child| {
+                    fill(child, level + 1, depth, fanout)
+                });
             }
         }
     }
@@ -220,7 +232,10 @@ mod tests {
 
     #[test]
     fn implicit_only_variant_has_no_arcs() {
-        let config = SyntheticNews { explicit_arcs: false, ..SyntheticNews::with_stories(2) };
+        let config = SyntheticNews {
+            explicit_arcs: false,
+            ..SyntheticNews::with_stories(2)
+        };
         let doc = config.build().unwrap();
         assert!(doc.arcs().is_empty());
         let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();

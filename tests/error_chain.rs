@@ -1,0 +1,131 @@
+//! Integration tests for the layered error architecture: a malformed CMIF
+//! document pushed through `cmif-format` must surface as a `cmif::Error`
+//! whose chain preserves the lexer/parser source position — line, column
+//! and byte offset — and whose `source()` chain walks back down to the
+//! layer that failed.
+
+use std::error::Error as StdError;
+
+use cmif::format::lexer::tokenize;
+use cmif::format::{parse_document, FormatError, Position, Span};
+use cmif::news::evening_news;
+
+/// Parses a malformed document and returns the unified error.
+fn parse_err(source: &str) -> cmif::Error {
+    let err = parse_document(source).expect_err("document is malformed");
+    cmif::Error::from(err)
+}
+
+#[test]
+fn lexer_errors_keep_line_column_and_byte_offset_through_the_chain() {
+    // The `%` on line 3, column 9 is no CMIF token. Byte offset: the two
+    // preceding lines are "(cmif\n" (6 bytes) and "  (channels)\n" (13
+    // bytes), plus 8 bytes of indentation and keyword on line 3.
+    let source = "(cmif\n  (channels)\n  (seq [%]))";
+    let bad_byte = source.find('%').expect("source contains the bad byte");
+
+    let err = parse_err(source);
+    assert_eq!(err.layer(), "format");
+    let cmif::Error::Format(format_err) = &err else {
+        panic!("expected a format-layer error, got {err:?}");
+    };
+    // `[` is already not a CMIF token; the error anchors there, one byte
+    // before the `%`.
+    let at = format_err
+        .position()
+        .expect("lexer errors carry a position");
+    assert_eq!(at.line, 3);
+    assert_eq!(at.offset, bad_byte - 1);
+    assert_eq!(&source[at.offset..at.offset + 1], "[");
+
+    // The rendered message shows line:column; the chain bottoms out at the
+    // format layer (no deeper source).
+    assert!(err.to_string().contains("3:"));
+    let source_err = err.source().expect("cmif::Error exposes its layer");
+    assert!(source_err.source().is_none());
+}
+
+#[test]
+fn truncated_documents_report_where_the_text_ends() {
+    let doc = evening_news().expect("the news builds");
+    let text = cmif::format::write_document(&doc).expect("the news serializes");
+    let truncated = &text[..text.len() / 2];
+
+    let err = parse_err(truncated);
+    let cmif::Error::Format(format_err) = &err else {
+        panic!("expected a format-layer error, got {err:?}");
+    };
+    // Truncation surfaces as unbalanced parentheses anchored on an open
+    // paren inside the retained half, or as a bare EOF — both are format
+    // errors; a position, when present, must point into the retained text.
+    if let Some(at) = format_err.position() {
+        assert!(at.offset < truncated.len());
+        assert_eq!(&truncated[at.offset..at.offset + 1], "(");
+    }
+}
+
+#[test]
+fn bad_numbers_carry_the_offending_literal_and_its_position() {
+    let source = "(cmif\n  (channels (channel caption text))\n  (seq (name demo)\n    (imm (name x) (channel caption) (duration 12.7.9) (data \"hi\"))))";
+    let err = parse_err(source);
+    let cmif::Error::Format(FormatError::BadNumber { text, at }) = &err else {
+        panic!("expected BadNumber, got {err:?}");
+    };
+    assert_eq!(text, "12.7.9");
+    assert_eq!(at.offset, source.find("12.7.9").expect("literal present"));
+    assert_eq!(at.line, 4);
+}
+
+#[test]
+fn lexer_spans_cover_token_text_and_survive_as_error_anchors() {
+    let source = "(seq (name \"two words\") 1250)";
+    let tokens = tokenize(source).expect("source tokenizes");
+    // Every span slices exactly its own text back out of the source.
+    for token in &tokens {
+        let text = token.span.text(source).expect("span within source");
+        assert_eq!(text.len(), token.span.len());
+        assert!(!text.is_empty());
+    }
+    let string_token = &tokens[4];
+    assert_eq!(string_token.span.text(source), Some("\"two words\""));
+    assert_eq!(string_token.position().column, 12);
+
+    // A span built from an error position behaves the same way.
+    let span = Span::new(Position::new(1, 1, 0), 4);
+    assert_eq!(span.text(source), Some("(seq"));
+}
+
+#[test]
+fn distrib_transport_preserves_format_positions_two_layers_up() {
+    use cmif::distrib::DistribError;
+    // A document that fails to parse *after* transport keeps the parser's
+    // position through DistribError into cmif::Error.
+    let bad = "(cmif (channels) (seq (name x) (imm (name y) (duration oops))))";
+    let format_err = parse_document(bad).expect_err("malformed document");
+    let err: cmif::Error = DistribError::Format(format_err.clone()).into();
+
+    assert_eq!(err.layer(), "distrib");
+    let distrib = err.source().expect("distrib source");
+    let format = distrib.source().expect("format source below distrib");
+    assert_eq!(format.to_string(), format_err.to_string());
+    if let Some(at) = format_err.position() {
+        assert!(at.offset < bad.len());
+    }
+}
+
+#[test]
+fn scheduler_and_pipeline_layers_chain_to_core() {
+    use cmif::core::prelude::CoreError;
+    use cmif::pipeline::PipelineError;
+
+    let err: cmif::Error = PipelineError::from(CoreError::UnknownChannel {
+        channel: "audio-left".into(),
+    })
+    .in_stage("presentation")
+    .into();
+    assert_eq!(err.layer(), "pipeline");
+    assert!(err.to_string().contains("presentation"));
+    let pipeline = err.source().expect("pipeline source");
+    let core = pipeline.source().expect("core source below pipeline");
+    assert!(core.to_string().contains("audio-left"));
+}

@@ -20,8 +20,13 @@ fn evening_news_presents_on_a_workstation() {
     let store = BlockStore::new();
     capture_news_media(&store, 7).unwrap();
     let doc = evening_news().unwrap();
-    let run = run_pipeline(&doc, &store, &DeviceProfile::workstation(), &PipelineOptions::default())
-        .unwrap();
+    let run = run_pipeline(
+        &doc,
+        &store,
+        &DeviceProfile::workstation(),
+        &PipelineOptions::default(),
+    )
+    .unwrap();
     assert!(run.is_presentable(), "conflicts: {}", run.conflicts);
     assert!(run.filter_plan.is_identity());
     assert_eq!(run.presentation.len(), 5);
@@ -61,11 +66,20 @@ fn audio_kiosk_presents_the_narration_only() {
     let store = BlockStore::new();
     capture_news_media(&store, 7).unwrap();
     let doc = evening_news().unwrap();
-    let run = run_pipeline(&doc, &store, &DeviceProfile::audio_kiosk(), &PipelineOptions::default())
-        .unwrap();
+    let run = run_pipeline(
+        &doc,
+        &store,
+        &DeviceProfile::audio_kiosk(),
+        &PipelineOptions::default(),
+    )
+    .unwrap();
     assert!(!run.is_presentable());
-    let dropped: BTreeSet<&str> =
-        run.filter_plan.dropped_channels.iter().map(String::as_str).collect();
+    let dropped: BTreeSet<&str> = run
+        .filter_plan
+        .dropped_channels
+        .iter()
+        .map(String::as_str)
+        .collect();
     assert!(dropped.contains("video"));
     assert!(dropped.contains("graphic"));
     assert!(dropped.contains("caption"));
@@ -85,14 +99,18 @@ fn distributed_presentation_fetches_only_what_the_device_presents() {
             MediaKind::Video => generator.video(&descriptor.key, 10_000, 64, 48, 25.0, 24),
             _ => generator.image(&descriptor.key, 128, 96, 24),
         };
-        cluster.put_block("server", block, descriptor.clone()).unwrap();
+        cluster
+            .put_block("server", block, descriptor.clone())
+            .unwrap();
     }
     cluster.publish_document("server", "news", &doc).unwrap();
     cluster.reset_traffic();
 
     // The kiosk receives the structure, decides what it can present, and
     // fetches only those blocks.
-    let received = cluster.transport_document("server", "kiosk", "news").unwrap();
+    let received = cluster
+        .transport_document("server", "kiosk", "news")
+        .unwrap();
     let wanted: BTreeSet<String> = referenced_keys(&received, Some(&[MediaKind::Audio]))
         .into_iter()
         .collect();
@@ -106,9 +124,8 @@ fn distributed_presentation_fetches_only_what_the_device_presents() {
     // The kiosk can schedule the full document from structure alone.
     let result = cluster
         .with_local_store("kiosk", |local| {
-            solve(&received, &received.catalog, &ScheduleOptions::default()).map(|r| {
-                (r.schedule.total_duration, local.len())
-            })
+            solve(&received, &received.catalog, &ScheduleOptions::default())
+                .map(|r| (r.schedule.total_duration, local.len()))
         })
         .unwrap()
         .unwrap();

@@ -12,9 +12,20 @@ fn schedules_match(a: &Document, b: &Document) {
     let options = ScheduleOptions::default();
     let result_a = solve(a, &a.catalog, &options).unwrap();
     let result_b = solve(b, &b.catalog, &options).unwrap();
-    assert_eq!(result_a.schedule.total_duration, result_b.schedule.total_duration);
-    assert_eq!(result_a.schedule.entries.len(), result_b.schedule.entries.len());
-    for (ea, eb) in result_a.schedule.entries.iter().zip(&result_b.schedule.entries) {
+    assert_eq!(
+        result_a.schedule.total_duration,
+        result_b.schedule.total_duration
+    );
+    assert_eq!(
+        result_a.schedule.entries.len(),
+        result_b.schedule.entries.len()
+    );
+    for (ea, eb) in result_a
+        .schedule
+        .entries
+        .iter()
+        .zip(&result_b.schedule.entries)
+    {
         assert_eq!(ea.name, eb.name);
         assert_eq!(ea.channel, eb.channel);
         assert_eq!(ea.begin, eb.begin);
@@ -49,7 +60,11 @@ fn synthetic_broadcasts_round_trip_at_every_size() {
         let doc = SyntheticNews::with_stories(stories).build().unwrap();
         let text = write_document(&doc).unwrap();
         let parsed = parse_document(&text).unwrap();
-        assert_eq!(parsed.leaves().len(), doc.leaves().len(), "stories = {stories}");
+        assert_eq!(
+            parsed.leaves().len(),
+            doc.leaves().len(),
+            "stories = {stories}"
+        );
         assert_eq!(parsed.arcs().len(), doc.arcs().len());
         schedules_match(&doc, &parsed);
     }
@@ -60,7 +75,11 @@ fn structure_text_is_small_compared_to_referenced_media() {
     let doc = evening_news().unwrap();
     let text = write_document(&doc).unwrap();
     let stats = cmif::core::stats::stats(&doc, &doc.catalog).unwrap();
-    assert!(text.len() < 16 * 1024, "structure text is {} bytes", text.len());
+    assert!(
+        text.len() < 16 * 1024,
+        "structure text is {} bytes",
+        text.len()
+    );
     assert!(stats.referenced_data_bytes > 10 * 1_000_000);
     assert!(stats.data_to_structure_ratio() > 100.0);
 }

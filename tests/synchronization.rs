@@ -7,8 +7,8 @@ use cmif::core::prelude::*;
 use cmif::hyper::navigation::Navigator;
 use cmif::news::evening_news;
 use cmif::scheduler::{
-    full_report, invalid_arcs_when_seeking, must_satisfaction_rate, play, solve,
-    EnvironmentLimits, JitterModel, ScheduleOptions,
+    full_report, invalid_arcs_when_seeking, must_satisfaction_rate, play, solve, EnvironmentLimits,
+    JitterModel, ScheduleOptions,
 };
 use cmif::synthetic::SyntheticNews;
 use proptest::prelude::*;
@@ -29,7 +29,11 @@ fn evening_news_schedule_matches_the_paper_narrative() {
         "/story-3/label-track/story-name",
     ] {
         let node = doc.find(path).unwrap();
-        assert_eq!(schedule.node_times[&node].0, TimeMs::ZERO, "{path} should start at t=0");
+        assert_eq!(
+            schedule.node_times[&node].0,
+            TimeMs::ZERO,
+            "{path} should start at t=0"
+        );
     }
 
     // Events on one channel never overlap.
@@ -47,8 +51,13 @@ fn evening_news_schedule_matches_the_paper_narrative() {
     assert_eq!(report.must_violations, 0);
 
     // A workstation has no device conflicts with this document.
-    let conflicts =
-        full_report(&doc, &result, &doc.catalog, Some(&EnvironmentLimits::workstation())).unwrap();
+    let conflicts = full_report(
+        &doc,
+        &result,
+        &doc.catalog,
+        Some(&EnvironmentLimits::workstation()),
+    )
+    .unwrap();
     assert!(conflicts.is_clean(), "unexpected conflicts: {conflicts}");
 }
 
@@ -59,13 +68,17 @@ fn tolerance_windows_absorb_exactly_the_jitter_they_declare() {
     // The tightest Must window in the news is 250 ms (captions onto video).
     let small = JitterModel::uniform(100, 42);
     let large = JitterModel::uniform(2_000, 42);
-    let rate_small =
-        must_satisfaction_rate(&doc, &result, &doc.catalog, &small, 30).unwrap();
-    let rate_large =
-        must_satisfaction_rate(&doc, &result, &doc.catalog, &large, 30).unwrap();
+    let rate_small = must_satisfaction_rate(&doc, &result, &doc.catalog, &small, 30).unwrap();
+    let rate_large = must_satisfaction_rate(&doc, &result, &doc.catalog, &large, 30).unwrap();
     assert!(rate_small >= rate_large);
-    assert!(rate_small > 0.9, "small jitter should almost always satisfy, got {rate_small}");
-    assert!(rate_large < 0.5, "2 s of jitter must break 250 ms windows, got {rate_large}");
+    assert!(
+        rate_small > 0.9,
+        "small jitter should almost always satisfy, got {rate_small}"
+    );
+    assert!(
+        rate_large < 0.5,
+        "2 s of jitter must break 250 ms windows, got {rate_large}"
+    );
 }
 
 #[test]
