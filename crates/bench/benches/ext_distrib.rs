@@ -16,12 +16,26 @@ use cmif::core::channel::MediaKind;
 use cmif::distrib::network::{Link, Network};
 use cmif::distrib::store::DistributedStore;
 use cmif::distrib::transport::{compare_transport, referenced_keys};
+use cmif::distrib::TrafficStats;
 use cmif::media::MediaGenerator;
 use cmif::news::evening_news;
 use cmif::synthetic::SyntheticNews;
 use cmif_bench::banner;
 use cmif_core::tree::Document;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Renders a phase's per-link traffic as indented `from → to` lines, so the
+/// banner shows which links carried structure and which carried media.
+fn per_link_lines(traffic: &TrafficStats) -> String {
+    let mut lines = String::new();
+    for (from, to, link) in traffic.per_link() {
+        lines.push_str(&format!(
+            "\n    {from} → {to}: {} B structure, {} B media, {} transfer(s), {} simulated ms",
+            link.structure_bytes, link.media_bytes, link.transfers, link.simulated_ms
+        ));
+    }
+    lines
+}
 
 /// Builds a cluster with the document's media stored on `server`.
 fn cluster_with(doc: &Document) -> DistributedStore {
@@ -63,17 +77,19 @@ fn bench_distrib(c: &mut Criterion) {
     banner(
         "§6: transport of the Evening News (eager vs structure-only + audio)",
         &format!(
-            "eager: {} B structure + {:.2} MB media in {:.1} simulated s ({} blocks)\n\
-             lazy:  {} B structure + {:.2} MB media in {:.1} simulated s ({} blocks)\n\
+            "eager: {} B structure + {:.2} MB media in {:.1} simulated s ({} blocks){}\n\
+             lazy:  {} B structure + {:.2} MB media in {:.1} simulated s ({} blocks){}\n\
              eager moves {:.0}x more bytes",
             comparison.eager.structure_bytes,
             comparison.eager.media_bytes as f64 / 1e6,
             comparison.eager.simulated_ms as f64 / 1e3,
             comparison.eager.blocks_moved,
+            per_link_lines(&comparison.eager_traffic),
             comparison.lazy.structure_bytes,
             comparison.lazy.media_bytes as f64 / 1e6,
             comparison.lazy.simulated_ms as f64 / 1e3,
             comparison.lazy.blocks_moved,
+            per_link_lines(&comparison.lazy_traffic),
             comparison.byte_ratio()
         ),
     );
@@ -112,6 +128,31 @@ fn bench_distrib(c: &mut Criterion) {
             },
         );
     }
+
+    // Sharded-store demonstration: four publishers hammer four distinct
+    // hosts at once. Under the old store-wide RwLock these serialized; with
+    // per-host shards (and replication factor 1, so no cross-host traffic
+    // at all) they share no store lock whatsoever.
+    let broadcast = SyntheticNews::with_stories(4).build().unwrap();
+    let hosts = ["h0", "h1", "h2", "h3"];
+    let cluster = DistributedStore::new(Network::uniform(&hosts, Link::lan()));
+    group.bench_function("publish_concurrent_4_hosts", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                // A fixed name per host keeps the document maps at steady
+                // state (publish overwrites) across iterations.
+                for host in hosts {
+                    let cluster = &cluster;
+                    let broadcast = &broadcast;
+                    scope.spawn(move || {
+                        cluster
+                            .publish_document(host, &format!("doc-{host}"), broadcast)
+                            .unwrap()
+                    });
+                }
+            })
+        })
+    });
     group.finish();
 }
 

@@ -24,6 +24,14 @@ pub enum DistribError {
         /// The receiving host.
         to: String,
     },
+    /// A replication factor that the cluster cannot satisfy (zero, or more
+    /// replicas than hosts).
+    InvalidReplication {
+        /// The requested number of replicas per block/document.
+        requested: usize,
+        /// The number of hosts in the cluster.
+        hosts: usize,
+    },
     /// A host does not hold the named document.
     UnknownDocument {
         /// The host queried.
@@ -47,6 +55,12 @@ impl fmt::Display for DistribError {
             DistribError::UnknownHost { host } => write!(f, "host `{host}` is not in the cluster"),
             DistribError::Unreachable { from, to } => {
                 write!(f, "hosts `{from}` and `{to}` are not connected")
+            }
+            DistribError::InvalidReplication { requested, hosts } => {
+                write!(
+                    f,
+                    "replication factor {requested} cannot be satisfied by a cluster of {hosts} host(s)"
+                )
             }
             DistribError::UnknownDocument { host, name } => {
                 write!(f, "host `{host}` does not hold document `{name}`")
@@ -105,6 +119,12 @@ mod tests {
             to: "b".into(),
         };
         assert!(err.to_string().contains("not connected"));
+        let err = DistribError::InvalidReplication {
+            requested: 5,
+            hosts: 3,
+        };
+        assert!(err.to_string().contains("replication factor 5"));
+        assert!(err.to_string().contains("3 host"));
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //! be measured without a 1991 machine room:
 //!
 //! * [`network`] — a latency/bandwidth cost model over a set of hosts;
-//! * [`store`] — per-host document and block stores with traffic
-//!   accounting; documents travel as interchange text, blocks move only
-//!   when fetched;
+//! * [`placement`] — a consistent-hash ring choosing which hosts hold each
+//!   block/document replica;
+//! * [`store`] — per-host shards (one lock per host, no global lock) with a
+//!   block → holders placement index, configurable replication and
+//!   nearest-replica fetching; documents travel as interchange text, blocks
+//!   move only when fetched;
+//! * [`traffic`] — cluster-wide totals plus per-link `(from, to)` traffic
+//!   accounting;
 //! * [`transport`] — the structure-only vs structure-plus-data comparison
 //!   (the `ext_distrib` benchmark).
 //!
@@ -28,10 +33,14 @@
 
 pub mod error;
 pub mod network;
+pub mod placement;
 pub mod store;
+pub mod traffic;
 pub mod transport;
 
 pub use error::{DistribError, Result};
 pub use network::{HostId, Link, Network};
-pub use store::{DistributedStore, TrafficStats};
+pub use placement::PlacementRing;
+pub use store::DistributedStore;
+pub use traffic::{LinkStats, TrafficStats};
 pub use transport::{compare_transport, referenced_keys, TransportComparison, TransportCost};

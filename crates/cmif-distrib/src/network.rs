@@ -51,10 +51,15 @@ impl Link {
 }
 
 /// The cluster topology: hosts and the links between them.
+///
+/// Links are stored as a nested `from → to → Link` map rather than a map
+/// keyed by `(HostId, HostId)` tuples: `String` keys can be looked up by
+/// `&str`, so [`Network::link`] — which sits under every traffic charge —
+/// performs no heap allocation.
 #[derive(Debug, Clone, Default)]
 pub struct Network {
     default_link: Option<Link>,
-    links: BTreeMap<(HostId, HostId), Link>,
+    links: BTreeMap<HostId, BTreeMap<HostId, Link>>,
     hosts: Vec<HostId>,
 }
 
@@ -98,12 +103,16 @@ impl Network {
         let b = b.into();
         self.add_host(a.clone());
         self.add_host(b.clone());
-        self.links.insert((a.clone(), b.clone()), link);
-        self.links.insert((b, a), link);
+        self.links
+            .entry(a.clone())
+            .or_default()
+            .insert(b.clone(), link);
+        self.links.entry(b).or_default().insert(a, link);
     }
 
     /// The link between two hosts, if any (specific link, then default;
-    /// transfers within one host are free).
+    /// transfers within one host are free). Allocation-free: this runs on
+    /// every traffic charge.
     pub fn link(&self, from: &str, to: &str) -> Option<Link> {
         if from == to {
             return Some(Link {
@@ -112,7 +121,8 @@ impl Network {
             });
         }
         self.links
-            .get(&(from.to_string(), to.to_string()))
+            .get(from)
+            .and_then(|peers| peers.get(to))
             .copied()
             .or(self.default_link)
     }

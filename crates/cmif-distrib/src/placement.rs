@@ -1,0 +1,216 @@
+//! Consistent-hash placement of blocks and documents onto hosts.
+//!
+//! The sharded [`crate::store::DistributedStore`] needs a placement policy
+//! that (a) spreads keys evenly over the cluster, (b) is deterministic — the
+//! same key always lands on the same hosts, with no coordination — and
+//! (c) stays stable when the cluster grows: adding a host must move only
+//! ~`1/n` of the keys, not reshuffle everything. That is the classic
+//! consistent-hashing ring: each host is hashed onto a circle at several
+//! virtual points, and a key belongs to the first hosts found walking
+//! clockwise from the key's own hash.
+//!
+//! The hash is FNV-1a, implemented inline: it is tiny, allocation-free and —
+//! unlike `std`'s `DefaultHasher` — guaranteed stable across releases, which
+//! keeps simulated placements reproducible.
+
+use crate::network::HostId;
+
+/// Seed/offset constant of 64-bit FNV-1a.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// Multiplication prime of 64-bit FNV-1a.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Stable 64-bit FNV-1a over a byte string, finished with a Murmur3-style
+/// avalanche mix. Plain FNV-1a spreads short, similar strings (host names
+/// differing only in a vnode suffix) poorly across the high bits that
+/// decide ring order; the finalizer diffuses every input bit over the whole
+/// word.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^ (hash >> 33)
+}
+
+/// A consistent-hash ring over a set of hosts.
+///
+/// Construction hashes every host onto the ring at
+/// [`PlacementRing::DEFAULT_VNODES`] virtual points (more points smooth the
+/// key distribution). [`PlacementRing::hosts_for`] then maps a key to its
+/// first `count` distinct owners clockwise from the key's hash — the
+/// replica set used by the distributed store.
+#[derive(Debug, Clone)]
+pub struct PlacementRing {
+    /// `(ring position, index into hosts)`, sorted by position.
+    points: Vec<(u64, usize)>,
+    hosts: Vec<HostId>,
+}
+
+impl PlacementRing {
+    /// Virtual points per host used by [`PlacementRing::new`].
+    pub const DEFAULT_VNODES: u32 = 64;
+
+    /// Builds a ring over the given hosts with the default number of
+    /// virtual points per host. Duplicate host names are ignored.
+    pub fn new(hosts: &[HostId]) -> PlacementRing {
+        PlacementRing::with_vnodes(hosts, PlacementRing::DEFAULT_VNODES)
+    }
+
+    /// Builds a ring with an explicit number of virtual points per host
+    /// (at least one).
+    pub fn with_vnodes(hosts: &[HostId], vnodes: u32) -> PlacementRing {
+        let mut unique: Vec<HostId> = Vec::with_capacity(hosts.len());
+        for host in hosts {
+            if !unique.contains(host) {
+                unique.push(host.clone());
+            }
+        }
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(unique.len() * vnodes as usize);
+        for (index, host) in unique.iter().enumerate() {
+            for vnode in 0..vnodes {
+                let point = fnv1a(format!("{host}#{vnode}").as_bytes());
+                points.push((point, index));
+            }
+        }
+        points.sort_unstable();
+        PlacementRing {
+            points,
+            hosts: unique,
+        }
+    }
+
+    /// The hosts on the ring, in insertion order.
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+
+    /// Number of distinct hosts on the ring.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when the ring has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// The first `count` distinct hosts clockwise from the key's hash — the
+    /// key's replica set. Returns fewer than `count` hosts only when the
+    /// ring holds fewer distinct hosts.
+    pub fn hosts_for(&self, key: &str, count: usize) -> Vec<&HostId> {
+        if self.hosts.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let wanted = count.min(self.hosts.len());
+        let target = fnv1a(key.as_bytes());
+        let start = self.points.partition_point(|(point, _)| *point < target);
+        let mut taken = vec![false; self.hosts.len()];
+        let mut owners = Vec::with_capacity(wanted);
+        for offset in 0..self.points.len() {
+            let (_, host_index) = self.points[(start + offset) % self.points.len()];
+            if !taken[host_index] {
+                taken[host_index] = true;
+                owners.push(&self.hosts[host_index]);
+                if owners.len() == wanted {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+
+    /// The key's primary owner (first host clockwise from the key's hash).
+    pub fn primary(&self, key: &str) -> Option<&HostId> {
+        self.hosts_for(key, 1).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_of(names: &[&str]) -> PlacementRing {
+        let hosts: Vec<HostId> = names.iter().map(|n| n.to_string()).collect();
+        PlacementRing::new(&hosts)
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = ring_of(&["alpha", "beta", "gamma"]);
+        let b = ring_of(&["alpha", "beta", "gamma"]);
+        for i in 0..100 {
+            let key = format!("block-{i}");
+            assert_eq!(a.hosts_for(&key, 2), b.hosts_for(&key, 2));
+        }
+    }
+
+    #[test]
+    fn replica_sets_are_distinct_hosts() {
+        let ring = ring_of(&["alpha", "beta", "gamma", "delta"]);
+        for i in 0..50 {
+            let owners = ring.hosts_for(&format!("key-{i}"), 3);
+            assert_eq!(owners.len(), 3);
+            let mut sorted: Vec<_> = owners.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replica set must not repeat a host");
+        }
+    }
+
+    #[test]
+    fn requesting_more_replicas_than_hosts_returns_all_hosts() {
+        let ring = ring_of(&["alpha", "beta"]);
+        assert_eq!(ring.hosts_for("anything", 10).len(), 2);
+        assert!(ring.hosts_for("anything", 0).is_empty());
+        assert!(PlacementRing::new(&[]).hosts_for("anything", 3).is_empty());
+    }
+
+    #[test]
+    fn every_host_owns_a_fair_share() {
+        let ring = ring_of(&["alpha", "beta", "gamma", "delta"]);
+        let mut counts = std::collections::BTreeMap::new();
+        for i in 0..1_000 {
+            let owner = ring.primary(&format!("block-{i}")).unwrap().clone();
+            *counts.entry(owner).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 4, "every host should own some keys");
+        for (host, count) in counts {
+            // Perfect balance would be 250; allow a generous spread.
+            assert!(
+                (100..=450).contains(&count),
+                "host {host} owns {count} of 1000 keys — ring is badly unbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_host_moves_only_its_own_share_of_keys() {
+        let before = ring_of(&["alpha", "beta", "gamma", "delta"]);
+        let after = ring_of(&["alpha", "beta", "gamma", "delta", "epsilon"]);
+        let mut moved = 0;
+        for i in 0..1_000 {
+            let key = format!("block-{i}");
+            let old = before.primary(&key).unwrap();
+            let new = after.primary(&key).unwrap();
+            if old != new {
+                moved += 1;
+                // Consistent hashing only ever moves keys *to* the new host.
+                assert_eq!(new, "epsilon", "key `{key}` moved between old hosts");
+            }
+        }
+        // Expected ~1/5 of keys; assert well under a full reshuffle and
+        // above zero so the test keeps meaning.
+        assert!(moved > 50, "suspiciously few keys moved: {moved}");
+        assert!(
+            moved < 400,
+            "too many keys moved for consistent hashing: {moved}"
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! The distributed document and media store.
+//! The distributed document and media store, sharded per host.
 //!
 //! Each host of the simulated cluster holds a set of CMIF documents (as
 //! interchange text) and a local [`BlockStore`] of media blocks. Documents
@@ -6,10 +6,26 @@
 //! something actually needs the bytes. That asymmetry is the paper's §6
 //! point: "the value of document sharing and multiple access to information
 //! is vital", and it is the *description* that is shared, not the data.
+//!
+//! # Sharding
+//!
+//! The host map is built once at construction and never changes shape
+//! afterwards, so it needs no lock of its own. All mutable state is per
+//! host: a host's documents sit behind that host's own `RwLock`, and its
+//! media blocks behind the [`BlockStore`]'s internal locks. No lock spans
+//! more than one host's state — a publisher writing host A never blocks a
+//! reader of host B, and callbacks running against one host's store
+//! ([`DistributedStore::with_local_store`]) can re-enter the distributed
+//! store freely.
+//!
+//! Cross-host bookkeeping lives in two small, short-held structures: a
+//! block → holders placement index (so locating a block is one map lookup
+//! instead of a scan over every host) and the [`TrafficStats`] accumulator.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use cmif_core::descriptor::DataDescriptor;
 use cmif_core::tree::Document;
@@ -19,81 +35,151 @@ use cmif_media::{MediaBlock, MediaError};
 
 use crate::error::{DistribError, Result};
 use crate::network::{HostId, Network};
+use crate::placement::PlacementRing;
+pub use crate::traffic::{LinkStats, TrafficStats};
 
-/// One host's storage.
+/// One host's storage shard. Everything mutable in here is guarded by this
+/// host's own locks; nothing reaches across to another host.
 #[derive(Debug, Default)]
-struct HostStore {
+struct HostShard {
     /// Documents held by this host, as interchange text keyed by name.
-    documents: BTreeMap<String, String>,
-    /// Media blocks held by this host.
+    documents: RwLock<BTreeMap<String, String>>,
+    /// Media blocks held by this host (internally locked).
     blocks: BlockStore,
+    /// Block keys currently being fetched *to* this host. A fetch reserves
+    /// the key here before moving any bytes, so concurrent fetches of the
+    /// same block charge exactly one transfer.
+    inflight: StdMutex<BTreeSet<String>>,
+    /// Signalled when an in-flight fetch to this host finishes (either way).
+    arrived: Condvar,
 }
 
-/// Running totals of simulated traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct TrafficStats {
-    /// Bytes of document structure moved between hosts.
-    pub structure_bytes: u64,
-    /// Bytes of media payload moved between hosts.
-    pub media_bytes: u64,
-    /// Simulated milliseconds spent on transfers.
-    pub simulated_ms: u64,
-    /// Number of transfers performed.
-    pub transfers: u64,
+/// Locks an in-flight set, ignoring poisoning (a panicked fetch must not
+/// wedge every later fetch to the host).
+fn lock_inflight(shard: &HostShard) -> MutexGuard<'_, BTreeSet<String>> {
+    shard
+        .inflight
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
 }
 
-/// The distributed store: a cluster of hosts plus traffic accounting.
+/// Drop guard for a key reserved in a host's in-flight set: releases the
+/// reservation and wakes waiters on every exit path, panics included.
+struct InflightReservation<'a> {
+    shard: &'a HostShard,
+    key: &'a str,
+}
+
+impl Drop for InflightReservation<'_> {
+    fn drop(&mut self) {
+        let mut inflight = lock_inflight(self.shard);
+        inflight.remove(self.key);
+        self.shard.arrived.notify_all();
+    }
+}
+
+/// Where a block's replicas live, plus its payload size for cost ranking.
+#[derive(Debug)]
+struct BlockPlacement {
+    /// Payload size in bytes (used to rank candidate sources by transfer
+    /// cost without touching any host's store).
+    bytes: u64,
+    /// The hosts currently holding a copy.
+    holders: BTreeSet<HostId>,
+}
+
+/// The distributed store: a cluster of per-host shards, a consistent-hash
+/// placement policy with a configurable replication factor, and per-link
+/// traffic accounting.
 #[derive(Debug)]
 pub struct DistributedStore {
     network: Network,
-    hosts: RwLock<BTreeMap<HostId, HostStore>>,
-    traffic: RwLock<TrafficStats>,
+    /// One shard per host; append-frozen at construction, hence lock-free.
+    shards: BTreeMap<HostId, HostShard>,
+    /// Consistent-hash ring choosing replica hosts for new blocks/documents.
+    ring: PlacementRing,
+    /// Number of hosts that receive a copy of each block/document.
+    replication: usize,
+    /// Block key → holders index (replaces scanning every host's keys).
+    placement: RwLock<BTreeMap<String, BlockPlacement>>,
+    traffic: Mutex<TrafficStats>,
 }
 
 impl DistributedStore {
-    /// Creates a store over the given network, with one (empty) host store
-    /// per network host.
+    /// Creates a store over the given network with one (empty) shard per
+    /// network host and no replication (each block/document lives only
+    /// where it is put).
     pub fn new(network: Network) -> DistributedStore {
-        let mut hosts = BTreeMap::new();
-        for host in network.hosts() {
-            hosts.insert(host.clone(), HostStore::default());
+        Self::build(network, 1)
+    }
+
+    /// Creates a store that replicates every `put_block`/`publish_document`
+    /// onto `factor` hosts chosen by consistent hashing (the origin host
+    /// counts as one replica). Fails with
+    /// [`DistribError::InvalidReplication`] when `factor` is zero or larger
+    /// than the cluster.
+    pub fn with_replication(network: Network, factor: usize) -> Result<DistributedStore> {
+        // Count distinct hosts: the shard map and the placement ring both
+        // deduplicate, so a duplicated host name must not let an
+        // unsatisfiable factor through.
+        let hosts = network
+            .hosts()
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        if factor == 0 || factor > hosts {
+            return Err(DistribError::InvalidReplication {
+                requested: factor,
+                hosts,
+            });
         }
+        Ok(Self::build(network, factor))
+    }
+
+    fn build(network: Network, replication: usize) -> DistributedStore {
+        let mut shards = BTreeMap::new();
+        for host in network.hosts() {
+            shards.insert(host.clone(), HostShard::default());
+        }
+        let ring = PlacementRing::new(network.hosts());
         DistributedStore {
             network,
-            hosts: RwLock::new(hosts),
-            traffic: RwLock::new(TrafficStats::default()),
+            shards,
+            ring,
+            replication,
+            placement: RwLock::new(BTreeMap::new()),
+            traffic: Mutex::new(TrafficStats::default()),
         }
     }
 
-    fn require_host(&self, host: &str) -> Result<()> {
-        if self.network.contains(host) {
-            Ok(())
-        } else {
-            Err(DistribError::UnknownHost {
-                host: host.to_string(),
-            })
-        }
+    /// The network this store simulates traffic over.
+    pub fn network(&self) -> &Network {
+        &self.network
     }
 
-    /// Looks a host's store up in a read guard, as a typed error instead of
-    /// a panic when the host is unknown.
-    fn host_store<'a>(hosts: &'a BTreeMap<HostId, HostStore>, host: &str) -> Result<&'a HostStore> {
-        hosts.get(host).ok_or_else(|| DistribError::UnknownHost {
-            host: host.to_string(),
-        })
+    /// How many hosts receive a copy of each newly stored block/document.
+    pub fn replication_factor(&self) -> usize {
+        self.replication
     }
 
-    fn host_store_mut<'a>(
-        hosts: &'a mut BTreeMap<HostId, HostStore>,
-        host: &str,
-    ) -> Result<&'a mut HostStore> {
-        hosts
-            .get_mut(host)
+    /// Looks a host's shard up, as a typed error instead of a panic when
+    /// the host is unknown.
+    fn shard(&self, host: &str) -> Result<&HostShard> {
+        self.shards
+            .get(host)
             .ok_or_else(|| DistribError::UnknownHost {
                 host: host.to_string(),
             })
     }
 
+    /// Records a transfer whose cost is already known.
+    fn record(&self, from: &str, to: &str, bytes: u64, is_structure: bool, ms: u64) {
+        self.traffic
+            .lock()
+            .record(from, to, bytes, is_structure, ms);
+    }
+
+    /// Computes a transfer's cost and records it.
     fn charge(&self, from: &str, to: &str, bytes: u64, is_structure: bool) -> Result<u64> {
         let cost =
             self.network
@@ -102,116 +188,304 @@ impl DistributedStore {
                     from: from.to_string(),
                     to: to.to_string(),
                 })?;
-        let mut traffic = self.traffic.write();
-        traffic.simulated_ms += cost;
-        traffic.transfers += 1;
-        if is_structure {
-            traffic.structure_bytes += bytes;
-        } else {
-            traffic.media_bytes += bytes;
-        }
+        self.record(from, to, bytes, is_structure, cost);
         Ok(cost)
     }
 
-    /// Traffic accumulated so far.
+    /// Marks `host` as a holder of `key` in the placement index.
+    fn index_holder(&self, key: &str, bytes: u64, host: &str) {
+        let mut placement = self.placement.write();
+        if let Some(entry) = placement.get_mut(key) {
+            entry.bytes = bytes;
+            entry.holders.insert(host.to_string());
+        } else {
+            placement.insert(
+                key.to_string(),
+                BlockPlacement {
+                    bytes,
+                    holders: [host.to_string()].into_iter().collect(),
+                },
+            );
+        }
+    }
+
+    /// Traffic accumulated so far (totals plus per-link breakdown).
     pub fn traffic(&self) -> TrafficStats {
-        *self.traffic.read()
+        self.traffic.lock().clone()
     }
 
     /// Resets the traffic counters (between benchmark phases).
     pub fn reset_traffic(&self) {
-        *self.traffic.write() = TrafficStats::default();
+        *self.traffic.lock() = TrafficStats::default();
+    }
+
+    /// Plans the replica fan-out for a new block/document while the calling
+    /// operation is still side-effect free: the first `replication - 1`
+    /// ring-chosen hosts distinct from the origin, each validated to exist
+    /// and be reachable, paired with the transfer cost for `bytes`. Empty
+    /// without replication.
+    fn plan_replicas(&self, key: &str, origin: &str, bytes: u64) -> Result<Vec<(HostId, u64)>> {
+        let mut replicas = Vec::new();
+        if self.replication > 1 {
+            let targets: Vec<HostId> = self
+                .ring
+                .hosts_for(key, self.replication)
+                .into_iter()
+                .filter(|candidate| candidate.as_str() != origin)
+                .take(self.replication - 1)
+                .cloned()
+                .collect();
+            for target in targets {
+                self.shard(&target)?;
+                let cost = self
+                    .network
+                    .transfer_ms(origin, &target, bytes)
+                    .ok_or_else(|| DistribError::Unreachable {
+                        from: origin.to_string(),
+                        to: target.clone(),
+                    })?;
+                replicas.push((target, cost));
+            }
+        }
+        Ok(replicas)
     }
 
     // ------------------------------------------------------------------
     // Media blocks
     // ------------------------------------------------------------------
 
-    /// Stores a media block on a host.
+    /// Stores a media block on a host and, when the replication factor is
+    /// above one, copies it to further ring-chosen hosts, charging each
+    /// replica transfer. Returns the simulated milliseconds spent on
+    /// replication (zero without replication).
+    ///
+    /// Replica targets and their reachability are validated *before* the
+    /// origin insert, so an unreachable ring target fails the whole call
+    /// cleanly: nothing is stored, indexed or charged, and the caller can
+    /// retry after fixing the topology.
     pub fn put_block(
         &self,
         host: &str,
         block: MediaBlock,
         descriptor: DataDescriptor,
-    ) -> Result<()> {
-        let hosts = self.hosts.read();
-        let store = Self::host_store(&hosts, host)?;
-        store
+    ) -> Result<u64> {
+        let shard = self.shard(host)?;
+        let key = block.key.clone();
+        let bytes = block.payload.size_bytes();
+        let replicas = self.plan_replicas(&key, host, bytes)?;
+        let replica_payload = (!replicas.is_empty()).then(|| block.payload.clone());
+
+        shard
             .blocks
-            .put_with_descriptor(block, descriptor)
-            .map_err(DistribError::Media)
+            .put_with_descriptor(block, descriptor.clone())
+            .map_err(DistribError::Media)?;
+        self.index_holder(&key, bytes, host);
+
+        let mut total_cost = 0;
+        // The last replica consumes the payload/descriptor instead of
+        // cloning them: K replicas cost K payload copies, not K + 1.
+        if let Some(payload) = replica_payload {
+            if let Some(((last_target, last_cost), rest)) = replicas.split_last() {
+                for (target, cost) in rest {
+                    total_cost += self.put_replica(
+                        host,
+                        target,
+                        *cost,
+                        &key,
+                        payload.clone(),
+                        descriptor.clone(),
+                    )?;
+                }
+                total_cost +=
+                    self.put_replica(host, last_target, *last_cost, &key, payload, descriptor)?;
+            }
+        }
+        Ok(total_cost)
+    }
+
+    /// Copies one planned replica to `target`, charging the transfer and
+    /// indexing the new holder. Returns the cost charged — zero when the
+    /// target already holds the block (e.g. it was put there directly), in
+    /// which case nothing moved and nothing is charged.
+    fn put_replica(
+        &self,
+        origin: &str,
+        target: &str,
+        cost: u64,
+        key: &str,
+        payload: cmif_media::MediaPayload,
+        descriptor: DataDescriptor,
+    ) -> Result<u64> {
+        let bytes = payload.size_bytes();
+        match self
+            .shard(target)?
+            .blocks
+            .put_with_descriptor(MediaBlock::new(key, payload), descriptor)
+        {
+            Ok(()) => {
+                self.record(origin, target, bytes, false, cost);
+                self.index_holder(key, bytes, target);
+                Ok(cost)
+            }
+            Err(MediaError::DuplicateBlock { .. }) => Ok(0),
+            Err(e) => Err(DistribError::Media(e)),
+        }
     }
 
     /// The keys of the blocks a host holds locally.
     pub fn local_blocks(&self, host: &str) -> Result<Vec<String>> {
-        let hosts = self.hosts.read();
-        Ok(Self::host_store(&hosts, host)?.blocks.keys())
+        Ok(self.shard(host)?.blocks.keys())
     }
 
-    /// Finds which host holds a block.
+    /// Finds a host holding the block (the first holder in lexical order;
+    /// use [`DistributedStore::nearest_source`] for cost-aware selection).
     pub fn locate_block(&self, key: &str) -> Option<HostId> {
-        let hosts = self.hosts.read();
-        hosts
-            .iter()
-            .find(|(_, store)| store.blocks.keys().iter().any(|k| k == key))
-            .map(|(host, _)| host.clone())
+        let placement = self.placement.read();
+        placement
+            .get(key)
+            .and_then(|entry| entry.holders.iter().next().cloned())
     }
 
-    /// Fetches a block's descriptor to `to`, from whichever host holds it.
-    /// Only descriptor bytes move.
-    pub fn fetch_descriptor(&self, to: &str, key: &str) -> Result<DataDescriptor> {
-        self.require_host(to)?;
-        let from = self.locate_block(key).ok_or_else(|| {
+    /// Every host currently holding a copy of the block, in lexical order.
+    pub fn replicas_of(&self, key: &str) -> Vec<HostId> {
+        let placement = self.placement.read();
+        placement
+            .get(key)
+            .map(|entry| entry.holders.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// The cheapest source to fetch the block to `to` from, ranked by the
+    /// network's transfer cost for the block's actual size (ties break in
+    /// lexical host order). `None` when no host holds the block or no
+    /// holder is reachable.
+    pub fn nearest_source(&self, to: &str, key: &str) -> Option<HostId> {
+        // Validate the destination like every other API: a default link
+        // must not make an unknown host look reachable.
+        if !self.shards.contains_key(to) {
+            return None;
+        }
+        self.select_source(to, key, None).ok()
+    }
+
+    /// Picks the holder to serve `key` to `to`: the destination itself when
+    /// it holds a copy, otherwise the holder cheapest for moving the given
+    /// byte count (`None` ranks by the block's actual size; descriptor
+    /// fetches pass `Some(0)` since they are latency-dominated). Errors
+    /// distinguish a block nobody holds ([`MediaError::UnknownBlock`]) from
+    /// one whose holders are all unreachable
+    /// ([`DistribError::Unreachable`]).
+    fn select_source(&self, to: &str, key: &str, bytes_override: Option<u64>) -> Result<HostId> {
+        let placement = self.placement.read();
+        let entry = placement.get(key).ok_or_else(|| {
             DistribError::Media(MediaError::UnknownBlock {
                 key: key.to_string(),
             })
         })?;
-        let descriptor = {
-            let hosts = self.hosts.read();
-            Self::host_store(&hosts, &from)?
-                .blocks
-                .descriptor(key)
-                .map_err(DistribError::Media)?
-        };
-        self.charge(&from, to, descriptor.approx_descriptor_size() as u64, true)?;
+        if entry.holders.contains(to) {
+            return Ok(to.to_string());
+        }
+        let bytes = bytes_override.unwrap_or(entry.bytes);
+        entry
+            .holders
+            .iter()
+            .filter_map(|holder| {
+                self.network
+                    .transfer_ms(holder, to, bytes)
+                    .map(|cost| (cost, holder))
+            })
+            .min_by_key(|(cost, _)| *cost)
+            .map(|(_, holder)| holder.clone())
+            .ok_or_else(|| DistribError::Unreachable {
+                // Holder sets are never empty once indexed; name the first
+                // holder in the error so the operator sees the topology gap.
+                from: entry.holders.iter().next().cloned().unwrap_or_default(),
+                to: to.to_string(),
+            })
+    }
+
+    /// Fetches a block's descriptor to `to` from the holder cheapest for
+    /// descriptor-sized data (latency-dominated, unlike payload fetches).
+    /// Only descriptor bytes move; when `to` itself holds the block the
+    /// read is local and no transfer is recorded.
+    pub fn fetch_descriptor(&self, to: &str, key: &str) -> Result<DataDescriptor> {
+        self.shard(to)?;
+        let from = self.select_source(to, key, Some(0))?;
+        let descriptor = self
+            .shard(&from)?
+            .blocks
+            .descriptor(key)
+            .map_err(DistribError::Media)?;
+        if from != to {
+            self.charge(&from, to, descriptor.approx_descriptor_size() as u64, true)?;
+        }
         Ok(descriptor)
     }
 
-    /// Fetches a block's payload to `to`, copying it into `to`'s local store
-    /// (so later fetches are free) and charging the media transfer.
+    /// Fetches a block's payload to `to` from the nearest holder, copying it
+    /// into `to`'s local store (so later fetches are free) and charging the
+    /// media transfer.
+    ///
+    /// The destination host reserves the key before any bytes move: when N
+    /// callers race to fetch the same block, one performs (and is charged
+    /// for) the transfer while the others wait on the reservation and then
+    /// find the block local — exactly one transfer lands in
+    /// [`TrafficStats`].
     pub fn fetch_block(&self, to: &str, key: &str) -> Result<u64> {
+        let dest = self.shard(to)?;
         {
-            // Already local?
-            let hosts = self.hosts.read();
-            if Self::host_store(&hosts, to)?.blocks.contains(key) {
-                return Ok(0);
+            let mut inflight = lock_inflight(dest);
+            loop {
+                if dest.blocks.contains(key) {
+                    return Ok(0);
+                }
+                if !inflight.contains(key) {
+                    inflight.insert(key.to_string());
+                    break;
+                }
+                // Another fetch of this key is in flight to this host; wait
+                // for it to finish, then re-check (it may have failed, in
+                // which case we take over the reservation).
+                inflight = dest
+                    .arrived
+                    .wait(inflight)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
-        let from = self.locate_block(key).ok_or_else(|| {
-            DistribError::Media(MediaError::UnknownBlock {
-                key: key.to_string(),
-            })
-        })?;
-        let (payload, descriptor) = {
-            let hosts = self.hosts.read();
-            let source = Self::host_store(&hosts, &from)?;
-            (
-                source.blocks.payload(key).map_err(DistribError::Media)?,
-                source.blocks.descriptor(key).map_err(DistribError::Media)?,
-            )
-        };
+        // Release the reservation on every exit path — including a panic
+        // inside the transfer — so a failed fetch never wedges later
+        // fetches of the same key to this host.
+        let _reservation = InflightReservation { shard: dest, key };
+        self.pull_block(dest, to, key)
+    }
+
+    /// The actual transfer behind [`DistributedStore::fetch_block`]; runs
+    /// with the key reserved on the destination host.
+    fn pull_block(&self, dest: &HostShard, to: &str, key: &str) -> Result<u64> {
+        let from = self.select_source(to, key, None)?;
+        let source = self.shard(&from)?;
+        let payload = source.blocks.payload(key).map_err(DistribError::Media)?;
+        let descriptor = source.blocks.descriptor(key).map_err(DistribError::Media)?;
         let bytes = payload.size_bytes();
-        let cost = self.charge(&from, to, bytes, false)?;
-        let hosts = self.hosts.read();
-        match Self::host_store(&hosts, to)?
+        let cost = self.network.transfer_ms(&from, to, bytes).ok_or_else(|| {
+            DistribError::Unreachable {
+                from: from.clone(),
+                to: to.to_string(),
+            }
+        })?;
+        match dest
             .blocks
             .put_with_descriptor(MediaBlock::new(key, payload), descriptor)
         {
-            Ok(()) => Ok(cost),
-            // A concurrent fetch of the same block won the race between our
-            // locality check and this insert: the block is local, which is
-            // all the caller asked for.
-            Err(MediaError::DuplicateBlock { .. }) => Ok(cost),
+            Ok(()) => {
+                self.record(&from, to, bytes, false, cost);
+                self.index_holder(key, bytes, to);
+                Ok(cost)
+            }
+            // A direct `put_block` to this host slipped in between our
+            // reservation and the insert: the block is local and no bytes
+            // moved on our behalf, so nothing is charged.
+            Err(MediaError::DuplicateBlock { .. }) => Ok(0),
             Err(e) => Err(DistribError::Media(e)),
         }
     }
@@ -220,60 +494,80 @@ impl DistributedStore {
     // Documents
     // ------------------------------------------------------------------
 
-    /// Publishes a document on a host under a name. Only the structure (the
-    /// interchange text) is stored; media blocks stay wherever they are.
+    /// Publishes a document on a host under a name, replicating the
+    /// interchange text to further ring-chosen hosts when the replication
+    /// factor is above one (each replica transfer is charged as structure
+    /// bytes). Only the structure is stored; media blocks stay wherever
+    /// they are. Returns the structure size in bytes.
+    ///
+    /// Like [`DistributedStore::put_block`], replica targets are validated
+    /// before anything is stored or charged, so an unreachable ring target
+    /// fails the whole call with no partial state and no phantom traffic.
     pub fn publish_document(&self, host: &str, name: &str, doc: &Document) -> Result<usize> {
-        self.require_host(host)?;
+        let origin = self.shard(host)?;
         let text = write_document(doc).map_err(DistribError::Core)?;
         let size = text.len();
-        let mut hosts = self.hosts.write();
-        Self::host_store_mut(&mut hosts, host)?
+        let replicas = self.plan_replicas(name, host, size as u64)?;
+
+        // The last insert consumes `text` instead of cloning it: K replicas
+        // cost K copies of the interchange text, not K + 1.
+        if replicas.is_empty() {
+            origin.documents.write().insert(name.to_string(), text);
+            return Ok(size);
+        }
+        let mut text = text;
+        origin
             .documents
-            .insert(name.to_string(), text);
+            .write()
+            .insert(name.to_string(), text.clone());
+        let last = replicas.len() - 1;
+        for (index, (target, cost)) in replicas.into_iter().enumerate() {
+            let copy = if index == last {
+                std::mem::take(&mut text)
+            } else {
+                text.clone()
+            };
+            self.record(host, &target, size as u64, true, cost);
+            self.shard(&target)?
+                .documents
+                .write()
+                .insert(name.to_string(), copy);
+        }
         Ok(size)
     }
 
     /// The documents a host holds.
     pub fn documents_on(&self, host: &str) -> Result<Vec<String>> {
-        let hosts = self.hosts.read();
-        Ok(Self::host_store(&hosts, host)?
-            .documents
-            .keys()
-            .cloned()
-            .collect())
+        Ok(self.shard(host)?.documents.read().keys().cloned().collect())
     }
 
     /// Transports a document's structure from one host to another, charging
     /// only the structure bytes. Returns the parsed document at the
     /// destination.
     pub fn transport_document(&self, from: &str, to: &str, name: &str) -> Result<Document> {
-        self.require_host(to)?;
-        let text = {
-            let hosts = self.hosts.read();
-            Self::host_store(&hosts, from)?
-                .documents
-                .get(name)
-                .cloned()
-                .ok_or_else(|| DistribError::UnknownDocument {
-                    host: from.to_string(),
-                    name: name.to_string(),
-                })?
-        };
+        let dest = self.shard(to)?;
+        let text = self
+            .shard(from)?
+            .documents
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DistribError::UnknownDocument {
+                host: from.to_string(),
+                name: name.to_string(),
+            })?;
         self.charge(from, to, text.len() as u64, true)?;
-        {
-            let mut hosts = self.hosts.write();
-            Self::host_store_mut(&mut hosts, to)?
-                .documents
-                .insert(name.to_string(), text.clone());
-        }
+        dest.documents
+            .write()
+            .insert(name.to_string(), text.clone());
         parse_document(&text).map_err(DistribError::Format)
     }
 
     /// Reads a document a host already holds (no traffic).
     pub fn open_document(&self, host: &str, name: &str) -> Result<Document> {
-        let hosts = self.hosts.read();
-        let text = Self::host_store(&hosts, host)?
-            .documents
+        let shard = self.shard(host)?;
+        let documents = shard.documents.read();
+        let text = documents
             .get(name)
             .ok_or_else(|| DistribError::UnknownDocument {
                 host: host.to_string(),
@@ -293,11 +587,26 @@ impl DistributedStore {
         Ok(total)
     }
 
-    /// Access to one host's local block store (for presentation pipelines
-    /// running on that host).
+    /// One host's local block store (for presentation pipelines running on
+    /// that host). No distributed-store lock is held by the reference: the
+    /// shard map is frozen and the [`BlockStore`] locks itself per call, so
+    /// the caller may re-enter the distributed store freely.
+    ///
+    /// The reference is a *host-local* view: blocks inserted through it
+    /// directly (e.g. `BlockStore::put`) are not registered in the cluster
+    /// placement index and stay invisible to
+    /// [`DistributedStore::locate_block`]/[`DistributedStore::fetch_block`].
+    /// Use [`DistributedStore::put_block`] to store blocks the cluster
+    /// should know about.
+    pub fn local_store(&self, host: &str) -> Result<&BlockStore> {
+        Ok(&self.shard(host)?.blocks)
+    }
+
+    /// Runs a callback against one host's local block store. Equivalent to
+    /// [`DistributedStore::local_store`]; kept for callers that prefer the
+    /// scoped form.
     pub fn with_local_store<R>(&self, host: &str, f: impl FnOnce(&BlockStore) -> R) -> Result<R> {
-        let hosts = self.hosts.read();
-        Ok(f(&Self::host_store(&hosts, host)?.blocks))
+        Ok(f(self.local_store(host)?))
     }
 }
 
@@ -307,6 +616,9 @@ mod tests {
     use crate::network::Link;
     use cmif_core::prelude::*;
     use cmif_media::MediaGenerator;
+    use std::sync::{mpsc, Arc};
+    use std::thread;
+    use std::time::Duration;
 
     fn cluster() -> DistributedStore {
         DistributedStore::new(Network::uniform(&["server", "desk", "laptop"], Link::lan()))
@@ -372,6 +684,13 @@ mod tests {
         let traffic = store.traffic();
         assert_eq!(traffic.media_bytes, 32_000);
         assert_eq!(traffic.transfers, 1);
+        // The transfer is attributed to the link that carried it.
+        let link = traffic.link("server", "desk");
+        assert_eq!(link.media_bytes, 32_000);
+        assert_eq!(link.transfers, 1);
+        assert_eq!(traffic.links_used(), 1);
+        // The fetched copy is indexed as a replica.
+        assert_eq!(store.replicas_of("speech"), vec!["desk", "server"]);
     }
 
     #[test]
@@ -383,6 +702,10 @@ mod tests {
         let traffic = store.traffic();
         assert!(traffic.structure_bytes < 1_000);
         assert_eq!(traffic.media_bytes, 0);
+        assert_eq!(
+            traffic.link("server", "laptop").structure_bytes,
+            traffic.structure_bytes
+        );
     }
 
     #[test]
@@ -462,5 +785,269 @@ mod tests {
             })
             .unwrap();
         assert_eq!(duration, 4_000);
+        // The borrowed form sees the same shard.
+        assert_eq!(store.local_store("desk").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fetch_prefers_the_nearest_replica() {
+        // `alpha` sorts before `zulu`, so a first-holder-in-order policy
+        // (the old `locate_block` behaviour) would pick the WAN replica.
+        let mut network = Network::uniform(&["alpha", "reader", "zulu"], Link::lan());
+        network.connect("alpha", "reader", Link::wan());
+        let store = DistributedStore::new(network);
+        let descriptor = MediaGenerator::new(1)
+            .audio("speech", 4_000, 8_000)
+            .describe();
+        store
+            .put_block(
+                "alpha",
+                MediaGenerator::new(1).audio("speech", 4_000, 8_000),
+                descriptor.clone(),
+            )
+            .unwrap();
+        store
+            .put_block(
+                "zulu",
+                MediaGenerator::new(1).audio("speech", 4_000, 8_000),
+                descriptor,
+            )
+            .unwrap();
+        assert_eq!(store.replicas_of("speech"), vec!["alpha", "zulu"]);
+        assert_eq!(
+            store.nearest_source("reader", "speech").as_deref(),
+            Some("zulu")
+        );
+        // Unknown destinations are rejected, default link or not.
+        assert!(store.nearest_source("reader_typo", "speech").is_none());
+
+        let cost = store.fetch_block("reader", "speech").unwrap();
+        let traffic = store.traffic();
+        assert_eq!(traffic.link("zulu", "reader").transfers, 1);
+        assert_eq!(traffic.link("alpha", "reader"), LinkStats::default());
+        assert!(
+            cost < Link::wan().transfer_ms(32_000),
+            "fetch was charged the WAN replica's cost"
+        );
+    }
+
+    #[test]
+    fn replication_copies_blocks_to_ring_chosen_hosts_and_charges_links() {
+        let network = Network::uniform(&["a", "b", "c", "d"], Link::lan());
+        let store = DistributedStore::with_replication(network, 3).unwrap();
+        let block = MediaGenerator::new(2).audio("speech", 1_000, 8_000);
+        let descriptor = block.describe();
+        let cost = store.put_block("a", block, descriptor).unwrap();
+        assert!(cost > 0);
+
+        let replicas = store.replicas_of("speech");
+        assert_eq!(replicas.len(), 3);
+        assert!(
+            replicas.contains(&"a".to_string()),
+            "origin must hold a copy"
+        );
+        let traffic = store.traffic();
+        assert_eq!(traffic.transfers, 2, "two replica copies moved");
+        assert_eq!(traffic.media_bytes, 2 * 8_000);
+        assert!(
+            traffic.per_link().all(|(from, _, _)| from == "a"),
+            "every replica transfer originates at the publishing host"
+        );
+    }
+
+    #[test]
+    fn replication_copies_documents_and_charges_structure_bytes() {
+        let network = Network::uniform(&["a", "b", "c", "d"], Link::lan());
+        let store = DistributedStore::with_replication(network, 2).unwrap();
+        let size = store.publish_document("a", "news", &news_doc()).unwrap();
+        let holders: Vec<&str> = ["a", "b", "c", "d"]
+            .into_iter()
+            .filter(|h| store.documents_on(h).unwrap().contains(&"news".to_string()))
+            .collect();
+        assert_eq!(holders.len(), 2);
+        assert!(holders.contains(&"a"), "origin must hold the document");
+        let traffic = store.traffic();
+        assert_eq!(traffic.transfers, 1);
+        assert_eq!(traffic.structure_bytes, size as u64);
+        assert_eq!(traffic.media_bytes, 0);
+    }
+
+    #[test]
+    fn local_descriptor_reads_record_no_traffic() {
+        let store = cluster();
+        seed_media(&store, "server");
+        store.reset_traffic();
+        // The server already holds the block: a descriptor "fetch" to it is
+        // a local read, not a transfer.
+        let descriptor = store.fetch_descriptor("server", "speech").unwrap();
+        assert_eq!(descriptor.medium, MediaKind::Audio);
+        let traffic = store.traffic();
+        assert_eq!(traffic.transfers, 0);
+        assert_eq!(traffic.links_used(), 0);
+    }
+
+    #[test]
+    fn unreachable_holders_surface_as_unreachable_not_unknown() {
+        let mut network = Network::new();
+        network.add_host("a");
+        network.add_host("b");
+        network.add_host("c");
+        network.connect("a", "b", Link::lan());
+        let store = DistributedStore::new(network);
+        let block = MediaGenerator::new(6).audio("speech", 1_000, 8_000);
+        let descriptor = block.describe();
+        store.put_block("c", block, descriptor).unwrap();
+        // The block exists — the problem is topology, and the error says so.
+        assert!(matches!(
+            store.fetch_block("a", "speech").unwrap_err(),
+            DistribError::Unreachable { .. }
+        ));
+        assert!(matches!(
+            store.fetch_descriptor("a", "speech").unwrap_err(),
+            DistribError::Unreachable { .. }
+        ));
+        // A block nobody holds is still UnknownBlock.
+        assert!(matches!(
+            store.fetch_block("a", "missing").unwrap_err(),
+            DistribError::Media(MediaError::UnknownBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn local_replica_serves_descriptors_even_over_free_links() {
+        // Zero-latency links make every source cost 0; the destination's
+        // own copy must still win so no phantom transfer is recorded.
+        let free = Link {
+            latency_ms: 0,
+            bandwidth_bps: u64::MAX,
+        };
+        let store = DistributedStore::new(Network::uniform(&["alpha", "desk"], free));
+        let descriptor = MediaGenerator::new(8)
+            .audio("speech", 1_000, 8_000)
+            .describe();
+        store
+            .put_block(
+                "alpha",
+                MediaGenerator::new(8).audio("speech", 1_000, 8_000),
+                descriptor.clone(),
+            )
+            .unwrap();
+        store
+            .put_block(
+                "desk",
+                MediaGenerator::new(8).audio("speech", 1_000, 8_000),
+                descriptor,
+            )
+            .unwrap();
+        store.fetch_descriptor("desk", "speech").unwrap();
+        assert_eq!(store.traffic().transfers, 0);
+        assert_eq!(store.traffic().links_used(), 0);
+    }
+
+    #[test]
+    fn unreachable_replica_targets_fail_before_any_state_changes() {
+        // No default link and only a partial topology: some ring-chosen
+        // replica target is unreachable from `a`.
+        let mut network = Network::new();
+        network.add_host("a");
+        network.add_host("b");
+        network.add_host("c");
+        network.connect("a", "b", Link::lan());
+        let store = DistributedStore::with_replication(network, 3).unwrap();
+        let block = MediaGenerator::new(4).audio("speech", 1_000, 8_000);
+        let descriptor = block.describe();
+        let err = store.put_block("a", block, descriptor.clone()).unwrap_err();
+        assert!(matches!(err, DistribError::Unreachable { .. }));
+        // The failed put left nothing behind: no holders, no traffic, and
+        // the origin can retry once the topology is fixed.
+        assert!(store.replicas_of("speech").is_empty());
+        assert!(store.local_blocks("a").unwrap().is_empty());
+        assert_eq!(store.traffic().transfers, 0);
+        let retry = MediaGenerator::new(4).audio("speech", 1_000, 8_000);
+        assert!(matches!(
+            store.put_block("a", retry, descriptor).unwrap_err(),
+            DistribError::Unreachable { .. },
+        ));
+    }
+
+    #[test]
+    fn unreachable_publish_targets_fail_before_any_state_changes() {
+        let mut network = Network::new();
+        network.add_host("a");
+        network.add_host("b");
+        network.add_host("c");
+        network.connect("a", "b", Link::lan());
+        let store = DistributedStore::with_replication(network, 3).unwrap();
+        let err = store
+            .publish_document("a", "news", &news_doc())
+            .unwrap_err();
+        assert!(matches!(err, DistribError::Unreachable { .. }));
+        // No host holds the document and nothing was charged, so a retry
+        // after fixing the topology does not double-count traffic.
+        for host in ["a", "b", "c"] {
+            assert!(store.documents_on(host).unwrap().is_empty());
+        }
+        assert_eq!(store.traffic().transfers, 0);
+        assert_eq!(store.traffic().structure_bytes, 0);
+    }
+
+    #[test]
+    fn invalid_replication_factors_are_rejected() {
+        let network = Network::uniform(&["a", "b", "c"], Link::lan());
+        assert!(matches!(
+            DistributedStore::with_replication(network.clone(), 0).unwrap_err(),
+            DistribError::InvalidReplication {
+                requested: 0,
+                hosts: 3
+            }
+        ));
+        assert!(matches!(
+            DistributedStore::with_replication(network.clone(), 4).unwrap_err(),
+            DistribError::InvalidReplication {
+                requested: 4,
+                hosts: 3
+            }
+        ));
+        assert!(DistributedStore::with_replication(network, 3).is_ok());
+        // Duplicate host names must not inflate the satisfiable factor.
+        let duplicated = Network::uniform(&["a", "a", "b"], Link::lan());
+        assert!(matches!(
+            DistributedStore::with_replication(duplicated, 3).unwrap_err(),
+            DistribError::InvalidReplication {
+                requested: 3,
+                hosts: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn writes_to_one_host_do_not_block_reads_of_another() {
+        let store = Arc::new(cluster());
+        store.publish_document("desk", "news", &news_doc()).unwrap();
+
+        // Hold host `server`'s document write lock, as a publisher stuck
+        // mid-write would, and read host `desk` from another thread. Under
+        // the old global `RwLock<BTreeMap<HostId, HostStore>>` this
+        // deadlocks until the guard drops; sharded, it must complete.
+        let server_guard = store
+            .shards
+            .get("server")
+            .expect("server shard exists")
+            .documents
+            .write();
+        let (tx, rx) = mpsc::channel();
+        let reader_store = Arc::clone(&store);
+        let reader = thread::spawn(move || {
+            let names = reader_store.documents_on("desk").unwrap();
+            let doc = reader_store.open_document("desk", "news").unwrap();
+            tx.send((names, doc.leaves().len())).unwrap();
+        });
+        let (names, leaves) = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("reading host `desk` blocked behind a write lock on host `server`");
+        drop(server_guard);
+        reader.join().unwrap();
+        assert_eq!(names, vec!["news"]);
+        assert_eq!(leaves, 2);
     }
 }

@@ -1,0 +1,149 @@
+//! Traffic accounting: cluster-wide totals plus per-link breakdowns.
+//!
+//! The §6 cost model only means something if the accounting is honest: every
+//! simulated transfer is recorded exactly once, attributed to the directed
+//! link `(from, to)` it crossed, and split into *structure* bytes (document
+//! interchange text, descriptors) versus *media* bytes (block payloads).
+//! The per-link view is what lets the `ext_distrib` benchmark show which
+//! links carry structure and which carry media.
+
+use std::collections::BTreeMap;
+
+use crate::network::HostId;
+
+/// Running totals for one directed link `(from, to)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Bytes of document structure moved over this link.
+    pub structure_bytes: u64,
+    /// Bytes of media payload moved over this link.
+    pub media_bytes: u64,
+    /// Simulated milliseconds spent on this link's transfers.
+    pub simulated_ms: u64,
+    /// Number of transfers over this link.
+    pub transfers: u64,
+}
+
+impl LinkStats {
+    /// Total bytes moved over this link.
+    pub fn total_bytes(&self) -> u64 {
+        self.structure_bytes + self.media_bytes
+    }
+}
+
+/// Running totals of simulated traffic: cluster-wide sums plus the same
+/// counters broken down per directed link.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrafficStats {
+    /// Bytes of document structure moved between hosts.
+    pub structure_bytes: u64,
+    /// Bytes of media payload moved between hosts.
+    pub media_bytes: u64,
+    /// Simulated milliseconds spent on transfers.
+    pub simulated_ms: u64,
+    /// Number of transfers performed.
+    pub transfers: u64,
+    /// Per-link counters, keyed `from → to` (nested so lookups and updates
+    /// borrow `&str` keys without allocating).
+    per_link: BTreeMap<HostId, BTreeMap<HostId, LinkStats>>,
+}
+
+impl TrafficStats {
+    /// The counters for the directed link `(from, to)`; all-zero when the
+    /// link never carried a transfer.
+    pub fn link(&self, from: &str, to: &str) -> LinkStats {
+        self.per_link
+            .get(from)
+            .and_then(|inner| inner.get(to))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Every directed link that carried at least one transfer, as
+    /// `(from, to, stats)`, ordered by `from` then `to`.
+    pub fn per_link(&self) -> impl Iterator<Item = (&str, &str, LinkStats)> + '_ {
+        self.per_link.iter().flat_map(|(from, inner)| {
+            inner
+                .iter()
+                .map(move |(to, stats)| (from.as_str(), to.as_str(), *stats))
+        })
+    }
+
+    /// Number of directed links that carried at least one transfer.
+    pub fn links_used(&self) -> usize {
+        self.per_link.values().map(BTreeMap::len).sum()
+    }
+
+    /// Records one transfer in the totals and in the link's own counters.
+    pub(crate) fn record(&mut self, from: &str, to: &str, bytes: u64, is_structure: bool, ms: u64) {
+        self.simulated_ms += ms;
+        self.transfers += 1;
+        if is_structure {
+            self.structure_bytes += bytes;
+        } else {
+            self.media_bytes += bytes;
+        }
+        if !self.per_link.contains_key(from) {
+            self.per_link.insert(from.to_string(), BTreeMap::new());
+        }
+        if let Some(inner) = self.per_link.get_mut(from) {
+            if !inner.contains_key(to) {
+                inner.insert(to.to_string(), LinkStats::default());
+            }
+            if let Some(link) = inner.get_mut(to) {
+                link.simulated_ms += ms;
+                link.transfers += 1;
+                if is_structure {
+                    link.structure_bytes += bytes;
+                } else {
+                    link.media_bytes += bytes;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_per_link_counters_agree() {
+        let mut stats = TrafficStats::default();
+        stats.record("server", "desk", 1_000, true, 3);
+        stats.record("server", "desk", 2_000, false, 5);
+        stats.record("server", "kiosk", 500, false, 7);
+
+        assert_eq!(stats.structure_bytes, 1_000);
+        assert_eq!(stats.media_bytes, 2_500);
+        assert_eq!(stats.simulated_ms, 15);
+        assert_eq!(stats.transfers, 3);
+
+        let desk = stats.link("server", "desk");
+        assert_eq!(desk.structure_bytes, 1_000);
+        assert_eq!(desk.media_bytes, 2_000);
+        assert_eq!(desk.total_bytes(), 3_000);
+        assert_eq!(desk.transfers, 2);
+        assert_eq!(stats.link("server", "kiosk").transfers, 1);
+        assert_eq!(stats.links_used(), 2);
+
+        // Totals are the sum of the per-link counters.
+        let (mut s, mut m, mut ms, mut t) = (0, 0, 0, 0);
+        for (_, _, link) in stats.per_link() {
+            s += link.structure_bytes;
+            m += link.media_bytes;
+            ms += link.simulated_ms;
+            t += link.transfers;
+        }
+        assert_eq!((s, m, ms, t), (1_000, 2_500, 15, 3));
+    }
+
+    #[test]
+    fn links_are_directional_and_unknown_links_are_zero() {
+        let mut stats = TrafficStats::default();
+        stats.record("a", "b", 10, true, 1);
+        assert_eq!(stats.link("a", "b").transfers, 1);
+        assert_eq!(stats.link("b", "a"), LinkStats::default());
+        assert_eq!(stats.link("x", "y"), LinkStats::default());
+    }
+}

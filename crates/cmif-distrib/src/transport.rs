@@ -15,6 +15,7 @@ use cmif_core::tree::Document;
 
 use crate::error::Result;
 use crate::store::DistributedStore;
+use crate::traffic::TrafficStats;
 
 /// The cost of one transport strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -36,13 +37,18 @@ impl TransportCost {
     }
 }
 
-/// Side-by-side costs of the two strategies.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// Side-by-side costs of the two strategies, with the full per-link
+/// traffic breakdown of each phase.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TransportComparison {
     /// Ship structure and every referenced block eagerly.
     pub eager: TransportCost,
     /// Ship structure only, then fetch just the presentable blocks.
     pub lazy: TransportCost,
+    /// Per-link traffic recorded during the eager phase.
+    pub eager_traffic: TrafficStats,
+    /// Per-link traffic recorded during the lazy phase.
+    pub lazy_traffic: TrafficStats,
 }
 
 impl TransportComparison {
@@ -128,7 +134,12 @@ pub fn compare_transport(
         blocks_moved: wanted.len(),
     };
 
-    Ok(TransportComparison { eager, lazy })
+    Ok(TransportComparison {
+        eager,
+        lazy,
+        eager_traffic,
+        lazy_traffic,
+    })
 }
 
 #[cfg(test)]
@@ -200,6 +211,27 @@ mod tests {
         assert!(comparison.eager.media_bytes > comparison.lazy.media_bytes);
         assert!(comparison.byte_ratio() > 10.0);
         assert!(comparison.eager.simulated_ms > comparison.lazy.simulated_ms);
+
+        // Each phase's traffic rode exactly one directed link, and the
+        // per-link counters agree with the phase totals.
+        let eager_link = comparison.eager_traffic.link("server", "desk");
+        assert_eq!(eager_link.media_bytes, comparison.eager.media_bytes);
+        assert_eq!(eager_link.structure_bytes, comparison.eager.structure_bytes);
+        assert_eq!(comparison.eager_traffic.links_used(), 1);
+        // The eager phase left a replica of the speech on `desk`, so the
+        // kiosk is served by the nearest holder (lexical tie-break on a
+        // uniform LAN picks `desk` over `server`) — the media rides the
+        // desk→kiosk link, only the structure comes from the server.
+        let lazy_link = comparison.lazy_traffic.link("desk", "kiosk");
+        assert_eq!(lazy_link.media_bytes, comparison.lazy.media_bytes);
+        assert_eq!(
+            comparison
+                .lazy_traffic
+                .link("server", "kiosk")
+                .structure_bytes,
+            comparison.lazy.structure_bytes
+        );
+        assert_eq!(comparison.lazy_traffic.links_used(), 2);
     }
 
     #[test]

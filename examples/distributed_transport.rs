@@ -81,6 +81,13 @@ fn main() -> Result<()> {
         comparison.lazy.blocks_moved,
         comparison.lazy.simulated_ms as f64 / 1e3
     );
+    println!("--- per-link traffic (lazy phase) ---");
+    for (from, to, link) in comparison.lazy_traffic.per_link() {
+        println!(
+            "{from} -> {to}: {} B structure, {} B media, {} transfer(s)",
+            link.structure_bytes, link.media_bytes, link.transfers
+        );
+    }
     println!(
         "\nthe eager strategy moves {:.0}x more bytes than the audio-only reader needed",
         comparison.byte_ratio()

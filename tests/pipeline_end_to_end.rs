@@ -121,16 +121,20 @@ fn distributed_presentation_fetches_only_what_the_device_presents() {
     // 40 s of 8 kHz 8-bit PCM narration.
     assert_eq!(traffic.media_bytes, 320_000);
     assert!(traffic.structure_bytes < 10_000);
-    // The kiosk can schedule the full document from structure alone.
-    let result = cluster
-        .with_local_store("kiosk", |local| {
-            solve(&received, &received.catalog, &ScheduleOptions::default())
-                .map(|r| (r.schedule.total_duration, local.len()))
-        })
-        .unwrap()
-        .unwrap();
-    assert_eq!(result.1, 1);
-    assert_eq!(result.0, cmif::core::time::TimeMs::from_secs(42));
+    // All of it crossed the single server→kiosk WAN link.
+    let link = traffic.link("server", "kiosk");
+    assert_eq!(link.media_bytes, 320_000);
+    assert_eq!(link.structure_bytes, traffic.structure_bytes);
+    assert_eq!(traffic.links_used(), 1);
+    // The kiosk can schedule the full document from structure alone; its
+    // local shard is reachable without holding any store-wide lock.
+    let local = cluster.local_store("kiosk").unwrap();
+    assert_eq!(local.len(), 1);
+    let solved = solve(&received, &received.catalog, &ScheduleOptions::default()).unwrap();
+    assert_eq!(
+        solved.schedule.total_duration,
+        cmif::core::time::TimeMs::from_secs(42)
+    );
 }
 
 #[test]
