@@ -16,7 +16,7 @@ use std::time::Duration;
 use cmif::baselines::{conversion_loss, to_static, MuseTimeline};
 use cmif::core::prelude::*;
 use cmif::news::evening_news;
-use cmif::scheduler::{solve, ScheduleOptions};
+use cmif::scheduler::{ConstraintGraph, ScheduleOptions};
 use cmif::synthetic::SyntheticNews;
 use cmif_bench::banner;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -24,7 +24,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_baselines(c: &mut Criterion) {
     // Regenerate the artifact: loss and retargeting cost for the news.
     let doc = evening_news().unwrap();
-    let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+    let solved = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+        .unwrap()
+        .solve(&doc, &doc.catalog)
+        .unwrap();
     let timeline = MuseTimeline::from_schedule(&solved.schedule);
     let timeline_loss = conversion_loss(&doc);
     let (_, static_loss) = to_static(&doc).unwrap();
@@ -53,7 +56,10 @@ fn bench_baselines(c: &mut Criterion) {
     for stories in [2usize, 8, 32] {
         let broadcast = SyntheticNews::with_stories(stories).build().unwrap();
         let broadcast_solved =
-            solve(&broadcast, &broadcast.catalog, &ScheduleOptions::default()).unwrap();
+            ConstraintGraph::derive(&broadcast, &broadcast.catalog, &ScheduleOptions::default())
+                .unwrap()
+                .solve(&broadcast, &broadcast.catalog)
+                .unwrap();
         let broadcast_timeline = MuseTimeline::from_schedule(&broadcast_solved.schedule);
         let first_voice = broadcast.find("/story-0/narration").unwrap();
 
@@ -68,7 +74,10 @@ fn bench_baselines(c: &mut Criterion) {
                         DataDescriptor::new("s0/audio", MediaKind::Audio, "pcm8")
                             .with_duration(TimeMs::from_secs(45)),
                     );
-                    solve(&edited, &edited.catalog, &ScheduleOptions::default()).unwrap()
+                    ConstraintGraph::derive(&edited, &edited.catalog, &ScheduleOptions::default())
+                        .unwrap()
+                        .solve(&edited, &edited.catalog)
+                        .unwrap()
                 })
             },
         );

@@ -1,0 +1,111 @@
+//! Extension — the session-based scheduling engine under concurrent load.
+//!
+//! The paper's Figure 1 ends in a player for *one* document; the ROADMAP
+//! north-star is a server multiplexing many. This bench regenerates the
+//! engine scaling artifact (documents per second as the worker pool grows)
+//! and measures batch throughput at 1, 8 and 64 concurrent documents.
+//!
+//! Expected shape: per-document work is independent (derive → relax → play
+//! a session) and workers never hold the queue lock while playing, so an
+//! 8-worker engine clears a 64-document backlog several times faster than a
+//! single worker; the acceptance bar for this PR is >2x docs/sec at 8
+//! workers vs 1. That bar only makes sense on a multi-core host — the
+//! banner prints the detected parallelism so a ~1.0x column on a single-CPU
+//! container reads as the hardware limit it is, not as a queue bottleneck.
+
+use std::time::{Duration, Instant};
+
+use cmif::core::tree::Document;
+use cmif::scheduler::{Engine, EngineConfig, JitterModel};
+use cmif::synthetic::SyntheticNews;
+use cmif_bench::banner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A small mixed batch: story counts 1..=3, one seeded jitter model each.
+fn batch(size: usize) -> Vec<(Document, JitterModel)> {
+    (0..size)
+        .map(|i| {
+            let doc = SyntheticNews::with_stories(1 + i % 3)
+                .build()
+                .expect("synthetic news builds");
+            (doc, JitterModel::uniform(120, i as u64))
+        })
+        .collect()
+}
+
+/// Plays the whole batch through an engine and returns the wall time.
+fn play_batch(engine: &Engine, docs: &[(Document, JitterModel)]) -> Duration {
+    let started = Instant::now();
+    for (doc, jitter) in docs {
+        engine.submit(doc.clone(), jitter.clone());
+    }
+    let outcomes = engine.drain();
+    assert_eq!(outcomes.len(), docs.len());
+    assert!(outcomes.iter().all(|o| o.is_ok()));
+    started.elapsed()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    // Regenerate the artifact: docs/sec for a 64-document backlog as the
+    // worker pool grows.
+    let docs = batch(64);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut lines =
+        format!("host parallelism: {cores} core(s)\nworkers   docs/sec   speedup vs 1 worker\n");
+    let mut baseline = None;
+    for workers in [1usize, 2, 4, 8] {
+        let engine = Engine::new(EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        });
+        // Warm one batch, then time the better of two runs (the queue is
+        // steady-state either way; this damps scheduler noise).
+        play_batch(&engine, &docs);
+        let elapsed = play_batch(&engine, &docs).min(play_batch(&engine, &docs));
+        let docs_per_sec = docs.len() as f64 / elapsed.as_secs_f64();
+        let baseline_rate = *baseline.get_or_insert(docs_per_sec);
+        lines.push_str(&format!(
+            "{workers:<9} {docs_per_sec:<10.0} {:.2}x\n",
+            docs_per_sec / baseline_rate
+        ));
+        engine.shutdown();
+    }
+    banner(
+        "ext: engine throughput, 64 concurrent documents (docs/sec vs workers)",
+        &lines,
+    );
+
+    let mut group = c.benchmark_group("ext_engine");
+    for concurrency in [1usize, 8, 64] {
+        let docs = batch(concurrency);
+        let engine = Engine::new(EngineConfig {
+            workers: 8,
+            ..EngineConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("play_documents", concurrency),
+            &docs,
+            |b, docs| {
+                b.iter(|| play_batch(&engine, docs));
+            },
+        );
+        engine.shutdown();
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use cmif::pipeline::constraint::DeviceProfile;
-use cmif::pipeline::pipeline::{run_pipeline, run_structure_only, PipelineOptions};
+use cmif::pipeline::pipeline::{run_structure_only, PipelineBuilder};
 use cmif::scheduler::ScheduleOptions;
 use cmif::synthetic::SyntheticNews;
 use cmif_bench::{banner, news_fixture};
@@ -19,13 +19,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_pipeline(c: &mut Criterion) {
     // Regenerate the artifact: one full pipeline run with per-stage timings.
     let (doc, store) = news_fixture();
-    let run = run_pipeline(
-        &doc,
-        &store,
-        &DeviceProfile::workstation(),
-        &PipelineOptions::default(),
-    )
-    .expect("pipeline runs");
+    let workstation = PipelineBuilder::new(DeviceProfile::workstation());
+    let run = workstation.run(&doc, &store).expect("pipeline runs");
     banner(
         "Figure 1: pipeline stages (Evening News on a workstation)",
         &format!(
@@ -44,15 +39,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig01_pipeline");
     // Full pipeline on the Evening News.
     group.bench_function("evening_news_full_pipeline", |b| {
-        b.iter(|| {
-            run_pipeline(
-                &doc,
-                &store,
-                &DeviceProfile::workstation(),
-                &PipelineOptions::default(),
-            )
-            .unwrap()
-        })
+        b.iter(|| workstation.run(&doc, &store).unwrap())
     });
 
     // Structure-only stages as the broadcast grows: the cost should scale

@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use cmif::format::channel_view;
 use cmif::news::evening_news;
-use cmif::scheduler::{derive_constraints, solve, ScheduleOptions};
+use cmif::scheduler::{derive_constraints, ConstraintGraph, ScheduleOptions};
 use cmif::synthetic::SyntheticNews;
 use cmif_bench::banner;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -48,7 +48,14 @@ fn bench_channels(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("solve_schedule", events),
             &doc,
-            |b, doc| b.iter(|| solve(doc, &doc.catalog, &ScheduleOptions::default()).unwrap()),
+            |b, doc| {
+                b.iter(|| {
+                    ConstraintGraph::derive(doc, &doc.catalog, &ScheduleOptions::default())
+                        .unwrap()
+                        .solve(doc, &doc.catalog)
+                        .unwrap()
+                })
+            },
         );
     }
     group.finish();

@@ -10,22 +10,18 @@ use std::time::Duration;
 use cmif::format::conventional_view;
 use cmif::news::evening_news;
 use cmif::pipeline::constraint::DeviceProfile;
-use cmif::pipeline::pipeline::{run_pipeline, PipelineOptions};
+use cmif::pipeline::pipeline::PipelineBuilder;
 use cmif::pipeline::presentation::map_presentation;
 use cmif::pipeline::viewer::{render_storyboard, storyboard, table_of_contents};
-use cmif::scheduler::{solve, ScheduleOptions};
+use cmif::scheduler::{ConstraintGraph, ScheduleOptions};
 use cmif_bench::{banner, news_fixture};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_evening_news(c: &mut Criterion) {
     let (doc, store) = news_fixture();
-    let run = run_pipeline(
-        &doc,
-        &store,
-        &DeviceProfile::workstation(),
-        &PipelineOptions::default(),
-    )
-    .unwrap();
+    let run = PipelineBuilder::new(DeviceProfile::workstation())
+        .run(&doc, &store)
+        .unwrap();
     let mid_frames: Vec<_> = run
         .storyboard
         .iter()
@@ -44,9 +40,17 @@ fn bench_evening_news(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig04_evening_news");
     group.bench_function("build_document", |b| b.iter(|| evening_news().unwrap()));
     group.bench_function("schedule", |b| {
-        b.iter(|| solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap())
+        b.iter(|| {
+            ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+                .unwrap()
+                .solve(&doc, &doc.catalog)
+                .unwrap()
+        })
     });
-    let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+    let solved = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+        .unwrap()
+        .solve(&doc, &doc.catalog)
+        .unwrap();
     let presentation = map_presentation(&doc).unwrap();
     group.bench_function("render_views", |b| {
         b.iter(|| {

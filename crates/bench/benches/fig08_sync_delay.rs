@@ -16,7 +16,9 @@ use std::time::Duration;
 
 use cmif::core::arc::SyncArc;
 use cmif::core::prelude::*;
-use cmif::scheduler::{must_satisfaction_rate, play, solve, JitterModel, ScheduleOptions};
+use cmif::scheduler::{
+    must_satisfaction_rate, ConstraintGraph, JitterModel, PlayerSession, ScheduleOptions,
+};
 use cmif_bench::banner;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -67,7 +69,10 @@ fn bench_sync_delay(c: &mut Criterion) {
         let mut row = format!("{jitter_ms:<12}");
         for window_ms in [50i64, 250, 1_000] {
             let doc = windowed_doc(window_ms);
-            let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+            let solved = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+                .unwrap()
+                .solve(&doc, &doc.catalog)
+                .unwrap();
             let rate = must_satisfaction_rate(
                 &doc,
                 &solved,
@@ -89,22 +94,39 @@ fn bench_sync_delay(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig08_sync_delay");
     let doc = windowed_doc(250);
     group.bench_function("solve_with_windows", |b| {
-        b.iter(|| solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap())
+        b.iter(|| {
+            ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+                .unwrap()
+                .solve(&doc, &doc.catalog)
+                .unwrap()
+        })
     });
-    let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+    let solved = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+        .unwrap()
+        .solve(&doc, &doc.catalog)
+        .unwrap();
     for jitter_ms in [0i64, 250, 1_000] {
         let jitter = JitterModel::uniform(jitter_ms, 7);
         group.bench_with_input(
             BenchmarkId::new("playback_simulation", jitter_ms),
             &jitter,
-            |b, jitter| b.iter(|| play(&doc, &solved, &doc.catalog, jitter).unwrap()),
+            |b, jitter| {
+                b.iter(|| {
+                    PlayerSession::new(&doc, &solved, &doc.catalog, jitter)
+                        .unwrap()
+                        .run_to_completion()
+                })
+            },
         );
     }
     // Ablation: the same document with every window forced hard (δ = ε = 0):
     // the ASAP schedule is identical but the document stops absorbing any
     // jitter at all.
     let hard = windowed_doc(0);
-    let hard_solved = solve(&hard, &hard.catalog, &ScheduleOptions::default()).unwrap();
+    let hard_solved = ConstraintGraph::derive(&hard, &hard.catalog, &ScheduleOptions::default())
+        .unwrap()
+        .solve(&hard, &hard.catalog)
+        .unwrap();
     assert_eq!(
         hard_solved.schedule.total_duration,
         solved.schedule.total_duration

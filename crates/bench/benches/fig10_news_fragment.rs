@@ -10,16 +10,21 @@ use std::time::Duration;
 
 use cmif::news::evening_news;
 use cmif::scheduler::{
-    device_conflicts, full_report, invalid_arcs_when_seeking, play, solve, specification_conflicts,
-    EnvironmentLimits, JitterModel, ScheduleOptions,
+    device_conflicts, full_report, invalid_arcs_when_seeking, specification_conflicts,
+    ConstraintGraph, EnvironmentLimits, JitterModel, PlayerSession, ScheduleOptions,
 };
 use cmif_bench::{banner, news_fixture};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_news_fragment(c: &mut Criterion) {
     let doc = evening_news().unwrap();
-    let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
-    let playback = play(&doc, &solved, &doc.catalog, &JitterModel::ideal()).unwrap();
+    let solved = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+        .unwrap()
+        .solve(&doc, &doc.catalog)
+        .unwrap();
+    let playback = PlayerSession::new(&doc, &solved, &doc.catalog, &JitterModel::ideal())
+        .unwrap()
+        .run_to_completion();
     banner(
         "Figure 10: the scheduled news fragment",
         &format!(
@@ -56,7 +61,12 @@ fn bench_news_fragment(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig10_news_fragment");
     group.bench_function("schedule_fragment", |b| {
-        b.iter(|| solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap())
+        b.iter(|| {
+            ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+                .unwrap()
+                .solve(&doc, &doc.catalog)
+                .unwrap()
+        })
     });
     group.bench_function("specification_conflicts", |b| {
         b.iter(|| specification_conflicts(&solved))
@@ -75,7 +85,11 @@ fn bench_news_fragment(c: &mut Criterion) {
         b.iter(|| invalid_arcs_when_seeking(&doc, &solved.schedule, seek_target).unwrap())
     });
     group.bench_function("playback_with_freeze_frames", |b| {
-        b.iter(|| play(&doc, &solved, &doc.catalog, &JitterModel::uniform(100, 3)).unwrap())
+        b.iter(|| {
+            PlayerSession::new(&doc, &solved, &doc.catalog, &JitterModel::uniform(100, 3))
+                .unwrap()
+                .run_to_completion()
+        })
     });
     group.finish();
 }

@@ -1,0 +1,100 @@
+//! CLI over [`cmif_bench::delta`]: compare two bench-baselines artifacts.
+//!
+//! ```text
+//! bench_delta <previous.txt> <current.txt> [--fail-prefix PREFIX] [--threshold FRACTION]
+//! ```
+//!
+//! Prints the per-target delta table on stdout. When `--fail-prefix` is
+//! given, exits non-zero if any target with that prefix regressed by more
+//! than the threshold (default 0.25 = +25 %).
+
+use std::process::ExitCode;
+
+use cmif_bench::delta::{diff, regressions, render_table};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut fail_prefix: Option<String> = None;
+    let mut threshold = 0.25f64;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fail-prefix" => match iter.next() {
+                Some(prefix) => fail_prefix = Some(prefix),
+                None => {
+                    eprintln!("--fail-prefix needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threshold" => match iter.next().and_then(|t| t.parse().ok()) {
+                Some(t) => threshold = t,
+                None => {
+                    eprintln!("--threshold needs a numeric value");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => paths.push(arg),
+        }
+    }
+    let [previous_path, current_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: bench_delta <previous.txt> <current.txt> [--fail-prefix PREFIX] [--threshold FRACTION]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let previous = match std::fs::read_to_string(previous_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {previous_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = match std::fs::read_to_string(current_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {current_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rows = diff(&previous, &current);
+    println!("{}", render_table(&rows));
+
+    if let Some(prefix) = fail_prefix {
+        // A gate that guards zero targets is a format drift or a rename,
+        // not a pass: refuse to green-light it.
+        if !rows
+            .iter()
+            .any(|row| row.current.is_some() && row.name.starts_with(&prefix))
+        {
+            eprintln!(
+                "no target in the current artifact matches prefix '{prefix}'; \
+                 the regression gate would be ineffective (renamed targets or parse drift?)"
+            );
+            return ExitCode::from(2);
+        }
+        let offenders = regressions(&rows, &prefix, threshold);
+        if !offenders.is_empty() {
+            eprintln!(
+                "{} target(s) with prefix '{prefix}' regressed more than {:.0}%:",
+                offenders.len(),
+                threshold * 100.0
+            );
+            for row in offenders {
+                eprintln!(
+                    "  {}: {:+.1}%",
+                    row.name,
+                    row.relative_change().unwrap_or_default() * 100.0
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "no '{prefix}' target regressed more than {:.0}%",
+            threshold * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -11,6 +11,8 @@ use cmif::media::store::BlockStore;
 use cmif::news::{capture_news_media, evening_news};
 use cmif_core::tree::Document;
 
+pub mod delta;
+
 /// Prints a banner so regenerated artifacts are easy to find in the bench
 /// output.
 pub fn banner(title: &str, body: &str) {

@@ -171,7 +171,7 @@ pub fn conversion_loss(doc: &cmif_core::tree::Document) -> TimelineLoss {
 mod tests {
     use super::*;
     use cmif_core::prelude::*;
-    use cmif_scheduler::{solve, ScheduleOptions};
+    use cmif_scheduler::{ConstraintGraph, ScheduleOptions};
 
     fn doc() -> Document {
         DocumentBuilder::new("news")
@@ -201,7 +201,10 @@ mod tests {
     }
 
     fn timeline(d: &Document) -> MuseTimeline {
-        let solved = solve(d, &d.catalog, &ScheduleOptions::default()).unwrap();
+        let solved = ConstraintGraph::derive(d, &d.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(d, &d.catalog)
+            .unwrap();
         MuseTimeline::from_schedule(&solved.schedule)
     }
 
@@ -252,7 +255,10 @@ mod tests {
         d2.catalog.upsert(
             DataDescriptor::new("s1", MediaKind::Audio, "pcm8").with_duration(TimeMs::from_secs(5)),
         );
-        let solved = solve(&d2, &d2.catalog, &ScheduleOptions::default()).unwrap();
+        let solved = ConstraintGraph::derive(&d2, &d2.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&d2, &d2.catalog)
+            .unwrap();
         assert_eq!(solved.schedule.total_duration, TimeMs::from_secs(8));
     }
 

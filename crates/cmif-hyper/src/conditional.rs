@@ -18,7 +18,8 @@ use cmif_core::arc::SyncArc;
 use cmif_core::node::NodeId;
 use cmif_core::tree::Document;
 use cmif_scheduler::{
-    derive_constraints, rates_of, Constraint, ConstraintOrigin, EventPoint, ScheduleOptions,
+    derive_constraints, rates_of, Constraint, ConstraintGraph, ConstraintOrigin, EventPoint,
+    ScheduleOptions,
 };
 
 /// The condition guarding a conditional arc.
@@ -151,6 +152,12 @@ impl ConditionalArc {
 /// Derives the document's constraints plus the conditional arcs whose guards
 /// hold in the given context. Feed the result to
 /// [`cmif_scheduler::solve_constraints`].
+///
+/// This is the one-shot form: it re-derives the document's constraints on
+/// every call. A player that re-evaluates guards as the reader flips flags
+/// should derive one [`ConstraintGraph`] and use
+/// [`apply_conditionals`] per context instead — injected arcs re-relax
+/// incrementally from the cached document fixpoint.
 pub fn constraints_with_conditionals(
     doc: &Document,
     resolver: &dyn cmif_core::descriptor::DescriptorResolver,
@@ -165,6 +172,35 @@ pub fn constraints_with_conditionals(
         }
     }
     Ok(constraints)
+}
+
+/// Replaces the graph's injected constraints with the conditional arcs whose
+/// guards hold in `context`.
+///
+/// The graph keeps its derived (document) constraints and their cached
+/// relaxation fixpoint, so switching contexts costs only the incremental
+/// re-relaxation — the document is never re-derived. Returns the number of
+/// arcs injected.
+pub fn apply_conditionals(
+    graph: &mut ConstraintGraph,
+    doc: &Document,
+    resolver: &dyn cmif_core::descriptor::DescriptorResolver,
+    conditionals: &[ConditionalArc],
+    context: &PresentationContext,
+) -> Result<usize> {
+    // Evaluate every guard before touching the graph: an error mid-list
+    // must leave the previously applied context intact, never a partial
+    // injection of the new one.
+    let mut constraints = Vec::new();
+    for conditional in conditionals {
+        if conditional.applies(doc, context)? {
+            constraints.push(conditional.to_constraint(doc, resolver)?);
+        }
+    }
+    let injected = constraints.len();
+    graph.retract_injected();
+    graph.inject_all(constraints);
+    Ok(injected)
 }
 
 #[cfg(test)]
@@ -204,24 +240,82 @@ mod tests {
         assert!(conditional.applies(&d, &on).unwrap());
 
         // Without the flag the subtitle starts at t=0; with it, at t=2s.
+        // One graph serves both contexts: the document is derived once and
+        // the conditional arc re-relaxes incrementally.
         let options = ScheduleOptions::default();
-        let constraints = constraints_with_conditionals(
+        let mut graph = ConstraintGraph::derive(&d, &d.catalog, &options).unwrap();
+        let injected = apply_conditionals(
+            &mut graph,
             &d,
             &d.catalog,
-            &options,
             std::slice::from_ref(&conditional),
             &off,
         )
         .unwrap();
-        let result = solve_constraints(&d, &d.catalog, constraints).unwrap();
+        assert_eq!(injected, 0);
+        let result = graph.solve(&d, &d.catalog).unwrap();
         assert_eq!(result.schedule.node_times[&subtitle].0, TimeMs::ZERO);
 
-        let constraints =
-            constraints_with_conditionals(&d, &d.catalog, &options, &[conditional], &on).unwrap();
-        let result = solve_constraints(&d, &d.catalog, constraints).unwrap();
+        let injected = apply_conditionals(
+            &mut graph,
+            &d,
+            &d.catalog,
+            std::slice::from_ref(&conditional),
+            &on,
+        )
+        .unwrap();
+        assert_eq!(injected, 1);
+        let result = graph.solve(&d, &d.catalog).unwrap();
         assert_eq!(
             result.schedule.node_times[&subtitle].0,
             TimeMs::from_secs(2)
+        );
+
+        // The one-shot form agrees with the incremental graph.
+        let constraints =
+            constraints_with_conditionals(&d, &d.catalog, &options, &[conditional], &on).unwrap();
+        let one_shot = solve_constraints(&d, &d.catalog, constraints).unwrap();
+        assert_eq!(
+            one_shot.schedule.node_times[&subtitle],
+            result.schedule.node_times[&subtitle]
+        );
+    }
+
+    #[test]
+    fn failed_apply_leaves_the_previous_context_intact() {
+        let d = doc();
+        let subtitle = d.find("/subtitle").unwrap();
+        let good = ConditionalArc::new(
+            subtitle,
+            Condition::Always,
+            SyncArc::hard_start("../voice", "").with_offset(MediaTime::seconds(2)),
+        );
+        let bad = ConditionalArc::new(
+            subtitle,
+            Condition::Always,
+            SyncArc::hard_start("../missing", ""),
+        );
+        let mut graph =
+            ConstraintGraph::derive(&d, &d.catalog, &ScheduleOptions::default()).unwrap();
+        let context = PresentationContext::full();
+        apply_conditionals(
+            &mut graph,
+            &d,
+            &d.catalog,
+            std::slice::from_ref(&good),
+            &context,
+        )
+        .unwrap();
+        assert_eq!(graph.injected_constraints().len(), 1);
+
+        // The second list errors on the unresolvable arc: the graph must
+        // keep the previously applied context, not half of the new one.
+        let result = apply_conditionals(&mut graph, &d, &d.catalog, &[good.clone(), bad], &context);
+        assert!(result.is_err());
+        assert_eq!(graph.injected_constraints().len(), 1);
+        assert_eq!(
+            graph.injected_constraints()[0],
+            good.to_constraint(&d, &d.catalog).unwrap()
         );
     }
 

@@ -15,7 +15,7 @@
 //!
 //! ```
 //! use cmif_core::prelude::*;
-//! use cmif_scheduler::{solve, ScheduleOptions};
+//! use cmif_scheduler::{ConstraintGraph, ScheduleOptions};
 //! use cmif_hyper::navigation::Navigator;
 //!
 //! # fn main() -> std::result::Result<(), cmif_hyper::HyperError> {
@@ -26,7 +26,8 @@
 //!         root.imm_text("b", "caption", "second", 1_000);
 //!     })
 //!     .build()?;
-//! let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default())?;
+//! let solved = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())?
+//!     .solve(&doc, &doc.catalog)?;
 //! let navigator = Navigator::new(&doc, &solved);
 //! let b = doc.find("/b")?;
 //! assert_eq!(navigator.seek(b)?.skipped, 1);
@@ -44,7 +45,8 @@ pub mod navigation;
 pub use error::{HyperError, Result};
 
 pub use conditional::{
-    constraints_with_conditionals, Condition, ConditionalArc, PresentationContext,
+    apply_conditionals, constraints_with_conditionals, Condition, ConditionalArc,
+    PresentationContext,
 };
 pub use links::{HyperLink, LinkSet};
 pub use navigation::{NavigationResult, Navigator};

@@ -151,7 +151,7 @@ mod tests {
     use super::*;
     use cmif_core::arc::SyncArc;
     use cmif_core::prelude::*;
-    use cmif_scheduler::{solve, ScheduleOptions};
+    use cmif_scheduler::{ConstraintGraph, ScheduleOptions};
 
     fn three_story_doc() -> Document {
         let mut builder = DocumentBuilder::new("news")
@@ -187,7 +187,10 @@ mod tests {
     #[test]
     fn seek_rebases_the_remaining_timeline() {
         let doc = three_story_doc();
-        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let result = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&doc, &doc.catalog)
+            .unwrap();
         let navigator = Navigator::new(&doc, &result);
         let story2 = doc.find("/story-2").unwrap();
         let nav = navigator.seek(story2).unwrap();
@@ -201,7 +204,10 @@ mod tests {
     #[test]
     fn seeking_past_an_arc_source_reports_class3_conflicts() {
         let doc = three_story_doc();
-        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let result = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&doc, &doc.catalog)
+            .unwrap();
         let navigator = Navigator::new(&doc, &result);
         let story3 = doc.find("/story-3").unwrap();
         let nav = navigator.seek(story3).unwrap();
@@ -215,7 +221,10 @@ mod tests {
     #[test]
     fn links_drive_navigation() {
         let doc = three_story_doc();
-        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let result = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&doc, &doc.catalog)
+            .unwrap();
         let mut links = LinkSet::new();
         links
             .add(&doc, "skip to the weather", "/story-1", "/story-3")
@@ -234,7 +243,10 @@ mod tests {
     #[test]
     fn fast_forward_lands_on_the_next_event() {
         let doc = three_story_doc();
-        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let result = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&doc, &doc.catalog)
+            .unwrap();
         let navigator = Navigator::new(&doc, &result);
         let nav = navigator
             .fast_forward(TimeMs::ZERO, 5_000)

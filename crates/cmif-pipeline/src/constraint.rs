@@ -424,17 +424,23 @@ mod tests {
 
     #[test]
     fn filtered_document_fits_the_device_limits() {
-        use cmif_scheduler::{device_conflicts, solve, ScheduleOptions};
+        use cmif_scheduler::{device_conflicts, ConstraintGraph, ScheduleOptions};
         let (doc, store) = rich_doc_and_store();
         let device = DeviceProfile::low_end_pc();
         // Before filtering: the schedule needs more than the device has.
-        let result = solve(&doc, &store, &ScheduleOptions::default()).unwrap();
+        let result = ConstraintGraph::derive(&doc, &store, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&doc, &store)
+            .unwrap();
         let before = device_conflicts(&doc, &result.schedule, &store, &device.limits()).unwrap();
         assert!(!before.is_empty());
         // After filtering: the degraded media fit.
         let plan = plan_filters(&doc, &store, &device).unwrap();
         apply_plan(&plan, &store).unwrap();
-        let result = solve(&doc, &store, &ScheduleOptions::default()).unwrap();
+        let result = ConstraintGraph::derive(&doc, &store, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&doc, &store)
+            .unwrap();
         let after = device_conflicts(&doc, &result.schedule, &store, &device.limits()).unwrap();
         assert!(
             after.is_empty(),

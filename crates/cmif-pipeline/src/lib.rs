@@ -22,7 +22,7 @@
 //! use cmif_media::store::BlockStore;
 //! use cmif_pipeline::capture::{CaptureRequest, CaptureTool};
 //! use cmif_pipeline::constraint::DeviceProfile;
-//! use cmif_pipeline::pipeline::{run_pipeline, PipelineOptions};
+//! use cmif_pipeline::pipeline::PipelineBuilder;
 //!
 //! # fn main() -> std::result::Result<(), cmif_pipeline::PipelineError> {
 //! let store = BlockStore::new();
@@ -36,8 +36,7 @@
 //!     })
 //!     .build()?;
 //!
-//! let run = run_pipeline(&doc, &store, &DeviceProfile::workstation(),
-//!                        &PipelineOptions::default())?;
+//! let run = PipelineBuilder::new(DeviceProfile::workstation()).run(&doc, &store)?;
 //! assert!(run.is_presentable());
 //! # Ok(()) }
 //! ```
@@ -56,6 +55,12 @@ pub use error::{PipelineError, Result};
 
 pub use capture::{CaptureRequest, CaptureTool};
 pub use constraint::{apply_plan, plan_filters, DeviceProfile, FilterAction, FilterPlan};
-pub use pipeline::{run_pipeline, run_structure_only, PipelineOptions, PipelineRun, StageTimings};
+pub use pipeline::{
+    run_structure_only, PipelineBuilder, PipelineOptions, PipelineRun, StageTimings,
+};
+
+// Deprecated one-shot shim, importable for one more PR.
+#[allow(deprecated)]
+pub use pipeline::run_pipeline;
 pub use presentation::{map_presentation, render_map, Placement, PresentationMap, VirtualRegion};
 pub use viewer::{render_storyboard, storyboard, table_of_contents, StoryboardFrame};

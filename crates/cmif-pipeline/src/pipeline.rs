@@ -1,7 +1,7 @@
 //! End-to-end orchestration of the CWI/Multimedia Pipeline (Figure 1).
 //!
-//! [`run_pipeline`] wires the five stages together for one document and one
-//! target device:
+//! [`PipelineBuilder`] wires the five stages together for one document and
+//! one target device:
 //!
 //! 1. **capture** (done by the caller — blocks already sit in the store);
 //! 2. **document structure mapping** — the document itself, validated;
@@ -9,14 +9,16 @@
 //! 4. **constraint filtering** — plan and (optionally) apply the device
 //!    mapping;
 //! 5. **viewing** — schedule, conflict report, table of contents and
-//!    storyboard.
+//!    storyboard, with playback driven through
+//!    [`cmif_scheduler::PlayerSession`]s.
 //!
 //! Each stage is timed so the Figure 1 benchmark can report where pipeline
 //! time goes as documents grow. The dividing line the paper draws —
 //! target-system *independent* (stages 2–3) vs target-system *dependent*
 //! (stages 4–5) — is visible in the [`PipelineRun`] type: everything up to
 //! the presentation map is reusable across devices, everything after is
-//! per-device.
+//! per-device. The old free function [`run_pipeline`] remains as a
+//! deprecated shim over the builder.
 
 use std::time::{Duration, Instant};
 
@@ -26,7 +28,8 @@ use cmif_core::tree::Document;
 use cmif_core::validate;
 use cmif_media::store::BlockStore;
 use cmif_scheduler::{
-    full_report, solve, ConflictReport, JitterModel, PlaybackReport, ScheduleOptions, SolveResult,
+    full_report, ConflictReport, ConstraintGraph, JitterModel, PlaybackReport, PlayerSession,
+    ScheduleOptions, SolveResult,
 };
 
 use crate::constraint::{apply_plan, plan_filters, DeviceProfile, FilterPlan};
@@ -121,87 +124,167 @@ impl PipelineRun {
     }
 }
 
+/// Configures and runs pipeline passes for one target device.
+///
+/// The builder is reusable: configure it once, then [`PipelineBuilder::run`]
+/// as many documents through it as needed. Each run derives a
+/// [`ConstraintGraph`] (so callers holding the run can keep injecting
+/// constraints without re-deriving) and drives playback through
+/// [`PlayerSession`]s — the same session machinery
+/// [`cmif_scheduler::Engine`] workers use.
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    device: DeviceProfile,
+    options: PipelineOptions,
+}
+
+impl PipelineBuilder {
+    /// A builder targeting the given device with default options.
+    pub fn new(device: DeviceProfile) -> PipelineBuilder {
+        PipelineBuilder {
+            device,
+            options: PipelineOptions::default(),
+        }
+    }
+
+    /// Replaces the whole option set.
+    pub fn options(mut self, options: PipelineOptions) -> PipelineBuilder {
+        self.options = options;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn schedule(mut self, schedule: ScheduleOptions) -> PipelineBuilder {
+        self.options.schedule = schedule;
+        self
+    }
+
+    /// Whether the filter plan is applied to the block store.
+    pub fn materialize_filters(mut self, materialize: bool) -> PipelineBuilder {
+        self.options.materialize_filters = materialize;
+        self
+    }
+
+    /// Step between storyboard frames, in milliseconds.
+    pub fn storyboard_step_ms(mut self, step_ms: i64) -> PipelineBuilder {
+        self.options.storyboard_step_ms = step_ms;
+        self
+    }
+
+    /// Device jitter used for the playback sessions.
+    pub fn jitter(mut self, jitter: JitterModel) -> PipelineBuilder {
+        self.options.jitter = jitter;
+        self
+    }
+
+    /// Number of playback sessions to run (0 disables playback).
+    pub fn playback_runs(mut self, runs: u32) -> PipelineBuilder {
+        self.options.playback_runs = runs;
+        self
+    }
+
+    /// Runs pipeline stages 2–5 for a document whose media already sit in
+    /// `store`.
+    pub fn run(&self, doc: &Document, store: &BlockStore) -> Result<PipelineRun> {
+        let device = &self.device;
+        let options = &self.options;
+        let mut timings = StageTimings::default();
+
+        // Stage 2: the document structure map — validate it.
+        let started = Instant::now();
+        validate::validate(doc).map_err(|e| PipelineError::from(e).in_stage("structure"))?;
+        timings.validate = started.elapsed();
+
+        // Stage 3: presentation mapping (target-system independent).
+        let started = Instant::now();
+        let presentation = map_presentation(doc).map_err(|e| e.in_stage("presentation"))?;
+        timings.presentation = started.elapsed();
+
+        // Stage 4: constraint filtering (target-system dependent).
+        let started = Instant::now();
+        let filter_plan = plan_filters(doc, store, device).map_err(|e| e.in_stage("filtering"))?;
+        if options.materialize_filters {
+            apply_plan(&filter_plan, store).map_err(|e| e.in_stage("filtering"))?;
+        }
+        timings.filtering = started.elapsed();
+
+        // Stage 5a: scheduling + conflict detection. Derivation is split
+        // from relaxation so the graph could be re-relaxed with injected
+        // constraints without another pipeline pass.
+        let started = Instant::now();
+        let mut graph = ConstraintGraph::derive(doc, store, &options.schedule)
+            .map_err(|e| PipelineError::from(e).in_stage("scheduling"))?;
+        let solve_result = graph
+            .solve(doc, store)
+            .map_err(|e| PipelineError::from(e).in_stage("scheduling"))?;
+        let conflicts = full_report(doc, &solve_result, store, Some(&device.limits()))
+            .map_err(|e| PipelineError::from(e).in_stage("scheduling"))?;
+        timings.scheduling = started.elapsed();
+
+        // Stage 5b: viewing tools.
+        let started = Instant::now();
+        let toc =
+            table_of_contents(doc, &solve_result.schedule).map_err(|e| e.in_stage("viewing"))?;
+        let frames = storyboard(
+            doc,
+            &solve_result.schedule,
+            &presentation,
+            Some(&filter_plan),
+            options.storyboard_step_ms,
+            store,
+        )
+        .map_err(|e| e.in_stage("viewing"))?;
+        timings.viewing = started.elapsed();
+
+        // Stage 5c: playback sessions.
+        let started = Instant::now();
+        let playback = if options.playback_runs > 0 {
+            let mut last = None;
+            for run in 0..options.playback_runs {
+                let jitter = JitterModel {
+                    seed: options.jitter.seed.wrapping_add(run as u64),
+                    ..options.jitter.clone()
+                };
+                let session = PlayerSession::new(doc, &solve_result, store, &jitter)
+                    .map_err(|e| PipelineError::from(e).in_stage("playback"))?;
+                last = Some(session.run_to_completion());
+            }
+            last
+        } else {
+            None
+        };
+        timings.playback = started.elapsed();
+
+        Ok(PipelineRun {
+            device: device.clone(),
+            presentation,
+            filter_plan,
+            solve: solve_result,
+            conflicts,
+            table_of_contents: toc,
+            storyboard: frames,
+            playback,
+            timings,
+        })
+    }
+}
+
 /// Runs pipeline stages 2–5 for a document whose media already sit in
 /// `store`.
+#[deprecated(
+    since = "0.2.0",
+    note = "configure a `PipelineBuilder` and call `run`, which drives playback through \
+            engine sessions"
+)]
 pub fn run_pipeline(
     doc: &Document,
     store: &BlockStore,
     device: &DeviceProfile,
     options: &PipelineOptions,
 ) -> Result<PipelineRun> {
-    let mut timings = StageTimings::default();
-
-    // Stage 2: the document structure map — validate it.
-    let started = Instant::now();
-    validate::validate(doc).map_err(|e| PipelineError::from(e).in_stage("structure"))?;
-    timings.validate = started.elapsed();
-
-    // Stage 3: presentation mapping (target-system independent).
-    let started = Instant::now();
-    let presentation = map_presentation(doc).map_err(|e| e.in_stage("presentation"))?;
-    timings.presentation = started.elapsed();
-
-    // Stage 4: constraint filtering (target-system dependent).
-    let started = Instant::now();
-    let filter_plan = plan_filters(doc, store, device).map_err(|e| e.in_stage("filtering"))?;
-    if options.materialize_filters {
-        apply_plan(&filter_plan, store).map_err(|e| e.in_stage("filtering"))?;
-    }
-    timings.filtering = started.elapsed();
-
-    // Stage 5a: scheduling + conflict detection.
-    let started = Instant::now();
-    let solve_result = solve(doc, store, &options.schedule)
-        .map_err(|e| PipelineError::from(e).in_stage("scheduling"))?;
-    let conflicts = full_report(doc, &solve_result, store, Some(&device.limits()))
-        .map_err(|e| PipelineError::from(e).in_stage("scheduling"))?;
-    timings.scheduling = started.elapsed();
-
-    // Stage 5b: viewing tools.
-    let started = Instant::now();
-    let toc = table_of_contents(doc, &solve_result.schedule).map_err(|e| e.in_stage("viewing"))?;
-    let frames = storyboard(
-        doc,
-        &solve_result.schedule,
-        &presentation,
-        Some(&filter_plan),
-        options.storyboard_step_ms,
-        store,
-    )
-    .map_err(|e| e.in_stage("viewing"))?;
-    timings.viewing = started.elapsed();
-
-    // Stage 5c: playback simulation.
-    let started = Instant::now();
-    let playback = if options.playback_runs > 0 {
-        let mut last = None;
-        for run in 0..options.playback_runs {
-            let jitter = JitterModel {
-                seed: options.jitter.seed.wrapping_add(run as u64),
-                ..options.jitter.clone()
-            };
-            last = Some(
-                cmif_scheduler::play(doc, &solve_result, store, &jitter)
-                    .map_err(|e| PipelineError::from(e).in_stage("playback"))?,
-            );
-        }
-        last
-    } else {
-        None
-    };
-    timings.playback = started.elapsed();
-
-    Ok(PipelineRun {
-        device: device.clone(),
-        presentation,
-        filter_plan,
-        solve: solve_result,
-        conflicts,
-        table_of_contents: toc,
-        storyboard: frames,
-        playback,
-        timings,
-    })
+    PipelineBuilder::new(device.clone())
+        .options(options.clone())
+        .run(doc, store)
 }
 
 /// Convenience for self-contained documents (descriptors embedded in the
@@ -213,7 +296,7 @@ pub fn run_structure_only(
 ) -> Result<(PresentationMap, SolveResult)> {
     validate::validate(doc)?;
     let presentation = map_presentation(doc)?;
-    let solve_result = solve(doc, resolver, options)?;
+    let solve_result = ConstraintGraph::derive(doc, resolver, options)?.solve(doc, resolver)?;
     Ok((presentation, solve_result))
 }
 
@@ -258,13 +341,9 @@ mod tests {
     #[test]
     fn full_pipeline_on_a_workstation_is_presentable() {
         let (doc, store) = build_fixture();
-        let run = run_pipeline(
-            &doc,
-            &store,
-            &DeviceProfile::workstation(),
-            &PipelineOptions::default(),
-        )
-        .unwrap();
+        let run = PipelineBuilder::new(DeviceProfile::workstation())
+            .run(&doc, &store)
+            .unwrap();
         assert!(run.is_presentable(), "conflicts: {}", run.conflicts);
         assert!(run.filter_plan.is_identity());
         assert_eq!(run.presentation.len(), 4);
@@ -279,13 +358,9 @@ mod tests {
     #[test]
     fn audio_kiosk_run_reports_device_conflicts_but_still_plans() {
         let (doc, store) = build_fixture();
-        let run = run_pipeline(
-            &doc,
-            &store,
-            &DeviceProfile::audio_kiosk(),
-            &PipelineOptions::default(),
-        )
-        .unwrap();
+        let run = PipelineBuilder::new(DeviceProfile::audio_kiosk())
+            .run(&doc, &store)
+            .unwrap();
         assert!(!run.is_presentable());
         assert!(!run.conflicts.of_class(2).is_empty());
         assert!(run
@@ -300,12 +375,10 @@ mod tests {
     #[test]
     fn materializing_filters_makes_the_low_end_pc_presentable() {
         let (doc, store) = build_fixture();
-        let device = DeviceProfile::low_end_pc();
-        let options = PipelineOptions {
-            materialize_filters: true,
-            ..PipelineOptions::default()
-        };
-        let run = run_pipeline(&doc, &store, &device, &options).unwrap();
+        let run = PipelineBuilder::new(DeviceProfile::low_end_pc())
+            .materialize_filters(true)
+            .run(&doc, &store)
+            .unwrap();
         assert!(
             run.conflicts.of_class(2).is_empty(),
             "device conflicts remain: {}",
@@ -318,11 +391,10 @@ mod tests {
     #[test]
     fn playback_can_be_disabled() {
         let (doc, store) = build_fixture();
-        let options = PipelineOptions {
-            playback_runs: 0,
-            ..PipelineOptions::default()
-        };
-        let run = run_pipeline(&doc, &store, &DeviceProfile::workstation(), &options).unwrap();
+        let run = PipelineBuilder::new(DeviceProfile::workstation())
+            .playback_runs(0)
+            .run(&doc, &store)
+            .unwrap();
         assert!(run.playback.is_none());
     }
 
@@ -334,13 +406,9 @@ mod tests {
         doc.set_attr(orphan, AttrName::Channel, AttrValue::Id("audio".into()))
             .unwrap();
         // No file attribute: stage 2 validation must fail.
-        let err = run_pipeline(
-            &doc,
-            &store,
-            &DeviceProfile::workstation(),
-            &PipelineOptions::default(),
-        )
-        .unwrap_err();
+        let err = PipelineBuilder::new(DeviceProfile::workstation())
+            .run(&doc, &store)
+            .unwrap_err();
         assert_eq!(err.stage(), "structure");
         assert!(matches!(
             err,

@@ -172,7 +172,7 @@ mod tests {
     use super::*;
     use crate::presentation::map_presentation;
     use cmif_core::prelude::*;
-    use cmif_scheduler::{solve, ScheduleOptions};
+    use cmif_scheduler::{ConstraintGraph, ScheduleOptions};
 
     fn doc() -> Document {
         DocumentBuilder::new("news")
@@ -196,7 +196,10 @@ mod tests {
     #[test]
     fn table_of_contents_lists_structure_with_times() {
         let d = doc();
-        let result = solve(&d, &d.catalog, &ScheduleOptions::default()).unwrap();
+        let result = ConstraintGraph::derive(&d, &d.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&d, &d.catalog)
+            .unwrap();
         let toc = table_of_contents(&d, &result.schedule).unwrap();
         assert!(toc.contains("seq news"));
         assert!(toc.contains("par story-1"));
@@ -209,7 +212,10 @@ mod tests {
     #[test]
     fn storyboard_shows_active_events_and_placements() {
         let d = doc();
-        let result = solve(&d, &d.catalog, &ScheduleOptions::default()).unwrap();
+        let result = ConstraintGraph::derive(&d, &d.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&d, &d.catalog)
+            .unwrap();
         let map = map_presentation(&d).unwrap();
         let frames = storyboard(&d, &result.schedule, &map, None, 2_000, &d.catalog).unwrap();
         assert_eq!(frames.len(), 3); // t = 0, 2s, 4s over a 6 s document
@@ -226,7 +232,10 @@ mod tests {
     #[test]
     fn storyboard_marks_dropped_channels() {
         let d = doc();
-        let result = solve(&d, &d.catalog, &ScheduleOptions::default()).unwrap();
+        let result = ConstraintGraph::derive(&d, &d.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&d, &d.catalog)
+            .unwrap();
         let map = map_presentation(&d).unwrap();
         let plan = FilterPlan {
             dropped_channels: vec!["caption".to_string()],
@@ -247,7 +256,10 @@ mod tests {
             })
             .build()
             .unwrap();
-        let result = solve(&d, &d.catalog, &ScheduleOptions::default()).unwrap();
+        let result = ConstraintGraph::derive(&d, &d.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&d, &d.catalog)
+            .unwrap();
         let map = map_presentation(&d).unwrap();
         let frames = storyboard(&d, &result.schedule, &map, None, 1_000, &d.catalog).unwrap();
         assert!(!frames.is_empty());

@@ -386,7 +386,7 @@ pub fn class_histogram(report: &ConflictReport) -> HashMap<u8, usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solver::solve;
+    use crate::graph::ConstraintGraph;
     use crate::types::ScheduleOptions;
     use cmif_core::arc::SyncArc;
     use cmif_core::prelude::*;
@@ -418,7 +418,10 @@ mod tests {
     }
 
     fn solved(doc: &Document) -> SolveResult {
-        solve(doc, &doc.catalog, &ScheduleOptions::default()).unwrap()
+        ConstraintGraph::derive(doc, &doc.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(doc, &doc.catalog)
+            .unwrap()
     }
 
     #[test]

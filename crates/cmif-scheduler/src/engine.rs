@@ -1,0 +1,507 @@
+//! The multi-document scheduling engine.
+//!
+//! The one-shot entry points processed one document per call and rebuilt
+//! all state each time — a dead end for a server that must multiplex many
+//! cheap client sessions over shared worker state (Gray's *Locally Served
+//! Network Computers* argument). [`Engine`] is that server side: it admits
+//! N documents, schedules and plays them concurrently across a fixed pool
+//! of worker threads, and returns one [`PlaybackReport`] per document.
+//!
+//! The run queue is hand-rolled on `std::sync::{Mutex, Condvar}` — this
+//! workspace has no registry access, so no tokio — and a document whose
+//! constraints are unsatisfiable is *rejected*, not fatal: the worker
+//! records the [`SchedulerError::ConstraintCycle`] (or any other scheduler
+//! error) as that document's outcome and moves on to the next job, exactly
+//! the supervisor behaviour the typed error layer was introduced for.
+//!
+//! Determinism: each submission carries its own seeded [`JitterModel`], so
+//! the report produced for a document is identical whether it played alone
+//! or next to 63 concurrent siblings.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+
+use cmif_core::tree::Document;
+
+use crate::environment::JitterModel;
+use crate::error::Result;
+use crate::graph::ConstraintGraph;
+use crate::player::PlaybackReport;
+use crate::session::PlayerSession;
+use crate::types::ScheduleOptions;
+
+/// Configuration of an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads. Zero is clamped to one.
+    pub workers: usize,
+    /// Scheduling policy applied to every admitted document.
+    pub options: ScheduleOptions,
+    /// How many clock steps each worker drives a session through. Playback
+    /// outcomes do not depend on this (the causal timeline is fixed at
+    /// session creation); it only exercises the step-wise machinery.
+    pub ticks_per_document: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+            options: ScheduleOptions::default(),
+            ticks_per_document: 8,
+        }
+    }
+}
+
+/// Identifier of one admitted document, in admission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(u64);
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "doc#{}", self.0)
+    }
+}
+
+/// The engine's verdict on one admitted document.
+#[derive(Debug, Clone)]
+pub struct DocOutcome {
+    /// The admission ticket the outcome belongs to.
+    pub id: DocId,
+    /// The label given at submission.
+    pub label: String,
+    /// The playback report, or the scheduler error that made the engine
+    /// reject the document (its worker survives either way).
+    pub result: Result<PlaybackReport>,
+}
+
+impl DocOutcome {
+    /// True when the document played to completion.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+struct Job {
+    id: DocId,
+    label: String,
+    doc: Document,
+    jitter: JitterModel,
+}
+
+struct QueueState {
+    pending: VecDeque<Job>,
+    finished: Vec<DocOutcome>,
+    /// Ids whose outcome has been handed out by `wait`/`drain`.
+    delivered: HashSet<u64>,
+    in_flight: usize,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled when a job is enqueued or shutdown begins (workers wait).
+    work: Condvar,
+    /// Signalled when a job completes (waiters wait).
+    done: Condvar,
+    config: EngineConfig,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A pool of worker threads playing many documents concurrently.
+///
+/// Each outcome is delivered exactly once — by the `wait(id)` or `drain()`
+/// call that first sees it — so a long-lived engine's memory stays bounded
+/// by its backlog. Asking again for an already-delivered outcome panics
+/// with a clear message rather than blocking forever.
+///
+/// ```
+/// use cmif_core::prelude::*;
+/// use cmif_scheduler::{Engine, EngineConfig, JitterModel};
+///
+/// # fn main() -> std::result::Result<(), cmif_scheduler::SchedulerError> {
+/// let doc = DocumentBuilder::new("spot")
+///     .channel("audio", MediaKind::Audio)
+///     .descriptor(
+///         DataDescriptor::new("jingle", MediaKind::Audio, "pcm8")
+///             .with_duration(TimeMs::from_secs(3)),
+///     )
+///     .root_seq(|root| {
+///         root.ext("jingle", "audio", "jingle");
+///     })
+///     .build()?;
+///
+/// let engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+/// let a = engine.submit(doc.clone(), JitterModel::ideal());
+/// let b = engine.submit(doc, JitterModel::uniform(100, 7));
+/// let outcome = engine.wait(a);
+/// assert!(outcome.is_ok());
+/// assert!(engine.wait(b).is_ok());
+/// # Ok(()) }
+/// ```
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Engine {
+        let worker_count = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                finished: Vec::new(),
+                delivered: HashSet::new(),
+                in_flight: 0,
+                next_id: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            config,
+        });
+        let workers = (0..worker_count)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("cmif-engine-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .unwrap_or_else(|e| panic!("spawning engine worker {index} failed: {e}"))
+            })
+            .collect();
+        Engine { shared, workers }
+    }
+
+    /// Starts an engine with `workers` worker threads and default policy.
+    pub fn with_workers(workers: usize) -> Engine {
+        Engine::new(EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Admits a document for scheduling and playback under the given
+    /// (seeded, hence deterministic) jitter model.
+    pub fn submit(&self, doc: Document, jitter: JitterModel) -> DocId {
+        self.enqueue(None, doc, jitter)
+    }
+
+    /// Admits a document under a caller-chosen label (for reports and logs).
+    pub fn submit_labeled(
+        &self,
+        label: impl Into<String>,
+        doc: Document,
+        jitter: JitterModel,
+    ) -> DocId {
+        self.enqueue(Some(label.into()), doc, jitter)
+    }
+
+    fn enqueue(&self, label: Option<String>, doc: Document, jitter: JitterModel) -> DocId {
+        let mut state = self.shared.lock();
+        let id = DocId(state.next_id);
+        state.next_id += 1;
+        state.pending.push_back(Job {
+            id,
+            label: label.unwrap_or_else(|| id.to_string()),
+            doc,
+            jitter,
+        });
+        drop(state);
+        self.shared.work.notify_one();
+        id
+    }
+
+    /// Blocks until the given document has finished (or been rejected) and
+    /// returns its outcome.
+    ///
+    /// The outcome is delivered exactly once. Panics if the id was never
+    /// issued by this engine, or if its outcome was already taken by an
+    /// earlier `wait(id)` or [`Engine::drain`] — a clear error instead of
+    /// the silent permanent block that re-waiting would otherwise be.
+    pub fn wait(&self, id: DocId) -> DocOutcome {
+        let mut state = self.shared.lock();
+        assert!(id.0 < state.next_id, "{id} was never admitted here");
+        loop {
+            if let Some(pos) = state.finished.iter().position(|o| o.id == id) {
+                state.delivered.insert(id.0);
+                return state.finished.swap_remove(pos);
+            }
+            assert!(
+                !state.delivered.contains(&id.0),
+                "the outcome of {id} was already delivered by a previous wait() or drain()"
+            );
+            state = self
+                .shared
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until every admitted document has finished and returns the
+    /// not-yet-delivered outcomes in admission order (outcomes already
+    /// taken by `wait(id)` are not repeated).
+    pub fn drain(&self) -> Vec<DocOutcome> {
+        let mut state = self.shared.lock();
+        while !state.pending.is_empty() || state.in_flight > 0 {
+            state = self
+                .shared
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let mut outcomes = std::mem::take(&mut state.finished);
+        for outcome in &outcomes {
+            state.delivered.insert(outcome.id.0);
+        }
+        outcomes.sort_by_key(|o| o.id);
+        outcomes
+    }
+
+    /// Number of documents admitted but not yet finished.
+    pub fn backlog(&self) -> usize {
+        let state = self.shared.lock();
+        state.pending.len() + state.in_flight
+    }
+
+    /// Stops the workers after the queue drains and joins them.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let mut state = self.shared.lock();
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked already produced no further outcomes;
+            // propagating the panic out of drop would abort, so ignore it.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.lock();
+            loop {
+                if let Some(job) = state.pending.pop_front() {
+                    state.in_flight += 1;
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let outcome = DocOutcome {
+            id: job.id,
+            label: job.label.clone(),
+            result: run_job(&shared.config, &job),
+        };
+        let mut state = shared.lock();
+        state.in_flight -= 1;
+        state.finished.push(outcome);
+        drop(state);
+        shared.done.notify_all();
+    }
+}
+
+/// One document's full trip through the engine: derive, relax, play. Any
+/// scheduler error — a `ConstraintCycle` above all — is the document's
+/// outcome, not the worker's death.
+fn run_job(config: &EngineConfig, job: &Job) -> Result<PlaybackReport> {
+    let mut graph = ConstraintGraph::derive(&job.doc, &job.doc.catalog, &config.options)?;
+    let solved = graph.solve(&job.doc, &job.doc.catalog)?;
+    let mut session = PlayerSession::new(&job.doc, &solved, &job.doc.catalog, &job.jitter)?;
+    let total = session.total_duration().as_millis();
+    let ticks = i64::from(config.ticks_per_document.max(1));
+    for step in 1..=ticks {
+        session.tick(total * step / ticks)?;
+        session.poll_events();
+    }
+    // `total * ticks / ticks == total`, so the session is finished here;
+    // the final tick is a no-op safeguard for zero-length documents.
+    session.tick(total)?;
+    session.poll_events();
+    Ok(session.run_to_completion())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmif_core::arc::SyncArc;
+    use cmif_core::prelude::*;
+    use cmif_core::time::MediaTime;
+
+    use crate::error::SchedulerError;
+
+    fn story(name: &str, secs: i64) -> Document {
+        DocumentBuilder::new(name)
+            .channel("audio", MediaKind::Audio)
+            .channel("caption", MediaKind::Text)
+            .descriptor(
+                DataDescriptor::new("speech", MediaKind::Audio, "pcm8")
+                    .with_duration(TimeMs::from_secs(secs)),
+            )
+            .root_par(|root| {
+                root.ext("voice", "audio", "speech");
+                root.imm_text("line", "caption", "hello", 1_000);
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn cyclic_doc() -> Document {
+        let mut doc = story("cycle", 2);
+        let voice = doc.find("/voice").unwrap();
+        let line = doc.find("/line").unwrap();
+        doc.add_arc(
+            voice,
+            SyncArc::hard_start("../line", "").with_offset(MediaTime::seconds(1)),
+        )
+        .unwrap();
+        doc.add_arc(
+            line,
+            SyncArc::hard_start("../voice", "").with_offset(MediaTime::seconds(1)),
+        )
+        .unwrap();
+        doc
+    }
+
+    #[test]
+    fn engine_plays_a_batch_and_reports_each() {
+        let engine = Engine::with_workers(4);
+        let ids: Vec<DocId> = (0..12)
+            .map(|i| {
+                engine.submit(
+                    story("batch", 2 + (i % 3)),
+                    JitterModel::uniform(100, i as u64),
+                )
+            })
+            .collect();
+        let outcomes = engine.drain();
+        assert_eq!(outcomes.len(), 12);
+        for (id, outcome) in ids.iter().zip(&outcomes) {
+            assert_eq!(*id, outcome.id);
+            assert!(outcome.is_ok(), "{:?}", outcome.result);
+        }
+    }
+
+    #[test]
+    fn concurrent_reports_match_sequential_runs() {
+        let engine = Engine::with_workers(4);
+        let mut ids = Vec::new();
+        for seed in 0..8u64 {
+            ids.push(engine.submit(story("det", 3), JitterModel::uniform(200, seed)));
+        }
+        let outcomes = engine.drain();
+
+        let sequential = Engine::with_workers(1);
+        let mut seq_ids = Vec::new();
+        for seed in 0..8u64 {
+            seq_ids.push(sequential.submit(story("det", 3), JitterModel::uniform(200, seed)));
+        }
+        let seq_outcomes = sequential.drain();
+
+        for (a, b) in outcomes.iter().zip(&seq_outcomes) {
+            assert_eq!(
+                a.result.as_ref().unwrap(),
+                b.result.as_ref().unwrap(),
+                "concurrency changed a playback report"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_document_is_rejected_without_tearing_down_the_worker() {
+        // One worker: the cyclic document and the good one share it, so the
+        // good one only completes if the worker survives the rejection.
+        let engine = Engine::with_workers(1);
+        let bad = engine.submit_labeled("bad", cyclic_doc(), JitterModel::ideal());
+        let good = engine.submit_labeled("good", story("good", 2), JitterModel::ideal());
+        let bad_outcome = engine.wait(bad);
+        assert!(matches!(
+            bad_outcome.result,
+            Err(SchedulerError::ConstraintCycle { .. })
+        ));
+        let good_outcome = engine.wait(good);
+        assert!(good_outcome.is_ok());
+        assert_eq!(good_outcome.label, "good");
+    }
+
+    #[test]
+    fn drain_on_an_idle_engine_returns_empty() {
+        let engine = Engine::with_workers(2);
+        assert!(engine.drain().is_empty());
+        assert_eq!(engine.backlog(), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "never admitted")]
+    fn waiting_for_a_foreign_ticket_panics() {
+        let engine = Engine::with_workers(1);
+        engine.wait(DocId(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "already delivered")]
+    fn waiting_twice_for_one_outcome_panics_instead_of_hanging() {
+        let engine = Engine::with_workers(1);
+        let id = engine.submit(story("once", 2), JitterModel::ideal());
+        assert!(engine.wait(id).is_ok());
+        engine.wait(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "already delivered")]
+    fn waiting_after_drain_panics_instead_of_hanging() {
+        let engine = Engine::with_workers(1);
+        let id = engine.submit(story("drained", 2), JitterModel::ideal());
+        assert_eq!(engine.drain().len(), 1);
+        engine.wait(id);
+    }
+
+    #[test]
+    fn drain_returns_each_outcome_once_across_batches() {
+        let engine = Engine::with_workers(2);
+        for _ in 0..3 {
+            engine.submit(story("batch-a", 2), JitterModel::ideal());
+        }
+        assert_eq!(engine.drain().len(), 3);
+        for _ in 0..2 {
+            engine.submit(story("batch-b", 2), JitterModel::ideal());
+        }
+        // The second drain sees only the second batch.
+        assert_eq!(engine.drain().len(), 2);
+    }
+}

@@ -1,0 +1,460 @@
+//! The reusable constraint graph: derivation split from relaxation.
+//!
+//! The one-shot [`crate::solver::solve`] entry point re-derived the
+//! document's constraint set and re-ran longest-path relaxation from zero on
+//! every call — and the playback simulator carried its own copy of the same
+//! relaxation loop. [`ConstraintGraph`] separates the two phases:
+//!
+//! * **derivation** ([`ConstraintGraph::derive`]) walks the document once
+//!   and records the structural arcs, leaf durations and explicit arcs;
+//! * **relaxation** ([`ConstraintGraph::relax`]) computes the ASAP fixpoint
+//!   over the current constraint set, caching the fixpoint of the *base*
+//!   (document-derived) constraints so that *injected* constraints — the
+//!   hypermedia extension's conditional arcs, for example — re-relax
+//!   incrementally from the cached fixpoint instead of re-deriving and
+//!   re-solving the whole document.
+//!
+//! The warm start is sound because relaxation is an inflationary monotone
+//! fixpoint over `max`: the base fixpoint is pointwise ≤ the fixpoint of
+//! base ∪ injected, and iterating the combined update map from any point
+//! below the least fixpoint converges to exactly that least fixpoint.
+//!
+//! The same relaxation core ([`ConstraintGraph::relax_with_latencies`])
+//! drives the playback side: per-leaf startup latencies are folded into the
+//! lower bound of every constraint that targets a leaf's begin point, which
+//! is what [`crate::session::PlayerSession`] uses to compute the causal
+//! "what actually happened" timeline.
+
+use std::collections::HashMap;
+
+use cmif_core::arc::Anchor;
+use cmif_core::descriptor::DescriptorResolver;
+use cmif_core::node::NodeId;
+use cmif_core::time::TimeMs;
+use cmif_core::tree::Document;
+
+use crate::defaults::derive_constraints;
+use crate::error::{Result, SchedulerError};
+use crate::solver::{build_schedule, SolveResult, WindowViolation};
+use crate::types::{Constraint, EventPoint, ScheduleOptions};
+
+/// The assignment of a time to every event point — the output of one
+/// relaxation run.
+pub type PointTimes = HashMap<EventPoint, TimeMs>;
+
+/// A document's constraint set with cached relaxation state.
+///
+/// Build it once per document ([`ConstraintGraph::derive`] or
+/// [`ConstraintGraph::from_constraints`]), then [`inject`] extra constraints
+/// and [`relax`] as often as the presentation context changes: only the
+/// first relaxation pays for the full fixpoint, later ones warm-start from
+/// it.
+///
+/// [`inject`]: ConstraintGraph::inject
+/// [`relax`]: ConstraintGraph::relax
+#[derive(Debug, Clone)]
+pub struct ConstraintGraph {
+    /// Constraints derived from (or supplied for) the document itself.
+    base: Vec<Constraint>,
+    /// Constraints injected after construction (conditional arcs, reader
+    /// choices). Cleared by [`ConstraintGraph::retract_injected`].
+    injected: Vec<Constraint>,
+    /// Every event point of the document (begin and end of each node).
+    points: Vec<EventPoint>,
+    /// Cached fixpoint over `base` alone, lazily computed.
+    base_times: Option<PointTimes>,
+}
+
+impl ConstraintGraph {
+    /// Derives the document's constraint set (structural arcs, leaf
+    /// durations, explicit arcs) and prepares it for relaxation.
+    pub fn derive(
+        doc: &Document,
+        resolver: &dyn DescriptorResolver,
+        options: &ScheduleOptions,
+    ) -> Result<ConstraintGraph> {
+        let constraints = derive_constraints(doc, resolver, options)?;
+        ConstraintGraph::from_constraints(doc, constraints)
+    }
+
+    /// Wraps a pre-built constraint set (the derivation has already
+    /// happened, e.g. through `cmif-hyper`'s conditional-arc expansion).
+    pub fn from_constraints(
+        doc: &Document,
+        constraints: Vec<Constraint>,
+    ) -> Result<ConstraintGraph> {
+        // `root()` also rejects empty documents up front.
+        doc.root()?;
+        let nodes = doc.preorder();
+        let mut points = Vec::with_capacity(nodes.len() * 2);
+        for node in &nodes {
+            points.push(EventPoint::begin(*node));
+            points.push(EventPoint::end(*node));
+        }
+        Ok(ConstraintGraph {
+            base: constraints,
+            injected: Vec::new(),
+            points,
+            base_times: None,
+        })
+    }
+
+    /// Adds one constraint on top of the derived set without invalidating
+    /// the cached base fixpoint.
+    pub fn inject(&mut self, constraint: Constraint) {
+        self.injected.push(constraint);
+    }
+
+    /// Adds several constraints on top of the derived set.
+    pub fn inject_all(&mut self, constraints: impl IntoIterator<Item = Constraint>) {
+        self.injected.extend(constraints);
+    }
+
+    /// Removes every injected constraint, returning the graph to the pure
+    /// document-derived set. The cached base fixpoint survives.
+    pub fn retract_injected(&mut self) {
+        self.injected.clear();
+    }
+
+    /// The base (document-derived) constraints.
+    pub fn base_constraints(&self) -> &[Constraint] {
+        &self.base
+    }
+
+    /// The currently injected constraints.
+    pub fn injected_constraints(&self) -> &[Constraint] {
+        &self.injected
+    }
+
+    /// All constraints, base first, in relaxation order.
+    pub fn constraints(&self) -> impl Iterator<Item = &Constraint> {
+        self.base.iter().chain(self.injected.iter())
+    }
+
+    /// Number of constraints (base plus injected).
+    pub fn len(&self) -> usize {
+        self.base.len() + self.injected.len()
+    }
+
+    /// True when the graph holds no constraints at all.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.injected.is_empty()
+    }
+
+    /// Number of event points in the graph.
+    pub fn point_count(&self) -> usize {
+        self.points.len()
+    }
+
+    fn zero_times(&self) -> PointTimes {
+        let mut times = PointTimes::with_capacity(self.points.len());
+        for point in &self.points {
+            times.insert(*point, TimeMs::ZERO);
+        }
+        times
+    }
+
+    /// Computes (and caches) the ASAP fixpoint of the base constraints.
+    fn base_fixpoint(&mut self) -> Result<&PointTimes> {
+        if self.base_times.is_none() {
+            let mut times = self.zero_times();
+            relax_in_place(&mut times, &self.base, None, "solve")?;
+            self.base_times = Some(times);
+        }
+        Ok(self
+            .base_times
+            .as_ref()
+            .expect("base fixpoint was just computed"))
+    }
+
+    /// Relaxes the graph to its ASAP fixpoint.
+    ///
+    /// The fixpoint of the base constraints is computed once and cached;
+    /// when constraints have been injected, relaxation warm-starts from the
+    /// cached fixpoint and only iterates the (small) remaining distance.
+    /// Returns [`SchedulerError::ConstraintCycle`] when the constraints
+    /// force events ever later.
+    pub fn relax(&mut self) -> Result<PointTimes> {
+        self.base_fixpoint()?;
+        let base = self
+            .base_times
+            .as_ref()
+            .expect("base fixpoint cached by base_fixpoint");
+        if self.injected.is_empty() {
+            return Ok(base.clone());
+        }
+        let mut times = base.clone();
+        // The combined relaxation still iterates over every constraint (an
+        // injected bound can propagate through base constraints), but it
+        // starts at the base fixpoint instead of zero, so already-settled
+        // regions of the graph converge immediately.
+        let combined: Vec<&Constraint> = self.base.iter().chain(self.injected.iter()).collect();
+        relax_with(&mut times, &combined, None, "solve")?;
+        Ok(times)
+    }
+
+    /// Relaxes the graph with per-leaf startup latencies folded into every
+    /// constraint that targets a leaf's begin point — the playback-side
+    /// twin of [`ConstraintGraph::relax`], sharing the same core loop.
+    ///
+    /// This always runs cold (latencies change the bounds themselves, so
+    /// the cached fixpoint does not apply).
+    pub fn relax_with_latencies(&self, latencies: &HashMap<NodeId, i64>) -> Result<PointTimes> {
+        let mut times = self.zero_times();
+        let combined: Vec<&Constraint> = self.base.iter().chain(self.injected.iter()).collect();
+        relax_with(&mut times, &combined, Some(latencies), "playback")?;
+        Ok(times)
+    }
+
+    /// Relaxes the graph and assembles the full [`SolveResult`]: the ASAP
+    /// schedule, the upper-bound (window) verification, and the constraint
+    /// set the schedule was derived from.
+    pub fn solve(
+        &mut self,
+        doc: &Document,
+        resolver: &dyn DescriptorResolver,
+    ) -> Result<SolveResult> {
+        let times = self.relax()?;
+
+        let mut violations = Vec::new();
+        for constraint in self.constraints() {
+            let source_time = times[&constraint.source];
+            let actual = times[&constraint.target];
+            if let Some(latest) = constraint.upper_bound(source_time) {
+                if actual > latest {
+                    violations.push(WindowViolation {
+                        constraint: constraint.clone(),
+                        reference: TimeMs(source_time.as_millis() + constraint.offset_ms),
+                        latest,
+                        actual,
+                    });
+                }
+            }
+        }
+
+        let schedule = build_schedule(doc, resolver, &times)?;
+        Ok(SolveResult {
+            schedule,
+            violations,
+            constraints: self.constraints().cloned().collect(),
+        })
+    }
+}
+
+/// The single longest-path relaxation loop shared by the solver and the
+/// playback simulator (formerly duplicated between `solver.rs` and
+/// `player.rs`).
+///
+/// Repeatedly raises each constraint target to the constraint's lower bound
+/// until nothing changes. When `latencies` is given, every bound on a begin
+/// point is additionally pushed by that node's startup latency. A graph that
+/// is still changing after `|points| + 1` passes contains a positive cycle
+/// and is reported as [`SchedulerError::ConstraintCycle`] with the given
+/// phase name.
+pub(crate) fn relax_in_place(
+    times: &mut PointTimes,
+    constraints: &[Constraint],
+    latencies: Option<&HashMap<NodeId, i64>>,
+    phase: &'static str,
+) -> Result<()> {
+    let refs: Vec<&Constraint> = constraints.iter().collect();
+    relax_with(times, &refs, latencies, phase)
+}
+
+fn relax_with(
+    times: &mut PointTimes,
+    constraints: &[&Constraint],
+    latencies: Option<&HashMap<NodeId, i64>>,
+    phase: &'static str,
+) -> Result<()> {
+    let max_passes = times.len() + 1;
+    let mut changed = true;
+    let mut passes = 0;
+    while changed {
+        changed = false;
+        passes += 1;
+        if passes > max_passes {
+            return Err(SchedulerError::ConstraintCycle {
+                phase,
+                points: times.len(),
+            });
+        }
+        for constraint in constraints {
+            let source_time = match times.get(&constraint.source) {
+                Some(t) => *t,
+                None => continue,
+            };
+            let mut bound = constraint.lower_bound(source_time);
+            if let Some(latencies) = latencies {
+                if constraint.target.anchor == Anchor::Begin {
+                    if let Some(latency) = latencies.get(&constraint.target.node) {
+                        bound = TimeMs(bound.as_millis() + latency);
+                    }
+                }
+            }
+            let entry = times.entry(constraint.target).or_insert(TimeMs::ZERO);
+            if bound > *entry {
+                *entry = bound;
+                changed = true;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmif_core::arc::{Strictness, SyncArc};
+    use cmif_core::prelude::*;
+    use cmif_core::time::MediaTime;
+
+    use crate::types::ConstraintOrigin;
+
+    fn audio(key: &str, secs: i64) -> DataDescriptor {
+        DataDescriptor::new(key, MediaKind::Audio, "pcm8").with_duration(TimeMs::from_secs(secs))
+    }
+
+    fn two_leaf_par() -> Document {
+        DocumentBuilder::new("graph")
+            .channel("audio", MediaKind::Audio)
+            .channel("caption", MediaKind::Text)
+            .descriptor(audio("a", 4))
+            .root_par(|root| {
+                root.ext("voice", "audio", "a");
+                root.imm_text("line", "caption", "hi", 1_500);
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn arc_constraint(doc: &Document, source: &str, target: &str, offset_secs: i64) -> Constraint {
+        let source = doc.find(source).unwrap();
+        let target = doc.find(target).unwrap();
+        Constraint {
+            source: EventPoint::begin(source),
+            target: EventPoint::begin(target),
+            offset_ms: offset_secs * 1_000,
+            min_delay_ms: 0,
+            max_delay_ms: None,
+            strictness: Strictness::Must,
+            origin: ConstraintOrigin::Explicit {
+                carrier: target,
+                index: usize::MAX,
+            },
+        }
+    }
+
+    #[test]
+    fn derive_then_solve_matches_one_shot_solve() {
+        let doc = two_leaf_par();
+        let mut graph =
+            ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let incremental = graph.solve(&doc, &doc.catalog).unwrap();
+        #[allow(deprecated)]
+        let one_shot =
+            crate::solver::solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        assert_eq!(incremental, one_shot);
+    }
+
+    #[test]
+    fn injected_constraints_re_relax_without_re_deriving() {
+        let doc = two_leaf_par();
+        let mut graph =
+            ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let line = doc.find("/line").unwrap();
+
+        // Cold solve: the caption starts at t=0.
+        let before = graph.solve(&doc, &doc.catalog).unwrap();
+        assert_eq!(before.schedule.node_times[&line].0, TimeMs::ZERO);
+        let base_len = graph.base_constraints().len();
+
+        // Inject a "wait 2 s into the voice" constraint and re-relax: same
+        // graph object, no re-derivation, new fixpoint.
+        graph.inject(arc_constraint(&doc, "/voice", "/line", 2));
+        let after = graph.solve(&doc, &doc.catalog).unwrap();
+        assert_eq!(after.schedule.node_times[&line].0, TimeMs::from_secs(2));
+        assert_eq!(graph.base_constraints().len(), base_len);
+        assert_eq!(graph.injected_constraints().len(), 1);
+
+        // Retracting the injection restores the original fixpoint.
+        graph.retract_injected();
+        let restored = graph.solve(&doc, &doc.catalog).unwrap();
+        assert_eq!(restored.schedule.node_times[&line].0, TimeMs::ZERO);
+    }
+
+    #[test]
+    fn warm_start_equals_cold_solve_of_the_combined_set() {
+        let doc = two_leaf_par();
+        let mut warm =
+            ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        warm.relax().unwrap(); // populate the base cache
+        warm.inject(arc_constraint(&doc, "/voice", "/line", 3));
+        let warm_result = warm.solve(&doc, &doc.catalog).unwrap();
+
+        // Cold: derive and add the same arc through the document itself.
+        let mut doc2 = two_leaf_par();
+        let line = doc2.find("/line").unwrap();
+        doc2.add_arc(
+            line,
+            SyncArc::hard_start("../voice", "").with_offset(MediaTime::seconds(3)),
+        )
+        .unwrap();
+        let mut cold =
+            ConstraintGraph::derive(&doc2, &doc2.catalog, &ScheduleOptions::default()).unwrap();
+        let cold_result = cold.solve(&doc2, &doc2.catalog).unwrap();
+
+        assert_eq!(
+            warm_result.schedule.node_times[&line],
+            cold_result.schedule.node_times[&line]
+        );
+        assert_eq!(
+            warm_result.schedule.total_duration,
+            cold_result.schedule.total_duration
+        );
+    }
+
+    #[test]
+    fn injected_cycle_is_detected_and_graph_stays_usable() {
+        let doc = two_leaf_par();
+        let mut graph =
+            ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        graph.inject(arc_constraint(&doc, "/voice", "/line", 1));
+        graph.inject(arc_constraint(&doc, "/line", "/voice", 1));
+        let err = graph.relax().unwrap_err();
+        assert!(matches!(
+            err,
+            SchedulerError::ConstraintCycle { phase: "solve", .. }
+        ));
+        // The cycle lived in the injected set only: retract and recover.
+        graph.retract_injected();
+        assert!(graph.relax().is_ok());
+    }
+
+    #[test]
+    fn latency_relaxation_pushes_begin_points_only() {
+        let doc = two_leaf_par();
+        let graph =
+            ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let voice = doc.find("/voice").unwrap();
+        let mut latencies = HashMap::new();
+        latencies.insert(voice, 250i64);
+        let times = graph.relax_with_latencies(&latencies).unwrap();
+        assert_eq!(times[&EventPoint::begin(voice)], TimeMs::from_millis(250));
+        // The leaf's rigid duration carries the latency to its end.
+        assert_eq!(times[&EventPoint::end(voice)], TimeMs::from_millis(4_250));
+    }
+
+    #[test]
+    fn accessors_report_sizes() {
+        let doc = two_leaf_par();
+        let mut graph =
+            ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        assert!(!graph.is_empty());
+        assert_eq!(graph.point_count(), doc.preorder().len() * 2);
+        let before = graph.len();
+        graph.inject(arc_constraint(&doc, "/voice", "/line", 1));
+        assert_eq!(graph.len(), before + 1);
+        assert_eq!(graph.constraints().count(), graph.len());
+    }
+}

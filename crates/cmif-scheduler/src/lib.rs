@@ -7,22 +7,29 @@
 //!   structural arcs of §5.3.1 (sequential chains, parallel fork/join), the
 //!   rigid begin→end duration of every leaf, and the explicit arcs with
 //!   their offsets converted from media units;
-//! * [`solver`] computes the ASAP schedule over those constraints and
+//! * [`graph`] holds the reusable [`graph::ConstraintGraph`]: derivation
+//!   split from relaxation, with incremental re-relaxation when extra
+//!   constraints (e.g. conditional arcs) are injected;
+//! * [`solver`] assembles the ASAP schedule over those constraints and
 //!   verifies every δ/ε window against it;
 //! * [`timeline`] holds the resulting [`timeline::Schedule`] and renders the
 //!   per-channel views and Gantt charts of Figures 3, 4 and 10;
 //! * [`conflict`] detects the paper's three conflict classes (§5.3.3):
 //!   unreasonable specifications, device limitations, and navigation past an
 //!   arc's source;
-//! * [`player`] simulates actual playback on a jittery device and measures
-//!   how well the Must/May tolerance windows absorb it (the Figure 8
-//!   experiment);
+//! * [`session`] drives actual playback on a jittery device step by step
+//!   ([`session::PlayerSession`]: `tick`/`seek`/`pause`/`resume`), measuring
+//!   how well the Must/May tolerance windows absorb the jitter (the
+//!   Figure 8 experiment); [`player`] keeps the report types and the
+//!   one-shot shim;
+//! * [`engine`] multiplexes many documents over a pool of worker threads
+//!   with a hand-rolled run queue ([`engine::Engine`]);
 //! * [`environment`] models the device: supported media, bandwidth, decode
 //!   capacity, and per-channel startup jitter.
 //!
 //! ```
 //! use cmif_core::prelude::*;
-//! use cmif_scheduler::{solve, ScheduleOptions};
+//! use cmif_scheduler::{ConstraintGraph, ScheduleOptions};
 //!
 //! # fn main() -> std::result::Result<(), cmif_scheduler::SchedulerError> {
 //! let doc = DocumentBuilder::new("demo")
@@ -37,7 +44,8 @@
 //!     })
 //!     .build()?;
 //!
-//! let result = solve(&doc, &doc.catalog, &ScheduleOptions::default())?;
+//! let mut graph = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())?;
+//! let result = graph.solve(&doc, &doc.catalog)?;
 //! assert_eq!(result.schedule.total_duration, TimeMs::from_secs(8));
 //! assert!(result.is_consistent());
 //! # Ok(()) }
@@ -48,9 +56,12 @@
 
 pub mod conflict;
 pub mod defaults;
+pub mod engine;
 pub mod environment;
 pub mod error;
+pub mod graph;
 pub mod player;
+pub mod session;
 pub mod solver;
 pub mod timeline;
 pub mod types;
@@ -62,8 +73,19 @@ pub use conflict::{
     specification_conflicts, Conflict, ConflictReport,
 };
 pub use defaults::{derive_constraints, derive_structural, rates_of};
+pub use engine::{DocId, DocOutcome, Engine, EngineConfig};
 pub use environment::{EnvironmentLimits, JitterModel, JitterSampler};
-pub use player::{must_satisfaction_rate, play, PlaybackReport, PlayedEvent};
-pub use solver::{point_time, solve, solve_constraints, SolveResult, WindowViolation};
+pub use graph::{ConstraintGraph, PointTimes};
+pub use player::{must_satisfaction_rate, PlaybackReport, PlayedEvent};
+pub use session::{PlaybackEvent, PlayerSession, SessionState};
+pub use solver::{point_time, solve_constraints, SolveResult, WindowViolation};
 pub use timeline::{Schedule, TimelineEntry};
 pub use types::{Constraint, ConstraintOrigin, EventPoint, ScheduleOptions};
+
+// The deprecated one-shot entry points stay importable for one PR; new code
+// should build a `ConstraintGraph`, drive a `PlayerSession`, or submit to an
+// `Engine`.
+#[allow(deprecated)]
+pub use player::play;
+#[allow(deprecated)]
+pub use solver::solve;

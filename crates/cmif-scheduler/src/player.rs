@@ -1,4 +1,4 @@
-//! Discrete-event playback simulation.
+//! Playback reports and the one-shot simulation shim.
 //!
 //! The scheduler produces an *intended* schedule; a real presentation
 //! environment then launches events with some per-channel sloppiness. The
@@ -6,27 +6,25 @@
 //! sloppiness on diverse hardware ("this is especially useful for documents
 //! that need to run on diverse sets of hardware", §5.3.1).
 //!
-//! [`play`] simulates a presentation run: every event's *actual* time is the
-//! latest lower bound imposed by its (already-simulated) controlling events
-//! plus a startup latency drawn from the device's [`JitterModel`]. The
-//! report counts how many `Must` and `May` windows the run violated, how
-//! much events drifted from the intended schedule, and how much freeze-frame
-//! time continuous channels needed to bridge gaps — the quantities the
-//! Figure 8 bench sweeps against jitter and window width.
+//! The simulation itself now lives in [`crate::session::PlayerSession`], a
+//! step-wise state machine that many documents can share worker threads
+//! through (see [`crate::engine::Engine`]). This module keeps the report
+//! types — [`PlayedEvent`] and [`PlaybackReport`], the quantities the
+//! Figure 8 bench sweeps against jitter and window width — plus the
+//! deprecated one-shot [`play`] shim and the multi-run
+//! [`must_satisfaction_rate`] sweep.
 
-use std::collections::HashMap;
 use std::fmt;
 
-use crate::error::{Result, SchedulerError};
-use cmif_core::arc::Anchor;
+use crate::error::Result;
 use cmif_core::descriptor::DescriptorResolver;
 use cmif_core::node::NodeId;
 use cmif_core::time::TimeMs;
 use cmif_core::tree::Document;
 
 use crate::environment::JitterModel;
+use crate::session::PlayerSession;
 use crate::solver::SolveResult;
-use crate::types::EventPoint;
 
 /// One presented event in a playback run: intended vs actual times.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,157 +112,18 @@ impl fmt::Display for PlaybackReport {
 
 /// Simulates one playback run of a solved document on a device described by
 /// `jitter`.
+#[deprecated(
+    since = "0.2.0",
+    note = "create a `PlayerSession` and drive it with `tick`, or submit the document to an \
+            `Engine`; `PlayerSession::run_to_completion` reproduces this one-shot behaviour"
+)]
 pub fn play(
     doc: &Document,
     result: &SolveResult,
     resolver: &dyn DescriptorResolver,
     jitter: &JitterModel,
 ) -> Result<PlaybackReport> {
-    let mut sampler = jitter.sampler();
-    let leaves = doc.leaves();
-
-    // Sample one startup latency per leaf, keyed by its channel.
-    let mut latencies: HashMap<NodeId, i64> = HashMap::with_capacity(leaves.len());
-    for leaf in &leaves {
-        let channel = doc
-            .channel_of(*leaf)?
-            .unwrap_or_else(|| "(unassigned)".to_string());
-        latencies.insert(*leaf, sampler.sample(&channel));
-    }
-
-    // Relax the same lower-bound constraint graph the solver used, but add
-    // each leaf's startup latency to its begin point. The result is the
-    // causal "what actually happened" timeline: a late controlling event
-    // pushes everything it controls later, exactly like a slow device would.
-    let mut actual: HashMap<EventPoint, TimeMs> = HashMap::new();
-    for node in doc.preorder() {
-        actual.insert(EventPoint::begin(node), TimeMs::ZERO);
-        actual.insert(EventPoint::end(node), TimeMs::ZERO);
-    }
-    let max_passes = actual.len() + 1;
-    let mut changed = true;
-    let mut passes = 0;
-    while changed {
-        changed = false;
-        passes += 1;
-        if passes > max_passes {
-            return Err(SchedulerError::ConstraintCycle {
-                phase: "playback",
-                points: actual.len(),
-            });
-        }
-        for constraint in &result.constraints {
-            let source_time = match actual.get(&constraint.source) {
-                Some(t) => *t,
-                None => continue,
-            };
-            let mut bound = constraint.lower_bound(source_time);
-            if constraint.target.anchor == Anchor::Begin {
-                if let Some(latency) = latencies.get(&constraint.target.node) {
-                    bound = TimeMs(bound.as_millis() + latency);
-                }
-            }
-            let entry = actual.entry(constraint.target).or_insert(TimeMs::ZERO);
-            if bound > *entry {
-                *entry = bound;
-                changed = true;
-            }
-        }
-    }
-
-    // Count window violations against the actual times.
-    let mut must_violations = 0;
-    let mut may_violations = 0;
-    for constraint in &result.constraints {
-        let source_time = actual[&constraint.source];
-        let target_time = actual[&constraint.target];
-        if !constraint.satisfied(source_time, target_time) {
-            if constraint.strictness == cmif_core::arc::Strictness::Must {
-                must_violations += 1;
-            } else {
-                may_violations += 1;
-            }
-        }
-    }
-
-    // Build the per-event report.
-    let mut events = Vec::with_capacity(leaves.len());
-    for leaf in &leaves {
-        let scheduled_begin = result
-            .schedule
-            .node_times
-            .get(leaf)
-            .map(|(begin, _)| *begin)
-            .unwrap_or(TimeMs::ZERO);
-        let actual_begin = actual[&EventPoint::begin(*leaf)];
-        let actual_end = actual[&EventPoint::end(*leaf)].max(actual_begin);
-        let channel = doc
-            .channel_of(*leaf)?
-            .unwrap_or_else(|| "(unassigned)".to_string());
-        let name = doc
-            .node(*leaf)?
-            .name()
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("{leaf}"));
-        events.push(PlayedEvent {
-            node: *leaf,
-            name,
-            channel,
-            scheduled_begin,
-            actual_begin,
-            actual_end,
-        });
-    }
-    events.sort_by_key(|e| (e.actual_begin, e.node));
-
-    // Freeze-frame time: gaps between consecutive events on channels that
-    // carry continuous media (video keeps its last frame on screen, audio
-    // goes silent) — the mechanism Figure 10 appeals to ("this may require
-    // a freeze-frame video operation").
-    let mut freeze_frame_ms = 0;
-    let mut per_channel: HashMap<&str, Vec<&PlayedEvent>> = HashMap::new();
-    for event in &events {
-        per_channel
-            .entry(event.channel.as_str())
-            .or_default()
-            .push(event);
-    }
-    for (channel, channel_events) in per_channel {
-        let continuous = match doc.channels.get(channel) {
-            Some(def) => def.medium.is_continuous(),
-            // Channels that only exist on nodes: judge by the medium of the
-            // first event presented on them.
-            None => channel_events
-                .first()
-                .map(|event| doc.medium_of(event.node, resolver))
-                .transpose()?
-                .map(|medium| medium.is_continuous())
-                .unwrap_or(false),
-        };
-        if !continuous {
-            continue;
-        }
-        for pair in channel_events.windows(2) {
-            let gap = pair[1].actual_begin.as_millis() - pair[0].actual_end.as_millis();
-            if gap > 0 {
-                freeze_frame_ms += gap;
-            }
-        }
-    }
-
-    let total_duration = events
-        .iter()
-        .map(|e| e.actual_end)
-        .max()
-        .unwrap_or(TimeMs::ZERO);
-
-    Ok(PlaybackReport {
-        events,
-        must_violations,
-        may_violations,
-        freeze_frame_ms,
-        total_duration,
-    })
+    Ok(PlayerSession::new(doc, result, resolver, jitter)?.run_to_completion())
 }
 
 /// Runs `runs` playback simulations with different seeds and returns the
@@ -287,7 +146,7 @@ pub fn must_satisfaction_rate(
             seed: base_jitter.seed.wrapping_add(run as u64),
             ..base_jitter.clone()
         };
-        let report = play(doc, result, resolver, &jitter)?;
+        let report = PlayerSession::new(doc, result, resolver, &jitter)?.run_to_completion();
         if report.meets_must_constraints() {
             ok += 1;
         }
@@ -298,9 +157,9 @@ pub fn must_satisfaction_rate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solver::solve;
+    use crate::graph::ConstraintGraph;
     use crate::types::ScheduleOptions;
-    use cmif_core::arc::SyncArc;
+    use cmif_core::arc::{Anchor, SyncArc};
     use cmif_core::prelude::*;
 
     fn doc_with_window(window_ms: i64) -> Document {
@@ -330,14 +189,23 @@ mod tests {
     }
 
     fn solved(doc: &Document) -> SolveResult {
-        solve(doc, &doc.catalog, &ScheduleOptions::default()).unwrap()
+        ConstraintGraph::derive(doc, &doc.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(doc, &doc.catalog)
+            .unwrap()
+    }
+
+    fn simulate(doc: &Document, result: &SolveResult, jitter: &JitterModel) -> PlaybackReport {
+        PlayerSession::new(doc, result, &doc.catalog, jitter)
+            .unwrap()
+            .run_to_completion()
     }
 
     #[test]
     fn ideal_device_matches_the_schedule_exactly() {
         let doc = doc_with_window(0);
         let result = solved(&doc);
-        let report = play(&doc, &result, &doc.catalog, &JitterModel::ideal()).unwrap();
+        let report = simulate(&doc, &result, &JitterModel::ideal());
         assert_eq!(report.must_violations, 0);
         assert_eq!(report.may_violations, 0);
         assert_eq!(report.max_drift_ms(), 0);
@@ -352,7 +220,7 @@ mod tests {
         // every non-zero draw violates the hard window.
         let jitter = JitterModel::ideal().with_channel("caption", 400);
         let jitter = JitterModel { seed: 3, ..jitter };
-        let report = play(&doc, &result, &doc.catalog, &jitter).unwrap();
+        let report = simulate(&doc, &result, &jitter);
         assert!(report.must_violations >= 1);
         assert!(report.max_drift_ms() > 0);
     }
@@ -365,7 +233,7 @@ mod tests {
             seed: 3,
             ..JitterModel::ideal().with_channel("caption", 400)
         };
-        let report = play(&doc, &result, &doc.catalog, &jitter).unwrap();
+        let report = simulate(&doc, &result, &jitter);
         assert_eq!(report.must_violations, 0);
     }
 
@@ -394,7 +262,7 @@ mod tests {
             seed: 9,
             ..JitterModel::ideal().with_channel("audio", 300)
         };
-        let report = play(&doc, &result, &doc.catalog, &jitter).unwrap();
+        let report = simulate(&doc, &result, &jitter);
         let voice = report.events.iter().find(|e| e.name == "voice").unwrap();
         let line = report.events.iter().find(|e| e.name == "line").unwrap();
         assert!(voice.drift_ms() > 0);
@@ -428,7 +296,7 @@ mod tests {
         )
         .unwrap();
         let result = solved(&doc);
-        let report = play(&doc, &result, &doc.catalog, &JitterModel::ideal()).unwrap();
+        let report = simulate(&doc, &result, &JitterModel::ideal());
         assert_eq!(report.freeze_frame_ms, 4_000);
     }
 
@@ -437,7 +305,7 @@ mod tests {
         let doc = doc_with_window(1_000);
         let result = solved(&doc);
         let jitter = JitterModel::uniform(200, 5);
-        let report = play(&doc, &result, &doc.catalog, &jitter).unwrap();
+        let report = simulate(&doc, &result, &jitter);
         assert!(report.mean_drift_ms() >= 0.0);
         let text = report.to_string();
         assert!(text.contains("events"));
@@ -451,5 +319,16 @@ mod tests {
         let rate =
             must_satisfaction_rate(&doc, &result, &doc.catalog, &JitterModel::ideal(), 0).unwrap();
         assert_eq!(rate, 1.0);
+    }
+
+    #[test]
+    fn deprecated_play_shim_matches_a_session_run() {
+        let doc = doc_with_window(250);
+        let result = solved(&doc);
+        let jitter = JitterModel::uniform(150, 21);
+        #[allow(deprecated)]
+        let shim = play(&doc, &result, &doc.catalog, &jitter).unwrap();
+        let session = simulate(&doc, &result, &jitter);
+        assert_eq!(shim, session);
     }
 }

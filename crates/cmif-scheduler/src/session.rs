@@ -1,0 +1,581 @@
+//! Step-wise playback sessions.
+//!
+//! The one-shot [`crate::player::play`] simulated a whole presentation run
+//! inside one call. A real player, however, reacts to device timing *at
+//! presentation time* (the paper's Figure 1 ends in exactly such a player),
+//! and a server multiplexing many documents cannot afford a blocking loop
+//! per document. [`PlayerSession`] is the incremental form: a small state
+//! machine that is driven from outside with [`PlayerSession::tick`] and
+//! reports what happened through [`PlayerSession::poll_events`].
+//!
+//! The causal timeline itself — every event's actual launch time under the
+//! device's [`JitterModel`] — is computed once at session creation with the
+//! same relaxation core the solver uses (see [`crate::graph`]), so a
+//! session's final [`PlaybackReport`] is bit-identical to the one-shot
+//! simulation for the same seed, no matter how the session is ticked,
+//! paused or sought in between.
+
+use std::collections::HashMap;
+use std::mem;
+
+use cmif_core::arc::Strictness;
+use cmif_core::descriptor::DescriptorResolver;
+use cmif_core::node::NodeId;
+use cmif_core::time::TimeMs;
+use cmif_core::tree::Document;
+
+use crate::environment::JitterModel;
+use crate::error::Result;
+use crate::graph::relax_in_place;
+use crate::player::{PlaybackReport, PlayedEvent};
+use crate::solver::SolveResult;
+use crate::types::EventPoint;
+
+/// The lifecycle of a playback session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Created but not yet ticked; the first tick anchors the wall clock.
+    Ready,
+    /// Advancing: ticks move the presentation position forward.
+    Playing,
+    /// Frozen: ticks are ignored until [`PlayerSession::resume`].
+    Paused,
+    /// The presentation has run to its end; the report is available.
+    Finished,
+}
+
+/// One observable occurrence during a session, drained with
+/// [`PlayerSession::poll_events`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaybackEvent {
+    /// A leaf event was launched on its channel.
+    Started {
+        /// The leaf node presented.
+        node: NodeId,
+        /// The node's name.
+        name: String,
+        /// The channel it plays on.
+        channel: String,
+        /// The begin time the schedule intended.
+        scheduled_begin: TimeMs,
+        /// The begin time the simulated device achieved.
+        at: TimeMs,
+    },
+    /// A leaf event finished presenting.
+    Ended {
+        /// The leaf node that finished.
+        node: NodeId,
+        /// The actual end time.
+        at: TimeMs,
+    },
+    /// The session was paused at the given presentation position.
+    Paused {
+        /// Presentation position at the pause.
+        at: TimeMs,
+    },
+    /// The session resumed from the given presentation position.
+    Resumed {
+        /// Presentation position at the resume.
+        at: TimeMs,
+    },
+    /// The session jumped from one presentation position to another.
+    Sought {
+        /// Position before the jump.
+        from: TimeMs,
+        /// Position after the jump.
+        to: TimeMs,
+    },
+    /// The presentation reached its end.
+    Finished {
+        /// The actual total duration.
+        at: TimeMs,
+    },
+}
+
+/// Which edge of a played event a timeline item marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ItemKind {
+    Begin,
+    End,
+}
+
+/// One deliverable point on the precomputed actual timeline.
+#[derive(Debug, Clone, Copy)]
+struct TimelineItem {
+    at: TimeMs,
+    kind: ItemKind,
+    event: usize,
+}
+
+/// An incremental playback run of one solved document.
+///
+/// ```
+/// use cmif_core::prelude::*;
+/// use cmif_scheduler::{ConstraintGraph, JitterModel, PlayerSession, ScheduleOptions, SessionState};
+///
+/// # fn main() -> std::result::Result<(), cmif_scheduler::SchedulerError> {
+/// let doc = DocumentBuilder::new("demo")
+///     .channel("audio", MediaKind::Audio)
+///     .descriptor(
+///         DataDescriptor::new("speech", MediaKind::Audio, "pcm8")
+///             .with_duration(TimeMs::from_secs(4)),
+///     )
+///     .root_seq(|root| {
+///         root.ext("part-1", "audio", "speech");
+///         root.ext("part-2", "audio", "speech");
+///     })
+///     .build()?;
+/// let mut graph = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())?;
+/// let result = graph.solve(&doc, &doc.catalog)?;
+///
+/// let mut session = PlayerSession::new(&doc, &result, &doc.catalog, &JitterModel::ideal())?;
+/// let mut now = 0;
+/// while session.tick(now)? != SessionState::Finished {
+///     now += 1_000;
+///     let _events = session.poll_events();
+/// }
+/// let report = session.report().expect("finished sessions have a report");
+/// assert_eq!(report.total_duration, TimeMs::from_secs(8));
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlayerSession {
+    report: PlaybackReport,
+    timeline: Vec<TimelineItem>,
+    cursor: usize,
+    position: TimeMs,
+    wall_origin: Option<i64>,
+    state: SessionState,
+    pending: Vec<PlaybackEvent>,
+}
+
+impl PlayerSession {
+    /// Prepares a playback session: samples the device's startup latencies,
+    /// relaxes the causal timeline and precomputes the final report.
+    pub fn new(
+        doc: &Document,
+        result: &SolveResult,
+        resolver: &dyn DescriptorResolver,
+        jitter: &JitterModel,
+    ) -> Result<PlayerSession> {
+        let mut sampler = jitter.sampler();
+        let leaves = doc.leaves();
+
+        // Sample one startup latency per leaf, keyed by its channel. The
+        // channel is sampled by `&str`: the single `Option<String>` from
+        // `channel_of` is kept and reused for the event report below instead
+        // of being re-fetched (and "(unassigned)" re-allocated) per pass.
+        let mut latencies: HashMap<NodeId, i64> = HashMap::with_capacity(leaves.len());
+        let mut channels: HashMap<NodeId, Option<String>> = HashMap::with_capacity(leaves.len());
+        for leaf in &leaves {
+            let channel = doc.channel_of(*leaf)?;
+            latencies.insert(
+                *leaf,
+                sampler.sample(channel.as_deref().unwrap_or("(unassigned)")),
+            );
+            channels.insert(*leaf, channel);
+        }
+
+        // Relax the same lower-bound constraint graph the solver used, with
+        // each leaf's startup latency added to its begin point — the shared
+        // relaxation core of `crate::graph`. The result is the causal "what
+        // actually happened" timeline: a late controlling event pushes
+        // everything it controls later, exactly like a slow device would.
+        let mut actual: HashMap<EventPoint, TimeMs> = HashMap::new();
+        for node in doc.preorder() {
+            actual.insert(EventPoint::begin(node), TimeMs::ZERO);
+            actual.insert(EventPoint::end(node), TimeMs::ZERO);
+        }
+        relax_in_place(
+            &mut actual,
+            &result.constraints,
+            Some(&latencies),
+            "playback",
+        )?;
+
+        // Count window violations against the actual times.
+        let mut must_violations = 0;
+        let mut may_violations = 0;
+        for constraint in &result.constraints {
+            let source_time = actual[&constraint.source];
+            let target_time = actual[&constraint.target];
+            if !constraint.satisfied(source_time, target_time) {
+                if constraint.strictness == Strictness::Must {
+                    must_violations += 1;
+                } else {
+                    may_violations += 1;
+                }
+            }
+        }
+
+        // Build the per-event report.
+        let mut events = Vec::with_capacity(leaves.len());
+        for leaf in &leaves {
+            let scheduled_begin = result
+                .schedule
+                .node_times
+                .get(leaf)
+                .map(|(begin, _)| *begin)
+                .unwrap_or(TimeMs::ZERO);
+            let actual_begin = actual[&EventPoint::begin(*leaf)];
+            let actual_end = actual[&EventPoint::end(*leaf)].max(actual_begin);
+            let channel = channels
+                .remove(leaf)
+                .flatten()
+                .unwrap_or_else(|| "(unassigned)".to_string());
+            let name = doc
+                .node(*leaf)?
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("{leaf}"));
+            events.push(PlayedEvent {
+                node: *leaf,
+                name,
+                channel,
+                scheduled_begin,
+                actual_begin,
+                actual_end,
+            });
+        }
+        events.sort_by_key(|e| (e.actual_begin, e.node));
+
+        // Freeze-frame time: gaps between consecutive events on channels
+        // that carry continuous media (video keeps its last frame on screen,
+        // audio goes silent) — the mechanism Figure 10 appeals to.
+        let mut freeze_frame_ms = 0;
+        let mut per_channel: HashMap<&str, Vec<&PlayedEvent>> = HashMap::new();
+        for event in &events {
+            per_channel
+                .entry(event.channel.as_str())
+                .or_default()
+                .push(event);
+        }
+        for (channel, channel_events) in per_channel {
+            let continuous = match doc.channels.get(channel) {
+                Some(def) => def.medium.is_continuous(),
+                // Channels that only exist on nodes: judge by the medium of
+                // the first event presented on them.
+                None => channel_events
+                    .first()
+                    .map(|event| doc.medium_of(event.node, resolver))
+                    .transpose()?
+                    .map(|medium| medium.is_continuous())
+                    .unwrap_or(false),
+            };
+            if !continuous {
+                continue;
+            }
+            for pair in channel_events.windows(2) {
+                let gap = pair[1].actual_begin.as_millis() - pair[0].actual_end.as_millis();
+                if gap > 0 {
+                    freeze_frame_ms += gap;
+                }
+            }
+        }
+
+        let total_duration = events
+            .iter()
+            .map(|e| e.actual_end)
+            .max()
+            .unwrap_or(TimeMs::ZERO);
+
+        let report = PlaybackReport {
+            events,
+            must_violations,
+            may_violations,
+            freeze_frame_ms,
+            total_duration,
+        };
+
+        let mut timeline = Vec::with_capacity(report.events.len() * 2);
+        for (index, event) in report.events.iter().enumerate() {
+            timeline.push(TimelineItem {
+                at: event.actual_begin,
+                kind: ItemKind::Begin,
+                event: index,
+            });
+            timeline.push(TimelineItem {
+                at: event.actual_end,
+                kind: ItemKind::End,
+                event: index,
+            });
+        }
+        timeline.sort_by_key(|item| (item.at, item.kind, item.event));
+
+        Ok(PlayerSession {
+            report,
+            timeline,
+            cursor: 0,
+            position: TimeMs::ZERO,
+            wall_origin: None,
+            state: SessionState::Ready,
+            pending: Vec::new(),
+        })
+    }
+
+    /// The session's current state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The current presentation position.
+    pub fn position(&self) -> TimeMs {
+        self.position
+    }
+
+    /// The actual total duration of the presentation.
+    pub fn total_duration(&self) -> TimeMs {
+        self.report.total_duration
+    }
+
+    /// The final report, once the session has [`SessionState::Finished`].
+    pub fn report(&self) -> Option<&PlaybackReport> {
+        (self.state == SessionState::Finished).then_some(&self.report)
+    }
+
+    /// Advances the session to wall-clock time `now_ms` (milliseconds on
+    /// any monotone clock the caller chooses — typically a simulated one).
+    ///
+    /// The first tick anchors the wall clock to the current presentation
+    /// position; later ticks advance the position by the wall time elapsed.
+    /// Launched and finished events are queued for
+    /// [`PlayerSession::poll_events`]. Returns the state after the tick.
+    pub fn tick(&mut self, now_ms: i64) -> Result<SessionState> {
+        match self.state {
+            SessionState::Finished | SessionState::Paused => return Ok(self.state),
+            SessionState::Ready => {
+                self.state = SessionState::Playing;
+            }
+            SessionState::Playing => {}
+        }
+        let origin = *self
+            .wall_origin
+            .get_or_insert(now_ms - self.position.as_millis());
+        let target = TimeMs(now_ms - origin);
+        if target > self.position {
+            self.position = target;
+        }
+        self.deliver_due();
+        Ok(self.state)
+    }
+
+    /// Pauses the session at wall-clock time `now_ms` (events due up to the
+    /// pause position are still delivered).
+    pub fn pause(&mut self, now_ms: i64) -> Result<SessionState> {
+        if self.state == SessionState::Playing {
+            self.tick(now_ms)?;
+            if self.state == SessionState::Playing {
+                self.state = SessionState::Paused;
+                self.pending
+                    .push(PlaybackEvent::Paused { at: self.position });
+            }
+        }
+        Ok(self.state)
+    }
+
+    /// Resumes a paused session at wall-clock time `now_ms`: the
+    /// presentation position continues where it was frozen.
+    pub fn resume(&mut self, now_ms: i64) -> SessionState {
+        if self.state == SessionState::Paused {
+            self.wall_origin = Some(now_ms - self.position.as_millis());
+            self.state = SessionState::Playing;
+            self.pending
+                .push(PlaybackEvent::Resumed { at: self.position });
+        }
+        self.state
+    }
+
+    /// Jumps to a presentation position. Events strictly before the target
+    /// are skipped (seeking forward) or re-armed for delivery (seeking
+    /// backward); the wall clock re-anchors on the next tick. A finished
+    /// session becomes [`SessionState::Ready`] again so its tail can be
+    /// replayed — the report is unaffected.
+    pub fn seek(&mut self, to: TimeMs) {
+        let from = self.position;
+        self.position = to;
+        self.wall_origin = None;
+        self.cursor = self.timeline.partition_point(|item| item.at < to);
+        if self.state == SessionState::Finished {
+            self.state = SessionState::Ready;
+        }
+        self.pending.push(PlaybackEvent::Sought { from, to });
+    }
+
+    /// Drains the events that occurred since the last poll.
+    pub fn poll_events(&mut self) -> Vec<PlaybackEvent> {
+        mem::take(&mut self.pending)
+    }
+
+    /// Runs the remainder of the session in one step and returns the final
+    /// report (the convenience the deprecated one-shot `play` is built on).
+    pub fn run_to_completion(mut self) -> PlaybackReport {
+        self.position = self.report.total_duration;
+        if self.state == SessionState::Paused {
+            self.state = SessionState::Playing;
+        }
+        self.deliver_due();
+        self.report
+    }
+
+    fn deliver_due(&mut self) {
+        while let Some(item) = self.timeline.get(self.cursor) {
+            if item.at > self.position {
+                break;
+            }
+            let event = &self.report.events[item.event];
+            self.pending.push(match item.kind {
+                ItemKind::Begin => PlaybackEvent::Started {
+                    node: event.node,
+                    name: event.name.clone(),
+                    channel: event.channel.clone(),
+                    scheduled_begin: event.scheduled_begin,
+                    at: event.actual_begin,
+                },
+                ItemKind::End => PlaybackEvent::Ended {
+                    node: event.node,
+                    at: event.actual_end,
+                },
+            });
+            self.cursor += 1;
+        }
+        if self.cursor == self.timeline.len() && self.position >= self.report.total_duration {
+            self.state = SessionState::Finished;
+            self.pending.push(PlaybackEvent::Finished {
+                at: self.report.total_duration,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ConstraintGraph;
+    use crate::types::ScheduleOptions;
+    use cmif_core::prelude::*;
+
+    fn solved_doc() -> (Document, SolveResult) {
+        let doc = DocumentBuilder::new("session")
+            .channel("audio", MediaKind::Audio)
+            .descriptor(
+                DataDescriptor::new("speech", MediaKind::Audio, "pcm8")
+                    .with_duration(TimeMs::from_secs(2)),
+            )
+            .root_seq(|root| {
+                root.ext("first", "audio", "speech");
+                root.ext("second", "audio", "speech");
+            })
+            .build()
+            .unwrap();
+        let result = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&doc, &doc.catalog)
+            .unwrap();
+        (doc, result)
+    }
+
+    fn session(doc: &Document, result: &SolveResult, jitter: &JitterModel) -> PlayerSession {
+        PlayerSession::new(doc, result, &doc.catalog, jitter).unwrap()
+    }
+
+    #[test]
+    fn ticking_to_the_end_finishes_and_reports() {
+        let (doc, result) = solved_doc();
+        let mut s = session(&doc, &result, &JitterModel::ideal());
+        assert_eq!(s.state(), SessionState::Ready);
+        assert!(s.report().is_none());
+        assert_eq!(s.tick(0).unwrap(), SessionState::Playing);
+        let started: Vec<_> = s.poll_events();
+        assert!(matches!(started[0], PlaybackEvent::Started { .. }));
+        assert_eq!(s.tick(1_000).unwrap(), SessionState::Playing);
+        assert_eq!(s.tick(4_000).unwrap(), SessionState::Finished);
+        let report = s.report().unwrap();
+        assert_eq!(report.total_duration, TimeMs::from_secs(4));
+        assert_eq!(report.events.len(), 2);
+    }
+
+    #[test]
+    fn events_arrive_in_actual_time_order_exactly_once() {
+        let (doc, result) = solved_doc();
+        let mut s = session(&doc, &result, &JitterModel::ideal());
+        let mut starts = Vec::new();
+        let mut now = 0;
+        loop {
+            let state = s.tick(now).unwrap();
+            for event in s.poll_events() {
+                if let PlaybackEvent::Started { at, .. } = event {
+                    starts.push(at);
+                }
+            }
+            if state == SessionState::Finished {
+                break;
+            }
+            now += 500;
+        }
+        assert_eq!(starts, vec![TimeMs::ZERO, TimeMs::from_secs(2)]);
+    }
+
+    #[test]
+    fn pause_freezes_the_position_against_wall_time() {
+        let (doc, result) = solved_doc();
+        let mut s = session(&doc, &result, &JitterModel::ideal());
+        s.tick(0).unwrap();
+        s.pause(500).unwrap();
+        assert_eq!(s.state(), SessionState::Paused);
+        // Wall time marches on; the position does not.
+        assert_eq!(s.tick(10_000).unwrap(), SessionState::Paused);
+        assert_eq!(s.position(), TimeMs::from_millis(500));
+        // Resume re-anchors: 3.5 s of playing remain.
+        s.resume(60_000);
+        assert_eq!(s.tick(63_499).unwrap(), SessionState::Playing);
+        assert_eq!(s.tick(63_500).unwrap(), SessionState::Finished);
+        let kinds: Vec<_> = s.poll_events();
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, PlaybackEvent::Finished { .. })));
+    }
+
+    #[test]
+    fn seek_skips_events_before_the_target() {
+        let (doc, result) = solved_doc();
+        let mut s = session(&doc, &result, &JitterModel::ideal());
+        s.seek(TimeMs::from_secs(3));
+        s.tick(0).unwrap();
+        let events = s.poll_events();
+        // The first leaf (begin 0, end 2 s) is skipped entirely; the second
+        // leaf's begin (2 s) is also before the target.
+        assert!(events
+            .iter()
+            .all(|e| !matches!(e, PlaybackEvent::Started { at: TimeMs(0), .. })));
+        assert!(matches!(events[0], PlaybackEvent::Sought { .. }));
+        assert_eq!(s.tick(1_000).unwrap(), SessionState::Finished);
+    }
+
+    #[test]
+    fn session_report_equals_one_shot_play() {
+        let (doc, result) = solved_doc();
+        let jitter = JitterModel::uniform(300, 17);
+        let via_session = session(&doc, &result, &jitter).run_to_completion();
+        #[allow(deprecated)]
+        let one_shot = crate::player::play(&doc, &result, &doc.catalog, &jitter).unwrap();
+        assert_eq!(via_session, one_shot);
+    }
+
+    #[test]
+    fn finished_session_can_replay_its_tail_after_seek() {
+        let (doc, result) = solved_doc();
+        let mut s = session(&doc, &result, &JitterModel::ideal());
+        s.tick(0).unwrap();
+        s.tick(5_000).unwrap();
+        assert_eq!(s.state(), SessionState::Finished);
+        s.poll_events();
+        s.seek(TimeMs::from_secs(2));
+        assert_eq!(s.state(), SessionState::Ready);
+        assert_eq!(s.tick(0).unwrap(), SessionState::Playing);
+        let replayed = s.poll_events();
+        assert!(replayed.iter().any(
+            |e| matches!(e, PlaybackEvent::Started { at, .. } if *at == TimeMs::from_secs(2))
+        ));
+        assert_eq!(s.tick(2_000).unwrap(), SessionState::Finished);
+    }
+}

@@ -17,14 +17,14 @@
 
 use std::collections::HashMap;
 
-use crate::error::{Result, SchedulerError};
+use crate::error::Result;
 use cmif_core::arc::{Anchor, Strictness};
 use cmif_core::descriptor::DescriptorResolver;
 use cmif_core::node::NodeId;
 use cmif_core::time::TimeMs;
 use cmif_core::tree::Document;
 
-use crate::defaults::derive_constraints;
+use crate::graph::ConstraintGraph;
 use crate::timeline::{Schedule, TimelineEntry};
 use crate::types::{Constraint, EventPoint, ScheduleOptions};
 
@@ -75,87 +75,35 @@ impl SolveResult {
 }
 
 /// Derives constraints for the document and solves them.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `ConstraintGraph` (derivation split from relaxation) and call \
+            `ConstraintGraph::solve`, or submit the document to an `Engine`"
+)]
 pub fn solve(
     doc: &Document,
     resolver: &dyn DescriptorResolver,
     options: &ScheduleOptions,
 ) -> Result<SolveResult> {
-    let constraints = derive_constraints(doc, resolver, options)?;
-    solve_constraints(doc, resolver, constraints)
+    ConstraintGraph::derive(doc, resolver, options)?.solve(doc, resolver)
 }
 
 /// Solves a pre-built constraint set (lets callers inject extra constraints,
 /// e.g. the hypermedia extension's conditional arcs).
+///
+/// This is the one-shot form; callers that re-solve under changing injected
+/// constraints should hold a [`ConstraintGraph`] instead and use
+/// [`ConstraintGraph::inject`] + [`ConstraintGraph::solve`], which reuses
+/// the relaxation fixpoint of the document-derived constraints.
 pub fn solve_constraints(
     doc: &Document,
     resolver: &dyn DescriptorResolver,
     constraints: Vec<Constraint>,
 ) -> Result<SolveResult> {
-    let root = doc.root()?;
-    let nodes = doc.preorder();
-    let mut times: HashMap<EventPoint, TimeMs> = HashMap::with_capacity(nodes.len() * 2);
-    for node in &nodes {
-        times.insert(EventPoint::begin(*node), TimeMs::ZERO);
-        times.insert(EventPoint::end(*node), TimeMs::ZERO);
-    }
-    times.insert(EventPoint::begin(root), TimeMs::ZERO);
-
-    // Longest-path relaxation over the lower bounds. The constraint graph of
-    // a well-formed document is a DAG, so |points| passes suffice; if the
-    // values still change afterwards, the explicit arcs formed a positive
-    // cycle — an unsatisfiable specification (§5.3.3, conflict class 1).
-    let max_passes = times.len() + 1;
-    let mut changed = true;
-    let mut passes = 0;
-    while changed {
-        changed = false;
-        passes += 1;
-        if passes > max_passes {
-            return Err(SchedulerError::ConstraintCycle {
-                phase: "solve",
-                points: times.len(),
-            });
-        }
-        for constraint in &constraints {
-            let source_time = match times.get(&constraint.source) {
-                Some(t) => *t,
-                None => continue,
-            };
-            let bound = constraint.lower_bound(source_time);
-            let entry = times.entry(constraint.target).or_insert(TimeMs::ZERO);
-            if bound > *entry {
-                *entry = bound;
-                changed = true;
-            }
-        }
-    }
-
-    // Verify the upper bounds against the ASAP times.
-    let mut violations = Vec::new();
-    for constraint in &constraints {
-        let source_time = times[&constraint.source];
-        let actual = times[&constraint.target];
-        if let Some(latest) = constraint.upper_bound(source_time) {
-            if actual > latest {
-                violations.push(WindowViolation {
-                    constraint: constraint.clone(),
-                    reference: TimeMs(source_time.as_millis() + constraint.offset_ms),
-                    latest,
-                    actual,
-                });
-            }
-        }
-    }
-
-    let schedule = build_schedule(doc, resolver, &times)?;
-    Ok(SolveResult {
-        schedule,
-        violations,
-        constraints,
-    })
+    ConstraintGraph::from_constraints(doc, constraints)?.solve(doc, resolver)
 }
 
-fn build_schedule(
+pub(crate) fn build_schedule(
     doc: &Document,
     resolver: &dyn DescriptorResolver,
     times: &HashMap<EventPoint, TimeMs>,
@@ -225,7 +173,10 @@ mod tests {
     }
 
     fn solve_doc(doc: &Document) -> SolveResult {
-        solve(doc, &doc.catalog, &ScheduleOptions::default()).unwrap()
+        ConstraintGraph::derive(doc, &doc.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(doc, &doc.catalog)
+            .unwrap()
     }
 
     #[test]
@@ -495,10 +446,13 @@ mod tests {
             SyncArc::hard_start("../x", "").with_offset(MediaTime::seconds(1)),
         )
         .unwrap();
-        let err = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap_err();
+        let err = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&doc, &doc.catalog)
+            .unwrap_err();
         assert!(matches!(
             err,
-            SchedulerError::ConstraintCycle { phase: "solve", .. }
+            crate::error::SchedulerError::ConstraintCycle { phase: "solve", .. }
         ));
     }
 

@@ -184,7 +184,10 @@ fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, name: &str, mut f: F) 
     );
 }
 
-fn format_seconds(seconds: f64) -> String {
+/// Formats a duration in seconds with the unit conventions of this shim's
+/// report lines (`s`/`ms`/`µs`/`ns`) — exported so tools that parse those
+/// lines (the bench-baselines differ) render with the same conventions.
+pub fn format_seconds(seconds: f64) -> String {
     if seconds >= 1.0 {
         format!("{seconds:.3} s")
     } else if seconds >= 1e-3 {

@@ -13,7 +13,7 @@
 use cmif::media::store::BlockStore;
 use cmif::news::{capture_news_media, evening_news};
 use cmif::pipeline::constraint::DeviceProfile;
-use cmif::pipeline::pipeline::{run_pipeline, PipelineOptions};
+use cmif::pipeline::pipeline::PipelineBuilder;
 use cmif::scheduler::JitterModel;
 use cmif::Result;
 
@@ -32,13 +32,11 @@ fn main() -> Result<()> {
         capture_news_media(&store, 1991)?;
         let before_bytes = store.total_bytes();
 
-        let options = PipelineOptions {
-            materialize_filters: true,
-            jitter,
-            playback_runs: 5,
-            ..PipelineOptions::default()
-        };
-        let run = run_pipeline(&doc, &store, &device, &options)?;
+        let run = PipelineBuilder::new(device.clone())
+            .materialize_filters(true)
+            .jitter(jitter)
+            .playback_runs(5)
+            .run(&doc, &store)?;
         let after_bytes = store.total_bytes();
 
         println!("================================================================");

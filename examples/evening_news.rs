@@ -12,7 +12,7 @@ use cmif::format::{channel_view, conventional_view, embedded_view};
 use cmif::media::store::BlockStore;
 use cmif::news::{capture_news_media, evening_news};
 use cmif::pipeline::constraint::DeviceProfile;
-use cmif::pipeline::pipeline::{run_pipeline, PipelineOptions};
+use cmif::pipeline::pipeline::PipelineBuilder;
 use cmif::pipeline::presentation::render_map;
 use cmif::pipeline::viewer::render_storyboard;
 use cmif::Result;
@@ -33,12 +33,7 @@ fn main() -> Result<()> {
 
     // Stages 3-5: presentation mapping, constraint filtering, scheduling,
     // conflicts, viewing, playback — on a workstation.
-    let run = run_pipeline(
-        &doc,
-        &store,
-        &DeviceProfile::workstation(),
-        &PipelineOptions::default(),
-    )?;
+    let run = PipelineBuilder::new(DeviceProfile::workstation()).run(&doc, &store)?;
 
     println!("=== presentation map (virtual real estate) ===");
     println!("{}", render_map(&run.presentation));

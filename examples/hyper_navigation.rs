@@ -11,12 +11,12 @@
 use cmif::core::arc::SyncArc;
 use cmif::core::time::{MediaTime, TimeMs};
 use cmif::hyper::conditional::{
-    constraints_with_conditionals, Condition, ConditionalArc, PresentationContext,
+    apply_conditionals, Condition, ConditionalArc, PresentationContext,
 };
 use cmif::hyper::links::LinkSet;
 use cmif::hyper::navigation::Navigator;
 use cmif::news::evening_news;
-use cmif::scheduler::{solve, solve_constraints, ScheduleOptions};
+use cmif::scheduler::{ConstraintGraph, ScheduleOptions};
 use cmif::Result;
 
 fn main() -> Result<()> {
@@ -33,18 +33,22 @@ fn main() -> Result<()> {
         SyncArc::relaxed_start("/story-3/narration", "").with_offset(MediaTime::seconds(10)),
     );
 
+    // One graph serves every presentation context: the document's
+    // constraints are derived once, each context only injects (or retracts)
+    // the conditional arc and re-relaxes incrementally.
+    let mut graph = ConstraintGraph::derive(&doc, &doc.catalog, &options)?;
     for flags in [
         PresentationContext::full(),
         PresentationContext::full().with_flag("captions-on"),
     ] {
-        let constraints = constraints_with_conditionals(
+        apply_conditionals(
+            &mut graph,
             &doc,
             &doc.catalog,
-            &options,
             std::slice::from_ref(&conditional),
             &flags,
         )?;
-        let result = solve_constraints(&doc, &doc.catalog, constraints)?;
+        let result = graph.solve(&doc, &doc.catalog)?;
         let museum_start = result.schedule.node_times[&label].0;
         println!(
             "captions-on = {:<5} -> museum label appears at {museum_start}",
@@ -53,7 +57,8 @@ fn main() -> Result<()> {
     }
 
     // Plain navigation over the unconditioned schedule.
-    let solved = solve(&doc, &doc.catalog, &options)?;
+    graph.retract_injected();
+    let solved = graph.solve(&doc, &doc.catalog)?;
     let mut links = LinkSet::new();
     links.add(
         &doc,

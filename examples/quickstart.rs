@@ -6,7 +6,7 @@
 
 use cmif::core::prelude::*;
 use cmif::format::{parse_document, write_document};
-use cmif::scheduler::{solve, ScheduleOptions};
+use cmif::scheduler::{ConstraintGraph, ScheduleOptions};
 use cmif::Result;
 
 fn main() -> Result<()> {
@@ -45,8 +45,10 @@ fn main() -> Result<()> {
     let parsed = parse_document(&text)?;
     assert_eq!(parsed.leaves().len(), doc.leaves().len());
 
-    // 3. Schedule the parsed document and print the timeline.
-    let result = solve(&parsed, &parsed.catalog, &ScheduleOptions::default())?;
+    // 3. Schedule the parsed document and print the timeline: derive the
+    //    constraint graph once, then relax it.
+    let mut graph = ConstraintGraph::derive(&parsed, &parsed.catalog, &ScheduleOptions::default())?;
+    let result = graph.solve(&parsed, &parsed.catalog)?;
     println!("--- schedule ---");
     println!("{}", result.schedule.render_table());
     println!("{}", result.schedule.render_gantt(60));

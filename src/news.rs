@@ -283,14 +283,21 @@ pub fn capture_news_media(store: &BlockStore, seed: u64) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cmif_scheduler::{solve, ScheduleOptions};
+    use cmif_scheduler::{ConstraintGraph, ScheduleOptions};
+
+    fn solve_doc(doc: &cmif_core::tree::Document) -> cmif_scheduler::SolveResult {
+        ConstraintGraph::derive(doc, &doc.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(doc, &doc.catalog)
+            .unwrap()
+    }
 
     #[test]
     fn evening_news_is_valid_and_schedulable() {
         let doc = evening_news().unwrap();
         assert_eq!(doc.channels.len(), 5);
         assert!(doc.catalog.len() >= 7);
-        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let result = solve_doc(&doc);
         assert!(
             result.is_consistent(),
             "violations: {:?}",
@@ -305,7 +312,7 @@ mod tests {
     #[test]
     fn figure10_arcs_shape_the_schedule() {
         let doc = evening_news().unwrap();
-        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let result = solve_doc(&doc);
         // The second painting starts one second after the second caption
         // ends (caption-1 6 s + caption-2 8 s + 1 s offset = 15 s).
         let painting_two = doc.find("/story-3/graphic-track/painting-two").unwrap();

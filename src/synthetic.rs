@@ -217,7 +217,14 @@ pub fn node_kind_counts(doc: &Document) -> (usize, usize, usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cmif_scheduler::{solve, ScheduleOptions};
+    use cmif_scheduler::{ConstraintGraph, ScheduleOptions};
+
+    fn solve_doc(doc: &cmif_core::tree::Document) -> cmif_scheduler::SolveResult {
+        ConstraintGraph::derive(doc, &doc.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(doc, &doc.catalog)
+            .unwrap()
+    }
 
     #[test]
     fn synthetic_news_builds_and_schedules() {
@@ -225,7 +232,7 @@ mod tests {
         let doc = config.build().unwrap();
         assert_eq!(doc.leaves().len(), config.expected_events());
         assert_eq!(doc.arcs().len(), 6);
-        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let result = solve_doc(&doc);
         assert!(result.is_consistent());
         assert_eq!(result.schedule.total_duration, TimeMs::from_secs(90));
     }
@@ -238,7 +245,7 @@ mod tests {
         };
         let doc = config.build().unwrap();
         assert!(doc.arcs().is_empty());
-        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let result = solve_doc(&doc);
         assert_eq!(result.schedule.total_duration, TimeMs::from_secs(60));
     }
 

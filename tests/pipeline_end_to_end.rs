@@ -12,21 +12,17 @@ use cmif::media::store::BlockStore;
 use cmif::media::{index_store, MediaGenerator, Query};
 use cmif::news::{capture_news_media, evening_news};
 use cmif::pipeline::constraint::DeviceProfile;
-use cmif::pipeline::pipeline::{run_pipeline, PipelineOptions};
-use cmif::scheduler::{solve, JitterModel, ScheduleOptions};
+use cmif::pipeline::pipeline::PipelineBuilder;
+use cmif::scheduler::{ConstraintGraph, JitterModel, ScheduleOptions};
 
 #[test]
 fn evening_news_presents_on_a_workstation() {
     let store = BlockStore::new();
     capture_news_media(&store, 7).unwrap();
     let doc = evening_news().unwrap();
-    let run = run_pipeline(
-        &doc,
-        &store,
-        &DeviceProfile::workstation(),
-        &PipelineOptions::default(),
-    )
-    .unwrap();
+    let run = PipelineBuilder::new(DeviceProfile::workstation())
+        .run(&doc, &store)
+        .unwrap();
     assert!(run.is_presentable(), "conflicts: {}", run.conflicts);
     assert!(run.filter_plan.is_identity());
     assert_eq!(run.presentation.len(), 5);
@@ -42,13 +38,12 @@ fn constraint_filtering_shrinks_media_for_the_low_end_pc() {
     capture_news_media(&store, 7).unwrap();
     let before = store.total_bytes();
     let doc = evening_news().unwrap();
-    let options = PipelineOptions {
-        materialize_filters: true,
-        jitter: JitterModel::uniform(150, 5),
-        playback_runs: 3,
-        ..PipelineOptions::default()
-    };
-    let run = run_pipeline(&doc, &store, &DeviceProfile::low_end_pc(), &options).unwrap();
+    let run = PipelineBuilder::new(DeviceProfile::low_end_pc())
+        .materialize_filters(true)
+        .jitter(JitterModel::uniform(150, 5))
+        .playback_runs(3)
+        .run(&doc, &store)
+        .unwrap();
     assert!(run.filter_plan.degraded_blocks() >= 3);
     assert!(store.total_bytes() < before / 2);
     // The tolerance windows absorb 150 ms of jitter: no Must violations.
@@ -66,13 +61,9 @@ fn audio_kiosk_presents_the_narration_only() {
     let store = BlockStore::new();
     capture_news_media(&store, 7).unwrap();
     let doc = evening_news().unwrap();
-    let run = run_pipeline(
-        &doc,
-        &store,
-        &DeviceProfile::audio_kiosk(),
-        &PipelineOptions::default(),
-    )
-    .unwrap();
+    let run = PipelineBuilder::new(DeviceProfile::audio_kiosk())
+        .run(&doc, &store)
+        .unwrap();
     assert!(!run.is_presentable());
     let dropped: BTreeSet<&str> = run
         .filter_plan
@@ -130,7 +121,10 @@ fn distributed_presentation_fetches_only_what_the_device_presents() {
     // local shard is reachable without holding any store-wide lock.
     let local = cluster.local_store("kiosk").unwrap();
     assert_eq!(local.len(), 1);
-    let solved = solve(&received, &received.catalog, &ScheduleOptions::default()).unwrap();
+    let solved = ConstraintGraph::derive(&received, &received.catalog, &ScheduleOptions::default())
+        .unwrap()
+        .solve(&received, &received.catalog)
+        .unwrap();
     assert_eq!(
         solved.schedule.total_duration,
         cmif::core::time::TimeMs::from_secs(42)
@@ -154,7 +148,10 @@ fn ddbms_queries_find_news_material_without_touching_payloads() {
 #[test]
 fn baselines_lose_what_cmif_keeps() {
     let doc = evening_news().unwrap();
-    let solved = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+    let solved = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+        .unwrap()
+        .solve(&doc, &doc.catalog)
+        .unwrap();
 
     // The Muse-style timeline has the events but none of the structure or
     // tolerance information.

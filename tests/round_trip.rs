@@ -4,14 +4,20 @@
 use cmif::core::prelude::*;
 use cmif::format::{parse_document, write_document};
 use cmif::news::evening_news;
-use cmif::scheduler::{solve, ScheduleOptions};
+use cmif::scheduler::{ConstraintGraph, ScheduleOptions};
 use cmif::synthetic::{balanced_tree, SyntheticNews};
 use proptest::prelude::*;
 
 fn schedules_match(a: &Document, b: &Document) {
     let options = ScheduleOptions::default();
-    let result_a = solve(a, &a.catalog, &options).unwrap();
-    let result_b = solve(b, &b.catalog, &options).unwrap();
+    let result_a = ConstraintGraph::derive(a, &a.catalog, &options)
+        .unwrap()
+        .solve(a, &a.catalog)
+        .unwrap();
+    let result_b = ConstraintGraph::derive(b, &b.catalog, &options)
+        .unwrap()
+        .solve(b, &b.catalog)
+        .unwrap();
     assert_eq!(
         result_a.schedule.total_duration,
         result_b.schedule.total_duration
@@ -141,7 +147,10 @@ proptest! {
         };
         let doc = config.build().unwrap();
         let parsed = parse_document(&write_document(&doc).unwrap()).unwrap();
-        let result = solve(&parsed, &parsed.catalog, &ScheduleOptions::default()).unwrap();
+        let result = ConstraintGraph::derive(&parsed, &parsed.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&parsed, &parsed.catalog)
+            .unwrap();
         prop_assert!(result.is_consistent());
         prop_assert_eq!(parsed.leaves().len(), config.expected_events());
     }

@@ -7,16 +7,35 @@ use cmif::core::prelude::*;
 use cmif::hyper::navigation::Navigator;
 use cmif::news::evening_news;
 use cmif::scheduler::{
-    full_report, invalid_arcs_when_seeking, must_satisfaction_rate, play, solve, EnvironmentLimits,
-    JitterModel, ScheduleOptions,
+    full_report, invalid_arcs_when_seeking, must_satisfaction_rate, ConstraintGraph,
+    EnvironmentLimits, JitterModel, PlayerSession, ScheduleOptions,
 };
+
+/// Derive-then-relax through the session API (the old one-shot `solve`).
+fn solve_doc(doc: &cmif::core::tree::Document) -> cmif::scheduler::SolveResult {
+    ConstraintGraph::derive(doc, &doc.catalog, &ScheduleOptions::default())
+        .unwrap()
+        .solve(doc, &doc.catalog)
+        .unwrap()
+}
+
+/// One full playback run through a `PlayerSession` (the old one-shot `play`).
+fn play_doc(
+    doc: &cmif::core::tree::Document,
+    result: &cmif::scheduler::SolveResult,
+    jitter: &JitterModel,
+) -> cmif::scheduler::PlaybackReport {
+    PlayerSession::new(doc, result, &doc.catalog, jitter)
+        .unwrap()
+        .run_to_completion()
+}
 use cmif::synthetic::SyntheticNews;
 use proptest::prelude::*;
 
 #[test]
 fn evening_news_schedule_matches_the_paper_narrative() {
     let doc = evening_news().unwrap();
-    let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+    let result = solve_doc(&doc);
     assert!(result.is_consistent());
     let schedule = &result.schedule;
 
@@ -46,7 +65,7 @@ fn evening_news_schedule_matches_the_paper_narrative() {
 
     // The freeze-frame arc of Figure 10 creates a real gap on the video
     // channel which the player bridges with freeze-frame time.
-    let report = play(&doc, &result, &doc.catalog, &JitterModel::ideal()).unwrap();
+    let report = play_doc(&doc, &result, &JitterModel::ideal());
     assert_eq!(report.freeze_frame_ms, 2_000);
     assert_eq!(report.must_violations, 0);
 
@@ -64,7 +83,7 @@ fn evening_news_schedule_matches_the_paper_narrative() {
 #[test]
 fn tolerance_windows_absorb_exactly_the_jitter_they_declare() {
     let doc = evening_news().unwrap();
-    let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+    let result = solve_doc(&doc);
     // The tightest Must window in the news is 250 ms (captions onto video).
     let small = JitterModel::uniform(100, 42);
     let large = JitterModel::uniform(2_000, 42);
@@ -84,7 +103,7 @@ fn tolerance_windows_absorb_exactly_the_jitter_they_declare() {
 #[test]
 fn seeking_into_the_news_invalidates_cross_track_arcs() {
     let doc = evening_news().unwrap();
-    let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+    let result = solve_doc(&doc);
     // Seek to the final talking head (t = 32 s): the captions and paintings
     // that controlled earlier events are over, so their arcs are invalid.
     let head2 = doc.find("/story-3/video-track/talking-head-2").unwrap();
@@ -132,12 +151,12 @@ fn must_and_may_strictness_differ_in_playback() {
             .with_window(DelayMs::ZERO, MaxDelay::Bounded(DelayMs::from_millis(100))),
     )
     .unwrap();
-    let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+    let result = solve_doc(&doc);
     // Both windows are violated by the ASAP schedule, but only the Must one
     // makes the document inconsistent.
     assert_eq!(result.violations.len(), 2);
     assert!(!result.is_consistent());
-    let report = play(&doc, &result, &doc.catalog, &JitterModel::ideal()).unwrap();
+    let report = play_doc(&doc, &result, &JitterModel::ideal());
     assert_eq!(report.must_violations, 1);
     assert_eq!(report.may_violations, 1);
 }
@@ -163,7 +182,7 @@ proptest! {
             explicit_arcs: true,
         };
         let doc = config.build().unwrap();
-        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let result = solve_doc(&doc);
         prop_assert!(result.is_consistent());
         // Stories are sequential: the broadcast lasts stories * story_seconds.
         prop_assert_eq!(
@@ -175,7 +194,7 @@ proptest! {
             prop_assert!(result.schedule.max_channel_concurrency(channel) <= 1);
         }
         // Ideal playback reproduces the schedule with zero drift.
-        let report = play(&doc, &result, &doc.catalog, &JitterModel::ideal()).unwrap();
+        let report = play_doc(&doc, &result, &JitterModel::ideal());
         prop_assert_eq!(report.max_drift_ms(), 0);
         prop_assert_eq!(report.must_violations, 0);
         prop_assert_eq!(report.total_duration, result.schedule.total_duration);
@@ -186,7 +205,7 @@ proptest! {
     #[test]
     fn parent_containment_holds(stories in 1usize..4) {
         let doc = SyntheticNews::with_stories(stories).build().unwrap();
-        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let result = solve_doc(&doc);
         for story in 0..stories {
             let story_node = doc.find(&format!("/story-{story}")).unwrap();
             let (story_begin, story_end) = result.schedule.node_times[&story_node];
@@ -207,13 +226,13 @@ proptest! {
     #[test]
     fn jitter_within_windows_is_always_absorbed(seed in 0u64..500) {
         let doc = SyntheticNews { stories: 2, ..SyntheticNews::default() }.build().unwrap();
-        let result = solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        let result = solve_doc(&doc);
         // The synthetic arcs declare 250-500 ms windows; 200 ms of jitter on
         // channels that are not controlling anything hard must be safe.
         let jitter = JitterModel::uniform(200, seed)
             .with_channel("graphic", 0)
             .with_channel("caption", 0);
-        let report = play(&doc, &result, &doc.catalog, &jitter).unwrap();
+        let report = play_doc(&doc, &result, &jitter);
         prop_assert_eq!(report.must_violations, 0);
     }
 }
