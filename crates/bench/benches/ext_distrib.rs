@@ -44,12 +44,12 @@ fn cluster_with(doc: &Document) -> DistributedStore {
     for descriptor in doc.catalog.iter() {
         let block = match descriptor.medium {
             MediaKind::Audio => generator.audio(
-                &descriptor.key,
+                descriptor.key.as_str(),
                 descriptor.duration.map(|d| d.as_millis()).unwrap_or(1_000),
                 8_000,
             ),
-            MediaKind::Video => generator.video(&descriptor.key, 2_000, 64, 48, 25.0, 24),
-            _ => generator.image(&descriptor.key, 160, 120, 24),
+            MediaKind::Video => generator.video(descriptor.key.as_str(), 2_000, 64, 48, 25.0, 24),
+            _ => generator.image(descriptor.key.as_str(), 160, 120, 24),
         };
         store
             .put_block("server", block, descriptor.clone())
@@ -123,7 +123,7 @@ fn bench_distrib(c: &mut Criterion) {
                 b.iter(|| {
                     referenced_keys(broadcast, Some(&[MediaKind::Audio]))
                         .into_iter()
-                        .collect::<BTreeSet<String>>()
+                        .collect::<BTreeSet<cmif::core::Symbol>>()
                 })
             },
         );

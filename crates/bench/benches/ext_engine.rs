@@ -13,6 +13,7 @@
 //! banner prints the detected parallelism so a ~1.0x column on a single-CPU
 //! container reads as the hardware limit it is, not as a queue bottleneck.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cmif::core::tree::Document;
@@ -22,22 +23,24 @@ use cmif_bench::banner;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// A small mixed batch: story counts 1..=3, one seeded jitter model each.
-fn batch(size: usize) -> Vec<(Document, JitterModel)> {
+/// Documents are built once and shared as `Arc`s — the engine's submission
+/// path clones pointers, never trees.
+fn batch(size: usize) -> Vec<(Arc<Document>, JitterModel)> {
     (0..size)
         .map(|i| {
             let doc = SyntheticNews::with_stories(1 + i % 3)
                 .build()
                 .expect("synthetic news builds");
-            (doc, JitterModel::uniform(120, i as u64))
+            (Arc::new(doc), JitterModel::uniform(120, i as u64))
         })
         .collect()
 }
 
 /// Plays the whole batch through an engine and returns the wall time.
-fn play_batch(engine: &Engine, docs: &[(Document, JitterModel)]) -> Duration {
+fn play_batch(engine: &Engine, docs: &[(Arc<Document>, JitterModel)]) -> Duration {
     let started = Instant::now();
     for (doc, jitter) in docs {
-        engine.submit(doc.clone(), jitter.clone());
+        engine.submit(Arc::clone(doc), jitter.clone());
     }
     let outcomes = engine.drain();
     assert_eq!(outcomes.len(), docs.len());

@@ -1,0 +1,125 @@
+//! Extension — the string-interning plane underneath every layer.
+//!
+//! This PR moved channel names, node names and descriptor keys from cloned
+//! `String`s to `Copy` `Symbol`s backed by a global lock-sharded pool. The
+//! targets here measure the interner's own primitives and the map-lookup
+//! win the rest of the system buys with them:
+//!
+//! * `intern_hit` — interning a string the pool already holds (the steady
+//!   state: every document repeats the same channel and key vocabulary);
+//! * `intern_miss` — interning a fresh string (pool growth; also the cost
+//!   ceiling for `Symbol::lookup` misses, which do *not* grow the pool);
+//! * `map_lookup` — a `BTreeMap` keyed by `Symbol` (integer comparisons)
+//!   vs the same map keyed by `String` (byte-wise comparisons), the shape
+//!   of the scheduler's conflict maps and the distrib placement index.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use cmif::core::Symbol;
+use cmif_bench::banner;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// The kind of name vocabulary a broadcast-sized document carries.
+fn vocabulary(size: usize) -> Vec<String> {
+    (0..size)
+        .map(|i| match i % 4 {
+            0 => format!("s{i}/audio"),
+            1 => format!("s{i}/video"),
+            2 => format!("story-{i}/caption-track/caption-{i}"),
+            _ => format!("channel-{i}"),
+        })
+        .collect()
+}
+
+fn bench_interning(c: &mut Criterion) {
+    let names = vocabulary(256);
+    let symbols: Vec<Symbol> = names.iter().map(|n| Symbol::intern(n)).collect();
+
+    banner(
+        "ext: string interning (pool primitives and Symbol- vs String-keyed maps)",
+        &format!(
+            "vocabulary: {} names, avg {} bytes; pool ids are Copy u32s",
+            names.len(),
+            names.iter().map(String::len).sum::<usize>() / names.len()
+        ),
+    );
+
+    let mut group = c.benchmark_group("ext_interning");
+
+    // Steady state: every intern is a hit.
+    group.bench_function("intern_hit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % names.len();
+            black_box(Symbol::intern(&names[i]))
+        })
+    });
+
+    // Pool growth: every intern is a miss. The counter makes each string
+    // new; the formatting cost is identical in the hit case above, so the
+    // delta between the two targets is the true miss overhead.
+    group.bench_function("intern_miss", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(Symbol::intern(&format!("ext-interning-miss-{i}")))
+        })
+    });
+
+    // Query-path lookup that must not grow the pool.
+    group.bench_function("lookup_hit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % names.len();
+            black_box(Symbol::lookup(&names[i]))
+        })
+    });
+
+    // Map lookups: the shape of every name-keyed index in the system.
+    let symbol_map: BTreeMap<Symbol, usize> =
+        symbols.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+    let string_map: BTreeMap<String, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i))
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::new("map_lookup", "symbol_keys"),
+        &symbol_map,
+        |b, map| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % symbols.len();
+                black_box(map.get(&symbols[i]))
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("map_lookup", "string_keys"),
+        &string_map,
+        |b, map| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % names.len();
+                black_box(map.get(names[i].as_str()))
+            })
+        },
+    );
+
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_interning
+}
+criterion_main!(benches);

@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use cmif::core::channel::MediaKind;
 use cmif::core::value::AttrValue;
+use cmif::core::Symbol;
 use cmif::media::store::BlockStore;
 use cmif::media::{index_store, MediaGenerator, Query};
 use cmif_bench::banner;
@@ -31,7 +32,10 @@ fn build_store(blocks: usize) -> BlockStore {
         };
         let descriptor = block
             .describe()
-            .with_extra("story", AttrValue::Id(format!("story-{}", i % 10)))
+            .with_extra(
+                "story",
+                AttrValue::Id(Symbol::intern(&format!("story-{}", i % 10))),
+            )
             .with_extra(
                 "language",
                 AttrValue::Id(if i % 2 == 0 { "nl" } else { "en" }.into()),

@@ -26,8 +26,12 @@ fn inheritance_chain(depth: usize) -> (Document, NodeId) {
     let mut current = root;
     for i in 0..depth {
         let child = doc.add_seq(current).unwrap();
-        doc.set_attr(child, AttrName::Name, AttrValue::Id(format!("level-{i}")))
-            .unwrap();
+        doc.set_attr(
+            child,
+            AttrName::Name,
+            AttrValue::Id(Symbol::intern(&format!("level-{i}"))),
+        )
+        .unwrap();
         current = child;
     }
     let leaf = doc.add_imm_text(current, "deep leaf").unwrap();

@@ -1,12 +1,16 @@
 //! CLI over [`cmif_bench::delta`]: compare two bench-baselines artifacts.
 //!
 //! ```text
-//! bench_delta <previous.txt> <current.txt> [--fail-prefix PREFIX] [--threshold FRACTION]
+//! bench_delta <previous.txt> <current.txt> \
+//!     [--fail-prefix PREFIX[:FRACTION]]... [--threshold FRACTION]
 //! ```
 //!
-//! Prints the per-target delta table on stdout. When `--fail-prefix` is
-//! given, exits non-zero if any target with that prefix regressed by more
-//! than the threshold (default 0.25 = +25 %).
+//! Prints the per-target delta table on stdout. `--fail-prefix` may be
+//! repeated: the job exits non-zero if any target with one of the prefixes
+//! regressed by more than that prefix's threshold. A prefix without its own
+//! `:FRACTION` uses the global `--threshold` (default 0.25 = +25 %), so a
+//! tight gate on throughput targets can ride next to a generous one on
+//! noisier parsing targets.
 
 use std::process::ExitCode;
 
@@ -15,13 +19,23 @@ use cmif_bench::delta::{diff, regressions, render_table};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
-    let mut fail_prefix: Option<String> = None;
+    // (prefix, per-prefix threshold override)
+    let mut fail_prefixes: Vec<(String, Option<f64>)> = Vec::new();
     let mut threshold = 0.25f64;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--fail-prefix" => match iter.next() {
-                Some(prefix) => fail_prefix = Some(prefix),
+                Some(spec) => match spec.split_once(':') {
+                    Some((prefix, fraction)) => match fraction.parse() {
+                        Ok(fraction) => fail_prefixes.push((prefix.to_string(), Some(fraction))),
+                        Err(_) => {
+                            eprintln!("--fail-prefix {spec}: `{fraction}` is not a number");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    None => fail_prefixes.push((spec, None)),
+                },
                 None => {
                     eprintln!("--fail-prefix needs a value");
                     return ExitCode::from(2);
@@ -39,7 +53,8 @@ fn main() -> ExitCode {
     }
     let [previous_path, current_path] = paths.as_slice() else {
         eprintln!(
-            "usage: bench_delta <previous.txt> <current.txt> [--fail-prefix PREFIX] [--threshold FRACTION]"
+            "usage: bench_delta <previous.txt> <current.txt> \
+             [--fail-prefix PREFIX[:FRACTION]]... [--threshold FRACTION]"
         );
         return ExitCode::from(2);
     };
@@ -62,7 +77,9 @@ fn main() -> ExitCode {
     let rows = diff(&previous, &current);
     println!("{}", render_table(&rows));
 
-    if let Some(prefix) = fail_prefix {
+    let mut failed = false;
+    for (prefix, override_threshold) in fail_prefixes {
+        let threshold = override_threshold.unwrap_or(threshold);
         // A gate that guards zero targets is a format drift or a rename,
         // not a pass: refuse to green-light it.
         if !rows
@@ -76,25 +93,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         let offenders = regressions(&rows, &prefix, threshold);
-        if !offenders.is_empty() {
-            eprintln!(
-                "{} target(s) with prefix '{prefix}' regressed more than {:.0}%:",
-                offenders.len(),
+        if offenders.is_empty() {
+            println!(
+                "no '{prefix}' target regressed more than {:.0}%",
                 threshold * 100.0
             );
-            for row in offenders {
-                eprintln!(
-                    "  {}: {:+.1}%",
-                    row.name,
-                    row.relative_change().unwrap_or_default() * 100.0
-                );
-            }
-            return ExitCode::FAILURE;
+            continue;
         }
-        println!(
-            "no '{prefix}' target regressed more than {:.0}%",
+        failed = true;
+        eprintln!(
+            "{} target(s) with prefix '{prefix}' regressed more than {:.0}%:",
+            offenders.len(),
             threshold * 100.0
         );
+        for row in offenders {
+            eprintln!(
+                "  {}: {:+.1}%",
+                row.name,
+                row.relative_change().unwrap_or_default() * 100.0
+            );
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -156,7 +156,10 @@ fn convert_node(doc: &Document, id: NodeId) -> Result<StaticElement> {
                 .unwrap_or_else(|| format!("({} bytes of inline data)", data.len())),
         },
         NodeKind::Ext => StaticElement::Frame {
-            reference: doc.file_of(id)?.unwrap_or_else(|| "?".to_string()),
+            reference: doc
+                .file_of(id)?
+                .map(|key| key.as_str().to_string())
+                .unwrap_or_else(|| "?".to_string()),
             caption: name,
         },
     })

@@ -45,9 +45,9 @@ impl MuseTimeline {
             .entries
             .iter()
             .map(|entry| TimelineCue {
-                track: entry.channel.clone(),
+                track: entry.channel.as_str().to_string(),
                 node: entry.node,
-                label: entry.name.clone(),
+                label: entry.name.as_str().to_string(),
                 start: entry.begin,
                 stop: entry.end,
             })

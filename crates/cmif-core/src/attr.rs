@@ -19,6 +19,7 @@ use std::fmt;
 
 use crate::error::{CoreError, Result};
 use crate::node::NodeId;
+use crate::symbol::Symbol;
 use crate::value::AttrValue;
 
 /// Names of node attributes.
@@ -27,7 +28,7 @@ use crate::value::AttrValue;
 /// (plus `SyncArc` and `Duration`, which the paper describes in §5.3 without
 /// listing in the table). `Custom` covers the "arbitrary attributes" the
 /// format explicitly allows and simply passes through to tools.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AttrName {
     /// Optional node name, unique among the direct children of one parent;
     /// used by synchronization arcs to reference nodes.
@@ -58,13 +59,13 @@ pub enum AttrName {
     /// milliseconds. Usually copied from the data descriptor by authoring
     /// tools so that structure-only processing does not need the data.
     Duration,
-    /// Any other attribute, passed through uninterpreted.
-    Custom(String),
+    /// Any other attribute, passed through uninterpreted (interned).
+    Custom(Symbol),
 }
 
 impl AttrName {
     /// The canonical lower-case spelling used in the interchange format.
-    pub fn as_str(&self) -> &str {
+    pub fn as_str(&self) -> &'static str {
         match self {
             AttrName::Name => "name",
             AttrName::StyleDictionary => "style_dictionary",
@@ -78,7 +79,7 @@ impl AttrName {
             AttrName::Clip => "clip",
             AttrName::SyncArc => "sync_arc",
             AttrName::Duration => "duration",
-            AttrName::Custom(s) => s,
+            AttrName::Custom(s) => s.as_str(),
         }
     }
 
@@ -98,12 +99,12 @@ impl AttrName {
             "clip" => AttrName::Clip,
             "sync_arc" => AttrName::SyncArc,
             "duration" => AttrName::Duration,
-            other => AttrName::Custom(other.to_string()),
+            other => AttrName::Custom(Symbol::intern(other)),
         }
     }
 
     /// Creates a custom attribute name.
-    pub fn custom(name: impl Into<String>) -> AttrName {
+    pub fn custom(name: impl Into<Symbol>) -> AttrName {
         AttrName::Custom(name.into())
     }
 
@@ -276,7 +277,7 @@ impl AttrList {
             if self.attrs[..i].iter().any(|a| a.name == attr.name) {
                 return Err(CoreError::DuplicateAttribute {
                     node,
-                    name: attr.name.clone(),
+                    name: attr.name,
                 });
             }
         }
@@ -365,7 +366,7 @@ impl TextFormatting {
         if let Some(font) = &self.font {
             items.push(AttrValue::list([
                 AttrValue::Id("font".into()),
-                AttrValue::Id(font.clone()),
+                AttrValue::Id(Symbol::intern(font)),
             ]));
         }
         if let Some(size) = self.size {
@@ -483,7 +484,7 @@ mod tests {
         list.set(Attr::new(AttrName::Name, AttrValue::Id("n".into())));
         list.set(Attr::new(AttrName::Channel, AttrValue::Id("c".into())));
         list.set(Attr::new(AttrName::Duration, AttrValue::Number(10)));
-        let names: Vec<_> = list.iter().map(|a| a.name.clone()).collect();
+        let names: Vec<_> = list.iter().map(|a| a.name).collect();
         assert_eq!(
             names,
             vec![AttrName::Name, AttrName::Channel, AttrName::Duration]

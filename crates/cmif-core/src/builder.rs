@@ -57,7 +57,7 @@ impl DocumentBuilder {
     }
 
     /// Declares a synchronization channel.
-    pub fn channel(mut self, name: impl Into<String>, medium: MediaKind) -> Self {
+    pub fn channel(mut self, name: impl Into<crate::symbol::Symbol>, medium: MediaKind) -> Self {
         if let Err(e) = self.doc.channels.define(ChannelDef::new(name, medium)) {
             self.errors.push(e);
         }
@@ -179,12 +179,12 @@ impl<'a> NodeBuilder<'a> {
     }
 
     /// Applies a style to this node.
-    pub fn style(&mut self, style: impl Into<String>) -> &mut Self {
+    pub fn style(&mut self, style: impl Into<crate::symbol::Symbol>) -> &mut Self {
         self.attr(AttrName::Style, AttrValue::Id(style.into()))
     }
 
     /// Sets the channel for this node (inherited by its descendants).
-    pub fn on_channel(&mut self, channel: impl Into<String>) -> &mut Self {
+    pub fn on_channel(&mut self, channel: impl Into<crate::symbol::Symbol>) -> &mut Self {
         self.attr(AttrName::Channel, AttrValue::Id(channel.into()))
     }
 
@@ -206,9 +206,9 @@ impl<'a> NodeBuilder<'a> {
     ) -> &mut Self {
         match self.doc.add_child(self.node, kind) {
             Ok(child) => {
-                if let Err(e) =
-                    self.doc
-                        .set_attr(child, AttrName::Name, AttrValue::Id(name.to_string()))
+                if let Err(e) = self
+                    .doc
+                    .set_attr(child, AttrName::Name, AttrValue::Id(name.into()))
                 {
                     self.errors.push(e);
                 }
@@ -242,8 +242,8 @@ impl<'a> NodeBuilder<'a> {
         match self.doc.add_ext(self.node) {
             Ok(child) => {
                 let set = [
-                    (AttrName::Name, AttrValue::Id(name.to_string())),
-                    (AttrName::Channel, AttrValue::Id(channel.to_string())),
+                    (AttrName::Name, AttrValue::Id(name.into())),
+                    (AttrName::Channel, AttrValue::Id(channel.into())),
                     (AttrName::File, AttrValue::Str(file.to_string())),
                 ];
                 for (attr_name, value) in set {
@@ -276,8 +276,8 @@ impl<'a> NodeBuilder<'a> {
         match self.doc.add_imm_text(self.node, text) {
             Ok(child) => {
                 let set = [
-                    (AttrName::Name, AttrValue::Id(name.to_string())),
-                    (AttrName::Channel, AttrValue::Id(channel.to_string())),
+                    (AttrName::Name, AttrValue::Id(name.into())),
+                    (AttrName::Channel, AttrValue::Id(channel.into())),
                     (AttrName::Duration, AttrValue::Number(duration_ms)),
                 ];
                 for (attr_name, value) in set {
@@ -343,7 +343,7 @@ mod tests {
         assert_eq!(
             doc.channel_of(doc.find("/scene-1/line").unwrap())
                 .unwrap()
-                .as_deref(),
+                .map(|s| s.as_str()),
             Some("caption")
         );
     }

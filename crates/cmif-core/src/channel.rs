@@ -13,6 +13,7 @@
 use std::fmt;
 
 use crate::error::{CoreError, Result};
+use crate::symbol::Symbol;
 use crate::value::AttrValue;
 
 /// The medium carried by a channel or described by a data descriptor.
@@ -95,18 +96,19 @@ impl fmt::Display for MediaKind {
 /// One channel definition from the root node's channel dictionary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChannelDef {
-    /// The channel's name, referenced by `channel` attributes on nodes.
-    pub name: String,
+    /// The channel's interned name, referenced by `channel` attributes on
+    /// nodes.
+    pub name: Symbol,
     /// The medium the channel carries.
     pub medium: MediaKind,
     /// Free-form channel attributes (e.g. preferred window size, language,
     /// loudspeaker position); passed through to the presentation mapper.
-    pub extra: Vec<(String, AttrValue)>,
+    pub extra: Vec<(Symbol, AttrValue)>,
 }
 
 impl ChannelDef {
     /// Creates a channel definition with no extra attributes.
-    pub fn new(name: impl Into<String>, medium: MediaKind) -> ChannelDef {
+    pub fn new(name: impl Into<Symbol>, medium: MediaKind) -> ChannelDef {
         ChannelDef {
             name: name.into(),
             medium,
@@ -115,14 +117,15 @@ impl ChannelDef {
     }
 
     /// Adds an extra attribute (builder style).
-    pub fn with_extra(mut self, key: impl Into<String>, value: AttrValue) -> ChannelDef {
+    pub fn with_extra(mut self, key: impl Into<Symbol>, value: AttrValue) -> ChannelDef {
         self.extra.push((key.into(), value));
         self
     }
 
     /// Looks up an extra attribute by key.
     pub fn extra_attr(&self, key: &str) -> Option<&AttrValue> {
-        self.extra.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        let key = Symbol::lookup(key)?;
+        self.extra.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
     }
 }
 
@@ -156,21 +159,33 @@ impl ChannelDictionary {
 
     /// Defines a channel, rejecting duplicate names.
     pub fn define(&mut self, def: ChannelDef) -> Result<()> {
-        if self.get(&def.name).is_some() {
+        if self.get_symbol(def.name).is_some() {
             return Err(CoreError::DuplicateChannel { channel: def.name });
         }
         self.channels.push(def);
         Ok(())
     }
 
-    /// Looks up a channel by name.
-    pub fn get(&self, name: &str) -> Option<&ChannelDef> {
+    /// Looks up a channel by its interned name — an integer comparison per
+    /// entry, no string walks.
+    pub fn get_symbol(&self, name: Symbol) -> Option<&ChannelDef> {
         self.channels.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a channel by textual name. Never interns: unknown names
+    /// miss without growing the pool.
+    pub fn get(&self, name: &str) -> Option<&ChannelDef> {
+        self.get_symbol(Symbol::lookup(name)?)
     }
 
     /// True when a channel with the given name exists.
     pub fn contains(&self, name: &str) -> bool {
         self.get(name).is_some()
+    }
+
+    /// True when a channel with the given interned name exists.
+    pub fn contains_symbol(&self, name: Symbol) -> bool {
+        self.get_symbol(name).is_some()
     }
 
     /// Iterates over the channels in declaration order.
@@ -179,7 +194,7 @@ impl ChannelDictionary {
     }
 
     /// The names of every channel carrying the given medium.
-    pub fn channels_of(&self, medium: MediaKind) -> Vec<&str> {
+    pub fn channels_of(&self, medium: MediaKind) -> Vec<&'static str> {
         self.channels
             .iter()
             .filter(|c| c.medium == medium)

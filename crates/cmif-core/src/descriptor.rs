@@ -17,6 +17,7 @@ use std::fmt;
 use crate::channel::MediaKind;
 use crate::error::{CoreError, Result};
 use crate::node::NodeId;
+use crate::symbol::Symbol;
 use crate::time::{RateInfo, TimeMs};
 use crate::value::AttrValue;
 
@@ -101,9 +102,9 @@ pub struct ResourceNeeds {
 /// Attributes describing the *nature* of a data block (Figure 2 / §3.1).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DataDescriptor {
-    /// The key under which the descriptor is known (the value of `file`
-    /// attributes that reference it).
-    pub key: String,
+    /// The interned key under which the descriptor is known (the value of
+    /// `file` attributes that reference it).
+    pub key: Symbol,
     /// The medium of the described block.
     pub medium: MediaKind,
     /// Encoding / format name (e.g. `pcm8`, `rgb24`, `plain-text`).
@@ -126,14 +127,14 @@ pub struct DataDescriptor {
     /// reference). Purely descriptive at this layer.
     pub location: Option<String>,
     /// Free-form descriptive attributes (title, language, author, search
-    /// keys, content links, …).
-    pub extra: BTreeMap<String, AttrValue>,
+    /// keys, content links, …), keyed by interned name.
+    pub extra: BTreeMap<Symbol, AttrValue>,
 }
 
 impl DataDescriptor {
     /// Creates a minimal descriptor; fill in the rest with the `with_*`
     /// builder methods.
-    pub fn new(key: impl Into<String>, medium: MediaKind, format: impl Into<String>) -> Self {
+    pub fn new(key: impl Into<Symbol>, medium: MediaKind, format: impl Into<String>) -> Self {
         DataDescriptor {
             key: key.into(),
             medium,
@@ -192,14 +193,15 @@ impl DataDescriptor {
     }
 
     /// Adds a free-form attribute.
-    pub fn with_extra(mut self, key: impl Into<String>, value: AttrValue) -> Self {
+    pub fn with_extra(mut self, key: impl Into<Symbol>, value: AttrValue) -> Self {
         self.extra.insert(key.into(), value);
         self
     }
 
-    /// Looks up a free-form attribute.
+    /// Looks up a free-form attribute. Never interns, so unknown keys miss
+    /// without growing the pool.
     pub fn extra_attr(&self, key: &str) -> Option<&AttrValue> {
-        self.extra.get(key)
+        self.extra.get(&Symbol::lookup(key)?)
     }
 
     /// Approximate size of the descriptor itself (attributes only), in
@@ -226,9 +228,9 @@ pub struct EventDescriptor {
     /// The leaf node this event belongs to.
     pub node: NodeId,
     /// The channel the event is directed to.
-    pub channel: String,
+    pub channel: Symbol,
     /// The key of the data descriptor used, or `None` for immediate data.
-    pub descriptor: Option<String>,
+    pub descriptor: Option<Symbol>,
     /// Optional selection restricting the part of the block used.
     pub selection: Option<Selection>,
     /// The presentation duration of the event on the document clock.
@@ -254,7 +256,7 @@ impl EventDescriptor {
 /// the same [`DescriptorResolver`] interface.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DescriptorCatalog {
-    entries: BTreeMap<String, DataDescriptor>,
+    entries: BTreeMap<Symbol, DataDescriptor>,
 }
 
 impl DescriptorCatalog {
@@ -282,28 +284,38 @@ impl DescriptorCatalog {
                 key: descriptor.key,
             });
         }
-        self.entries.insert(descriptor.key.clone(), descriptor);
+        self.entries.insert(descriptor.key, descriptor);
         Ok(())
     }
 
     /// Registers or replaces a descriptor.
     pub fn upsert(&mut self, descriptor: DataDescriptor) {
-        self.entries.insert(descriptor.key.clone(), descriptor);
+        self.entries.insert(descriptor.key, descriptor);
     }
 
-    /// Looks up a descriptor by key.
+    /// Looks up a descriptor by interned key — an integer-keyed map lookup.
+    pub fn get_symbol(&self, key: Symbol) -> Option<&DataDescriptor> {
+        self.entries.get(&key)
+    }
+
+    /// Looks up a descriptor by textual key. Never interns, so unknown
+    /// keys miss without growing the pool.
     pub fn get(&self, key: &str) -> Option<&DataDescriptor> {
-        self.entries.get(key)
+        self.get_symbol(Symbol::lookup(key)?)
     }
 
-    /// Looks up a descriptor by key, producing an error when missing.
+    /// Looks up a descriptor by key, producing an error when missing. The
+    /// missing key is reported as text — never interned — so failing
+    /// lookups cannot grow the pool.
     pub fn require(&self, key: &str) -> Result<&DataDescriptor> {
         self.get(key).ok_or_else(|| CoreError::UnknownDescriptor {
             key: key.to_string(),
         })
     }
 
-    /// Iterates over descriptors in key order.
+    /// Iterates over descriptors in pool-id order (the intern order of
+    /// their keys; stable within a process). Callers rendering
+    /// human-readable listings sort by `key.as_str()` themselves.
     pub fn iter(&self) -> impl Iterator<Item = &DataDescriptor> {
         self.entries.values()
     }
@@ -329,11 +341,21 @@ impl DescriptorCatalog {
 pub trait DescriptorResolver {
     /// Resolves a descriptor key.
     fn resolve(&self, key: &str) -> Option<DataDescriptor>;
+
+    /// Resolves an interned descriptor key. The default goes through the
+    /// textual path; integer-keyed resolvers override it.
+    fn resolve_symbol(&self, key: Symbol) -> Option<DataDescriptor> {
+        self.resolve(key.as_str())
+    }
 }
 
 impl DescriptorResolver for DescriptorCatalog {
     fn resolve(&self, key: &str) -> Option<DataDescriptor> {
         self.get(key).cloned()
+    }
+
+    fn resolve_symbol(&self, key: Symbol) -> Option<DataDescriptor> {
+        self.get_symbol(key).cloned()
     }
 }
 

@@ -8,6 +8,7 @@ use std::fmt;
 
 use crate::attr::AttrName;
 use crate::node::NodeId;
+use crate::symbol::Symbol;
 
 /// Result alias used throughout `cmif-core`.
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -32,7 +33,7 @@ pub enum CoreError {
         /// The parent node.
         parent: NodeId,
         /// The duplicated child name.
-        name: String,
+        name: Symbol,
     },
     /// An attribute that may only appear on the root node (style dictionary,
     /// channel dictionary) was found elsewhere.
@@ -65,12 +66,12 @@ pub enum CoreError {
     /// root node's channel dictionary.
     UnknownChannel {
         /// The unresolved channel name.
-        channel: String,
+        channel: Symbol,
     },
     /// A channel was defined twice in the channel dictionary.
     DuplicateChannel {
         /// The duplicated channel name.
-        channel: String,
+        channel: Symbol,
     },
     /// A style was defined twice in the style dictionary.
     DuplicateStyle {
@@ -132,6 +133,8 @@ pub enum CoreError {
         node: NodeId,
     },
     /// A data descriptor referenced by name does not exist in the catalog.
+    /// Carries the key as text: unknown keys are exactly the ones that must
+    /// not be interned into the global pool.
     UnknownDescriptor {
         /// The unresolved descriptor key.
         key: String,
@@ -139,7 +142,7 @@ pub enum CoreError {
     /// A descriptor was registered twice under the same key.
     DuplicateDescriptor {
         /// The duplicated descriptor key.
-        key: String,
+        key: Symbol,
     },
     /// Generic structural invariant violation with a description.
     Invariant {

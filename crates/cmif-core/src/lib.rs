@@ -59,6 +59,7 @@ pub mod node;
 pub mod path;
 pub mod stats;
 pub mod style;
+pub mod symbol;
 pub mod time;
 pub mod tree;
 pub mod validate;
@@ -79,6 +80,7 @@ pub mod prelude {
     pub use crate::path::NodePath;
     pub use crate::stats::{stats, DocumentStats};
     pub use crate::style::{StyleDef, StyleDictionary};
+    pub use crate::symbol::Symbol;
     pub use crate::time::{DelayMs, MaxDelay, MediaTime, MediaUnit, RateInfo, TimeMs};
     pub use crate::tree::Document;
     pub use crate::validate::{validate, validate_all};

@@ -8,6 +8,7 @@
 use std::fmt;
 
 use crate::attr::{Attr, AttrList, AttrName};
+use crate::symbol::Symbol;
 use crate::value::AttrValue;
 
 /// Index of a node inside a document's arena.
@@ -162,6 +163,13 @@ impl Node {
     /// The node's `name` attribute, if present.
     pub fn name(&self) -> Option<&str> {
         self.attrs.get_text(&AttrName::Name)
+    }
+
+    /// The node's `name` attribute as an interned symbol, if present.
+    pub fn name_symbol(&self) -> Option<Symbol> {
+        self.attrs
+            .get(&AttrName::Name)
+            .and_then(AttrValue::as_symbol)
     }
 
     /// The node's own (non-inherited) `channel` attribute, if present.

@@ -40,7 +40,7 @@ pub struct DocumentStats {
     /// Data descriptors in the embedded catalog.
     pub data_descriptors: usize,
     /// Events (leaves) per channel name.
-    pub events_per_channel: BTreeMap<String, usize>,
+    pub events_per_channel: BTreeMap<crate::symbol::Symbol, usize>,
     /// Approximate size of the document structure itself in bytes
     /// (attributes + inline data), i.e. what has to move when the structure
     /// is transported *without* the data.
@@ -81,7 +81,11 @@ impl fmt::Display for DocumentStats {
             "channels: {}  styles: {}  sync arcs: {}  data descriptors: {}",
             self.channels, self.styles, self.sync_arcs, self.data_descriptors
         )?;
-        for (channel, count) in &self.events_per_channel {
+        // Symbol order is intern order; list channels alphabetically so the
+        // report is stable across processes.
+        let mut per_channel: Vec<_> = self.events_per_channel.iter().collect();
+        per_channel.sort_by_key(|(channel, _)| channel.as_str());
+        for (channel, count) in per_channel {
             writeln!(f, "  channel {channel}: {count} events")?;
         }
         writeln!(
@@ -125,14 +129,14 @@ pub fn stats(doc: &Document, resolver: &dyn DescriptorResolver) -> Result<Docume
         if node.kind.is_leaf() {
             let channel = doc
                 .channel_of(id)?
-                .unwrap_or_else(|| "(unassigned)".to_string());
+                .unwrap_or_else(crate::tree::unassigned_channel);
             *out.events_per_channel.entry(channel).or_default() += 1;
             if let Some(duration) = doc.duration_of(id, resolver)? {
                 out.total_leaf_duration += duration;
             }
             if node.kind == NodeKind::Ext {
                 if let Some(key) = doc.file_of(id)? {
-                    if let Some(descriptor) = resolver.resolve(&key) {
+                    if let Some(descriptor) = resolver.resolve_symbol(key) {
                         out.referenced_data_bytes += descriptor.size_bytes;
                     }
                 }
@@ -200,8 +204,14 @@ mod tests {
         assert_eq!(s.channels, 2);
         assert_eq!(s.data_descriptors, 1);
         assert_eq!(s.depth, 3);
-        assert_eq!(s.events_per_channel["audio"], 1);
-        assert_eq!(s.events_per_channel["label"], 1);
+        assert_eq!(
+            s.events_per_channel[&crate::symbol::Symbol::intern("audio")],
+            1
+        );
+        assert_eq!(
+            s.events_per_channel[&crate::symbol::Symbol::intern("label")],
+            1
+        );
     }
 
     #[test]

@@ -208,19 +208,20 @@ impl FromIterator<StyleDef> for StyleDictionary {
 
 /// Extracts the style names referenced by a `style` attribute value.
 ///
-/// Accepts a single identifier/string or a list of them.
-pub fn style_names(value: &crate::value::AttrValue) -> Result<Vec<String>> {
+/// Accepts a single identifier/string or a list of them. Names come back as
+/// interned symbols — no allocation when the value is already an `Id`.
+pub fn style_names(value: &crate::value::AttrValue) -> Result<Vec<crate::symbol::Symbol>> {
     use crate::value::AttrValue;
     match value {
-        AttrValue::Id(s) | AttrValue::Str(s) => Ok(vec![s.clone()]),
+        AttrValue::Id(_) | AttrValue::Str(_) => Ok(vec![value.as_symbol().expect("textual value")]),
         AttrValue::List(items) => {
             let mut names = Vec::with_capacity(items.len());
             for item in items {
-                let name = item.as_text().ok_or(CoreError::AttributeType {
+                let name = item.as_symbol().ok_or(CoreError::AttributeType {
                     name: AttrName::Style,
                     expected: "a style name or a list of style names",
                 })?;
-                names.push(name.to_string());
+                names.push(name);
             }
             Ok(names)
         }

@@ -21,6 +21,7 @@ use crate::error::{CoreError, Result};
 use crate::node::{ImmediateData, Node, NodeId, NodeKind};
 use crate::path::{NodePath, PathSegment};
 use crate::style::{style_names, StyleDictionary};
+use crate::symbol::Symbol;
 use crate::time::TimeMs;
 use crate::value::AttrValue;
 
@@ -217,7 +218,7 @@ impl Document {
                 if name != &AttrName::Style {
                     if let Some(style_value) = node.attrs.get(&AttrName::Style) {
                         let names = style_names(style_value)?;
-                        let expanded = self.styles.expand_all(names.iter().map(String::as_str))?;
+                        let expanded = self.styles.expand_all(names.iter().map(|n| n.as_str()))?;
                         if let Some(value) = expanded.get(name) {
                             return Ok(Some(value.clone()));
                         }
@@ -230,18 +231,19 @@ impl Document {
         Ok(None)
     }
 
-    /// The effective channel name of a node, if any.
-    pub fn channel_of(&self, id: NodeId) -> Result<Option<String>> {
+    /// The effective channel name of a node, if any, as a `Copy` symbol.
+    pub fn channel_of(&self, id: NodeId) -> Result<Option<Symbol>> {
         Ok(self
             .effective_attr(id, &AttrName::Channel)?
-            .and_then(|v| v.as_text().map(str::to_string)))
+            .and_then(|v| v.as_symbol()))
     }
 
-    /// The effective file / descriptor key of a node, if any.
-    pub fn file_of(&self, id: NodeId) -> Result<Option<String>> {
+    /// The effective file / descriptor key of a node, if any, as a `Copy`
+    /// symbol.
+    pub fn file_of(&self, id: NodeId) -> Result<Option<Symbol>> {
         Ok(self
             .effective_attr(id, &AttrName::File)?
-            .and_then(|v| v.as_text().map(str::to_string)))
+            .and_then(|v| v.as_symbol()))
     }
 
     /// The node's selection (slice, crop or clip attribute), if any.
@@ -278,12 +280,12 @@ impl Document {
 
     fn numbers(value: &AttrValue, name: &AttrName, expected: usize) -> Result<Vec<i64>> {
         let items = value.as_list().ok_or(CoreError::AttributeType {
-            name: name.clone(),
+            name: *name,
             expected: "a list of numbers",
         })?;
         if items.len() != expected {
             return Err(CoreError::AttributeType {
-                name: name.clone(),
+                name: *name,
                 expected: "a list with the documented number of elements",
             });
         }
@@ -291,7 +293,7 @@ impl Document {
             .iter()
             .map(|v| {
                 v.as_number().ok_or(CoreError::AttributeType {
-                    name: name.clone(),
+                    name: *name,
                     expected: "numeric list elements",
                 })
             })
@@ -322,7 +324,7 @@ impl Document {
         }
         if self.node(id)?.kind == NodeKind::Ext {
             if let Some(key) = self.file_of(id)? {
-                if let Some(descriptor) = resolver.resolve(&key) {
+                if let Some(descriptor) = resolver.resolve_symbol(key) {
                     return Ok(descriptor.duration);
                 }
             }
@@ -335,13 +337,13 @@ impl Document {
     /// defaulting to text for immediate nodes.
     pub fn medium_of(&self, id: NodeId, resolver: &dyn DescriptorResolver) -> Result<MediaKind> {
         if let Some(channel) = self.channel_of(id)? {
-            if let Some(def) = self.channels.get(&channel) {
+            if let Some(def) = self.channels.get_symbol(channel) {
                 return Ok(def.medium);
             }
         }
         if self.node(id)?.kind == NodeKind::Ext {
             if let Some(key) = self.file_of(id)? {
-                if let Some(descriptor) = resolver.resolve(&key) {
+                if let Some(descriptor) = resolver.resolve_symbol(key) {
                     return Ok(descriptor.medium);
                 }
             }
@@ -582,7 +584,7 @@ impl Document {
                 let key = self
                     .file_of(id)?
                     .ok_or(CoreError::MissingFile { node: id })?;
-                let bytes = match (&selection, resolver.resolve(&key)) {
+                let bytes = match (&selection, resolver.resolve_symbol(key)) {
                     (Some(Selection::Slice { length, .. }), _) => *length,
                     (_, Some(d)) => d.size_bytes,
                     (_, None) => 0,
@@ -614,16 +616,23 @@ impl Document {
     /// Groups leaves by their effective channel, preserving document order
     /// inside each channel ("events that are placed on a single channel are
     /// synchronized in linear time order", §3.1).
-    pub fn leaves_by_channel(&self) -> Result<BTreeMap<String, Vec<NodeId>>> {
-        let mut out: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
+    pub fn leaves_by_channel(&self) -> Result<BTreeMap<Symbol, Vec<NodeId>>> {
+        let mut out: BTreeMap<Symbol, Vec<NodeId>> = BTreeMap::new();
         for leaf in self.leaves() {
-            let channel = self
-                .channel_of(leaf)?
-                .unwrap_or_else(|| "(unassigned)".to_string());
+            let channel = self.channel_of(leaf)?.unwrap_or_else(unassigned_channel);
             out.entry(channel).or_default().push(leaf);
         }
         Ok(out)
     }
+}
+
+/// The symbol leaves with no channel assignment are grouped under —
+/// interned once, copied everywhere (the old code allocated the string per
+/// leaf per pass).
+pub fn unassigned_channel() -> Symbol {
+    use std::sync::OnceLock;
+    static UNASSIGNED: OnceLock<Symbol> = OnceLock::new();
+    *UNASSIGNED.get_or_init(|| Symbol::intern("(unassigned)"))
 }
 
 #[cfg(test)]
@@ -734,7 +743,10 @@ mod tests {
             .remove(&AttrName::Channel);
         doc.set_attr(story, AttrName::Channel, AttrValue::Id("video".into()))
             .unwrap();
-        assert_eq!(doc.channel_of(video).unwrap().as_deref(), Some("video"));
+        assert_eq!(
+            doc.channel_of(video).unwrap(),
+            Some(Symbol::intern("video"))
+        );
         // Name is not inherited.
         assert_eq!(
             doc.effective_attr(video, &AttrName::Name)
@@ -970,7 +982,7 @@ mod tests {
         assert_eq!(events.len(), 2);
         let video_event = events.iter().find(|e| e.node == video).unwrap();
         assert_eq!(video_event.channel, "video");
-        assert_eq!(video_event.descriptor.as_deref(), Some("clip-v"));
+        assert_eq!(video_event.descriptor, Some(Symbol::intern("clip-v")));
         assert_eq!(video_event.data_bytes, 1_000_000);
         assert_eq!(video_event.duration, TimeMs::from_secs(8));
         let caption_event = events.iter().find(|e| e.node == caption).unwrap();
@@ -998,8 +1010,8 @@ mod tests {
     fn leaves_by_channel_groups_in_document_order() {
         let (doc, _, video, caption) = mini_doc();
         let groups = doc.leaves_by_channel().unwrap();
-        assert_eq!(groups["video"], vec![video]);
-        assert_eq!(groups["caption"], vec![caption]);
+        assert_eq!(groups[&Symbol::intern("video")], vec![video]);
+        assert_eq!(groups[&Symbol::intern("caption")], vec![caption]);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::error::{CoreError, Result};
 use crate::node::NodeKind;
 use crate::style::style_names;
 use crate::tree::Document;
+use crate::value::AttrValue;
 
 /// Validates a document, returning the first violation found.
 pub fn validate(doc: &Document) -> Result<()> {
@@ -53,7 +54,7 @@ pub fn validate_all(doc: &Document) -> Vec<CoreError> {
             if attr.name.is_root_only() && id != root {
                 problems.push(CoreError::RootOnlyAttribute {
                     node: id,
-                    name: attr.name.clone(),
+                    name: attr.name,
                 });
             }
         }
@@ -63,7 +64,7 @@ pub fn validate_all(doc: &Document) -> Vec<CoreError> {
             let children = node.children.clone();
             for (i, child) in children.iter().enumerate() {
                 let name = match doc.node(*child) {
-                    Ok(n) => n.name().map(str::to_string),
+                    Ok(n) => n.name_symbol(),
                     Err(e) => {
                         problems.push(e);
                         continue;
@@ -71,11 +72,7 @@ pub fn validate_all(doc: &Document) -> Vec<CoreError> {
                 };
                 if let Some(name) = name {
                     let duplicate = children[..i].iter().any(|other| {
-                        doc.node(*other)
-                            .ok()
-                            .and_then(|n| n.name().map(str::to_string))
-                            .as_deref()
-                            == Some(name.as_str())
+                        doc.node(*other).ok().and_then(|n| n.name_symbol()) == Some(name)
                     });
                     if duplicate {
                         problems.push(CoreError::DuplicateSiblingName { parent: id, name });
@@ -89,8 +86,10 @@ pub fn validate_all(doc: &Document) -> Vec<CoreError> {
             match style_names(style_value) {
                 Ok(names) => {
                     for name in names {
-                        if !doc.styles.contains(&name) {
-                            problems.push(CoreError::UnknownStyle { style: name });
+                        if !doc.styles.contains(name.as_str()) {
+                            problems.push(CoreError::UnknownStyle {
+                                style: name.as_str().to_string(),
+                            });
                         }
                     }
                 }
@@ -100,11 +99,13 @@ pub fn validate_all(doc: &Document) -> Vec<CoreError> {
 
         // Channel references must resolve (checked on the node that sets the
         // attribute; inheritance then cannot introduce dangling references).
-        if let Some(channel) = node.attrs.get_text(&AttrName::Channel) {
-            if !doc.channels.contains(channel) {
-                problems.push(CoreError::UnknownChannel {
-                    channel: channel.to_string(),
-                });
+        if let Some(channel) = node
+            .attrs
+            .get(&AttrName::Channel)
+            .and_then(AttrValue::as_symbol)
+        {
+            if !doc.channels.contains_symbol(channel) {
+                problems.push(CoreError::UnknownChannel { channel });
             }
         }
 

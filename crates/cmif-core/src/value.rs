@@ -14,19 +14,21 @@
 
 use std::fmt;
 
+use crate::symbol::Symbol;
+
 /// A single attribute value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {
-    /// An identifier: a character value without embedded spaces.
-    Id(String),
+    /// An identifier: a character value without embedded spaces, interned.
+    Id(Symbol),
     /// An integral numeric value.
     Number(i64),
     /// A real (floating point) numeric value.
     Real(f64),
     /// A quoted character string, possibly with embedded spaces.
     Str(String),
-    /// A reference ("pointer") to another attribute, by name.
-    Ref(String),
+    /// A reference ("pointer") to another attribute, by interned name.
+    Ref(Symbol),
     /// An ordered list of values (the `value*` form generalised).
     List(Vec<AttrValue>),
 }
@@ -35,12 +37,12 @@ impl AttrValue {
     /// Creates an identifier value, validating that it has no embedded
     /// whitespace. Returns `None` if the candidate is empty or contains
     /// whitespace (the paper requires IDs to be space-free).
-    pub fn id(candidate: impl Into<String>) -> Option<AttrValue> {
-        let s = candidate.into();
+    pub fn id(candidate: impl AsRef<str>) -> Option<AttrValue> {
+        let s = candidate.as_ref();
         if s.is_empty() || s.chars().any(char::is_whitespace) {
             None
         } else {
-            Some(AttrValue::Id(s))
+            Some(AttrValue::Id(Symbol::intern(s)))
         }
     }
 
@@ -67,7 +69,15 @@ impl AttrValue {
     /// Returns the value as an identifier string if it is an `Id`.
     pub fn as_id(&self) -> Option<&str> {
         match self {
-            AttrValue::Id(s) => Some(s),
+            AttrValue::Id(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an interned symbol when it is an `Id`.
+    pub fn as_id_symbol(&self) -> Option<Symbol> {
+        match self {
+            AttrValue::Id(s) => Some(*s),
             _ => None,
         }
     }
@@ -78,7 +88,19 @@ impl AttrValue {
     /// accept either shape; this accessor papers over the difference.
     pub fn as_text(&self) -> Option<&str> {
         match self {
-            AttrValue::Id(s) | AttrValue::Str(s) => Some(s),
+            AttrValue::Id(s) => Some(s.as_str()),
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an interned symbol when it is an `Id` or,
+    /// interning on the fly, a `Str`. Names flow through the system as
+    /// `Copy` symbols; this is the boundary where textual shapes join.
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match self {
+            AttrValue::Id(s) => Some(*s),
+            AttrValue::Str(s) => Some(Symbol::intern(s)),
             _ => None,
         }
     }
@@ -113,7 +135,7 @@ impl AttrValue {
     /// Returns the referenced attribute name if it is a `Ref`.
     pub fn as_ref_name(&self) -> Option<&str> {
         match self {
-            AttrValue::Ref(s) => Some(s),
+            AttrValue::Ref(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -135,7 +157,8 @@ impl AttrValue {
     /// compared to the media blocks they describe.
     pub fn approx_size(&self) -> usize {
         match self {
-            AttrValue::Id(s) | AttrValue::Str(s) | AttrValue::Ref(s) => s.len(),
+            AttrValue::Id(s) | AttrValue::Ref(s) => s.len(),
+            AttrValue::Str(s) => s.len(),
             AttrValue::Number(_) | AttrValue::Real(_) => 8,
             AttrValue::List(v) => v.iter().map(AttrValue::approx_size).sum::<usize>() + 8,
         }
@@ -145,7 +168,7 @@ impl AttrValue {
 impl fmt::Display for AttrValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AttrValue::Id(s) => f.write_str(s),
+            AttrValue::Id(s) => f.write_str(s.as_str()),
             AttrValue::Number(n) => write!(f, "{n}"),
             AttrValue::Real(x) => write!(f, "{x}"),
             AttrValue::Str(s) => write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),

@@ -28,6 +28,7 @@ use std::sync::{Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
 use parking_lot::{Mutex, RwLock};
 
 use cmif_core::descriptor::DataDescriptor;
+use cmif_core::symbol::Symbol;
 use cmif_core::tree::Document;
 use cmif_format::{parse_document, write_document};
 use cmif_media::store::BlockStore;
@@ -42,21 +43,23 @@ pub use crate::traffic::{LinkStats, TrafficStats};
 /// host's own locks; nothing reaches across to another host.
 #[derive(Debug, Default)]
 struct HostShard {
-    /// Documents held by this host, as interchange text keyed by name.
-    documents: RwLock<BTreeMap<String, String>>,
+    /// Documents held by this host, as interchange text keyed by interned
+    /// name.
+    documents: RwLock<BTreeMap<Symbol, String>>,
     /// Media blocks held by this host (internally locked).
     blocks: BlockStore,
     /// Block keys currently being fetched *to* this host. A fetch reserves
     /// the key here before moving any bytes, so concurrent fetches of the
-    /// same block charge exactly one transfer.
-    inflight: StdMutex<BTreeSet<String>>,
+    /// same block charge exactly one transfer. Keys are `Copy` symbols —
+    /// reserving one never allocates.
+    inflight: StdMutex<BTreeSet<Symbol>>,
     /// Signalled when an in-flight fetch to this host finishes (either way).
     arrived: Condvar,
 }
 
 /// Locks an in-flight set, ignoring poisoning (a panicked fetch must not
 /// wedge every later fetch to the host).
-fn lock_inflight(shard: &HostShard) -> MutexGuard<'_, BTreeSet<String>> {
+fn lock_inflight(shard: &HostShard) -> MutexGuard<'_, BTreeSet<Symbol>> {
     shard
         .inflight
         .lock()
@@ -67,13 +70,13 @@ fn lock_inflight(shard: &HostShard) -> MutexGuard<'_, BTreeSet<String>> {
 /// reservation and wakes waiters on every exit path, panics included.
 struct InflightReservation<'a> {
     shard: &'a HostShard,
-    key: &'a str,
+    key: Symbol,
 }
 
 impl Drop for InflightReservation<'_> {
     fn drop(&mut self) {
         let mut inflight = lock_inflight(self.shard);
-        inflight.remove(self.key);
+        inflight.remove(&self.key);
         self.shard.arrived.notify_all();
     }
 }
@@ -101,7 +104,8 @@ pub struct DistributedStore {
     /// Number of hosts that receive a copy of each block/document.
     replication: usize,
     /// Block key → holders index (replaces scanning every host's keys).
-    placement: RwLock<BTreeMap<String, BlockPlacement>>,
+    /// Keyed by interned symbol: lookups and inserts compare integers.
+    placement: RwLock<BTreeMap<Symbol, BlockPlacement>>,
     traffic: Mutex<TrafficStats>,
 }
 
@@ -193,14 +197,14 @@ impl DistributedStore {
     }
 
     /// Marks `host` as a holder of `key` in the placement index.
-    fn index_holder(&self, key: &str, bytes: u64, host: &str) {
+    fn index_holder(&self, key: Symbol, bytes: u64, host: &str) {
         let mut placement = self.placement.write();
-        if let Some(entry) = placement.get_mut(key) {
+        if let Some(entry) = placement.get_mut(&key) {
             entry.bytes = bytes;
             entry.holders.insert(host.to_string());
         } else {
             placement.insert(
-                key.to_string(),
+                key,
                 BlockPlacement {
                     bytes,
                     holders: [host.to_string()].into_iter().collect(),
@@ -270,16 +274,16 @@ impl DistributedStore {
         descriptor: DataDescriptor,
     ) -> Result<u64> {
         let shard = self.shard(host)?;
-        let key = block.key.clone();
+        let key = Symbol::intern(&block.key);
         let bytes = block.payload.size_bytes();
-        let replicas = self.plan_replicas(&key, host, bytes)?;
+        let replicas = self.plan_replicas(key.as_str(), host, bytes)?;
         let replica_payload = (!replicas.is_empty()).then(|| block.payload.clone());
 
         shard
             .blocks
             .put_with_descriptor(block, descriptor.clone())
             .map_err(DistribError::Media)?;
-        self.index_holder(&key, bytes, host);
+        self.index_holder(key, bytes, host);
 
         let mut total_cost = 0;
         // The last replica consumes the payload/descriptor instead of
@@ -291,13 +295,13 @@ impl DistributedStore {
                         host,
                         target,
                         *cost,
-                        &key,
+                        key,
                         payload.clone(),
                         descriptor.clone(),
                     )?;
                 }
                 total_cost +=
-                    self.put_replica(host, last_target, *last_cost, &key, payload, descriptor)?;
+                    self.put_replica(host, last_target, *last_cost, key, payload, descriptor)?;
             }
         }
         Ok(total_cost)
@@ -312,7 +316,7 @@ impl DistributedStore {
         origin: &str,
         target: &str,
         cost: u64,
-        key: &str,
+        key: Symbol,
         payload: cmif_media::MediaPayload,
         descriptor: DataDescriptor,
     ) -> Result<u64> {
@@ -320,7 +324,7 @@ impl DistributedStore {
         match self
             .shard(target)?
             .blocks
-            .put_with_descriptor(MediaBlock::new(key, payload), descriptor)
+            .put_with_descriptor(MediaBlock::new(key.as_str(), payload), descriptor)
         {
             Ok(()) => {
                 self.record(origin, target, bytes, false, cost);
@@ -339,18 +343,23 @@ impl DistributedStore {
 
     /// Finds a host holding the block (the first holder in lexical order;
     /// use [`DistributedStore::nearest_source`] for cost-aware selection).
+    /// Never interns: unknown keys miss without growing the pool.
     pub fn locate_block(&self, key: &str) -> Option<HostId> {
+        let key = Symbol::lookup(key)?;
         let placement = self.placement.read();
         placement
-            .get(key)
+            .get(&key)
             .and_then(|entry| entry.holders.iter().next().cloned())
     }
 
     /// Every host currently holding a copy of the block, in lexical order.
     pub fn replicas_of(&self, key: &str) -> Vec<HostId> {
+        let Some(key) = Symbol::lookup(key) else {
+            return Vec::new();
+        };
         let placement = self.placement.read();
         placement
-            .get(key)
+            .get(&key)
             .map(|entry| entry.holders.iter().cloned().collect())
             .unwrap_or_default()
     }
@@ -365,7 +374,7 @@ impl DistributedStore {
         if !self.shards.contains_key(to) {
             return None;
         }
-        self.select_source(to, key, None).ok()
+        self.select_source(to, Symbol::lookup(key)?, None).ok()
     }
 
     /// Picks the holder to serve `key` to `to`: the destination itself when
@@ -375,11 +384,11 @@ impl DistributedStore {
     /// distinguish a block nobody holds ([`MediaError::UnknownBlock`]) from
     /// one whose holders are all unreachable
     /// ([`DistribError::Unreachable`]).
-    fn select_source(&self, to: &str, key: &str, bytes_override: Option<u64>) -> Result<HostId> {
+    fn select_source(&self, to: &str, key: Symbol, bytes_override: Option<u64>) -> Result<HostId> {
         let placement = self.placement.read();
-        let entry = placement.get(key).ok_or_else(|| {
+        let entry = placement.get(&key).ok_or_else(|| {
             DistribError::Media(MediaError::UnknownBlock {
-                key: key.to_string(),
+                key: key.as_str().to_string(),
             })
         })?;
         if entry.holders.contains(to) {
@@ -410,11 +419,16 @@ impl DistributedStore {
     /// read is local and no transfer is recorded.
     pub fn fetch_descriptor(&self, to: &str, key: &str) -> Result<DataDescriptor> {
         self.shard(to)?;
+        let key = Symbol::lookup(key).ok_or_else(|| {
+            DistribError::Media(MediaError::UnknownBlock {
+                key: key.to_string(),
+            })
+        })?;
         let from = self.select_source(to, key, Some(0))?;
         let descriptor = self
             .shard(&from)?
             .blocks
-            .descriptor(key)
+            .descriptor(key.as_str())
             .map_err(DistribError::Media)?;
         if from != to {
             self.charge(&from, to, descriptor.approx_descriptor_size() as u64, true)?;
@@ -432,15 +446,30 @@ impl DistributedStore {
     /// find the block local — exactly one transfer lands in
     /// [`TrafficStats`].
     pub fn fetch_block(&self, to: &str, key: &str) -> Result<u64> {
+        // Never interns: a block that exists anywhere was interned when it
+        // was put, so a pool miss is an unknown block — failing lookups of
+        // caller-supplied keys must not grow the pool.
+        let key = Symbol::lookup(key).ok_or_else(|| {
+            DistribError::Media(MediaError::UnknownBlock {
+                key: key.to_string(),
+            })
+        })?;
+        self.fetch_block_symbol(to, key)
+    }
+
+    /// [`DistributedStore::fetch_block`] with the key already interned —
+    /// the form the transport planner uses so a fetch loop over N keys does
+    /// no string work at all.
+    pub fn fetch_block_symbol(&self, to: &str, key: Symbol) -> Result<u64> {
         let dest = self.shard(to)?;
         {
             let mut inflight = lock_inflight(dest);
             loop {
-                if dest.blocks.contains(key) {
+                if dest.blocks.contains(key.as_str()) {
                     return Ok(0);
                 }
-                if !inflight.contains(key) {
-                    inflight.insert(key.to_string());
+                if !inflight.contains(&key) {
+                    inflight.insert(key);
                     break;
                 }
                 // Another fetch of this key is in flight to this host; wait
@@ -461,11 +490,17 @@ impl DistributedStore {
 
     /// The actual transfer behind [`DistributedStore::fetch_block`]; runs
     /// with the key reserved on the destination host.
-    fn pull_block(&self, dest: &HostShard, to: &str, key: &str) -> Result<u64> {
+    fn pull_block(&self, dest: &HostShard, to: &str, key: Symbol) -> Result<u64> {
         let from = self.select_source(to, key, None)?;
         let source = self.shard(&from)?;
-        let payload = source.blocks.payload(key).map_err(DistribError::Media)?;
-        let descriptor = source.blocks.descriptor(key).map_err(DistribError::Media)?;
+        let payload = source
+            .blocks
+            .payload(key.as_str())
+            .map_err(DistribError::Media)?;
+        let descriptor = source
+            .blocks
+            .descriptor(key.as_str())
+            .map_err(DistribError::Media)?;
         let bytes = payload.size_bytes();
         let cost = self.network.transfer_ms(&from, to, bytes).ok_or_else(|| {
             DistribError::Unreachable {
@@ -475,7 +510,7 @@ impl DistributedStore {
         })?;
         match dest
             .blocks
-            .put_with_descriptor(MediaBlock::new(key, payload), descriptor)
+            .put_with_descriptor(MediaBlock::new(key.as_str(), payload), descriptor)
         {
             Ok(()) => {
                 self.record(&from, to, bytes, false, cost);
@@ -505,21 +540,19 @@ impl DistributedStore {
     /// fails the whole call with no partial state and no phantom traffic.
     pub fn publish_document(&self, host: &str, name: &str, doc: &Document) -> Result<usize> {
         let origin = self.shard(host)?;
+        let name = Symbol::intern(name);
         let text = write_document(doc).map_err(DistribError::Core)?;
         let size = text.len();
-        let replicas = self.plan_replicas(name, host, size as u64)?;
+        let replicas = self.plan_replicas(name.as_str(), host, size as u64)?;
 
         // The last insert consumes `text` instead of cloning it: K replicas
         // cost K copies of the interchange text, not K + 1.
         if replicas.is_empty() {
-            origin.documents.write().insert(name.to_string(), text);
+            origin.documents.write().insert(name, text);
             return Ok(size);
         }
         let mut text = text;
-        origin
-            .documents
-            .write()
-            .insert(name.to_string(), text.clone());
+        origin.documents.write().insert(name, text.clone());
         let last = replicas.len() - 1;
         for (index, (target, cost)) in replicas.into_iter().enumerate() {
             let copy = if index == last {
@@ -528,17 +561,22 @@ impl DistributedStore {
                 text.clone()
             };
             self.record(host, &target, size as u64, true, cost);
-            self.shard(&target)?
-                .documents
-                .write()
-                .insert(name.to_string(), copy);
+            self.shard(&target)?.documents.write().insert(name, copy);
         }
         Ok(size)
     }
 
-    /// The documents a host holds.
+    /// The documents a host holds, in name order.
     pub fn documents_on(&self, host: &str) -> Result<Vec<String>> {
-        Ok(self.shard(host)?.documents.read().keys().cloned().collect())
+        let mut names: Vec<String> = self
+            .shard(host)?
+            .documents
+            .read()
+            .keys()
+            .map(|name| name.as_str().to_string())
+            .collect();
+        names.sort();
+        Ok(names)
     }
 
     /// Transports a document's structure from one host to another, charging
@@ -546,43 +584,45 @@ impl DistributedStore {
     /// destination.
     pub fn transport_document(&self, from: &str, to: &str, name: &str) -> Result<Document> {
         let dest = self.shard(to)?;
+        let name = Symbol::lookup(name).ok_or_else(|| DistribError::UnknownDocument {
+            host: from.to_string(),
+            name: name.to_string(),
+        })?;
         let text = self
             .shard(from)?
             .documents
             .read()
-            .get(name)
+            .get(&name)
             .cloned()
             .ok_or_else(|| DistribError::UnknownDocument {
                 host: from.to_string(),
-                name: name.to_string(),
+                name: name.as_str().to_string(),
             })?;
         self.charge(from, to, text.len() as u64, true)?;
-        dest.documents
-            .write()
-            .insert(name.to_string(), text.clone());
+        dest.documents.write().insert(name, text.clone());
         parse_document(&text).map_err(DistribError::Format)
     }
 
     /// Reads a document a host already holds (no traffic).
     pub fn open_document(&self, host: &str, name: &str) -> Result<Document> {
         let shard = self.shard(host)?;
+        let missing = || DistribError::UnknownDocument {
+            host: host.to_string(),
+            name: name.to_string(),
+        };
+        let name = Symbol::lookup(name).ok_or_else(missing)?;
         let documents = shard.documents.read();
-        let text = documents
-            .get(name)
-            .ok_or_else(|| DistribError::UnknownDocument {
-                host: host.to_string(),
-                name: name.to_string(),
-            })?;
+        let text = documents.get(&name).ok_or_else(missing)?;
         parse_document(text).map_err(DistribError::Format)
     }
 
     /// Fetches to `host` the payloads of exactly the given descriptor keys
     /// (e.g. only the blocks a device can present). Returns the total
     /// simulated transfer time.
-    pub fn fetch_blocks_for(&self, host: &str, keys: &BTreeSet<String>) -> Result<u64> {
+    pub fn fetch_blocks_for(&self, host: &str, keys: &BTreeSet<Symbol>) -> Result<u64> {
         let mut total = 0;
         for key in keys {
-            total += self.fetch_block(host, key)?;
+            total += self.fetch_block_symbol(host, *key)?;
         }
         Ok(total)
     }
@@ -761,7 +801,8 @@ mod tests {
         seed_media(&store, "server");
         store.reset_traffic();
         // An audio-only device needs only the speech, not the painting.
-        let wanted: BTreeSet<String> = ["speech".to_string()].into_iter().collect();
+        let wanted: BTreeSet<cmif_core::Symbol> =
+            [cmif_core::Symbol::intern("speech")].into_iter().collect();
         let cost = store.fetch_blocks_for("laptop", &wanted).unwrap();
         assert!(cost > 0);
         let traffic = store.traffic();

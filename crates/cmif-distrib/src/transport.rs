@@ -11,6 +11,7 @@ use std::collections::BTreeSet;
 
 use cmif_core::channel::MediaKind;
 use cmif_core::node::NodeKind;
+use cmif_core::symbol::Symbol;
 use cmif_core::tree::Document;
 
 use crate::error::Result;
@@ -63,7 +64,7 @@ impl TransportComparison {
 
 /// The descriptor keys referenced by a document's external nodes, optionally
 /// restricted to media a device can present.
-pub fn referenced_keys(doc: &Document, presentable: Option<&[MediaKind]>) -> Vec<String> {
+pub fn referenced_keys(doc: &Document, presentable: Option<&[MediaKind]>) -> Vec<Symbol> {
     let mut keys = BTreeSet::new();
     for leaf in doc.leaves() {
         if doc
@@ -85,7 +86,11 @@ pub fn referenced_keys(doc: &Document, presentable: Option<&[MediaKind]>) -> Vec
         }
         keys.insert(key);
     }
-    keys.into_iter().collect()
+    // Symbol order is intern order; return the keys alphabetically so the
+    // listing is deterministic across runs.
+    let mut keys: Vec<Symbol> = keys.into_iter().collect();
+    keys.sort_by_key(|key| key.as_str());
+    keys
 }
 
 /// Runs both transport strategies for a published document and reports their
@@ -111,7 +116,7 @@ pub fn compare_transport(
     // Eager: structure plus every referenced block.
     store.reset_traffic();
     store.transport_document(from, to_eager, name)?;
-    let all_keys: BTreeSet<String> = referenced_keys(doc, None).into_iter().collect();
+    let all_keys: BTreeSet<Symbol> = referenced_keys(doc, None).into_iter().collect();
     store.fetch_blocks_for(to_eager, &all_keys)?;
     let eager_traffic = store.traffic();
     let eager = TransportCost {
@@ -124,7 +129,7 @@ pub fn compare_transport(
     // Lazy: structure only, then just the presentable blocks.
     store.reset_traffic();
     store.transport_document(from, to_lazy, name)?;
-    let wanted: BTreeSet<String> = referenced_keys(doc, presentable).into_iter().collect();
+    let wanted: BTreeSet<Symbol> = referenced_keys(doc, presentable).into_iter().collect();
     store.fetch_blocks_for(to_lazy, &wanted)?;
     let lazy_traffic = store.traffic();
     let lazy = TransportCost {
@@ -185,10 +190,13 @@ mod tests {
     #[test]
     fn referenced_keys_respect_presentable_media() {
         let (_store, doc) = fixture();
-        assert_eq!(referenced_keys(&doc, None), vec!["film", "speech"]);
+        assert_eq!(
+            referenced_keys(&doc, None),
+            vec![Symbol::intern("film"), Symbol::intern("speech")]
+        );
         assert_eq!(
             referenced_keys(&doc, Some(&[MediaKind::Audio])),
-            vec!["speech"]
+            vec![Symbol::intern("speech")]
         );
         assert!(referenced_keys(&doc, Some(&[MediaKind::Label])).is_empty());
     }

@@ -5,50 +5,65 @@
 //! references, with `;` line comments. The paper stresses that CMIF
 //! documents are "human-readable" (§5, §6); a parenthesized syntax keeps
 //! the reader and writer small while remaining easy to inspect and diff.
+//!
+//! # Zero-copy
+//!
+//! Tokens **borrow** their text from the source: an identifier or `&name`
+//! reference is a `&str` slice of the input, and a quoted string only
+//! allocates when it contains escape sequences ([`Cow::Owned`]) — a plain
+//! `"like this"` borrows too. The parser layers above intern identifiers
+//! directly into [`cmif_core::symbol::Symbol`]s, so the hot path from
+//! source text to document carries no per-token `String` at all.
+
+use std::borrow::Cow;
 
 use crate::error::{FormatError, Position, Result, Span};
 
 /// One lexical token, together with the source span it was read from.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Token {
-    /// The token's kind and payload.
-    pub kind: TokenKind,
+pub struct Token<'a> {
+    /// The token's kind and payload (borrowed from the source).
+    pub kind: TokenKind<'a>,
     /// The bytes of the source text the token covers.
     pub span: Span,
 }
 
-impl Token {
+impl Token<'_> {
     /// Where the token starts in the source text.
     pub fn position(&self) -> Position {
         self.span.start
     }
 }
 
-/// The kinds of token the format uses.
+/// The kinds of token the format uses. Textual payloads borrow from the
+/// source text being tokenized.
 #[derive(Debug, Clone, PartialEq)]
-pub enum TokenKind {
+pub enum TokenKind<'a> {
     /// `(`
     LParen,
     /// `)`
     RParen,
-    /// A bare identifier (no whitespace, quotes or parentheses).
-    Ident(String),
+    /// A bare identifier (no whitespace, quotes or parentheses), borrowed
+    /// from the source.
+    Ident(&'a str),
     /// An integral number.
     Number(i64),
     /// A real number.
     Real(f64),
-    /// A quoted string with escape sequences resolved.
-    Str(String),
-    /// An `&name` reference to another attribute.
-    Ref(String),
+    /// A quoted string with escape sequences resolved. Borrowed when the
+    /// literal contains no escapes, owned otherwise.
+    Str(Cow<'a, str>),
+    /// An `&name` reference to another attribute, borrowed from the source.
+    Ref(&'a str),
 }
 
-/// Tokenizes an entire source text.
-pub fn tokenize(source: &str) -> Result<Vec<Token>> {
+/// Tokenizes an entire source text. Token payloads borrow from `source`.
+pub fn tokenize(source: &str) -> Result<Vec<Token<'_>>> {
     Lexer::new(source).run()
 }
 
 struct Lexer<'a> {
+    source: &'a str,
     chars: std::iter::Peekable<std::str::Chars<'a>>,
     line: u32,
     column: u32,
@@ -58,6 +73,7 @@ struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     fn new(source: &'a str) -> Lexer<'a> {
         Lexer {
+            source,
             chars: source.chars().peekable(),
             line: 1,
             column: 1,
@@ -81,7 +97,7 @@ impl<'a> Lexer<'a> {
         Some(c)
     }
 
-    fn run(mut self) -> Result<Vec<Token>> {
+    fn run(mut self) -> Result<Vec<Token<'a>>> {
         let mut tokens = Vec::new();
         loop {
             // Skip whitespace and comments.
@@ -151,7 +167,7 @@ impl<'a> Lexer<'a> {
         Ok(tokens)
     }
 
-    fn classify_number_or_ident(word: String, position: Position) -> Result<TokenKind> {
+    fn classify_number_or_ident(word: &'a str, position: Position) -> Result<TokenKind<'a>> {
         // A lone `-` or a word that merely starts with a digit but contains
         // identifier characters (e.g. `3d-graph`) is an identifier.
         if word == "-" {
@@ -170,31 +186,53 @@ impl<'a> Lexer<'a> {
             .all(|c| c.is_ascii_digit() || c == '.' || c == '-' || c == '+')
         {
             return Err(FormatError::BadNumber {
-                text: word,
+                text: word.to_string(),
                 at: position,
             });
         }
         Ok(TokenKind::Ident(word))
     }
 
-    fn read_bareword(&mut self) -> String {
-        let mut word = String::new();
+    /// Reads a run of identifier characters as a slice of the source — no
+    /// per-token allocation.
+    fn read_bareword(&mut self) -> &'a str {
+        let start = self.offset;
         while let Some(&c) = self.chars.peek() {
             if is_ident_char(c) {
-                word.push(c);
                 self.bump();
             } else {
                 break;
             }
         }
-        word
+        &self.source[start..self.offset]
     }
 
-    fn read_string(&mut self, start: Position) -> Result<String> {
-        let mut out = String::new();
+    /// Reads a quoted string. When the literal contains no escapes the
+    /// content is borrowed straight from the source; escapes force one
+    /// owned buffer.
+    fn read_string(&mut self, start: Position) -> Result<Cow<'a, str>> {
+        let content_start = self.offset;
+        // Fast path: scan to the closing quote; bail to the slow path at
+        // the first backslash.
+        loop {
+            match self.chars.peek() {
+                Some('"') => {
+                    let content = &self.source[content_start..self.offset];
+                    self.bump();
+                    return Ok(Cow::Borrowed(content));
+                }
+                Some('\\') => break,
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Err(FormatError::UnterminatedString { at: start }),
+            }
+        }
+        // Slow path: copy what was scanned so far, then resolve escapes.
+        let mut out = String::from(&self.source[content_start..self.offset]);
         loop {
             match self.bump() {
-                Some('"') => return Ok(out),
+                Some('"') => return Ok(Cow::Owned(out)),
                 Some('\\') => match self.bump() {
                     Some('n') => out.push('\n'),
                     Some('t') => out.push('\t'),
@@ -217,12 +255,19 @@ fn is_ident_char(c: char) -> bool {
 mod tests {
     use super::*;
 
-    fn kinds(source: &str) -> Vec<TokenKind> {
+    fn kinds(source: &str) -> Vec<TokenKind<'_>> {
         tokenize(source)
             .unwrap()
             .into_iter()
             .map(|t| t.kind)
             .collect()
+    }
+
+    /// True when `slice` points into `source`'s buffer (i.e. was borrowed,
+    /// not copied).
+    fn borrows_from(source: &str, slice: &str) -> bool {
+        let source_range = source.as_ptr() as usize..source.as_ptr() as usize + source.len();
+        source_range.contains(&(slice.as_ptr() as usize))
     }
 
     #[test]
@@ -231,11 +276,46 @@ mod tests {
             kinds("(seq news)"),
             vec![
                 TokenKind::LParen,
-                TokenKind::Ident("seq".into()),
-                TokenKind::Ident("news".into()),
+                TokenKind::Ident("seq"),
+                TokenKind::Ident("news"),
                 TokenKind::RParen,
             ]
         );
+    }
+
+    #[test]
+    fn idents_and_refs_borrow_from_the_source() {
+        let source = "(story-3 &other \"plain string\")".to_string();
+        let tokens = tokenize(&source).unwrap();
+        match &tokens[1].kind {
+            TokenKind::Ident(text) => {
+                assert!(borrows_from(&source, text), "ident was copied");
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+        match &tokens[2].kind {
+            TokenKind::Ref(text) => {
+                assert!(borrows_from(&source, text), "ref was copied");
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+        match &tokens[3].kind {
+            TokenKind::Str(Cow::Borrowed(text)) => {
+                assert!(borrows_from(&source, text), "escape-free string copied");
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+    }
+
+    #[test]
+    fn only_escaped_strings_allocate() {
+        let source = r#""no escapes" "line\nbreak""#;
+        let tokens = tokenize(source).unwrap();
+        assert!(matches!(&tokens[0].kind, TokenKind::Str(Cow::Borrowed(_))));
+        match &tokens[1].kind {
+            TokenKind::Str(Cow::Owned(text)) => assert_eq!(text, "line\nbreak"),
+            other => panic!("unexpected token {other:?}"),
+        }
     }
 
     #[test]
@@ -265,7 +345,7 @@ mod tests {
 
     #[test]
     fn tokenizes_refs() {
-        assert_eq!(kinds("&other"), vec![TokenKind::Ref("other".into())]);
+        assert_eq!(kinds("&other"), vec![TokenKind::Ref("other")]);
     }
 
     #[test]
@@ -275,8 +355,8 @@ mod tests {
             toks,
             vec![
                 TokenKind::LParen,
-                TokenKind::Ident("a".into()),
-                TokenKind::Ident("b".into()),
+                TokenKind::Ident("a"),
+                TokenKind::Ident("b"),
                 TokenKind::RParen,
             ]
         );
@@ -307,6 +387,10 @@ mod tests {
             tokenize("\"abc").unwrap_err(),
             FormatError::UnterminatedString { .. }
         ));
+        assert!(matches!(
+            tokenize("\"abc\\").unwrap_err(),
+            FormatError::UnterminatedString { .. }
+        ));
     }
 
     #[test]
@@ -330,11 +414,11 @@ mod tests {
         assert_eq!(
             kinds("story-3 talking-head"),
             vec![
-                TokenKind::Ident("story-3".into()),
-                TokenKind::Ident("talking-head".into()),
+                TokenKind::Ident("story-3"),
+                TokenKind::Ident("talking-head")
             ]
         );
-        assert_eq!(kinds("-"), vec![TokenKind::Ident("-".into())]);
+        assert_eq!(kinds("-"), vec![TokenKind::Ident("-")]);
     }
 
     #[test]

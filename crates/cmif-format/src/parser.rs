@@ -16,6 +16,7 @@ use cmif_core::descriptor::{DataDescriptor, ResourceNeeds};
 use cmif_core::node::{NodeId, NodeKind};
 use cmif_core::path::NodePath;
 use cmif_core::style::StyleDef;
+use cmif_core::symbol::Symbol;
 use cmif_core::time::{DelayMs, MaxDelay, MediaTime, MediaUnit, RateInfo, TimeMs};
 use cmif_core::tree::Document;
 use cmif_core::validate;
@@ -115,7 +116,7 @@ fn parse_channels(doc: &mut Document, items: &[SExpr]) -> Result<()> {
             let key = pair[0]
                 .as_text()
                 .ok_or_else(|| extra.malformed("channel", "extra key must be an identifier"))?;
-            def = def.with_extra(key, expr_to_value(&pair[1]));
+            def = def.with_extra(Symbol::intern(key), expr_to_value(&pair[1]));
         }
         doc.channels.define(def)?;
     }
@@ -261,7 +262,7 @@ fn parse_descriptors(doc: &mut Document, items: &[SExpr]) -> Result<()> {
                         })?;
                         descriptor
                             .extra
-                            .insert(extra_key.to_string(), expr_to_value(&pair[1]));
+                            .insert(Symbol::intern(extra_key), expr_to_value(&pair[1]));
                     }
                 }
                 other => {
@@ -388,7 +389,7 @@ fn parse_arc(expr: &SExpr, body: &[SExpr]) -> Result<SyncArc> {
         .as_number()
         .ok_or_else(|| expr.malformed("sync_arc", "min delay must be a number"))?;
     let max_delay = match (&body[8].kind, body[8].as_number()) {
-        (SExprKind::Ident(word), _) if word == "inf" => MaxDelay::Unbounded,
+        (SExprKind::Ident(word), _) if *word == "inf" => MaxDelay::Unbounded,
         (_, Some(ms)) => MaxDelay::Bounded(DelayMs::from_millis(ms)),
         _ => return Err(expr.malformed("sync_arc", "max delay must be a number or `inf`")),
     };
@@ -424,14 +425,16 @@ fn number_at(expr: &SExpr, body: &[SExpr], index: usize) -> Result<i64> {
         .ok_or_else(|| expr.malformed("descriptor", "expected a numeric field"))
 }
 
-/// Converts a single expression into an attribute value.
+/// Converts a single expression into an attribute value. Identifiers and
+/// references intern straight from the borrowed source text — no
+/// intermediate `String` per token.
 fn expr_to_value(expr: &SExpr) -> AttrValue {
     match &expr.kind {
-        SExprKind::Ident(s) => AttrValue::Id(s.clone()),
+        SExprKind::Ident(s) => AttrValue::Id(Symbol::intern(s)),
         SExprKind::Number(n) => AttrValue::Number(*n),
         SExprKind::Real(x) => AttrValue::Real(*x),
-        SExprKind::Str(s) => AttrValue::Str(s.clone()),
-        SExprKind::Ref(s) => AttrValue::Ref(s.clone()),
+        SExprKind::Str(s) => AttrValue::Str(s.clone().into_owned()),
+        SExprKind::Ref(s) => AttrValue::Ref(Symbol::intern(s)),
         SExprKind::List(items) => AttrValue::List(items.iter().map(expr_to_value).collect()),
     }
 }
@@ -483,7 +486,10 @@ mod tests {
         assert_eq!(doc.catalog.len(), 1);
         assert_eq!(doc.leaves().len(), 2);
         let voice = doc.find("/story-1/voice").unwrap();
-        assert_eq!(doc.channel_of(voice).unwrap().as_deref(), Some("audio"));
+        assert_eq!(
+            doc.channel_of(voice).unwrap().map(|s| s.as_str()),
+            Some("audio")
+        );
         let line = doc.find("/story-1/line").unwrap();
         assert_eq!(
             doc.duration_of(line, &doc.catalog).unwrap(),

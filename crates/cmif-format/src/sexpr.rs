@@ -1,35 +1,44 @@
 //! S-expression reader: turns tokens into a nested expression tree.
+//!
+//! Like the lexer, expressions **borrow** their text from the source being
+//! read: identifiers and `&name` references are `&str` slices of the input
+//! and strings only own a buffer when they contained escapes. The document
+//! parser interns identifiers straight out of these borrows, so building a
+//! document from text allocates no intermediate `String` per atom.
+
+use std::borrow::Cow;
 
 use crate::error::{FormatError, Position, Result};
 use crate::lexer::{tokenize, Token, TokenKind};
 
-/// One expression of the interchange format.
+/// One expression of the interchange format, borrowing from the source
+/// text it was read from.
 #[derive(Debug, Clone, PartialEq)]
-pub struct SExpr {
+pub struct SExpr<'a> {
     /// Where the expression starts.
     pub position: Position,
     /// The expression's shape.
-    pub kind: SExprKind,
+    pub kind: SExprKind<'a>,
 }
 
 /// The shapes an expression can take.
 #[derive(Debug, Clone, PartialEq)]
-pub enum SExprKind {
-    /// A bare identifier.
-    Ident(String),
+pub enum SExprKind<'a> {
+    /// A bare identifier, borrowed from the source.
+    Ident(&'a str),
     /// An integral number.
     Number(i64),
     /// A real number.
     Real(f64),
-    /// A quoted string.
-    Str(String),
-    /// An `&name` attribute reference.
-    Ref(String),
+    /// A quoted string (borrowed unless it contained escapes).
+    Str(Cow<'a, str>),
+    /// An `&name` attribute reference, borrowed from the source.
+    Ref(&'a str),
     /// A parenthesized list of expressions.
-    List(Vec<SExpr>),
+    List(Vec<SExpr<'a>>),
 }
 
-impl SExpr {
+impl<'a> SExpr<'a> {
     /// Returns the identifier text when the expression is a bare identifier.
     pub fn as_ident(&self) -> Option<&str> {
         match &self.kind {
@@ -41,7 +50,8 @@ impl SExpr {
     /// Returns the text of an identifier or string expression.
     pub fn as_text(&self) -> Option<&str> {
         match &self.kind {
-            SExprKind::Ident(s) | SExprKind::Str(s) => Some(s),
+            SExprKind::Ident(s) => Some(s),
+            SExprKind::Str(s) => Some(s.as_ref()),
             _ => None,
         }
     }
@@ -56,7 +66,7 @@ impl SExpr {
     }
 
     /// Returns the list elements of a list expression.
-    pub fn as_list(&self) -> Option<&[SExpr]> {
+    pub fn as_list(&self) -> Option<&[SExpr<'a>]> {
         match &self.kind {
             SExprKind::List(items) => Some(items),
             _ => None,
@@ -65,7 +75,7 @@ impl SExpr {
 
     /// For a list whose first element is an identifier, returns that
     /// identifier (the list's "tag") and the remaining elements.
-    pub fn as_tagged(&self) -> Option<(&str, &[SExpr])> {
+    pub fn as_tagged(&self) -> Option<(&str, &[SExpr<'a>])> {
         let items = self.as_list()?;
         let tag = items.first()?.as_ident()?;
         Some((tag, &items[1..]))
@@ -82,12 +92,9 @@ impl SExpr {
 }
 
 /// Reads every top-level expression from a source text.
-pub fn read_all(source: &str) -> Result<Vec<SExpr>> {
+pub fn read_all(source: &str) -> Result<Vec<SExpr<'_>>> {
     let tokens = tokenize(source)?;
-    let mut reader = Reader {
-        tokens: &tokens,
-        index: 0,
-    };
+    let mut reader = Reader { tokens, index: 0 };
     let mut out = Vec::new();
     while !reader.at_end() {
         out.push(reader.read_expr()?);
@@ -96,12 +103,9 @@ pub fn read_all(source: &str) -> Result<Vec<SExpr>> {
 }
 
 /// Reads exactly one top-level expression, rejecting trailing content.
-pub fn read_one(source: &str) -> Result<SExpr> {
+pub fn read_one(source: &str) -> Result<SExpr<'_>> {
     let tokens = tokenize(source)?;
-    let mut reader = Reader {
-        tokens: &tokens,
-        index: 0,
-    };
+    let mut reader = Reader { tokens, index: 0 };
     let expr = reader.read_expr()?;
     if let Some(extra) = reader.peek() {
         return Err(FormatError::TrailingContent {
@@ -112,7 +116,7 @@ pub fn read_one(source: &str) -> Result<SExpr> {
 }
 
 struct Reader<'a> {
-    tokens: &'a [Token],
+    tokens: Vec<Token<'a>>,
     index: usize,
 }
 
@@ -121,32 +125,30 @@ impl<'a> Reader<'a> {
         self.index >= self.tokens.len()
     }
 
-    fn peek(&self) -> Option<&Token> {
+    fn peek(&self) -> Option<&Token<'a>> {
         self.tokens.get(self.index)
     }
 
-    fn next(&mut self) -> Option<&Token> {
-        let token = self.tokens.get(self.index);
+    fn read_expr(&mut self) -> Result<SExpr<'a>> {
+        let token = self
+            .tokens
+            .get(self.index)
+            .ok_or(FormatError::UnexpectedEof)?;
         self.index += 1;
-        token
-    }
-
-    fn read_expr(&mut self) -> Result<SExpr> {
-        let token = self.next().ok_or(FormatError::UnexpectedEof)?;
         let position = token.position();
         let kind = match &token.kind {
-            TokenKind::Ident(s) => SExprKind::Ident(s.clone()),
+            TokenKind::Ident(s) => SExprKind::Ident(s),
             TokenKind::Number(n) => SExprKind::Number(*n),
             TokenKind::Real(x) => SExprKind::Real(*x),
             TokenKind::Str(s) => SExprKind::Str(s.clone()),
-            TokenKind::Ref(s) => SExprKind::Ref(s.clone()),
+            TokenKind::Ref(s) => SExprKind::Ref(s),
             TokenKind::RParen => return Err(FormatError::UnbalancedParens { at: position }),
             TokenKind::LParen => {
                 let mut items = Vec::new();
                 loop {
                     match self.peek() {
                         Some(t) if t.kind == TokenKind::RParen => {
-                            self.next();
+                            self.index += 1;
                             break;
                         }
                         Some(_) => items.push(self.read_expr()?),
@@ -182,7 +184,23 @@ mod tests {
         assert_eq!(exprs[1].as_number(), Some(42));
         assert!(matches!(exprs[2].kind, SExprKind::Real(x) if (x - 3.5).abs() < 1e-9));
         assert_eq!(exprs[3].as_text(), Some("hi"));
-        assert!(matches!(exprs[4].kind, SExprKind::Ref(ref s) if s == "other"));
+        assert!(matches!(exprs[4].kind, SExprKind::Ref(s) if s == "other"));
+    }
+
+    #[test]
+    fn atoms_borrow_from_the_source() {
+        let source = "(atom \"plain\")".to_string();
+        let range = source.as_ptr() as usize..source.as_ptr() as usize + source.len();
+        let expr = read_one(&source).unwrap();
+        let items = expr.as_list().unwrap();
+        let ident = items[0].as_ident().unwrap();
+        assert!(range.contains(&(ident.as_ptr() as usize)), "ident copied");
+        match &items[1].kind {
+            SExprKind::Str(std::borrow::Cow::Borrowed(text)) => {
+                assert!(range.contains(&(text.as_ptr() as usize)), "string copied");
+            }
+            other => panic!("unexpected expression {other:?}"),
+        }
     }
 
     #[test]

@@ -94,12 +94,17 @@ pub fn channel_view(doc: &Document, resolver: &dyn DescriptorResolver) -> Result
     let groups = doc.leaves_by_channel()?;
     // Preserve the channel dictionary's declaration order, then any
     // channels that only appear on nodes.
-    let mut channel_order: Vec<String> = doc.channels.iter().map(|c| c.name.clone()).collect();
-    for name in groups.keys() {
-        if !channel_order.contains(name) {
-            channel_order.push(name.clone());
-        }
-    }
+    let mut channel_order: Vec<cmif_core::symbol::Symbol> =
+        doc.channels.iter().map(|c| c.name).collect();
+    // Node-only channels follow the declared ones alphabetically (the
+    // groups map iterates in intern order, which is not stable output).
+    let mut undeclared: Vec<cmif_core::symbol::Symbol> = groups
+        .keys()
+        .filter(|name| !channel_order.contains(name))
+        .copied()
+        .collect();
+    undeclared.sort_by_key(|name| name.as_str());
+    channel_order.extend(undeclared);
     for channel in channel_order {
         let leaves = match groups.get(&channel) {
             Some(leaves) => leaves,
@@ -123,10 +128,10 @@ fn node_label(doc: &Document, id: NodeId) -> Result<String> {
     let node = doc.node(id)?;
     let name = node.name().unwrap_or("(unnamed)");
     let detail = match &node.kind {
-        NodeKind::Ext => {
-            let file = doc.file_of(id)?.unwrap_or_else(|| "?".to_string());
-            format!(" -> {file}")
-        }
+        NodeKind::Ext => match doc.file_of(id)? {
+            Some(file) => format!(" -> {file}"),
+            None => " -> ?".to_string(),
+        },
         NodeKind::Imm(data) => format!(" ({} bytes inline)", data.len()),
         _ => String::new(),
     };

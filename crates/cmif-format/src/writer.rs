@@ -34,7 +34,7 @@ pub fn write_document(doc: &Document) -> CoreResult<String> {
             let _ = write!(
                 out,
                 "    (channel {} {}",
-                ident_or_string(&channel.name),
+                ident_or_string(channel.name.as_str()),
                 channel.medium
             );
             for (key, value) in &channel.extra {
@@ -70,7 +70,11 @@ pub fn write_document(doc: &Document) -> CoreResult<String> {
 
     if !doc.catalog.is_empty() {
         out.push_str("  (descriptors\n");
-        for descriptor in doc.catalog.iter() {
+        // The catalog iterates in symbol-id (intern) order; sort by key text
+        // so the canonical output stays alphabetical and diff-stable.
+        let mut descriptors: Vec<&DataDescriptor> = doc.catalog.iter().collect();
+        descriptors.sort_by_key(|d| d.key.as_str());
+        for descriptor in descriptors {
             out.push_str(&write_descriptor(descriptor));
         }
         out.push_str("  )\n");
@@ -87,7 +91,7 @@ fn write_descriptor(d: &DataDescriptor) -> String {
     let _ = write!(
         out,
         "    (descriptor {} {} {}",
-        ident_or_string(&d.key),
+        ident_or_string(d.key.as_str()),
         d.medium,
         ident_or_string(&d.format)
     );
@@ -125,7 +129,12 @@ fn write_descriptor(d: &DataDescriptor) -> String {
     }
     if !d.extra.is_empty() {
         let _ = write!(out, " (extra");
-        for (key, value) in &d.extra {
+        // Like the catalog itself, extras are keyed by Symbol (intern
+        // order); emit them alphabetically so the canonical text is stable
+        // across processes with different intern histories.
+        let mut extras: Vec<_> = d.extra.iter().collect();
+        extras.sort_by_key(|(key, _)| key.as_str());
+        for (key, value) in extras {
             let _ = write!(out, " ({} {})", key, value_text(value));
         }
         out.push(')');
@@ -194,7 +203,7 @@ pub fn write_arc(arc: &SyncArc) -> String {
 /// Renders an attribute value in source form.
 pub fn value_text(value: &AttrValue) -> String {
     match value {
-        AttrValue::Id(s) => ident_or_string(s),
+        AttrValue::Id(s) => ident_or_string(s.as_str()),
         AttrValue::Number(n) => n.to_string(),
         AttrValue::Real(x) => {
             if x.fract() == 0.0 {

@@ -16,6 +16,7 @@ use std::collections::BTreeSet;
 use crate::error::Result;
 use cmif_core::arc::SyncArc;
 use cmif_core::node::NodeId;
+use cmif_core::symbol::Symbol;
 use cmif_core::tree::Document;
 use cmif_scheduler::{
     derive_constraints, rates_of, Constraint, ConstraintGraph, ConstraintOrigin, EventPoint,
@@ -29,10 +30,10 @@ pub enum Condition {
     Always,
     /// The arc applies when the reader has set a named flag (a choice made
     /// through the user interface, e.g. "captions-on").
-    Flag(String),
+    Flag(Symbol),
     /// The arc applies when the named channel is being presented on the
     /// local device (not dropped by constraint filtering).
-    ChannelPresented(String),
+    ChannelPresented(Symbol),
     /// The arc applies only when its source node is part of the presented
     /// region (i.e. not skipped by navigation).
     SourceExecutes,
@@ -42,9 +43,9 @@ pub enum Condition {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PresentationContext {
     /// Reader-set flags.
-    pub flags: BTreeSet<String>,
+    pub flags: BTreeSet<Symbol>,
     /// Channels the local device presents.
-    pub presented_channels: BTreeSet<String>,
+    pub presented_channels: BTreeSet<Symbol>,
     /// Nodes that will execute in this presentation (empty means "all").
     pub executing_nodes: BTreeSet<NodeId>,
 }
@@ -56,14 +57,14 @@ impl PresentationContext {
     }
 
     /// Sets a reader flag (builder style).
-    pub fn with_flag(mut self, flag: impl Into<String>) -> Self {
+    pub fn with_flag(mut self, flag: impl Into<Symbol>) -> Self {
         self.flags.insert(flag.into());
         self
     }
 
     /// Marks a channel as presented (builder style). A context with no
     /// presented channels recorded treats every channel as presented.
-    pub fn with_channel(mut self, channel: impl Into<String>) -> Self {
+    pub fn with_channel(mut self, channel: impl Into<Symbol>) -> Self {
         self.presented_channels.insert(channel.into());
         self
     }
@@ -74,8 +75,8 @@ impl PresentationContext {
         self
     }
 
-    fn channel_presented(&self, channel: &str) -> bool {
-        self.presented_channels.is_empty() || self.presented_channels.contains(channel)
+    fn channel_presented(&self, channel: Symbol) -> bool {
+        self.presented_channels.is_empty() || self.presented_channels.contains(&channel)
     }
 
     fn node_executes(&self, node: NodeId) -> bool {
@@ -110,7 +111,7 @@ impl ConditionalArc {
         Ok(match &self.condition {
             Condition::Always => true,
             Condition::Flag(flag) => context.flags.contains(flag),
-            Condition::ChannelPresented(channel) => context.channel_presented(channel),
+            Condition::ChannelPresented(channel) => context.channel_presented(*channel),
             Condition::SourceExecutes => {
                 let source = doc.resolve_path(self.carrier, &self.arc.source)?;
                 context.node_executes(source)

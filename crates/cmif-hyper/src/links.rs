@@ -11,13 +11,16 @@ use crate::error::{HyperError, Result};
 use cmif_core::error::CoreError;
 use cmif_core::node::NodeId;
 use cmif_core::path::NodePath;
+use cmif_core::symbol::Symbol;
 use cmif_core::tree::Document;
 
 /// One directed hyper link.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HyperLink {
-    /// A label shown to the reader ("more about the artist").
-    pub label: String,
+    /// An interned label shown to the reader ("more about the artist").
+    /// Labels double as link anchors, so they flow as `Copy` symbols like
+    /// every other name in the system.
+    pub label: Symbol,
     /// The node the link is anchored on.
     pub source: NodeId,
     /// The node the link jumps to.
@@ -50,7 +53,7 @@ impl LinkSet {
     pub fn add(
         &mut self,
         doc: &Document,
-        label: impl Into<String>,
+        label: impl Into<Symbol>,
         source: &str,
         target: &str,
     ) -> Result<()> {
@@ -65,7 +68,7 @@ impl LinkSet {
     }
 
     /// Adds a link between two already-resolved nodes.
-    pub fn add_resolved(&mut self, label: impl Into<String>, source: NodeId, target: NodeId) {
+    pub fn add_resolved(&mut self, label: impl Into<Symbol>, source: NodeId, target: NodeId) {
         self.links.push(HyperLink {
             label: label.into(),
             source,
@@ -79,8 +82,10 @@ impl LinkSet {
         self.links.iter().filter(|l| l.source == source).collect()
     }
 
-    /// Finds a link by its label.
+    /// Finds a link by its label. Never interns, so unknown labels miss
+    /// without growing the pool.
     pub fn by_label(&self, label: &str) -> Option<&HyperLink> {
+        let label = Symbol::lookup(label)?;
         self.links.iter().find(|l| l.label == label)
     }
 

@@ -98,8 +98,8 @@ impl<'a> Navigator<'a> {
             let begin = entry.begin.max(resume_at);
             remaining.push(TimelineEntry {
                 node: entry.node,
-                name: entry.name.clone(),
-                channel: entry.channel.clone(),
+                name: entry.name,
+                channel: entry.channel,
                 medium: entry.medium,
                 begin: TimeMs::from_millis(begin.as_millis() - resume_at.as_millis()),
                 end: TimeMs::from_millis(entry.end.as_millis() - resume_at.as_millis()),
@@ -116,11 +116,12 @@ impl<'a> Navigator<'a> {
 
     /// Follows a link by label from the current node.
     pub fn follow(&self, current: NodeId, label: &str) -> Result<Option<NavigationResult>> {
+        let label = cmif_core::symbol::Symbol::lookup(label);
         let link = self
             .links
             .from_node(current)
             .into_iter()
-            .find(|l| l.label == label);
+            .find(|l| Some(l.label) == label);
         match link {
             Some(link) => Ok(Some(self.seek(link.target)?)),
             None => Ok(None),

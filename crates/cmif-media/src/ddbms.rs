@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use cmif_core::channel::MediaKind;
 use cmif_core::descriptor::{DataDescriptor, DescriptorResolver};
+use cmif_core::symbol::Symbol;
 use cmif_core::time::TimeMs;
 
 use crate::error::{MediaError, Result};
@@ -95,9 +96,9 @@ impl Query {
 /// The attribute-indexed descriptor database.
 #[derive(Debug, Default)]
 pub struct DescriptorDb {
-    descriptors: BTreeMap<String, DataDescriptor>,
-    by_medium: BTreeMap<MediaKind, BTreeSet<String>>,
-    by_attribute: BTreeMap<(String, String), BTreeSet<String>>,
+    descriptors: BTreeMap<Symbol, DataDescriptor>,
+    by_medium: BTreeMap<MediaKind, BTreeSet<Symbol>>,
+    by_attribute: BTreeMap<(Symbol, String), BTreeSet<Symbol>>,
 }
 
 impl DescriptorDb {
@@ -119,44 +120,47 @@ impl DescriptorDb {
     /// Inserts a descriptor, indexing its medium and textual extra
     /// attributes. Replaces any previous descriptor with the same key.
     pub fn insert(&mut self, descriptor: DataDescriptor) {
-        self.remove(&descriptor.key);
+        self.remove_symbol(descriptor.key);
         self.by_medium
             .entry(descriptor.medium)
             .or_default()
-            .insert(descriptor.key.clone());
+            .insert(descriptor.key);
         for (attr_key, value) in &descriptor.extra {
             if let Some(text) = value.as_text() {
                 self.by_attribute
-                    .entry((attr_key.clone(), text.to_string()))
+                    .entry((*attr_key, text.to_string()))
                     .or_default()
-                    .insert(descriptor.key.clone());
+                    .insert(descriptor.key);
             }
         }
-        self.descriptors.insert(descriptor.key.clone(), descriptor);
+        self.descriptors.insert(descriptor.key, descriptor);
     }
 
     /// Removes a descriptor and its index entries.
     pub fn remove(&mut self, key: &str) -> Option<DataDescriptor> {
-        let descriptor = self.descriptors.remove(key)?;
+        self.remove_symbol(Symbol::lookup(key)?)
+    }
+
+    /// Removes a descriptor by interned key.
+    pub fn remove_symbol(&mut self, key: Symbol) -> Option<DataDescriptor> {
+        let descriptor = self.descriptors.remove(&key)?;
         if let Some(set) = self.by_medium.get_mut(&descriptor.medium) {
-            set.remove(key);
+            set.remove(&key);
         }
         for (attr_key, value) in &descriptor.extra {
             if let Some(text) = value.as_text() {
-                if let Some(set) = self
-                    .by_attribute
-                    .get_mut(&(attr_key.clone(), text.to_string()))
-                {
-                    set.remove(key);
+                if let Some(set) = self.by_attribute.get_mut(&(*attr_key, text.to_string())) {
+                    set.remove(&key);
                 }
             }
         }
         Some(descriptor)
     }
 
-    /// Looks up a descriptor by key.
+    /// Looks up a descriptor by key. Never interns, so unknown keys miss
+    /// without growing the pool.
     pub fn get(&self, key: &str) -> Option<&DataDescriptor> {
-        self.descriptors.get(key)
+        self.descriptors.get(&Symbol::lookup(key)?)
     }
 
     /// Answers a query from the indexes, touching only descriptors.
@@ -166,36 +170,37 @@ impl DescriptorDb {
     /// descriptors. Returns matching keys in sorted order.
     pub fn query(&self, query: &Query) -> Vec<String> {
         // Build the candidate set from the most selective index available.
-        let mut candidates: Option<BTreeSet<String>> = None;
+        let mut candidates: Option<BTreeSet<Symbol>> = None;
         if let Some(medium) = query.medium {
             let set = self.by_medium.get(&medium).cloned().unwrap_or_default();
             candidates = Some(set);
         }
         for (key, value) in &query.attribute_equals {
-            let set = self
-                .by_attribute
-                .get(&(key.clone(), value.clone()))
+            let set = Symbol::lookup(key)
+                .and_then(|key| self.by_attribute.get(&(key, value.clone())))
                 .cloned()
                 .unwrap_or_default();
             candidates = Some(match candidates {
-                Some(existing) => existing.intersection(&set).cloned().collect(),
+                Some(existing) => existing.intersection(&set).copied().collect(),
                 None => set,
             });
         }
-        let candidates: Vec<&String> = match &candidates {
-            Some(set) => set.iter().collect(),
-            None => self.descriptors.keys().collect(),
+        let candidates: Vec<Symbol> = match candidates {
+            Some(set) => set.into_iter().collect(),
+            None => self.descriptors.keys().copied().collect(),
         };
-        candidates
+        let mut out: Vec<String> = candidates
             .into_iter()
             .filter(|key| {
                 self.descriptors
-                    .get(*key)
+                    .get(key)
                     .map(|d| query.matches(d))
                     .unwrap_or(false)
             })
-            .cloned()
-            .collect()
+            .map(|key| key.as_str().to_string())
+            .collect();
+        out.sort();
+        out
     }
 
     /// Answers the same query by scanning media payloads in a block store —
@@ -215,13 +220,14 @@ impl DescriptorDb {
             // Attribute conditions can only be answered from the catalogued
             // descriptor (the data bytes do not carry titles); merge them in,
             // as a real scan would consult sidecar metadata.
-            if let Some(full) = self.descriptors.get(&key) {
+            if let Some(full) = Symbol::lookup(&key).and_then(|k| self.descriptors.get(&k)) {
                 derived.extra = full.extra.clone();
             }
             if query.matches(&derived) {
                 out.push(key);
             }
         }
+        out.sort();
         Ok(out)
     }
 
@@ -237,7 +243,11 @@ impl DescriptorDb {
 
 impl DescriptorResolver for DescriptorDb {
     fn resolve(&self, key: &str) -> Option<DataDescriptor> {
-        self.descriptors.get(key).cloned()
+        self.get(key).cloned()
+    }
+
+    fn resolve_symbol(&self, key: Symbol) -> Option<DataDescriptor> {
+        self.descriptors.get(&key).cloned()
     }
 }
 
@@ -267,14 +277,20 @@ mod tests {
             db.insert(
                 audio
                     .describe()
-                    .with_extra("story", AttrValue::Id(format!("story-{story}")))
+                    .with_extra(
+                        "story",
+                        AttrValue::Id(Symbol::intern(&format!("story-{story}"))),
+                    )
                     .with_extra("language", AttrValue::Id("nl".into())),
             );
             let image = generator.image(&format!("story-{story}/graphic"), 64, 64, 24);
             db.insert(
                 image
                     .describe()
-                    .with_extra("story", AttrValue::Id(format!("story-{story}")))
+                    .with_extra(
+                        "story",
+                        AttrValue::Id(Symbol::intern(&format!("story-{story}"))),
+                    )
                     .with_extra("subject", AttrValue::Id("painting".into())),
             );
         }

@@ -22,6 +22,7 @@ use std::fmt;
 use crate::error::Result;
 use cmif_core::channel::MediaKind;
 use cmif_core::descriptor::DescriptorResolver;
+use cmif_core::symbol::Symbol;
 use cmif_core::tree::Document;
 use cmif_media::ops;
 use cmif_media::store::BlockStore;
@@ -169,10 +170,10 @@ impl fmt::Display for FilterAction {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FilterPlan {
     /// Per-descriptor-key actions (several degradations may apply to one
-    /// block).
-    pub actions: BTreeMap<String, Vec<FilterAction>>,
+    /// block), keyed by interned descriptor key.
+    pub actions: BTreeMap<Symbol, Vec<FilterAction>>,
     /// Channels none of whose media the device can present.
-    pub dropped_channels: Vec<String>,
+    pub dropped_channels: Vec<Symbol>,
 }
 
 impl FilterPlan {
@@ -197,7 +198,9 @@ impl FilterPlan {
 
 impl fmt::Display for FilterPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (key, actions) in &self.actions {
+        let mut entries: Vec<(&Symbol, &Vec<FilterAction>)> = self.actions.iter().collect();
+        entries.sort_by_key(|(key, _)| key.as_str());
+        for (key, actions) in entries {
             let rendered: Vec<String> = actions.iter().map(FilterAction::to_string).collect();
             writeln!(f, "{key}: {}", rendered.join(", "))?;
         }
@@ -221,7 +224,7 @@ pub fn plan_filters(
     // Channels whose medium the device cannot present are dropped outright.
     for channel in doc.channels.iter() {
         if !supported.contains(&channel.medium) {
-            plan.dropped_channels.push(channel.name.clone());
+            plan.dropped_channels.push(channel.name);
         }
     }
 
@@ -234,7 +237,7 @@ pub fn plan_filters(
         if plan.actions.contains_key(&key) {
             continue;
         }
-        let descriptor = match resolver.resolve(&key) {
+        let descriptor = match resolver.resolve_symbol(key) {
             Some(descriptor) => descriptor,
             None => continue,
         };
@@ -300,7 +303,7 @@ pub fn apply_plan(plan: &FilterPlan, store: &BlockStore) -> Result<usize> {
         {
             continue;
         }
-        let mut payload = store.payload(key)?;
+        let mut payload = store.payload(key.as_str())?;
         for action in actions {
             payload = match action {
                 FilterAction::PassThrough | FilterAction::Drop => payload,
@@ -316,7 +319,7 @@ pub fn apply_plan(plan: &FilterPlan, store: &BlockStore) -> Result<usize> {
                 }
             };
         }
-        store.replace_payload(key, payload)?;
+        store.replace_payload(key.as_str(), payload)?;
         modified += 1;
     }
     Ok(modified)
@@ -375,7 +378,7 @@ mod tests {
         let device = DeviceProfile::low_end_pc();
         let plan = plan_filters(&doc, &store, &device).unwrap();
         assert!(!plan.is_identity());
-        let film_actions = &plan.actions["film"];
+        let film_actions = &plan.actions[&Symbol::intern("film")];
         assert!(film_actions
             .iter()
             .any(|a| matches!(a, FilterAction::Downscale { .. })));
@@ -385,7 +388,7 @@ mod tests {
         assert!(film_actions
             .iter()
             .any(|a| matches!(a, FilterAction::SubsampleFrames { .. })));
-        let painting_actions = &plan.actions["painting"];
+        let painting_actions = &plan.actions[&Symbol::intern("painting")];
         assert!(painting_actions
             .iter()
             .any(|a| matches!(a, FilterAction::ReduceColorDepth { .. })));
@@ -396,12 +399,18 @@ mod tests {
     fn audio_kiosk_drops_visual_channels() {
         let (doc, store) = rich_doc_and_store();
         let plan = plan_filters(&doc, &store, &DeviceProfile::audio_kiosk()).unwrap();
-        assert!(plan.dropped_channels.contains(&"video".to_string()));
-        assert!(plan.dropped_channels.contains(&"graphic".to_string()));
-        assert!(plan.dropped_channels.contains(&"caption".to_string()));
-        assert!(!plan.dropped_channels.contains(&"audio".to_string()));
-        assert_eq!(plan.actions["film"], vec![FilterAction::Drop]);
-        assert_eq!(plan.actions["painting"], vec![FilterAction::Drop]);
+        assert!(plan.dropped_channels.contains(&Symbol::intern("video")));
+        assert!(plan.dropped_channels.contains(&Symbol::intern("graphic")));
+        assert!(plan.dropped_channels.contains(&Symbol::intern("caption")));
+        assert!(!plan.dropped_channels.contains(&Symbol::intern("audio")));
+        assert_eq!(
+            plan.actions[&Symbol::intern("film")],
+            vec![FilterAction::Drop]
+        );
+        assert_eq!(
+            plan.actions[&Symbol::intern("painting")],
+            vec![FilterAction::Drop]
+        );
     }
 
     #[test]

@@ -59,8 +59,5 @@ pub use pipeline::{
     run_structure_only, PipelineBuilder, PipelineOptions, PipelineRun, StageTimings,
 };
 
-// Deprecated one-shot shim, importable for one more PR.
-#[allow(deprecated)]
-pub use pipeline::run_pipeline;
 pub use presentation::{map_presentation, render_map, Placement, PresentationMap, VirtualRegion};
 pub use viewer::{render_storyboard, storyboard, table_of_contents, StoryboardFrame};

@@ -17,8 +17,7 @@
 //! target-system *independent* (stages 2–3) vs target-system *dependent*
 //! (stages 4–5) — is visible in the [`PipelineRun`] type: everything up to
 //! the presentation map is reusable across devices, everything after is
-//! per-device. The old free function [`run_pipeline`] remains as a
-//! deprecated shim over the builder.
+//! per-device.
 
 use std::time::{Duration, Instant};
 
@@ -269,24 +268,6 @@ impl PipelineBuilder {
     }
 }
 
-/// Runs pipeline stages 2–5 for a document whose media already sit in
-/// `store`.
-#[deprecated(
-    since = "0.2.0",
-    note = "configure a `PipelineBuilder` and call `run`, which drives playback through \
-            engine sessions"
-)]
-pub fn run_pipeline(
-    doc: &Document,
-    store: &BlockStore,
-    device: &DeviceProfile,
-    options: &PipelineOptions,
-) -> Result<PipelineRun> {
-    PipelineBuilder::new(device.clone())
-        .options(options.clone())
-        .run(doc, store)
-}
-
 /// Convenience for self-contained documents (descriptors embedded in the
 /// document's catalog, no block store): runs stages 2, 3 and 5a only.
 pub fn run_structure_only(
@@ -366,7 +347,7 @@ mod tests {
         assert!(run
             .filter_plan
             .dropped_channels
-            .contains(&"video".to_string()));
+            .contains(&cmif_core::Symbol::intern("video")));
         // The storyboard still renders, marking dropped channels.
         let text = crate::viewer::render_storyboard(&run.storyboard);
         assert!(text.contains("[dropped on this device]"));

@@ -20,6 +20,7 @@ use std::fmt;
 
 use crate::error::Result;
 use cmif_core::channel::MediaKind;
+use cmif_core::symbol::Symbol;
 use cmif_core::tree::Document;
 
 /// Width and height of the virtual display, in virtual units.
@@ -101,10 +102,11 @@ impl Placement {
     }
 }
 
-/// The presentation map: channel name → placement, plus bookkeeping.
+/// The presentation map: interned channel name → placement, plus
+/// bookkeeping.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PresentationMap {
-    placements: BTreeMap<String, Placement>,
+    placements: BTreeMap<Symbol, Placement>,
 }
 
 impl PresentationMap {
@@ -125,33 +127,43 @@ impl PresentationMap {
 
     /// Assigns (or reassigns) a channel's placement — the "manipulated
     /// separately from the document" part.
-    pub fn assign(&mut self, channel: impl Into<String>, placement: Placement) {
+    pub fn assign(&mut self, channel: impl Into<Symbol>, placement: Placement) {
         self.placements.insert(channel.into(), placement);
     }
 
-    /// The placement of a channel.
+    /// The placement of a channel by textual name. Never interns, so
+    /// unknown channels miss without growing the pool.
     pub fn placement(&self, channel: &str) -> Option<&Placement> {
-        self.placements.get(channel)
+        self.placements.get(&Symbol::lookup(channel)?)
     }
 
-    /// Iterates over `(channel, placement)` pairs in channel-name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&String, &Placement)> {
-        self.placements.iter()
+    /// The placement of a channel by interned name.
+    pub fn placement_symbol(&self, channel: Symbol) -> Option<&Placement> {
+        self.placements.get(&channel)
+    }
+
+    /// Iterates over `(channel, placement)` pairs in intern order (stable
+    /// within a process; sort by `Symbol::as_str` for listings).
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Placement)> {
+        self.placements.iter().map(|(name, p)| (*name, p))
     }
 
     /// Screen regions that overlap each other (a layout problem a
     /// presentation editor would flag).
-    pub fn overlapping_regions(&self) -> Vec<(String, String)> {
-        let screens: Vec<(&String, VirtualRegion)> = self
+    pub fn overlapping_regions(&self) -> Vec<(Symbol, Symbol)> {
+        let mut screens: Vec<(Symbol, VirtualRegion)> = self
             .placements
             .iter()
-            .filter_map(|(name, p)| p.region().map(|r| (name, r)))
+            .filter_map(|(name, p)| p.region().map(|r| (*name, r)))
             .collect();
+        // Pair channels in name order so reports are deterministic
+        // regardless of intern order.
+        screens.sort_by_key(|(name, _)| name.as_str());
         let mut out = Vec::new();
         for (i, (name_a, region_a)) in screens.iter().enumerate() {
             for (name_b, region_b) in screens.iter().skip(i + 1) {
                 if region_a.overlaps(region_b) {
-                    out.push(((*name_a).clone(), (*name_b).clone()));
+                    out.push((*name_a, *name_b));
                 }
             }
         }
@@ -188,7 +200,7 @@ pub fn map_presentation(doc: &Document) -> Result<PresentationMap> {
     for channel in doc.channels.iter() {
         // Explicit speaker hint.
         if let Some(slot) = channel.extra_attr("speaker").and_then(|v| v.as_number()) {
-            map.assign(&channel.name, Placement::Speaker { slot: slot as u32 });
+            map.assign(channel.name, Placement::Speaker { slot: slot as u32 });
             continue;
         }
         // Explicit region hint.
@@ -202,7 +214,7 @@ pub fn map_presentation(doc: &Document) -> Result<PresentationMap> {
                         .collect();
                     if coordinates.len() == 4 {
                         map.assign(
-                            &channel.name,
+                            channel.name,
                             Placement::Screen(VirtualRegion {
                                 x: coordinates[0],
                                 y: coordinates[1],
@@ -215,7 +227,7 @@ pub fn map_presentation(doc: &Document) -> Result<PresentationMap> {
                 }
             }
             if let Some(name) = region.as_text() {
-                map.assign(&channel.name, Placement::Screen(named_region(name)));
+                map.assign(channel.name, Placement::Screen(named_region(name)));
                 continue;
             }
         }
@@ -231,7 +243,7 @@ pub fn map_presentation(doc: &Document) -> Result<PresentationMap> {
             MediaKind::Text => Placement::Screen(named_region("bottom")),
             MediaKind::Label => Placement::Screen(named_region("top")),
         };
-        map.assign(&channel.name, placement);
+        map.assign(channel.name, placement);
     }
     Ok(map)
 }
@@ -270,7 +282,9 @@ fn named_region(name: &str) -> VirtualRegion {
 /// Renders the presentation map as text (for viewers and EXPERIMENTS.md).
 pub fn render_map(map: &PresentationMap) -> String {
     let mut out = String::new();
-    for (channel, placement) in map.iter() {
+    let mut entries: Vec<(Symbol, &Placement)> = map.iter().collect();
+    entries.sort_by_key(|(channel, _)| channel.as_str());
+    for (channel, placement) in entries {
         match placement {
             Placement::Screen(region) => {
                 out.push_str(&format!("{channel:<12} screen {region}\n"));
@@ -435,7 +449,7 @@ mod tests {
         map.assign("c", Placement::Speaker { slot: 0 });
         let overlaps = map.overlapping_regions();
         assert_eq!(overlaps.len(), 1);
-        assert_eq!(overlaps[0], ("a".to_string(), "b".to_string()));
+        assert_eq!(overlaps[0], (Symbol::intern("a"), Symbol::intern("b")));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::fmt::Write as _;
 use crate::error::Result;
 use cmif_core::descriptor::DescriptorResolver;
 use cmif_core::node::NodeId;
+use cmif_core::symbol::Symbol;
 use cmif_core::time::TimeMs;
 use cmif_core::tree::Document;
 use cmif_scheduler::Schedule;
@@ -64,7 +65,7 @@ pub struct StoryboardFrame {
     /// The instant described.
     pub at: TimeMs,
     /// `(channel, description)` pairs, one per channel with activity.
-    pub lines: Vec<(String, String)>,
+    pub lines: Vec<(Symbol, String)>,
 }
 
 /// Renders the viewing view: samples the schedule every `step_ms`
@@ -89,7 +90,7 @@ pub fn storyboard(
             let dropped = filter
                 .map(|plan| plan.dropped_channels.contains(&entry.channel))
                 .unwrap_or(false);
-            let place = match presentation.placement(&entry.channel) {
+            let place = match presentation.placement_symbol(entry.channel) {
                 Some(Placement::Screen(region)) => format!("screen {region}"),
                 Some(Placement::Speaker { slot }) => format!("speaker {slot}"),
                 None => "unplaced".to_string(),
@@ -100,9 +101,9 @@ pub fn storyboard(
             } else {
                 format!("{place}: {content}")
             };
-            lines.push((entry.channel.clone(), description));
+            lines.push((entry.channel, description));
         }
-        lines.sort();
+        lines.sort_by(|a, b| (a.0.as_str(), &a.1).cmp(&(b.0.as_str(), &b.1)));
         frames.push(StoryboardFrame { at: instant, lines });
         at += step;
         if total == 0 {
@@ -143,8 +144,8 @@ fn describe_content(
             None => Ok(format!("{name} ({} inline bytes)", data.len())),
         },
         cmif_core::node::NodeKind::Ext => {
-            let key = doc.file_of(node)?.unwrap_or_else(|| "?".to_string());
-            match resolver.resolve(&key) {
+            let key = doc.file_of(node)?.unwrap_or_else(|| Symbol::intern("?"));
+            match resolver.resolve_symbol(key) {
                 Some(descriptor) => Ok(format!(
                     "{name} <{key}: {} {}>",
                     descriptor.format,
@@ -238,7 +239,7 @@ mod tests {
             .unwrap();
         let map = map_presentation(&d).unwrap();
         let plan = FilterPlan {
-            dropped_channels: vec!["caption".to_string()],
+            dropped_channels: vec![Symbol::intern("caption")],
             ..FilterPlan::default()
         };
         let frames =

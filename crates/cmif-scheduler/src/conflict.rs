@@ -22,6 +22,7 @@ use crate::error::Result;
 use cmif_core::channel::MediaKind;
 use cmif_core::descriptor::DescriptorResolver;
 use cmif_core::node::{NodeId, NodeKind};
+use cmif_core::symbol::Symbol;
 use cmif_core::time::TimeMs;
 use cmif_core::tree::Document;
 
@@ -38,7 +39,7 @@ pub enum Conflict {
     /// channel cannot present.
     ChannelOverlap {
         /// The channel with overlapping events.
-        channel: String,
+        channel: Symbol,
         /// The first overlapping event.
         first: NodeId,
         /// The second overlapping event.
@@ -49,7 +50,7 @@ pub enum Conflict {
         /// The event that needs the medium.
         node: NodeId,
         /// The channel the event plays on.
-        channel: String,
+        channel: Symbol,
         /// The unsupported medium.
         medium: MediaKind,
     },
@@ -227,12 +228,15 @@ pub fn specification_conflicts(result: &SolveResult) -> Vec<Conflict> {
         .cloned()
         .map(Conflict::Window)
         .collect();
-    // Overlaps on a single channel.
-    for (channel, entries) in result.schedule.channel_timelines() {
+    // Overlaps on a single channel, reported in channel-name order (the
+    // timelines map iterates in intern order, which is not stable output).
+    let mut timelines: Vec<_> = result.schedule.channel_timelines().into_iter().collect();
+    timelines.sort_by_key(|(channel, _)| channel.as_str());
+    for (channel, entries) in timelines {
         for window in entries.windows(2) {
             if window[0].overlaps(window[1]) {
                 out.push(Conflict::ChannelOverlap {
-                    channel: channel.clone(),
+                    channel,
                     first: window[0].node,
                     second: window[1].node,
                 });
@@ -255,7 +259,7 @@ pub fn device_conflicts(
         if !limits.supports(entry.medium) {
             out.push(Conflict::UnsupportedMedium {
                 node: entry.node,
-                channel: entry.channel.clone(),
+                channel: entry.channel,
                 medium: entry.medium,
             });
         }
@@ -275,7 +279,7 @@ pub fn device_conflicts(
     for entry in &schedule.entries {
         if doc.node(entry.node)?.kind == NodeKind::Ext {
             if let Some(key) = doc.file_of(entry.node)? {
-                if let Some(descriptor) = resolver.resolve(&key) {
+                if let Some(descriptor) = resolver.resolve_symbol(key) {
                     total_bytes += descriptor.size_bytes;
                     if let (Some(required), Some(available)) =
                         (descriptor.resolution, limits.max_resolution)

@@ -188,7 +188,7 @@ pub fn rates_of(
 ) -> Result<RateInfo> {
     if doc.node(node)?.kind == NodeKind::Ext {
         if let Some(key) = doc.file_of(node)? {
-            if let Some(descriptor) = resolver.resolve(&key) {
+            if let Some(descriptor) = resolver.resolve_symbol(key) {
                 return Ok(descriptor.rates);
             }
         }

@@ -88,7 +88,7 @@ impl DocOutcome {
 struct Job {
     id: DocId,
     label: String,
-    doc: Document,
+    doc: Arc<Document>,
     jitter: JitterModel,
 }
 
@@ -125,23 +125,28 @@ impl Shared {
 /// with a clear message rather than blocking forever.
 ///
 /// ```
+/// use std::sync::Arc;
+///
 /// use cmif_core::prelude::*;
 /// use cmif_scheduler::{Engine, EngineConfig, JitterModel};
 ///
 /// # fn main() -> std::result::Result<(), cmif_scheduler::SchedulerError> {
-/// let doc = DocumentBuilder::new("spot")
-///     .channel("audio", MediaKind::Audio)
-///     .descriptor(
-///         DataDescriptor::new("jingle", MediaKind::Audio, "pcm8")
-///             .with_duration(TimeMs::from_secs(3)),
-///     )
-///     .root_seq(|root| {
-///         root.ext("jingle", "audio", "jingle");
-///     })
-///     .build()?;
+/// let doc = Arc::new(
+///     DocumentBuilder::new("spot")
+///         .channel("audio", MediaKind::Audio)
+///         .descriptor(
+///             DataDescriptor::new("jingle", MediaKind::Audio, "pcm8")
+///                 .with_duration(TimeMs::from_secs(3)),
+///         )
+///         .root_seq(|root| {
+///             root.ext("jingle", "audio", "jingle");
+///         })
+///         .build()?,
+/// );
 ///
 /// let engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
-/// let a = engine.submit(doc.clone(), JitterModel::ideal());
+/// // Submitting an `Arc<Document>` clones a pointer, never the tree.
+/// let a = engine.submit(Arc::clone(&doc), JitterModel::ideal());
 /// let b = engine.submit(doc, JitterModel::uniform(100, 7));
 /// let outcome = engine.wait(a);
 /// assert!(outcome.is_ok());
@@ -197,21 +202,26 @@ impl Engine {
 
     /// Admits a document for scheduling and playback under the given
     /// (seeded, hence deterministic) jitter model.
-    pub fn submit(&self, doc: Document, jitter: JitterModel) -> DocId {
-        self.enqueue(None, doc, jitter)
+    ///
+    /// The document travels as an [`Arc`]: submitting the same tree 64
+    /// times clones a pointer 64 times, never the tree. An owned
+    /// [`Document`] is accepted too (`impl Into<Arc<Document>>`) and is
+    /// moved — not copied — into its ref-counted box.
+    pub fn submit(&self, doc: impl Into<Arc<Document>>, jitter: JitterModel) -> DocId {
+        self.enqueue(None, doc.into(), jitter)
     }
 
     /// Admits a document under a caller-chosen label (for reports and logs).
     pub fn submit_labeled(
         &self,
         label: impl Into<String>,
-        doc: Document,
+        doc: impl Into<Arc<Document>>,
         jitter: JitterModel,
     ) -> DocId {
-        self.enqueue(Some(label.into()), doc, jitter)
+        self.enqueue(Some(label.into()), doc.into(), jitter)
     }
 
-    fn enqueue(&self, label: Option<String>, doc: Document, jitter: JitterModel) -> DocId {
+    fn enqueue(&self, label: Option<String>, doc: Arc<Document>, jitter: JitterModel) -> DocId {
         let mut state = self.shared.lock();
         let id = DocId(state.next_id);
         state.next_id += 1;

@@ -1,6 +1,6 @@
 //! The reusable constraint graph: derivation split from relaxation.
 //!
-//! The one-shot [`crate::solver::solve`] entry point re-derived the
+//! The old one-shot `solve` entry point re-derived the
 //! document's constraint set and re-ran longest-path relaxation from zero on
 //! every call — and the playback simulator carried its own copy of the same
 //! relaxation loop. [`ConstraintGraph`] separates the two phases:
@@ -346,15 +346,17 @@ mod tests {
     }
 
     #[test]
-    fn derive_then_solve_matches_one_shot_solve() {
+    fn repeated_solves_of_one_graph_are_identical() {
         let doc = two_leaf_par();
         let mut graph =
             ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
-        let incremental = graph.solve(&doc, &doc.catalog).unwrap();
-        #[allow(deprecated)]
-        let one_shot =
-            crate::solver::solve(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
-        assert_eq!(incremental, one_shot);
+        let first = graph.solve(&doc, &doc.catalog).unwrap();
+        // The second solve reuses the cached base fixpoint.
+        let second = graph.solve(&doc, &doc.catalog).unwrap();
+        assert_eq!(first, second);
+        let mut fresh =
+            ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default()).unwrap();
+        assert_eq!(fresh.solve(&doc, &doc.catalog).unwrap(), first);
     }
 
     #[test]

@@ -20,8 +20,7 @@
 //! * [`session`] drives actual playback on a jittery device step by step
 //!   ([`session::PlayerSession`]: `tick`/`seek`/`pause`/`resume`), measuring
 //!   how well the Must/May tolerance windows absorb the jitter (the
-//!   Figure 8 experiment); [`player`] keeps the report types and the
-//!   one-shot shim;
+//!   Figure 8 experiment); [`player`] keeps the report types;
 //! * [`engine`] multiplexes many documents over a pool of worker threads
 //!   with a hand-rolled run queue ([`engine::Engine`]);
 //! * [`environment`] models the device: supported media, bandwidth, decode
@@ -81,11 +80,3 @@ pub use session::{PlaybackEvent, PlayerSession, SessionState};
 pub use solver::{point_time, solve_constraints, SolveResult, WindowViolation};
 pub use timeline::{Schedule, TimelineEntry};
 pub use types::{Constraint, ConstraintOrigin, EventPoint, ScheduleOptions};
-
-// The deprecated one-shot entry points stay importable for one PR; new code
-// should build a `ConstraintGraph`, drive a `PlayerSession`, or submit to an
-// `Engine`.
-#[allow(deprecated)]
-pub use player::play;
-#[allow(deprecated)]
-pub use solver::solve;

@@ -11,14 +11,14 @@
 //! through (see [`crate::engine::Engine`]). This module keeps the report
 //! types — [`PlayedEvent`] and [`PlaybackReport`], the quantities the
 //! Figure 8 bench sweeps against jitter and window width — plus the
-//! deprecated one-shot [`play`] shim and the multi-run
-//! [`must_satisfaction_rate`] sweep.
+//! multi-run [`must_satisfaction_rate`] sweep.
 
 use std::fmt;
 
 use crate::error::Result;
 use cmif_core::descriptor::DescriptorResolver;
 use cmif_core::node::NodeId;
+use cmif_core::symbol::Symbol;
 use cmif_core::time::TimeMs;
 use cmif_core::tree::Document;
 
@@ -31,10 +31,10 @@ use crate::solver::SolveResult;
 pub struct PlayedEvent {
     /// The leaf node presented.
     pub node: NodeId,
-    /// The node's name.
-    pub name: String,
+    /// The node's interned name.
+    pub name: Symbol,
     /// The channel it played on.
-    pub channel: String,
+    pub channel: Symbol,
     /// The begin time the schedule intended.
     pub scheduled_begin: TimeMs,
     /// The begin time the simulated device achieved.
@@ -108,22 +108,6 @@ impl fmt::Display for PlaybackReport {
         )?;
         write!(f, "actual duration: {}", self.total_duration)
     }
-}
-
-/// Simulates one playback run of a solved document on a device described by
-/// `jitter`.
-#[deprecated(
-    since = "0.2.0",
-    note = "create a `PlayerSession` and drive it with `tick`, or submit the document to an \
-            `Engine`; `PlayerSession::run_to_completion` reproduces this one-shot behaviour"
-)]
-pub fn play(
-    doc: &Document,
-    result: &SolveResult,
-    resolver: &dyn DescriptorResolver,
-    jitter: &JitterModel,
-) -> Result<PlaybackReport> {
-    Ok(PlayerSession::new(doc, result, resolver, jitter)?.run_to_completion())
 }
 
 /// Runs `runs` playback simulations with different seeds and returns the
@@ -319,16 +303,5 @@ mod tests {
         let rate =
             must_satisfaction_rate(&doc, &result, &doc.catalog, &JitterModel::ideal(), 0).unwrap();
         assert_eq!(rate, 1.0);
-    }
-
-    #[test]
-    fn deprecated_play_shim_matches_a_session_run() {
-        let doc = doc_with_window(250);
-        let result = solved(&doc);
-        let jitter = JitterModel::uniform(150, 21);
-        #[allow(deprecated)]
-        let shim = play(&doc, &result, &doc.catalog, &jitter).unwrap();
-        let session = simulate(&doc, &result, &jitter);
-        assert_eq!(shim, session);
     }
 }

@@ -1,6 +1,6 @@
 //! Step-wise playback sessions.
 //!
-//! The one-shot [`crate::player::play`] simulated a whole presentation run
+//! The old one-shot `play` entry point simulated a whole presentation run
 //! inside one call. A real player, however, reacts to device timing *at
 //! presentation time* (the paper's Figure 1 ends in exactly such a player),
 //! and a server multiplexing many documents cannot afford a blocking loop
@@ -21,8 +21,9 @@ use std::mem;
 use cmif_core::arc::Strictness;
 use cmif_core::descriptor::DescriptorResolver;
 use cmif_core::node::NodeId;
+use cmif_core::symbol::Symbol;
 use cmif_core::time::TimeMs;
-use cmif_core::tree::Document;
+use cmif_core::tree::{unassigned_channel, Document};
 
 use crate::environment::JitterModel;
 use crate::error::Result;
@@ -52,10 +53,10 @@ pub enum PlaybackEvent {
     Started {
         /// The leaf node presented.
         node: NodeId,
-        /// The node's name.
-        name: String,
+        /// The node's interned name.
+        name: Symbol,
         /// The channel it plays on.
-        channel: String,
+        channel: Symbol,
         /// The begin time the schedule intended.
         scheduled_begin: TimeMs,
         /// The begin time the simulated device achieved.
@@ -162,17 +163,13 @@ impl PlayerSession {
         let leaves = doc.leaves();
 
         // Sample one startup latency per leaf, keyed by its channel. The
-        // channel is sampled by `&str`: the single `Option<String>` from
-        // `channel_of` is kept and reused for the event report below instead
-        // of being re-fetched (and "(unassigned)" re-allocated) per pass.
+        // channel is a `Copy` symbol: fetched once, copied into the report
+        // below — no per-leaf string clone anywhere in this pass.
         let mut latencies: HashMap<NodeId, i64> = HashMap::with_capacity(leaves.len());
-        let mut channels: HashMap<NodeId, Option<String>> = HashMap::with_capacity(leaves.len());
+        let mut channels: HashMap<NodeId, Symbol> = HashMap::with_capacity(leaves.len());
         for leaf in &leaves {
-            let channel = doc.channel_of(*leaf)?;
-            latencies.insert(
-                *leaf,
-                sampler.sample(channel.as_deref().unwrap_or("(unassigned)")),
-            );
+            let channel = doc.channel_of(*leaf)?.unwrap_or_else(unassigned_channel);
+            latencies.insert(*leaf, sampler.sample(channel.as_str()));
             channels.insert(*leaf, channel);
         }
 
@@ -220,14 +217,15 @@ impl PlayerSession {
             let actual_begin = actual[&EventPoint::begin(*leaf)];
             let actual_end = actual[&EventPoint::end(*leaf)].max(actual_begin);
             let channel = channels
-                .remove(leaf)
-                .flatten()
-                .unwrap_or_else(|| "(unassigned)".to_string());
-            let name = doc
-                .node(*leaf)?
-                .name()
-                .map(str::to_string)
-                .unwrap_or_else(|| format!("{leaf}"));
+                .get(leaf)
+                .copied()
+                .unwrap_or_else(unassigned_channel);
+            // The `#<index>` fallback keeps the pool bounded (see the same
+            // choice in `solver::build_schedule`).
+            let name = match doc.node(*leaf)?.name_symbol() {
+                Some(name) => name,
+                None => Symbol::from_owned(format!("{leaf}")),
+            };
             events.push(PlayedEvent {
                 node: *leaf,
                 name,
@@ -243,15 +241,12 @@ impl PlayerSession {
         // that carry continuous media (video keeps its last frame on screen,
         // audio goes silent) — the mechanism Figure 10 appeals to.
         let mut freeze_frame_ms = 0;
-        let mut per_channel: HashMap<&str, Vec<&PlayedEvent>> = HashMap::new();
+        let mut per_channel: HashMap<Symbol, Vec<&PlayedEvent>> = HashMap::new();
         for event in &events {
-            per_channel
-                .entry(event.channel.as_str())
-                .or_default()
-                .push(event);
+            per_channel.entry(event.channel).or_default().push(event);
         }
         for (channel, channel_events) in per_channel {
-            let continuous = match doc.channels.get(channel) {
+            let continuous = match doc.channels.get_symbol(channel) {
                 Some(def) => def.medium.is_continuous(),
                 // Channels that only exist on nodes: judge by the medium of
                 // the first event presented on them.
@@ -426,8 +421,8 @@ impl PlayerSession {
             self.pending.push(match item.kind {
                 ItemKind::Begin => PlaybackEvent::Started {
                     node: event.node,
-                    name: event.name.clone(),
-                    channel: event.channel.clone(),
+                    name: event.name,
+                    channel: event.channel,
                     scheduled_begin: event.scheduled_begin,
                     at: event.actual_begin,
                 },
@@ -552,13 +547,17 @@ mod tests {
     }
 
     #[test]
-    fn session_report_equals_one_shot_play() {
+    fn run_to_completion_matches_a_ticked_session() {
         let (doc, result) = solved_doc();
         let jitter = JitterModel::uniform(300, 17);
-        let via_session = session(&doc, &result, &jitter).run_to_completion();
-        #[allow(deprecated)]
-        let one_shot = crate::player::play(&doc, &result, &doc.catalog, &jitter).unwrap();
-        assert_eq!(via_session, one_shot);
+        let one_shot = session(&doc, &result, &jitter).run_to_completion();
+        let mut ticked = session(&doc, &result, &jitter);
+        let mut now = 0;
+        while ticked.tick(now).unwrap() != SessionState::Finished {
+            now += 250;
+            ticked.poll_events();
+        }
+        assert_eq!(ticked.report(), Some(&one_shot));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use cmif_core::tree::Document;
 
 use crate::graph::ConstraintGraph;
 use crate::timeline::{Schedule, TimelineEntry};
-use crate::types::{Constraint, EventPoint, ScheduleOptions};
+use crate::types::{Constraint, EventPoint};
 
 /// A window (upper-bound) violation discovered while verifying the ASAP
 /// schedule against the constraints.
@@ -74,20 +74,6 @@ impl SolveResult {
     }
 }
 
-/// Derives constraints for the document and solves them.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `ConstraintGraph` (derivation split from relaxation) and call \
-            `ConstraintGraph::solve`, or submit the document to an `Engine`"
-)]
-pub fn solve(
-    doc: &Document,
-    resolver: &dyn DescriptorResolver,
-    options: &ScheduleOptions,
-) -> Result<SolveResult> {
-    ConstraintGraph::derive(doc, resolver, options)?.solve(doc, resolver)
-}
-
 /// Solves a pre-built constraint set (lets callers inject extra constraints,
 /// e.g. the hypermedia extension's conditional arcs).
 ///
@@ -115,12 +101,16 @@ pub(crate) fn build_schedule(
         let end = times[&EventPoint::end(leaf)].max(begin);
         let channel = doc
             .channel_of(leaf)?
-            .unwrap_or_else(|| "(unassigned)".to_string());
-        let name = doc
-            .node(leaf)?
-            .name()
-            .map(str::to_string)
-            .unwrap_or_else(|| doc.path_of(leaf).map(|p| p.to_string()).unwrap_or_default());
+            .unwrap_or_else(cmif_core::tree::unassigned_channel);
+        // Named leaves copy their interned name. Unnamed leaves fall back
+        // to the `#<index>` node-id form: its vocabulary is bounded by the
+        // largest arena ever seen, so a server playing an unbounded stream
+        // of documents cannot grow the pool through unnamed leaves (a path
+        // rendering would leak one pool entry per distinct structure).
+        let name = match doc.node(leaf)?.name_symbol() {
+            Some(name) => name,
+            None => cmif_core::symbol::Symbol::from_owned(format!("{leaf}")),
+        };
         let medium = doc.medium_of(leaf, resolver)?;
         entries.push(TimelineEntry {
             node: leaf,
@@ -165,6 +155,7 @@ pub fn point_time(result: &SolveResult, node: NodeId, anchor: Anchor) -> Option<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::ScheduleOptions;
     use cmif_core::arc::SyncArc;
     use cmif_core::prelude::*;
 

@@ -12,6 +12,7 @@ use std::fmt;
 
 use cmif_core::channel::MediaKind;
 use cmif_core::node::NodeId;
+use cmif_core::symbol::Symbol;
 use cmif_core::time::TimeMs;
 
 /// One presented event on the timeline: a leaf node on its channel.
@@ -19,10 +20,11 @@ use cmif_core::time::TimeMs;
 pub struct TimelineEntry {
     /// The leaf node presented.
     pub node: NodeId,
-    /// The node's name (or its path when unnamed).
-    pub name: String,
+    /// The node's interned name (or the `#<index>` node-id form when
+    /// unnamed — a bounded vocabulary, unlike per-document paths).
+    pub name: Symbol,
     /// The channel the event plays on.
-    pub channel: String,
+    pub channel: Symbol,
     /// The medium presented.
     pub medium: MediaKind,
     /// Scheduled beginning.
@@ -67,10 +69,10 @@ pub struct Schedule {
 impl Schedule {
     /// Groups the entries per channel, keeping begin-time order inside each
     /// channel.
-    pub fn channel_timelines(&self) -> BTreeMap<String, Vec<&TimelineEntry>> {
-        let mut out: BTreeMap<String, Vec<&TimelineEntry>> = BTreeMap::new();
+    pub fn channel_timelines(&self) -> BTreeMap<Symbol, Vec<&TimelineEntry>> {
+        let mut out: BTreeMap<Symbol, Vec<&TimelineEntry>> = BTreeMap::new();
         for entry in &self.entries {
-            out.entry(entry.channel.clone()).or_default().push(entry);
+            out.entry(entry.channel).or_default().push(entry);
         }
         out
     }
@@ -90,6 +92,9 @@ impl Schedule {
     /// present two blocks at once, which a conflict detector reports as a
     /// device-class conflict.
     pub fn max_channel_concurrency(&self, channel: &str) -> usize {
+        let Some(channel) = Symbol::lookup(channel) else {
+            return 0;
+        };
         let mut boundaries: Vec<(TimeMs, i64)> = Vec::new();
         for entry in self.entries.iter().filter(|e| e.channel == channel) {
             if entry.begin < entry.end {
@@ -132,7 +137,12 @@ impl Schedule {
         let total = self.total_duration.as_millis().max(1);
         let width = width.max(10);
         let mut out = String::new();
-        for (channel, entries) in self.channel_timelines() {
+        // Symbol order is intern order; render channels alphabetically so
+        // charts stay stable and human-scannable.
+        let mut timelines: Vec<(Symbol, Vec<&TimelineEntry>)> =
+            self.channel_timelines().into_iter().collect();
+        timelines.sort_by_key(|(channel, _)| channel.as_str());
+        for (channel, entries) in timelines {
             out.push_str(&format!("{channel}\n"));
             for entry in entries {
                 let start = (entry.begin.as_millis() * width as i64 / total) as usize;
@@ -174,8 +184,8 @@ mod tests {
     fn entry(name: &str, channel: &str, begin: i64, end: i64, index: u32) -> TimelineEntry {
         TimelineEntry {
             node: NodeId::from_index(index),
-            name: name.to_string(),
-            channel: channel.to_string(),
+            name: Symbol::intern(name),
+            channel: Symbol::intern(channel),
             medium: MediaKind::Text,
             begin: TimeMs::from_millis(begin),
             end: TimeMs::from_millis(end),
@@ -214,10 +224,10 @@ mod tests {
     fn channel_timelines_group_and_keep_order() {
         let s = schedule();
         let groups = s.channel_timelines();
-        assert_eq!(groups["audio"].len(), 2);
-        assert_eq!(groups["caption"].len(), 2);
-        assert_eq!(groups["caption"][0].name, "b");
-        assert_eq!(groups["caption"][1].name, "c");
+        assert_eq!(groups[&Symbol::intern("audio")].len(), 2);
+        assert_eq!(groups[&Symbol::intern("caption")].len(), 2);
+        assert_eq!(groups[&Symbol::intern("caption")][0].name, "b");
+        assert_eq!(groups[&Symbol::intern("caption")][1].name, "c");
     }
 
     #[test]

@@ -30,19 +30,19 @@ fn main() -> Result<()> {
     for descriptor in doc.catalog.iter() {
         let block = match descriptor.medium {
             MediaKind::Audio => generator.audio(
-                &descriptor.key,
+                descriptor.key.as_str(),
                 descriptor.duration.map(|d| d.as_millis()).unwrap_or(1_000),
                 8_000,
             ),
             MediaKind::Video => generator.video(
-                &descriptor.key,
+                descriptor.key.as_str(),
                 descriptor.duration.map(|d| d.as_millis()).unwrap_or(1_000),
                 64,
                 48,
                 25.0,
                 24,
             ),
-            _ => generator.image(&descriptor.key, 320, 240, 24),
+            _ => generator.image(descriptor.key.as_str(), 320, 240, 24),
         };
         cluster.put_block("cwi-server", block, descriptor.clone())?;
     }

@@ -52,7 +52,9 @@ fn main() -> Result<()> {
         let museum_start = result.schedule.node_times[&label].0;
         println!(
             "captions-on = {:<5} -> museum label appears at {museum_start}",
-            flags.flags.contains("captions-on")
+            flags
+                .flags
+                .contains(&cmif::core::Symbol::intern("captions-on"))
         );
     }
 

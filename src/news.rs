@@ -333,7 +333,10 @@ mod tests {
         let doc = evening_news().unwrap();
         for leaf in doc.leaves() {
             if let Some(key) = doc.file_of(leaf).unwrap() {
-                assert!(store.descriptor(&key).is_ok(), "missing media for {key}");
+                assert!(
+                    store.descriptor(key.as_str()).is_ok(),
+                    "missing media for {key}"
+                );
             }
         }
     }

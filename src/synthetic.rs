@@ -12,7 +12,7 @@ use cmif_core::arc::SyncArc;
 use cmif_core::channel::MediaKind;
 use cmif_core::descriptor::DataDescriptor;
 use cmif_core::node::NodeKind;
-use cmif_core::prelude::{AttrValue, DocumentBuilder, NodeBuilder};
+use cmif_core::prelude::{AttrValue, DocumentBuilder, NodeBuilder, Symbol};
 use cmif_core::time::{DelayMs, MaxDelay, RateInfo, TimeMs};
 use cmif_core::tree::Document;
 
@@ -71,7 +71,7 @@ impl SyntheticNews {
                         .with_duration(TimeMs::from_secs(self.story_seconds))
                         .with_size((self.story_seconds * 8_000) as u64)
                         .with_rates(RateInfo::audio(8_000, 8_000))
-                        .with_extra("story", AttrValue::Id(format!("s{story}"))),
+                        .with_extra("story", AttrValue::Id(Symbol::intern(&format!("s{story}")))),
                 )
                 .descriptor(
                     DataDescriptor::new(format!("s{story}/video"), MediaKind::Video, "rgb24")
@@ -80,7 +80,7 @@ impl SyntheticNews {
                         .with_resolution(320, 240)
                         .with_color_depth(24)
                         .with_rates(RateInfo::video(25.0))
-                        .with_extra("story", AttrValue::Id(format!("s{story}"))),
+                        .with_extra("story", AttrValue::Id(Symbol::intern(&format!("s{story}")))),
                 );
             for graphic in 0..self.graphics_per_story {
                 builder = builder.descriptor(
@@ -92,7 +92,7 @@ impl SyntheticNews {
                     .with_size(640 * 480 * 3)
                     .with_resolution(640, 480)
                     .with_color_depth(24)
-                    .with_extra("story", AttrValue::Id(format!("s{story}"))),
+                    .with_extra("story", AttrValue::Id(Symbol::intern(&format!("s{story}")))),
                 );
             }
         }

@@ -2,6 +2,8 @@
 //! `PlayerSession` playback, incremental `ConstraintGraph` re-relaxation,
 //! and the multi-document `Engine` run queue.
 
+use std::sync::Arc;
+
 use cmif::core::arc::SyncArc;
 use cmif::core::prelude::*;
 use cmif::core::tree::Document;
@@ -56,7 +58,7 @@ fn drive(
     result: &SolveResult,
     jitter: &JitterModel,
     step_ms: i64,
-) -> (Vec<(String, TimeMs)>, PlaybackReport) {
+) -> (Vec<(Symbol, TimeMs)>, PlaybackReport) {
     let mut session = PlayerSession::new(doc, result, &doc.catalog, jitter).unwrap();
     let mut starts = Vec::new();
     let mut now = 0;
@@ -162,10 +164,10 @@ fn sixty_four_concurrent_documents_match_sequential_runs() {
     // The acceptance bar: 64 documents played concurrently on 8 workers
     // produce per-document reports identical (same seed) to sequential
     // single-session runs.
-    let docs: Vec<(Document, JitterModel)> = (0..64u64)
+    let docs: Vec<(Arc<Document>, JitterModel)> = (0..64u64)
         .map(|i| {
             (
-                broadcast(1 + (i as usize % 3)),
+                Arc::new(broadcast(1 + (i as usize % 3))),
                 JitterModel::uniform(100 + (i as i64 % 5) * 40, i),
             )
         })
@@ -187,9 +189,10 @@ fn sixty_four_concurrent_documents_match_sequential_runs() {
         workers: 8,
         ..EngineConfig::default()
     });
+    // Submitting shares the `Arc` — 64 admissions, zero tree copies.
     let ids: Vec<DocId> = docs
         .iter()
-        .map(|(doc, jitter)| engine.submit(doc.clone(), jitter.clone()))
+        .map(|(doc, jitter)| engine.submit(Arc::clone(doc), jitter.clone()))
         .collect();
     let outcomes = engine.drain();
     assert_eq!(outcomes.len(), 64);

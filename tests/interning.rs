@@ -1,0 +1,93 @@
+//! Integration tests for the global string interner: round-trip fidelity
+//! over arbitrary (including empty and non-ASCII) strings, and id
+//! uniqueness when many threads intern the same vocabulary at once.
+
+use std::collections::BTreeSet;
+use std::sync::Barrier;
+use std::thread;
+
+use cmif::core::Symbol;
+use proptest::prelude::*;
+
+/// Builds a string from drawn code points, covering the empty string,
+/// ASCII, multi-byte unicode and surrogate-adjacent values (mapped back
+/// into the valid range by `char::from_u32` filtering).
+fn string_from_codes(codes: &[u32]) -> String {
+    codes
+        .iter()
+        .filter_map(|&code| char::from_u32(code % 0x11_0000))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `intern(s).as_str() == s` for arbitrary strings, and interning is
+    /// idempotent: the same text always yields the same id.
+    #[test]
+    fn intern_round_trips_arbitrary_strings(
+        codes in proptest::collection::vec(any::<u32>(), 0..24),
+    ) {
+        let text = string_from_codes(&codes);
+        let symbol = Symbol::intern(&text);
+        prop_assert_eq!(symbol.as_str(), text.as_str());
+        prop_assert_eq!(Symbol::intern(&text), symbol);
+        prop_assert_eq!(Symbol::from_owned(text.clone()), symbol);
+        prop_assert_eq!(Symbol::lookup(&text), Some(symbol));
+        prop_assert_eq!(symbol.is_empty(), text.is_empty());
+    }
+}
+
+#[test]
+fn empty_and_unicode_strings_round_trip() {
+    for text in [
+        "",
+        " ",
+        "caption",
+        "ondertiteling-日本語",
+        "🎬🎞️",
+        "a\u{0301}",
+    ] {
+        let symbol = Symbol::intern(text);
+        assert_eq!(symbol.as_str(), text);
+        assert_eq!(Symbol::intern(text), symbol, "intern of {text:?} split");
+    }
+}
+
+#[test]
+fn concurrent_intern_from_n_threads_yields_one_id_per_string() {
+    const THREADS: usize = 8;
+    const STRINGS: usize = 40;
+    let texts: Vec<String> = (0..STRINGS)
+        .map(|i| format!("integration-race-{i}"))
+        .collect();
+    let barrier = Barrier::new(THREADS);
+
+    // Every thread interns the whole vocabulary; the barrier lines them up
+    // so first-intern races actually happen.
+    let per_thread: Vec<Vec<u32>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    texts.iter().map(|t| Symbol::intern(t).id()).collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // No duplicate ids: every thread saw the identical id for each string.
+    for thread_ids in &per_thread {
+        assert_eq!(thread_ids, &per_thread[0], "two threads disagree on ids");
+    }
+    // No lost symbols, and the ids are pairwise distinct across strings.
+    let distinct: BTreeSet<u32> = per_thread[0].iter().copied().collect();
+    assert_eq!(distinct.len(), STRINGS);
+    for text in &texts {
+        assert!(
+            Symbol::lookup(text).is_some(),
+            "symbol {text:?} was lost in the race"
+        );
+    }
+}

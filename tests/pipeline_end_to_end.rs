@@ -69,7 +69,7 @@ fn audio_kiosk_presents_the_narration_only() {
         .filter_plan
         .dropped_channels
         .iter()
-        .map(String::as_str)
+        .map(|channel| channel.as_str())
         .collect();
     assert!(dropped.contains("video"));
     assert!(dropped.contains("graphic"));
@@ -86,9 +86,9 @@ fn distributed_presentation_fetches_only_what_the_device_presents() {
     let mut generator = MediaGenerator::new(3);
     for descriptor in doc.catalog.iter() {
         let block = match descriptor.medium {
-            MediaKind::Audio => generator.audio(&descriptor.key, 40_000, 8_000),
-            MediaKind::Video => generator.video(&descriptor.key, 10_000, 64, 48, 25.0, 24),
-            _ => generator.image(&descriptor.key, 128, 96, 24),
+            MediaKind::Audio => generator.audio(descriptor.key.as_str(), 40_000, 8_000),
+            MediaKind::Video => generator.video(descriptor.key.as_str(), 10_000, 64, 48, 25.0, 24),
+            _ => generator.image(descriptor.key.as_str(), 128, 96, 24),
         };
         cluster
             .put_block("server", block, descriptor.clone())
@@ -102,9 +102,10 @@ fn distributed_presentation_fetches_only_what_the_device_presents() {
     let received = cluster
         .transport_document("server", "kiosk", "news")
         .unwrap();
-    let wanted: BTreeSet<String> = referenced_keys(&received, Some(&[MediaKind::Audio]))
-        .into_iter()
-        .collect();
+    let wanted: BTreeSet<cmif::core::Symbol> =
+        referenced_keys(&received, Some(&[MediaKind::Audio]))
+            .into_iter()
+            .collect();
     cluster.fetch_blocks_for("kiosk", &wanted).unwrap();
 
     let traffic = cluster.traffic();

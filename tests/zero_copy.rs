@@ -1,0 +1,110 @@
+//! Zero-copy parsing: the lexer borrows token text from the source (no
+//! per-token `String` for identifiers and references), the parser interns
+//! straight from those borrows, and the whole path round-trips the
+//! Figure 10 news fragment without loss.
+
+use std::borrow::Cow;
+
+use cmif::format::lexer::{tokenize, TokenKind};
+use cmif::format::{parse_document, write_document};
+use cmif::news::evening_news;
+use cmif::scheduler::{ConstraintGraph, ScheduleOptions};
+
+/// True when `slice` points into `source`'s own buffer.
+fn borrows_from(source: &str, slice: &str) -> bool {
+    let range = source.as_ptr() as usize..source.as_ptr() as usize + source.len();
+    slice.is_empty() || range.contains(&(slice.as_ptr() as usize))
+}
+
+#[test]
+fn fig10_news_fragment_round_trips_through_zero_copy_parsing() {
+    // Figure 10's stolen-paintings story: write → parse → write again.
+    let doc = evening_news().unwrap();
+    let text = write_document(&doc).unwrap();
+    let parsed = parse_document(&text).unwrap();
+
+    assert_eq!(parsed.channels, doc.channels);
+    assert_eq!(parsed.styles, doc.styles);
+    assert_eq!(parsed.catalog, doc.catalog);
+    assert_eq!(parsed.meta, doc.meta);
+    assert_eq!(parsed.leaves().len(), doc.leaves().len());
+    assert_eq!(parsed.arcs().len(), doc.arcs().len());
+
+    // Re-serialization is a fixed point: byte-identical second generation.
+    let text_again = write_document(&parsed).unwrap();
+    assert_eq!(text, text_again);
+
+    // The re-parsed document schedules identically (names and channels
+    // interned from borrowed tokens resolve to the same symbols).
+    let options = ScheduleOptions::default();
+    let original = ConstraintGraph::derive(&doc, &doc.catalog, &options)
+        .unwrap()
+        .solve(&doc, &doc.catalog)
+        .unwrap();
+    let reparsed = ConstraintGraph::derive(&parsed, &parsed.catalog, &options)
+        .unwrap()
+        .solve(&parsed, &parsed.catalog)
+        .unwrap();
+    assert_eq!(
+        original.schedule.total_duration,
+        reparsed.schedule.total_duration
+    );
+    for (a, b) in original
+        .schedule
+        .entries
+        .iter()
+        .zip(&reparsed.schedule.entries)
+    {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.channel, b.channel);
+    }
+}
+
+#[test]
+fn lexer_allocates_no_string_for_ident_and_ref_tokens() {
+    // Tokenize the full Figure 10 interchange text and check EVERY ident
+    // and ref token borrows from the source buffer. `&str` payloads make
+    // per-token `String`s unrepresentable at the type level; this pins the
+    // runtime half: the slices really are views into the input, not copies
+    // (the compat allocation story: the only owned token payloads permitted
+    // are `Cow::Owned` strings that contained escape sequences).
+    let doc = evening_news().unwrap();
+    let source = write_document(&doc).unwrap();
+    let tokens = tokenize(&source).unwrap();
+    assert!(tokens.len() > 300, "fixture too small to be meaningful");
+
+    let mut idents = 0usize;
+    let mut borrowed_strings = 0usize;
+    let mut owned_strings = 0usize;
+    for token in &tokens {
+        match &token.kind {
+            TokenKind::Ident(text) | TokenKind::Ref(text) => {
+                idents += 1;
+                assert!(
+                    borrows_from(&source, text),
+                    "token {text:?} was copied out of the source"
+                );
+            }
+            TokenKind::Str(Cow::Borrowed(text)) => {
+                borrowed_strings += 1;
+                assert!(
+                    borrows_from(&source, text),
+                    "string token {text:?} was copied out of the source"
+                );
+            }
+            TokenKind::Str(Cow::Owned(text)) => {
+                owned_strings += 1;
+                // Only escape-carrying literals may own their buffer.
+                assert!(
+                    source.contains('\\'),
+                    "string {text:?} owns a buffer although the source has no escapes"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(idents > 100, "expected a vocabulary-heavy document");
+    assert!(borrowed_strings > 0, "plain strings should borrow");
+    // The news fragment has no escape sequences, so nothing owns.
+    assert_eq!(owned_strings, 0);
+}
