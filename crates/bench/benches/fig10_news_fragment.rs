@@ -73,7 +73,7 @@ fn bench_news_fragment(c: &mut Criterion) {
     });
     for limits in &environments {
         group.bench_with_input(
-            BenchmarkId::new("device_conflicts", &limits.name),
+            BenchmarkId::new("device_conflicts", limits.name),
             limits,
             |b, limits| {
                 b.iter(|| device_conflicts(&doc, &solved.schedule, &store, limits).unwrap())

@@ -162,7 +162,9 @@ impl fmt::Debug for Symbol {
 
 impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
+        // `pad`, not `write_str`: width/alignment specs must work on
+        // symbols exactly as they do on the text they intern.
+        f.pad(self.as_str())
     }
 }
 

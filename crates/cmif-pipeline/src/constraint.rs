@@ -106,7 +106,7 @@ impl DeviceProfile {
     /// conflict detection and the playback simulator can reason about it.
     pub fn limits(&self) -> EnvironmentLimits {
         EnvironmentLimits {
-            name: self.name.clone(),
+            name: Symbol::intern(&self.name),
             supported_media: self.supported_media(),
             max_concurrent_events: self.max_concurrent_events,
             bandwidth_bps: self.bandwidth_bps,

@@ -9,8 +9,8 @@
 //! 4. **constraint filtering** — plan and (optionally) apply the device
 //!    mapping;
 //! 5. **viewing** — schedule, conflict report, table of contents and
-//!    storyboard, with playback driven through
-//!    [`cmif_scheduler::PlayerSession`]s.
+//!    storyboard, with playback driven through a bounded
+//!    [`cmif_scheduler::Engine`] (one per builder, kept across runs).
 //!
 //! Each stage is timed so the Figure 1 benchmark can report where pipeline
 //! time goes as documents grow. The dividing line the paper draws —
@@ -19,6 +19,8 @@
 //! the presentation map is reusable across devices, everything after is
 //! per-device.
 
+use std::fmt;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::error::{PipelineError, Result};
@@ -27,8 +29,8 @@ use cmif_core::tree::Document;
 use cmif_core::validate;
 use cmif_media::store::BlockStore;
 use cmif_scheduler::{
-    full_report, ConflictReport, ConstraintGraph, JitterModel, PlaybackReport, PlayerSession,
-    ScheduleOptions, SolveResult,
+    full_report, ConflictReport, ConstraintGraph, Engine, EngineConfig, JitterModel,
+    PlaybackReport, ScheduleOptions, SolveResult, Submission,
 };
 
 use crate::constraint::{apply_plan, plan_filters, DeviceProfile, FilterPlan};
@@ -49,6 +51,22 @@ pub struct PipelineOptions {
     pub jitter: JitterModel,
     /// Number of playback simulation runs (0 disables playback).
     pub playback_runs: u32,
+    /// Worker threads of the stage-5c playback engine. Reports are
+    /// deterministic per seed, so this only changes wall-clock time.
+    pub playback_workers: usize,
+    /// Admission budget for the stage-5c playback engine. `None` (the
+    /// default) admits every run; `Some(k)` bounds the engine's queue to
+    /// `k` and makes stage 5c admit *without blocking* — a document whose
+    /// `playback_runs` outpace the bounded engine surfaces
+    /// [`cmif_scheduler::SchedulerError::Backpressure`] as a
+    /// stage-tagged [`PipelineError`] instead of stalling the pipeline.
+    ///
+    /// Like any non-blocking admission, whether runs in the window
+    /// `k < playback_runs ≤ k + in-flight` squeeze through depends on how
+    /// fast the workers drain — choose `k ≥ playback_runs` for a bound
+    /// that never rejects this document, or `None` to opt out of
+    /// admission control entirely.
+    pub playback_backlog: Option<usize>,
 }
 
 impl Default for PipelineOptions {
@@ -59,6 +77,8 @@ impl Default for PipelineOptions {
             storyboard_step_ms: 1_000,
             jitter: JitterModel::ideal(),
             playback_runs: 1,
+            playback_workers: 1,
+            playback_backlog: None,
         }
     }
 }
@@ -128,13 +148,34 @@ impl PipelineRun {
 /// The builder is reusable: configure it once, then [`PipelineBuilder::run`]
 /// as many documents through it as needed. Each run derives a
 /// [`ConstraintGraph`] (so callers holding the run can keep injecting
-/// constraints without re-deriving) and drives playback through
-/// [`PlayerSession`]s — the same session machinery
-/// [`cmif_scheduler::Engine`] workers use.
-#[derive(Debug, Clone)]
+/// constraints without re-deriving) and drives playback through a
+/// stage-5c [`cmif_scheduler::Engine`] — bounded admission included: set
+/// [`PipelineOptions::playback_backlog`] and an overloaded engine surfaces
+/// `Backpressure` as a `"playback"`-tagged error instead of stalling.
+///
+/// The engine is created lazily on the first run that plays anything and
+/// then *kept*, so repeat runs (and clones of this builder, which share
+/// it) pay no per-run thread spawn; it is shut down when the last sharing
+/// builder drops. Outcomes are collected per admission ticket, so
+/// concurrent `run` calls through one shared engine cannot steal each
+/// other's reports.
+#[derive(Clone)]
 pub struct PipelineBuilder {
     device: DeviceProfile,
     options: PipelineOptions,
+    /// Lazily initialised, shared by clones. Reset by any setter that
+    /// changes the engine's configuration.
+    engine: Arc<OnceLock<Engine>>,
+}
+
+impl fmt::Debug for PipelineBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelineBuilder")
+            .field("device", &self.device)
+            .field("options", &self.options)
+            .field("engine_started", &self.engine.get().is_some())
+            .finish()
+    }
 }
 
 impl PipelineBuilder {
@@ -143,18 +184,29 @@ impl PipelineBuilder {
         PipelineBuilder {
             device,
             options: PipelineOptions::default(),
+            engine: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Forget any already-started engine: the next run starts a fresh one
+    /// from the current options. Called by every setter that feeds
+    /// [`EngineConfig`], so configuration changes cannot be shadowed by a
+    /// previously spawned pool.
+    fn reset_engine(&mut self) {
+        self.engine = Arc::new(OnceLock::new());
     }
 
     /// Replaces the whole option set.
     pub fn options(mut self, options: PipelineOptions) -> PipelineBuilder {
         self.options = options;
+        self.reset_engine();
         self
     }
 
     /// Sets the scheduling policy.
     pub fn schedule(mut self, schedule: ScheduleOptions) -> PipelineBuilder {
         self.options.schedule = schedule;
+        self.reset_engine();
         self
     }
 
@@ -182,9 +234,54 @@ impl PipelineBuilder {
         self
     }
 
+    /// Worker threads of the stage-5c playback engine.
+    pub fn playback_workers(mut self, workers: usize) -> PipelineBuilder {
+        self.options.playback_workers = workers;
+        self.reset_engine();
+        self
+    }
+
+    /// Admission budget of the stage-5c playback engine (see
+    /// [`PipelineOptions::playback_backlog`]).
+    pub fn playback_backlog(mut self, backlog: Option<usize>) -> PipelineBuilder {
+        self.options.playback_backlog = backlog;
+        self.reset_engine();
+        self
+    }
+
     /// Runs pipeline stages 2–5 for a document whose media already sit in
     /// `store`.
+    ///
+    /// Stage 5c's engine jobs need shared ownership of the document, so a
+    /// run that plays anything clones the tree once — only then, and only
+    /// after validation; a caller that already holds (or re-runs) the
+    /// document should use [`PipelineBuilder::run_shared`] and pay a
+    /// pointer clone instead.
     pub fn run(&self, doc: &Document, store: &BlockStore) -> Result<PipelineRun> {
+        self.run_inner(doc, None, store)
+    }
+
+    /// [`PipelineBuilder::run`] for a shared document: N runs of one
+    /// `Arc<Document>` clone N pointers, never the tree (the same contract
+    /// as [`cmif_scheduler::Engine::submit`]).
+    pub fn run_shared(
+        &self,
+        doc: impl Into<Arc<Document>>,
+        store: &BlockStore,
+    ) -> Result<PipelineRun> {
+        let shared = doc.into();
+        self.run_inner(&shared, Some(&shared), store)
+    }
+
+    /// The stages themselves. `shared` is the document's `Arc` when the
+    /// caller already has one; stage 5c otherwise clones the tree into a
+    /// fresh `Arc` — the one place shared ownership is actually needed.
+    fn run_inner(
+        &self,
+        doc: &Document,
+        shared: Option<&Arc<Document>>,
+        store: &BlockStore,
+    ) -> Result<PipelineRun> {
         let device = &self.device;
         let options = &self.options;
         let mut timings = StageTimings::default();
@@ -213,9 +310,13 @@ impl PipelineBuilder {
         let started = Instant::now();
         let mut graph = ConstraintGraph::derive(doc, store, &options.schedule)
             .map_err(|e| PipelineError::from(e).in_stage("scheduling"))?;
-        let solve_result = graph
-            .solve(doc, store)
-            .map_err(|e| PipelineError::from(e).in_stage("scheduling"))?;
+        // Behind an `Arc` so stage 5c's engine jobs can share it; unwrapped
+        // (clone-free) below once the jobs are done with their references.
+        let solve_result = Arc::new(
+            graph
+                .solve(doc, store)
+                .map_err(|e| PipelineError::from(e).in_stage("scheduling"))?,
+        );
         let conflicts = full_report(doc, &solve_result, store, Some(&device.limits()))
             .map_err(|e| PipelineError::from(e).in_stage("scheduling"))?;
         timings.scheduling = started.elapsed();
@@ -235,18 +336,75 @@ impl PipelineBuilder {
         .map_err(|e| e.in_stage("viewing"))?;
         timings.viewing = started.elapsed();
 
-        // Stage 5c: playback sessions.
+        // Stage 5c: playback sessions, driven through the same bounded
+        // `Engine` the server side uses (started once per builder, shared
+        // across runs and clones — no per-run thread spawn). Each
+        // submission shares the stage-5a solve (no per-run re-derivation)
+        // and resolves descriptors against a snapshot of the store
+        // exported *after* filtering, so materialised degradations are
+        // exactly what the sessions see; reports are deterministic per
+        // seed, so the engine's concurrency only changes wall-clock time,
+        // never a report.
         let started = Instant::now();
         let playback = if options.playback_runs > 0 {
-            let mut last = None;
+            let catalog: Arc<dyn DescriptorResolver + Send + Sync> =
+                Arc::new(store.export_catalog());
+            let shared_doc = match shared {
+                Some(arc) => Arc::clone(arc),
+                None => Arc::new(doc.clone()),
+            };
+            let engine = self.engine.get_or_init(|| {
+                Engine::new(EngineConfig {
+                    workers: options.playback_workers,
+                    options: options.schedule,
+                    max_backlog: options.playback_backlog,
+                    ..EngineConfig::default()
+                })
+            });
+            let mut ids = Vec::with_capacity(options.playback_runs as usize);
+            let mut admission_error = None;
             for run in 0..options.playback_runs {
                 let jitter = JitterModel {
                     seed: options.jitter.seed.wrapping_add(run as u64),
                     ..options.jitter.clone()
                 };
-                let session = PlayerSession::new(doc, &solve_result, store, &jitter)
-                    .map_err(|e| PipelineError::from(e).in_stage("playback"))?;
-                last = Some(session.run_to_completion());
+                let submission = Submission::new(Arc::clone(&shared_doc), jitter)
+                    .resolver(Arc::clone(&catalog))
+                    .solved(Arc::clone(&solve_result));
+                // A bounded stage never blocks the pipeline on a full
+                // queue: overload surfaces as a stage-tagged error.
+                let admitted = match options.playback_backlog {
+                    None => engine.admit(submission),
+                    Some(_) => engine.try_admit(submission),
+                };
+                match admitted {
+                    Ok(id) => ids.push(id),
+                    Err(e) => {
+                        admission_error = Some(e);
+                        break;
+                    }
+                }
+            }
+            // Collect every admitted outcome by its own ticket — even on
+            // the error paths, so nothing is left undelivered in the
+            // long-lived engine — then report the first failure.
+            let mut last = None;
+            let mut job_error = None;
+            for id in ids {
+                match engine.wait(id).result {
+                    Ok(report) => last = Some(report),
+                    Err(e) => {
+                        if job_error.is_none() {
+                            job_error = Some(e);
+                        }
+                    }
+                }
+            }
+            // A job failure (above all a `JobPanicked` with its message)
+            // is the actionable signal; an admission refusal is only the
+            // configured overload response, so it reports second.
+            if let Some(e) = job_error.or(admission_error) {
+                return Err(PipelineError::from(e).in_stage("playback"));
             }
             last
         } else {
@@ -258,7 +416,10 @@ impl PipelineBuilder {
             device: device.clone(),
             presentation,
             filter_plan,
-            solve: solve_result,
+            // Every engine job has finished and dropped its reference by
+            // now, so this unwraps without cloning; the fallback clone can
+            // only run if a caller-side clone of the Arc survives.
+            solve: Arc::try_unwrap(solve_result).unwrap_or_else(|shared| (*shared).clone()),
             conflicts,
             table_of_contents: toc,
             storyboard: frames,
@@ -377,6 +538,77 @@ mod tests {
             .run(&doc, &store)
             .unwrap();
         assert!(run.playback.is_none());
+    }
+
+    #[test]
+    fn run_shared_matches_run() {
+        let (doc, store) = build_fixture();
+        let builder =
+            PipelineBuilder::new(DeviceProfile::workstation()).jitter(JitterModel::uniform(70, 5));
+        let borrowed = builder.run(&doc, &store).unwrap();
+        // Same builder (shared engine), shared tree: identical results.
+        let shared = builder.run_shared(Arc::new(doc), &store).unwrap();
+        assert_eq!(borrowed.playback, shared.playback);
+        assert_eq!(borrowed.solve, shared.solve);
+        assert_eq!(borrowed.table_of_contents, shared.table_of_contents);
+    }
+
+    #[test]
+    fn bounded_playback_with_enough_budget_succeeds() {
+        let (doc, store) = build_fixture();
+        let run = PipelineBuilder::new(DeviceProfile::workstation())
+            .playback_runs(3)
+            .playback_workers(2)
+            .playback_backlog(Some(16))
+            .run(&doc, &store)
+            .unwrap();
+        assert!(run.playback.is_some());
+        assert_eq!(run.playback.unwrap().must_violations, 0);
+    }
+
+    #[test]
+    fn saturated_playback_backlog_surfaces_stage_tagged_backpressure() {
+        // One worker, a single queue slot, 64 runs: each job plays a full
+        // session (submissions carry the stage-5a solve, so no derive —
+        // but sampling, ticking and report assembly are still microseconds
+        // of work) while an admission is a queue push (nanoseconds). The
+        // producer laps the worker long before 64 admissions, so the
+        // non-blocking stage hits the bound.
+        let (doc, store) = build_fixture();
+        let err = PipelineBuilder::new(DeviceProfile::workstation())
+            .playback_runs(64)
+            .playback_workers(1)
+            .playback_backlog(Some(1))
+            .run(&doc, &store)
+            .unwrap_err();
+        assert_eq!(err.stage(), "playback");
+        assert!(matches!(
+            err,
+            crate::error::PipelineError::Scheduler {
+                source: cmif_scheduler::SchedulerError::Backpressure { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bounded_playback_report_matches_the_unbounded_one() {
+        // Admission control must not change what plays: same seed, same
+        // report, whether stage 5c ran unbounded or squeezed through a
+        // bounded single-worker engine.
+        let (doc, store) = build_fixture();
+        let unbounded = PipelineBuilder::new(DeviceProfile::workstation())
+            .jitter(JitterModel::uniform(120, 9))
+            .playback_runs(2)
+            .run(&doc, &store)
+            .unwrap();
+        let bounded = PipelineBuilder::new(DeviceProfile::workstation())
+            .jitter(JitterModel::uniform(120, 9))
+            .playback_runs(2)
+            .playback_backlog(Some(64))
+            .run(&doc, &store)
+            .unwrap();
+        assert_eq!(unbounded.playback, bounded.playback);
     }
 
     #[test]

@@ -8,28 +8,68 @@
 //! of worker threads, and returns one [`PlaybackReport`] per document.
 //!
 //! The run queue is hand-rolled on `std::sync::{Mutex, Condvar}` — this
-//! workspace has no registry access, so no tokio — and a document whose
-//! constraints are unsatisfiable is *rejected*, not fatal: the worker
-//! records the [`SchedulerError::ConstraintCycle`] (or any other scheduler
-//! error) as that document's outcome and moves on to the next job, exactly
-//! the supervisor behaviour the typed error layer was introduced for.
+//! workspace has no registry access, so no tokio — and a job can only fail
+//! *as itself*: a document whose constraints are unsatisfiable is rejected
+//! with [`SchedulerError::ConstraintCycle`] as its outcome, and a job that
+//! *panics* is contained by `catch_unwind` into a
+//! [`SchedulerError::JobPanicked`] outcome. Either way the worker thread
+//! keeps serving and `drain()`/`wait()` terminate — exactly the supervisor
+//! behaviour the typed error layer was introduced for.
+//!
+//! Admission is controlled: with [`EngineConfig::max_backlog`] set, a full
+//! queue makes [`Engine::submit`] block until a worker frees capacity while
+//! [`Engine::try_submit`] refuses immediately with
+//! [`SchedulerError::Backpressure`]; [`Engine::close`] stops admission
+//! (further submits get [`SchedulerError::EngineClosed`]) while the backlog
+//! already admitted keeps draining.
 //!
 //! Determinism: each submission carries its own seeded [`JitterModel`], so
 //! the report produced for a document is identical whether it played alone
 //! or next to 63 concurrent siblings.
 
+use std::any::Any;
 use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 
+use cmif_core::descriptor::DescriptorResolver;
 use cmif_core::tree::Document;
 
 use crate::environment::JitterModel;
-use crate::error::Result;
+use crate::error::{Result, SchedulerError};
 use crate::graph::ConstraintGraph;
 use crate::player::PlaybackReport;
 use crate::session::PlayerSession;
+use crate::solver::SolveResult;
 use crate::types::ScheduleOptions;
+
+/// Test-only fault injection: runs at the start of every job with the
+/// job's label. A panic raised here is deliberately indistinguishable from
+/// a panic inside scheduling or playback — the panic-containment
+/// regression tests use it to wedge or kill specific jobs on demand.
+/// Production code has no reason to install one.
+#[doc(hidden)]
+#[derive(Clone)]
+pub struct JobHook(Arc<dyn Fn(&str) + Send + Sync>);
+
+impl JobHook {
+    /// Wraps a closure as a job hook.
+    pub fn new(hook: impl Fn(&str) + Send + Sync + 'static) -> JobHook {
+        JobHook(Arc::new(hook))
+    }
+
+    fn fire(&self, label: &str) {
+        (self.0)(label)
+    }
+}
+
+impl fmt::Debug for JobHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JobHook(..)")
+    }
+}
 
 /// Configuration of an [`Engine`].
 #[derive(Debug, Clone)]
@@ -42,6 +82,18 @@ pub struct EngineConfig {
     /// outcomes do not depend on this (the causal timeline is fixed at
     /// session creation); it only exercises the step-wise machinery.
     pub ticks_per_document: u32,
+    /// Maximum number of admitted-but-unstarted documents. `None` (the
+    /// default) admits without bound — a fast producer can then grow the
+    /// queue faster than the workers drain it. With `Some(k)`, a full
+    /// queue makes [`Engine::submit`] block on a capacity condvar until a
+    /// worker takes a job, and [`Engine::try_submit`] return
+    /// [`SchedulerError::Backpressure`] immediately. `Some(0)` is treated
+    /// as `Some(1)`: jobs reach workers only through the queue, so a
+    /// zero-slot queue would deadlock every blocking admission.
+    pub max_backlog: Option<usize>,
+    /// Test-only fault injection; see [`JobHook`]. Leave `None`.
+    #[doc(hidden)]
+    pub job_hook: Option<JobHook>,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +104,8 @@ impl Default for EngineConfig {
                 .unwrap_or(1),
             options: ScheduleOptions::default(),
             ticks_per_document: 8,
+            max_backlog: None,
+            job_hook: None,
         }
     }
 }
@@ -74,7 +128,8 @@ pub struct DocOutcome {
     /// The label given at submission.
     pub label: String,
     /// The playback report, or the scheduler error that made the engine
-    /// reject the document (its worker survives either way).
+    /// reject the document — including [`SchedulerError::JobPanicked`]
+    /// when the job panicked (its worker survives either way).
     pub result: Result<PlaybackReport>,
 }
 
@@ -85,21 +140,118 @@ impl DocOutcome {
     }
 }
 
+/// One admission request: a document plus its playback context.
+///
+/// The convenience entry points ([`Engine::submit`], `submit_labeled`,
+/// `try_submit`) build one internally; build it yourself when you need the
+/// full form — a label *and* a non-blocking admission, or a descriptor
+/// resolver other than the document's own catalog (the pipeline submits
+/// against a snapshot of its block store so materialised degradations are
+/// what the sessions see).
+#[derive(Clone)]
+pub struct Submission {
+    doc: Arc<Document>,
+    jitter: JitterModel,
+    label: Option<String>,
+    resolver: Option<Arc<dyn DescriptorResolver + Send + Sync>>,
+    solve: Option<Arc<SolveResult>>,
+}
+
+impl Submission {
+    /// A submission resolving descriptors from the document's own catalog.
+    pub fn new(doc: impl Into<Arc<Document>>, jitter: JitterModel) -> Submission {
+        Submission {
+            doc: doc.into(),
+            jitter,
+            label: None,
+            resolver: None,
+            solve: None,
+        }
+    }
+
+    /// Sets the label used in reports and logs (default: the ticket id).
+    pub fn labeled(mut self, label: impl Into<String>) -> Submission {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Resolves descriptors through `resolver` instead of the document's
+    /// catalog.
+    pub fn resolver(mut self, resolver: Arc<dyn DescriptorResolver + Send + Sync>) -> Submission {
+        self.resolver = Some(resolver);
+        self
+    }
+
+    /// Supplies a precomputed solve result, so the job skips its own
+    /// derive + solve pass and goes straight to playback — the pipeline
+    /// submits the stage-5a result this way, and N submissions of one
+    /// solved document share the `Arc`. The result must belong to this
+    /// document: playback over a mismatched solve fails with the usual
+    /// typed `UnscheduledNode` outcome, never a panic.
+    pub fn solved(mut self, solve: impl Into<Arc<SolveResult>>) -> Submission {
+        self.solve = Some(solve.into());
+        self
+    }
+}
+
+impl fmt::Debug for Submission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Submission")
+            .field("doc", &Arc::as_ptr(&self.doc))
+            .field("jitter", &self.jitter)
+            .field("label", &self.label)
+            .field(
+                "resolver",
+                &self.resolver.as_ref().map(|_| "<custom resolver>"),
+            )
+            .field("solve", &self.solve.as_ref().map(|_| "<precomputed>"))
+            .finish()
+    }
+}
+
 struct Job {
     id: DocId,
     label: String,
     doc: Arc<Document>,
     jitter: JitterModel,
+    resolver: Option<Arc<dyn DescriptorResolver + Send + Sync>>,
+    solve: Option<Arc<SolveResult>>,
 }
 
 struct QueueState {
     pending: VecDeque<Job>,
     finished: Vec<DocOutcome>,
-    /// Ids whose outcome has been handed out by `wait`/`drain`.
+    /// Every id below this has had its outcome handed out by
+    /// `wait`/`drain`.
+    delivered_floor: u64,
+    /// Out-of-order deliveries at or above the floor. Pruned as the floor
+    /// advances, so a long-lived engine's delivery bookkeeping stays
+    /// proportional to the out-of-order window — never to every document
+    /// it ever played.
     delivered: HashSet<u64>,
     in_flight: usize,
     next_id: u64,
+    /// Admission is closed (`close()`); the backlog still drains.
+    closed: bool,
+    /// Workers exit once the queue is empty (`shutdown()`/drop).
     shutdown: bool,
+}
+
+impl QueueState {
+    fn mark_delivered(&mut self, id: u64) {
+        if id == self.delivered_floor {
+            self.delivered_floor += 1;
+            while self.delivered.remove(&self.delivered_floor) {
+                self.delivered_floor += 1;
+            }
+        } else {
+            self.delivered.insert(id);
+        }
+    }
+
+    fn is_delivered(&self, id: u64) -> bool {
+        id < self.delivered_floor || self.delivered.contains(&id)
+    }
 }
 
 struct Shared {
@@ -108,6 +260,9 @@ struct Shared {
     work: Condvar,
     /// Signalled when a job completes (waiters wait).
     done: Condvar,
+    /// Signalled when a worker takes a job off a bounded queue, and on
+    /// close/shutdown (blocked submitters wait).
+    capacity: Condvar,
     config: EngineConfig,
 }
 
@@ -120,9 +275,15 @@ impl Shared {
 /// A pool of worker threads playing many documents concurrently.
 ///
 /// Each outcome is delivered exactly once — by the `wait(id)` or `drain()`
-/// call that first sees it — so a long-lived engine's memory stays bounded
-/// by its backlog. Asking again for an already-delivered outcome panics
-/// with a clear message rather than blocking forever.
+/// call that first sees it. Memory is bounded by the admission bound
+/// ([`EngineConfig::max_backlog`]) *plus* the finished-but-undelivered
+/// outcomes, which accumulate until a `wait`/`drain` collects them —
+/// [`Engine::undelivered`] counts that half, [`Engine::backlog`] the
+/// other. A long-lived engine therefore stays bounded exactly when its
+/// producers keep collecting outcomes (delivery bookkeeping is a watermark
+/// plus the out-of-order window, not a record of every document ever
+/// played). Asking again for an already-delivered outcome panics with a
+/// clear message rather than blocking forever.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -146,11 +307,14 @@ impl Shared {
 ///
 /// let engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
 /// // Submitting an `Arc<Document>` clones a pointer, never the tree.
-/// let a = engine.submit(Arc::clone(&doc), JitterModel::ideal());
-/// let b = engine.submit(doc, JitterModel::uniform(100, 7));
+/// let a = engine.submit(Arc::clone(&doc), JitterModel::ideal())?;
+/// let b = engine.submit(Arc::clone(&doc), JitterModel::uniform(100, 7))?;
 /// let outcome = engine.wait(a);
 /// assert!(outcome.is_ok());
 /// assert!(engine.wait(b).is_ok());
+/// // No new work after close(), but anything admitted still drains:
+/// engine.close();
+/// assert!(engine.try_submit(doc, JitterModel::ideal()).is_err());
 /// # Ok(()) }
 /// ```
 pub struct Engine {
@@ -166,13 +330,16 @@ impl Engine {
             state: Mutex::new(QueueState {
                 pending: VecDeque::new(),
                 finished: Vec::new(),
+                delivered_floor: 0,
                 delivered: HashSet::new(),
                 in_flight: 0,
                 next_id: 0,
+                closed: false,
                 shutdown: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            capacity: Condvar::new(),
             config,
         });
         let workers = (0..worker_count)
@@ -207,33 +374,83 @@ impl Engine {
     /// times clones a pointer 64 times, never the tree. An owned
     /// [`Document`] is accepted too (`impl Into<Arc<Document>>`) and is
     /// moved — not copied — into its ref-counted box.
-    pub fn submit(&self, doc: impl Into<Arc<Document>>, jitter: JitterModel) -> DocId {
-        self.enqueue(None, doc.into(), jitter)
+    ///
+    /// With a bounded queue ([`EngineConfig::max_backlog`]) and the queue
+    /// full, this *blocks* until a worker frees a slot. Errors with
+    /// [`SchedulerError::EngineClosed`] if the engine was closed or shut
+    /// down — including while blocked waiting for capacity.
+    pub fn submit(&self, doc: impl Into<Arc<Document>>, jitter: JitterModel) -> Result<DocId> {
+        self.admit(Submission::new(doc, jitter))
     }
 
     /// Admits a document under a caller-chosen label (for reports and logs).
+    /// Blocks and errors exactly like [`Engine::submit`].
     pub fn submit_labeled(
         &self,
         label: impl Into<String>,
         doc: impl Into<Arc<Document>>,
         jitter: JitterModel,
-    ) -> DocId {
-        self.enqueue(Some(label.into()), doc.into(), jitter)
+    ) -> Result<DocId> {
+        self.admit(Submission::new(doc, jitter).labeled(label))
     }
 
-    fn enqueue(&self, label: Option<String>, doc: Arc<Document>, jitter: JitterModel) -> DocId {
+    /// Non-blocking admission: like [`Engine::submit`], but a full bounded
+    /// queue returns [`SchedulerError::Backpressure`] immediately instead
+    /// of blocking (and a closed engine [`SchedulerError::EngineClosed`]).
+    pub fn try_submit(&self, doc: impl Into<Arc<Document>>, jitter: JitterModel) -> Result<DocId> {
+        self.try_admit(Submission::new(doc, jitter))
+    }
+
+    /// Admits a full [`Submission`], blocking while a bounded queue is
+    /// full. The blocking twin of [`Engine::try_admit`].
+    pub fn admit(&self, submission: Submission) -> Result<DocId> {
+        self.enqueue(submission, true)
+    }
+
+    /// Admits a full [`Submission`] without blocking: a full bounded queue
+    /// is [`SchedulerError::Backpressure`], a closed engine
+    /// [`SchedulerError::EngineClosed`].
+    pub fn try_admit(&self, submission: Submission) -> Result<DocId> {
+        self.enqueue(submission, false)
+    }
+
+    fn enqueue(&self, submission: Submission, block: bool) -> Result<DocId> {
         let mut state = self.shared.lock();
+        loop {
+            if state.closed || state.shutdown {
+                return Err(SchedulerError::EngineClosed);
+            }
+            match self.shared.config.max_backlog {
+                // Jobs reach workers only through `pending`, so a zero-slot
+                // queue would deadlock blocking admissions: clamp to one.
+                Some(limit) if state.pending.len() >= limit.max(1) => {
+                    if !block {
+                        return Err(SchedulerError::Backpressure {
+                            backlog: state.pending.len() + state.in_flight,
+                        });
+                    }
+                    state = self
+                        .shared
+                        .capacity
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
         let id = DocId(state.next_id);
         state.next_id += 1;
         state.pending.push_back(Job {
             id,
-            label: label.unwrap_or_else(|| id.to_string()),
-            doc,
-            jitter,
+            label: submission.label.unwrap_or_else(|| id.to_string()),
+            doc: submission.doc,
+            jitter: submission.jitter,
+            resolver: submission.resolver,
+            solve: submission.solve,
         });
         drop(state);
         self.shared.work.notify_one();
-        id
+        Ok(id)
     }
 
     /// Blocks until the given document has finished (or been rejected) and
@@ -248,11 +465,11 @@ impl Engine {
         assert!(id.0 < state.next_id, "{id} was never admitted here");
         loop {
             if let Some(pos) = state.finished.iter().position(|o| o.id == id) {
-                state.delivered.insert(id.0);
+                state.mark_delivered(id.0);
                 return state.finished.swap_remove(pos);
             }
             assert!(
-                !state.delivered.contains(&id.0),
+                !state.is_delivered(id.0),
                 "the outcome of {id} was already delivered by a previous wait() or drain()"
             );
             state = self
@@ -266,6 +483,9 @@ impl Engine {
     /// Blocks until every admitted document has finished and returns the
     /// not-yet-delivered outcomes in admission order (outcomes already
     /// taken by `wait(id)` are not repeated).
+    ///
+    /// "Every admitted" is a snapshot: producers admitting concurrently
+    /// with a `drain` may land their documents after it returned.
     pub fn drain(&self) -> Vec<DocOutcome> {
         let mut state = self.shared.lock();
         while !state.pending.is_empty() || state.in_flight > 0 {
@@ -276,17 +496,56 @@ impl Engine {
                 .unwrap_or_else(PoisonError::into_inner);
         }
         let mut outcomes = std::mem::take(&mut state.finished);
-        for outcome in &outcomes {
-            state.delivered.insert(outcome.id.0);
-        }
         outcomes.sort_by_key(|o| o.id);
+        // Ascending marks let the delivered floor swallow each id as it
+        // comes — after a full drain the out-of-order set is empty.
+        for outcome in &outcomes {
+            state.mark_delivered(outcome.id.0);
+        }
         outcomes
     }
 
-    /// Number of documents admitted but not yet finished.
+    /// Number of documents admitted but not yet finished (queued plus in
+    /// flight). Finished-but-undelivered outcomes are *not* counted here —
+    /// see [`Engine::undelivered`].
     pub fn backlog(&self) -> usize {
         let state = self.shared.lock();
         state.pending.len() + state.in_flight
+    }
+
+    /// Number of finished outcomes no `wait`/`drain` has collected yet.
+    /// This is the half of the engine's memory [`Engine::backlog`] does
+    /// not cover: it grows without bound if producers never collect.
+    pub fn undelivered(&self) -> usize {
+        self.shared.lock().finished.len()
+    }
+
+    /// (delivered watermark, parked out-of-order deliveries) — the
+    /// boundedness regression test reads these.
+    #[cfg(test)]
+    fn delivery_bookkeeping(&self) -> (u64, usize) {
+        let state = self.shared.lock();
+        (state.delivered_floor, state.delivered.len())
+    }
+
+    /// Stops admission: every later `submit`/`try_submit` (and any
+    /// admission currently blocked on a full queue) gets
+    /// [`SchedulerError::EngineClosed`]. The backlog already admitted
+    /// keeps draining, and `wait`/`drain` keep delivering — the graceful
+    /// half of [`Engine::shutdown`]'s "no new work, then stop". Idempotent.
+    pub fn close(&self) {
+        {
+            let mut state = self.shared.lock();
+            state.closed = true;
+        }
+        // Submitters blocked on capacity must observe the closure.
+        self.shared.capacity.notify_all();
+    }
+
+    /// True once [`Engine::close`] (or shutdown) stopped admission.
+    pub fn is_closed(&self) -> bool {
+        let state = self.shared.lock();
+        state.closed || state.shutdown
     }
 
     /// Stops the workers after the queue drains and joins them.
@@ -300,9 +559,13 @@ impl Engine {
             state.shutdown = true;
         }
         self.shared.work.notify_all();
+        // Admissions blocked on a full queue must fail, not wait forever
+        // for workers that are about to exit.
+        self.shared.capacity.notify_all();
         for worker in self.workers.drain(..) {
-            // A worker that panicked already produced no further outcomes;
-            // propagating the panic out of drop would abort, so ignore it.
+            // Worker threads contain job panics themselves; a panic in the
+            // loop machinery would abort if propagated out of drop, so
+            // swallow it.
             let _ = worker.join();
         }
     }
@@ -311,6 +574,17 @@ impl Engine {
 impl Drop for Engine {
     fn drop(&mut self) {
         self.stop_and_join();
+    }
+}
+
+/// Renders a caught panic payload (the usual `&str`/`String` cases).
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(message) => *message,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(message) => (*message).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
     }
 }
 
@@ -332,11 +606,35 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let outcome = DocOutcome {
-            id: job.id,
-            label: job.label.clone(),
-            result: run_job(&shared.config, &job),
-        };
+        if shared.config.max_backlog.is_some() {
+            // The pop above freed one bounded-queue slot.
+            shared.capacity.notify_one();
+        }
+        // Contain a panicking job: it must not take the worker down with
+        // `in_flight` still incremented (that wedged every later
+        // `drain()`/`wait()` forever). `AssertUnwindSafe` is sound here:
+        // `run_job` only reads the config and the job, all its mutable
+        // state is local to the call, and the queue mutex is not held.
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(&shared.config, &job)))
+            .unwrap_or_else(|payload| {
+                Err(SchedulerError::JobPanicked {
+                    message: panic_message(payload),
+                })
+            });
+        let Job {
+            id,
+            label,
+            doc,
+            jitter,
+            resolver,
+            solve,
+        } = job;
+        // Release the job's shared references (document, resolver,
+        // precomputed solve) *before* the outcome becomes observable, so a
+        // producer that sees the outcome can reclaim sole ownership of
+        // what it shared (`Arc::try_unwrap`) without racing this thread.
+        drop((doc, jitter, resolver, solve));
+        let outcome = DocOutcome { id, label, result };
         let mut state = shared.lock();
         state.in_flight -= 1;
         state.finished.push(outcome);
@@ -349,9 +647,23 @@ fn worker_loop(shared: &Shared) {
 /// scheduler error — a `ConstraintCycle` above all — is the document's
 /// outcome, not the worker's death.
 fn run_job(config: &EngineConfig, job: &Job) -> Result<PlaybackReport> {
-    let mut graph = ConstraintGraph::derive(&job.doc, &job.doc.catalog, &config.options)?;
-    let solved = graph.solve(&job.doc, &job.doc.catalog)?;
-    let mut session = PlayerSession::new(&job.doc, &solved, &job.doc.catalog, &job.jitter)?;
+    if let Some(hook) = &config.job_hook {
+        hook.fire(&job.label);
+    }
+    let resolver: &dyn DescriptorResolver = match &job.resolver {
+        Some(resolver) => resolver.as_ref(),
+        None => &job.doc.catalog,
+    };
+    let owned_solve;
+    let solved: &SolveResult = match &job.solve {
+        Some(precomputed) => precomputed,
+        None => {
+            let mut graph = ConstraintGraph::derive(&job.doc, resolver, &config.options)?;
+            owned_solve = graph.solve(&job.doc, resolver)?;
+            &owned_solve
+        }
+    };
+    let mut session = PlayerSession::new(&job.doc, solved, resolver, &job.jitter)?;
     let total = session.total_duration().as_millis();
     let ticks = i64::from(config.ticks_per_document.max(1));
     for step in 1..=ticks {
@@ -371,6 +683,7 @@ mod tests {
     use cmif_core::arc::SyncArc;
     use cmif_core::prelude::*;
     use cmif_core::time::MediaTime;
+    use std::time::Duration;
 
     use crate::error::SchedulerError;
 
@@ -407,15 +720,55 @@ mod tests {
         doc
     }
 
+    /// A manually opened barrier the stall-hook tests park workers on.
+    struct Gate {
+        open: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Arc<Gate> {
+            Arc::new(Gate {
+                open: Mutex::new(false),
+                cv: Condvar::new(),
+            })
+        }
+
+        fn wait(&self) {
+            let mut open = self.open.lock().unwrap();
+            while !*open {
+                open = self.cv.wait(open).unwrap();
+            }
+        }
+
+        fn release(&self) {
+            *self.open.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// An engine whose workers park on `gate` at the start of every job.
+    fn stalled_engine(workers: usize, max_backlog: Option<usize>, gate: &Arc<Gate>) -> Engine {
+        let gate = Arc::clone(gate);
+        Engine::new(EngineConfig {
+            workers,
+            max_backlog,
+            job_hook: Some(JobHook::new(move |_| gate.wait())),
+            ..EngineConfig::default()
+        })
+    }
+
     #[test]
     fn engine_plays_a_batch_and_reports_each() {
         let engine = Engine::with_workers(4);
         let ids: Vec<DocId> = (0..12)
             .map(|i| {
-                engine.submit(
-                    story("batch", 2 + (i % 3)),
-                    JitterModel::uniform(100, i as u64),
-                )
+                engine
+                    .submit(
+                        story("batch", 2 + (i % 3)),
+                        JitterModel::uniform(100, i as u64),
+                    )
+                    .unwrap()
             })
             .collect();
         let outcomes = engine.drain();
@@ -431,14 +784,22 @@ mod tests {
         let engine = Engine::with_workers(4);
         let mut ids = Vec::new();
         for seed in 0..8u64 {
-            ids.push(engine.submit(story("det", 3), JitterModel::uniform(200, seed)));
+            ids.push(
+                engine
+                    .submit(story("det", 3), JitterModel::uniform(200, seed))
+                    .unwrap(),
+            );
         }
         let outcomes = engine.drain();
 
         let sequential = Engine::with_workers(1);
         let mut seq_ids = Vec::new();
         for seed in 0..8u64 {
-            seq_ids.push(sequential.submit(story("det", 3), JitterModel::uniform(200, seed)));
+            seq_ids.push(
+                sequential
+                    .submit(story("det", 3), JitterModel::uniform(200, seed))
+                    .unwrap(),
+            );
         }
         let seq_outcomes = sequential.drain();
 
@@ -456,8 +817,12 @@ mod tests {
         // One worker: the cyclic document and the good one share it, so the
         // good one only completes if the worker survives the rejection.
         let engine = Engine::with_workers(1);
-        let bad = engine.submit_labeled("bad", cyclic_doc(), JitterModel::ideal());
-        let good = engine.submit_labeled("good", story("good", 2), JitterModel::ideal());
+        let bad = engine
+            .submit_labeled("bad", cyclic_doc(), JitterModel::ideal())
+            .unwrap();
+        let good = engine
+            .submit_labeled("good", story("good", 2), JitterModel::ideal())
+            .unwrap();
         let bad_outcome = engine.wait(bad);
         assert!(matches!(
             bad_outcome.result,
@@ -466,6 +831,242 @@ mod tests {
         let good_outcome = engine.wait(good);
         assert!(good_outcome.is_ok());
         assert_eq!(good_outcome.label, "good");
+    }
+
+    #[test]
+    fn panicking_job_is_an_outcome_not_a_wedge() {
+        // The panic twin of the test above — the regression that motivated
+        // `catch_unwind`: before it, a panic killed the worker with
+        // `in_flight` still incremented and every later `drain()`/`wait()`
+        // blocked forever. One worker: the sibling only completes if that
+        // worker survived the panic.
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            job_hook: Some(JobHook::new(|label| {
+                if label == "boom" {
+                    panic!("injected playback fault in {label}");
+                }
+            })),
+            ..EngineConfig::default()
+        });
+        let bad = engine
+            .submit_labeled("boom", story("doomed", 2), JitterModel::ideal())
+            .unwrap();
+        let good = engine
+            .submit_labeled("survivor", story("fine", 2), JitterModel::ideal())
+            .unwrap();
+        let bad_outcome = engine.wait(bad);
+        match bad_outcome.result {
+            Err(SchedulerError::JobPanicked { ref message }) => {
+                assert!(message.contains("injected playback fault"), "{message}");
+            }
+            other => panic!("expected JobPanicked, got {other:?}"),
+        }
+        // The same worker still serves; drain() terminates.
+        let good_outcome = engine.wait(good);
+        assert!(good_outcome.is_ok(), "{:?}", good_outcome.result);
+        assert!(engine.drain().is_empty());
+        assert_eq!(engine.backlog(), 0);
+    }
+
+    #[test]
+    fn every_job_panicking_still_drains() {
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            job_hook: Some(JobHook::new(|_| panic!("nothing works today"))),
+            ..EngineConfig::default()
+        });
+        for _ in 0..6 {
+            engine
+                .submit(story("cursed", 2), JitterModel::ideal())
+                .unwrap();
+        }
+        let outcomes = engine.drain();
+        assert_eq!(outcomes.len(), 6);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o.result, Err(SchedulerError::JobPanicked { .. }))));
+    }
+
+    #[test]
+    fn try_submit_backpressure_when_saturated() {
+        let gate = Gate::new();
+        let engine = stalled_engine(1, Some(1), &gate);
+        // First job: popped by the worker, which then parks on the gate.
+        let first = engine.submit(story("a", 2), JitterModel::ideal()).unwrap();
+        // Second: sits in the queue's single slot once the worker took the
+        // first (the blocking submit waits for exactly that).
+        let second = engine.submit(story("b", 2), JitterModel::ideal()).unwrap();
+        // Third: the slot is provably full and the worker parked.
+        let refused = engine.try_submit(story("c", 2), JitterModel::ideal());
+        match refused {
+            Err(SchedulerError::Backpressure { backlog }) => assert_eq!(backlog, 2),
+            other => panic!("expected Backpressure, got {other:?}"),
+        }
+        assert_eq!(engine.backlog(), 2);
+        gate.release();
+        assert!(engine.wait(first).is_ok());
+        assert!(engine.wait(second).is_ok());
+    }
+
+    #[test]
+    fn blocked_submit_resumes_when_capacity_frees() {
+        let gate = Gate::new();
+        let engine = Arc::new(stalled_engine(1, Some(1), &gate));
+        engine.submit(story("a", 2), JitterModel::ideal()).unwrap();
+        engine.submit(story("b", 2), JitterModel::ideal()).unwrap();
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let submitter = {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || {
+                let id = engine.submit(story("c", 2), JitterModel::ideal());
+                tx.send(()).unwrap();
+                id
+            })
+        };
+        // While the worker is parked the queue stays full, so the submit
+        // cannot have returned (a false pass here is impossible: returning
+        // would need a queue slot only the parked worker can free).
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+        gate.release();
+        let id = submitter.join().unwrap().expect("unblocked submit admits");
+        assert!(engine.wait(id).is_ok());
+        assert_eq!(engine.drain().len(), 2);
+    }
+
+    #[test]
+    fn close_stops_admission_while_the_backlog_drains() {
+        let gate = Gate::new();
+        let engine = stalled_engine(1, None, &gate);
+        let ids: Vec<DocId> = (0..3)
+            .map(|i| {
+                engine
+                    .submit(story("queued", 2), JitterModel::uniform(50, i))
+                    .unwrap()
+            })
+            .collect();
+        engine.close();
+        assert!(engine.is_closed());
+        assert!(matches!(
+            engine.submit(story("late", 2), JitterModel::ideal()),
+            Err(SchedulerError::EngineClosed)
+        ));
+        assert!(matches!(
+            engine.try_submit(story("late", 2), JitterModel::ideal()),
+            Err(SchedulerError::EngineClosed)
+        ));
+        // The already-admitted backlog still drains to completion.
+        gate.release();
+        let outcomes = engine.drain();
+        assert_eq!(outcomes.len(), ids.len());
+        assert!(outcomes.iter().all(DocOutcome::is_ok));
+        // close() is idempotent and keeps delivering nothing new.
+        engine.close();
+        assert!(engine.drain().is_empty());
+    }
+
+    #[test]
+    fn close_unblocks_a_submitter_waiting_for_capacity() {
+        let gate = Gate::new();
+        let engine = Arc::new(stalled_engine(1, Some(1), &gate));
+        engine.submit(story("a", 2), JitterModel::ideal()).unwrap();
+        engine.submit(story("b", 2), JitterModel::ideal()).unwrap();
+        let blocked = {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || engine.submit(story("c", 2), JitterModel::ideal()))
+        };
+        // Whether the close lands before or after the thread starts
+        // waiting, the submit must come back with EngineClosed.
+        thread::sleep(Duration::from_millis(50));
+        engine.close();
+        assert!(matches!(
+            blocked.join().unwrap(),
+            Err(SchedulerError::EngineClosed)
+        ));
+        gate.release();
+        assert_eq!(engine.drain().len(), 2);
+    }
+
+    #[test]
+    fn zero_backlog_is_clamped_so_blocking_submits_make_progress() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            max_backlog: Some(0),
+            ..EngineConfig::default()
+        });
+        let id = engine
+            .submit(story("only", 2), JitterModel::ideal())
+            .unwrap();
+        assert!(engine.wait(id).is_ok());
+    }
+
+    #[test]
+    fn delivery_bookkeeping_stays_bounded_on_a_long_lived_engine() {
+        let engine = Engine::with_workers(1);
+        for i in 0..40 {
+            let id = engine
+                .submit(story("long", 2), JitterModel::uniform(30, i))
+                .unwrap();
+            assert!(engine.wait(id).is_ok());
+        }
+        let (floor, parked) = engine.delivery_bookkeeping();
+        assert_eq!(floor, 40);
+        assert_eq!(
+            parked, 0,
+            "delivery set must not grow with documents played"
+        );
+
+        // Out-of-order delivery parks an id only until the floor catches up.
+        let a = engine.submit(story("a", 2), JitterModel::ideal()).unwrap();
+        let b = engine.submit(story("b", 2), JitterModel::ideal()).unwrap();
+        assert!(engine.wait(b).is_ok());
+        let (_, parked) = engine.delivery_bookkeeping();
+        assert_eq!(parked, 1);
+        assert!(engine.wait(a).is_ok());
+        let (floor, parked) = engine.delivery_bookkeeping();
+        assert_eq!(floor, 42);
+        assert_eq!(parked, 0);
+    }
+
+    #[test]
+    fn undelivered_counts_finished_outcomes_until_collected() {
+        let engine = Engine::with_workers(2);
+        for i in 0..3 {
+            engine
+                .submit(story("idle", 2), JitterModel::uniform(40, i))
+                .unwrap();
+        }
+        // Wait for the jobs to finish without delivering their outcomes.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while engine.backlog() > 0 {
+            assert!(std::time::Instant::now() < deadline, "jobs never finished");
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(engine.undelivered(), 3);
+        assert_eq!(engine.backlog(), 0);
+        assert_eq!(engine.drain().len(), 3);
+        assert_eq!(engine.undelivered(), 0);
+    }
+
+    #[test]
+    fn precomputed_solve_skips_derivation_but_matches_it() {
+        let doc = Arc::new(story("pre", 3));
+        let jitter = JitterModel::uniform(150, 11);
+        let engine = Engine::with_workers(1);
+        let derived = engine.submit(Arc::clone(&doc), jitter.clone()).unwrap();
+        let solve = ConstraintGraph::derive(&doc, &doc.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(&doc, &doc.catalog)
+            .unwrap();
+        let precomputed = engine
+            .admit(Submission::new(Arc::clone(&doc), jitter).solved(solve))
+            .unwrap();
+        assert_eq!(
+            engine.wait(derived).result.unwrap(),
+            engine.wait(precomputed).result.unwrap(),
+            "the precomputed-solve path diverged from the derive path"
+        );
     }
 
     #[test]
@@ -487,7 +1088,9 @@ mod tests {
     #[should_panic(expected = "already delivered")]
     fn waiting_twice_for_one_outcome_panics_instead_of_hanging() {
         let engine = Engine::with_workers(1);
-        let id = engine.submit(story("once", 2), JitterModel::ideal());
+        let id = engine
+            .submit(story("once", 2), JitterModel::ideal())
+            .unwrap();
         assert!(engine.wait(id).is_ok());
         engine.wait(id);
     }
@@ -496,7 +1099,9 @@ mod tests {
     #[should_panic(expected = "already delivered")]
     fn waiting_after_drain_panics_instead_of_hanging() {
         let engine = Engine::with_workers(1);
-        let id = engine.submit(story("drained", 2), JitterModel::ideal());
+        let id = engine
+            .submit(story("drained", 2), JitterModel::ideal())
+            .unwrap();
         assert_eq!(engine.drain().len(), 1);
         engine.wait(id);
     }
@@ -505,11 +1110,15 @@ mod tests {
     fn drain_returns_each_outcome_once_across_batches() {
         let engine = Engine::with_workers(2);
         for _ in 0..3 {
-            engine.submit(story("batch-a", 2), JitterModel::ideal());
+            engine
+                .submit(story("batch-a", 2), JitterModel::ideal())
+                .unwrap();
         }
         assert_eq!(engine.drain().len(), 3);
         for _ in 0..2 {
-            engine.submit(story("batch-b", 2), JitterModel::ideal());
+            engine
+                .submit(story("batch-b", 2), JitterModel::ideal())
+                .unwrap();
         }
         // The second drain sees only the second batch.
         assert_eq!(engine.drain().len(), 2);

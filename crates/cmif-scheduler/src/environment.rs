@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 
 use cmif_core::channel::MediaKind;
+use cmif_core::symbol::Symbol;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,7 +23,8 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnvironmentLimits {
     /// A short name for reports ("workstation", "laptop", "audio kiosk").
-    pub name: String,
+    /// Interned: device names are a small fixed vocabulary.
+    pub name: Symbol,
     /// The media this environment can present at all.
     pub supported_media: Vec<MediaKind>,
     /// Maximum number of simultaneously active events across all channels.
@@ -44,7 +46,7 @@ impl EnvironmentLimits {
     /// plenty of bandwidth. Documents should present without conflicts.
     pub fn workstation() -> EnvironmentLimits {
         EnvironmentLimits {
-            name: "workstation".to_string(),
+            name: Symbol::intern("workstation"),
             supported_media: MediaKind::ALL.to_vec(),
             max_concurrent_events: 16,
             bandwidth_bps: 20_000_000,
@@ -57,7 +59,7 @@ impl EnvironmentLimits {
     /// A low-end personal computer: small 8-bit display, little bandwidth.
     pub fn low_end_pc() -> EnvironmentLimits {
         EnvironmentLimits {
-            name: "low-end-pc".to_string(),
+            name: Symbol::intern("low-end-pc"),
             supported_media: MediaKind::ALL.to_vec(),
             max_concurrent_events: 4,
             bandwidth_bps: 1_000_000,
@@ -71,7 +73,7 @@ impl EnvironmentLimits {
     /// that cannot implement the flying-bird document).
     pub fn audio_kiosk() -> EnvironmentLimits {
         EnvironmentLimits {
-            name: "audio-kiosk".to_string(),
+            name: Symbol::intern("audio-kiosk"),
             supported_media: vec![MediaKind::Audio],
             max_concurrent_events: 2,
             bandwidth_bps: 256_000,
@@ -96,8 +98,10 @@ impl EnvironmentLimits {
 pub struct JitterModel {
     /// Default maximum startup latency for channels with no specific entry.
     pub default_max_latency_ms: i64,
-    /// Per-channel maximum startup latencies.
-    pub per_channel_max_ms: BTreeMap<String, i64>,
+    /// Per-channel maximum startup latencies, keyed by the interned
+    /// channel name — the playback simulator looks these up once per leaf
+    /// with the `Copy` symbol it already holds, no string hashing.
+    pub per_channel_max_ms: BTreeMap<Symbol, i64>,
     /// Seed for the deterministic random source.
     pub seed: u64,
 }
@@ -123,18 +127,30 @@ impl JitterModel {
     }
 
     /// Overrides the maximum latency for one channel.
-    pub fn with_channel(mut self, channel: impl Into<String>, max_latency_ms: i64) -> JitterModel {
+    pub fn with_channel(mut self, channel: impl Into<Symbol>, max_latency_ms: i64) -> JitterModel {
         self.per_channel_max_ms
             .insert(channel.into(), max_latency_ms);
         self
     }
 
-    /// The maximum latency that applies to a channel.
-    pub fn max_for(&self, channel: &str) -> i64 {
+    /// The maximum latency that applies to a channel (the `Copy` symbol a
+    /// playback session already holds).
+    pub fn max_for(&self, channel: Symbol) -> i64 {
         *self
             .per_channel_max_ms
-            .get(channel)
+            .get(&channel)
             .unwrap_or(&self.default_max_latency_ms)
+    }
+
+    /// `&str` convenience for [`JitterModel::max_for`]. A query path: the
+    /// name is *looked up*, never interned, so probing with never-seen
+    /// channel names cannot grow the global symbol pool — they simply get
+    /// the default latency, exactly as an interned-but-unlisted channel
+    /// would.
+    pub fn max_for_str(&self, channel: &str) -> i64 {
+        Symbol::lookup(channel)
+            .map(|channel| self.max_for(channel))
+            .unwrap_or(self.default_max_latency_ms)
     }
 
     /// Creates the deterministic sampler for one playback run.
@@ -155,7 +171,7 @@ pub struct JitterSampler {
 
 impl JitterSampler {
     /// Samples the startup latency for one event on `channel`.
-    pub fn sample(&mut self, channel: &str) -> i64 {
+    pub fn sample(&mut self, channel: Symbol) -> i64 {
         let max = self.model.max_for(channel);
         if max <= 0 {
             0
@@ -185,9 +201,19 @@ mod tests {
     #[test]
     fn jitter_model_per_channel_override() {
         let model = JitterModel::uniform(200, 7).with_channel("video", 500);
-        assert_eq!(model.max_for("audio"), 200);
-        assert_eq!(model.max_for("video"), 500);
-        assert_eq!(JitterModel::ideal().max_for("anything"), 0);
+        assert_eq!(model.max_for(Symbol::intern("audio")), 200);
+        assert_eq!(model.max_for(Symbol::intern("video")), 500);
+        assert_eq!(JitterModel::ideal().max_for(Symbol::intern("anything")), 0);
+    }
+
+    #[test]
+    fn max_for_str_queries_without_interning() {
+        let model = JitterModel::uniform(200, 7).with_channel("video", 500);
+        assert_eq!(model.max_for_str("video"), 500);
+        // A name nobody ever interned gets the default — and stays out of
+        // the pool.
+        assert_eq!(model.max_for_str("channel-that-was-never-interned"), 200);
+        assert_eq!(Symbol::lookup("channel-that-was-never-interned"), None);
     }
 
     #[test]
@@ -195,8 +221,8 @@ mod tests {
         let model = JitterModel::uniform(300, 42);
         let mut a = model.sampler();
         let mut b = model.sampler();
-        let seq_a: Vec<i64> = (0..10).map(|_| a.sample("audio")).collect();
-        let seq_b: Vec<i64> = (0..10).map(|_| b.sample("audio")).collect();
+        let seq_a: Vec<i64> = (0..10).map(|_| a.sample(Symbol::intern("audio"))).collect();
+        let seq_b: Vec<i64> = (0..10).map(|_| b.sample(Symbol::intern("audio"))).collect();
         assert_eq!(seq_a, seq_b);
         assert!(seq_a.iter().all(|v| (0..=300).contains(v)));
     }
@@ -204,16 +230,16 @@ mod tests {
     #[test]
     fn ideal_sampler_returns_zero() {
         let mut sampler = JitterModel::ideal().sampler();
-        assert_eq!(sampler.sample("video"), 0);
-        assert_eq!(sampler.sample("audio"), 0);
+        assert_eq!(sampler.sample(Symbol::intern("video")), 0);
+        assert_eq!(sampler.sample(Symbol::intern("audio")), 0);
     }
 
     #[test]
     fn different_seeds_usually_differ() {
         let mut a = JitterModel::uniform(1_000, 1).sampler();
         let mut b = JitterModel::uniform(1_000, 2).sampler();
-        let seq_a: Vec<i64> = (0..20).map(|_| a.sample("x")).collect();
-        let seq_b: Vec<i64> = (0..20).map(|_| b.sample("x")).collect();
+        let seq_a: Vec<i64> = (0..20).map(|_| a.sample(Symbol::intern("x"))).collect();
+        let seq_b: Vec<i64> = (0..20).map(|_| b.sample(Symbol::intern("x"))).collect();
         assert_ne!(seq_a, seq_b);
     }
 }

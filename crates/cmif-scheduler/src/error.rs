@@ -35,6 +35,23 @@ pub enum SchedulerError {
         /// The operation that needed the node's times.
         operation: &'static str,
     },
+    /// An engine job panicked while scheduling or playing its document.
+    /// The panic is contained: it becomes this per-document outcome, the
+    /// worker thread keeps serving, and `drain()`/`wait()` still terminate.
+    JobPanicked {
+        /// The panic payload, when it was a string (the usual case).
+        message: String,
+    },
+    /// A non-blocking admission (`Engine::try_submit`/`try_admit`) found
+    /// the engine's bounded queue full.
+    Backpressure {
+        /// The engine's backlog (admitted but unfinished documents) at the
+        /// moment the admission was refused.
+        backlog: usize,
+    },
+    /// The engine was closed (or shut down): it no longer admits documents,
+    /// though outcomes already admitted can still be collected.
+    EngineClosed,
     /// A structural error from the document model.
     Core(CoreError),
 }
@@ -52,6 +69,16 @@ impl fmt::Display for SchedulerError {
                     f,
                     "{operation}: node {node} is not covered by the solved schedule"
                 )
+            }
+            SchedulerError::JobPanicked { message } => {
+                write!(f, "the engine job panicked: {message}")
+            }
+            SchedulerError::Backpressure { backlog } => write!(
+                f,
+                "the engine's bounded queue is full ({backlog} documents in the backlog)"
+            ),
+            SchedulerError::EngineClosed => {
+                write!(f, "the engine is closed and admits no new documents")
             }
             SchedulerError::Core(e) => write!(f, "document error: {e}"),
         }
@@ -95,5 +122,16 @@ mod tests {
         assert!(text.contains("solve"));
         assert!(text.contains("42"));
         assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn admission_errors_render_their_context() {
+        let panicked = SchedulerError::JobPanicked {
+            message: "index out of bounds".to_string(),
+        };
+        assert!(panicked.to_string().contains("index out of bounds"));
+        let full = SchedulerError::Backpressure { backlog: 9 };
+        assert!(full.to_string().contains('9'));
+        assert!(SchedulerError::EngineClosed.to_string().contains("closed"));
     }
 }

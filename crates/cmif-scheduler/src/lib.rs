@@ -22,7 +22,10 @@
 //!   how well the Must/May tolerance windows absorb the jitter (the
 //!   Figure 8 experiment); [`player`] keeps the report types;
 //! * [`engine`] multiplexes many documents over a pool of worker threads
-//!   with a hand-rolled run queue ([`engine::Engine`]);
+//!   with a hand-rolled run queue ([`engine::Engine`]): bounded admission
+//!   (blocking `submit` vs failing `try_submit`), graceful `close`, and
+//!   panic containment (a panicking job is a
+//!   [`SchedulerError::JobPanicked`] outcome, never a dead worker);
 //! * [`environment`] models the device: supported media, bandwidth, decode
 //!   capacity, and per-channel startup jitter.
 //!
@@ -72,7 +75,9 @@ pub use conflict::{
     specification_conflicts, Conflict, ConflictReport,
 };
 pub use defaults::{derive_constraints, derive_structural, rates_of};
-pub use engine::{DocId, DocOutcome, Engine, EngineConfig};
+#[doc(hidden)]
+pub use engine::JobHook;
+pub use engine::{DocId, DocOutcome, Engine, EngineConfig, Submission};
 pub use environment::{EnvironmentLimits, JitterModel, JitterSampler};
 pub use graph::{ConstraintGraph, PointTimes};
 pub use player::{must_satisfaction_rate, PlaybackReport, PlayedEvent};

@@ -169,7 +169,7 @@ impl PlayerSession {
         let mut channels: HashMap<NodeId, Symbol> = HashMap::with_capacity(leaves.len());
         for leaf in &leaves {
             let channel = doc.channel_of(*leaf)?.unwrap_or_else(unassigned_channel);
-            latencies.insert(*leaf, sampler.sample(channel.as_str()));
+            latencies.insert(*leaf, sampler.sample(channel));
             channels.insert(*leaf, channel);
         }
 

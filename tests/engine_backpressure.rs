@@ -1,0 +1,162 @@
+//! Concurrent-admission tests for the engine's bounded queue: N producer
+//! threads racing `try_submit`/`submit`/`wait` against a small
+//! `max_backlog`, with a final `drain` — no outcome may be lost or
+//! delivered twice, the drained tail must come back in admission order,
+//! and the backlog must respect its bound the whole time.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread;
+
+use cmif::core::tree::Document;
+use cmif::scheduler::{DocId, DocOutcome, Engine, EngineConfig, JitterModel, SchedulerError};
+use cmif::synthetic::SyntheticNews;
+
+fn doc() -> Arc<Document> {
+    Arc::new(SyntheticNews::with_stories(1).build().unwrap())
+}
+
+const MAX_BACKLOG: usize = 4;
+const WORKERS: usize = 2;
+const PRODUCERS: usize = 4;
+const DOCS_PER_PRODUCER: usize = 24;
+
+/// What one producer thread brought home: the ids it was issued and the
+/// outcomes it already collected itself via `wait`.
+struct ProducerReport {
+    admitted: Vec<DocId>,
+    collected: Vec<DocOutcome>,
+}
+
+#[test]
+fn racing_producers_lose_no_outcome_and_drain_in_admission_order() {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: WORKERS,
+        max_backlog: Some(MAX_BACKLOG),
+        ..EngineConfig::default()
+    }));
+    let document = doc();
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|producer| {
+            let engine = Arc::clone(&engine);
+            let document = Arc::clone(&document);
+            thread::spawn(move || {
+                let mut admitted = Vec::new();
+                let mut collected = Vec::new();
+                for i in 0..DOCS_PER_PRODUCER {
+                    let jitter = JitterModel::uniform(80, (producer * 1_000 + i) as u64);
+                    let id = if i % 2 == 0 {
+                        // Non-blocking half: spin on Backpressure like a
+                        // latency-sensitive client would.
+                        loop {
+                            match engine.try_submit(Arc::clone(&document), jitter.clone()) {
+                                Ok(id) => break id,
+                                Err(SchedulerError::Backpressure { backlog }) => {
+                                    // The refusal itself must respect the bound.
+                                    assert!(backlog <= MAX_BACKLOG + WORKERS);
+                                    thread::yield_now();
+                                }
+                                Err(other) => panic!("unexpected admission error: {other}"),
+                            }
+                        }
+                    } else {
+                        // Blocking half.
+                        engine
+                            .submit(Arc::clone(&document), jitter)
+                            .expect("engine is open")
+                    };
+                    assert!(
+                        engine.backlog() <= MAX_BACKLOG + WORKERS,
+                        "backlog exceeded its bound"
+                    );
+                    admitted.push(id);
+                    // Collect a third of our own outcomes concurrently with
+                    // everyone else's admissions and the final drain.
+                    if i % 3 == 0 {
+                        collected.push(engine.wait(id));
+                    }
+                }
+                ProducerReport {
+                    admitted,
+                    collected,
+                }
+            })
+        })
+        .collect();
+
+    let reports: Vec<ProducerReport> = producers
+        .into_iter()
+        .map(|p| p.join().expect("producer thread panicked"))
+        .collect();
+    let drained = engine.drain();
+
+    // Drained outcomes come back in admission order.
+    let drained_ids: Vec<DocId> = drained.iter().map(|o| o.id).collect();
+    let mut sorted = drained_ids.clone();
+    sorted.sort();
+    assert_eq!(drained_ids, sorted, "drain broke admission order");
+
+    // Every admitted document has exactly one outcome, delivered either to
+    // the producer that waited on it or to the final drain — none lost,
+    // none duplicated.
+    let mut seen: HashSet<DocId> = HashSet::new();
+    for outcome in reports.iter().flat_map(|r| &r.collected).chain(&drained) {
+        assert!(seen.insert(outcome.id), "{} delivered twice", outcome.id);
+        assert!(outcome.is_ok(), "{}: {:?}", outcome.id, outcome.result);
+    }
+    let admitted: HashSet<DocId> = reports.iter().flat_map(|r| &r.admitted).copied().collect();
+    assert_eq!(admitted.len(), PRODUCERS * DOCS_PER_PRODUCER);
+    assert_eq!(seen, admitted, "outcomes lost or invented");
+    assert_eq!(engine.undelivered(), 0);
+}
+
+#[test]
+fn close_races_cleanly_with_producers() {
+    // Producers hammer a bounded engine while the main thread closes it:
+    // every admission must either succeed (outcome delivered) or fail with
+    // EngineClosed/Backpressure — and drain must account for exactly the
+    // successful ones.
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        max_backlog: Some(2),
+        ..EngineConfig::default()
+    }));
+    let document = doc();
+
+    let producers: Vec<_> = (0..3)
+        .map(|producer| {
+            let engine = Arc::clone(&engine);
+            let document = Arc::clone(&document);
+            thread::spawn(move || {
+                let mut admitted = 0usize;
+                for i in 0..64 {
+                    let jitter = JitterModel::uniform(50, (producer * 64 + i) as u64);
+                    match engine.submit(Arc::clone(&document), jitter) {
+                        Ok(_) => admitted += 1,
+                        Err(SchedulerError::EngineClosed) => break,
+                        Err(other) => panic!("unexpected admission error: {other}"),
+                    }
+                }
+                admitted
+            })
+        })
+        .collect();
+
+    // Let some admissions through, then slam the door.
+    while engine.backlog() == 0 && engine.undelivered() == 0 {
+        thread::yield_now();
+    }
+    engine.close();
+    let admitted: usize = producers
+        .into_iter()
+        .map(|p| p.join().expect("producer thread panicked"))
+        .sum();
+    let outcomes = engine.drain();
+    assert_eq!(outcomes.len(), admitted, "drain lost an admitted outcome");
+    assert!(outcomes.iter().all(DocOutcome::is_ok));
+    assert!(matches!(
+        engine.try_submit(document, JitterModel::ideal()),
+        Err(SchedulerError::EngineClosed)
+    ));
+}

@@ -143,8 +143,12 @@ fn engine_rejects_a_cyclic_document_while_a_sibling_completes() {
         workers: 1,
         ..EngineConfig::default()
     });
-    let bad = engine.submit_labeled("cyclic", cyclic_doc(), JitterModel::ideal());
-    let good = engine.submit_labeled("news", broadcast(1), JitterModel::ideal());
+    let bad = engine
+        .submit_labeled("cyclic", cyclic_doc(), JitterModel::ideal())
+        .unwrap();
+    let good = engine
+        .submit_labeled("news", broadcast(1), JitterModel::ideal())
+        .unwrap();
 
     let bad_outcome = engine.wait(bad);
     assert!(matches!(
@@ -192,7 +196,7 @@ fn sixty_four_concurrent_documents_match_sequential_runs() {
     // Submitting shares the `Arc` — 64 admissions, zero tree copies.
     let ids: Vec<DocId> = docs
         .iter()
-        .map(|(doc, jitter)| engine.submit(Arc::clone(doc), jitter.clone()))
+        .map(|(doc, jitter)| engine.submit(Arc::clone(doc), jitter.clone()).unwrap())
         .collect();
     let outcomes = engine.drain();
     assert_eq!(outcomes.len(), 64);
