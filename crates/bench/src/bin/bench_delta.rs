@@ -3,6 +3,7 @@
 //! ```text
 //! bench_delta <previous.txt> <current.txt> \
 //!     [--fail-prefix PREFIX[:FRACTION]]... [--threshold FRACTION]
+//! bench_delta --trajectory BENCH
 //! ```
 //!
 //! Prints the per-target delta table on stdout. `--fail-prefix` may be
@@ -11,10 +12,16 @@
 //! `:FRACTION` uses the global `--threshold` (default 0.25 = +25 %), so a
 //! tight gate on throughput targets can ride next to a generous one on
 //! noisier parsing targets.
+//!
+//! `--trajectory BENCH` reads the committed `BENCH_<BENCH>.json` perf
+//! history at the repo root (appended by the benches themselves, e.g.
+//! `cargo bench --bench ext_engine`) and prints each metric's first→latest
+//! evolution. It can be combined with a delta comparison or used alone.
 
 use std::process::ExitCode;
 
 use cmif_bench::delta::{diff, regressions, render_table};
+use cmif_bench::trajectory;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,9 +29,17 @@ fn main() -> ExitCode {
     // (prefix, per-prefix threshold override)
     let mut fail_prefixes: Vec<(String, Option<f64>)> = Vec::new();
     let mut threshold = 0.25f64;
+    let mut trajectories: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--trajectory" => match iter.next() {
+                Some(bench) => trajectories.push(bench),
+                None => {
+                    eprintln!("--trajectory needs a bench name (e.g. ext_engine)");
+                    return ExitCode::from(2);
+                }
+            },
             "--fail-prefix" => match iter.next() {
                 Some(spec) => match spec.split_once(':') {
                     Some((prefix, fraction)) => match fraction.parse() {
@@ -51,10 +66,18 @@ fn main() -> ExitCode {
             _ => paths.push(arg),
         }
     }
+    for bench in &trajectories {
+        println!("{}", trajectory::render_history(&trajectory::load(bench)));
+    }
+    if paths.is_empty() && !trajectories.is_empty() {
+        // Trajectory-only invocation: nothing to diff.
+        return ExitCode::SUCCESS;
+    }
     let [previous_path, current_path] = paths.as_slice() else {
         eprintln!(
             "usage: bench_delta <previous.txt> <current.txt> \
-             [--fail-prefix PREFIX[:FRACTION]]... [--threshold FRACTION]"
+             [--fail-prefix PREFIX[:FRACTION]]... [--threshold FRACTION] \
+             | bench_delta --trajectory BENCH"
         );
         return ExitCode::from(2);
     };

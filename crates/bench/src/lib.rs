@@ -12,6 +12,7 @@ use cmif::news::{capture_news_media, evening_news};
 use cmif_core::tree::Document;
 
 pub mod delta;
+pub mod trajectory;
 
 /// Prints a banner so regenerated artifacts are easy to find in the bench
 /// output.

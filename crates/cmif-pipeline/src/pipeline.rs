@@ -30,7 +30,7 @@ use cmif_core::validate;
 use cmif_media::store::BlockStore;
 use cmif_scheduler::{
     full_report, ConflictReport, ConstraintGraph, Engine, EngineConfig, JitterModel,
-    PlaybackReport, ScheduleOptions, SolveResult, Submission,
+    PlaybackReport, ScheduleOptions, SolveResult, Submission, TenantId,
 };
 
 use crate::constraint::{apply_plan, plan_filters, DeviceProfile, FilterPlan};
@@ -67,6 +67,14 @@ pub struct PipelineOptions {
     /// that never rejects this document, or `None` to opt out of
     /// admission control entirely.
     pub playback_backlog: Option<usize>,
+    /// Tenant the stage-5c playback submissions run under. The engine is
+    /// shared across every run (and clone) of a builder, so attributing
+    /// each document's runs to its client keeps one busy document from
+    /// starving another's playback (weighted fair queuing) and lets
+    /// per-tenant stats and quotas apply — see
+    /// [`cmif_scheduler::Engine::set_tenant_policy`]. Defaults to
+    /// [`TenantId::DEFAULT`].
+    pub playback_tenant: TenantId,
 }
 
 impl Default for PipelineOptions {
@@ -79,6 +87,7 @@ impl Default for PipelineOptions {
             playback_runs: 1,
             playback_workers: 1,
             playback_backlog: None,
+            playback_tenant: TenantId::DEFAULT,
         }
     }
 }
@@ -361,27 +370,38 @@ impl PipelineBuilder {
                     ..EngineConfig::default()
                 })
             });
-            let mut ids = Vec::with_capacity(options.playback_runs as usize);
-            let mut admission_error = None;
-            for run in 0..options.playback_runs {
+            let submissions = (0..options.playback_runs).map(|run| {
                 let jitter = JitterModel {
                     seed: options.jitter.seed.wrapping_add(run as u64),
                     ..options.jitter.clone()
                 };
-                let submission = Submission::new(Arc::clone(&shared_doc), jitter)
+                Submission::new(Arc::clone(&shared_doc), jitter)
+                    .tenant(options.playback_tenant)
                     .resolver(Arc::clone(&catalog))
-                    .solved(Arc::clone(&solve_result));
+                    .solved(Arc::clone(&solve_result))
+            });
+            let mut ids = Vec::with_capacity(options.playback_runs as usize);
+            let mut admission_error = None;
+            match options.playback_backlog {
+                // Unbounded: all runs admitted under one queue transaction
+                // (all-or-nothing, one lock acquisition for the batch).
+                None => match engine.submit_batch(submissions) {
+                    Ok(batch) => ids = batch,
+                    Err(e) => admission_error = Some(e),
+                },
                 // A bounded stage never blocks the pipeline on a full
-                // queue: overload surfaces as a stage-tagged error.
-                let admitted = match options.playback_backlog {
-                    None => engine.admit(submission),
-                    Some(_) => engine.try_admit(submission),
-                };
-                match admitted {
-                    Ok(id) => ids.push(id),
-                    Err(e) => {
-                        admission_error = Some(e);
-                        break;
+                // queue: each run is offered non-blockingly, the ones that
+                // fit still play, and overload surfaces as a stage-tagged
+                // error.
+                Some(_) => {
+                    for submission in submissions {
+                        match engine.try_admit(submission) {
+                            Ok(id) => ids.push(id),
+                            Err(e) => {
+                                admission_error = Some(e);
+                                break;
+                            }
+                        }
                     }
                 }
             }

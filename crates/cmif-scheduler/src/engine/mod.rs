@@ -1,4 +1,4 @@
-//! The multi-document scheduling engine.
+//! The multi-document, multi-tenant scheduling engine.
 //!
 //! The one-shot entry points processed one document per call and rebuilt
 //! all state each time — a dead end for a server that must multiplex many
@@ -7,32 +7,65 @@
 //! N documents, schedules and plays them concurrently across a fixed pool
 //! of worker threads, and returns one [`PlaybackReport`] per document.
 //!
-//! The run queue is hand-rolled on `std::sync::{Mutex, Condvar}` — this
-//! workspace has no registry access, so no tokio — and a job can only fail
-//! *as itself*: a document whose constraints are unsatisfiable is rejected
-//! with [`SchedulerError::ConstraintCycle`] as its outcome, and a job that
-//! *panics* is contained by `catch_unwind` into a
-//! [`SchedulerError::JobPanicked`] outcome. Either way the worker thread
-//! keeps serving and `drain()`/`wait()` terminate — exactly the supervisor
-//! behaviour the typed error layer was introduced for.
+//! The run queue is hand-rolled on `std::sync::{Mutex, Condvar}` (no
+//! registry access, so no tokio) and split into two planes so the shared
+//! lock stops being the serialization point as workers multiply:
 //!
-//! Admission is controlled: with [`EngineConfig::max_backlog`] set, a full
-//! queue makes [`Engine::submit`] block until a worker frees capacity while
-//! [`Engine::try_submit`] refuses immediately with
-//! [`SchedulerError::Backpressure`]; [`Engine::close`] stops admission
-//! (further submits get [`SchedulerError::EngineClosed`]) while the backlog
-//! already admitted keeps draining.
+//! * the **tenant plane** ([`tenant`]) — one mutex holding a FIFO per
+//!   [`TenantId`], dispatched by stride scheduling so a noisy tenant with
+//!   10 000 queued documents cannot delay a tenant submitting one, plus
+//!   the token-bucket admission quotas and the FIFO admission ticket gate
+//!   ([`ticket`]);
+//! * the **worker plane** ([`queue`]) — one deque per worker. A worker
+//!   runs out of its own shard, refills a small batch
+//!   ([`EngineConfig::refill_batch`]) from the tenant plane when its shard
+//!   runs dry, and steals from a sibling when the plane is empty too.
+//!   Submitters and workers therefore contend on the shared lock once per
+//!   *batch*, not once per job — and [`Engine::submit_batch`] amortises
+//!   the submitter side the same way.
+//!
+//! A job can only fail *as itself*: a document whose constraints are
+//! unsatisfiable is rejected with [`SchedulerError::ConstraintCycle`] as
+//! its outcome, and a job that *panics* is contained by `catch_unwind`
+//! into a [`SchedulerError::JobPanicked`] outcome. Either way the worker
+//! keeps serving and `drain()`/`wait()` terminate.
+//!
+//! Admission is controlled on two axes:
+//!
+//! * **capacity** — with [`EngineConfig::max_backlog`] set, a full queue
+//!   makes [`Engine::submit`] block until a worker frees capacity while
+//!   [`Engine::try_submit`] refuses immediately with
+//!   [`SchedulerError::Backpressure`]. Blocked submitters hold FIFO
+//!   tickets: they are admitted in *arrival order*, however the condvar
+//!   orders its wakeups.
+//! * **policy** — a tenant with a [`QuotaConfig`] is refused with
+//!   [`SchedulerError::QuotaExceeded`] (telling it when to retry) once its
+//!   token bucket runs dry; quota refusals are never queued.
+//!
+//! [`Engine::close`] stops admission (further submits get
+//! [`SchedulerError::EngineClosed`]) while the backlog already admitted
+//! keeps draining.
 //!
 //! Determinism: each submission carries its own seeded [`JitterModel`], so
 //! the report produced for a document is identical whether it played alone
-//! or next to 63 concurrent siblings.
+//! or next to 63 concurrent siblings — and regardless of which worker
+//! stole it.
+
+mod queue;
+mod tenant;
+mod ticket;
+
+pub use queue::QueueStats;
+pub use tenant::{QuotaConfig, TenantId, TenantPolicy, TenantStatsSnapshot};
 
 use std::any::Any;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 use cmif_core::descriptor::DescriptorResolver;
 use cmif_core::tree::Document;
@@ -44,6 +77,10 @@ use crate::player::PlaybackReport;
 use crate::session::PlayerSession;
 use crate::solver::SolveResult;
 use crate::types::ScheduleOptions;
+
+use self::queue::WorkerShards;
+use self::tenant::{LatencyStats, TenantRunQueue};
+use self::ticket::TicketGate;
 
 /// Test-only fault injection: runs at the start of every job with the
 /// job's label. A panic raised here is deliberately indistinguishable from
@@ -82,15 +119,26 @@ pub struct EngineConfig {
     /// outcomes do not depend on this (the causal timeline is fixed at
     /// session creation); it only exercises the step-wise machinery.
     pub ticks_per_document: u32,
-    /// Maximum number of admitted-but-unstarted documents. `None` (the
-    /// default) admits without bound — a fast producer can then grow the
-    /// queue faster than the workers drain it. With `Some(k)`, a full
-    /// queue makes [`Engine::submit`] block on a capacity condvar until a
-    /// worker takes a job, and [`Engine::try_submit`] return
+    /// Maximum number of admitted-but-unstarted documents (counting jobs
+    /// parked in worker shards). `None` (the default) admits without bound
+    /// — a fast producer can then grow the queue faster than the workers
+    /// drain it. With `Some(k)`, a full queue makes [`Engine::submit`]
+    /// block (FIFO, see [`Engine::waiting_submitters`]) until a worker
+    /// takes a job, and [`Engine::try_submit`] return
     /// [`SchedulerError::Backpressure`] immediately. `Some(0)` is treated
     /// as `Some(1)`: jobs reach workers only through the queue, so a
     /// zero-slot queue would deadlock every blocking admission.
     pub max_backlog: Option<usize>,
+    /// How many jobs a worker moves from the shared tenant plane into its
+    /// own shard per refill — the batch size that amortises the shared
+    /// lock. The first job runs immediately; the extras are parked where
+    /// idle siblings can steal them. Zero is clamped to one. Larger
+    /// batches mean fewer shared-lock acquisitions but a coarser
+    /// interleaving of the weighted-fair dispatch order.
+    pub refill_batch: usize,
+    /// Policy applied to tenants that never got an explicit
+    /// [`Engine::set_tenant_policy`]: by default weight 1, no quota.
+    pub default_tenant_policy: TenantPolicy,
     /// Test-only fault injection; see [`JobHook`]. Leave `None`.
     #[doc(hidden)]
     pub job_hook: Option<JobHook>,
@@ -105,6 +153,8 @@ impl Default for EngineConfig {
             options: ScheduleOptions::default(),
             ticks_per_document: 8,
             max_backlog: None,
+            refill_batch: 4,
+            default_tenant_policy: TenantPolicy::default(),
             job_hook: None,
         }
     }
@@ -125,6 +175,8 @@ impl std::fmt::Display for DocId {
 pub struct DocOutcome {
     /// The admission ticket the outcome belongs to.
     pub id: DocId,
+    /// The tenant the document was submitted under.
+    pub tenant: TenantId,
     /// The label given at submission.
     pub label: String,
     /// The playback report, or the scheduler error that made the engine
@@ -144,25 +196,29 @@ impl DocOutcome {
 ///
 /// The convenience entry points ([`Engine::submit`], `submit_labeled`,
 /// `try_submit`) build one internally; build it yourself when you need the
-/// full form — a label *and* a non-blocking admission, or a descriptor
+/// full form — a label *and* a non-blocking admission, a descriptor
 /// resolver other than the document's own catalog (the pipeline submits
 /// against a snapshot of its block store so materialised degradations are
-/// what the sessions see).
+/// what the sessions see), or a [`Submission::tenant`] so the engine's
+/// fair scheduler and quotas know whose work this is.
 #[derive(Clone)]
 pub struct Submission {
     doc: Arc<Document>,
     jitter: JitterModel,
+    tenant: TenantId,
     label: Option<String>,
     resolver: Option<Arc<dyn DescriptorResolver + Send + Sync>>,
     solve: Option<Arc<SolveResult>>,
 }
 
 impl Submission {
-    /// A submission resolving descriptors from the document's own catalog.
+    /// A submission resolving descriptors from the document's own catalog,
+    /// owned by [`TenantId::DEFAULT`].
     pub fn new(doc: impl Into<Arc<Document>>, jitter: JitterModel) -> Submission {
         Submission {
             doc: doc.into(),
             jitter,
+            tenant: TenantId::DEFAULT,
             label: None,
             resolver: None,
             solve: None,
@@ -172,6 +228,14 @@ impl Submission {
     /// Sets the label used in reports and logs (default: the ticket id).
     pub fn labeled(mut self, label: impl Into<String>) -> Submission {
         self.label = Some(label.into());
+        self
+    }
+
+    /// Attributes the document to `tenant`: its dispatch order follows the
+    /// tenant's fair-queuing weight, its admission counts against the
+    /// tenant's quota, and its outcome lands in the tenant's stats row.
+    pub fn tenant(mut self, tenant: TenantId) -> Submission {
+        self.tenant = tenant;
         self
     }
 
@@ -199,6 +263,7 @@ impl fmt::Debug for Submission {
         f.debug_struct("Submission")
             .field("doc", &Arc::as_ptr(&self.doc))
             .field("jitter", &self.jitter)
+            .field("tenant", &self.tenant)
             .field("label", &self.label)
             .field(
                 "resolver",
@@ -211,15 +276,29 @@ impl fmt::Debug for Submission {
 
 struct Job {
     id: DocId,
+    tenant: TenantId,
     label: String,
     doc: Arc<Document>,
     jitter: JitterModel,
     resolver: Option<Arc<dyn DescriptorResolver + Send + Sync>>,
     solve: Option<Arc<SolveResult>>,
+    admitted_at: Instant,
 }
 
-struct QueueState {
-    pending: VecDeque<Job>,
+/// The admission side of the engine: everything a submitter touches, under
+/// one mutex. Workers touch it once per refill batch, not once per job.
+struct Plane {
+    run: TenantRunQueue<Job>,
+    gate: TicketGate,
+    next_id: u64,
+    /// Admission is closed (`close()`); the backlog still drains.
+    closed: bool,
+    /// Workers exit once the queue is empty (`shutdown()`/drop).
+    shutdown: bool,
+}
+
+/// The delivery side: finished outcomes and who already collected what.
+struct Outcomes {
     finished: Vec<DocOutcome>,
     /// Every id below this has had its outcome handed out by
     /// `wait`/`drain`.
@@ -229,15 +308,12 @@ struct QueueState {
     /// proportional to the out-of-order window — never to every document
     /// it ever played.
     delivered: HashSet<u64>,
-    in_flight: usize,
-    next_id: u64,
-    /// Admission is closed (`close()`); the backlog still drains.
-    closed: bool,
-    /// Workers exit once the queue is empty (`shutdown()`/drop).
-    shutdown: bool,
+    /// Completion-side per-tenant stats (admission→completion latency and
+    /// outcome counts); the admission-side half lives in the plane.
+    latency: HashMap<TenantId, LatencyStats>,
 }
 
-impl QueueState {
+impl Outcomes {
     fn mark_delivered(&mut self, id: u64) {
         if id == self.delivered_floor {
             self.delivered_floor += 1;
@@ -254,25 +330,73 @@ impl QueueState {
     }
 }
 
+/// Lock order (a thread may take locks only downward in this list, and at
+/// most one shard lock at a time):
+///
+/// 1. `outcomes` (drain's completion predicate peeks at the plane);
+/// 2. `plane` (refill parks shard extras under it, so sleeping workers —
+///    who decide to sleep under the plane lock — cannot miss parked work);
+/// 3. one shard mutex inside `shards`.
+///
+/// `in_flight` counts jobs popped from any queue but not yet completed. It
+/// is incremented *before* the pop becomes visible in any queue length and
+/// decremented under the `outcomes` lock, both `SeqCst` — so a `drain()`
+/// that holds `outcomes` and reads every queue empty and `in_flight == 0`
+/// has proof that no job is in transit between the two.
 struct Shared {
-    state: Mutex<QueueState>,
-    /// Signalled when a job is enqueued or shutdown begins (workers wait).
+    plane: Mutex<Plane>,
+    outcomes: Mutex<Outcomes>,
+    shards: WorkerShards<Job>,
+    in_flight: AtomicUsize,
+    /// Signalled when a job reaches the tenant plane, when refill extras
+    /// are parked, or when shutdown begins (workers wait, with `plane`).
     work: Condvar,
-    /// Signalled when a job completes (waiters wait).
+    /// Signalled when a job completes (waiters wait, with `outcomes`).
     done: Condvar,
-    /// Signalled when a worker takes a job off a bounded queue, and on
-    /// close/shutdown (blocked submitters wait).
+    /// Signalled when capacity frees on a bounded queue, when the ticket
+    /// head advances, and on close/shutdown (blocked submitters wait,
+    /// with `plane`).
     capacity: Condvar,
     config: EngineConfig,
 }
 
 impl Shared {
-    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_plane(&self) -> MutexGuard<'_, Plane> {
+        self.plane.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_outcomes(&self) -> MutexGuard<'_, Outcomes> {
+        self.outcomes.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admitted-but-unstarted documents: tenant plane plus parked shards.
+    /// This is what `max_backlog` bounds.
+    fn unstarted(&self, plane: &Plane) -> usize {
+        plane.run.len() + self.shards.parked()
+    }
+
+    /// The clamped bound, if any.
+    fn backlog_limit(&self) -> Option<usize> {
+        self.config.max_backlog.map(|limit| limit.max(1))
+    }
+
+    /// Wakes blocked submitters after a shard pop freed backlog capacity
+    /// *outside* the plane lock. Taking and releasing the plane lock first
+    /// closes the race against a submitter that already read the old queue
+    /// lengths but has not yet parked on the condvar (the condvar releases
+    /// the plane mutex atomically, so after this lock round-trip the
+    /// notify must land).
+    fn poke_capacity(&self) {
+        if self.config.max_backlog.is_none() {
+            return;
+        }
+        drop(self.lock_plane());
+        self.capacity.notify_all();
     }
 }
 
-/// A pool of worker threads playing many documents concurrently.
+/// A pool of worker threads playing many documents concurrently, fairly
+/// across tenants.
 ///
 /// Each outcome is delivered exactly once — by the `wait(id)` or `drain()`
 /// call that first sees it. Memory is bounded by the admission bound
@@ -326,17 +450,23 @@ impl Engine {
     /// Starts an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Engine {
         let worker_count = config.workers.max(1);
+        let default_policy = config.default_tenant_policy.clone();
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState {
-                pending: VecDeque::new(),
-                finished: Vec::new(),
-                delivered_floor: 0,
-                delivered: HashSet::new(),
-                in_flight: 0,
+            plane: Mutex::new(Plane {
+                run: TenantRunQueue::new(default_policy),
+                gate: TicketGate::default(),
                 next_id: 0,
                 closed: false,
                 shutdown: false,
             }),
+            outcomes: Mutex::new(Outcomes {
+                finished: Vec::new(),
+                delivered_floor: 0,
+                delivered: HashSet::new(),
+                latency: HashMap::new(),
+            }),
+            shards: WorkerShards::new(worker_count),
+            in_flight: AtomicUsize::new(0),
             work: Condvar::new(),
             done: Condvar::new(),
             capacity: Condvar::new(),
@@ -347,7 +477,7 @@ impl Engine {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("cmif-engine-{index}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, index))
                     .unwrap_or_else(|e| panic!("spawning engine worker {index} failed: {e}"))
             })
             .collect();
@@ -376,7 +506,8 @@ impl Engine {
     /// moved — not copied — into its ref-counted box.
     ///
     /// With a bounded queue ([`EngineConfig::max_backlog`]) and the queue
-    /// full, this *blocks* until a worker frees a slot. Errors with
+    /// full, this *blocks* until a worker frees a slot; submitters blocked
+    /// this way are admitted in arrival order. Errors with
     /// [`SchedulerError::EngineClosed`] if the engine was closed or shut
     /// down — including while blocked waiting for capacity.
     pub fn submit(&self, doc: impl Into<Arc<Document>>, jitter: JitterModel) -> Result<DocId> {
@@ -395,8 +526,10 @@ impl Engine {
     }
 
     /// Non-blocking admission: like [`Engine::submit`], but a full bounded
-    /// queue returns [`SchedulerError::Backpressure`] immediately instead
-    /// of blocking (and a closed engine [`SchedulerError::EngineClosed`]).
+    /// queue — or one with blocked submitters already queued ahead, whose
+    /// FIFO turn must not be stolen — returns
+    /// [`SchedulerError::Backpressure`] immediately instead of blocking
+    /// (and a closed engine [`SchedulerError::EngineClosed`]).
     pub fn try_submit(&self, doc: impl Into<Arc<Document>>, jitter: JitterModel) -> Result<DocId> {
         self.try_admit(Submission::new(doc, jitter))
     }
@@ -404,53 +537,214 @@ impl Engine {
     /// Admits a full [`Submission`], blocking while a bounded queue is
     /// full. The blocking twin of [`Engine::try_admit`].
     pub fn admit(&self, submission: Submission) -> Result<DocId> {
-        self.enqueue(submission, true)
+        self.enqueue_one(submission, true)
     }
 
     /// Admits a full [`Submission`] without blocking: a full bounded queue
     /// is [`SchedulerError::Backpressure`], a closed engine
-    /// [`SchedulerError::EngineClosed`].
+    /// [`SchedulerError::EngineClosed`], an exhausted tenant quota
+    /// [`SchedulerError::QuotaExceeded`].
     pub fn try_admit(&self, submission: Submission) -> Result<DocId> {
-        self.enqueue(submission, false)
+        self.enqueue_one(submission, false)
     }
 
-    fn enqueue(&self, submission: Submission, block: bool) -> Result<DocId> {
-        let mut state = self.shared.lock();
-        loop {
-            if state.closed || state.shutdown {
-                return Err(SchedulerError::EngineClosed);
+    /// Admits N submissions under **one** queue transaction: one lock
+    /// acquisition, one quota charge (all-or-nothing per tenant — either
+    /// every document is admitted or none is and no token is consumed),
+    /// and contiguous [`DocId`]s in the order given.
+    ///
+    /// On a bounded queue the batch blocks (FIFO with every other blocked
+    /// submitter) until the *whole* batch fits, so a batch is never
+    /// half-admitted; a batch larger than `max_backlog` can never fit and
+    /// is refused immediately with [`SchedulerError::Backpressure`].
+    pub fn submit_batch(
+        &self,
+        submissions: impl IntoIterator<Item = Submission>,
+    ) -> Result<Vec<DocId>> {
+        self.enqueue_batch(submissions.into_iter().collect())
+    }
+
+    /// Sets the scheduling policy (fair-queuing weight, admission quota)
+    /// for one tenant. Takes effect for subsequent dispatches and
+    /// admissions; the tenant's quota bucket restarts full under the new
+    /// configuration. Tenants never configured use
+    /// [`EngineConfig::default_tenant_policy`].
+    pub fn set_tenant_policy(&self, tenant: TenantId, policy: TenantPolicy) {
+        let mut plane = self.shared.lock_plane();
+        plane.run.set_policy(tenant, policy, Instant::now());
+    }
+
+    /// Per-tenant statistics — admissions, quota refusals, outcomes and
+    /// admission→completion latency (mean / approximate p99 / max) — for
+    /// every tenant the engine has seen, sorted by tenant id. The two
+    /// halves (admission side, completion side) are snapshotted one lock
+    /// at a time, so a row can transiently show a submission whose
+    /// completion is not counted yet — never the reverse.
+    pub fn tenant_stats(&self) -> Vec<TenantStatsSnapshot> {
+        let rows = {
+            let plane = self.shared.lock_plane();
+            plane.run.admission_rows()
+        };
+        let outcomes = self.shared.lock_outcomes();
+        let mut stats: Vec<TenantStatsSnapshot> = rows
+            .into_iter()
+            .map(|row| {
+                let latency = outcomes.latency.get(&row.tenant);
+                TenantStatsSnapshot::merge(row, latency)
+            })
+            .collect();
+        stats.sort_by_key(|row| row.tenant);
+        stats
+    }
+
+    /// How jobs have reached the workers so far: own-shard pops, direct
+    /// plane pops, refill transactions, steals. The steal ratio is the
+    /// load-imbalance indicator the `ext_engine` bench banners.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.shared.shards.stats()
+    }
+
+    /// Number of submitters currently blocked on a full bounded queue
+    /// (holding FIFO admission tickets). Observability for tests and
+    /// monitoring; racy by nature.
+    pub fn waiting_submitters(&self) -> usize {
+        let plane = self.shared.lock_plane();
+        plane.gate.waiting() as usize
+    }
+
+    fn enqueue_one(&self, submission: Submission, block: bool) -> Result<DocId> {
+        let shared = &self.shared;
+        let limit = shared.backlog_limit();
+        let mut plane = shared.lock_plane();
+        if plane.closed || plane.shutdown {
+            return Err(SchedulerError::EngineClosed);
+        }
+        // Fast path: nobody queued ahead and capacity free. `gate.waiting()`
+        // must be empty even when capacity is free — jumping ahead of a
+        // blocked ticket would reintroduce the starvation the gate exists
+        // to prevent.
+        let fast = plane.gate.waiting() == 0
+            && limit.map_or(true, |limit| shared.unstarted(&plane) < limit);
+        if !fast {
+            if !block {
+                return Err(SchedulerError::Backpressure {
+                    backlog: shared.unstarted(&plane) + shared.in_flight.load(Ordering::SeqCst),
+                });
             }
-            match self.shared.config.max_backlog {
-                // Jobs reach workers only through `pending`, so a zero-slot
-                // queue would deadlock blocking admissions: clamp to one.
-                Some(limit) if state.pending.len() >= limit.max(1) => {
-                    if !block {
-                        return Err(SchedulerError::Backpressure {
-                            backlog: state.pending.len() + state.in_flight,
-                        });
-                    }
-                    state = self
-                        .shared
-                        .capacity
-                        .wait(state)
-                        .unwrap_or_else(PoisonError::into_inner);
+            let ticket = plane.gate.enter();
+            loop {
+                if plane.closed || plane.shutdown {
+                    // Abandoning mid-queue only happens when *everyone* is
+                    // abandoning (the engine closed), so the bakery head
+                    // can advance unconditionally.
+                    plane.gate.leave();
+                    drop(plane);
+                    shared.capacity.notify_all();
+                    return Err(SchedulerError::EngineClosed);
                 }
-                _ => break,
+                if plane.gate.is_head(ticket)
+                    && limit.map_or(true, |limit| shared.unstarted(&plane) < limit)
+                {
+                    break;
+                }
+                plane = shared
+                    .capacity
+                    .wait(plane)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
-        let id = DocId(state.next_id);
-        state.next_id += 1;
-        state.pending.push_back(Job {
-            id,
-            label: submission.label.unwrap_or_else(|| id.to_string()),
-            doc: submission.doc,
-            jitter: submission.jitter,
-            resolver: submission.resolver,
-            solve: submission.solve,
-        });
-        drop(state);
-        self.shared.work.notify_one();
+        // Quota is charged at the admission moment — *after* the capacity
+        // wait, so a refusal for capacity (Backpressure) or a long block
+        // never burns the tenant's tokens.
+        if let Err(refusal) = plane.run.charge(&[(submission.tenant, 1)], Instant::now()) {
+            if !fast {
+                plane.gate.leave();
+            }
+            drop(plane);
+            shared.capacity.notify_all();
+            return Err(refusal);
+        }
+        let id = admit_locked(&mut plane, submission);
+        if !fast {
+            plane.gate.leave();
+        }
+        drop(plane);
+        if limit.is_some() {
+            // Let the next ticket observe the advanced head.
+            shared.capacity.notify_all();
+        }
+        shared.work.notify_one();
         Ok(id)
+    }
+
+    fn enqueue_batch(&self, submissions: Vec<Submission>) -> Result<Vec<DocId>> {
+        if submissions.is_empty() {
+            return Ok(Vec::new());
+        }
+        let shared = &self.shared;
+        let need = submissions.len();
+        let limit = shared.backlog_limit();
+        let mut counts: Vec<(TenantId, usize)> = Vec::new();
+        for submission in &submissions {
+            match counts.iter_mut().find(|(t, _)| *t == submission.tenant) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((submission.tenant, 1)),
+            }
+        }
+
+        let mut plane = shared.lock_plane();
+        if plane.closed || plane.shutdown {
+            return Err(SchedulerError::EngineClosed);
+        }
+        if limit.is_some_and(|limit| need > limit) {
+            // Could never fit in one transaction, no matter how long we wait.
+            return Err(SchedulerError::Backpressure {
+                backlog: shared.unstarted(&plane) + shared.in_flight.load(Ordering::SeqCst),
+            });
+        }
+        // All-or-nothing quota, charged up front: the batch either owns its
+        // tokens through the capacity wait or fails now without consuming
+        // any.
+        plane.run.charge(&counts, Instant::now())?;
+        let mut ticket = None;
+        loop {
+            if plane.closed || plane.shutdown {
+                if ticket.is_some() {
+                    plane.gate.leave();
+                }
+                drop(plane);
+                shared.capacity.notify_all();
+                return Err(SchedulerError::EngineClosed);
+            }
+            let fits = limit.map_or(true, |limit| shared.unstarted(&plane) + need <= limit);
+            let may_admit = match ticket {
+                None => plane.gate.waiting() == 0,
+                Some(ticket) => plane.gate.is_head(ticket),
+            };
+            if may_admit && fits {
+                break;
+            }
+            if ticket.is_none() {
+                ticket = Some(plane.gate.enter());
+            }
+            plane = shared
+                .capacity
+                .wait(plane)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let ids = submissions
+            .into_iter()
+            .map(|submission| admit_locked(&mut plane, submission))
+            .collect();
+        if ticket.is_some() {
+            plane.gate.leave();
+        }
+        drop(plane);
+        if limit.is_some() {
+            shared.capacity.notify_all();
+        }
+        shared.work.notify_all();
+        Ok(ids)
     }
 
     /// Blocks until the given document has finished (or been rejected) and
@@ -461,21 +755,24 @@ impl Engine {
     /// earlier `wait(id)` or [`Engine::drain`] — a clear error instead of
     /// the silent permanent block that re-waiting would otherwise be.
     pub fn wait(&self, id: DocId) -> DocOutcome {
-        let mut state = self.shared.lock();
-        assert!(id.0 < state.next_id, "{id} was never admitted here");
+        {
+            let plane = self.shared.lock_plane();
+            assert!(id.0 < plane.next_id, "{id} was never admitted here");
+        }
+        let mut outcomes = self.shared.lock_outcomes();
         loop {
-            if let Some(pos) = state.finished.iter().position(|o| o.id == id) {
-                state.mark_delivered(id.0);
-                return state.finished.swap_remove(pos);
+            if let Some(pos) = outcomes.finished.iter().position(|o| o.id == id) {
+                outcomes.mark_delivered(id.0);
+                return outcomes.finished.swap_remove(pos);
             }
             assert!(
-                !state.is_delivered(id.0),
+                !outcomes.is_delivered(id.0),
                 "the outcome of {id} was already delivered by a previous wait() or drain()"
             );
-            state = self
+            outcomes = self
                 .shared
                 .done
-                .wait(state)
+                .wait(outcomes)
                 .unwrap_or_else(PoisonError::into_inner);
         }
     }
@@ -487,45 +784,58 @@ impl Engine {
     /// "Every admitted" is a snapshot: producers admitting concurrently
     /// with a `drain` may land their documents after it returned.
     pub fn drain(&self) -> Vec<DocOutcome> {
-        let mut state = self.shared.lock();
-        while !state.pending.is_empty() || state.in_flight > 0 {
-            state = self
+        let mut outcomes = self.shared.lock_outcomes();
+        loop {
+            // Holding `outcomes` freezes both completion (workers record
+            // outcomes under it) and `in_flight` decrements; `in_flight`
+            // is incremented before any queue length visibly drops. So
+            // "all queues empty and nothing in flight", observed in this
+            // order, proves no job is anywhere.
+            let unstarted = {
+                let plane = self.shared.lock_plane();
+                self.shared.unstarted(&plane)
+            };
+            if unstarted == 0 && self.shared.in_flight.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            outcomes = self
                 .shared
                 .done
-                .wait(state)
+                .wait(outcomes)
                 .unwrap_or_else(PoisonError::into_inner);
         }
-        let mut outcomes = std::mem::take(&mut state.finished);
-        outcomes.sort_by_key(|o| o.id);
+        let mut finished = std::mem::take(&mut outcomes.finished);
+        finished.sort_by_key(|o| o.id);
         // Ascending marks let the delivered floor swallow each id as it
         // comes — after a full drain the out-of-order set is empty.
-        for outcome in &outcomes {
-            state.mark_delivered(outcome.id.0);
+        for outcome in &finished {
+            outcomes.mark_delivered(outcome.id.0);
         }
-        outcomes
+        finished
     }
 
-    /// Number of documents admitted but not yet finished (queued plus in
-    /// flight). Finished-but-undelivered outcomes are *not* counted here —
-    /// see [`Engine::undelivered`].
+    /// Number of documents admitted but not yet finished (queued — in the
+    /// tenant plane or parked in a worker shard — plus in flight).
+    /// Finished-but-undelivered outcomes are *not* counted here — see
+    /// [`Engine::undelivered`].
     pub fn backlog(&self) -> usize {
-        let state = self.shared.lock();
-        state.pending.len() + state.in_flight
+        let plane = self.shared.lock_plane();
+        self.shared.unstarted(&plane) + self.shared.in_flight.load(Ordering::SeqCst)
     }
 
     /// Number of finished outcomes no `wait`/`drain` has collected yet.
     /// This is the half of the engine's memory [`Engine::backlog`] does
     /// not cover: it grows without bound if producers never collect.
     pub fn undelivered(&self) -> usize {
-        self.shared.lock().finished.len()
+        self.shared.lock_outcomes().finished.len()
     }
 
     /// (delivered watermark, parked out-of-order deliveries) — the
     /// boundedness regression test reads these.
     #[cfg(test)]
     fn delivery_bookkeeping(&self) -> (u64, usize) {
-        let state = self.shared.lock();
-        (state.delivered_floor, state.delivered.len())
+        let outcomes = self.shared.lock_outcomes();
+        (outcomes.delivered_floor, outcomes.delivered.len())
     }
 
     /// Stops admission: every later `submit`/`try_submit` (and any
@@ -535,8 +845,8 @@ impl Engine {
     /// half of [`Engine::shutdown`]'s "no new work, then stop". Idempotent.
     pub fn close(&self) {
         {
-            let mut state = self.shared.lock();
-            state.closed = true;
+            let mut plane = self.shared.lock_plane();
+            plane.closed = true;
         }
         // Submitters blocked on capacity must observe the closure.
         self.shared.capacity.notify_all();
@@ -544,8 +854,8 @@ impl Engine {
 
     /// True once [`Engine::close`] (or shutdown) stopped admission.
     pub fn is_closed(&self) -> bool {
-        let state = self.shared.lock();
-        state.closed || state.shutdown
+        let plane = self.shared.lock_plane();
+        plane.closed || plane.shutdown
     }
 
     /// Stops the workers after the queue drains and joins them.
@@ -555,8 +865,8 @@ impl Engine {
 
     fn stop_and_join(&mut self) {
         {
-            let mut state = self.shared.lock();
-            state.shutdown = true;
+            let mut plane = self.shared.lock_plane();
+            plane.shutdown = true;
         }
         self.shared.work.notify_all();
         // Admissions blocked on a full queue must fail, not wait forever
@@ -577,6 +887,27 @@ impl Drop for Engine {
     }
 }
 
+/// Allocates the next id and enqueues the job on the tenant plane. Caller
+/// holds the plane lock and has already charged the quota.
+fn admit_locked(plane: &mut Plane, submission: Submission) -> DocId {
+    let id = DocId(plane.next_id);
+    plane.next_id += 1;
+    let admitted_at = Instant::now();
+    let tenant = submission.tenant;
+    let job = Job {
+        id,
+        tenant,
+        label: submission.label.unwrap_or_else(|| id.to_string()),
+        doc: submission.doc,
+        jitter: submission.jitter,
+        resolver: submission.resolver,
+        solve: submission.solve,
+        admitted_at,
+    };
+    plane.run.push(tenant, job, admitted_at);
+    id
+}
+
 /// Renders a caught panic payload (the usual `&str`/`String` cases).
 fn panic_message(payload: Box<dyn Any + Send>) -> String {
     match payload.downcast::<String>() {
@@ -588,59 +919,140 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// What the shared-plane check told an out-of-work worker to do next.
+enum Next {
+    /// Run this refilled job (`true`: extras were parked, wake a sibling).
+    Run(Job, bool),
+    /// The plane is empty but some shard is not: try stealing.
+    Steal,
+    /// Shutdown with nothing left anywhere.
+    Exit,
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
     loop {
-        let job = {
-            let mut state = shared.lock();
+        // 1. Own shard first: the contention-free path.
+        if let Some(job) = shared.shards.pop_own(me, &shared.in_flight) {
+            // The pop freed one bounded-queue slot (parked jobs count
+            // against `max_backlog`).
+            shared.poke_capacity();
+            run_and_complete(shared, job);
+            continue;
+        }
+        // 2. Refill a batch from the tenant plane, or find out why not.
+        let next = {
+            let mut plane = shared.lock_plane();
             loop {
-                if let Some(job) = state.pending.pop_front() {
-                    state.in_flight += 1;
-                    break job;
+                if plane.run.len() > 0 {
+                    // `in_flight` rises before the queue length visibly
+                    // drops — the drain() invariant.
+                    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    let first = plane
+                        .run
+                        .pop_fair()
+                        .expect("nonempty tenant plane dispenses a job");
+                    let mut extras = Vec::new();
+                    for _ in 1..shared.config.refill_batch.max(1) {
+                        match plane.run.pop_fair() {
+                            Some(job) => extras.push(job),
+                            None => break,
+                        }
+                    }
+                    let parked = !extras.is_empty();
+                    shared.shards.note_refill(1);
+                    // Parked under the plane lock: a sibling deciding to
+                    // sleep decides under this lock, so it cannot miss them.
+                    shared.shards.park_own(me, extras);
+                    break Next::Run(first, parked);
                 }
-                if state.shutdown {
-                    return;
+                if shared.shards.parked() > 0 {
+                    break Next::Steal;
                 }
-                state = shared
+                if plane.shutdown {
+                    break Next::Exit;
+                }
+                plane = shared
                     .work
-                    .wait(state)
+                    .wait(plane)
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        if shared.config.max_backlog.is_some() {
-            // The pop above freed one bounded-queue slot.
-            shared.capacity.notify_one();
+        match next {
+            Next::Run(job, parked_extras) => {
+                if parked_extras {
+                    // The extras are stealable: wake one sibling in case
+                    // every other worker is asleep.
+                    shared.work.notify_one();
+                }
+                if shared.config.max_backlog.is_some() {
+                    // The refill freed backlog capacity.
+                    shared.capacity.notify_all();
+                }
+                run_and_complete(shared, job);
+            }
+            Next::Steal => {
+                if let Some(job) = shared.shards.steal(me, &shared.in_flight) {
+                    shared.poke_capacity();
+                    run_and_complete(shared, job);
+                }
+                // Steal lost the race: loop around — the plane is
+                // re-checked under its lock before any sleep, so nothing
+                // admitted meanwhile is missed.
+            }
+            Next::Exit => return,
         }
-        // Contain a panicking job: it must not take the worker down with
-        // `in_flight` still incremented (that wedged every later
-        // `drain()`/`wait()` forever). `AssertUnwindSafe` is sound here:
-        // `run_job` only reads the config and the job, all its mutable
-        // state is local to the call, and the queue mutex is not held.
-        let result = catch_unwind(AssertUnwindSafe(|| run_job(&shared.config, &job)))
-            .unwrap_or_else(|payload| {
-                Err(SchedulerError::JobPanicked {
-                    message: panic_message(payload),
-                })
-            });
-        let Job {
-            id,
-            label,
-            doc,
-            jitter,
-            resolver,
-            solve,
-        } = job;
-        // Release the job's shared references (document, resolver,
-        // precomputed solve) *before* the outcome becomes observable, so a
-        // producer that sees the outcome can reclaim sole ownership of
-        // what it shared (`Arc::try_unwrap`) without racing this thread.
-        drop((doc, jitter, resolver, solve));
-        let outcome = DocOutcome { id, label, result };
-        let mut state = shared.lock();
-        state.in_flight -= 1;
-        state.finished.push(outcome);
-        drop(state);
-        shared.done.notify_all();
     }
+}
+
+/// Runs one job with panic containment and publishes its outcome (with
+/// per-tenant latency accounting) exactly once.
+fn run_and_complete(shared: &Shared, job: Job) {
+    // Contain a panicking job: it must not take the worker down with
+    // `in_flight` still incremented (that wedged every later
+    // `drain()`/`wait()` forever). `AssertUnwindSafe` is sound here:
+    // `run_job` only reads the config and the job, all its mutable state
+    // is local to the call, and no engine lock is held.
+    let result = catch_unwind(AssertUnwindSafe(|| run_job(&shared.config, &job))).unwrap_or_else(
+        |payload| {
+            Err(SchedulerError::JobPanicked {
+                message: panic_message(payload),
+            })
+        },
+    );
+    let Job {
+        id,
+        tenant,
+        label,
+        doc,
+        jitter,
+        resolver,
+        solve,
+        admitted_at,
+    } = job;
+    // Release the job's shared references (document, resolver, precomputed
+    // solve) *before* the outcome becomes observable, so a producer that
+    // sees the outcome can reclaim sole ownership of what it shared
+    // (`Arc::try_unwrap`) without racing this thread.
+    drop((doc, jitter, resolver, solve));
+    let latency = admitted_at.elapsed();
+    let outcome = DocOutcome {
+        id,
+        tenant,
+        label,
+        result,
+    };
+    let mut outcomes = shared.lock_outcomes();
+    outcomes
+        .latency
+        .entry(tenant)
+        .or_default()
+        .record(latency, outcome.is_ok());
+    outcomes.finished.push(outcome);
+    // Under the outcomes lock, so drain() (which holds it) never sees the
+    // decrement without the outcome.
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    drop(outcomes);
+    shared.done.notify_all();
 }
 
 /// One document's full trip through the engine: derive, relax, play. Any
@@ -1122,5 +1534,182 @@ mod tests {
         }
         // The second drain sees only the second batch.
         assert_eq!(engine.drain().len(), 2);
+    }
+
+    #[test]
+    fn submit_batch_admits_contiguously_and_plays_everything() {
+        let engine = Engine::with_workers(2);
+        let doc = Arc::new(story("batched", 2));
+        let ids = engine
+            .submit_batch((0..10u64).map(|i| {
+                Submission::new(Arc::clone(&doc), JitterModel::uniform(60, i))
+                    .labeled(format!("job-{i}"))
+            }))
+            .unwrap();
+        assert_eq!(ids.len(), 10);
+        // One transaction, contiguous admission-order ids.
+        for pair in ids.windows(2) {
+            assert_eq!(pair[1].0, pair[0].0 + 1);
+        }
+        let outcomes = engine.drain();
+        assert_eq!(outcomes.len(), 10);
+        assert!(outcomes.iter().all(DocOutcome::is_ok));
+        assert_eq!(outcomes[3].label, "job-3");
+        assert!(engine.submit_batch(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn oversized_batch_on_a_bounded_queue_is_refused_not_deadlocked() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            max_backlog: Some(2),
+            ..EngineConfig::default()
+        });
+        let doc = Arc::new(story("big", 2));
+        let err = engine
+            .submit_batch((0..5).map(|_| Submission::new(Arc::clone(&doc), JitterModel::ideal())))
+            .expect_err("a 5-doc batch can never fit a 2-slot queue");
+        assert!(matches!(err, SchedulerError::Backpressure { .. }));
+        // A batch that exactly fits the bound goes through.
+        let ids = engine
+            .submit_batch((0..2).map(|_| Submission::new(Arc::clone(&doc), JitterModel::ideal())))
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(engine.drain().len(), 2);
+    }
+
+    #[test]
+    fn quota_refuses_with_retry_hint_and_spares_capacity_refusals() {
+        let tenant = TenantId::new(7);
+        let engine = Engine::with_workers(1);
+        engine.set_tenant_policy(
+            tenant,
+            TenantPolicy::default().with_quota(QuotaConfig::new(2, 1000.0)),
+        );
+        let doc = Arc::new(story("metered", 2));
+        let submit = || Submission::new(Arc::clone(&doc), JitterModel::ideal()).tenant(tenant);
+        let a = engine.admit(submit()).unwrap();
+        let b = engine.admit(submit()).unwrap();
+        // Third admission in the same burst: over quota, with a finite
+        // retry hint (the bucket refills at 1000/s).
+        match engine.try_admit(submit()) {
+            Err(SchedulerError::QuotaExceeded {
+                tenant: refused,
+                retry_after_ms,
+            }) => {
+                assert_eq!(refused, tenant);
+                assert!(retry_after_ms <= 1_000, "hint {retry_after_ms}ms");
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        assert!(engine.wait(a).is_ok());
+        assert!(engine.wait(b).is_ok());
+        let stats = engine.tenant_stats();
+        let row = stats.iter().find(|r| r.tenant == tenant).unwrap();
+        assert_eq!(row.submitted, 2);
+        assert_eq!(row.quota_refusals, 1);
+        assert_eq!(row.completed, 2);
+        assert_eq!(row.ok, 2);
+        assert!(row.max_latency_ms >= row.mean_latency_ms);
+    }
+
+    #[test]
+    fn batch_quota_is_all_or_nothing() {
+        let tenant = TenantId::new(3);
+        let engine = Engine::with_workers(1);
+        engine.set_tenant_policy(
+            tenant,
+            // Never refills: 3 admissions, ever.
+            TenantPolicy::default().with_quota(QuotaConfig::new(3, 0.0)),
+        );
+        let doc = Arc::new(story("burst", 2));
+        let batch = |n: usize| {
+            (0..n)
+                .map(|_| Submission::new(Arc::clone(&doc), JitterModel::ideal()).tenant(tenant))
+                .collect::<Vec<_>>()
+        };
+        // A 4-doc batch over a 3-token bucket: nothing admitted, nothing
+        // charged.
+        let err = engine.submit_batch(batch(4)).expect_err("over quota");
+        assert!(matches!(
+            err,
+            SchedulerError::QuotaExceeded {
+                retry_after_ms: u64::MAX,
+                ..
+            }
+        ));
+        assert_eq!(engine.backlog() + engine.undelivered(), 0);
+        // The refusal consumed no tokens: a 3-doc batch still fits.
+        let ids = engine.submit_batch(batch(3)).unwrap();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(engine.drain().len(), 3);
+    }
+
+    #[test]
+    fn outcomes_carry_their_tenant_and_stats_split_by_tenant() {
+        let news = TenantId::new(1);
+        let sport = TenantId::new(2);
+        let engine = Engine::with_workers(2);
+        let doc = Arc::new(story("tagged", 2));
+        let mut expected = HashMap::new();
+        for (tenant, n) in [(news, 3usize), (sport, 2usize)] {
+            for _ in 0..n {
+                engine
+                    .admit(Submission::new(Arc::clone(&doc), JitterModel::ideal()).tenant(tenant))
+                    .unwrap();
+            }
+            expected.insert(tenant, n);
+        }
+        let outcomes = engine.drain();
+        let mut by_tenant: HashMap<TenantId, usize> = HashMap::new();
+        for outcome in &outcomes {
+            *by_tenant.entry(outcome.tenant).or_default() += 1;
+        }
+        assert_eq!(by_tenant, expected);
+        for row in engine.tenant_stats() {
+            assert_eq!(row.submitted as usize, expected[&row.tenant]);
+            assert_eq!(row.completed as usize, expected[&row.tenant]);
+            assert_eq!(row.failed, 0);
+        }
+    }
+
+    #[test]
+    fn work_stealing_accounts_for_every_dispatched_job() {
+        let engine = Engine::new(EngineConfig {
+            workers: 4,
+            refill_batch: 8,
+            ..EngineConfig::default()
+        });
+        let doc = Arc::new(story("spread", 2));
+        let ids = engine
+            .submit_batch(
+                (0..32u64).map(|i| Submission::new(Arc::clone(&doc), JitterModel::uniform(40, i))),
+            )
+            .unwrap();
+        assert_eq!(engine.drain().len(), ids.len());
+        let stats = engine.queue_stats();
+        assert_eq!(stats.dispatched(), 32, "{stats:?}");
+        // Large refill batches on a multi-worker engine must leave parked
+        // work behind at least once.
+        assert!(stats.refills > 0);
+        assert!(stats.steal_ratio() >= 0.0 && stats.steal_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn default_tenant_policy_applies_quota_to_untagged_work() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            default_tenant_policy: TenantPolicy::default().with_quota(QuotaConfig::new(1, 0.0)),
+            ..EngineConfig::default()
+        });
+        let doc = Arc::new(story("default", 2));
+        engine
+            .submit(Arc::clone(&doc), JitterModel::ideal())
+            .unwrap();
+        assert!(matches!(
+            engine.submit(Arc::clone(&doc), JitterModel::ideal()),
+            Err(SchedulerError::QuotaExceeded { tenant, .. }) if tenant == TenantId::DEFAULT
+        ));
+        assert_eq!(engine.drain().len(), 1);
     }
 }

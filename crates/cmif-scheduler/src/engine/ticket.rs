@@ -1,0 +1,90 @@
+//! FIFO admission ticketing for submitters blocked on a full bounded queue.
+//!
+//! A condvar alone cannot promise wake-order: `notify_all` races every
+//! blocked submitter back to the capacity check, and the OS is free to let
+//! the newest arrival win every time — the oldest submitter can starve
+//! behind a stream of younger ones indefinitely. The gate fixes that with
+//! bakery-style tickets: each blocked admission draws a monotonically
+//! increasing ticket on arrival, and only the *head* ticket is allowed to
+//! consume freed capacity; everyone else goes back to waiting even if they
+//! were woken first. When the head admits (or gives up — engine closed,
+//! quota refused), it advances the head and re-notifies, so admission order
+//! equals arrival order regardless of how the condvar orders its wakeups.
+
+/// A bakery-counter gate ordering blocked submitters by arrival.
+///
+/// The gate itself holds no lock — it lives inside the engine's plane
+/// mutex, and its counters are only touched under that lock.
+#[derive(Debug, Default)]
+pub(super) struct TicketGate {
+    /// The next ticket to hand out.
+    next: u64,
+    /// The ticket currently allowed to consume capacity. Every ticket
+    /// below it has admitted or abandoned.
+    head: u64,
+}
+
+impl TicketGate {
+    /// Draws the next ticket; the caller is now queued behind
+    /// `self.waiting() - 1` older submitters.
+    pub(super) fn enter(&mut self) -> u64 {
+        let ticket = self.next;
+        self.next += 1;
+        ticket
+    }
+
+    /// True when `ticket` is the oldest outstanding ticket — the only one
+    /// allowed to take freed capacity.
+    pub(super) fn is_head(&self, ticket: u64) -> bool {
+        ticket == self.head
+    }
+
+    /// Retires the head ticket (it admitted, or abandoned on close/quota).
+    /// The caller must re-notify the capacity condvar so the next ticket
+    /// in line can observe that it is now the head.
+    pub(super) fn leave(&mut self) {
+        debug_assert!(self.head < self.next, "leave() without a live ticket");
+        self.head += 1;
+    }
+
+    /// Number of tickets outstanding (blocked submitters, including one
+    /// that may currently be admitting).
+    pub(super) fn waiting(&self) -> u64 {
+        self.next - self.head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickets_are_served_in_arrival_order() {
+        let mut gate = TicketGate::default();
+        let a = gate.enter();
+        let b = gate.enter();
+        let c = gate.enter();
+        assert_eq!(gate.waiting(), 3);
+        assert!(gate.is_head(a));
+        assert!(!gate.is_head(b));
+        gate.leave();
+        assert!(gate.is_head(b));
+        assert!(!gate.is_head(c));
+        gate.leave();
+        gate.leave();
+        assert_eq!(gate.waiting(), 0);
+    }
+
+    #[test]
+    fn abandoning_the_head_unblocks_the_next_ticket() {
+        let mut gate = TicketGate::default();
+        let quota_refused = gate.enter();
+        let patient = gate.enter();
+        assert!(gate.is_head(quota_refused));
+        // The head gives up (quota refusal / engine closed): the next
+        // arrival becomes the head instead of starving.
+        gate.leave();
+        assert!(gate.is_head(patient));
+        assert_eq!(gate.waiting(), 1);
+    }
+}

@@ -11,6 +11,8 @@ use std::fmt;
 
 use cmif_core::error::CoreError;
 
+use crate::engine::TenantId;
+
 /// Result alias used throughout `cmif-scheduler`.
 pub type Result<T> = std::result::Result<T, SchedulerError>;
 
@@ -49,6 +51,19 @@ pub enum SchedulerError {
         /// moment the admission was refused.
         backlog: usize,
     },
+    /// An admission was refused by the submitting tenant's token-bucket
+    /// quota (`Engine::set_tenant_policy`). Unlike
+    /// [`SchedulerError::Backpressure`] this is policy, not capacity: the
+    /// engine may be idle and still refuse. Refused work is never queued
+    /// and no quota token is consumed by the refusal itself.
+    QuotaExceeded {
+        /// The tenant whose bucket ran dry.
+        tenant: TenantId,
+        /// Milliseconds until the bucket has refilled enough for this
+        /// admission to fit; `u64::MAX` when the quota never refills
+        /// (`per_second == 0`).
+        retry_after_ms: u64,
+    },
     /// The engine was closed (or shut down): it no longer admits documents,
     /// though outcomes already admitted can still be collected.
     EngineClosed,
@@ -77,6 +92,17 @@ impl fmt::Display for SchedulerError {
                 f,
                 "the engine's bounded queue is full ({backlog} documents in the backlog)"
             ),
+            SchedulerError::QuotaExceeded {
+                tenant,
+                retry_after_ms,
+            } => {
+                write!(f, "{tenant} exceeded its admission quota")?;
+                if *retry_after_ms == u64::MAX {
+                    write!(f, " (the quota does not refill)")
+                } else {
+                    write!(f, " (retry in ~{retry_after_ms}ms)")
+                }
+            }
             SchedulerError::EngineClosed => {
                 write!(f, "the engine is closed and admits no new documents")
             }
@@ -133,5 +159,21 @@ mod tests {
         let full = SchedulerError::Backpressure { backlog: 9 };
         assert!(full.to_string().contains('9'));
         assert!(SchedulerError::EngineClosed.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn quota_refusals_render_the_tenant_and_the_retry_hint() {
+        let refused = SchedulerError::QuotaExceeded {
+            tenant: TenantId::new(4),
+            retry_after_ms: 250,
+        };
+        let text = refused.to_string();
+        assert!(text.contains("tenant#4"), "{text}");
+        assert!(text.contains("250"), "{text}");
+        let never = SchedulerError::QuotaExceeded {
+            tenant: TenantId::new(4),
+            retry_after_ms: u64::MAX,
+        };
+        assert!(never.to_string().contains("does not refill"));
     }
 }

@@ -22,9 +22,12 @@
 //!   how well the Must/May tolerance windows absorb the jitter (the
 //!   Figure 8 experiment); [`player`] keeps the report types;
 //! * [`engine`] multiplexes many documents over a pool of worker threads
-//!   with a hand-rolled run queue ([`engine::Engine`]): bounded admission
-//!   (blocking `submit` vs failing `try_submit`), graceful `close`, and
-//!   panic containment (a panicking job is a
+//!   with a hand-rolled, work-stealing run queue ([`engine::Engine`]):
+//!   per-worker sharded deques fed by a weighted-fair tenant plane
+//!   ([`engine::TenantId`], [`engine::TenantPolicy`]), bounded FIFO
+//!   admission (blocking `submit` vs failing `try_submit`, batched
+//!   `submit_batch`), token-bucket quotas per tenant, graceful `close`,
+//!   and panic containment (a panicking job is a
 //!   [`SchedulerError::JobPanicked`] outcome, never a dead worker);
 //! * [`environment`] models the device: supported media, bandwidth, decode
 //!   capacity, and per-channel startup jitter.
@@ -77,7 +80,10 @@ pub use conflict::{
 pub use defaults::{derive_constraints, derive_structural, rates_of};
 #[doc(hidden)]
 pub use engine::JobHook;
-pub use engine::{DocId, DocOutcome, Engine, EngineConfig, Submission};
+pub use engine::{
+    DocId, DocOutcome, Engine, EngineConfig, QueueStats, QuotaConfig, Submission, TenantId,
+    TenantPolicy, TenantStatsSnapshot,
+};
 pub use environment::{EnvironmentLimits, JitterModel, JitterSampler};
 pub use graph::{ConstraintGraph, PointTimes};
 pub use player::{must_satisfaction_rate, PlaybackReport, PlayedEvent};

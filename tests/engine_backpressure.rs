@@ -5,11 +5,13 @@
 //! and the backlog must respect its bound the whole time.
 
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 use cmif::core::tree::Document;
-use cmif::scheduler::{DocId, DocOutcome, Engine, EngineConfig, JitterModel, SchedulerError};
+use cmif::scheduler::{
+    DocId, DocOutcome, Engine, EngineConfig, JitterModel, JobHook, SchedulerError,
+};
 use cmif::synthetic::SyntheticNews;
 
 fn doc() -> Arc<Document> {
@@ -109,6 +111,107 @@ fn racing_producers_lose_no_outcome_and_drain_in_admission_order() {
     assert_eq!(admitted.len(), PRODUCERS * DOCS_PER_PRODUCER);
     assert_eq!(seen, admitted, "outcomes lost or invented");
     assert_eq!(engine.undelivered(), 0);
+}
+
+/// A manually opened gate the job hook parks every running job on.
+struct StallGate {
+    stalled: Mutex<bool>,
+    opened: Condvar,
+}
+
+impl StallGate {
+    fn new() -> Arc<StallGate> {
+        Arc::new(StallGate {
+            stalled: Mutex::new(true),
+            opened: Condvar::new(),
+        })
+    }
+
+    fn hold(&self) {
+        let mut stalled = self.stalled.lock().unwrap();
+        while *stalled {
+            stalled = self.opened.wait(stalled).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        *self.stalled.lock().unwrap() = false;
+        self.opened.notify_all();
+    }
+}
+
+#[test]
+fn blocked_submitters_are_admitted_in_arrival_order() {
+    // Regression test for condvar wake-order starvation: before the FIFO
+    // ticket gate, submitters parked on the capacity condvar raced on
+    // every wakeup, so an unlucky early submitter could be overtaken
+    // indefinitely by late arrivals. Arrival order is sequenced here via
+    // `waiting_submitters()`, so the assertion below is deterministic:
+    // admission order (DocId order) must equal arrival order.
+    const LATE_PRODUCERS: usize = 8;
+    let gate = StallGate::new();
+    let hook_gate = Arc::clone(&gate);
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 1,
+        max_backlog: Some(1),
+        job_hook: Some(JobHook::new(move |_| hook_gate.hold())),
+        ..EngineConfig::default()
+    }));
+    let document = doc();
+
+    // One document stalled inside the worker, one filling the single
+    // backlog slot: every further submit must park in the ticket gate.
+    engine
+        .submit(Arc::clone(&document), JitterModel::ideal())
+        .unwrap();
+    while engine.queue_stats().dispatched() == 0 {
+        thread::yield_now();
+    }
+    engine
+        .submit(Arc::clone(&document), JitterModel::ideal())
+        .unwrap();
+
+    let admissions: Arc<Mutex<Vec<(usize, DocId)>>> = Arc::new(Mutex::new(Vec::new()));
+    let producers: Vec<_> = (0..LATE_PRODUCERS)
+        .map(|producer| {
+            let worker_engine = Arc::clone(&engine);
+            let document = Arc::clone(&document);
+            let admissions = Arc::clone(&admissions);
+            let handle = thread::spawn(move || {
+                let id = worker_engine
+                    .submit(document, JitterModel::ideal())
+                    .expect("engine stays open");
+                admissions.lock().unwrap().push((producer, id));
+            });
+            // Only spawn the next producer once this one is parked in the
+            // gate — that pins the arrival order to the producer index.
+            while engine.waiting_submitters() < producer + 1 {
+                thread::yield_now();
+            }
+            handle
+        })
+        .collect();
+
+    gate.open();
+    for producer in producers {
+        producer.join().expect("producer thread panicked");
+    }
+
+    let mut admissions = Arc::into_inner(admissions)
+        .expect("all producers joined")
+        .into_inner()
+        .unwrap();
+    admissions.sort_by_key(|&(_, id)| id);
+    let admitted_order: Vec<usize> = admissions.iter().map(|&(producer, _)| producer).collect();
+    assert_eq!(
+        admitted_order,
+        (0..LATE_PRODUCERS).collect::<Vec<_>>(),
+        "a late submitter overtook an earlier one"
+    );
+
+    let outcomes = engine.drain();
+    assert_eq!(outcomes.len(), 2 + LATE_PRODUCERS);
+    assert!(outcomes.iter().all(DocOutcome::is_ok));
 }
 
 #[test]

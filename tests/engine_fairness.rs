@@ -1,0 +1,142 @@
+//! Multi-tenant fairness tests for the engine's weighted-fair run queue:
+//! a tenant flooding the queue with thousands of documents must not delay
+//! a one-document tenant (the stride scheduler interleaves tenants, it
+//! does not FIFO the whole backlog), and a per-tenant quota must refuse
+//! the noisy tenant without touching its neighbours.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cmif::core::tree::Document;
+use cmif::scheduler::{
+    Engine, EngineConfig, JitterModel, QuotaConfig, SchedulerError, Submission, TenantId,
+    TenantPolicy,
+};
+use cmif::synthetic::SyntheticNews;
+
+fn doc() -> Arc<Document> {
+    Arc::new(SyntheticNews::with_stories(1).build().unwrap())
+}
+
+fn submission(document: &Arc<Document>, seed: u64, tenant: TenantId) -> Submission {
+    Submission::new(Arc::clone(document), JitterModel::uniform(80, seed)).tenant(tenant)
+}
+
+#[test]
+fn a_flooding_tenant_does_not_starve_a_one_document_tenant() {
+    const FLOOD: usize = 10_000;
+    let noisy = TenantId::new(1);
+    let quiet = TenantId::new(2);
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    });
+    let document = doc();
+
+    // Idle-engine baseline: the quiet tenant alone, once to warm the
+    // workers and once timed.
+    engine.wait(engine.admit(submission(&document, 0, quiet)).unwrap());
+    let started = Instant::now();
+    let id = engine.admit(submission(&document, 1, quiet)).unwrap();
+    assert!(engine.wait(id).is_ok());
+    let idle_latency = started.elapsed();
+
+    // The noisy tenant floods ten thousand documents in one batch...
+    engine
+        .submit_batch((0..FLOOD).map(|i| submission(&document, i as u64, noisy)))
+        .expect("the queue is unbounded");
+
+    // ...and the quiet tenant's single document still comes right through.
+    let started = Instant::now();
+    let id = engine.admit(submission(&document, 2, quiet)).unwrap();
+    let outcome = engine.wait(id);
+    let contended_latency = started.elapsed();
+    let backlog_at_completion = engine.backlog();
+    assert!(outcome.is_ok(), "{:?}", outcome.result);
+    assert_eq!(outcome.tenant, quiet);
+
+    // The flood must still be mostly queued when the quiet document
+    // finishes — otherwise this run proved nothing about fairness.
+    assert!(
+        backlog_at_completion > FLOOD / 2,
+        "the flood nearly drained before the quiet tenant completed \
+         (backlog {backlog_at_completion}); fairness was not exercised"
+    );
+    // Completion latency bounded by a small constant multiple of the idle
+    // run (the generous slack absorbs CI scheduling noise; a FIFO queue
+    // would be seconds here, three orders of magnitude over the bound).
+    let bound = idle_latency * 64 + Duration::from_millis(250);
+    assert!(
+        contended_latency < bound,
+        "quiet tenant took {contended_latency:?} behind a {FLOOD}-document flood \
+         (idle {idle_latency:?}, bound {bound:?})"
+    );
+
+    // Nothing of the flood is lost, and the stats split per tenant.
+    let drained = engine.drain();
+    assert_eq!(drained.len(), FLOOD);
+    assert!(drained.iter().all(|o| o.tenant == noisy && o.is_ok()));
+    let stats = engine.tenant_stats();
+    let row = |tenant: TenantId| {
+        stats
+            .iter()
+            .find(|s| s.tenant == tenant)
+            .unwrap_or_else(|| panic!("{tenant} missing from tenant_stats"))
+    };
+    assert_eq!(row(noisy).submitted, FLOOD as u64);
+    assert_eq!(row(noisy).completed, FLOOD as u64);
+    assert_eq!(row(quiet).submitted, 3);
+    assert_eq!(row(quiet).ok, 3);
+    engine.shutdown();
+}
+
+#[test]
+fn a_quota_refuses_the_noisy_tenant_without_touching_its_neighbour() {
+    let noisy = TenantId::new(1);
+    let quiet = TenantId::new(2);
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    // Five admissions of burst, no refill: the sixth must be refused
+    // forever (retry_after_ms == u64::MAX).
+    engine.set_tenant_policy(
+        noisy,
+        TenantPolicy::default().with_quota(QuotaConfig::new(5, 0.0)),
+    );
+    let document = doc();
+
+    let mut admitted = 0usize;
+    let mut refused = 0usize;
+    for i in 0..10u64 {
+        match engine.admit(submission(&document, i, noisy)) {
+            Ok(_) => admitted += 1,
+            Err(SchedulerError::QuotaExceeded {
+                tenant,
+                retry_after_ms,
+            }) => {
+                assert_eq!(tenant, noisy);
+                assert_eq!(retry_after_ms, u64::MAX, "a dead bucket never refills");
+                refused += 1;
+            }
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+    }
+    assert_eq!((admitted, refused), (5, 5));
+
+    // The neighbour is not subject to the noisy tenant's policy.
+    for i in 0..10u64 {
+        engine
+            .admit(submission(&document, i, quiet))
+            .expect("the quiet tenant has no quota");
+    }
+    let outcomes = engine.drain();
+    assert_eq!(outcomes.len(), 15);
+    assert!(outcomes.iter().all(|o| o.is_ok()));
+
+    let stats = engine.tenant_stats();
+    let noisy_row = stats.iter().find(|s| s.tenant == noisy).unwrap();
+    assert_eq!(noisy_row.quota_refusals, 5);
+    assert_eq!(noisy_row.completed, 5);
+    engine.shutdown();
+}
