@@ -1,0 +1,306 @@
+//! Source hygiene gate: no panicking escape hatches on fallible library
+//! paths.
+//!
+//! Scans `crates/*/src` and the umbrella `src/` for `.unwrap()`,
+//! `.expect(`, `todo!(` and `dbg!(` outside `#[cfg(test)]` items and
+//! reports every hit; a non-empty report exits 1 so CI can gate on it.
+//! Library code is expected to thread `Result` through to the caller —
+//! the only sanctioned panics are invariant violations, and those must be
+//! annotated in place with a trailing `// repo_lint: allow(reason)`
+//! comment, which doubles as the audit trail of every deliberate panic
+//! site in the workspace.
+//!
+//! Out of scope by construction: test modules (the whole point of the
+//! `#[cfg(test)]` tracker), `benches/`, `examples/`, `tests/` and bin
+//! sources other than this one (panicking on broken fixtures is the right
+//! behavior there), and `crates/compat/*` (vendored stand-ins mimicking
+//! third-party APIs, panicky surface included).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One forbidden-pattern hit.
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    pattern: &'static str,
+    text: String,
+}
+
+/// The forbidden patterns. Assembled at runtime so this file does not
+/// flag itself when scanned.
+fn patterns() -> Vec<(&'static str, String)> {
+    vec![
+        ("unwrap", format!(".{}()", "unwrap")),
+        ("expect", format!(".{}(", "expect")),
+        ("todo", format!("{}!(", "todo")),
+        ("dbg", format!("{}!(", "dbg")),
+    ]
+}
+
+/// The marker that sanctions a hit on its line.
+fn allow_marker() -> String {
+    format!("// {}: allow", "repo_lint")
+}
+
+/// Per-file scanner state: brace depth, `#[cfg(test)]` regions, multi-line
+/// comment/raw-string carry-over.
+#[derive(Default)]
+struct Scanner {
+    depth: i32,
+    /// Depth at which the innermost active `#[cfg(test)]` item opened;
+    /// everything until the depth drops back is test code.
+    test_region: Option<i32>,
+    /// A `#[cfg(test)]` attribute was seen and its item not yet opened.
+    pending_cfg_test: bool,
+    in_block_comment: bool,
+    /// Number of `#` marks of an open multi-line raw string.
+    in_raw_string: Option<usize>,
+}
+
+impl Scanner {
+    /// Strips comments and string contents from `line` (updating the
+    /// multi-line state) and tracks brace depth, returning the sanitized
+    /// code text — the only text patterns are matched against.
+    fn sanitize(&mut self, line: &str) -> String {
+        let bytes = line.as_bytes();
+        let mut out = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            if let Some(hashes) = self.in_raw_string {
+                // Look for `"###...` with exactly `hashes` marks.
+                if bytes[i] == b'"'
+                    && bytes[i + 1..].iter().take_while(|b| **b == b'#').count() >= hashes
+                {
+                    self.in_raw_string = None;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if self.in_block_comment {
+                if bytes[i..].starts_with(b"*/") {
+                    self.in_block_comment = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match bytes[i] {
+                b'/' if bytes[i + 1..].starts_with(b"/") => break, // line comment
+                b'/' if bytes[i + 1..].starts_with(b"*") => {
+                    self.in_block_comment = true;
+                    i += 2;
+                }
+                b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                    let start = i + 1 + usize::from(bytes[i] == b'b');
+                    let hashes = bytes[start..].iter().take_while(|b| **b == b'#').count();
+                    self.in_raw_string = Some(hashes);
+                    i = start + hashes + 1; // past the opening quote
+                }
+                b'"' => {
+                    // Cooked string: skip to the unescaped closing quote.
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'"' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+                b'\'' => {
+                    // Char literal or lifetime. A lifetime has no closing
+                    // quote within a couple of characters; a char literal
+                    // does — skip it, otherwise emit the tick as code.
+                    if let Some(end) = char_literal_end(bytes, i) {
+                        i = end;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                b'{' => {
+                    self.depth += 1;
+                    out.push('{');
+                    i += 1;
+                }
+                b'}' => {
+                    self.depth -= 1;
+                    if self.test_region.is_some_and(|entry| self.depth <= entry) {
+                        self.test_region = None;
+                    }
+                    out.push('}');
+                    i += 1;
+                }
+                c => {
+                    out.push(c as char);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// True when `bytes[i..]` starts a raw (byte) string: `r"`, `r#`, `br"`,
+/// `br#` — and is not just an identifier containing `r`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let prev_is_ident = i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+    if prev_is_ident {
+        return false;
+    }
+    let start = i + 1 + usize::from(bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'r'));
+    let start = if bytes[i] == b'b' { start } else { i + 1 };
+    let hashes = bytes
+        .get(start..)
+        .map_or(0, |rest| rest.iter().take_while(|b| **b == b'#').count());
+    bytes.get(start + hashes) == Some(&b'"')
+        && (bytes[i] == b'r' || bytes.get(i + 1) == Some(&b'r'))
+}
+
+/// When `bytes[i] == b'\''` opens a char literal, the index just past its
+/// closing quote; `None` for lifetimes.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return None;
+    }
+    if bytes[j] == b'\\' {
+        j += 2;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1; // \u{...} escapes
+        }
+        return (j < bytes.len()).then_some(j + 1);
+    }
+    // A plain char literal closes immediately after one character.
+    (bytes.get(j + 1) == Some(&b'\'')).then_some(j + 2)
+}
+
+/// Scans one file, appending violations.
+fn scan_file(path: &Path, out: &mut Vec<Violation>) {
+    let Ok(source) = fs::read_to_string(path) else {
+        return;
+    };
+    let pats = patterns();
+    let marker = allow_marker();
+    let mut scanner = Scanner::default();
+    // The allow marker sanctions its own line and the next one, so it can
+    // trail a short line or precede the hit in a formatted method chain.
+    let mut allow_next = false;
+    for (number, line) in source.lines().enumerate() {
+        let entry_region = scanner.test_region;
+        let code = scanner.sanitize(line);
+        if code.contains("cfg(test") {
+            scanner.pending_cfg_test = true;
+        }
+        if scanner.pending_cfg_test {
+            if code.contains('{') && scanner.test_region.is_none() {
+                // The cfg(test) item opened on this line; its braces were
+                // already counted, so the region entry depth is one below.
+                scanner.test_region = Some(scanner.depth - 1);
+                scanner.pending_cfg_test = false;
+            } else if code.trim_end().ends_with(';') {
+                scanner.pending_cfg_test = false; // braceless item, e.g. `use`
+            }
+        }
+        let allowed = allow_next || line.contains(&marker);
+        allow_next = line.contains(&marker);
+        if entry_region.is_some() || scanner.test_region.is_some() || allowed {
+            continue;
+        }
+        for (name, pattern) in &pats {
+            if code.contains(pattern.as_str()) {
+                out.push(Violation {
+                    file: path.to_path_buf(),
+                    line: number + 1,
+                    pattern: name,
+                    text: line.trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    // Run from anywhere in the workspace: anchor on the manifest dir's
+    // grandparent (crates/bench -> repo root).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+
+    let mut files = Vec::new();
+    rust_files(&root.join("src"), &mut files);
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        crates.sort();
+        for crate_dir in crates {
+            if crate_dir.file_name().is_some_and(|n| n == "compat") {
+                continue; // vendored third-party stand-ins
+            }
+            rust_files(&crate_dir.join("src"), &mut files);
+        }
+    }
+    // Bin sources panic on broken fixtures by design; this gate covers
+    // library paths.
+    files.retain(|p| !p.components().any(|c| c.as_os_str() == "bin"));
+
+    let mut violations = Vec::new();
+    for file in &files {
+        scan_file(file, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!(
+            "repo_lint: {} files clean (no unsanctioned unwrap/expect/todo/dbg)",
+            files.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut report = String::new();
+    for v in &violations {
+        let shown = v.file.strip_prefix(&root).unwrap_or(&v.file);
+        let _ = writeln!(
+            report,
+            "{}:{}: forbidden `{}` on a library path\n    {}",
+            shown.display(),
+            v.line,
+            v.pattern,
+            v.text
+        );
+    }
+    eprintln!("{report}");
+    eprintln!(
+        "repo_lint: {} violation(s) in {} file(s); return the error to the caller \
+         or annotate the invariant with `{}(reason)`",
+        violations.len(),
+        files.len(),
+        allow_marker()
+    );
+    ExitCode::FAILURE
+}

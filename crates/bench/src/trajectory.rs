@@ -82,7 +82,7 @@ pub fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("crates/bench sits two levels below the repo root")
+        .expect("crates/bench sits two levels below the repo root") // repo_lint: allow(compile-time path invariant)
         .to_path_buf()
 }
 

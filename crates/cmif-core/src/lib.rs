@@ -54,9 +54,11 @@ pub mod attr;
 pub mod builder;
 pub mod channel;
 pub mod descriptor;
+pub mod diag;
 pub mod error;
 pub mod node;
 pub mod path;
+pub mod span;
 pub mod stats;
 pub mod style;
 pub mod symbol;
@@ -75,9 +77,11 @@ pub mod prelude {
         DataDescriptor, DescriptorCatalog, DescriptorResolver, EventDescriptor, ResourceNeeds,
         Selection,
     };
+    pub use crate::diag::{Code, Diagnostic, Related, Severity, SeverityConfig, SourceMap};
     pub use crate::error::{CoreError, Result};
     pub use crate::node::{ImmediateData, Node, NodeId, NodeKind};
     pub use crate::path::NodePath;
+    pub use crate::span::{Position, Span};
     pub use crate::stats::{stats, DocumentStats};
     pub use crate::style::{StyleDef, StyleDictionary};
     pub use crate::symbol::Symbol;

@@ -1,0 +1,135 @@
+//! Source positions and spans.
+//!
+//! These types used to live in `cmif-format`, but diagnostics produced by
+//! every layer (the linter, the scheduler's admission gate, the pipeline)
+//! need to point back into source text, so the vocabulary lives here at the
+//! bottom of the stack. `cmif-format` re-exports them unchanged.
+
+use std::fmt;
+
+/// A position in the source text: 1-based line and column plus the 0-based
+/// byte offset from the start of the input.
+///
+/// The byte offset survives every conversion up the error chain
+/// (`FormatError` → `DistribError` → `cmif::Error`), so a tool holding the
+/// original text can always slice out the offending region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+    /// 0-based byte offset from the start of the source text.
+    pub offset: usize,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(line: u32, column: u32, offset: usize) -> Position {
+        Position {
+            line,
+            column,
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A half-open byte range of the source text, with full line/column
+/// positions at both ends so a renderer can underline multi-line regions.
+/// Produced by the lexer for every token; errors anchored on a token carry
+/// its span start as their [`Position`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Where the spanned text starts.
+    pub start: Position,
+    /// One past the end of the spanned text.
+    pub end: Position,
+}
+
+impl Span {
+    /// Creates a span from a start position and an exclusive end position.
+    pub fn new(start: Position, end: Position) -> Span {
+        Span { start, end }
+    }
+
+    /// The spanned byte length.
+    pub fn len(&self) -> usize {
+        self.end.offset.saturating_sub(self.start.offset)
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the span crosses at least one line break.
+    pub fn is_multiline(&self) -> bool {
+        self.end.line > self.start.line
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        let start = if other.start.offset < self.start.offset {
+            other.start
+        } else {
+            self.start
+        };
+        let end = if other.end.offset > self.end.offset {
+            other.end
+        } else {
+            self.end
+        };
+        Span { start, end }
+    }
+
+    /// Slices the spanned text out of the original source.
+    pub fn text<'a>(&self, source: &'a str) -> Option<&'a str> {
+        source.get(self.start.offset..self.end.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_display() {
+        assert_eq!(Position::new(3, 14, 120).to_string(), "3:14");
+    }
+
+    #[test]
+    fn spans_slice_the_source() {
+        let source = "(seq news)";
+        let span = Span::new(Position::new(1, 2, 1), Position::new(1, 5, 4));
+        assert_eq!(span.len(), 3);
+        assert_eq!(span.text(source), Some("seq"));
+        assert!(!span.is_empty());
+        assert!(!span.is_multiline());
+    }
+
+    #[test]
+    fn multiline_spans_know_both_ends() {
+        let source = "(a\n  b)";
+        let span = Span::new(Position::new(1, 1, 0), Position::new(2, 5, 7));
+        assert_eq!(span.text(source), Some(source));
+        assert!(span.is_multiline());
+        assert_eq!(span.end.line, 2);
+        assert_eq!(span.end.column, 5);
+    }
+
+    #[test]
+    fn join_covers_both_spans() {
+        let a = Span::new(Position::new(1, 1, 0), Position::new(1, 3, 2));
+        let b = Span::new(Position::new(2, 1, 5), Position::new(2, 4, 8));
+        let joined = a.to(b);
+        assert_eq!(joined.start.offset, 0);
+        assert_eq!(joined.end.offset, 8);
+        assert_eq!(b.to(a), joined);
+    }
+}

@@ -213,6 +213,7 @@ impl FromIterator<StyleDef> for StyleDictionary {
 pub fn style_names(value: &crate::value::AttrValue) -> Result<Vec<crate::symbol::Symbol>> {
     use crate::value::AttrValue;
     match value {
+        // repo_lint: allow(both arms are textual, as_symbol cannot miss)
         AttrValue::Id(_) | AttrValue::Str(_) => Ok(vec![value.as_symbol().expect("textual value")]),
         AttrValue::List(items) => {
             let mut names = Vec::with_capacity(items.len());

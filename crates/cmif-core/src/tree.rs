@@ -41,6 +41,11 @@ pub struct Document {
     arcs: Vec<(NodeId, SyncArc)>,
     /// Free-form document-level attributes (title, author, version, …).
     pub meta: BTreeMap<String, AttrValue>,
+    /// Source provenance, present when the document was parsed from text:
+    /// the original source plus per-node and per-arc spans, so diagnostics
+    /// can underline the offending bytes. Shared by `Arc` — cloning the
+    /// document never copies the source text.
+    pub sources: Option<std::sync::Arc<crate::diag::SourceMap>>,
 }
 
 impl Document {

@@ -4,74 +4,13 @@ use std::fmt;
 
 use cmif_core::error::CoreError;
 
+// Positions and spans moved down into `cmif-core` (every layer's
+// diagnostics point into source text now, not just format errors); they are
+// re-exported here so `cmif_format::{Position, Span}` keeps working.
+pub use cmif_core::span::{Position, Span};
+
 /// Result alias used throughout `cmif-format`.
 pub type Result<T> = std::result::Result<T, FormatError>;
-
-/// A position in the source text: 1-based line and column plus the 0-based
-/// byte offset from the start of the input.
-///
-/// The byte offset survives every conversion up the error chain
-/// (`FormatError` → `DistribError` → `cmif::Error`), so a tool holding the
-/// original text can always slice out the offending region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct Position {
-    /// 1-based line number.
-    pub line: u32,
-    /// 1-based column number.
-    pub column: u32,
-    /// 0-based byte offset from the start of the source text.
-    pub offset: usize,
-}
-
-impl Position {
-    /// Creates a position.
-    pub fn new(line: u32, column: u32, offset: usize) -> Position {
-        Position {
-            line,
-            column,
-            offset,
-        }
-    }
-}
-
-impl fmt::Display for Position {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.line, self.column)
-    }
-}
-
-/// A half-open byte range of the source text, with the position where it
-/// starts. Produced by the lexer for every token; errors anchored on a
-/// token carry its span start as their [`Position`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct Span {
-    /// Where the spanned text starts.
-    pub start: Position,
-    /// Byte offset one past the end of the spanned text.
-    pub end: usize,
-}
-
-impl Span {
-    /// Creates a span from a start position and an exclusive end offset.
-    pub fn new(start: Position, end: usize) -> Span {
-        Span { start, end }
-    }
-
-    /// The spanned byte length.
-    pub fn len(&self) -> usize {
-        self.end.saturating_sub(self.start.offset)
-    }
-
-    /// True when the span covers no bytes.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Slices the spanned text out of the original source.
-    pub fn text<'a>(&self, source: &'a str) -> Option<&'a str> {
-        source.get(self.start.offset..self.end)
-    }
-}
 
 /// Errors raised while reading or writing the interchange format.
 #[derive(Debug, Clone, PartialEq)]
@@ -208,7 +147,7 @@ mod tests {
     #[test]
     fn spans_slice_the_source() {
         let source = "(seq news)";
-        let span = Span::new(Position::new(1, 2, 1), 4);
+        let span = Span::new(Position::new(1, 2, 1), Position::new(1, 5, 4));
         assert_eq!(span.len(), 3);
         assert_eq!(span.text(source), Some("seq"));
         assert!(!span.is_empty());

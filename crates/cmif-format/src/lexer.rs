@@ -161,7 +161,7 @@ impl<'a> Lexer<'a> {
             };
             tokens.push(Token {
                 kind,
-                span: Span::new(position, self.offset),
+                span: Span::new(position, self.position()),
             });
         }
         Ok(tokens)
@@ -367,6 +367,17 @@ mod tests {
         let toks = tokenize("(a\n  b)").unwrap();
         assert_eq!(toks[0].position(), Position::new(1, 1, 0));
         assert_eq!(toks[2].position(), Position::new(2, 3, 5));
+    }
+
+    #[test]
+    fn span_ends_carry_line_and_column() {
+        let toks = tokenize("(a\n  bcd)").unwrap();
+        // `(` ends where `a` starts.
+        assert_eq!(toks[0].span.end, Position::new(1, 2, 1));
+        // `bcd` starts at 2:3 and ends one past its last byte, same line.
+        assert_eq!(toks[2].span.start, Position::new(2, 3, 5));
+        assert_eq!(toks[2].span.end, Position::new(2, 6, 8));
+        assert!(!toks[2].span.is_multiline());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use cmif_core::arc::{Anchor, Strictness, SyncArc};
 use cmif_core::attr::{Attr, AttrName};
 use cmif_core::channel::{ChannelDef, MediaKind};
 use cmif_core::descriptor::{DataDescriptor, ResourceNeeds};
+use cmif_core::diag::SourceMap;
 use cmif_core::node::{NodeId, NodeKind};
 use cmif_core::path::NodePath;
 use cmif_core::style::StyleDef;
@@ -48,6 +49,7 @@ pub fn parse_document_unvalidated(source: &str) -> Result<Document> {
     }
 
     let mut doc = Document::new();
+    let mut sources = SourceMap::new(source);
     let mut root_expr = None;
     for section in body {
         let (section_tag, items) = section
@@ -69,7 +71,8 @@ pub fn parse_document_unvalidated(source: &str) -> Result<Document> {
     }
 
     let root_expr = root_expr.ok_or(FormatError::UnexpectedEof)?;
-    parse_node(&mut doc, None, root_expr)?;
+    parse_node(&mut doc, &mut sources, None, root_expr)?;
+    doc.sources = Some(std::sync::Arc::new(sources));
     Ok(doc)
 }
 
@@ -277,7 +280,12 @@ fn parse_descriptors(doc: &mut Document, items: &[SExpr]) -> Result<()> {
     Ok(())
 }
 
-fn parse_node(doc: &mut Document, parent: Option<NodeId>, expr: &SExpr) -> Result<NodeId> {
+fn parse_node(
+    doc: &mut Document,
+    sources: &mut SourceMap,
+    parent: Option<NodeId>,
+    expr: &SExpr,
+) -> Result<NodeId> {
     let (tag, body) = expr
         .as_tagged()
         .ok_or_else(|| expr.malformed("node", "expected a (seq|par|ext|imm ...) list"))?;
@@ -323,6 +331,7 @@ fn parse_node(doc: &mut Document, parent: Option<NodeId>, expr: &SExpr) -> Resul
         Some(parent) => doc.add_child(parent, kind)?,
         None => doc.set_root(kind),
     };
+    sources.set_node(id, expr.span);
 
     for item in body {
         let (item_tag, item_body) = item
@@ -330,7 +339,7 @@ fn parse_node(doc: &mut Document, parent: Option<NodeId>, expr: &SExpr) -> Resul
             .ok_or_else(|| item.malformed("node item", "expected a tagged list"))?;
         match item_tag {
             "seq" | "par" | "ext" | "imm" => {
-                parse_node(doc, Some(id), item)?;
+                parse_node(doc, sources, Some(id), item)?;
             }
             "data" | "bindata" => {
                 // Already handled while determining the node kind.
@@ -338,6 +347,8 @@ fn parse_node(doc: &mut Document, parent: Option<NodeId>, expr: &SExpr) -> Resul
             "sync_arc" => {
                 let arc = parse_arc(item, item_body)?;
                 doc.add_arc(id, arc)?;
+                // Aligned with `doc.arcs()` order: one push per added arc.
+                sources.push_arc(item.span);
             }
             attr_name => {
                 let value = tail_to_value(item_body);
@@ -498,6 +509,35 @@ mod tests {
         assert_eq!(doc.arcs().len(), 1);
         let descriptor = doc.catalog.get("story-audio").unwrap();
         assert_eq!(descriptor.rates.samples_per_second, Some(8000));
+    }
+
+    #[test]
+    fn parsing_records_node_and_arc_provenance() {
+        let doc = parse_document(SMALL).unwrap();
+        let sources = doc.sources.as_deref().expect("parsed docs carry sources");
+        // Every reachable node has a recorded span that slices a node
+        // expression of the right kind back out of the source.
+        for id in doc.preorder() {
+            let span = sources.node_span(id).expect("every node has a span");
+            let text = span.text(sources.text()).expect("span inside the source");
+            assert!(text.starts_with('('), "node span starts at its paren");
+            assert!(text.ends_with(')'), "node span ends at its paren");
+        }
+        let voice = doc.find("/story-1/voice").unwrap();
+        let span = sources.node_span(voice).unwrap();
+        assert!(span.text(sources.text()).unwrap().contains("story-audio"));
+        // The one arc's span covers exactly its (sync_arc ...) expression.
+        let arc_span = sources.arc_span(0).expect("arc provenance recorded");
+        let arc_text = arc_span.text(sources.text()).unwrap();
+        assert!(arc_text.starts_with("(sync_arc"));
+        assert!(arc_text.ends_with("250)"));
+        assert_eq!(sources.arc_span(1), None);
+    }
+
+    #[test]
+    fn built_documents_have_no_sources() {
+        let doc = Document::with_root(NodeKind::Seq);
+        assert!(doc.sources.is_none());
     }
 
     #[test]

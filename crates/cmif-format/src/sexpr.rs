@@ -8,7 +8,7 @@
 
 use std::borrow::Cow;
 
-use crate::error::{FormatError, Position, Result};
+use crate::error::{FormatError, Position, Result, Span};
 use crate::lexer::{tokenize, Token, TokenKind};
 
 /// One expression of the interchange format, borrowing from the source
@@ -17,6 +17,10 @@ use crate::lexer::{tokenize, Token, TokenKind};
 pub struct SExpr<'a> {
     /// Where the expression starts.
     pub position: Position,
+    /// The source bytes the expression covers — for a list, from its
+    /// opening to its closing parenthesis. The document parser records
+    /// these as per-node provenance.
+    pub span: Span,
     /// The expression's shape.
     pub kind: SExprKind<'a>,
 }
@@ -136,6 +140,7 @@ impl<'a> Reader<'a> {
             .ok_or(FormatError::UnexpectedEof)?;
         self.index += 1;
         let position = token.position();
+        let mut span = token.span;
         let kind = match &token.kind {
             TokenKind::Ident(s) => SExprKind::Ident(s),
             TokenKind::Number(n) => SExprKind::Number(*n),
@@ -148,6 +153,7 @@ impl<'a> Reader<'a> {
                 loop {
                     match self.peek() {
                         Some(t) if t.kind == TokenKind::RParen => {
+                            span = span.to(t.span);
                             self.index += 1;
                             break;
                         }
@@ -158,7 +164,11 @@ impl<'a> Reader<'a> {
                 SExprKind::List(items)
             }
         };
-        Ok(SExpr { position, kind })
+        Ok(SExpr {
+            position,
+            span,
+            kind,
+        })
     }
 }
 
@@ -238,6 +248,17 @@ mod tests {
         let expr = read_one("()").unwrap();
         assert!(expr.as_tagged().is_none());
         assert_eq!(expr.as_list().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn list_spans_run_paren_to_paren() {
+        let source = "(a (b\n  c) d)";
+        let expr = read_one(source).unwrap();
+        assert_eq!(expr.span.text(source), Some(source));
+        let items = expr.as_list().unwrap();
+        assert_eq!(items[1].span.text(source), Some("(b\n  c)"));
+        assert!(items[1].span.is_multiline());
+        assert_eq!(items[2].span.text(source), Some("d"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use cmif_core::diag::Diagnostic;
 use cmif_core::error::CoreError;
 use cmif_media::MediaError;
 use cmif_scheduler::SchedulerError;
@@ -39,6 +40,16 @@ pub enum PipelineError {
         /// The underlying scheduler error.
         source: SchedulerError,
     },
+    /// Static analysis refused the document: at least one deny-severity
+    /// finding. Unlike the single [`CoreError`] the old stage-2 validator
+    /// raised, this carries *every* collected diagnostic (warnings
+    /// included), ready to render against the document's `SourceMap`.
+    Lint {
+        /// The pipeline stage that was running.
+        stage: &'static str,
+        /// Every diagnostic the lint run collected; at least one is deny.
+        diagnostics: Vec<Diagnostic>,
+    },
 }
 
 impl PipelineError {
@@ -47,7 +58,8 @@ impl PipelineError {
         match self {
             PipelineError::Core { stage, .. }
             | PipelineError::Media { stage, .. }
-            | PipelineError::Scheduler { stage, .. } => stage,
+            | PipelineError::Scheduler { stage, .. }
+            | PipelineError::Lint { stage, .. } => stage,
         }
     }
 
@@ -58,6 +70,7 @@ impl PipelineError {
             PipelineError::Core { source, .. } => PipelineError::Core { stage, source },
             PipelineError::Media { source, .. } => PipelineError::Media { stage, source },
             PipelineError::Scheduler { source, .. } => PipelineError::Scheduler { stage, source },
+            PipelineError::Lint { diagnostics, .. } => PipelineError::Lint { stage, diagnostics },
         }
     }
 }
@@ -74,6 +87,19 @@ impl fmt::Display for PipelineError {
             PipelineError::Scheduler { stage, source } => {
                 write!(f, "pipeline stage `{stage}`: scheduling error: {source}")
             }
+            PipelineError::Lint { stage, diagnostics } => {
+                let denies = diagnostics.iter().filter(|d| d.is_deny()).count();
+                write!(
+                    f,
+                    "pipeline stage `{stage}`: static analysis refused the document: \
+                     {denies} deny-severity finding(s) out of {} diagnostic(s)",
+                    diagnostics.len()
+                )?;
+                if let Some(first) = diagnostics.iter().find(|d| d.is_deny()) {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -84,6 +110,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Core { source, .. } => Some(source),
             PipelineError::Media { source, .. } => Some(source),
             PipelineError::Scheduler { source, .. } => Some(source),
+            PipelineError::Lint { .. } => None,
         }
     }
 }

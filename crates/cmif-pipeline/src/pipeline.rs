@@ -4,7 +4,9 @@
 //! one target device:
 //!
 //! 1. **capture** (done by the caller — blocks already sit in the store);
-//! 2. **document structure mapping** — the document itself, validated;
+//! 2. **document structure mapping** — the document itself, statically
+//!    analysed: deny-severity lint findings refuse the run with every
+//!    diagnostic attached, warnings ride along on the [`PipelineRun`];
 //! 3. **presentation mapping** — the virtual layout of every channel;
 //! 4. **constraint filtering** — plan and (optionally) apply the device
 //!    mapping;
@@ -25,8 +27,9 @@ use std::time::{Duration, Instant};
 
 use crate::error::{PipelineError, Result};
 use cmif_core::descriptor::DescriptorResolver;
+use cmif_core::diag::Diagnostic;
 use cmif_core::tree::Document;
-use cmif_core::validate;
+use cmif_lint::Linter;
 use cmif_media::store::BlockStore;
 use cmif_scheduler::{
     full_report, ConflictReport, ConstraintGraph, Engine, EngineConfig, JitterModel,
@@ -75,6 +78,13 @@ pub struct PipelineOptions {
     /// [`cmif_scheduler::Engine::set_tenant_policy`]. Defaults to
     /// [`TenantId::DEFAULT`].
     pub playback_tenant: TenantId,
+    /// The stage-2 linter. Its severity config decides which findings
+    /// refuse the run (deny) and which merely ride along on the
+    /// [`PipelineRun`] (warn); the registry defaults match what the old
+    /// fail-fast validator rejected. The linter's schedule options are
+    /// overridden with [`PipelineOptions::schedule`] at run time so the
+    /// timing passes analyse the same constraint set stage 5a solves.
+    pub lint: Linter,
 }
 
 impl Default for PipelineOptions {
@@ -88,6 +98,7 @@ impl Default for PipelineOptions {
             playback_workers: 1,
             playback_backlog: None,
             playback_tenant: TenantId::DEFAULT,
+            lint: Linter::new(),
         }
     }
 }
@@ -140,6 +151,11 @@ pub struct PipelineRun {
     pub storyboard: Vec<StoryboardFrame>,
     /// Playback simulation of the last run, when requested.
     pub playback: Option<PlaybackReport>,
+    /// Non-refusing lint findings from stage 2 (warn severity): the run
+    /// went ahead, but these are worth surfacing to an author. Render
+    /// them with [`cmif_core::diag::render_all`] against the document's
+    /// `SourceMap`.
+    pub diagnostics: Vec<Diagnostic>,
     /// Wall-clock cost of each stage.
     pub timings: StageTimings,
 }
@@ -258,6 +274,13 @@ impl PipelineBuilder {
         self
     }
 
+    /// The stage-2 linter (see [`PipelineOptions::lint`]): its severity
+    /// config decides which findings refuse a run and which merely warn.
+    pub fn lint(mut self, linter: Linter) -> PipelineBuilder {
+        self.options.lint = linter;
+        self
+    }
+
     /// Runs pipeline stages 2–5 for a document whose media already sit in
     /// `store`.
     ///
@@ -295,9 +318,23 @@ impl PipelineBuilder {
         let options = &self.options;
         let mut timings = StageTimings::default();
 
-        // Stage 2: the document structure map — validate it.
+        // Stage 2: the document structure map — static analysis. Unlike
+        // the old fail-fast validator this collects *every* finding: a
+        // deny-severity diagnostic refuses the run with the whole report
+        // attached, warn-severity findings ride along on the `PipelineRun`.
         let started = Instant::now();
-        validate::validate(doc).map_err(|e| PipelineError::from(e).in_stage("structure"))?;
+        let report = options
+            .lint
+            .clone()
+            .with_options(options.schedule)
+            .check_resolved(doc, store);
+        if report.has_deny() {
+            return Err(PipelineError::Lint {
+                stage: "structure",
+                diagnostics: report.into_diagnostics(),
+            });
+        }
+        let diagnostics = report.into_diagnostics();
         timings.validate = started.elapsed();
 
         // Stage 3: presentation mapping (target-system independent).
@@ -444,6 +481,7 @@ impl PipelineBuilder {
             table_of_contents: toc,
             storyboard: frames,
             playback,
+            diagnostics,
             timings,
         })
     }
@@ -456,7 +494,15 @@ pub fn run_structure_only(
     resolver: &dyn DescriptorResolver,
     options: &ScheduleOptions,
 ) -> Result<(PresentationMap, SolveResult)> {
-    validate::validate(doc)?;
+    let report = Linter::new()
+        .with_options(*options)
+        .check_resolved(doc, resolver);
+    if report.has_deny() {
+        return Err(PipelineError::Lint {
+            stage: "structure",
+            diagnostics: report.into_diagnostics(),
+        });
+    }
     let presentation = map_presentation(doc)?;
     let solve_result = ConstraintGraph::derive(doc, resolver, options)?.solve(doc, resolver)?;
     Ok((presentation, solve_result))
@@ -638,18 +684,72 @@ mod tests {
         let orphan = doc.add_ext(root).unwrap();
         doc.set_attr(orphan, AttrName::Channel, AttrValue::Id("audio".into()))
             .unwrap();
-        // No file attribute: stage 2 validation must fail.
+        // No file attribute: stage 2 static analysis must refuse the run,
+        // reporting the missing file as a deny-severity L007 diagnostic.
         let err = PipelineBuilder::new(DeviceProfile::workstation())
             .run(&doc, &store)
             .unwrap_err();
         assert_eq!(err.stage(), "structure");
-        assert!(matches!(
-            err,
-            crate::error::PipelineError::Core {
-                source: CoreError::MissingFile { .. },
-                ..
+        match err {
+            crate::error::PipelineError::Lint { diagnostics, .. } => {
+                assert!(diagnostics
+                    .iter()
+                    .any(|d| d.code == cmif_core::diag::codes::MISSING_FILE && d.is_deny()));
             }
-        ));
+            other => panic!("expected a lint refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stage_two_warnings_ride_along_without_refusing_the_run() {
+        // Double-book the caption channel: the registry grades L203 as a
+        // warning, so the run goes ahead and carries the finding.
+        let (mut doc, store) = build_fixture();
+        let root = doc.root().unwrap();
+        let extra = doc.add_imm_text(root, "worth even more").unwrap();
+        doc.set_attr(extra, AttrName::Name, AttrValue::Id("subtitle".into()))
+            .unwrap();
+        doc.set_attr(extra, AttrName::Channel, AttrValue::Id("caption".into()))
+            .unwrap();
+        doc.set_attr(extra, AttrName::Duration, AttrValue::Number(4_000))
+            .unwrap();
+        let run = PipelineBuilder::new(DeviceProfile::workstation())
+            .run(&doc, &store)
+            .unwrap();
+        assert!(run
+            .diagnostics
+            .iter()
+            .any(|d| d.code == cmif_core::diag::codes::CHANNEL_DOUBLE_BOOKING && !d.is_deny()));
+    }
+
+    #[test]
+    fn a_configured_linter_can_wave_a_refusal_through() {
+        // Allowing L007 at the pipeline level lets the same document run:
+        // downstream stages tolerate a file-less ext (the scheduler gives
+        // it a default duration), so the lint gate really is the only
+        // thing standing between this document and a schedule.
+        let (mut doc, store) = build_fixture();
+        let root = doc.root().unwrap();
+        let orphan = doc.add_ext(root).unwrap();
+        doc.set_attr(orphan, AttrName::Channel, AttrValue::Id("audio".into()))
+            .unwrap();
+        let waved = Linter::new().with_config(
+            cmif_core::diag::SeverityConfig::new().allow(cmif_core::diag::codes::MISSING_FILE),
+        );
+        let run = PipelineBuilder::new(DeviceProfile::workstation())
+            .lint(waved)
+            .run(&doc, &store)
+            .unwrap();
+        // The allowed code is dropped from the report entirely; what
+        // remains is the warn-severity double-booking the orphan causes.
+        assert!(run
+            .diagnostics
+            .iter()
+            .all(|d| d.code != cmif_core::diag::codes::MISSING_FILE));
+        assert!(run
+            .diagnostics
+            .iter()
+            .any(|d| d.code == cmif_core::diag::codes::CHANNEL_DOUBLE_BOOKING));
     }
 
     #[test]

@@ -68,6 +68,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
 use cmif_core::descriptor::DescriptorResolver;
+use cmif_core::diag::{Diagnostic, SeverityConfig};
 use cmif_core::tree::Document;
 
 use crate::environment::JitterModel;
@@ -108,6 +109,71 @@ impl fmt::Debug for JobHook {
     }
 }
 
+/// Admission-time static analysis, installed via
+/// [`EngineConfig::lint_gate`].
+///
+/// The gate wraps a callback so the scheduler does not depend on the lint
+/// crate that sits above it: `cmif-lint` provides the canonical constructor
+/// (`cmif_lint::admission_gate`). The callback receives the document and an
+/// optional per-submission [`SeverityConfig`] override
+/// ([`LintPolicy::Configured`]) and returns every diagnostic it collected;
+/// any deny-severity diagnostic refuses the submission with
+/// [`SchedulerError::LintRejected`] **before** the plane lock is taken, a
+/// quota token charged, or a worker costed.
+#[derive(Clone)]
+pub struct LintGate {
+    check: Arc<GateCheck>,
+}
+
+/// The callback shape a [`LintGate`] wraps: document plus optional
+/// per-submission severity override, out come the collected diagnostics.
+type GateCheck = dyn Fn(&Document, Option<&SeverityConfig>) -> Vec<Diagnostic> + Send + Sync;
+
+impl LintGate {
+    /// Wraps a diagnostic-collecting callback as an admission gate.
+    pub fn new(
+        check: impl Fn(&Document, Option<&SeverityConfig>) -> Vec<Diagnostic> + Send + Sync + 'static,
+    ) -> LintGate {
+        LintGate {
+            check: Arc::new(check),
+        }
+    }
+
+    /// Runs the gate under the submission's policy. `Ok(())` admits;
+    /// [`SchedulerError::LintRejected`] carries every collected diagnostic.
+    pub fn inspect(&self, doc: &Document, policy: &LintPolicy) -> Result<()> {
+        let config = match policy {
+            LintPolicy::Skip => return Ok(()),
+            LintPolicy::Default => None,
+            LintPolicy::Configured(config) => Some(config),
+        };
+        let diagnostics = (self.check)(doc, config);
+        if diagnostics.iter().any(Diagnostic::is_deny) {
+            return Err(SchedulerError::LintRejected { diagnostics });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for LintGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("LintGate(..)")
+    }
+}
+
+/// How one [`Submission`] interacts with the engine's lint gate.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum LintPolicy {
+    /// Run the gate with its own severity configuration.
+    #[default]
+    Default,
+    /// Bypass the gate for this submission (pre-linted documents, e.g. the
+    /// pipeline's, which already passed stage 2).
+    Skip,
+    /// Run the gate with this severity configuration instead of its own.
+    Configured(SeverityConfig),
+}
+
 /// Configuration of an [`Engine`].
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -139,6 +205,12 @@ pub struct EngineConfig {
     /// Policy applied to tenants that never got an explicit
     /// [`Engine::set_tenant_policy`]: by default weight 1, no quota.
     pub default_tenant_policy: TenantPolicy,
+    /// Admission-time static analysis: when set, every submission is
+    /// checked **before** it takes the plane lock or charges a quota
+    /// token, and documents with deny-severity findings are refused with
+    /// [`SchedulerError::LintRejected`]. `None` (the default) admits
+    /// everything unchecked. See [`LintGate`] and [`Submission::lint`].
+    pub lint_gate: Option<LintGate>,
     /// Test-only fault injection; see [`JobHook`]. Leave `None`.
     #[doc(hidden)]
     pub job_hook: Option<JobHook>,
@@ -155,6 +227,7 @@ impl Default for EngineConfig {
             max_backlog: None,
             refill_batch: 4,
             default_tenant_policy: TenantPolicy::default(),
+            lint_gate: None,
             job_hook: None,
         }
     }
@@ -209,6 +282,7 @@ pub struct Submission {
     label: Option<String>,
     resolver: Option<Arc<dyn DescriptorResolver + Send + Sync>>,
     solve: Option<Arc<SolveResult>>,
+    lint: LintPolicy,
 }
 
 impl Submission {
@@ -222,6 +296,7 @@ impl Submission {
             label: None,
             resolver: None,
             solve: None,
+            lint: LintPolicy::default(),
         }
     }
 
@@ -256,6 +331,15 @@ impl Submission {
         self.solve = Some(solve.into());
         self
     }
+
+    /// Sets how this submission interacts with the engine's lint gate
+    /// (when [`EngineConfig::lint_gate`] is set): bypass it, or override
+    /// its severity configuration. The default runs the gate as
+    /// configured. Without a gate the policy is ignored.
+    pub fn lint(mut self, policy: LintPolicy) -> Submission {
+        self.lint = policy;
+        self
+    }
 }
 
 impl fmt::Debug for Submission {
@@ -270,6 +354,7 @@ impl fmt::Debug for Submission {
                 &self.resolver.as_ref().map(|_| "<custom resolver>"),
             )
             .field("solve", &self.solve.as_ref().map(|_| "<precomputed>"))
+            .field("lint", &self.lint)
             .finish()
     }
 }
@@ -614,6 +699,12 @@ impl Engine {
 
     fn enqueue_one(&self, submission: Submission, block: bool) -> Result<DocId> {
         let shared = &self.shared;
+        // Lint before anything is locked or charged: a refused document
+        // costs neither a quota token nor a queue slot, and concurrent
+        // submitters are not serialized behind the analysis.
+        if let Some(gate) = &shared.config.lint_gate {
+            gate.inspect(&submission.doc, &submission.lint)?;
+        }
         let limit = shared.backlog_limit();
         let mut plane = shared.lock_plane();
         if plane.closed || plane.shutdown {
@@ -682,6 +773,14 @@ impl Engine {
             return Ok(Vec::new());
         }
         let shared = &self.shared;
+        // Lint the whole batch up front, before the lock: consistent with
+        // the all-or-nothing quota charge below, one deny-level document
+        // refuses the batch and nothing is admitted or charged.
+        if let Some(gate) = &shared.config.lint_gate {
+            for submission in &submissions {
+                gate.inspect(&submission.doc, &submission.lint)?;
+            }
+        }
         let need = submissions.len();
         let limit = shared.backlog_limit();
         let mut counts: Vec<(TenantId, usize)> = Vec::new();
@@ -950,6 +1049,7 @@ fn worker_loop(shared: &Shared, me: usize) {
                     let first = plane
                         .run
                         .pop_fair()
+                        // repo_lint: allow(guarded by the !is_empty() wake condition above)
                         .expect("nonempty tenant plane dispenses a job");
                     let mut extras = Vec::new();
                     for _ in 1..shared.config.refill_batch.max(1) {

@@ -325,6 +325,7 @@ impl<T> TenantRunQueue<T> {
             let item = state
                 .queue
                 .pop_front()
+                // repo_lint: allow(live_entry is cleared whenever the queue drains)
                 .expect("a live ready entry implies a nonempty tenant queue");
             self.len -= 1;
             self.global_pass = pass;
@@ -337,6 +338,7 @@ impl<T> TenantRunQueue<T> {
                 let state = self
                     .tenants
                     .get_mut(&tenant)
+                    // repo_lint: allow(the same key was read a few lines up)
                     .expect("tenant state just touched");
                 state.live_entry = Some(next_seq);
                 self.ready.push(Reverse((state.pass, next_seq, tenant)));

@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use cmif_core::diag::Diagnostic;
 use cmif_core::error::CoreError;
 
 use crate::engine::TenantId;
@@ -67,6 +68,15 @@ pub enum SchedulerError {
     /// The engine was closed (or shut down): it no longer admits documents,
     /// though outcomes already admitted can still be collected.
     EngineClosed,
+    /// The engine's lint gate ([`crate::engine::EngineConfig::lint_gate`])
+    /// refused the document at admission: static analysis found at least
+    /// one deny-severity finding, so the document never reached a worker.
+    /// Carries every collected diagnostic (warnings included), ready to
+    /// render against the document's `SourceMap`.
+    LintRejected {
+        /// Every diagnostic the gate collected; at least one is deny.
+        diagnostics: Vec<Diagnostic>,
+    },
     /// A structural error from the document model.
     Core(CoreError),
 }
@@ -105,6 +115,19 @@ impl fmt::Display for SchedulerError {
             }
             SchedulerError::EngineClosed => {
                 write!(f, "the engine is closed and admits no new documents")
+            }
+            SchedulerError::LintRejected { diagnostics } => {
+                let denies = diagnostics.iter().filter(|d| d.is_deny()).count();
+                write!(
+                    f,
+                    "the lint gate refused the document at admission: {denies} deny-severity \
+                     finding(s) out of {} diagnostic(s)",
+                    diagnostics.len()
+                )?;
+                if let Some(first) = diagnostics.iter().find(|d| d.is_deny()) {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
             }
             SchedulerError::Core(e) => write!(f, "document error: {e}"),
         }
@@ -159,6 +182,21 @@ mod tests {
         let full = SchedulerError::Backpressure { backlog: 9 };
         assert!(full.to_string().contains('9'));
         assert!(SchedulerError::EngineClosed.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn lint_refusals_count_denies_and_show_the_first() {
+        use cmif_core::diag::codes;
+        let err = SchedulerError::LintRejected {
+            diagnostics: vec![
+                Diagnostic::new(codes::ARC_CYCLE, "arcs form a cycle"),
+                Diagnostic::new(codes::CHANNEL_DOUBLE_BOOKING, "overlap"),
+            ],
+        };
+        let text = err.to_string();
+        assert!(text.contains("1 deny-severity"), "{text}");
+        assert!(text.contains("2 diagnostic"), "{text}");
+        assert!(text.contains("L101"), "{text}");
     }
 
     #[test]

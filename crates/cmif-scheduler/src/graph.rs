@@ -164,6 +164,7 @@ impl ConstraintGraph {
         Ok(self
             .base_times
             .as_ref()
+            // repo_lint: allow(assigned in the branch directly above)
             .expect("base fixpoint was just computed"))
     }
 
@@ -179,6 +180,7 @@ impl ConstraintGraph {
         let base = self
             .base_times
             .as_ref()
+            // repo_lint: allow(base_fixpoint() above populated the cache)
             .expect("base fixpoint cached by base_fixpoint");
         if self.injected.is_empty() {
             return Ok(base.clone());

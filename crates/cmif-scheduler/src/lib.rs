@@ -81,8 +81,8 @@ pub use defaults::{derive_constraints, derive_structural, rates_of};
 #[doc(hidden)]
 pub use engine::JobHook;
 pub use engine::{
-    DocId, DocOutcome, Engine, EngineConfig, QueueStats, QuotaConfig, Submission, TenantId,
-    TenantPolicy, TenantStatsSnapshot,
+    DocId, DocOutcome, Engine, EngineConfig, LintGate, LintPolicy, QueueStats, QuotaConfig,
+    Submission, TenantId, TenantPolicy, TenantStatsSnapshot,
 };
 pub use environment::{EnvironmentLimits, JitterModel, JitterSampler};
 pub use graph::{ConstraintGraph, PointTimes};

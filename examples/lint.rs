@@ -1,0 +1,91 @@
+//! Static analysis with coded diagnostics: lint a deliberately broken
+//! document, render the findings rustc-style against its source text, then
+//! show the engine's lint gate refusing the document at admission — and
+//! admitting it anyway once the offending code is downgraded to `allow`,
+//! whereupon the solver fails exactly where it always did.
+//!
+//! Run with `cargo run --example lint`.
+
+use std::sync::Arc;
+
+use cmif::core::diag::{codes, SeverityConfig};
+use cmif::format::parse_document_unvalidated;
+use cmif::lint::{admission_gate, Linter};
+use cmif::scheduler::{Engine, EngineConfig, JitterModel, LintPolicy, SchedulerError, Submission};
+use cmif::Result;
+
+/// A short bulletin with a little of everything wrong: an undefined style,
+/// an undeclared channel, an external node whose data has no descriptor —
+/// and a pair of explicit arcs that chase each other one second into the
+/// future, forever. (The two captions sharing the caption channel would
+/// also warn as double-booked, but only once the cycle is fixed: a
+/// diverging graph has no fixpoint times to compare.)
+const BROKEN: &str = r#"(cmif
+  (channels
+    (channel audio audio)
+    (channel caption text))
+  (seq (name bulletin)
+    (par (name story)
+      (ext (name voice) (channel audio) (file "story-audio")
+        (sync_arc begin must begin "../line" 1000 ms "" 0 inf))
+      (imm (name line) (channel caption) (duration 3000)
+        (style headline)
+        (sync_arc begin must begin "../voice" 1000 ms "" 0 inf)
+        (data "Van Gogh recovered"))
+      (imm (name lower-third) (channel caption) (duration 2000)
+        (data "Amsterdam"))
+      (imm (name ticker) (channel wire) (duration 2000)
+        (data "more at eleven")))))
+"#;
+
+fn main() -> Result<()> {
+    let doc = parse_document_unvalidated(BROKEN)?;
+
+    // 1. Lint and render: every finding, graded by the registry defaults,
+    //    underlining the offending source bytes via the parser's SourceMap.
+    let linter = Linter::new();
+    let report = linter.check(&doc);
+    println!(
+        "=== lint report ({} findings) ===\n",
+        report.diagnostics().len()
+    );
+    println!("{}", report.render(doc.sources.as_deref()));
+
+    // 2. The same linter as an engine admission gate: deny-severity findings
+    //    refuse the document before it costs a worker.
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        lint_gate: Some(admission_gate(linter)),
+        ..EngineConfig::default()
+    });
+    let submission = || Submission::new(Arc::new(doc.clone()), JitterModel::ideal());
+
+    match engine.admit(submission()) {
+        Err(SchedulerError::LintRejected { diagnostics }) => {
+            let denies = diagnostics.iter().filter(|d| d.is_deny()).count();
+            println!(
+                "=== admission ===\n\nrefused at the gate: {denies} deny finding(s), \
+                 zero workers spent"
+            );
+        }
+        other => println!("unexpected admission outcome: {other:?}"),
+    }
+
+    // 3. Downgrade every gating code to `allow` for this one submission: the
+    //    document now reaches the solver, which diverges on the arc cycle —
+    //    the same failure it always produced, just a worker later.
+    let waved_through = SeverityConfig::new()
+        .allow(codes::ARC_CYCLE)
+        .allow(codes::UNKNOWN_STYLE)
+        .allow(codes::UNKNOWN_CHANNEL)
+        .allow(codes::DANGLING_DESCRIPTOR);
+    let id = engine.admit(submission().lint(LintPolicy::Configured(waved_through)))?;
+    match engine.wait(id).result {
+        Err(SchedulerError::ConstraintCycle { phase, points }) => println!(
+            "\nwith the codes allowed, the solver itself diverged: \
+             {phase} did not converge over {points} event points"
+        ),
+        other => println!("\nunexpected solve outcome: {other:?}"),
+    }
+    Ok(())
+}

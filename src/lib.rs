@@ -14,6 +14,7 @@
 //! * [`pipeline`] (`cmif-pipeline`) — the CWI/Multimedia Pipeline stages;
 //! * [`distrib`] (`cmif-distrib`) — the simulated distributed store;
 //! * [`hyper`] (`cmif-hyper`) — conditional arcs and navigation;
+//! * [`lint`] (`cmif-lint`) — static analysis with coded diagnostics;
 //! * [`baselines`] (`cmif-baselines`) — Muse- and MIF-style comparators.
 
 #![warn(missing_docs)]
@@ -24,6 +25,7 @@ pub use cmif_core as core;
 pub use cmif_distrib as distrib;
 pub use cmif_format as format;
 pub use cmif_hyper as hyper;
+pub use cmif_lint as lint;
 pub use cmif_media as media;
 pub use cmif_pipeline as pipeline;
 pub use cmif_scheduler as scheduler;

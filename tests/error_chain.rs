@@ -90,8 +90,8 @@ fn lexer_spans_cover_token_text_and_survive_as_error_anchors() {
     assert_eq!(string_token.span.text(source), Some("\"two words\""));
     assert_eq!(string_token.position().column, 12);
 
-    // A span built from an error position behaves the same way.
-    let span = Span::new(Position::new(1, 1, 0), 4);
+    // A span built from error positions behaves the same way.
+    let span = Span::new(Position::new(1, 1, 0), Position::new(1, 5, 4));
     assert_eq!(span.text(source), Some("(seq"));
 }
 
