@@ -1,0 +1,143 @@
+//! Extension — the wire codec's cost and size envelope.
+//!
+//! A document that travels (publish, replicate, transport) is serialized
+//! and decoded once per hop, so the codec's cost is paid on every wire
+//! crossing. This bench prices both interchange forms side by side on the
+//! Figure 4 corpus (the Evening News document) and synthetic broadcasts at
+//! 4/16/64 stories:
+//!
+//! * `parse_text` / `decode_binary` — bytes → validated document;
+//! * `write_text` / `encode_binary` — document → wire bytes (both
+//!   streaming serializers, no intermediate `String` per value);
+//! * bytes-per-document for each form, which is what
+//!   [`cmif::distrib::TrafficStats`] charges per structure transfer.
+//!
+//! The banner prints the size and throughput comparison, and the probe is
+//! appended to `BENCH_ext_format.json` at the repo root so the codec's
+//! perf trajectory is versioned next to the code.
+
+use std::time::{Duration, Instant};
+
+use cmif::core::tree::Document;
+use cmif::format::{document_to_bytes, read_document_bytes, WireEncoding};
+use cmif::news::evening_news;
+use cmif::synthetic::SyntheticNews;
+use cmif_bench::banner;
+use cmif_bench::trajectory::{self, TrajectoryRun};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn corpus() -> Vec<(&'static str, Document)> {
+    vec![
+        ("fig04", evening_news().expect("evening news builds")),
+        (
+            "stories16",
+            SyntheticNews::with_stories(16)
+                .build()
+                .expect("synthetic news builds"),
+        ),
+    ]
+}
+
+/// Decodes `bytes` `rounds` times and returns documents/sec (best of two).
+fn decodes_per_sec(bytes: &[u8], rounds: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let started = Instant::now();
+        for _ in 0..rounds {
+            let (doc, _) = read_document_bytes(bytes).expect("corpus bytes decode");
+            assert!(doc.root().is_ok());
+        }
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    rounds as f64 / best
+}
+
+/// Encodes `doc` `rounds` times and returns documents/sec (best of two).
+fn encodes_per_sec(doc: &Document, encoding: WireEncoding, rounds: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let started = Instant::now();
+        for _ in 0..rounds {
+            let bytes = document_to_bytes(doc, encoding).expect("corpus encodes");
+            assert!(!bytes.is_empty());
+        }
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    rounds as f64 / best
+}
+
+fn bench_format(c: &mut Criterion) {
+    // Regenerate the artifact: size and throughput of both wire forms.
+    let mut run = TrajectoryRun::now("cargo bench ext_format");
+    let mut lines =
+        String::from("corpus      text B   binary B   parse/s   decode/s   write/s   encode/s\n");
+    for (label, doc) in corpus() {
+        let text = document_to_bytes(&doc, WireEncoding::Text).expect("text encodes");
+        let binary = document_to_bytes(&doc, WireEncoding::Binary).expect("binary encodes");
+        assert!(
+            binary.len() < text.len(),
+            "binary must be the smaller wire form"
+        );
+        let rounds = 256;
+        let parse_rate = decodes_per_sec(&text, rounds);
+        let decode_rate = decodes_per_sec(&binary, rounds);
+        let write_rate = encodes_per_sec(&doc, WireEncoding::Text, rounds);
+        let encode_rate = encodes_per_sec(&doc, WireEncoding::Binary, rounds);
+        lines.push_str(&format!(
+            "{label:<11} {:<8} {:<10} {parse_rate:<9.0} {decode_rate:<10.0} \
+             {write_rate:<9.0} {encode_rate:.0}\n",
+            text.len(),
+            binary.len(),
+        ));
+        run = run
+            .metric(format!("{label}/text_bytes"), text.len() as f64)
+            .metric(format!("{label}/binary_bytes"), binary.len() as f64)
+            .metric(format!("{label}/parse_text_per_sec"), parse_rate)
+            .metric(format!("{label}/decode_binary_per_sec"), decode_rate)
+            .metric(format!("{label}/write_text_per_sec"), write_rate)
+            .metric(format!("{label}/encode_binary_per_sec"), encode_rate);
+    }
+    banner("ext: wire codec cost (text vs binary per document)", &lines);
+    match trajectory::record_run("ext_format", run) {
+        Ok(path) => println!("perf trajectory appended to {}", path.display()),
+        Err(e) => eprintln!("could not write the perf trajectory: {e}"),
+    }
+
+    // The gated targets.
+    let mut group = c.benchmark_group("ext_format");
+    for (label, doc) in corpus() {
+        let text = document_to_bytes(&doc, WireEncoding::Text).expect("text encodes");
+        let binary = document_to_bytes(&doc, WireEncoding::Binary).expect("binary encodes");
+        group.bench_with_input(BenchmarkId::new("parse_text", label), &text, |b, bytes| {
+            b.iter(|| read_document_bytes(bytes).expect("text decodes"));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("decode_binary", label),
+            &binary,
+            |b, bytes| {
+                b.iter(|| read_document_bytes(bytes).expect("binary decodes"));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("write_text", label), &doc, |b, doc| {
+            b.iter(|| document_to_bytes(doc, WireEncoding::Text).expect("text encodes"));
+        });
+        group.bench_with_input(BenchmarkId::new("encode_binary", label), &doc, |b, doc| {
+            b.iter(|| document_to_bytes(doc, WireEncoding::Binary).expect("binary encodes"));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_format
+}
+criterion_main!(benches);

@@ -11,8 +11,9 @@
 //!   block/document replica;
 //! * [`store`] — per-host shards (one lock per host, no global lock) with a
 //!   block → holders placement index, configurable replication and
-//!   nearest-replica fetching; documents travel as interchange text, blocks
-//!   move only when fetched;
+//!   nearest-replica fetching; documents travel as wire bytes (the compact
+//!   binary form by default, canonical text on request — see
+//!   [`WireEncoding`]), blocks move only when fetched;
 //! * [`traffic`] — cluster-wide totals plus per-link `(from, to)` traffic
 //!   accounting;
 //! * [`transport`] — the structure-only vs structure-plus-data comparison
@@ -38,6 +39,7 @@ pub mod store;
 pub mod traffic;
 pub mod transport;
 
+pub use cmif_format::{WireDocument, WireEncoding, WireFormat};
 pub use error::{DistribError, Result};
 pub use network::{HostId, Link, Network};
 pub use placement::PlacementRing;

@@ -1,11 +1,13 @@
 //! The distributed document and media store, sharded per host.
 //!
 //! Each host of the simulated cluster holds a set of CMIF documents (as
-//! interchange text) and a local [`BlockStore`] of media blocks. Documents
-//! are small and travel freely; media blocks are large and travel only when
-//! something actually needs the bytes. That asymmetry is the paper's §6
-//! point: "the value of document sharing and multiple access to information
-//! is vital", and it is the *description* that is shared, not the data.
+//! wire bytes — the compact binary form by default, canonical text on
+//! request, see [`WireEncoding`]) and a local [`BlockStore`] of media
+//! blocks. Documents are small and travel freely; media blocks are large
+//! and travel only when something actually needs the bytes. That asymmetry
+//! is the paper's §6 point: "the value of document sharing and multiple
+//! access to information is vital", and it is the *description* that is
+//! shared, not the data.
 //!
 //! # Sharding
 //!
@@ -30,7 +32,7 @@ use parking_lot::{Mutex, RwLock};
 use cmif_core::descriptor::DataDescriptor;
 use cmif_core::symbol::Symbol;
 use cmif_core::tree::Document;
-use cmif_format::{parse_document, write_document};
+use cmif_format::{document_to_bytes, WireEncoding, WireFormat};
 use cmif_media::store::BlockStore;
 use cmif_media::{MediaBlock, MediaError};
 
@@ -43,9 +45,10 @@ pub use crate::traffic::{LinkStats, TrafficStats};
 /// host's own locks; nothing reaches across to another host.
 #[derive(Debug, Default)]
 struct HostShard {
-    /// Documents held by this host, as interchange text keyed by interned
-    /// name.
-    documents: RwLock<BTreeMap<Symbol, String>>,
+    /// Documents held by this host, as wire bytes keyed by interned name.
+    /// The bytes are whatever encoding the publisher chose; readers
+    /// auto-detect by magic when opening.
+    documents: RwLock<BTreeMap<Symbol, Vec<u8>>>,
     /// Media blocks held by this host (internally locked).
     blocks: BlockStore,
     /// Block keys currently being fetched *to* this host. A fetch reserves
@@ -107,6 +110,8 @@ pub struct DistributedStore {
     /// Keyed by interned symbol: lookups and inserts compare integers.
     placement: RwLock<BTreeMap<Symbol, BlockPlacement>>,
     traffic: Mutex<TrafficStats>,
+    /// The wire form new documents are published in (binary by default).
+    wire: WireEncoding,
 }
 
 impl DistributedStore {
@@ -153,7 +158,22 @@ impl DistributedStore {
             replication,
             placement: RwLock::new(BTreeMap::new()),
             traffic: Mutex::new(TrafficStats::default()),
+            wire: WireEncoding::default(),
         }
+    }
+
+    /// Chooses the wire form new documents are published in. Binary is the
+    /// default; text keeps the stored bytes human-readable at the cost of
+    /// larger structure transfers. Already-published documents keep the
+    /// encoding they were published with — readers auto-detect.
+    pub fn with_wire_encoding(mut self, encoding: WireEncoding) -> DistributedStore {
+        self.wire = encoding;
+        self
+    }
+
+    /// The wire form new documents are published in.
+    pub fn wire_encoding(&self) -> WireEncoding {
+        self.wire
     }
 
     /// The network this store simulates traffic over.
@@ -529,11 +549,13 @@ impl DistributedStore {
     // Documents
     // ------------------------------------------------------------------
 
-    /// Publishes a document on a host under a name, replicating the
-    /// interchange text to further ring-chosen hosts when the replication
-    /// factor is above one (each replica transfer is charged as structure
-    /// bytes). Only the structure is stored; media blocks stay wherever
-    /// they are. Returns the structure size in bytes.
+    /// Publishes a document on a host under a name, serializing it in the
+    /// store's wire encoding (binary by default, see
+    /// [`DistributedStore::with_wire_encoding`]) and replicating the wire
+    /// bytes to further ring-chosen hosts when the replication factor is
+    /// above one (each replica transfer is charged as structure bytes).
+    /// Only the structure is stored; media blocks stay wherever they are.
+    /// Returns the structure size in bytes.
     ///
     /// Like [`DistributedStore::put_block`], replica targets are validated
     /// before anything is stored or charged, so an unreachable ring target
@@ -541,24 +563,24 @@ impl DistributedStore {
     pub fn publish_document(&self, host: &str, name: &str, doc: &Document) -> Result<usize> {
         let origin = self.shard(host)?;
         let name = Symbol::intern(name);
-        let text = write_document(doc).map_err(DistribError::Core)?;
-        let size = text.len();
+        let bytes = document_to_bytes(doc, self.wire).map_err(DistribError::Format)?;
+        let size = bytes.len();
         let replicas = self.plan_replicas(name.as_str(), host, size as u64)?;
 
-        // The last insert consumes `text` instead of cloning it: K replicas
-        // cost K copies of the interchange text, not K + 1.
+        // The last insert consumes `bytes` instead of cloning it: K
+        // replicas cost K copies of the wire bytes, not K + 1.
         if replicas.is_empty() {
-            origin.documents.write().insert(name, text);
+            origin.documents.write().insert(name, bytes);
             return Ok(size);
         }
-        let mut text = text;
-        origin.documents.write().insert(name, text.clone());
+        let mut bytes = bytes;
+        origin.documents.write().insert(name, bytes.clone());
         let last = replicas.len() - 1;
         for (index, (target, cost)) in replicas.into_iter().enumerate() {
             let copy = if index == last {
-                std::mem::take(&mut text)
+                std::mem::take(&mut bytes)
             } else {
-                text.clone()
+                bytes.clone()
             };
             self.record(host, &target, size as u64, true, cost);
             self.shard(&target)?.documents.write().insert(name, copy);
@@ -580,15 +602,16 @@ impl DistributedStore {
     }
 
     /// Transports a document's structure from one host to another, charging
-    /// only the structure bytes. Returns the parsed document at the
-    /// destination.
+    /// only the structure bytes (as many as the wire form actually
+    /// occupies). The bytes move verbatim — a text-published document stays
+    /// text on the destination. Returns the decoded document.
     pub fn transport_document(&self, from: &str, to: &str, name: &str) -> Result<Document> {
         let dest = self.shard(to)?;
         let name = Symbol::lookup(name).ok_or_else(|| DistribError::UnknownDocument {
             host: from.to_string(),
             name: name.to_string(),
         })?;
-        let text = self
+        let bytes = self
             .shard(from)?
             .documents
             .read()
@@ -598,12 +621,14 @@ impl DistributedStore {
                 host: from.to_string(),
                 name: name.as_str().to_string(),
             })?;
-        self.charge(from, to, text.len() as u64, true)?;
-        dest.documents.write().insert(name, text.clone());
-        parse_document(&text).map_err(DistribError::Format)
+        self.charge(from, to, bytes.len() as u64, true)?;
+        let doc = Document::from_read(&mut bytes.as_slice()).map_err(DistribError::Format)?;
+        dest.documents.write().insert(name, bytes);
+        Ok(doc)
     }
 
-    /// Reads a document a host already holds (no traffic).
+    /// Reads a document a host already holds (no traffic), auto-detecting
+    /// the wire form it was published in.
     pub fn open_document(&self, host: &str, name: &str) -> Result<Document> {
         let shard = self.shard(host)?;
         let missing = || DistribError::UnknownDocument {
@@ -612,8 +637,8 @@ impl DistributedStore {
         };
         let name = Symbol::lookup(name).ok_or_else(missing)?;
         let documents = shard.documents.read();
-        let text = documents.get(&name).ok_or_else(missing)?;
-        parse_document(text).map_err(DistribError::Format)
+        let bytes = documents.get(&name).ok_or_else(missing)?;
+        Document::from_read(&mut bytes.as_slice()).map_err(DistribError::Format)
     }
 
     /// Fetches to `host` the payloads of exactly the given descriptor keys
@@ -1059,6 +1084,77 @@ mod tests {
                 hosts: 2
             }
         ));
+    }
+
+    #[test]
+    fn documents_publish_as_binary_wire_bytes_by_default() {
+        let store = cluster();
+        let doc = news_doc();
+        let size = store.publish_document("server", "news", &doc).unwrap();
+        // The stored bytes open with the binary magic.
+        let shard = store.shards.get("server").unwrap();
+        let documents = shard.documents.read();
+        let bytes = documents.get(&Symbol::intern("news")).unwrap();
+        assert_eq!(
+            cmif_format::WireEncoding::detect(bytes),
+            WireEncoding::Binary
+        );
+        assert_eq!(bytes.len(), size);
+        drop(documents);
+        // And they decode back to the same document.
+        let opened = store.open_document("server", "news").unwrap();
+        assert_eq!(
+            cmif_format::write_document(&opened).unwrap(),
+            cmif_format::write_document(&doc).unwrap()
+        );
+    }
+
+    #[test]
+    fn binary_publishing_moves_fewer_structure_bytes_than_text() {
+        let doc = news_doc();
+        let network = Network::uniform(&["server", "desk", "laptop"], Link::lan());
+        let binary_store = DistributedStore::new(network.clone());
+        let text_store = DistributedStore::new(network).with_wire_encoding(WireEncoding::Text);
+        assert_eq!(binary_store.wire_encoding(), WireEncoding::Binary);
+        assert_eq!(text_store.wire_encoding(), WireEncoding::Text);
+
+        let binary_size = binary_store
+            .publish_document("server", "news", &doc)
+            .unwrap();
+        let text_size = text_store.publish_document("server", "news", &doc).unwrap();
+        assert!(
+            binary_size < text_size,
+            "binary wire form ({binary_size} B) must beat text ({text_size} B)"
+        );
+
+        // TrafficStats record the smaller binary byte count on transport.
+        binary_store.reset_traffic();
+        text_store.reset_traffic();
+        binary_store
+            .transport_document("server", "desk", "news")
+            .unwrap();
+        text_store
+            .transport_document("server", "desk", "news")
+            .unwrap();
+        assert_eq!(binary_store.traffic().structure_bytes, binary_size as u64);
+        assert!(binary_store.traffic().structure_bytes < text_store.traffic().structure_bytes);
+    }
+
+    #[test]
+    fn text_published_documents_stay_text_and_still_open_everywhere() {
+        let store = cluster().with_wire_encoding(WireEncoding::Text);
+        store
+            .publish_document("server", "news", &news_doc())
+            .unwrap();
+        let received = store.transport_document("server", "desk", "news").unwrap();
+        assert_eq!(received.leaves().len(), 2);
+        // The destination holds the same text bytes the origin published.
+        let shard = store.shards.get("desk").unwrap();
+        let documents = shard.documents.read();
+        let bytes = documents.get(&Symbol::intern("news")).unwrap();
+        assert_eq!(cmif_format::WireEncoding::detect(bytes), WireEncoding::Text);
+        drop(documents);
+        assert!(store.open_document("desk", "news").is_ok());
     }
 
     #[test]

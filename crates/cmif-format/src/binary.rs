@@ -1,0 +1,1296 @@
+//! Binary wire codec: the compact interchange form of a CMIF document.
+//!
+//! The text form ([`crate::writer`]/[`crate::parser`]) is what humans read
+//! and diff; this module is what machines ship. The same document model
+//! round-trips *exactly* between the two: for any document,
+//! `decode(encode(doc))` writes byte-identical canonical text.
+//!
+//! # Layout
+//!
+//! A 16-byte header, then one checksummed payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  C3 'M' 'I' 'F'
+//! 4       2     version, u16 LE (currently 1)
+//! 6       2     flags, u16 LE (reserved, must be 0)
+//! 8       4     payload length, u32 LE
+//! 12      4     CRC-32/IEEE of the payload, u32 LE
+//! 16      …     payload
+//! ```
+//!
+//! The payload is a document-local **string table** (varint count, then
+//! per entry a varint byte length and UTF-8 bytes) followed by
+//! length-prefixed **sections** in ascending tag order: `1` meta,
+//! `2` channels, `3` styles, `4` descriptors, `5` tree. Empty sections are
+//! omitted; the tree section is required. Integers are LEB128 varints
+//! (zigzag for signed), reals are IEEE-754 bit patterns, and every name or
+//! path is a varint index into the string table — a `Symbol` never
+//! serializes its text twice. See `docs/wire-format.md` for the field-level
+//! grammar.
+//!
+//! # Hardening
+//!
+//! The decoder treats its input as hostile: every declared length and count
+//! is capped against the bytes actually remaining *before* anything is
+//! allocated, nesting is capped at [`crate::MAX_NESTING`], the checksum is
+//! verified before the payload is interpreted, and every failure is a
+//! [`FormatError`] carrying the byte span of the offending input — never a
+//! panic, never an allocation larger than the input.
+
+use std::collections::HashMap;
+use std::io;
+
+use cmif_core::arc::{Anchor, Strictness, SyncArc};
+use cmif_core::attr::AttrName;
+use cmif_core::channel::{ChannelDef, MediaKind};
+use cmif_core::descriptor::{DataDescriptor, ResourceNeeds};
+use cmif_core::node::{ImmediateData, NodeId, NodeKind};
+use cmif_core::path::NodePath;
+use cmif_core::style::StyleDef;
+use cmif_core::symbol::Symbol;
+use cmif_core::time::{DelayMs, MaxDelay, MediaTime, MediaUnit, RateInfo, TimeMs};
+use cmif_core::tree::Document;
+use cmif_core::validate;
+use cmif_core::value::AttrValue;
+
+use crate::error::{FormatError, Position, Result, Span};
+
+/// The four magic bytes every binary document starts with. The first byte
+/// is deliberately outside ASCII so no text document (which always starts
+/// with `(`, whitespace or a `;` comment) can collide with it.
+pub const MAGIC: [u8; 4] = [0xC3, b'M', b'I', b'F'];
+
+/// The wire-format version this build reads and writes.
+pub const VERSION: u16 = 1;
+
+/// Size of the fixed header preceding the payload.
+pub const HEADER_LEN: usize = 16;
+
+const SEC_META: u8 = 1;
+const SEC_CHANNELS: u8 = 2;
+const SEC_STYLES: u8 = 3;
+const SEC_DESCRIPTORS: u8 = 4;
+const SEC_TREE: u8 = 5;
+
+const VAL_ID: u8 = 0;
+const VAL_NUMBER: u8 = 1;
+const VAL_REAL: u8 = 2;
+const VAL_STR: u8 = 3;
+const VAL_REF: u8 = 4;
+const VAL_LIST: u8 = 5;
+
+const NODE_SEQ: u8 = 0;
+const NODE_PAR: u8 = 1;
+const NODE_EXT: u8 = 2;
+const NODE_IMM_TEXT: u8 = 3;
+const NODE_IMM_BINARY: u8 = 4;
+
+const DESC_DURATION: u8 = 1 << 0;
+const DESC_RESOLUTION: u8 = 1 << 1;
+const DESC_COLOR_DEPTH: u8 = 1 << 2;
+const DESC_FPS: u8 = 1 << 3;
+const DESC_SAMPLE_RATE: u8 = 1 << 4;
+const DESC_BYTE_RATE: u8 = 1 << 5;
+const DESC_RESOURCES: u8 = 1 << 6;
+const DESC_LOCATION: u8 = 1 << 7;
+
+// ---------------------------------------------------------------------------
+// CRC-32/IEEE
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32/IEEE over `bytes` (the polynomial zlib and PNG use).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+/// Builds the document-local string table while sections serialize. Strings
+/// are numbered in first-use order, so the encoding is deterministic for a
+/// given document regardless of the process-global intern pool's history.
+#[derive(Default)]
+struct StringTable {
+    strings: Vec<String>,
+    index: HashMap<String, u64>,
+}
+
+impl StringTable {
+    fn intern(&mut self, s: &str) -> u64 {
+        if let Some(&i) = self.index.get(s) {
+            return i;
+        }
+        let i = self.strings.len() as u64;
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), i);
+        i
+    }
+
+    fn write_ref(&mut self, out: &mut Vec<u8>, s: &str) {
+        let i = self.intern(s);
+        write_varint(out, i);
+    }
+}
+
+/// Encodes a whole document in the binary wire form, streaming the result
+/// into `w`. The payload is assembled in memory first (the header carries
+/// its length and checksum), then written in one pass.
+pub fn encode_document_to<W: io::Write>(doc: &Document, w: &mut W) -> Result<()> {
+    let root = doc.root()?;
+    let mut table = StringTable::default();
+    let mut sections: Vec<(u8, Vec<u8>)> = Vec::new();
+
+    if !doc.meta.is_empty() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, doc.meta.len() as u64);
+        for (key, value) in &doc.meta {
+            table.write_ref(&mut buf, key);
+            encode_value(&mut table, &mut buf, value);
+        }
+        sections.push((SEC_META, buf));
+    }
+
+    if !doc.channels.is_empty() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, doc.channels.len() as u64);
+        for channel in doc.channels.iter() {
+            table.write_ref(&mut buf, channel.name.as_str());
+            buf.push(medium_code(channel.medium));
+            write_varint(&mut buf, channel.extra.len() as u64);
+            for (key, value) in &channel.extra {
+                table.write_ref(&mut buf, key.as_str());
+                encode_value(&mut table, &mut buf, value);
+            }
+        }
+        sections.push((SEC_CHANNELS, buf));
+    }
+
+    if !doc.styles.is_empty() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, doc.styles.len() as u64);
+        for style in doc.styles.iter() {
+            table.write_ref(&mut buf, &style.name);
+            write_varint(&mut buf, style.parents.len() as u64);
+            for parent in &style.parents {
+                table.write_ref(&mut buf, parent);
+            }
+            write_varint(&mut buf, style.attrs.len() as u64);
+            for attr in &style.attrs {
+                table.write_ref(&mut buf, attr.name.as_str());
+                encode_value(&mut table, &mut buf, &attr.value);
+            }
+        }
+        sections.push((SEC_STYLES, buf));
+    }
+
+    if !doc.catalog.is_empty() {
+        let mut buf = Vec::new();
+        // Same canonical order as the text writer: by key text, so the
+        // bytes of a document do not depend on intern history.
+        let mut descriptors: Vec<&DataDescriptor> = doc.catalog.iter().collect();
+        descriptors.sort_by_key(|d| d.key.as_str());
+        write_varint(&mut buf, descriptors.len() as u64);
+        for d in descriptors {
+            encode_descriptor(&mut table, &mut buf, d);
+        }
+        sections.push((SEC_DESCRIPTORS, buf));
+    }
+
+    let mut buf = Vec::new();
+    encode_node(&mut table, &mut buf, doc, root)?;
+    sections.push((SEC_TREE, buf));
+
+    let mut payload = Vec::new();
+    write_varint(&mut payload, table.strings.len() as u64);
+    for s in &table.strings {
+        write_varint(&mut payload, s.len() as u64);
+        payload.extend_from_slice(s.as_bytes());
+    }
+    for (tag, body) in &sections {
+        payload.push(*tag);
+        write_varint(&mut payload, body.len() as u64);
+        payload.extend_from_slice(body);
+    }
+
+    let payload_len = u32::try_from(payload.len()).map_err(|_| FormatError::Wire {
+        context: "document",
+        message: "payload exceeds the 4 GiB wire limit".to_string(),
+        at: empty_span(0),
+    })?;
+
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&0u16.to_le_bytes())?;
+    w.write_all(&payload_len.to_le_bytes())?;
+    w.write_all(&crc32(&payload).to_le_bytes())?;
+    w.write_all(&payload)?;
+    Ok(())
+}
+
+fn encode_value(table: &mut StringTable, out: &mut Vec<u8>, value: &AttrValue) {
+    match value {
+        AttrValue::Id(s) => {
+            out.push(VAL_ID);
+            table.write_ref(out, s.as_str());
+        }
+        AttrValue::Number(n) => {
+            out.push(VAL_NUMBER);
+            write_varint(out, zigzag(*n));
+        }
+        AttrValue::Real(x) => {
+            out.push(VAL_REAL);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        AttrValue::Str(s) => {
+            out.push(VAL_STR);
+            table.write_ref(out, s);
+        }
+        AttrValue::Ref(s) => {
+            out.push(VAL_REF);
+            table.write_ref(out, s.as_str());
+        }
+        AttrValue::List(items) => {
+            out.push(VAL_LIST);
+            write_varint(out, items.len() as u64);
+            for item in items {
+                encode_value(table, out, item);
+            }
+        }
+    }
+}
+
+fn encode_descriptor(table: &mut StringTable, out: &mut Vec<u8>, d: &DataDescriptor) {
+    table.write_ref(out, d.key.as_str());
+    out.push(medium_code(d.medium));
+    table.write_ref(out, &d.format);
+    write_varint(out, d.size_bytes);
+
+    let has_resources = d.resources.bandwidth_bps != 0
+        || d.resources.decode_cost != 0
+        || d.resources.memory_bytes != 0;
+    let mut flags = 0u8;
+    if d.duration.is_some() {
+        flags |= DESC_DURATION;
+    }
+    if d.resolution.is_some() {
+        flags |= DESC_RESOLUTION;
+    }
+    if d.color_depth.is_some() {
+        flags |= DESC_COLOR_DEPTH;
+    }
+    if d.rates.frames_per_second.is_some() {
+        flags |= DESC_FPS;
+    }
+    if d.rates.samples_per_second.is_some() {
+        flags |= DESC_SAMPLE_RATE;
+    }
+    if d.rates.bytes_per_second.is_some() {
+        flags |= DESC_BYTE_RATE;
+    }
+    if has_resources {
+        flags |= DESC_RESOURCES;
+    }
+    if d.location.is_some() {
+        flags |= DESC_LOCATION;
+    }
+    out.push(flags);
+
+    if let Some(duration) = d.duration {
+        write_varint(out, zigzag(duration.as_millis()));
+    }
+    if let Some((w, h)) = d.resolution {
+        write_varint(out, w as u64);
+        write_varint(out, h as u64);
+    }
+    if let Some(bits) = d.color_depth {
+        out.push(bits);
+    }
+    if let Some(fps) = d.rates.frames_per_second {
+        out.extend_from_slice(&fps.to_bits().to_le_bytes());
+    }
+    if let Some(sr) = d.rates.samples_per_second {
+        write_varint(out, sr as u64);
+    }
+    if let Some(bps) = d.rates.bytes_per_second {
+        write_varint(out, bps);
+    }
+    if has_resources {
+        write_varint(out, d.resources.bandwidth_bps);
+        write_varint(out, d.resources.decode_cost as u64);
+        write_varint(out, d.resources.memory_bytes);
+    }
+    if let Some(location) = &d.location {
+        table.write_ref(out, location);
+    }
+
+    // Extras are keyed by `Symbol` (intern order); sort by text like the
+    // text writer so both forms share one canonical order.
+    let mut extras: Vec<_> = d.extra.iter().collect();
+    extras.sort_by_key(|(key, _)| key.as_str());
+    write_varint(out, extras.len() as u64);
+    for (key, value) in extras {
+        table.write_ref(out, key.as_str());
+        encode_value(table, out, value);
+    }
+}
+
+fn encode_node(
+    table: &mut StringTable,
+    out: &mut Vec<u8>,
+    doc: &Document,
+    id: NodeId,
+) -> Result<()> {
+    let node = doc.node(id)?;
+    match &node.kind {
+        NodeKind::Seq => out.push(NODE_SEQ),
+        NodeKind::Par => out.push(NODE_PAR),
+        NodeKind::Ext => out.push(NODE_EXT),
+        NodeKind::Imm(ImmediateData::Text(text)) => {
+            out.push(NODE_IMM_TEXT);
+            write_varint(out, text.len() as u64);
+            out.extend_from_slice(text.as_bytes());
+        }
+        NodeKind::Imm(ImmediateData::Binary(bytes)) => {
+            out.push(NODE_IMM_BINARY);
+            write_varint(out, bytes.len() as u64);
+            out.extend_from_slice(bytes);
+        }
+    }
+
+    write_varint(out, node.attrs.len() as u64);
+    for attr in node.attrs.iter() {
+        table.write_ref(out, attr.name.as_str());
+        encode_value(table, out, &attr.value);
+    }
+
+    let arcs = doc.arcs_of(id);
+    write_varint(out, arcs.len() as u64);
+    for arc in arcs {
+        encode_arc(table, out, arc);
+    }
+
+    if node.kind.is_composite() {
+        write_varint(out, node.children.len() as u64);
+        for child in &node.children {
+            encode_node(table, out, doc, *child)?;
+        }
+    }
+    Ok(())
+}
+
+fn encode_arc(table: &mut StringTable, out: &mut Vec<u8>, arc: &SyncArc) {
+    out.push(anchor_code(arc.anchor));
+    out.push(match arc.strictness {
+        Strictness::May => 0,
+        Strictness::Must => 1,
+    });
+    out.push(anchor_code(arc.source_anchor));
+    table.write_ref(out, &arc.source.to_string());
+    write_varint(out, zigzag(arc.offset.value));
+    out.push(unit_code(arc.offset.unit));
+    table.write_ref(out, &arc.destination.to_string());
+    write_varint(out, zigzag(arc.min_delay.as_millis()));
+    match arc.max_delay {
+        MaxDelay::Unbounded => out.push(0),
+        MaxDelay::Bounded(d) => {
+            out.push(1);
+            write_varint(out, zigzag(d.as_millis()));
+        }
+    }
+}
+
+fn anchor_code(anchor: Anchor) -> u8 {
+    match anchor {
+        Anchor::Begin => 0,
+        Anchor::End => 1,
+    }
+}
+
+fn medium_code(medium: MediaKind) -> u8 {
+    match medium {
+        MediaKind::Audio => 0,
+        MediaKind::Video => 1,
+        MediaKind::Image => 2,
+        MediaKind::Text => 3,
+        MediaKind::Label => 4,
+        MediaKind::Generator => 5,
+    }
+}
+
+fn unit_code(unit: MediaUnit) -> u8 {
+    match unit {
+        MediaUnit::Milliseconds => 0,
+        MediaUnit::Seconds => 1,
+        MediaUnit::Frames => 2,
+        MediaUnit::Samples => 3,
+        MediaUnit::Bytes => 4,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+fn byte_pos(offset: usize) -> Position {
+    // Binary input has no lines or columns; only the offset is meaningful.
+    Position::new(0, 0, offset)
+}
+
+fn empty_span(offset: usize) -> Span {
+    Span::new(byte_pos(offset), byte_pos(offset))
+}
+
+fn span_of(start: usize, end: usize) -> Span {
+    Span::new(byte_pos(start), byte_pos(end))
+}
+
+/// A bounds-checked reader over the payload. `base` is the slice's offset
+/// in the whole input, so every error reports absolute byte positions.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    base: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8], base: usize) -> Cursor<'a> {
+        Cursor { data, pos: 0, base }
+    }
+
+    fn offset(&self) -> usize {
+        self.base + self.pos
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    fn truncated(&self, needed: u64) -> FormatError {
+        FormatError::Truncated {
+            at: empty_span(self.base + self.data.len()),
+            needed,
+        }
+    }
+
+    fn wire(&self, context: &'static str, message: impl Into<String>, from: usize) -> FormatError {
+        FormatError::Wire {
+            context,
+            message: message.into(),
+            at: span_of(self.base + from, self.offset()),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if n > self.remaining() {
+            return Err(self.truncated((n - self.remaining()) as u64));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn read_u8(&mut self) -> Result<u8> {
+        let slice = self.take(1)?;
+        Ok(slice[0])
+    }
+
+    fn read_u64_le(&mut self) -> Result<u64> {
+        let slice = self.take(8)?;
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(slice);
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    fn read_varint(&mut self) -> Result<u64> {
+        let start = self.pos;
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(self.wire("varint", "value overflows 64 bits", start));
+            }
+            value |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(self.wire("varint", "value overflows 64 bits", start));
+            }
+        }
+    }
+
+    fn read_zigzag(&mut self) -> Result<i64> {
+        Ok(unzigzag(self.read_varint()?))
+    }
+
+    /// Reads a byte length and checks it against the remaining input
+    /// *before* the caller allocates anything.
+    fn read_len(&mut self, what: &'static str) -> Result<usize> {
+        let start = self.pos;
+        let len = self.read_varint()?;
+        if len > self.remaining() as u64 {
+            return Err(self.truncated(len - self.remaining() as u64));
+        }
+        let _ = (what, start);
+        Ok(len as usize)
+    }
+
+    /// Reads an entry count. Every encodable entry occupies at least one
+    /// byte, so a count larger than the remaining input is a lie — rejected
+    /// here so no loop trusts it.
+    fn read_count(&mut self, what: &'static str) -> Result<usize> {
+        let start = self.pos;
+        let count = self.read_varint()?;
+        if count > self.remaining() as u64 {
+            return Err(self.wire(
+                what,
+                format!(
+                    "declared count {count} exceeds the {} remaining input byte(s)",
+                    self.remaining()
+                ),
+                start,
+            ));
+        }
+        Ok(count as usize)
+    }
+
+    fn read_str<'t>(&mut self, table: &'t [String]) -> Result<&'t str> {
+        let start = self.pos;
+        let index = self.read_varint()?;
+        table
+            .get(index as usize)
+            .map(String::as_str)
+            .ok_or_else(|| {
+                self.wire(
+                    "string",
+                    format!(
+                        "string index {index} out of range (table has {} entries)",
+                        table.len()
+                    ),
+                    start,
+                )
+            })
+    }
+}
+
+/// Decodes a binary wire document and runs the structural validator.
+pub fn decode_document(bytes: &[u8]) -> Result<Document> {
+    let doc = decode_document_unvalidated(bytes)?;
+    validate::validate(&doc)?;
+    Ok(doc)
+}
+
+/// Decodes a binary wire document without structural validation (the
+/// binary analogue of [`crate::parse_document_unvalidated`]).
+pub fn decode_document_unvalidated(bytes: &[u8]) -> Result<Document> {
+    if bytes.len() < HEADER_LEN {
+        return Err(FormatError::Truncated {
+            at: empty_span(bytes.len()),
+            needed: (HEADER_LEN - bytes.len()) as u64,
+        });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(FormatError::Wire {
+            context: "header",
+            message: format!(
+                "bad magic {:02x} {:02x} {:02x} {:02x} (expected c3 4d 49 46)",
+                bytes[0], bytes[1], bytes[2], bytes[3]
+            ),
+            at: span_of(0, 4),
+        });
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION {
+        return Err(FormatError::UnsupportedVersion {
+            found: version,
+            at: span_of(4, 6),
+        });
+    }
+    let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
+    if flags != 0 {
+        return Err(FormatError::Wire {
+            context: "header",
+            message: format!("reserved flags must be zero, found {flags:#06x}"),
+            at: span_of(6, 8),
+        });
+    }
+    let payload_len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    let available = bytes.len() - HEADER_LEN;
+    if payload_len > available {
+        return Err(FormatError::Truncated {
+            at: empty_span(bytes.len()),
+            needed: (payload_len - available) as u64,
+        });
+    }
+    if payload_len < available {
+        return Err(FormatError::Wire {
+            context: "document",
+            message: format!(
+                "{} trailing byte(s) after the declared payload",
+                available - payload_len
+            ),
+            at: span_of(HEADER_LEN + payload_len, bytes.len()),
+        });
+    }
+    let declared = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    let payload = &bytes[HEADER_LEN..];
+    let found = crc32(payload);
+    if declared != found {
+        return Err(FormatError::ChecksumMismatch {
+            expected: declared,
+            found,
+            at: span_of(12, 16),
+        });
+    }
+
+    let mut cur = Cursor::new(payload, HEADER_LEN);
+    let table = decode_string_table(&mut cur)?;
+
+    let mut doc = Document::new();
+    let mut last_tag = 0u8;
+    let mut saw_tree = false;
+    while !cur.at_end() {
+        let tag_at = cur.pos;
+        let tag = cur.read_u8()?;
+        if tag <= last_tag || tag > SEC_TREE {
+            return Err(cur.wire(
+                "section",
+                format!("unknown or out-of-order section tag {tag}"),
+                tag_at,
+            ));
+        }
+        last_tag = tag;
+        let len = cur.read_len("section body")?;
+        let base = cur.offset();
+        let body = cur.take(len)?;
+        let mut sc = Cursor::new(body, base);
+        match tag {
+            SEC_META => decode_meta(&mut sc, &table, &mut doc)?,
+            SEC_CHANNELS => decode_channels(&mut sc, &table, &mut doc)?,
+            SEC_STYLES => decode_styles(&mut sc, &table, &mut doc)?,
+            SEC_DESCRIPTORS => decode_descriptors(&mut sc, &table, &mut doc)?,
+            _ => {
+                decode_node(&mut sc, &table, &mut doc, None, 0)?;
+                saw_tree = true;
+            }
+        }
+        if !sc.at_end() {
+            return Err(sc.wire(
+                "section",
+                format!(
+                    "{} undeclared byte(s) at the end of the section",
+                    sc.remaining()
+                ),
+                sc.pos,
+            ));
+        }
+    }
+    if !saw_tree {
+        return Err(FormatError::Wire {
+            context: "document",
+            message: "the required tree section is missing".to_string(),
+            at: empty_span(bytes.len()),
+        });
+    }
+    Ok(doc)
+}
+
+fn decode_string_table(cur: &mut Cursor<'_>) -> Result<Vec<String>> {
+    let count = cur.read_count("string table")?;
+    let mut table = Vec::new();
+    for _ in 0..count {
+        let len = cur.read_len("string entry")?;
+        let start = cur.pos;
+        let raw = cur.take(len)?;
+        let text = std::str::from_utf8(raw)
+            .map_err(|e| cur.wire("string entry", format!("not valid UTF-8: {e}"), start))?;
+        table.push(text.to_string());
+    }
+    Ok(table)
+}
+
+fn decode_meta(cur: &mut Cursor<'_>, table: &[String], doc: &mut Document) -> Result<()> {
+    let count = cur.read_count("meta")?;
+    for _ in 0..count {
+        let key = cur.read_str(table)?.to_string();
+        let value = decode_value(cur, table, 0)?;
+        doc.meta.insert(key, value);
+    }
+    Ok(())
+}
+
+fn decode_channels(cur: &mut Cursor<'_>, table: &[String], doc: &mut Document) -> Result<()> {
+    let count = cur.read_count("channels")?;
+    for _ in 0..count {
+        let name = cur.read_str(table)?;
+        let mut def = ChannelDef::new(Symbol::intern(name), decode_medium(cur)?);
+        let extras = cur.read_count("channel extras")?;
+        for _ in 0..extras {
+            let key = Symbol::intern(cur.read_str(table)?);
+            let value = decode_value(cur, table, 0)?;
+            def = def.with_extra(key, value);
+        }
+        doc.channels.define(def)?;
+    }
+    Ok(())
+}
+
+fn decode_styles(cur: &mut Cursor<'_>, table: &[String], doc: &mut Document) -> Result<()> {
+    let count = cur.read_count("styles")?;
+    for _ in 0..count {
+        let mut def = StyleDef::new(cur.read_str(table)?);
+        let parents = cur.read_count("style parents")?;
+        for _ in 0..parents {
+            def = def.with_parent(cur.read_str(table)?);
+        }
+        let attrs = cur.read_count("style attrs")?;
+        for _ in 0..attrs {
+            let name = AttrName::parse(cur.read_str(table)?);
+            let value = decode_value(cur, table, 0)?;
+            def = def.with_attr(cmif_core::attr::Attr::new(name, value));
+        }
+        doc.styles.define(def)?;
+    }
+    Ok(())
+}
+
+fn decode_descriptors(cur: &mut Cursor<'_>, table: &[String], doc: &mut Document) -> Result<()> {
+    let count = cur.read_count("descriptors")?;
+    for _ in 0..count {
+        let key = Symbol::intern(cur.read_str(table)?);
+        let medium = decode_medium(cur)?;
+        let format = cur.read_str(table)?.to_string();
+        let mut d = DataDescriptor::new(key, medium, format);
+        d.size_bytes = cur.read_varint()?;
+        let flags = cur.read_u8()?;
+        let mut rates = RateInfo::NONE;
+        if flags & DESC_DURATION != 0 {
+            d.duration = Some(TimeMs::from_millis(cur.read_zigzag()?));
+        }
+        if flags & DESC_RESOLUTION != 0 {
+            let w = decode_u32(cur, "resolution width")?;
+            let h = decode_u32(cur, "resolution height")?;
+            d.resolution = Some((w, h));
+        }
+        if flags & DESC_COLOR_DEPTH != 0 {
+            d.color_depth = Some(cur.read_u8()?);
+        }
+        if flags & DESC_FPS != 0 {
+            rates.frames_per_second = Some(f64::from_bits(cur.read_u64_le()?));
+        }
+        if flags & DESC_SAMPLE_RATE != 0 {
+            rates.samples_per_second = Some(decode_u32(cur, "sample rate")?);
+        }
+        if flags & DESC_BYTE_RATE != 0 {
+            rates.bytes_per_second = Some(cur.read_varint()?);
+        }
+        if flags & DESC_RESOURCES != 0 {
+            d.resources = ResourceNeeds {
+                bandwidth_bps: cur.read_varint()?,
+                decode_cost: decode_u32(cur, "decode cost")?,
+                memory_bytes: cur.read_varint()?,
+            };
+        }
+        if flags & DESC_LOCATION != 0 {
+            d.location = Some(cur.read_str(table)?.to_string());
+        }
+        d.rates = rates;
+        let extras = cur.read_count("descriptor extras")?;
+        for _ in 0..extras {
+            let extra_key = Symbol::intern(cur.read_str(table)?);
+            let value = decode_value(cur, table, 0)?;
+            d.extra.insert(extra_key, value);
+        }
+        doc.catalog.register(d)?;
+    }
+    Ok(())
+}
+
+fn decode_u32(cur: &mut Cursor<'_>, what: &'static str) -> Result<u32> {
+    let start = cur.pos;
+    let value = cur.read_varint()?;
+    u32::try_from(value)
+        .map_err(|_| cur.wire(what, format!("{value} does not fit in 32 bits"), start))
+}
+
+fn decode_medium(cur: &mut Cursor<'_>) -> Result<MediaKind> {
+    let start = cur.pos;
+    let code = cur.read_u8()?;
+    MediaKind::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| cur.wire("medium", format!("unknown medium code {code}"), start))
+}
+
+fn decode_value(cur: &mut Cursor<'_>, table: &[String], depth: usize) -> Result<AttrValue> {
+    let start = cur.pos;
+    let tag = cur.read_u8()?;
+    Ok(match tag {
+        VAL_ID => AttrValue::Id(Symbol::intern(cur.read_str(table)?)),
+        VAL_NUMBER => AttrValue::Number(cur.read_zigzag()?),
+        VAL_REAL => AttrValue::Real(f64::from_bits(cur.read_u64_le()?)),
+        VAL_STR => AttrValue::Str(cur.read_str(table)?.to_string()),
+        VAL_REF => AttrValue::Ref(Symbol::intern(cur.read_str(table)?)),
+        VAL_LIST => {
+            // A list bomb must become a typed error, not a stack overflow.
+            if depth >= crate::MAX_NESTING {
+                return Err(FormatError::TooDeep {
+                    at: byte_pos(cur.base + start),
+                    limit: crate::MAX_NESTING,
+                });
+            }
+            let count = cur.read_count("list")?;
+            let mut items = Vec::new();
+            for _ in 0..count {
+                items.push(decode_value(cur, table, depth + 1)?);
+            }
+            AttrValue::List(items)
+        }
+        other => return Err(cur.wire("value", format!("unknown value tag {other}"), start)),
+    })
+}
+
+fn decode_node(
+    cur: &mut Cursor<'_>,
+    table: &[String],
+    doc: &mut Document,
+    parent: Option<NodeId>,
+    depth: usize,
+) -> Result<NodeId> {
+    let start = cur.pos;
+    if depth >= crate::MAX_NESTING {
+        return Err(FormatError::TooDeep {
+            at: byte_pos(cur.base + start),
+            limit: crate::MAX_NESTING,
+        });
+    }
+    let tag = cur.read_u8()?;
+    let kind = match tag {
+        NODE_SEQ => NodeKind::Seq,
+        NODE_PAR => NodeKind::Par,
+        NODE_EXT => NodeKind::Ext,
+        NODE_IMM_TEXT => {
+            let len = cur.read_len("immediate text")?;
+            let at = cur.pos;
+            let raw = cur.take(len)?;
+            let text = std::str::from_utf8(raw)
+                .map_err(|e| cur.wire("immediate text", format!("not valid UTF-8: {e}"), at))?;
+            NodeKind::Imm(ImmediateData::Text(text.to_string()))
+        }
+        NODE_IMM_BINARY => {
+            let len = cur.read_len("immediate data")?;
+            NodeKind::Imm(ImmediateData::Binary(cur.take(len)?.to_vec()))
+        }
+        other => return Err(cur.wire("node", format!("unknown node kind {other}"), start)),
+    };
+    let composite = kind.is_composite();
+
+    let id = match parent {
+        Some(parent) => doc.add_child(parent, kind)?,
+        None => doc.set_root(kind),
+    };
+
+    let attrs = cur.read_count("node attrs")?;
+    for _ in 0..attrs {
+        let name = AttrName::parse(cur.read_str(table)?);
+        let value = decode_value(cur, table, 0)?;
+        doc.set_attr(id, name, value)?;
+    }
+
+    let arcs = cur.read_count("node arcs")?;
+    for _ in 0..arcs {
+        let arc = decode_arc(cur, table)?;
+        doc.add_arc(id, arc)?;
+    }
+
+    if composite {
+        let children = cur.read_count("node children")?;
+        for _ in 0..children {
+            decode_node(cur, table, doc, Some(id), depth + 1)?;
+        }
+    }
+    Ok(id)
+}
+
+fn decode_arc(cur: &mut Cursor<'_>, table: &[String]) -> Result<SyncArc> {
+    let anchor = decode_anchor(cur)?;
+    let strict_at = cur.pos;
+    let strictness = match cur.read_u8()? {
+        0 => Strictness::May,
+        1 => Strictness::Must,
+        other => {
+            return Err(cur.wire(
+                "sync_arc",
+                format!("unknown strictness code {other}"),
+                strict_at,
+            ))
+        }
+    };
+    let source_anchor = decode_anchor(cur)?;
+    let source = NodePath::parse(cur.read_str(table)?);
+    let offset_value = cur.read_zigzag()?;
+    let unit_at = cur.pos;
+    let unit = match cur.read_u8()? {
+        0 => MediaUnit::Milliseconds,
+        1 => MediaUnit::Seconds,
+        2 => MediaUnit::Frames,
+        3 => MediaUnit::Samples,
+        4 => MediaUnit::Bytes,
+        other => return Err(cur.wire("sync_arc", format!("unknown unit code {other}"), unit_at)),
+    };
+    let destination = NodePath::parse(cur.read_str(table)?);
+    let min_delay = DelayMs::from_millis(cur.read_zigzag()?);
+    let max_at = cur.pos;
+    let max_delay = match cur.read_u8()? {
+        0 => MaxDelay::Unbounded,
+        1 => MaxDelay::Bounded(DelayMs::from_millis(cur.read_zigzag()?)),
+        other => {
+            return Err(cur.wire(
+                "sync_arc",
+                format!("unknown max-delay code {other}"),
+                max_at,
+            ))
+        }
+    };
+    Ok(SyncArc {
+        anchor,
+        strictness,
+        source_anchor,
+        source,
+        offset: MediaTime {
+            value: offset_value,
+            unit,
+        },
+        destination,
+        min_delay,
+        max_delay,
+    })
+}
+
+fn decode_anchor(cur: &mut Cursor<'_>) -> Result<Anchor> {
+    let start = cur.pos;
+    match cur.read_u8()? {
+        0 => Ok(Anchor::Begin),
+        1 => Ok(Anchor::End),
+        other => Err(cur.wire("sync_arc", format!("unknown anchor code {other}"), start)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_document;
+    use cmif_core::prelude::*;
+
+    fn sample_doc() -> Document {
+        DocumentBuilder::new("Evening News")
+            .meta("author", AttrValue::Str("CWI".into()))
+            .meta("year", AttrValue::Number(1991))
+            .channel("audio", MediaKind::Audio)
+            .channel_def(
+                ChannelDef::new("caption", MediaKind::Text)
+                    .with_extra("language", AttrValue::Id("nl".into())),
+            )
+            .descriptor(
+                DataDescriptor::new("story-audio", MediaKind::Audio, "pcm8")
+                    .with_size(64_000)
+                    .with_duration(TimeMs::from_secs(8))
+                    .with_rates(RateInfo::audio(8_000, 8_000))
+                    .with_resources(ResourceNeeds {
+                        bandwidth_bps: 8_000,
+                        decode_cost: 1,
+                        memory_bytes: 16_384,
+                    })
+                    .with_location("store://host/story-audio")
+                    .with_extra("title", AttrValue::Str("Paintings".into())),
+            )
+            .style(
+                StyleDef::new("caption-style")
+                    .with_attr(Attr::new(AttrName::Duration, AttrValue::Number(3000))),
+            )
+            .root_seq(|news| {
+                news.par("story-1", |scene| {
+                    scene.ext("voice", "audio", "story-audio");
+                    scene.ext_with("graphic", "caption", "story-audio", |n| {
+                        n.duration_ms(3000);
+                        n.arc(
+                            SyncArc::hard_start("../voice", "")
+                                .with_offset(MediaTime::seconds(2))
+                                .with_window(
+                                    DelayMs::from_millis(-100),
+                                    MaxDelay::Bounded(DelayMs::from_millis(250)),
+                                ),
+                        );
+                    });
+                    scene.imm_text("line", "caption", "Stolen van Goghs", 3000);
+                });
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn encode(doc: &Document) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_document_to(doc, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn round_trips_the_sample_document() {
+        let doc = sample_doc();
+        let bytes = encode(&doc);
+        assert_eq!(&bytes[0..4], &MAGIC);
+        let again = decode_document(&bytes).unwrap();
+        assert_eq!(doc.meta, again.meta);
+        assert_eq!(doc.channels, again.channels);
+        assert_eq!(doc.styles, again.styles);
+        assert_eq!(doc.catalog, again.catalog);
+        assert_eq!(doc.arcs().len(), again.arcs().len());
+        // The strong form: both generations write identical canonical text.
+        assert_eq!(
+            write_document(&doc).unwrap(),
+            write_document(&again).unwrap()
+        );
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let doc = sample_doc();
+        let text = write_document(&doc).unwrap();
+        let bytes = encode(&doc);
+        assert!(
+            bytes.len() < text.len(),
+            "binary {} >= text {}",
+            bytes.len(),
+            text.len()
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let doc = sample_doc();
+        assert_eq!(encode(&doc), encode(&doc));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_offset() {
+        let bytes = encode(&sample_doc());
+        for cut in 0..bytes.len() {
+            let err =
+                decode_document(&bytes[..cut]).expect_err("every proper prefix must be rejected");
+            assert!(
+                err.span().is_some() || matches!(err, FormatError::Core(_)),
+                "truncation at {cut} produced a spanless error: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_any_single_byte_corruption() {
+        let bytes = encode(&sample_doc());
+        for index in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[index] ^= 0xFF;
+            assert!(
+                decode_document(&bad).is_err(),
+                "flipping byte {index} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = encode(&sample_doc());
+        bytes.push(0);
+        match decode_document(&bytes).unwrap_err() {
+            FormatError::Wire { context, .. } => assert_eq!(context, "document"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_versions_and_flags() {
+        let bytes = encode(&sample_doc());
+        let mut future = bytes.clone();
+        future[4] = 0xFF;
+        future[5] = 0x7F;
+        assert!(matches!(
+            decode_document(&future).unwrap_err(),
+            FormatError::UnsupportedVersion { found: 0x7FFF, .. }
+        ));
+        let mut flagged = bytes;
+        flagged[6] = 1;
+        assert!(matches!(
+            decode_document(&flagged).unwrap_err(),
+            FormatError::Wire {
+                context: "header",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_checksum_mismatch_with_the_header_span() {
+        let mut bytes = encode(&sample_doc());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        match decode_document(&bytes).unwrap_err() {
+            FormatError::ChecksumMismatch { at, .. } => {
+                assert_eq!(at.start.offset, 12);
+                assert_eq!(at.end.offset, 16);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    /// Builds a syntactically complete wire document around a raw payload.
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn huge_declared_counts_fail_before_allocating() {
+        // A string table claiming u64::MAX entries in a 10-byte payload.
+        let mut payload = Vec::new();
+        write_varint(&mut payload, u64::MAX);
+        let err = decode_document(&frame(&payload)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FormatError::Wire { .. } | FormatError::Truncated { .. }
+            ),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn node_depth_bombs_yield_too_deep() {
+        // strings: none; tree section: seq nodes nested 100k deep.
+        let mut body = Vec::new();
+        let levels = 100_000u64;
+        for _ in 0..levels {
+            body.push(NODE_SEQ);
+            write_varint(&mut body, 0); // attrs
+            write_varint(&mut body, 0); // arcs
+            write_varint(&mut body, 1); // children
+        }
+        body.push(NODE_SEQ);
+        write_varint(&mut body, 0);
+        write_varint(&mut body, 0);
+        write_varint(&mut body, 0);
+        let mut payload = Vec::new();
+        write_varint(&mut payload, 0); // empty string table
+        payload.push(SEC_TREE);
+        write_varint(&mut payload, body.len() as u64);
+        payload.extend_from_slice(&body);
+        match decode_document_unvalidated(&frame(&payload)).unwrap_err() {
+            FormatError::TooDeep { limit, .. } => assert_eq!(limit, crate::MAX_NESTING),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_list_bombs_yield_too_deep() {
+        // One seq node with one attr whose value is a 100k-deep list chain.
+        let mut body = Vec::new();
+        body.push(NODE_SEQ);
+        write_varint(&mut body, 1); // one attr
+        write_varint(&mut body, 0); // name: strings[0]
+        for _ in 0..100_000u64 {
+            body.push(VAL_LIST);
+            write_varint(&mut body, 1);
+        }
+        body.push(VAL_NUMBER);
+        write_varint(&mut body, 0);
+        write_varint(&mut body, 0); // arcs
+        write_varint(&mut body, 0); // children
+        let mut payload = Vec::new();
+        write_varint(&mut payload, 1); // strings: ["x"]
+        write_varint(&mut payload, 1);
+        payload.push(b'x');
+        payload.push(SEC_TREE);
+        write_varint(&mut payload, body.len() as u64);
+        payload.extend_from_slice(&body);
+        match decode_document_unvalidated(&frame(&payload)).unwrap_err() {
+            FormatError::TooDeep { limit, .. } => assert_eq!(limit, crate::MAX_NESTING),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -1_000_000, 1_000_000] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn crc_matches_known_vector() {
+        // The classic zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

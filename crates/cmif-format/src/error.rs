@@ -56,6 +56,57 @@ pub enum FormatError {
         /// Where the offending expression begins.
         at: Position,
     },
+    /// The input nested deeper than the decoder's hard limit. Raised by
+    /// both decoders: a parenthesis bomb in the text form and a list/node
+    /// bomb in the binary form both stop here instead of overflowing the
+    /// stack.
+    TooDeep {
+        /// Where the nesting crossed the limit.
+        at: Position,
+        /// The limit that was crossed (see [`crate::MAX_NESTING`]).
+        limit: usize,
+    },
+    /// The binary wire payload could not be decoded. `at` spans the
+    /// offending bytes of the input; for binary input the line/column of a
+    /// position are zero and only the byte offset is meaningful.
+    Wire {
+        /// What the decoder was decoding.
+        context: &'static str,
+        /// Description of what went wrong.
+        message: String,
+        /// The byte range of the input the error is anchored on.
+        at: Span,
+    },
+    /// The binary input ended before the declared structure was complete.
+    Truncated {
+        /// Where the decoder ran out of input (byte offsets).
+        at: Span,
+        /// How many more bytes the declared structure needed.
+        needed: u64,
+    },
+    /// The binary payload's checksum did not match the header.
+    ChecksumMismatch {
+        /// The checksum the header declared.
+        expected: u32,
+        /// The checksum computed over the received payload.
+        found: u32,
+        /// The byte range of the checksum field in the header.
+        at: Span,
+    },
+    /// The binary header declared a wire-format version this decoder does
+    /// not speak.
+    UnsupportedVersion {
+        /// The declared version.
+        found: u16,
+        /// The byte range of the version field in the header.
+        at: Span,
+    },
+    /// An I/O error while reading or writing a stream.
+    Io {
+        /// The underlying error, stringified (kept so `FormatError` stays
+        /// `Clone + PartialEq`).
+        message: String,
+    },
     /// The document violated a core structural rule while being assembled.
     Core(CoreError),
 }
@@ -63,8 +114,10 @@ pub enum FormatError {
 impl FormatError {
     /// The source position the error is anchored on, when it has one.
     ///
-    /// Lexer and parser errors always do; [`FormatError::UnexpectedEof`]
-    /// and wrapped core errors have no position.
+    /// Lexer, parser and wire-decoder errors always do;
+    /// [`FormatError::UnexpectedEof`], I/O errors and wrapped core errors
+    /// have no position. For errors raised by the binary decoder the
+    /// line/column are zero and only the byte offset is meaningful.
     pub fn position(&self) -> Option<Position> {
         match self {
             FormatError::UnexpectedChar { at, .. }
@@ -72,8 +125,26 @@ impl FormatError {
             | FormatError::BadNumber { at, .. }
             | FormatError::UnbalancedParens { at }
             | FormatError::TrailingContent { at }
-            | FormatError::Malformed { at, .. } => Some(*at),
-            FormatError::UnexpectedEof | FormatError::Core(_) => None,
+            | FormatError::Malformed { at, .. }
+            | FormatError::TooDeep { at, .. } => Some(*at),
+            FormatError::Wire { at, .. }
+            | FormatError::Truncated { at, .. }
+            | FormatError::ChecksumMismatch { at, .. }
+            | FormatError::UnsupportedVersion { at, .. } => Some(at.start),
+            FormatError::UnexpectedEof | FormatError::Io { .. } | FormatError::Core(_) => None,
+        }
+    }
+
+    /// The byte range of the input the error is anchored on, when it has
+    /// one. Position-carrying text errors report an empty span at their
+    /// position; wire errors span the offending bytes.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            FormatError::Wire { at, .. }
+            | FormatError::Truncated { at, .. }
+            | FormatError::ChecksumMismatch { at, .. }
+            | FormatError::UnsupportedVersion { at, .. } => Some(*at),
+            other => other.position().map(|at| Span::new(at, at)),
         }
     }
 }
@@ -104,6 +175,39 @@ impl fmt::Display for FormatError {
             } => {
                 write!(f, "{at}: malformed {context}: {message}")
             }
+            FormatError::TooDeep { at, limit } => {
+                write!(f, "{at}: input nests deeper than {limit} levels")
+            }
+            FormatError::Wire {
+                context,
+                message,
+                at,
+            } => {
+                write!(
+                    f,
+                    "byte {}: malformed wire {context}: {message}",
+                    at.start.offset
+                )
+            }
+            FormatError::Truncated { at, needed } => {
+                write!(
+                    f,
+                    "byte {}: input truncated ({needed} more byte(s) needed)",
+                    at.start.offset
+                )
+            }
+            FormatError::ChecksumMismatch {
+                expected, found, ..
+            } => {
+                write!(
+                    f,
+                    "wire checksum mismatch: header says {expected:#010x}, payload is {found:#010x}"
+                )
+            }
+            FormatError::UnsupportedVersion { found, .. } => {
+                write!(f, "unsupported wire-format version {found}")
+            }
+            FormatError::Io { message } => write!(f, "i/o error: {message}"),
             FormatError::Core(e) => write!(f, "document error: {e}"),
         }
     }
@@ -121,6 +225,14 @@ impl std::error::Error for FormatError {
 impl From<CoreError> for FormatError {
     fn from(e: CoreError) -> Self {
         FormatError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for FormatError {
+    fn from(e: std::io::Error) -> Self {
+        FormatError::Io {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -157,6 +269,38 @@ mod tests {
     fn positionless_errors_report_none() {
         assert_eq!(FormatError::UnexpectedEof.position(), None);
         assert_eq!(FormatError::Core(CoreError::EmptyDocument).position(), None);
+        let io: FormatError = std::io::Error::other("disk on fire").into();
+        assert_eq!(io.position(), None);
+        assert!(io.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn wire_errors_carry_byte_spans() {
+        let at = Span::new(Position::new(0, 0, 12), Position::new(0, 0, 16));
+        let err = FormatError::ChecksumMismatch {
+            expected: 0xdead_beef,
+            found: 0x1234_5678,
+            at,
+        };
+        assert_eq!(err.span(), Some(at));
+        assert_eq!(err.position(), Some(at.start));
+        assert!(err.to_string().contains("0xdeadbeef"));
+
+        let truncated = FormatError::Truncated {
+            at: Span::new(Position::new(0, 0, 7), Position::new(0, 0, 7)),
+            needed: 3,
+        };
+        assert_eq!(truncated.position().map(|p| p.offset), Some(7));
+        assert!(truncated.to_string().contains("truncated"));
+
+        // Text errors expose an empty span at their position.
+        let text = FormatError::UnexpectedChar {
+            found: '%',
+            at: Position::new(2, 7, 31),
+        };
+        let span = text.span().expect("text errors have spans");
+        assert_eq!(span.start.offset, 31);
+        assert!(span.is_empty());
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! document never touches media data — exactly the transportability
 //! property the paper is after.
 //!
+//! Next to the text form lives the **binary wire form** ([`binary`]): a
+//! versioned, checksummed, length-prefixed encoding of the same document
+//! model that round-trips exactly with the canonical text. The [`wire`]
+//! module ties the two together behind one [`WireFormat`] interface with
+//! auto-detection by magic bytes, so transports never need to know which
+//! form a peer sent.
+//!
 //! ```
 //! use cmif_format::{parse_document, write_document};
 //!
@@ -38,14 +45,27 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod binary;
 pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod sexpr;
 pub mod treeview;
+pub mod wire;
 pub mod writer;
 
+/// The deepest nesting either decoder will follow before raising
+/// [`FormatError::TooDeep`].
+///
+/// Shared by the text reader (parenthesis depth) and the binary decoder
+/// (node/value recursion): a depth bomb in either form becomes a typed
+/// error instead of a stack overflow. 128 levels is far beyond any real
+/// document — the paper's deepest example nests 4.
+pub const MAX_NESTING: usize = 128;
+
+pub use binary::{decode_document, decode_document_unvalidated, encode_document_to};
 pub use error::{FormatError, Position, Result, Span};
 pub use parser::{parse_document, parse_document_unvalidated};
 pub use treeview::{channel_view, conventional_view, embedded_view};
-pub use writer::{write_arc, write_document};
+pub use wire::{document_to_bytes, read_document_bytes, WireDocument, WireEncoding, WireFormat};
+pub use writer::{write_arc, write_document, write_document_to};

@@ -101,7 +101,7 @@ pub fn read_all(source: &str) -> Result<Vec<SExpr<'_>>> {
     let mut reader = Reader { tokens, index: 0 };
     let mut out = Vec::new();
     while !reader.at_end() {
-        out.push(reader.read_expr()?);
+        out.push(reader.read_expr(0)?);
     }
     Ok(out)
 }
@@ -110,7 +110,7 @@ pub fn read_all(source: &str) -> Result<Vec<SExpr<'_>>> {
 pub fn read_one(source: &str) -> Result<SExpr<'_>> {
     let tokens = tokenize(source)?;
     let mut reader = Reader { tokens, index: 0 };
-    let expr = reader.read_expr()?;
+    let expr = reader.read_expr(0)?;
     if let Some(extra) = reader.peek() {
         return Err(FormatError::TrailingContent {
             at: extra.position(),
@@ -133,7 +133,7 @@ impl<'a> Reader<'a> {
         self.tokens.get(self.index)
     }
 
-    fn read_expr(&mut self) -> Result<SExpr<'a>> {
+    fn read_expr(&mut self, depth: usize) -> Result<SExpr<'a>> {
         let token = self
             .tokens
             .get(self.index)
@@ -149,6 +149,14 @@ impl<'a> Reader<'a> {
             TokenKind::Ref(s) => SExprKind::Ref(s),
             TokenKind::RParen => return Err(FormatError::UnbalancedParens { at: position }),
             TokenKind::LParen => {
+                // A parenthesis bomb must become a typed error, not a stack
+                // overflow: the reader recurses per nesting level.
+                if depth >= crate::MAX_NESTING {
+                    return Err(FormatError::TooDeep {
+                        at: position,
+                        limit: crate::MAX_NESTING,
+                    });
+                }
                 let mut items = Vec::new();
                 loop {
                     match self.peek() {
@@ -157,7 +165,7 @@ impl<'a> Reader<'a> {
                             self.index += 1;
                             break;
                         }
-                        Some(_) => items.push(self.read_expr()?),
+                        Some(_) => items.push(self.read_expr(depth + 1)?),
                         None => return Err(FormatError::UnbalancedParens { at: position }),
                     }
                 }
@@ -223,6 +231,26 @@ mod tests {
             read_one(")").unwrap_err(),
             FormatError::UnbalancedParens { .. }
         ));
+    }
+
+    #[test]
+    fn rejects_depth_bombs_with_a_typed_error() {
+        // One level under the limit still parses...
+        let deep = format!(
+            "{}a{}",
+            "(".repeat(crate::MAX_NESTING),
+            ")".repeat(crate::MAX_NESTING)
+        );
+        assert!(read_one(&deep).is_ok());
+        // ...one over stops with TooDeep, not a stack overflow.
+        let bomb = format!("{}a{}", "(".repeat(100_000), ")".repeat(100_000));
+        match read_one(&bomb).unwrap_err() {
+            FormatError::TooDeep { limit, at } => {
+                assert_eq!(limit, crate::MAX_NESTING);
+                assert_eq!(at.offset, crate::MAX_NESTING);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! One wire interface over both interchange forms.
+//!
+//! A CMIF document travels either as canonical text ([`crate::writer`]) or
+//! as the compact binary form ([`crate::binary`]). Transports should not
+//! care which: the [`WireFormat`] trait reads a document from any
+//! [`io::Read`] and writes it to any [`io::Write`], auto-detecting the
+//! form by its leading bytes. Binary documents start with
+//! [`BINARY_MAGIC`]; text documents start with `(`, whitespace or a `;`
+//! comment — the first magic byte is outside ASCII, so the two can never
+//! be confused.
+
+use std::io;
+
+use cmif_core::tree::Document;
+
+use crate::binary::{decode_document, encode_document_to, MAGIC};
+use crate::error::{FormatError, Position, Result, Span};
+use crate::parser::parse_document;
+use crate::writer::write_document_to;
+
+/// The magic bytes that open every binary wire document (re-exported from
+/// [`crate::binary`] for format detection).
+pub const BINARY_MAGIC: [u8; 4] = MAGIC;
+
+/// Which interchange form a document is (or should be) carried in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WireEncoding {
+    /// The human-readable canonical s-expression text.
+    Text,
+    /// The compact, checksummed binary form — the default on the wire.
+    #[default]
+    Binary,
+}
+
+impl WireEncoding {
+    /// Detects the encoding of raw wire bytes by their leading magic.
+    ///
+    /// Anything that does not open with [`BINARY_MAGIC`] is treated as
+    /// text; the text parser then produces its own positioned error if the
+    /// bytes are not a document at all.
+    pub fn detect(bytes: &[u8]) -> WireEncoding {
+        if bytes.len() >= BINARY_MAGIC.len() && bytes[..BINARY_MAGIC.len()] == BINARY_MAGIC {
+            WireEncoding::Binary
+        } else {
+            WireEncoding::Text
+        }
+    }
+
+    /// Serializes `doc` in this encoding, streaming into `w`.
+    pub fn encode<W: io::Write>(&self, doc: &Document, w: &mut W) -> Result<()> {
+        match self {
+            WireEncoding::Text => write_document_to(doc, w),
+            WireEncoding::Binary => encode_document_to(doc, w),
+        }
+    }
+
+    /// A short human-readable label (`"text"` / `"binary"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireEncoding::Text => "text",
+            WireEncoding::Binary => "binary",
+        }
+    }
+}
+
+impl std::fmt::Display for WireEncoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The wire interface: anything that can be read off a transport stream
+/// and written back onto one.
+pub trait WireFormat: Sized {
+    /// Reads one value from a stream, auto-detecting its wire form.
+    fn from_read<R: io::Read>(reader: &mut R) -> Result<Self>;
+
+    /// Writes the value onto a stream in its wire form.
+    fn write_to<W: io::Write>(&self, writer: &mut W) -> Result<()>;
+}
+
+/// Decodes a document from raw wire bytes, reporting which form it was in.
+///
+/// Both decode paths validate the document structurally — a transported
+/// document must arrive presentable.
+pub fn read_document_bytes(bytes: &[u8]) -> Result<(Document, WireEncoding)> {
+    match WireEncoding::detect(bytes) {
+        WireEncoding::Binary => Ok((decode_document(bytes)?, WireEncoding::Binary)),
+        WireEncoding::Text => {
+            let text = std::str::from_utf8(bytes).map_err(|e| FormatError::Wire {
+                context: "text document",
+                message: format!("not valid UTF-8: {e}"),
+                at: {
+                    let at = Position::new(0, 0, e.valid_up_to());
+                    Span::new(at, at)
+                },
+            })?;
+            Ok((parse_document(text)?, WireEncoding::Text))
+        }
+    }
+}
+
+/// Serializes a document into a fresh byte buffer in the given encoding.
+pub fn document_to_bytes(doc: &Document, encoding: WireEncoding) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    encoding.encode(doc, &mut out)?;
+    Ok(out)
+}
+
+impl WireFormat for Document {
+    /// Reads a document in either wire form (detected by magic bytes).
+    fn from_read<R: io::Read>(reader: &mut R) -> Result<Document> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        Ok(read_document_bytes(&bytes)?.0)
+    }
+
+    /// Writes the document in the default wire form (binary).
+    fn write_to<W: io::Write>(&self, writer: &mut W) -> Result<()> {
+        WireEncoding::Binary.encode(self, writer)
+    }
+}
+
+/// A document paired with the wire encoding it arrived in (or should leave
+/// in). Lets a store fetch from one peer and republish to another without
+/// silently changing the representation on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDocument {
+    /// The decoded document.
+    pub document: Document,
+    /// The form the document was read in, and will be written in.
+    pub encoding: WireEncoding,
+}
+
+impl WireDocument {
+    /// Wraps a document with an explicit target encoding.
+    pub fn new(document: Document, encoding: WireEncoding) -> WireDocument {
+        WireDocument { document, encoding }
+    }
+}
+
+impl WireFormat for WireDocument {
+    /// Reads a document and records which form it was in.
+    fn from_read<R: io::Read>(reader: &mut R) -> Result<WireDocument> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        let (document, encoding) = read_document_bytes(&bytes)?;
+        Ok(WireDocument { document, encoding })
+    }
+
+    /// Writes the document back in the same form it was read in.
+    fn write_to<W: io::Write>(&self, writer: &mut W) -> Result<()> {
+        self.encoding.encode(&self.document, writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_document;
+    use cmif_core::prelude::*;
+
+    fn sample_doc() -> Document {
+        DocumentBuilder::new("wire demo")
+            .channel("caption", MediaKind::Text)
+            .root_seq(|root| {
+                root.imm_text("hello", "caption", "Hello, CMIF", 1000);
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn detection_by_magic_bytes() {
+        let doc = sample_doc();
+        let binary = document_to_bytes(&doc, WireEncoding::Binary).unwrap();
+        let text = document_to_bytes(&doc, WireEncoding::Text).unwrap();
+        assert_eq!(WireEncoding::detect(&binary), WireEncoding::Binary);
+        assert_eq!(WireEncoding::detect(&text), WireEncoding::Text);
+        assert_eq!(WireEncoding::detect(b""), WireEncoding::Text);
+        assert_eq!(WireEncoding::detect(b"(cmif"), WireEncoding::Text);
+    }
+
+    #[test]
+    fn document_round_trips_through_the_trait() {
+        let doc = sample_doc();
+        let mut buf = Vec::new();
+        doc.write_to(&mut buf).unwrap();
+        // The default wire form is binary.
+        assert_eq!(WireEncoding::detect(&buf), WireEncoding::Binary);
+        let again = Document::from_read(&mut buf.as_slice()).unwrap();
+        assert_eq!(
+            write_document(&doc).unwrap(),
+            write_document(&again).unwrap()
+        );
+    }
+
+    #[test]
+    fn both_forms_decode_to_the_same_document() {
+        let doc = sample_doc();
+        let text = document_to_bytes(&doc, WireEncoding::Text).unwrap();
+        let binary = document_to_bytes(&doc, WireEncoding::Binary).unwrap();
+        assert!(binary.len() < text.len(), "binary must be the smaller form");
+        let (from_text, e1) = read_document_bytes(&text).unwrap();
+        let (from_binary, e2) = read_document_bytes(&binary).unwrap();
+        assert_eq!(e1, WireEncoding::Text);
+        assert_eq!(e2, WireEncoding::Binary);
+        assert_eq!(
+            write_document(&from_text).unwrap(),
+            write_document(&from_binary).unwrap()
+        );
+    }
+
+    #[test]
+    fn wire_document_preserves_its_encoding() {
+        let doc = sample_doc();
+        let text = document_to_bytes(&doc, WireEncoding::Text).unwrap();
+        let wired = WireDocument::from_read(&mut text.as_slice()).unwrap();
+        assert_eq!(wired.encoding, WireEncoding::Text);
+        let mut back = Vec::new();
+        wired.write_to(&mut back).unwrap();
+        // Round-tripping through the recorded encoding is a fixed point.
+        assert_eq!(back, text);
+    }
+
+    #[test]
+    fn invalid_utf8_text_is_a_wire_error() {
+        let err = read_document_bytes(&[b'(', 0xFF, 0xFE]).unwrap_err();
+        assert!(matches!(err, FormatError::Wire { .. }));
+        assert!(err.span().is_some());
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        assert!(read_document_bytes(b"not a document").is_err());
+        assert!(read_document_bytes(&[0xC3, 0x00]).is_err());
+        assert!(Document::from_read(&mut &b"\xc3MIF"[..]).is_err());
+    }
+}

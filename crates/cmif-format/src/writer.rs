@@ -4,260 +4,396 @@
 //! gets transported between environments, diffed by humans, and parsed back
 //! by [`crate::parser`]; `write_document` followed by `parse_document` is
 //! the round-trip the property tests exercise.
+//!
+//! # Streaming
+//!
+//! [`write_document_to`] streams straight into any [`io::Write`] — a file,
+//! a socket, a `Vec<u8>` — formatting every value in place with no
+//! per-value `String`. [`write_document`] is the convenience wrapper that
+//! collects the stream into one `String` for callers that want the text in
+//! memory.
 
-use std::fmt::Write as _;
+use std::fmt;
+use std::io;
 
 use cmif_core::arc::SyncArc;
 use cmif_core::descriptor::DataDescriptor;
-use cmif_core::error::Result as CoreResult;
 use cmif_core::node::{ImmediateData, NodeId, NodeKind};
 use cmif_core::time::MaxDelay;
 use cmif_core::tree::Document;
 use cmif_core::value::AttrValue;
 
-/// Serializes a whole document.
-pub fn write_document(doc: &Document) -> CoreResult<String> {
-    let mut out = String::new();
-    out.push_str("(cmif\n");
+use crate::error::Result;
+
+/// Serializes a whole document into a `String`.
+pub fn write_document(doc: &Document) -> Result<String> {
+    let mut out = Vec::new();
+    write_document_to(doc, &mut out)?;
+    Ok(String::from_utf8_lossy(&out).into_owned())
+}
+
+/// Streams a whole document into a writer in the canonical textual form.
+///
+/// This is the text half of the wire interface (see [`crate::wire`]): the
+/// exact bytes `write_document` would collect, but delivered incrementally
+/// so a large document never materializes as one contiguous `String`.
+pub fn write_document_to<W: io::Write>(doc: &Document, out: &mut W) -> Result<()> {
+    out.write_all(b"(cmif\n")?;
 
     if !doc.meta.is_empty() {
-        out.push_str("  (meta\n");
+        out.write_all(b"  (meta\n")?;
         for (key, value) in &doc.meta {
-            let _ = writeln!(out, "    ({} {})", key, value_text(value));
+            out.write_all(b"    (")?;
+            out.write_all(key.as_bytes())?;
+            out.write_all(b" ")?;
+            write_value(out, value)?;
+            out.write_all(b")\n")?;
         }
-        out.push_str("  )\n");
+        out.write_all(b"  )\n")?;
     }
 
     if !doc.channels.is_empty() {
-        out.push_str("  (channels\n");
+        out.write_all(b"  (channels\n")?;
         for channel in doc.channels.iter() {
-            let _ = write!(
-                out,
-                "    (channel {} {}",
-                ident_or_string(channel.name.as_str()),
-                channel.medium
-            );
+            out.write_all(b"    (channel ")?;
+            write_ident_or_string(out, channel.name.as_str())?;
+            write!(out, " {}", channel.medium)?;
             for (key, value) in &channel.extra {
-                let _ = write!(out, " ({} {})", key, value_text(value));
+                write!(out, " ({key} ")?;
+                write_value(out, value)?;
+                out.write_all(b")")?;
             }
-            out.push_str(")\n");
+            out.write_all(b")\n")?;
         }
-        out.push_str("  )\n");
+        out.write_all(b"  )\n")?;
     }
 
     if !doc.styles.is_empty() {
-        out.push_str("  (styles\n");
+        out.write_all(b"  (styles\n")?;
         for style in doc.styles.iter() {
-            let _ = write!(out, "    (style {}", ident_or_string(&style.name));
+            out.write_all(b"    (style ")?;
+            write_ident_or_string(out, &style.name)?;
             if !style.parents.is_empty() {
-                let _ = write!(out, " (parents");
+                out.write_all(b" (parents")?;
                 for parent in &style.parents {
-                    let _ = write!(out, " {}", ident_or_string(parent));
+                    out.write_all(b" ")?;
+                    write_ident_or_string(out, parent)?;
                 }
-                out.push(')');
+                out.write_all(b")")?;
             }
             if !style.attrs.is_empty() {
-                let _ = write!(out, " (attrs");
+                out.write_all(b" (attrs")?;
                 for attr in &style.attrs {
-                    let _ = write!(out, " ({} {})", attr.name, value_text(&attr.value));
+                    write!(out, " ({} ", attr.name)?;
+                    write_value(out, &attr.value)?;
+                    out.write_all(b")")?;
                 }
-                out.push(')');
+                out.write_all(b")")?;
             }
-            out.push_str(")\n");
+            out.write_all(b")\n")?;
         }
-        out.push_str("  )\n");
+        out.write_all(b"  )\n")?;
     }
 
     if !doc.catalog.is_empty() {
-        out.push_str("  (descriptors\n");
+        out.write_all(b"  (descriptors\n")?;
         // The catalog iterates in symbol-id (intern) order; sort by key text
         // so the canonical output stays alphabetical and diff-stable.
         let mut descriptors: Vec<&DataDescriptor> = doc.catalog.iter().collect();
         descriptors.sort_by_key(|d| d.key.as_str());
         for descriptor in descriptors {
-            out.push_str(&write_descriptor(descriptor));
+            write_descriptor(out, descriptor)?;
         }
-        out.push_str("  )\n");
+        out.write_all(b"  )\n")?;
     }
 
     let root = doc.root()?;
-    write_node(doc, root, 1, &mut out)?;
-    out.push_str(")\n");
-    Ok(out)
+    write_node(doc, root, 1, out)?;
+    out.write_all(b")\n")?;
+    Ok(())
 }
 
-fn write_descriptor(d: &DataDescriptor) -> String {
-    let mut out = String::new();
-    let _ = write!(
-        out,
-        "    (descriptor {} {} {}",
-        ident_or_string(d.key.as_str()),
-        d.medium,
-        ident_or_string(&d.format)
-    );
-    let _ = write!(out, " (size {})", d.size_bytes);
+fn write_descriptor<W: io::Write>(out: &mut W, d: &DataDescriptor) -> Result<()> {
+    out.write_all(b"    (descriptor ")?;
+    write_ident_or_string(out, d.key.as_str())?;
+    write!(out, " {} ", d.medium)?;
+    write_ident_or_string(out, &d.format)?;
+    write!(out, " (size {})", d.size_bytes)?;
     if let Some(duration) = d.duration {
-        let _ = write!(out, " (duration {})", duration.as_millis());
+        write!(out, " (duration {})", duration.as_millis())?;
     }
     if let Some((w, h)) = d.resolution {
-        let _ = write!(out, " (resolution {w} {h})");
+        write!(out, " (resolution {w} {h})")?;
     }
     if let Some(bits) = d.color_depth {
-        let _ = write!(out, " (color_depth {bits})");
+        write!(out, " (color_depth {bits})")?;
     }
     if let Some(fps) = d.rates.frames_per_second {
-        let _ = write!(out, " (fps {fps})");
+        write!(out, " (fps {fps})")?;
     }
     if let Some(sr) = d.rates.samples_per_second {
-        let _ = write!(out, " (sample_rate {sr})");
+        write!(out, " (sample_rate {sr})")?;
     }
     if let Some(bps) = d.rates.bytes_per_second {
-        let _ = write!(out, " (byte_rate {bps})");
+        write!(out, " (byte_rate {bps})")?;
     }
     if d.resources.bandwidth_bps != 0
         || d.resources.decode_cost != 0
         || d.resources.memory_bytes != 0
     {
-        let _ = write!(
+        write!(
             out,
             " (resources {} {} {})",
             d.resources.bandwidth_bps, d.resources.decode_cost, d.resources.memory_bytes
-        );
+        )?;
     }
     if let Some(location) = &d.location {
-        let _ = write!(out, " (location {})", quoted(location));
+        out.write_all(b" (location ")?;
+        write_quoted(out, location)?;
+        out.write_all(b")")?;
     }
     if !d.extra.is_empty() {
-        let _ = write!(out, " (extra");
+        out.write_all(b" (extra")?;
         // Like the catalog itself, extras are keyed by Symbol (intern
         // order); emit them alphabetically so the canonical text is stable
         // across processes with different intern histories.
         let mut extras: Vec<_> = d.extra.iter().collect();
         extras.sort_by_key(|(key, _)| key.as_str());
         for (key, value) in extras {
-            let _ = write!(out, " ({} {})", key, value_text(value));
+            write!(out, " ({key} ")?;
+            write_value(out, value)?;
+            out.write_all(b")")?;
         }
-        out.push(')');
+        out.write_all(b")")?;
     }
-    out.push_str(")\n");
-    out
+    out.write_all(b")\n")?;
+    Ok(())
 }
 
-fn write_node(doc: &Document, id: NodeId, depth: usize, out: &mut String) -> CoreResult<()> {
-    let indent = "  ".repeat(depth);
+/// Writes `2 * depth` spaces of indentation without allocating.
+fn write_indent<W: io::Write>(out: &mut W, depth: usize) -> io::Result<()> {
+    const SPACES: &[u8; 64] = &[b' '; 64];
+    let mut remaining = depth.saturating_mul(2);
+    while remaining > 0 {
+        let chunk = remaining.min(SPACES.len());
+        out.write_all(&SPACES[..chunk])?;
+        remaining -= chunk;
+    }
+    Ok(())
+}
+
+fn write_node<W: io::Write>(doc: &Document, id: NodeId, depth: usize, out: &mut W) -> Result<()> {
     let node = doc.node(id)?;
-    let _ = write!(out, "{indent}({}", node.kind.keyword());
+    write_indent(out, depth)?;
+    write!(out, "({}", node.kind.keyword())?;
 
     for attr in node.attrs.iter() {
-        let _ = write!(
-            out,
-            "\n{indent}  ({} {})",
-            attr.name,
-            value_text(&attr.value)
-        );
+        out.write_all(b"\n")?;
+        write_indent(out, depth)?;
+        write!(out, "  ({} ", attr.name)?;
+        write_value(out, &attr.value)?;
+        out.write_all(b")")?;
     }
 
     for arc in doc.arcs_of(id) {
-        let _ = write!(out, "\n{indent}  {}", write_arc(arc));
+        out.write_all(b"\n")?;
+        write_indent(out, depth)?;
+        out.write_all(b"  ")?;
+        write_arc_to(out, arc)?;
     }
 
     match &node.kind {
         NodeKind::Imm(ImmediateData::Text(text)) => {
-            let _ = write!(out, "\n{indent}  (data {})", quoted(text));
+            out.write_all(b"\n")?;
+            write_indent(out, depth)?;
+            out.write_all(b"  (data ")?;
+            write_quoted(out, text)?;
+            out.write_all(b")")?;
         }
         NodeKind::Imm(ImmediateData::Binary(bytes)) => {
-            let _ = write!(out, "\n{indent}  (bindata \"{}\")", hex_encode(bytes));
+            out.write_all(b"\n")?;
+            write_indent(out, depth)?;
+            out.write_all(b"  (bindata \"")?;
+            write_hex(out, bytes)?;
+            out.write_all(b"\")")?;
         }
         NodeKind::Seq | NodeKind::Par => {
             for child in &node.children {
-                out.push('\n');
+                out.write_all(b"\n")?;
                 write_node(doc, *child, depth + 1, out)?;
             }
         }
         NodeKind::Ext => {}
     }
-    let _ = write!(out, ")");
+    out.write_all(b")")?;
     Ok(())
 }
 
 /// Serializes one synchronization arc in the tabular form of Figure 9.
 pub fn write_arc(arc: &SyncArc) -> String {
-    let max = match arc.max_delay {
-        MaxDelay::Unbounded => "inf".to_string(),
-        MaxDelay::Bounded(d) => d.as_millis().to_string(),
-    };
-    format!(
-        "(sync_arc {} {} {} {} {} {} {} {} {})",
+    let mut out = Vec::new();
+    // Writing to a Vec cannot fail; a broken arc still renders its fields.
+    let _ = write_arc_to(&mut out, arc);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Streams one synchronization arc into a writer. The node paths are
+/// formatted and quoted in place — no per-arc `String`s.
+pub fn write_arc_to<W: io::Write>(out: &mut W, arc: &SyncArc) -> Result<()> {
+    write!(
+        out,
+        "(sync_arc {} {} {} {} {} {} {} {} ",
         arc.anchor,
         arc.strictness,
         arc.source_anchor,
-        quoted(&arc.source.to_string()),
+        Quoted(&arc.source),
         arc.offset.value,
         arc.offset.unit,
-        quoted(&arc.destination.to_string()),
+        Quoted(&arc.destination),
         arc.min_delay.as_millis(),
-        max
-    )
+    )?;
+    match arc.max_delay {
+        MaxDelay::Unbounded => out.write_all(b"inf)")?,
+        MaxDelay::Bounded(d) => write!(out, "{})", d.as_millis())?,
+    }
+    Ok(())
 }
 
 /// Renders an attribute value in source form.
 pub fn value_text(value: &AttrValue) -> String {
+    let mut out = Vec::new();
+    let _ = write_value(&mut out, value);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Streams an attribute value in source form: numbers and reals format
+/// straight into the writer, strings escape in place.
+pub fn write_value<W: io::Write>(out: &mut W, value: &AttrValue) -> Result<()> {
     match value {
-        AttrValue::Id(s) => ident_or_string(s.as_str()),
-        AttrValue::Number(n) => n.to_string(),
+        AttrValue::Id(s) => write_ident_or_string(out, s.as_str())?,
+        AttrValue::Number(n) => write!(out, "{n}")?,
         AttrValue::Real(x) => {
             if x.fract() == 0.0 {
                 // Keep reals distinguishable from integers on round-trip.
-                format!("{x:.1}")
+                write!(out, "{x:.1}")?;
             } else {
-                format!("{x}")
+                write!(out, "{x}")?;
             }
         }
-        AttrValue::Str(s) => quoted(s),
-        AttrValue::Ref(s) => format!("&{s}"),
+        AttrValue::Str(s) => write_quoted(out, s)?,
+        AttrValue::Ref(s) => write!(out, "&{s}")?,
         AttrValue::List(items) => {
-            let body: Vec<String> = items.iter().map(value_text).collect();
-            format!("({})", body.join(" "))
+            out.write_all(b"(")?;
+            for (index, item) in items.iter().enumerate() {
+                if index > 0 {
+                    out.write_all(b" ")?;
+                }
+                write_value(out, item)?;
+            }
+            out.write_all(b")")?;
         }
     }
+    Ok(())
 }
 
-fn ident_or_string(s: &str) -> String {
-    let ident_safe = !s.is_empty()
+/// True when `s` can be written as a bare identifier and still lex back to
+/// the same value.
+fn ident_safe(s: &str) -> bool {
+    !s.is_empty()
         && !s.contains(|c: char| {
             c.is_whitespace() || c == '(' || c == ')' || c == '"' || c == ';' || c == '&'
         })
-        && s.parse::<f64>().is_err();
-    if ident_safe {
-        s.to_string()
+        && s.parse::<f64>().is_err()
+}
+
+fn write_ident_or_string<W: io::Write>(out: &mut W, s: &str) -> io::Result<()> {
+    if ident_safe(s) {
+        out.write_all(s.as_bytes())
     } else {
-        quoted(s)
+        write_quoted(out, s)
     }
 }
 
-fn quoted(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            other => out.push(other),
-        }
+/// Writes `s` as a quoted string literal, escaping in chunks: runs of
+/// escape-free bytes go out as one `write_all`, not char by char.
+fn write_quoted<W: io::Write>(out: &mut W, s: &str) -> io::Result<()> {
+    out.write_all(b"\"")?;
+    let bytes = s.as_bytes();
+    let mut plain_from = 0;
+    for (index, b) in bytes.iter().enumerate() {
+        let escape: &[u8] = match b {
+            b'"' => b"\\\"",
+            b'\\' => b"\\\\",
+            b'\n' => b"\\n",
+            b'\t' => b"\\t",
+            _ => continue,
+        };
+        out.write_all(&bytes[plain_from..index])?;
+        out.write_all(escape)?;
+        plain_from = index + 1;
     }
-    out.push('"');
-    out
+    out.write_all(&bytes[plain_from..])?;
+    out.write_all(b"\"")
+}
+
+/// Adapts a `Display` value for quoted output: the value formats straight
+/// through an escaping shim into the surrounding formatter — no
+/// intermediate `String` (the old writer allocated one per arc path).
+struct Quoted<T>(T);
+
+impl<T: fmt::Display> fmt::Display for Quoted<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use fmt::Write as _;
+        f.write_char('"')?;
+        write!(Escaper(f), "{}", self.0)?;
+        f.write_char('"')
+    }
+}
+
+/// A `fmt::Write` shim that escapes `"` `\` `\n` `\t` on the way through.
+struct Escaper<'a, 'b>(&'a mut fmt::Formatter<'b>);
+
+impl fmt::Write for Escaper<'_, '_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        let mut plain_from = 0;
+        for (index, c) in s.char_indices() {
+            let escape = match c {
+                '"' => "\\\"",
+                '\\' => "\\\\",
+                '\n' => "\\n",
+                '\t' => "\\t",
+                _ => continue,
+            };
+            self.0.write_str(&s[plain_from..index])?;
+            self.0.write_str(escape)?;
+            plain_from = index + c.len_utf8();
+        }
+        self.0.write_str(&s[plain_from..])
+    }
 }
 
 /// Hex-encodes binary immediate data.
 pub fn hex_encode(bytes: &[u8]) -> String {
-    let mut out = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        let _ = write!(out, "{b:02x}");
+    let mut out = Vec::with_capacity(bytes.len() * 2);
+    let _ = write_hex(&mut out, bytes);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn write_hex<W: io::Write>(out: &mut W, bytes: &[u8]) -> io::Result<()> {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    // Hex-encode through a small stack buffer: one write per chunk instead
+    // of one per byte.
+    let mut buf = [0u8; 128];
+    for chunk in bytes.chunks(buf.len() / 2) {
+        let mut len = 0;
+        for b in chunk {
+            buf[len] = DIGITS[(b >> 4) as usize];
+            buf[len + 1] = DIGITS[(b & 0x0f) as usize];
+            len += 2;
+        }
+        out.write_all(&buf[..len])?;
     }
-    out
+    Ok(())
 }
 
 /// Decodes hex-encoded binary immediate data.
@@ -332,6 +468,32 @@ mod tests {
     }
 
     #[test]
+    fn streaming_and_collected_output_are_identical() {
+        let doc = sample_doc();
+        let collected = write_document(&doc).unwrap();
+        let mut streamed = Vec::new();
+        write_document_to(&doc, &mut streamed).unwrap();
+        assert_eq!(collected.as_bytes(), streamed.as_slice());
+    }
+
+    #[test]
+    fn io_failures_surface_as_format_errors() {
+        /// A sink that refuses every byte.
+        struct Broken;
+        impl io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("sink closed"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_document_to(&sample_doc(), &mut Broken).unwrap_err();
+        assert!(matches!(err, crate::FormatError::Io { .. }));
+        assert!(err.to_string().contains("sink closed"));
+    }
+
+    #[test]
     fn empty_document_cannot_be_written() {
         assert!(write_document(&Document::new()).is_err());
     }
@@ -358,6 +520,11 @@ mod tests {
         assert_eq!(value_text(&AttrValue::Id("plain".into())), "plain");
         // An Id that *looks* numeric must be quoted or it would come back as
         // a number.
+        fn ident_or_string(s: &str) -> String {
+            let mut out = Vec::new();
+            write_ident_or_string(&mut out, s).unwrap();
+            String::from_utf8(out).unwrap()
+        }
         assert_eq!(ident_or_string("42"), "\"42\"");
         assert_eq!(ident_or_string(""), "\"\"");
         assert_eq!(ident_or_string("two words"), "\"two words\"");
@@ -365,7 +532,12 @@ mod tests {
 
     #[test]
     fn quoting_escapes_specials() {
-        assert_eq!(quoted("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let mut out = Vec::new();
+        write_quoted(&mut out, "a\"b\\c\nd").unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "\"a\\\"b\\\\c\\nd\"");
+        // The Display-adapter path escapes identically.
+        assert_eq!(format!("{}", Quoted("a\"b\\c\nd")), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(format!("{}", Quoted("tab\there")), "\"tab\\there\"");
     }
 
     #[test]
@@ -376,6 +548,9 @@ mod tests {
         assert_eq!(hex_decode(&text).unwrap(), data);
         assert!(hex_decode("abc").is_none());
         assert!(hex_decode("zz").is_none());
+        // Payloads longer than the chunk buffer still encode correctly.
+        let long: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(hex_decode(&hex_encode(&long)).unwrap(), long);
     }
 
     #[test]

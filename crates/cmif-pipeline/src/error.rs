@@ -10,6 +10,7 @@ use std::fmt;
 
 use cmif_core::diag::Diagnostic;
 use cmif_core::error::CoreError;
+use cmif_format::FormatError;
 use cmif_media::MediaError;
 use cmif_scheduler::SchedulerError;
 
@@ -40,6 +41,15 @@ pub enum PipelineError {
         /// The underlying scheduler error.
         source: SchedulerError,
     },
+    /// A wire-decoding error surfaced by a pipeline stage (a document fed
+    /// in as interchange bytes failed to decode). The inner error keeps
+    /// the byte span / source position of the failure.
+    Format {
+        /// The pipeline stage that was running.
+        stage: &'static str,
+        /// The underlying interchange-format error.
+        source: FormatError,
+    },
     /// Static analysis refused the document: at least one deny-severity
     /// finding. Unlike the single [`CoreError`] the old stage-2 validator
     /// raised, this carries *every* collected diagnostic (warnings
@@ -59,6 +69,7 @@ impl PipelineError {
             PipelineError::Core { stage, .. }
             | PipelineError::Media { stage, .. }
             | PipelineError::Scheduler { stage, .. }
+            | PipelineError::Format { stage, .. }
             | PipelineError::Lint { stage, .. } => stage,
         }
     }
@@ -70,6 +81,7 @@ impl PipelineError {
             PipelineError::Core { source, .. } => PipelineError::Core { stage, source },
             PipelineError::Media { source, .. } => PipelineError::Media { stage, source },
             PipelineError::Scheduler { source, .. } => PipelineError::Scheduler { stage, source },
+            PipelineError::Format { source, .. } => PipelineError::Format { stage, source },
             PipelineError::Lint { diagnostics, .. } => PipelineError::Lint { stage, diagnostics },
         }
     }
@@ -86,6 +98,9 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::Scheduler { stage, source } => {
                 write!(f, "pipeline stage `{stage}`: scheduling error: {source}")
+            }
+            PipelineError::Format { stage, source } => {
+                write!(f, "pipeline stage `{stage}`: wire format error: {source}")
             }
             PipelineError::Lint { stage, diagnostics } => {
                 let denies = diagnostics.iter().filter(|d| d.is_deny()).count();
@@ -110,6 +125,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Core { source, .. } => Some(source),
             PipelineError::Media { source, .. } => Some(source),
             PipelineError::Scheduler { source, .. } => Some(source),
+            PipelineError::Format { source, .. } => Some(source),
             PipelineError::Lint { .. } => None,
         }
     }
@@ -128,6 +144,15 @@ impl From<MediaError> for PipelineError {
     fn from(source: MediaError) -> Self {
         PipelineError::Media {
             stage: "media",
+            source,
+        }
+    }
+}
+
+impl From<FormatError> for PipelineError {
+    fn from(source: FormatError) -> Self {
+        PipelineError::Format {
+            stage: "ingest",
             source,
         }
     }

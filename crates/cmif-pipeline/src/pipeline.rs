@@ -293,6 +293,21 @@ impl PipelineBuilder {
         self.run_inner(doc, None, store)
     }
 
+    /// Runs the pipeline for a document arriving as interchange bytes —
+    /// the compact binary wire form or canonical text, auto-detected by
+    /// leading magic (see [`cmif_format::WireEncoding::detect`]).
+    ///
+    /// This is the receiving end of a document transport: bytes come off
+    /// the wire, decode (validated, hardened against truncation and depth
+    /// bombs), and run stages 2–5 directly. A decoding failure surfaces as
+    /// an `"ingest"`-stage [`PipelineError::Format`] carrying the byte
+    /// span of the fault.
+    pub fn run_wire(&self, bytes: &[u8], store: &BlockStore) -> Result<PipelineRun> {
+        let (doc, _encoding) =
+            cmif_format::read_document_bytes(bytes).map_err(PipelineError::from)?;
+        self.run_shared(doc, store)
+    }
+
     /// [`PipelineBuilder::run`] for a shared document: N runs of one
     /// `Arc<Document>` clone N pointers, never the tree (the same contract
     /// as [`cmif_scheduler::Engine::submit`]).
@@ -750,6 +765,36 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.code == cmif_core::diag::codes::CHANNEL_DOUBLE_BOOKING));
+    }
+
+    #[test]
+    fn wire_bytes_run_the_pipeline_in_either_encoding() {
+        let (doc, store) = build_fixture();
+        let builder = PipelineBuilder::new(DeviceProfile::workstation());
+        let direct = builder.run(&doc, &store).unwrap();
+        for encoding in [
+            cmif_format::WireEncoding::Binary,
+            cmif_format::WireEncoding::Text,
+        ] {
+            let bytes = cmif_format::document_to_bytes(&doc, encoding).unwrap();
+            let run = builder.run_wire(&bytes, &store).unwrap();
+            assert!(run.is_presentable(), "conflicts: {}", run.conflicts);
+            assert_eq!(run.solve.schedule, direct.solve.schedule);
+            assert_eq!(run.table_of_contents, direct.table_of_contents);
+        }
+    }
+
+    #[test]
+    fn undecodable_wire_bytes_fail_in_the_ingest_stage() {
+        let (doc, store) = build_fixture();
+        let builder = PipelineBuilder::new(DeviceProfile::workstation());
+        let mut bytes =
+            cmif_format::document_to_bytes(&doc, cmif_format::WireEncoding::Binary).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        let err = builder.run_wire(&bytes, &store).unwrap_err();
+        assert_eq!(err.stage(), "ingest");
+        assert!(matches!(err, PipelineError::Format { .. }));
+        assert!(builder.run_wire(b"not a document", &store).is_err());
     }
 
     #[test]

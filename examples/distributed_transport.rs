@@ -13,6 +13,7 @@ use cmif::core::channel::MediaKind;
 use cmif::distrib::network::{Link, Network};
 use cmif::distrib::store::DistributedStore;
 use cmif::distrib::transport::{compare_transport, referenced_keys};
+use cmif::format::{document_to_bytes, WireEncoding};
 use cmif::media::MediaGenerator;
 use cmif::news::evening_news;
 use cmif::Result;
@@ -47,7 +48,21 @@ fn main() -> Result<()> {
         cluster.put_block("cwi-server", block, descriptor.clone())?;
     }
     let published = cluster.publish_document("cwi-server", "evening-news", &doc)?;
-    println!("document structure published on cwi-server: {published} bytes");
+    println!(
+        "document structure published on cwi-server: {published} bytes ({})",
+        cluster.wire_encoding()
+    );
+
+    // What would each wire form cost on this document? The store publishes
+    // binary by default; text is what the same structure costs when it has
+    // to stay human-readable on the wire.
+    let text_bytes = document_to_bytes(&doc, WireEncoding::Text)?.len();
+    let binary_bytes = document_to_bytes(&doc, WireEncoding::Binary)?.len();
+    println!(
+        "wire form comparison: text {text_bytes} B vs binary {binary_bytes} B \
+         ({:.0}% smaller on the wire)",
+        100.0 * (1.0 - binary_bytes as f64 / text_bytes as f64)
+    );
     println!(
         "referenced media blocks: {} ({} if only audio is wanted)",
         referenced_keys(&doc, None).len(),
@@ -80,6 +95,14 @@ fn main() -> Result<()> {
         comparison.lazy.media_bytes as f64 / 1e6,
         comparison.lazy.blocks_moved,
         comparison.lazy.simulated_ms as f64 / 1e3
+    );
+    println!(
+        "structure on the wire: eager {} B + lazy {} B as {}; \
+         the same two transfers as text would have moved {} B",
+        comparison.eager.structure_bytes,
+        comparison.lazy.structure_bytes,
+        cluster.wire_encoding(),
+        2 * text_bytes
     );
     println!("--- per-link traffic (lazy phase) ---");
     for (from, to, link) in comparison.lazy_traffic.per_link() {

@@ -2,7 +2,9 @@
 //! the scheduler sees the same document on both sides.
 
 use cmif::core::prelude::*;
-use cmif::format::{parse_document, write_document};
+use cmif::format::{
+    document_to_bytes, parse_document, read_document_bytes, write_document, WireEncoding,
+};
 use cmif::news::evening_news;
 use cmif::scheduler::{ConstraintGraph, ScheduleOptions};
 use cmif::synthetic::{balanced_tree, SyntheticNews};
@@ -40,6 +42,29 @@ fn schedules_match(a: &Document, b: &Document) {
     assert_eq!(result_a.violations.len(), result_b.violations.len());
 }
 
+/// The four-way fixed point both interchange forms must hold:
+/// text → parse → binary → decode → text is byte-identical to the first
+/// text, and a second binary generation is byte-identical to the first.
+/// Once a document has been through either codec, nothing about its wire
+/// representation ever drifts again.
+fn four_way_fixed_point(doc: &Document) {
+    let text_1 = write_document(doc).unwrap();
+    let parsed = parse_document(&text_1).unwrap();
+    let binary_1 = document_to_bytes(&parsed, WireEncoding::Binary).unwrap();
+    let (decoded, encoding) = read_document_bytes(&binary_1).unwrap();
+    assert_eq!(encoding, WireEncoding::Binary);
+    let text_2 = write_document(&decoded).unwrap();
+    assert_eq!(text_1, text_2, "text drifted across a binary round trip");
+    let binary_2 = document_to_bytes(&decoded, WireEncoding::Binary).unwrap();
+    assert_eq!(binary_1, binary_2, "binary encoding is not deterministic");
+    assert!(
+        binary_1.len() < text_1.len(),
+        "binary ({}) must be smaller than text ({})",
+        binary_1.len(),
+        text_1.len()
+    );
+}
+
 #[test]
 fn evening_news_round_trips_through_the_interchange_format() {
     let doc = evening_news().unwrap();
@@ -73,6 +98,29 @@ fn synthetic_broadcasts_round_trip_at_every_size() {
         );
         assert_eq!(parsed.arcs().len(), doc.arcs().len());
         schedules_match(&doc, &parsed);
+    }
+}
+
+#[test]
+fn evening_news_holds_the_four_way_fixed_point() {
+    let doc = evening_news().unwrap();
+    four_way_fixed_point(&doc);
+    // The binary decode also schedules identically to the original.
+    let binary = document_to_bytes(&doc, WireEncoding::Binary).unwrap();
+    let (decoded, _) = read_document_bytes(&binary).unwrap();
+    assert_eq!(decoded.channels, doc.channels);
+    assert_eq!(decoded.styles, doc.styles);
+    assert_eq!(decoded.catalog, doc.catalog);
+    assert_eq!(decoded.meta, doc.meta);
+    assert_eq!(decoded.arcs().len(), doc.arcs().len());
+    schedules_match(&doc, &decoded);
+}
+
+#[test]
+fn synthetic_broadcasts_hold_the_four_way_fixed_point_at_every_size() {
+    for stories in [1, 2, 5, 10] {
+        let doc = SyntheticNews::with_stories(stories).build().unwrap();
+        four_way_fixed_point(&doc);
     }
 }
 
@@ -127,6 +175,7 @@ proptest! {
         );
         let text_again = write_document(&parsed).unwrap();
         prop_assert_eq!(text, text_again);
+        four_way_fixed_point(&doc);
     }
 
     /// Synthetic broadcasts of any parameterisation stay schedulable and
@@ -153,5 +202,6 @@ proptest! {
             .unwrap();
         prop_assert!(result.is_consistent());
         prop_assert_eq!(parsed.leaves().len(), config.expected_events());
+        four_way_fixed_point(&doc);
     }
 }
