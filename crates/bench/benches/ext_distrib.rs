@@ -10,17 +10,18 @@
 //! grows with the broadcast size.
 
 use std::collections::BTreeSet;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cmif::core::channel::MediaKind;
 use cmif::distrib::network::{Link, Network};
 use cmif::distrib::store::DistributedStore;
 use cmif::distrib::transport::{compare_transport, referenced_keys};
-use cmif::distrib::TrafficStats;
+use cmif::distrib::{FaultPlan, RetryPolicy, TrafficStats};
 use cmif::media::MediaGenerator;
 use cmif::news::evening_news;
 use cmif::synthetic::SyntheticNews;
 use cmif_bench::banner;
+use cmif_bench::trajectory::{self, TrajectoryRun};
 use cmif_core::tree::Document;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -59,6 +60,91 @@ fn cluster_with(doc: &Document) -> DistributedStore {
     store
 }
 
+/// Like [`cluster_with`], but six hosts at replication factor 2, so a host
+/// can die mid-run without losing a single block.
+fn replicated_cluster_with(doc: &Document) -> DistributedStore {
+    let hosts = ["h0", "h1", "h2", "h3", "h4", "h5"];
+    let store =
+        DistributedStore::with_replication(Network::uniform(&hosts, Link::lan()), 2).unwrap();
+    let mut generator = MediaGenerator::new(5);
+    for descriptor in doc.catalog.iter() {
+        let block = match descriptor.medium {
+            MediaKind::Audio => generator.audio(
+                descriptor.key.as_str(),
+                descriptor.duration.map(|d| d.as_millis()).unwrap_or(1_000),
+                8_000,
+            ),
+            MediaKind::Video => generator.video(descriptor.key.as_str(), 2_000, 64, 48, 25.0, 24),
+            _ => generator.image(descriptor.key.as_str(), 160, 120, 24),
+        };
+        store.put_block("h0", block, descriptor.clone()).unwrap();
+    }
+    store.publish_document("h0", "doc", doc).unwrap();
+    store
+}
+
+/// The fault drill behind the `BENCH_ext_distrib.json` trajectory: flaky
+/// links plus a scripted mid-run kill of the origin, every read still
+/// succeeding, then a repair pass restoring the replication factor. All
+/// probe metrics except the wall-clock repair rate are simulation units,
+/// so they are bit-identical across machines.
+fn fault_drill_probe() -> (String, TrajectoryRun) {
+    let broadcast = SyntheticNews::with_stories(8).build().unwrap();
+    let cluster = replicated_cluster_with(&broadcast)
+        .with_fault_plan(
+            FaultPlan::seeded(1991)
+                .fail_transfers(0.1)
+                .kill_host_at(12, "h0"),
+        )
+        .with_retry_policy(RetryPolicy::with_attempts(6));
+    cluster.reset_traffic();
+    let keys: BTreeSet<cmif::core::Symbol> =
+        referenced_keys(&broadcast, None).into_iter().collect();
+    let report = cluster
+        .fetch_blocks_for_traced("h3", &keys)
+        .expect("every replicated block must survive the drill");
+    let traffic = cluster.traffic();
+
+    let started = Instant::now();
+    let repair = cluster.repair_all();
+    let repair_seconds = started.elapsed().as_secs_f64().max(1e-9);
+    let blocks_per_sec = repair.repaired.len() as f64 / repair_seconds;
+
+    let mut run = TrajectoryRun::now("cargo bench ext_distrib");
+    run = run
+        .metric("degraded/blocks", keys.len() as f64)
+        .metric("degraded/fetches", report.degraded as f64)
+        .metric("degraded/retries", report.retries as f64)
+        .metric("degraded/simulated_ms", report.simulated_ms as f64)
+        .metric("degraded/failed_transfers", traffic.failed_transfers as f64)
+        .metric("repair/actions", repair.actions.len() as f64)
+        .metric("repair/bytes_copied", repair.bytes_copied as f64)
+        .metric("repair/simulated_ms", repair.simulated_ms as f64)
+        .metric("repair/blocks_per_sec", blocks_per_sec);
+    let lines = format!(
+        "drill: 10% of transfers die, origin killed at transfer 12, RF 2, 6 hosts\n\
+         reads: {} blocks requested, {} fetched + {} local, {} degraded, \
+         {} retries, {} failed transfer(s), {} simulated ms\n\
+         repair: {} action(s) restored {} object(s) ({} B, {} simulated ms) \
+         at {:.0} blocks/s wall-clock; lost: {}, deferred: {}",
+        report.requested,
+        report.fetched,
+        report.local_hits,
+        report.degraded,
+        report.retries,
+        traffic.failed_transfers,
+        report.simulated_ms,
+        repair.actions.len(),
+        repair.repaired.len(),
+        repair.bytes_copied,
+        repair.simulated_ms,
+        blocks_per_sec,
+        repair.lost.len(),
+        repair.deferred.len(),
+    );
+    (lines, run)
+}
+
 fn bench_distrib(c: &mut Criterion) {
     // Regenerate the artifact: eager vs lazy transport of the Evening News
     // to an audio-only reader.
@@ -94,6 +180,18 @@ fn bench_distrib(c: &mut Criterion) {
         ),
     );
 
+    // Fault drill: the probe metrics (all simulation units except the
+    // wall-clock repair rate) land in the committed trajectory file.
+    let (drill_lines, drill_run) = fault_drill_probe();
+    banner(
+        "ext: fault drill (degraded reads + self-healing re-replication)",
+        &drill_lines,
+    );
+    match trajectory::record_run("ext_distrib", drill_run) {
+        Ok(path) => println!("perf trajectory appended to {}", path.display()),
+        Err(e) => eprintln!("could not write the perf trajectory: {e}"),
+    }
+
     let mut group = c.benchmark_group("ext_distrib");
     for stories in [1usize, 4, 16] {
         let broadcast = SyntheticNews::with_stories(stories).build().unwrap();
@@ -128,6 +226,52 @@ fn bench_distrib(c: &mut Criterion) {
             },
         );
     }
+
+    // Fault-mode targets ride the same group, so the CI delta gate covers
+    // the degraded paths too.
+    let drill = SyntheticNews::with_stories(2).build().unwrap();
+    let churn_cluster = replicated_cluster_with(&drill);
+    // One warm cycle so the measured iterations all see the same steady
+    // state (the first down-scan performs the real re-replication).
+    churn_cluster.mark_down("h0").unwrap();
+    churn_cluster.repair_all();
+    churn_cluster.mark_up("h0").unwrap();
+    group.bench_function("host_churn_cycle", |b| {
+        // Down the origin (scanning every placement entry for lost
+        // replicas), drain the repair queue, bring it back: the steady
+        // state of a flapping host.
+        b.iter(|| {
+            churn_cluster.mark_down("h0").unwrap();
+            let report = churn_cluster.repair_all();
+            churn_cluster.mark_up("h0").unwrap();
+            report.actions.len()
+        })
+    });
+    group.bench_function("degraded_fetch_walk", |b| {
+        // A fresh cluster per iteration — the destination caches the block
+        // after a successful fetch, so the walk only exists on first read.
+        b.iter(|| {
+            let store = DistributedStore::with_replication(
+                Network::uniform(&["s0", "s1", "s2"], Link::lan()),
+                2,
+            )
+            .unwrap();
+            let block = MediaGenerator::new(9).audio("clip", 250, 8_000);
+            let descriptor = block.describe();
+            store.put_block("s0", block, descriptor).unwrap();
+            let holders = store.replicas_of("clip");
+            let reader = ["s0", "s1", "s2"]
+                .into_iter()
+                .find(|h| !holders.contains(&h.to_string()))
+                .unwrap();
+            let mut plan = FaultPlan::seeded(7);
+            for holder in &holders {
+                plan = plan.fail_link(holder.clone(), reader, 1);
+            }
+            let store = store.with_fault_plan(plan);
+            store.fetch_block(reader, "clip").unwrap()
+        })
+    });
 
     // Sharded-store demonstration: four publishers hammer four distinct
     // hosts at once. Under the old store-wide RwLock these serialized; with

@@ -9,6 +9,38 @@ use cmif_media::MediaError;
 /// Result alias used throughout `cmif-distrib`.
 pub type Result<T> = std::result::Result<T, DistribError>;
 
+/// One failed attempt from a degraded fetch's retry walk, kept in the
+/// error so callers (and tests) can see exactly which replicas were tried,
+/// in what order, and why each failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchAttempt {
+    /// 1-based attempt number within the fetch.
+    pub attempt: u32,
+    /// The replica host the attempt pulled from.
+    pub source: String,
+    /// Why the attempt failed.
+    pub error: Box<DistribError>,
+    /// Simulated backoff charged before this attempt.
+    pub backoff_ms: u64,
+}
+
+impl fmt::Display for FetchAttempt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "attempt {} from `{}` failed after {} ms backoff: {}",
+            self.attempt, self.source, self.backoff_ms, self.error
+        )
+    }
+}
+
+fn write_attempts(f: &mut fmt::Formatter<'_>, attempts: &[FetchAttempt]) -> fmt::Result {
+    for attempt in attempts {
+        write!(f, "; {attempt}")?;
+    }
+    Ok(())
+}
+
 /// Errors raised by the simulated distributed store.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DistribError {
@@ -39,6 +71,54 @@ pub enum DistribError {
         /// The missing document name.
         name: String,
     },
+    /// The host is marked down (by the health machine, an operator, or a
+    /// fault plan) and cannot serve or receive transfers. Retryable: a
+    /// fetch moves on to the next replica.
+    HostDown {
+        /// The down host.
+        host: String,
+    },
+    /// A single transfer was cut by an active network partition.
+    /// Retryable: a replica on this side of the split may still serve.
+    TransferPartitioned {
+        /// The sending host.
+        from: String,
+        /// The receiving host.
+        to: String,
+    },
+    /// A transfer died mid-flight (injected fault or flaky link). The
+    /// bytes were charged to the link as failed traffic. Retryable.
+    TransferFailed {
+        /// The sending host.
+        from: String,
+        /// The receiving host.
+        to: String,
+        /// Bytes that were in flight when the transfer died.
+        bytes: u64,
+    },
+    /// A fetch exhausted its retry budget without any replica delivering.
+    /// At least one attempt failed for a retryable reason other than a
+    /// partition; the trace lists every attempt in order.
+    RetriesExhausted {
+        /// The host that wanted the block.
+        to: String,
+        /// The block being fetched.
+        key: String,
+        /// Every failed attempt, in order.
+        attempts: Vec<FetchAttempt>,
+    },
+    /// No replica of the block is reachable from the requesting host —
+    /// every holder is either down or on the far side of a partition. The
+    /// trace lists the per-replica outcomes that led to the verdict.
+    Partitioned {
+        /// The host that wanted the block.
+        to: String,
+        /// The block being fetched.
+        key: String,
+        /// Every failed attempt, in order (may be empty when every holder
+        /// was excluded before a transfer was even attempted).
+        attempts: Vec<FetchAttempt>,
+    },
     /// A media-store error on one of the hosts.
     Media(MediaError),
     /// A document-model error.
@@ -65,10 +145,50 @@ impl fmt::Display for DistribError {
             DistribError::UnknownDocument { host, name } => {
                 write!(f, "host `{host}` does not hold document `{name}`")
             }
+            DistribError::HostDown { host } => write!(f, "host `{host}` is down"),
+            DistribError::TransferPartitioned { from, to } => {
+                write!(
+                    f,
+                    "transfer `{from}` -> `{to}` blocked by a network partition"
+                )
+            }
+            DistribError::TransferFailed { from, to, bytes } => {
+                write!(
+                    f,
+                    "transfer `{from}` -> `{to}` failed mid-flight ({bytes} bytes lost)"
+                )
+            }
+            DistribError::RetriesExhausted { to, key, attempts } => {
+                write!(
+                    f,
+                    "fetch of `{key}` to `{to}` exhausted {} attempt(s)",
+                    attempts.len()
+                )?;
+                write_attempts(f, attempts)
+            }
+            DistribError::Partitioned { to, key, attempts } => {
+                write!(f, "no replica of `{key}` is reachable from `{to}`")?;
+                write_attempts(f, attempts)
+            }
             DistribError::Media(e) => write!(f, "media store error: {e}"),
             DistribError::Core(e) => write!(f, "document error: {e}"),
             DistribError::Format(e) => write!(f, "interchange format error: {e}"),
         }
+    }
+}
+
+impl DistribError {
+    /// True when a fetch may sensibly retry this failure against another
+    /// replica (or the same one after backoff). Topology gaps
+    /// ([`DistribError::Unreachable`]) are *not* retryable: a missing link
+    /// is configuration, not weather, and retrying cannot create it.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            DistribError::HostDown { .. }
+                | DistribError::TransferPartitioned { .. }
+                | DistribError::TransferFailed { .. }
+        )
     }
 }
 
@@ -125,6 +245,58 @@ mod tests {
         };
         assert!(err.to_string().contains("replication factor 5"));
         assert!(err.to_string().contains("3 host"));
+    }
+
+    #[test]
+    fn fault_errors_carry_their_attempt_trace() {
+        let attempt = FetchAttempt {
+            attempt: 1,
+            source: "d2".into(),
+            error: Box::new(DistribError::HostDown { host: "d2".into() }),
+            backoff_ms: 0,
+        };
+        let err = DistribError::Partitioned {
+            to: "desk".into(),
+            key: "video-1".into(),
+            attempts: vec![attempt.clone()],
+        };
+        let text = err.to_string();
+        assert!(text.contains("no replica of `video-1`"));
+        assert!(text.contains("attempt 1 from `d2`"));
+        let err = DistribError::RetriesExhausted {
+            to: "desk".into(),
+            key: "video-1".into(),
+            attempts: vec![attempt],
+        };
+        assert!(err.to_string().contains("exhausted 1 attempt"));
+    }
+
+    #[test]
+    fn retryable_classification_excludes_topology_and_terminal_errors() {
+        assert!(DistribError::HostDown { host: "a".into() }.is_retryable());
+        assert!(DistribError::TransferFailed {
+            from: "a".into(),
+            to: "b".into(),
+            bytes: 10,
+        }
+        .is_retryable());
+        assert!(DistribError::TransferPartitioned {
+            from: "a".into(),
+            to: "b".into(),
+        }
+        .is_retryable());
+        assert!(!DistribError::Unreachable {
+            from: "a".into(),
+            to: "b".into(),
+        }
+        .is_retryable());
+        assert!(!DistribError::UnknownHost { host: "a".into() }.is_retryable());
+        assert!(!DistribError::Partitioned {
+            to: "a".into(),
+            key: "k".into(),
+            attempts: Vec::new(),
+        }
+        .is_retryable());
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Deterministic, seeded fault injection for the simulated cluster.
+//!
+//! A [`FaultPlan`] sits between the store and the [`crate::Network`]: every
+//! transfer the store attempts is first submitted to the plan, which may
+//! deliver it (optionally with extra delay), drop it, or report that the
+//! link is partitioned. Faults come from two sources:
+//!
+//! * **Scripted events**, keyed by the cluster-wide transfer sequence
+//!   number (`kill host d2 at the 5th transfer`, `partition {a,b} from
+//!   {c,d} at the 20th`). The sequence number is the plan's clock — the
+//!   simulation has no wall clock, so "mid-broadcast" means "between two
+//!   transfers", which is exactly reproducible.
+//! * **Probabilistic faults** from a seeded generator (`fail 10 % of
+//!   transfers`, `delay 20 % by up to 50 ms`). The same seed over the same
+//!   transfer order replays the same faults, so a failing fuzz run is a
+//!   regression test.
+//!
+//! The plan never mutates the store directly: [`FaultPlan::decide`] returns
+//! a [`TransferDecision`] and the store applies the consequences (health
+//! transitions, repair enqueueing, traffic accounting) itself — one
+//! direction of data flow, no lock cycles.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::HostId;
+
+/// What the plan did to one attempted transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The transfer dies mid-flight (bytes charged as failed, source
+    /// blamed, retryable).
+    TransferFailed,
+    /// The two endpoints are on opposite sides of an active partition.
+    Partitioned,
+}
+
+/// The plan's verdict on one attempted transfer, plus any scripted host
+/// churn that came due at this point of the sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransferDecision {
+    /// The injected fault, if any (`None` = deliver).
+    pub fault: Option<InjectedFault>,
+    /// Extra simulated latency injected on top of the link cost.
+    pub extra_ms: u64,
+    /// Hosts the script just killed; the store marks them down (which
+    /// queues their blocks for repair).
+    pub killed: Vec<HostId>,
+    /// Hosts the script just revived; the store marks them up.
+    pub revived: Vec<HostId>,
+}
+
+/// A scripted fault event, fired when the transfer sequence reaches
+/// `at_transfer`.
+#[derive(Debug, Clone, PartialEq)]
+enum Script {
+    Kill(HostId),
+    Revive(HostId),
+    Partition(BTreeSet<HostId>, BTreeSet<HostId>),
+    Heal,
+}
+
+/// A deterministic fault schedule over the cluster. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rng: SmallRng,
+    /// Cluster-wide transfers attempted so far (the plan's clock).
+    transfers: u64,
+    /// Probability that any one transfer dies mid-flight.
+    fail_probability: f64,
+    /// Probability that a delivered transfer is delayed.
+    delay_probability: f64,
+    /// Upper bound (inclusive) of the injected delay.
+    max_delay_ms: u64,
+    /// `(at_transfer, event)`, unordered; fired events are retired.
+    scripts: Vec<(u64, Script)>,
+    /// Active partitions: a transfer crossing any pair is blocked.
+    partitions: Vec<(BTreeSet<HostId>, BTreeSet<HostId>)>,
+    /// Directed links with forced failures remaining.
+    link_failures: Vec<(HostId, HostId, u64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) whose probabilistic stream is a pure
+    /// function of `seed`.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+            transfers: 0,
+            fail_probability: 0.0,
+            delay_probability: 0.0,
+            max_delay_ms: 0,
+            scripts: Vec::new(),
+            partitions: Vec::new(),
+            link_failures: Vec::new(),
+        }
+    }
+
+    /// The seed the probabilistic stream was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Transfers submitted to the plan so far.
+    pub fn transfers_seen(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Every transfer independently dies mid-flight with probability `p`
+    /// (clamped to `[0, 1]`).
+    pub fn fail_transfers(mut self, p: f64) -> FaultPlan {
+        self.fail_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Every delivered transfer is delayed by `1..=max_ms` extra simulated
+    /// milliseconds with probability `p`.
+    pub fn delay_transfers(mut self, p: f64, max_ms: u64) -> FaultPlan {
+        self.delay_probability = p.clamp(0.0, 1.0);
+        self.max_delay_ms = max_ms;
+        self
+    }
+
+    /// Kills `host` when the cluster-wide transfer sequence reaches
+    /// `at_transfer` (1-based: `1` fires before the first transfer).
+    pub fn kill_host_at(mut self, at_transfer: u64, host: impl Into<HostId>) -> FaultPlan {
+        self.scripts.push((at_transfer, Script::Kill(host.into())));
+        self
+    }
+
+    /// Revives `host` at the given point of the sequence.
+    pub fn revive_host_at(mut self, at_transfer: u64, host: impl Into<HostId>) -> FaultPlan {
+        self.scripts
+            .push((at_transfer, Script::Revive(host.into())));
+        self
+    }
+
+    /// Splits the cluster at the given point of the sequence: transfers
+    /// between a host in `side_a` and a host in `side_b` are blocked (both
+    /// directions) until a [`FaultPlan::heal_at`] event fires.
+    pub fn partition_at(mut self, at_transfer: u64, side_a: &[&str], side_b: &[&str]) -> FaultPlan {
+        let a = side_a.iter().map(|h| h.to_string()).collect();
+        let b = side_b.iter().map(|h| h.to_string()).collect();
+        self.scripts.push((at_transfer, Script::Partition(a, b)));
+        self
+    }
+
+    /// Partitions immediately (before the first transfer).
+    pub fn partition(self, side_a: &[&str], side_b: &[&str]) -> FaultPlan {
+        self.partition_at(0, side_a, side_b)
+    }
+
+    /// Removes every active partition at the given point of the sequence.
+    pub fn heal_at(mut self, at_transfer: u64) -> FaultPlan {
+        self.scripts.push((at_transfer, Script::Heal));
+        self
+    }
+
+    /// Forces the next `count` transfers over the directed link
+    /// `from → to` to fail (independent of the probabilistic stream).
+    pub fn fail_link(
+        mut self,
+        from: impl Into<HostId>,
+        to: impl Into<HostId>,
+        count: u64,
+    ) -> FaultPlan {
+        self.link_failures.push((from.into(), to.into(), count));
+        self
+    }
+
+    /// True when an active partition separates the two hosts. Used by the
+    /// store when ranking replica sources, so a partitioned holder is
+    /// classified as unreachable instead of being "tried" pointlessly.
+    pub fn is_partitioned(&self, a: &str, b: &str) -> bool {
+        self.partitions.iter().any(|(left, right)| {
+            (left.contains(a) && right.contains(b)) || (left.contains(b) && right.contains(a))
+        })
+    }
+
+    /// Fires any scripted events that are due at the *current* point of
+    /// the sequence without consuming a transfer slot. The store calls
+    /// this from churn-free paths (e.g. health queries in drills); decide
+    /// calls it internally.
+    fn fire_due_scripts(&mut self, decision: &mut TransferDecision) {
+        let now = self.transfers;
+        let mut index = 0;
+        while index < self.scripts.len() {
+            if self.scripts[index].0 <= now {
+                let (_, script) = self.scripts.swap_remove(index);
+                match script {
+                    Script::Kill(host) => decision.killed.push(host),
+                    Script::Revive(host) => decision.revived.push(host),
+                    Script::Partition(a, b) => self.partitions.push((a, b)),
+                    Script::Heal => self.partitions.clear(),
+                }
+            } else {
+                index += 1;
+            }
+        }
+    }
+
+    /// Judges one attempted transfer: advances the sequence clock, fires
+    /// due scripted events, and rolls the probabilistic faults. The store
+    /// must apply `killed`/`revived` *before* honouring `fault`, so a
+    /// scripted kill of the source surfaces as that host being down.
+    pub fn decide(&mut self, from: &str, to: &str) -> TransferDecision {
+        self.transfers += 1;
+        let mut decision = TransferDecision::default();
+        self.fire_due_scripts(&mut decision);
+
+        if self.is_partitioned(from, to) {
+            decision.fault = Some(InjectedFault::Partitioned);
+            return decision;
+        }
+        for (link_from, link_to, remaining) in &mut self.link_failures {
+            if *remaining > 0 && link_from == from && link_to == to {
+                *remaining -= 1;
+                decision.fault = Some(InjectedFault::TransferFailed);
+                return decision;
+            }
+        }
+        if self.fail_probability > 0.0 && self.rng.gen_range(0.0..1.0) < self.fail_probability {
+            decision.fault = Some(InjectedFault::TransferFailed);
+            return decision;
+        }
+        if self.delay_probability > 0.0
+            && self.max_delay_ms > 0
+            && self.rng.gen_range(0.0..1.0) < self.delay_probability
+        {
+            decision.extra_ms = self.rng.gen_range(1..=self.max_delay_ms);
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn an_empty_plan_delivers_everything() {
+        let mut plan = FaultPlan::seeded(7);
+        for _ in 0..100 {
+            let decision = plan.decide("a", "b");
+            assert_eq!(decision.fault, None);
+            assert_eq!(decision.extra_ms, 0);
+            assert!(decision.killed.is_empty());
+        }
+        assert_eq!(plan.transfers_seen(), 100);
+    }
+
+    #[test]
+    fn probabilistic_failures_are_reproducible_per_seed() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let mut plan = FaultPlan::seeded(seed).fail_transfers(0.3);
+            (0..200)
+                .map(|_| plan.decide("a", "b").fault.is_some())
+                .collect()
+        };
+        let first = outcomes(42);
+        assert_eq!(first, outcomes(42), "same seed, same fault stream");
+        assert_ne!(first, outcomes(43), "different seed, different stream");
+        let failed = first.iter().filter(|&&f| f).count();
+        assert!(
+            (30..=90).contains(&failed),
+            "~30% of 200 expected, got {failed}"
+        );
+    }
+
+    #[test]
+    fn scripted_kills_fire_exactly_once_at_their_transfer() {
+        let mut plan = FaultPlan::seeded(0)
+            .kill_host_at(3, "d1")
+            .revive_host_at(5, "d1");
+        assert!(plan.decide("a", "b").killed.is_empty());
+        assert!(plan.decide("a", "b").killed.is_empty());
+        let third = plan.decide("a", "b");
+        assert_eq!(third.killed, vec!["d1".to_string()]);
+        assert!(third.revived.is_empty());
+        assert!(plan.decide("a", "b").killed.is_empty(), "retired");
+        let fifth = plan.decide("a", "b");
+        assert_eq!(fifth.revived, vec!["d1".to_string()]);
+    }
+
+    #[test]
+    fn partitions_block_both_directions_until_healed() {
+        let mut plan = FaultPlan::seeded(0)
+            .partition(&["a", "b"], &["c"])
+            .heal_at(3);
+        assert_eq!(
+            plan.decide("a", "c").fault,
+            Some(InjectedFault::Partitioned)
+        );
+        assert_eq!(
+            plan.decide("c", "b").fault,
+            Some(InjectedFault::Partitioned)
+        );
+        assert!(plan.is_partitioned("a", "c"));
+        // Same side: unaffected — and the heal fires during this third
+        // decide, so the split is gone afterwards.
+        assert_eq!(plan.decide("a", "b").fault, None);
+        assert!(!plan.is_partitioned("a", "c"));
+        assert_eq!(plan.decide("a", "c").fault, None);
+    }
+
+    #[test]
+    fn forced_link_failures_burn_down_their_count() {
+        let mut plan = FaultPlan::seeded(0).fail_link("a", "b", 2);
+        assert!(plan.decide("a", "b").fault.is_some());
+        // The reverse direction is a different link.
+        assert!(plan.decide("b", "a").fault.is_none());
+        assert!(plan.decide("a", "b").fault.is_some());
+        assert!(plan.decide("a", "b").fault.is_none(), "count exhausted");
+    }
+
+    #[test]
+    fn injected_delays_are_bounded_and_seed_stable() {
+        let mut plan = FaultPlan::seeded(11).delay_transfers(1.0, 50);
+        let delays: Vec<u64> = (0..50).map(|_| plan.decide("a", "b").extra_ms).collect();
+        assert!(delays.iter().all(|&d| (1..=50).contains(&d)));
+        let mut replay = FaultPlan::seeded(11).delay_transfers(1.0, 50);
+        let replayed: Vec<u64> = (0..50).map(|_| replay.decide("a", "b").extra_ms).collect();
+        assert_eq!(delays, replayed);
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-host health tracking: the `Up → Suspect → Down` state machine.
+//!
+//! The store watches every transfer it attempts. A host that keeps failing
+//! its transfers is first *suspected* (deprioritized as a fetch source,
+//! still tried) and then declared *down* (skipped entirely, its blocks
+//! queued for re-replication). A successful transfer clears the record —
+//! one good round trip is proof of life. The thresholds are a policy knob
+//! ([`HealthPolicy`]) because a LAN and a WAN justify different patience.
+//!
+//! Administrative transitions ride the same machine: `mark_down` forces
+//! `Down` (maintenance, or a fault plan killing the host), `mark_up`
+//! forces `Up`, and `decommission` moves the host to the terminal
+//! [`HealthState::Decommissioned`] — the host also leaves the placement
+//! ring, so nothing is ever scheduled onto it again.
+
+use std::fmt;
+
+/// The serviceability of one host, as observed by the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Transfers succeed; the host is a first-choice replica source.
+    Up,
+    /// Recent transfers failed; still tried, but only after every `Up`
+    /// holder.
+    Suspect,
+    /// Enough consecutive failures (or an explicit `mark_down`): skipped
+    /// as a source and destination until `mark_up`.
+    Down,
+    /// Permanently removed from service (`decommission`); terminal.
+    Decommissioned,
+}
+
+impl HealthState {
+    /// True when the host may serve or receive transfers.
+    pub fn is_serviceable(&self) -> bool {
+        matches!(self, HealthState::Up | HealthState::Suspect)
+    }
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            HealthState::Up => "up",
+            HealthState::Suspect => "suspect",
+            HealthState::Down => "down",
+            HealthState::Decommissioned => "decommissioned",
+        })
+    }
+}
+
+/// When observed failures move a host along `Up → Suspect → Down`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive failures after which a host becomes [`HealthState::Suspect`].
+    pub failures_to_suspect: u32,
+    /// Consecutive failures after which a host becomes [`HealthState::Down`]
+    /// (must be ≥ `failures_to_suspect`; enforced at construction).
+    pub failures_to_down: u32,
+}
+
+impl Default for HealthPolicy {
+    /// One failure casts suspicion; three in a row declare the host down.
+    fn default() -> HealthPolicy {
+        HealthPolicy {
+            failures_to_suspect: 1,
+            failures_to_down: 3,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// A policy with explicit thresholds; `failures_to_down` is clamped to
+    /// at least `failures_to_suspect` (a host cannot go down before it is
+    /// suspected) and both to at least one.
+    pub fn new(failures_to_suspect: u32, failures_to_down: u32) -> HealthPolicy {
+        let failures_to_suspect = failures_to_suspect.max(1);
+        HealthPolicy {
+            failures_to_suspect,
+            failures_to_down: failures_to_down.max(failures_to_suspect),
+        }
+    }
+}
+
+/// One host's health record: current state plus the consecutive-failure
+/// counter that drives observed transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostHealth {
+    state: HealthState,
+    consecutive_failures: u32,
+}
+
+impl Default for HostHealth {
+    /// Hosts start `Up` with a clean record.
+    fn default() -> HostHealth {
+        HostHealth {
+            state: HealthState::Up,
+            consecutive_failures: 0,
+        }
+    }
+}
+
+/// One state-machine transition, kept in the store's health log so churn
+/// drills and tests can assert the exact path a host took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// The host that changed state.
+    pub host: String,
+    /// The state it left.
+    pub from: HealthState,
+    /// The state it entered.
+    pub to: HealthState,
+    /// What drove the transition (`"observed-failure"`,
+    /// `"observed-success"`, `"mark-down"`, `"mark-up"`, `"decommission"`).
+    pub cause: &'static str,
+}
+
+impl fmt::Display for HealthTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} ({})",
+            self.host, self.from, self.to, self.cause
+        )
+    }
+}
+
+impl HostHealth {
+    /// The host's current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Consecutive failed transfers since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Records a failed transfer; returns the new state when it changed.
+    /// `Down` and `Decommissioned` hosts stay where they are.
+    pub fn observe_failure(&mut self, policy: &HealthPolicy) -> Option<HealthState> {
+        let state = self.state();
+        if !state.is_serviceable() {
+            return None;
+        }
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let next = if self.consecutive_failures >= policy.failures_to_down {
+            HealthState::Down
+        } else if self.consecutive_failures >= policy.failures_to_suspect {
+            HealthState::Suspect
+        } else {
+            HealthState::Up
+        };
+        (next != state).then(|| {
+            self.state = next;
+            next
+        })
+    }
+
+    /// Records a successful transfer: clears the failure streak and
+    /// returns `Some(Up)` when that recovered a `Suspect` host. `Down`
+    /// hosts do *not* self-heal on a stray success — an operator (or the
+    /// fault plan) must `mark_up` — so a flapping host cannot oscillate
+    /// into the replica set between probes.
+    pub fn observe_success(&mut self) -> Option<HealthState> {
+        self.consecutive_failures = 0;
+        if self.state == HealthState::Suspect {
+            self.state = HealthState::Up;
+            return Some(HealthState::Up);
+        }
+        None
+    }
+
+    /// Forces a state (administrative transition); returns the previous
+    /// state when it changed. Decommissioned hosts never leave that state.
+    pub fn force(&mut self, state: HealthState) -> Option<HealthState> {
+        let current = self.state;
+        if current == HealthState::Decommissioned || current == state {
+            return None;
+        }
+        self.state = state;
+        self.consecutive_failures = 0;
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failures_walk_up_suspect_down_under_the_default_policy() {
+        let policy = HealthPolicy::default();
+        let mut health = HostHealth::default();
+        assert_eq!(health.state(), HealthState::Up);
+        assert_eq!(health.observe_failure(&policy), Some(HealthState::Suspect));
+        assert_eq!(health.observe_failure(&policy), None, "still suspect");
+        assert_eq!(health.observe_failure(&policy), Some(HealthState::Down));
+        // Down is sticky for further failures and for successes.
+        assert_eq!(health.observe_failure(&policy), None);
+        assert_eq!(health.observe_success(), None);
+        assert_eq!(health.state(), HealthState::Down);
+    }
+
+    #[test]
+    fn a_success_recovers_a_suspect_host_and_resets_the_streak() {
+        let policy = HealthPolicy::default();
+        let mut health = HostHealth::default();
+        health.observe_failure(&policy);
+        assert_eq!(health.state(), HealthState::Suspect);
+        assert_eq!(health.observe_success(), Some(HealthState::Up));
+        assert_eq!(health.consecutive_failures(), 0);
+        // The streak restarts from zero: down needs three fresh failures.
+        health.observe_failure(&policy);
+        health.observe_failure(&policy);
+        assert_eq!(health.state(), HealthState::Suspect);
+    }
+
+    #[test]
+    fn forced_transitions_override_but_decommission_is_terminal() {
+        let mut health = HostHealth::default();
+        assert_eq!(health.force(HealthState::Down), Some(HealthState::Up));
+        assert_eq!(health.force(HealthState::Down), None, "no-op repeat");
+        assert_eq!(health.force(HealthState::Up), Some(HealthState::Down));
+        assert_eq!(
+            health.force(HealthState::Decommissioned),
+            Some(HealthState::Up)
+        );
+        assert_eq!(health.force(HealthState::Up), None, "terminal");
+        assert_eq!(health.state(), HealthState::Decommissioned);
+        assert!(!health.state().is_serviceable());
+    }
+
+    #[test]
+    fn policy_clamps_nonsensical_thresholds() {
+        let policy = HealthPolicy::new(0, 0);
+        assert_eq!(policy.failures_to_suspect, 1);
+        assert_eq!(policy.failures_to_down, 1);
+        let mut health = HostHealth::default();
+        // suspect==down: the first failure goes straight to Down.
+        assert_eq!(health.observe_failure(&policy), Some(HealthState::Down));
+        let policy = HealthPolicy::new(5, 2);
+        assert_eq!(policy.failures_to_down, 5, "down >= suspect");
+    }
+}

@@ -15,9 +15,17 @@
 //!   binary form by default, canonical text on request — see
 //!   [`WireEncoding`]), blocks move only when fetched;
 //! * [`traffic`] — cluster-wide totals plus per-link `(from, to)` traffic
-//!   accounting;
+//!   accounting, delivered and failed transfers kept apart;
 //! * [`transport`] — the structure-only vs structure-plus-data comparison
-//!   (the `ext_distrib` benchmark).
+//!   (the `ext_distrib` benchmark);
+//! * [`health`] — the per-host `Up → Suspect → Down` state machine driven
+//!   by observed transfer failures;
+//! * [`fault`] — deterministic, seeded fault injection (host kills,
+//!   transfer failures/delays, partitions) layered on the network;
+//! * [`retry`] — bounded retries with exponential backoff and jitter for
+//!   degraded fetches;
+//! * [`repair`] — the self-healing queue re-replicating under-replicated
+//!   blocks/documents after a host loss.
 //!
 //! ```
 //! use cmif_distrib::network::{Link, Network};
@@ -33,16 +41,24 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod fault;
+pub mod health;
 pub mod network;
 pub mod placement;
+pub mod repair;
+pub mod retry;
 pub mod store;
 pub mod traffic;
 pub mod transport;
 
 pub use cmif_format::{WireDocument, WireEncoding, WireFormat};
-pub use error::{DistribError, Result};
+pub use error::{DistribError, FetchAttempt, Result};
+pub use fault::{FaultPlan, InjectedFault, TransferDecision};
+pub use health::{HealthPolicy, HealthState, HealthTransition, HostHealth};
 pub use network::{HostId, Link, Network};
 pub use placement::PlacementRing;
-pub use store::DistributedStore;
+pub use repair::{RepairAction, RepairItem, RepairQueue, RepairReport, RepairWorker};
+pub use retry::RetryPolicy;
+pub use store::{DistributedStore, FetchOutcome, FetchReport};
 pub use traffic::{LinkStats, TrafficStats};
 pub use transport::{compare_transport, referenced_keys, TransportComparison, TransportCost};

@@ -130,6 +130,37 @@ impl PlacementRing {
     pub fn primary(&self, key: &str) -> Option<&HostId> {
         self.hosts_for(key, 1).into_iter().next()
     }
+
+    /// Removes a host (and all its virtual points) from the ring — the
+    /// inverse of construction-time addition, with the same stability
+    /// guarantee mirrored: survivors' points are hashed from their names
+    /// alone, so they do not move, and every key the departed host owned
+    /// falls to the next host clockwise. Only ~`1/n` of the keys change
+    /// primary owner; keys between two surviving hosts are untouched.
+    ///
+    /// Returns `false` (and changes nothing) when the host is not on the
+    /// ring.
+    pub fn remove_host(&mut self, host: &str) -> bool {
+        let Some(index) = self.hosts.iter().position(|h| h == host) else {
+            return false;
+        };
+        self.hosts.remove(index);
+        // Drop the departed host's points and re-aim the survivors' host
+        // indices past the removed slot. `retain` keeps the sort order, so
+        // no re-sort is needed.
+        self.points.retain(|&(_, host_index)| host_index != index);
+        for point in &mut self.points {
+            if point.1 > index {
+                point.1 -= 1;
+            }
+        }
+        true
+    }
+
+    /// True when the host is on the ring.
+    pub fn contains(&self, host: &str) -> bool {
+        self.hosts.iter().any(|h| h == host)
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +219,53 @@ mod tests {
                 "host {host} owns {count} of 1000 keys — ring is badly unbalanced"
             );
         }
+    }
+
+    #[test]
+    fn removing_a_host_moves_only_the_departed_hosts_keys() {
+        let mut ring = ring_of(&["alpha", "beta", "gamma", "delta", "epsilon"]);
+        let before: Vec<HostId> = (0..1_000)
+            .map(|i| ring.primary(&format!("block-{i}")).unwrap().clone())
+            .collect();
+        assert!(ring.remove_host("gamma"));
+        assert!(!ring.contains("gamma"));
+        assert_eq!(ring.len(), 4);
+        let mut moved = 0;
+        for (i, old) in before.iter().enumerate() {
+            let key = format!("block-{i}");
+            let new = ring.primary(&key).unwrap();
+            if old != new {
+                moved += 1;
+                assert_eq!(
+                    old, "gamma",
+                    "key `{key}` moved although its owner survived"
+                );
+            }
+        }
+        // ~1/5 of the keys belonged to the departed host; nothing else moved.
+        assert!(moved > 50, "suspiciously few keys moved: {moved}");
+        assert!(moved < 400, "keys moved that gamma never owned: {moved}");
+        // Removal is the exact inverse of addition: the shrunken ring is
+        // indistinguishable from one built without the host.
+        let rebuilt = ring_of(&["alpha", "beta", "delta", "epsilon"]);
+        for i in 0..200 {
+            let key = format!("block-{i}");
+            assert_eq!(ring.hosts_for(&key, 2), rebuilt.hosts_for(&key, 2));
+        }
+        // Unknown hosts are a no-op.
+        assert!(!ring.remove_host("gamma"));
+        assert_eq!(ring.len(), 4);
+    }
+
+    #[test]
+    fn removing_every_host_empties_the_ring() {
+        let mut ring = ring_of(&["a", "b"]);
+        assert!(ring.remove_host("a"));
+        assert_eq!(ring.hosts_for("key", 2), vec!["b"]);
+        assert!(ring.remove_host("b"));
+        assert!(ring.is_empty());
+        assert!(ring.hosts_for("key", 1).is_empty());
+        assert!(ring.primary("key").is_none());
     }
 
     #[test]

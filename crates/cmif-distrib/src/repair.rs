@@ -1,0 +1,231 @@
+//! Self-healing re-replication: the queue of under-replicated objects and
+//! the background worker that drains it.
+//!
+//! When a host goes down (observed by the health machine, forced by an
+//! operator, or killed by a fault plan) every block and document it held
+//! may have dropped below the store's replication factor. The store scans
+//! its placement indices and enqueues the affected keys here; a repair
+//! pass ([`crate::DistributedStore::repair_all`]) then copies each object
+//! from its nearest surviving holder to fresh ring-chosen hosts until the
+//! factor is restored, charging the copies to [`crate::TrafficStats`] like
+//! any other transfer — repair traffic is real traffic.
+//!
+//! The queue itself is deliberately dumb: FIFO plus dedup. All placement
+//! decisions stay in the store, where the ring, health map and traffic
+//! accounting live.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use std::collections::{BTreeSet, VecDeque};
+
+use cmif_core::symbol::Symbol;
+
+use crate::network::HostId;
+use crate::store::DistributedStore;
+
+/// One under-replicated object awaiting repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RepairItem {
+    /// A media block, by interned key.
+    Block(Symbol),
+    /// A published document, by interned name.
+    Document(Symbol),
+}
+
+impl RepairItem {
+    /// The object's key/name.
+    pub fn key(&self) -> Symbol {
+        match self {
+            RepairItem::Block(key) | RepairItem::Document(key) => *key,
+        }
+    }
+
+    /// `"block"` or `"document"`, for reports and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RepairItem::Block(_) => "block",
+            RepairItem::Document(_) => "document",
+        }
+    }
+}
+
+impl std::fmt::Display for RepairItem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} `{}`", self.kind(), self.key().as_str())
+    }
+}
+
+/// FIFO of objects suspected to be under-replicated, with duplicate
+/// suppression — a host-down scan touching a thousand keys enqueues each
+/// key once no matter how many scans run.
+#[derive(Debug, Default)]
+pub struct RepairQueue {
+    pending: VecDeque<RepairItem>,
+    queued: BTreeSet<RepairItem>,
+}
+
+impl RepairQueue {
+    /// Adds an item unless it is already queued; true when newly added.
+    pub fn enqueue(&mut self, item: RepairItem) -> bool {
+        if self.queued.insert(item) {
+            self.pending.push_back(item);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Takes the oldest queued item.
+    pub fn pop(&mut self) -> Option<RepairItem> {
+        let item = self.pending.pop_front()?;
+        self.queued.remove(&item);
+        Some(item)
+    }
+
+    /// Number of items waiting.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// One replica copy performed during a repair pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairAction {
+    /// What was copied.
+    pub item: RepairItem,
+    /// The surviving holder the copy came from.
+    pub from: HostId,
+    /// The host that received the new replica.
+    pub to: HostId,
+    /// Payload (or wire) bytes moved.
+    pub bytes: u64,
+    /// Simulated milliseconds the copy took.
+    pub simulated_ms: u64,
+}
+
+impl std::fmt::Display for RepairAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "re-replicated {} from `{}` to `{}` ({} bytes, {} ms)",
+            self.item, self.from, self.to, self.bytes, self.simulated_ms
+        )
+    }
+}
+
+/// Outcome of one repair pass over the queue.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Every replica copy performed, in order.
+    pub actions: Vec<RepairAction>,
+    /// Items restored to the full replication factor.
+    pub repaired: Vec<RepairItem>,
+    /// Items with *zero* surviving holders — unrecoverable data loss
+    /// (cannot happen from a single host loss at RF ≥ 2). Not re-queued.
+    pub lost: Vec<RepairItem>,
+    /// Items the pass could not (fully) restore this time — a copy failed
+    /// or too few serviceable target hosts exist. Re-queued for the next
+    /// pass only when a copy failed; a cluster that is simply too small
+    /// is not retried until membership changes.
+    pub deferred: Vec<RepairItem>,
+    /// Total payload/wire bytes copied.
+    pub bytes_copied: u64,
+    /// Total simulated milliseconds spent copying.
+    pub simulated_ms: u64,
+}
+
+impl RepairReport {
+    /// True when the pass left nothing to do and lost nothing.
+    pub fn is_clean(&self) -> bool {
+        self.lost.is_empty() && self.deferred.is_empty()
+    }
+}
+
+/// A background thread draining the store's repair queue — the "repair
+/// daemon" a real cluster would run. Polls the queue, runs
+/// [`DistributedStore::repair_all`] when work appears, and stops (joining
+/// the thread) on [`RepairWorker::stop`] or drop.
+#[derive(Debug)]
+pub struct RepairWorker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RepairWorker {
+    /// Spawns the worker over a shared store.
+    pub fn spawn(store: Arc<DistributedStore>) -> RepairWorker {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("cmif-repair".to_string())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    if store.pending_repairs() > 0 {
+                        store.repair_all();
+                    }
+                    thread::park_timeout(Duration::from_millis(1));
+                }
+            })
+            .ok();
+        RepairWorker { stop, handle }
+    }
+
+    /// Stops the worker and waits for its thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RepairWorker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_queue_deduplicates_and_preserves_fifo_order() {
+        let mut queue = RepairQueue::default();
+        let a = RepairItem::Block(Symbol::intern("repair-a"));
+        let b = RepairItem::Document(Symbol::intern("repair-b"));
+        assert!(queue.enqueue(a));
+        assert!(queue.enqueue(b));
+        assert!(!queue.enqueue(a), "duplicate suppressed");
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.pop(), Some(a));
+        // Popping releases the dedup slot: the key can queue again.
+        assert!(queue.enqueue(a));
+        assert_eq!(queue.pop(), Some(b));
+        assert_eq!(queue.pop(), Some(a));
+        assert!(queue.is_empty());
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn items_display_their_kind_and_key() {
+        let item = RepairItem::Block(Symbol::intern("speech"));
+        assert_eq!(item.to_string(), "block `speech`");
+        assert_eq!(item.kind(), "block");
+        let item = RepairItem::Document(Symbol::intern("news"));
+        assert_eq!(item.to_string(), "document `news`");
+    }
+}

@@ -1,0 +1,126 @@
+//! Bounded retry with exponential backoff and jitter for degraded fetches.
+//!
+//! When a replica source fails mid-transfer the store does not give up: it
+//! walks the surviving holders nearest-first and, between rounds, backs off
+//! exponentially so a glitching cluster is not hammered. The backoff is
+//! *simulated* milliseconds — it is added to the fetch's reported cost, not
+//! slept — and the jitter comes from a seeded generator, so every retry
+//! schedule is reproducible.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How a degraded fetch retries: attempt budget and backoff shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total transfer attempts per fetch across all replicas (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each round.
+    pub base_backoff_ms: u64,
+    /// Upper bound the exponential backoff saturates at.
+    pub max_backoff_ms: u64,
+    /// Extra uniform jitter in `[0, jitter_ms]` added to each backoff so
+    /// concurrent retries do not synchronize.
+    pub jitter_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms base doubling to at most 200 ms, ±5 ms jitter.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 10,
+            max_backoff_ms: 200,
+            jitter_ms: 5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with an explicit attempt budget (clamped to at least one)
+    /// and the default backoff shape.
+    pub fn with_attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A policy that never retries and never backs off — the pre-fault
+    /// behaviour, useful for benchmarks isolating raw transfer cost.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            jitter_ms: 0,
+        }
+    }
+
+    /// Simulated backoff before attempt number `attempt` (1-based): zero
+    /// before the first attempt, then `base · 2^(attempt-2)` saturating at
+    /// `max_backoff_ms`, plus uniform jitter from `rng`.
+    pub fn backoff_ms(&self, attempt: u32, rng: &mut SmallRng) -> u64 {
+        if attempt <= 1 || (self.base_backoff_ms == 0 && self.jitter_ms == 0) {
+            return 0;
+        }
+        let exponent = attempt.saturating_sub(2).min(32);
+        let exponential = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << exponent)
+            .min(self.max_backoff_ms.max(self.base_backoff_ms));
+        let jitter = if self.jitter_ms > 0 {
+            rng.gen_range(0..=self.jitter_ms)
+        } else {
+            0
+        };
+        exponential.saturating_add(jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backoff_doubles_then_saturates() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_ms: 10,
+            max_backoff_ms: 50,
+            jitter_ms: 0,
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        let schedule: Vec<u64> = (1..=7).map(|a| policy.backoff_ms(a, &mut rng)).collect();
+        assert_eq!(schedule, vec![0, 10, 20, 40, 50, 50, 50]);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seed_stable() {
+        let policy = RetryPolicy::default();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for attempt in 2..=20 {
+            let backoff = policy.backoff_ms(attempt, &mut rng);
+            let floor = policy
+                .base_backoff_ms
+                .saturating_mul(1 << (attempt - 2).min(32))
+                .min(policy.max_backoff_ms);
+            assert!(backoff >= floor && backoff <= floor + policy.jitter_ms);
+        }
+        let mut a = SmallRng::seed_from_u64(3);
+        let mut b = SmallRng::seed_from_u64(3);
+        let first: Vec<u64> = (1..=10).map(|n| policy.backoff_ms(n, &mut a)).collect();
+        let second: Vec<u64> = (1..=10).map(|n| policy.backoff_ms(n, &mut b)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn the_none_policy_is_a_single_free_attempt() {
+        let policy = RetryPolicy::none();
+        assert_eq!(policy.max_attempts, 1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(policy.backoff_ms(5, &mut rng), 0);
+        assert_eq!(RetryPolicy::with_attempts(0).max_attempts, 1);
+    }
+}

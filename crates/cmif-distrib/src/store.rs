@@ -20,14 +20,32 @@
 //! ([`DistributedStore::with_local_store`]) can re-enter the distributed
 //! store freely.
 //!
-//! Cross-host bookkeeping lives in two small, short-held structures: a
+//! Cross-host bookkeeping lives in small, short-held structures: a
 //! block → holders placement index (so locating a block is one map lookup
-//! instead of a scan over every host) and the [`TrafficStats`] accumulator.
+//! instead of a scan over every host), a document → holders index, the
+//! per-host health map, the repair queue, and the [`TrafficStats`]
+//! accumulator.
+//!
+//! # Fault tolerance
+//!
+//! The store survives a hostile cluster. Every transfer funnels through a
+//! single choke point that (a) consults the optional seeded [`FaultPlan`]
+//! — scripted host kills, transfer failures/delays, partitions — (b)
+//! gates on per-host health (`Up → Suspect → Down`, driven by observed
+//! failures), and (c) charges failed transfers to the failed-traffic
+//! counters. Degraded fetches walk the surviving replicas nearest-first
+//! under a [`RetryPolicy`]; hosts that go down get their blocks and
+//! documents queued for re-replication, which
+//! [`DistributedStore::repair_all`] (or a background
+//! [`crate::RepairWorker`]) drains until the replication factor is
+//! restored.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
 
 use parking_lot::{Mutex, RwLock};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 use cmif_core::descriptor::DataDescriptor;
 use cmif_core::symbol::Symbol;
@@ -36,9 +54,13 @@ use cmif_format::{document_to_bytes, WireEncoding, WireFormat};
 use cmif_media::store::BlockStore;
 use cmif_media::{MediaBlock, MediaError};
 
-use crate::error::{DistribError, Result};
+use crate::error::{DistribError, FetchAttempt, Result};
+use crate::fault::{FaultPlan, InjectedFault};
+use crate::health::{HealthPolicy, HealthState, HealthTransition, HostHealth};
 use crate::network::{HostId, Network};
 use crate::placement::PlacementRing;
+use crate::repair::{RepairAction, RepairItem, RepairQueue, RepairReport};
+use crate::retry::RetryPolicy;
 pub use crate::traffic::{LinkStats, TrafficStats};
 
 /// One host's storage shard. Everything mutable in here is guarded by this
@@ -94,6 +116,64 @@ struct BlockPlacement {
     holders: BTreeSet<HostId>,
 }
 
+/// Where a published document's copies live, plus its wire size. Kept so
+/// a republish can invalidate stale holders and so repair can restore a
+/// document's replication factor after a host loss.
+#[derive(Debug)]
+struct DocPlacement {
+    /// Wire-byte size of the current version.
+    bytes: u64,
+    /// The hosts currently holding the current version.
+    holders: BTreeSet<HostId>,
+}
+
+/// The result of one traced block fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchOutcome {
+    /// Simulated milliseconds the fetch took (transfer plus any retry
+    /// backoff); zero for a local hit.
+    pub simulated_ms: u64,
+    /// Transfer attempts performed (one for a clean remote fetch, zero
+    /// for a local hit).
+    pub attempts: u32,
+    /// True when the destination already held the block.
+    pub local: bool,
+    /// True when the fetch succeeded only after at least one failed
+    /// attempt — the block arrived, but over a degraded path.
+    pub degraded: bool,
+}
+
+impl FetchOutcome {
+    /// A local hit: nothing moved, nothing retried.
+    fn local_hit() -> FetchOutcome {
+        FetchOutcome {
+            simulated_ms: 0,
+            attempts: 0,
+            local: true,
+            degraded: false,
+        }
+    }
+}
+
+/// Aggregate trace of a multi-block fetch
+/// ([`DistributedStore::fetch_blocks_for_traced`]) — what a pipeline's
+/// media-staging step reports about the cluster weather it saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchReport {
+    /// Blocks requested.
+    pub requested: usize,
+    /// Blocks that moved over the network.
+    pub fetched: usize,
+    /// Blocks already local to the destination.
+    pub local_hits: usize,
+    /// Blocks that arrived only after at least one failed attempt.
+    pub degraded: usize,
+    /// Failed attempts recovered from across all blocks.
+    pub retries: u32,
+    /// Total simulated milliseconds (transfers plus retry backoff).
+    pub simulated_ms: u64,
+}
+
 /// The distributed store: a cluster of per-host shards, a consistent-hash
 /// placement policy with a configurable replication factor, and per-link
 /// traffic accounting.
@@ -103,15 +183,32 @@ pub struct DistributedStore {
     /// One shard per host; append-frozen at construction, hence lock-free.
     shards: BTreeMap<HostId, HostShard>,
     /// Consistent-hash ring choosing replica hosts for new blocks/documents.
-    ring: PlacementRing,
+    /// Behind a lock because decommissioning removes the host from the ring.
+    ring: RwLock<PlacementRing>,
     /// Number of hosts that receive a copy of each block/document.
     replication: usize,
     /// Block key → holders index (replaces scanning every host's keys).
     /// Keyed by interned symbol: lookups and inserts compare integers.
     placement: RwLock<BTreeMap<Symbol, BlockPlacement>>,
+    /// Document name → holders index, for republish invalidation and repair.
+    doc_placement: RwLock<BTreeMap<Symbol, DocPlacement>>,
     traffic: Mutex<TrafficStats>,
     /// The wire form new documents are published in (binary by default).
     wire: WireEncoding,
+    /// Per-host health records driving the `Up → Suspect → Down` machine.
+    health: RwLock<BTreeMap<HostId, HostHealth>>,
+    /// When observed failures suspect/down a host.
+    health_policy: HealthPolicy,
+    /// Every health transition, in order — the cluster's churn history.
+    health_log: Mutex<Vec<HealthTransition>>,
+    /// Optional seeded fault schedule every transfer is submitted to.
+    fault: Mutex<Option<FaultPlan>>,
+    /// How degraded fetches retry.
+    retry: RetryPolicy,
+    /// Jitter source for retry backoff (seeded; deterministic per store).
+    retry_rng: Mutex<SmallRng>,
+    /// Under-replicated objects awaiting re-replication.
+    repairs: Mutex<RepairQueue>,
 }
 
 impl DistributedStore {
@@ -147,18 +244,28 @@ impl DistributedStore {
 
     fn build(network: Network, replication: usize) -> DistributedStore {
         let mut shards = BTreeMap::new();
+        let mut health = BTreeMap::new();
         for host in network.hosts() {
             shards.insert(host.clone(), HostShard::default());
+            health.insert(host.clone(), HostHealth::default());
         }
         let ring = PlacementRing::new(network.hosts());
         DistributedStore {
             network,
             shards,
-            ring,
+            ring: RwLock::new(ring),
             replication,
             placement: RwLock::new(BTreeMap::new()),
+            doc_placement: RwLock::new(BTreeMap::new()),
             traffic: Mutex::new(TrafficStats::default()),
             wire: WireEncoding::default(),
+            health: RwLock::new(health),
+            health_policy: HealthPolicy::default(),
+            health_log: Mutex::new(Vec::new()),
+            fault: Mutex::new(None),
+            retry: RetryPolicy::default(),
+            retry_rng: Mutex::new(SmallRng::seed_from_u64(0xC31F)),
+            repairs: Mutex::new(RepairQueue::default()),
         }
     }
 
@@ -174,6 +281,38 @@ impl DistributedStore {
     /// The wire form new documents are published in.
     pub fn wire_encoding(&self) -> WireEncoding {
         self.wire
+    }
+
+    /// Installs a seeded fault schedule: every later transfer is submitted
+    /// to the plan, which may fail it, delay it, or fire scripted host
+    /// kills/partitions. The retry jitter source is reseeded from the
+    /// plan's seed, so the whole degraded run replays bit-for-bit.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> DistributedStore {
+        *self.retry_rng.get_mut() = SmallRng::seed_from_u64(plan.seed() ^ 0x9E37_79B9_7F4A_7C15);
+        *self.fault.get_mut() = Some(plan);
+        self
+    }
+
+    /// Chooses how degraded fetches retry (attempt budget, backoff shape).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> DistributedStore {
+        self.retry = policy;
+        self
+    }
+
+    /// Chooses when observed transfer failures suspect/down a host.
+    pub fn with_health_policy(mut self, policy: HealthPolicy) -> DistributedStore {
+        self.health_policy = policy;
+        self
+    }
+
+    /// The retry policy degraded fetches run under.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The thresholds driving observed health transitions.
+    pub fn health_policy(&self) -> HealthPolicy {
+        self.health_policy
     }
 
     /// The network this store simulates traffic over.
@@ -203,8 +342,56 @@ impl DistributedStore {
             .record(from, to, bytes, is_structure, ms);
     }
 
-    /// Computes a transfer's cost and records it.
+    /// Computes a transfer's cost and records it — via the fault-aware
+    /// choke point, blaming the source on failure.
     fn charge(&self, from: &str, to: &str, bytes: u64, is_structure: bool) -> Result<u64> {
+        self.attempt_transfer(from, to, bytes, is_structure, from)
+    }
+
+    /// The single choke point every simulated transfer goes through.
+    ///
+    /// Order matters: (1) the fault plan judges the attempt first, so
+    /// scripted churn due at this point of the sequence lands before the
+    /// health gate sees it; (2) the health gate rejects transfers touching
+    /// a down host; (3) the network prices the transfer (a missing link is
+    /// the legacy [`DistribError::Unreachable`] — topology, not weather);
+    /// (4) the injected verdict is applied — failures go to the
+    /// failed-traffic counters and blame `blame`'s health record,
+    /// deliveries are charged (plus any injected delay) and clear it.
+    ///
+    /// No lock is held across any other lock: fault, health, repair and
+    /// traffic are taken and released strictly in sequence.
+    fn attempt_transfer(
+        &self,
+        from: &str,
+        to: &str,
+        bytes: u64,
+        is_structure: bool,
+        blame: &str,
+    ) -> Result<u64> {
+        let decision = {
+            let mut fault = self.fault.lock();
+            fault.as_mut().map(|plan| plan.decide(from, to))
+        };
+        let (verdict, extra_ms) = match decision {
+            Some(decision) => {
+                for host in &decision.killed {
+                    self.force_health(host, HealthState::Down, "fault-kill");
+                }
+                for host in &decision.revived {
+                    self.force_health(host, HealthState::Up, "fault-revive");
+                }
+                (decision.fault, decision.extra_ms)
+            }
+            None => (None, 0),
+        };
+        for host in [from, to] {
+            if !self.is_serviceable(host) {
+                return Err(DistribError::HostDown {
+                    host: host.to_string(),
+                });
+            }
+        }
         let cost =
             self.network
                 .transfer_ms(from, to, bytes)
@@ -212,8 +399,236 @@ impl DistributedStore {
                     from: from.to_string(),
                     to: to.to_string(),
                 })?;
-        self.record(from, to, bytes, is_structure, cost);
-        Ok(cost)
+        match verdict {
+            Some(InjectedFault::Partitioned) => {
+                // Blocked before any bytes move: the attempt counts, the
+                // wire is never occupied.
+                self.traffic.lock().record_failure(from, to, 0, 0);
+                Err(DistribError::TransferPartitioned {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                })
+            }
+            Some(InjectedFault::TransferFailed) => {
+                // The transfer died mid-flight: the link was busy for the
+                // full window, the bytes delivered nothing.
+                self.traffic.lock().record_failure(from, to, bytes, cost);
+                self.observe_failure(blame);
+                Err(DistribError::TransferFailed {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                    bytes,
+                })
+            }
+            None => {
+                let total = cost + extra_ms;
+                self.record(from, to, bytes, is_structure, total);
+                self.observe_success(blame);
+                Ok(total)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Health and churn
+    // ------------------------------------------------------------------
+
+    /// The health state of one host.
+    pub fn health_of(&self, host: &str) -> Result<HealthState> {
+        self.shard(host)?;
+        Ok(self
+            .health
+            .read()
+            .get(host)
+            .map(|record| record.state())
+            .unwrap_or(HealthState::Up))
+    }
+
+    /// Every host with its current health state, in host order.
+    pub fn health_snapshot(&self) -> Vec<(HostId, HealthState)> {
+        self.health
+            .read()
+            .iter()
+            .map(|(host, record)| (host.clone(), record.state()))
+            .collect()
+    }
+
+    /// Every health transition observed so far, in order.
+    pub fn health_log(&self) -> Vec<HealthTransition> {
+        self.health_log.lock().clone()
+    }
+
+    /// True when the host may serve or receive transfers.
+    fn is_serviceable(&self, host: &str) -> bool {
+        self.health
+            .read()
+            .get(host)
+            .map(|record| record.state().is_serviceable())
+            .unwrap_or(false)
+    }
+
+    /// Errors with [`DistribError::HostDown`] when the host cannot serve.
+    fn ensure_serviceable(&self, host: &str) -> Result<()> {
+        if self.is_serviceable(host) {
+            Ok(())
+        } else {
+            Err(DistribError::HostDown {
+                host: host.to_string(),
+            })
+        }
+    }
+
+    /// Forces a host's health state, logging the transition; a move to
+    /// `Down`/`Decommissioned` queues its under-replicated objects.
+    fn force_health(&self, host: &str, state: HealthState, cause: &'static str) {
+        let previous = {
+            let mut health = self.health.write();
+            health.get_mut(host).and_then(|record| record.force(state))
+        };
+        if let Some(from) = previous {
+            self.health_log.lock().push(HealthTransition {
+                host: host.to_string(),
+                from,
+                to: state,
+                cause,
+            });
+            if !state.is_serviceable() {
+                self.scan_for_repairs(host);
+            }
+        }
+    }
+
+    /// Records a failed transfer against a host's health; an observed
+    /// `Down` transition queues the host's objects for repair.
+    fn observe_failure(&self, host: &str) {
+        let transition = {
+            let mut health = self.health.write();
+            health.get_mut(host).and_then(|record| {
+                let from = record.state();
+                record
+                    .observe_failure(&self.health_policy)
+                    .map(|to| (from, to))
+            })
+        };
+        if let Some((from, to)) = transition {
+            self.health_log.lock().push(HealthTransition {
+                host: host.to_string(),
+                from,
+                to,
+                cause: "observed-failure",
+            });
+            if to == HealthState::Down {
+                self.scan_for_repairs(host);
+            }
+        }
+    }
+
+    /// Records a successful transfer against a host's health (one good
+    /// round trip recovers a `Suspect` host).
+    fn observe_success(&self, host: &str) {
+        let transition = {
+            let mut health = self.health.write();
+            health.get_mut(host).and_then(|record| {
+                let from = record.state();
+                record.observe_success().map(|to| (from, to))
+            })
+        };
+        if let Some((from, to)) = transition {
+            self.health_log.lock().push(HealthTransition {
+                host: host.to_string(),
+                from,
+                to,
+                cause: "observed-success",
+            });
+        }
+    }
+
+    /// Administratively marks a host down (maintenance, or a drill). Its
+    /// blocks and documents are queued for re-replication; fetches skip it
+    /// until [`DistributedStore::mark_up`]. Errors on unknown or
+    /// decommissioned hosts.
+    pub fn mark_down(&self, host: &str) -> Result<()> {
+        self.shard(host)?;
+        if self.health_of(host)? == HealthState::Decommissioned {
+            return Err(DistribError::HostDown {
+                host: host.to_string(),
+            });
+        }
+        self.force_health(host, HealthState::Down, "mark-down");
+        Ok(())
+    }
+
+    /// Returns a down (or suspect) host to service. Errors on unknown or
+    /// decommissioned hosts — decommissioning is terminal.
+    pub fn mark_up(&self, host: &str) -> Result<()> {
+        self.shard(host)?;
+        if self.health_of(host)? == HealthState::Decommissioned {
+            return Err(DistribError::HostDown {
+                host: host.to_string(),
+            });
+        }
+        self.force_health(host, HealthState::Up, "mark-up");
+        Ok(())
+    }
+
+    /// Permanently removes a host from service: terminal health state,
+    /// off the placement ring (survivors keep their ring points — only
+    /// the departed host's ~`1/n` of the keys re-home), stripped from
+    /// every holder set, and everything it held queued for repair.
+    pub fn decommission(&self, host: &str) -> Result<()> {
+        self.shard(host)?;
+        // The repair scan inside runs while the holder sets still name the
+        // host, so everything it held is considered.
+        self.force_health(host, HealthState::Decommissioned, "decommission");
+        self.ring.write().remove_host(host);
+        {
+            let mut placement = self.placement.write();
+            for entry in placement.values_mut() {
+                entry.holders.remove(host);
+            }
+        }
+        {
+            let mut docs = self.doc_placement.write();
+            for entry in docs.values_mut() {
+                entry.holders.remove(host);
+            }
+        }
+        Ok(())
+    }
+
+    /// Queues every under-replicated object the (newly unserviceable)
+    /// host holds.
+    fn scan_for_repairs(&self, host: &str) {
+        let mut found: Vec<RepairItem> = Vec::new();
+        {
+            let placement = self.placement.read();
+            let health = self.health.read();
+            let live = |candidate: &HostId| {
+                health
+                    .get(candidate)
+                    .map(|record| record.state().is_serviceable())
+                    .unwrap_or(false)
+            };
+            for (key, entry) in placement.iter() {
+                if entry.holders.contains(host)
+                    && entry.holders.iter().filter(|h| live(h)).count() < self.replication
+                {
+                    found.push(RepairItem::Block(*key));
+                }
+            }
+            let docs = self.doc_placement.read();
+            for (name, entry) in docs.iter() {
+                if entry.holders.contains(host)
+                    && entry.holders.iter().filter(|h| live(h)).count() < self.replication
+                {
+                    found.push(RepairItem::Document(*name));
+                }
+            }
+        }
+        let mut repairs = self.repairs.lock();
+        for item in found {
+            repairs.enqueue(item);
+        }
     }
 
     /// Marks `host` as a holder of `key` in the placement index.
@@ -245,19 +660,24 @@ impl DistributedStore {
 
     /// Plans the replica fan-out for a new block/document while the calling
     /// operation is still side-effect free: the first `replication - 1`
-    /// ring-chosen hosts distinct from the origin, each validated to exist
-    /// and be reachable, paired with the transfer cost for `bytes`. Empty
-    /// without replication.
+    /// *serviceable* ring-chosen hosts distinct from the origin (down hosts
+    /// are skipped — the walk continues along the ring), each validated to
+    /// exist and be reachable, paired with the transfer cost for `bytes`.
+    /// Empty without replication. May return fewer targets than the factor
+    /// asks for when too few hosts are serviceable; the caller queues the
+    /// object for repair in that case.
     fn plan_replicas(&self, key: &str, origin: &str, bytes: u64) -> Result<Vec<(HostId, u64)>> {
         let mut replicas = Vec::new();
         if self.replication > 1 {
-            let targets: Vec<HostId> = self
-                .ring
-                .hosts_for(key, self.replication)
+            let candidates: Vec<HostId> = {
+                let ring = self.ring.read();
+                let all = ring.len();
+                ring.hosts_for(key, all).into_iter().cloned().collect()
+            };
+            let targets: Vec<HostId> = candidates
                 .into_iter()
-                .filter(|candidate| candidate.as_str() != origin)
+                .filter(|candidate| candidate.as_str() != origin && self.is_serviceable(candidate))
                 .take(self.replication - 1)
-                .cloned()
                 .collect();
             for target in targets {
                 self.shard(&target)?;
@@ -294,6 +714,7 @@ impl DistributedStore {
         descriptor: DataDescriptor,
     ) -> Result<u64> {
         let shard = self.shard(host)?;
+        self.ensure_serviceable(host)?;
         let key = Symbol::intern(&block.key);
         let bytes = block.payload.size_bytes();
         let replicas = self.plan_replicas(key.as_str(), host, bytes)?;
@@ -309,50 +730,61 @@ impl DistributedStore {
         // The last replica consumes the payload/descriptor instead of
         // cloning them: K replicas cost K payload copies, not K + 1.
         if let Some(payload) = replica_payload {
-            if let Some(((last_target, last_cost), rest)) = replicas.split_last() {
-                for (target, cost) in rest {
-                    total_cost += self.put_replica(
-                        host,
-                        target,
-                        *cost,
-                        key,
-                        payload.clone(),
-                        descriptor.clone(),
-                    )?;
+            if let Some(((last_target, _), rest)) = replicas.split_last() {
+                for (target, _) in rest {
+                    total_cost +=
+                        self.put_replica(host, target, key, payload.clone(), descriptor.clone())?;
                 }
-                total_cost +=
-                    self.put_replica(host, last_target, *last_cost, key, payload, descriptor)?;
+                total_cost += self.put_replica(host, last_target, key, payload, descriptor)?;
             }
+        }
+        // Too few serviceable hosts to satisfy the factor right now: the
+        // put still lands (degraded), and repair finishes the job once the
+        // cluster recovers.
+        if replicas.len() + 1 < self.replication {
+            self.enqueue_repair(RepairItem::Block(key));
         }
         Ok(total_cost)
     }
 
     /// Copies one planned replica to `target`, charging the transfer and
     /// indexing the new holder. Returns the cost charged — zero when the
-    /// target already holds the block (e.g. it was put there directly), in
-    /// which case nothing moved and nothing is charged.
+    /// target already holds the block (nothing moves, nothing is charged)
+    /// and zero when the copy was cut down by an injected fault: a failed
+    /// replica copy does not fail the put (the origin holds the data), it
+    /// queues the block for repair instead.
     fn put_replica(
         &self,
         origin: &str,
         target: &str,
-        cost: u64,
         key: Symbol,
         payload: cmif_media::MediaPayload,
         descriptor: DataDescriptor,
     ) -> Result<u64> {
         let bytes = payload.size_bytes();
-        match self
-            .shard(target)?
-            .blocks
-            .put_with_descriptor(MediaBlock::new(key.as_str(), payload), descriptor)
-        {
-            Ok(()) => {
-                self.record(origin, target, bytes, false, cost);
-                self.index_holder(key, bytes, target);
-                Ok(cost)
+        let shard = self.shard(target)?;
+        if shard.blocks.contains(key.as_str()) {
+            return Ok(0);
+        }
+        match self.attempt_transfer(origin, target, bytes, false, target) {
+            Ok(cost) => match shard
+                .blocks
+                .put_with_descriptor(MediaBlock::new(key.as_str(), payload), descriptor)
+            {
+                Ok(()) => {
+                    self.index_holder(key, bytes, target);
+                    Ok(cost)
+                }
+                // A direct put raced in after our contains check; the
+                // bytes moved, so the charge stands.
+                Err(MediaError::DuplicateBlock { .. }) => Ok(cost),
+                Err(e) => Err(DistribError::Media(e)),
+            },
+            Err(e) if e.is_retryable() => {
+                self.enqueue_repair(RepairItem::Block(key));
+                Ok(0)
             }
-            Err(MediaError::DuplicateBlock { .. }) => Ok(0),
-            Err(e) => Err(DistribError::Media(e)),
+            Err(e) => Err(e),
         }
     }
 
@@ -421,9 +853,12 @@ impl DistributedStore {
             .filter_map(|holder| {
                 self.network
                     .transfer_ms(holder, to, bytes)
-                    .map(|cost| (cost, holder))
+                    // Prefer healthy holders: a suspect source only serves
+                    // when every up holder is more expensive than its rank
+                    // penalty, a down one only when nothing else exists.
+                    .map(|cost| ((self.health_rank(holder), cost), holder))
             })
-            .min_by_key(|(cost, _)| *cost)
+            .min_by_key(|(rank, _)| *rank)
             .map(|(_, holder)| holder.clone())
             .ok_or_else(|| DistribError::Unreachable {
                 // Holder sets are never empty once indexed; name the first
@@ -431,6 +866,65 @@ impl DistributedStore {
                 from: entry.holders.iter().next().cloned().unwrap_or_default(),
                 to: to.to_string(),
             })
+    }
+
+    /// Sort rank of a host's health for source selection: `Up` hosts
+    /// first, then `Suspect`, then `Down`/`Decommissioned`.
+    fn health_rank(&self, host: &str) -> u8 {
+        match self
+            .health
+            .read()
+            .get(host)
+            .map(|record| record.state())
+            .unwrap_or(HealthState::Up)
+        {
+            HealthState::Up => 0,
+            HealthState::Suspect => 1,
+            HealthState::Down => 2,
+            HealthState::Decommissioned => 3,
+        }
+    }
+
+    /// Candidate sources for fetching `key` to `to`, nearest-first:
+    /// every indexed holder except `to` itself and decommissioned hosts,
+    /// ordered `Up` before `Suspect` before `Down` and by transfer cost
+    /// within a rank. Topology-unreachable holders are returned separately
+    /// so exhaustion can tell a configuration gap from cluster weather.
+    /// Errors with [`MediaError::UnknownBlock`] when nobody holds the key.
+    fn ranked_sources(&self, to: &str, key: Symbol) -> Result<(u64, Vec<HostId>, Vec<HostId>)> {
+        let (bytes, holders) = {
+            let placement = self.placement.read();
+            let entry = placement.get(&key).ok_or_else(|| {
+                DistribError::Media(MediaError::UnknownBlock {
+                    key: key.as_str().to_string(),
+                })
+            })?;
+            (
+                entry.bytes,
+                entry.holders.iter().cloned().collect::<Vec<HostId>>(),
+            )
+        };
+        let mut ranked: Vec<(u8, u64, HostId)> = Vec::new();
+        let mut unreachable: Vec<HostId> = Vec::new();
+        for holder in holders {
+            if holder == to {
+                continue;
+            }
+            let rank = self.health_rank(&holder);
+            if rank > 2 {
+                continue;
+            }
+            match self.network.transfer_ms(&holder, to, bytes) {
+                Some(cost) => ranked.push((rank, cost, holder)),
+                None => unreachable.push(holder),
+            }
+        }
+        ranked.sort();
+        Ok((
+            bytes,
+            ranked.into_iter().map(|(_, _, host)| host).collect(),
+            unreachable,
+        ))
     }
 
     /// Fetches a block's descriptor to `to` from the holder cheapest for
@@ -481,12 +975,19 @@ impl DistributedStore {
     /// the form the transport planner uses so a fetch loop over N keys does
     /// no string work at all.
     pub fn fetch_block_symbol(&self, to: &str, key: Symbol) -> Result<u64> {
+        Ok(self.fetch_block_traced(to, key)?.simulated_ms)
+    }
+
+    /// [`DistributedStore::fetch_block_symbol`], also reporting how the
+    /// block arrived: local hit, clean transfer, or a degraded fetch that
+    /// had to walk past failed replicas.
+    pub fn fetch_block_traced(&self, to: &str, key: Symbol) -> Result<FetchOutcome> {
         let dest = self.shard(to)?;
         {
             let mut inflight = lock_inflight(dest);
             loop {
                 if dest.blocks.contains(key.as_str()) {
-                    return Ok(0);
+                    return Ok(FetchOutcome::local_hit());
                 }
                 if !inflight.contains(&key) {
                     inflight.insert(key);
@@ -508,11 +1009,101 @@ impl DistributedStore {
         self.pull_block(dest, to, key)
     }
 
-    /// The actual transfer behind [`DistributedStore::fetch_block`]; runs
-    /// with the key reserved on the destination host.
-    fn pull_block(&self, dest: &HostShard, to: &str, key: Symbol) -> Result<u64> {
-        let from = self.select_source(to, key, None)?;
-        let source = self.shard(&from)?;
+    /// The retry walk behind [`DistributedStore::fetch_block`]; runs with
+    /// the key reserved on the destination host.
+    ///
+    /// Each round re-ranks the surviving holders nearest-first (health
+    /// before cost — a holder that just failed us is `Suspect` and sinks)
+    /// and tries them in order, charging exponential backoff with jitter
+    /// between attempts, until the block arrives or the
+    /// [`RetryPolicy`] budget runs out. Exhaustion is classified: any
+    /// mid-flight transfer failure in the trace ⇒
+    /// [`DistribError::RetriesExhausted`]; otherwise every path was cut by
+    /// down hosts or partitions ⇒ [`DistribError::Partitioned`]. When no
+    /// transfer was ever attempted because no holder has a link to `to`,
+    /// the legacy [`DistribError::Unreachable`] names the topology gap.
+    fn pull_block(&self, dest: &HostShard, to: &str, key: Symbol) -> Result<FetchOutcome> {
+        let mut attempts: Vec<FetchAttempt> = Vec::new();
+        let mut attempt_no: u32 = 0;
+        let mut backoff_total: u64 = 0;
+        'rounds: loop {
+            let (bytes, candidates, unreachable) = self.ranked_sources(to, key)?;
+            if candidates.is_empty() {
+                if attempts.is_empty() && !unreachable.is_empty() {
+                    // Pure topology gap, no dynamic faults involved: keep
+                    // the legacy error operators already know.
+                    return Err(DistribError::Unreachable {
+                        from: unreachable[0].clone(),
+                        to: to.to_string(),
+                    });
+                }
+                break;
+            }
+            let mut tried_any = false;
+            for from in candidates {
+                if attempt_no >= self.retry.max_attempts {
+                    break 'rounds;
+                }
+                attempt_no += 1;
+                let backoff = {
+                    let mut rng = self.retry_rng.lock();
+                    self.retry.backoff_ms(attempt_no, &mut rng)
+                };
+                backoff_total += backoff;
+                tried_any = true;
+                match self.try_pull_from(dest, to, key, &from, bytes) {
+                    Ok(cost) => {
+                        return Ok(FetchOutcome {
+                            simulated_ms: cost + backoff_total,
+                            attempts: attempt_no,
+                            local: false,
+                            degraded: !attempts.is_empty(),
+                        });
+                    }
+                    Err(error) if error.is_retryable() => attempts.push(FetchAttempt {
+                        attempt: attempt_no,
+                        source: from.clone(),
+                        error: Box::new(error),
+                        backoff_ms: backoff,
+                    }),
+                    Err(error) => return Err(error),
+                }
+            }
+            if !tried_any {
+                break;
+            }
+        }
+        let mid_flight = attempts
+            .iter()
+            .any(|a| matches!(*a.error, DistribError::TransferFailed { .. }));
+        if mid_flight {
+            Err(DistribError::RetriesExhausted {
+                to: to.to_string(),
+                key: key.as_str().to_string(),
+                attempts,
+            })
+        } else {
+            Err(DistribError::Partitioned {
+                to: to.to_string(),
+                key: key.as_str().to_string(),
+                attempts,
+            })
+        }
+    }
+
+    /// One transfer attempt of `key` from `from` to the reserved
+    /// destination: charge the (fault-judged) transfer first, then copy
+    /// payload and descriptor into the destination shard.
+    fn try_pull_from(
+        &self,
+        dest: &HostShard,
+        to: &str,
+        key: Symbol,
+        from: &str,
+        bytes: u64,
+    ) -> Result<u64> {
+        let cost = self.attempt_transfer(from, to, bytes, false, from)?;
+        let source = self.shard(from)?;
         let payload = source
             .blocks
             .payload(key.as_str())
@@ -522,25 +1113,18 @@ impl DistributedStore {
             .descriptor(key.as_str())
             .map_err(DistribError::Media)?;
         let bytes = payload.size_bytes();
-        let cost = self.network.transfer_ms(&from, to, bytes).ok_or_else(|| {
-            DistribError::Unreachable {
-                from: from.clone(),
-                to: to.to_string(),
-            }
-        })?;
         match dest
             .blocks
             .put_with_descriptor(MediaBlock::new(key.as_str(), payload), descriptor)
         {
             Ok(()) => {
-                self.record(&from, to, bytes, false, cost);
                 self.index_holder(key, bytes, to);
                 Ok(cost)
             }
             // A direct `put_block` to this host slipped in between our
-            // reservation and the insert: the block is local and no bytes
-            // moved on our behalf, so nothing is charged.
-            Err(MediaError::DuplicateBlock { .. }) => Ok(0),
+            // reservation and the insert: the block is local; the bytes we
+            // moved anyway stay charged.
+            Err(MediaError::DuplicateBlock { .. }) => Ok(cost),
             Err(e) => Err(DistribError::Media(e)),
         }
     }
@@ -562,28 +1146,78 @@ impl DistributedStore {
     /// fails the whole call with no partial state and no phantom traffic.
     pub fn publish_document(&self, host: &str, name: &str, doc: &Document) -> Result<usize> {
         let origin = self.shard(host)?;
+        self.ensure_serviceable(host)?;
         let name = Symbol::intern(name);
         let bytes = document_to_bytes(doc, self.wire).map_err(DistribError::Format)?;
         let size = bytes.len();
         let replicas = self.plan_replicas(name.as_str(), host, size as u64)?;
 
+        // Republish invalidation: a host holding an older version that the
+        // new replica set no longer names drops its stale bytes *before*
+        // the new version lands anywhere, so no reader is served the old
+        // document from a holder the placement no longer knows about.
+        let new_holders: BTreeSet<HostId> = std::iter::once(host.to_string())
+            .chain(replicas.iter().map(|(target, _)| target.clone()))
+            .collect();
+        let stale: Vec<HostId> = {
+            let docs = self.doc_placement.read();
+            docs.get(&name)
+                .map(|entry| {
+                    entry
+                        .holders
+                        .iter()
+                        .filter(|holder| !new_holders.contains(*holder))
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        for stale_host in &stale {
+            if let Ok(shard) = self.shard(stale_host) {
+                shard.documents.write().remove(&name);
+            }
+        }
+
+        let mut holders: BTreeSet<HostId> = BTreeSet::new();
+        holders.insert(host.to_string());
         // The last insert consumes `bytes` instead of cloning it: K
         // replicas cost K copies of the wire bytes, not K + 1.
         if replicas.is_empty() {
             origin.documents.write().insert(name, bytes);
-            return Ok(size);
+        } else {
+            let mut bytes = bytes;
+            origin.documents.write().insert(name, bytes.clone());
+            let last = replicas.len() - 1;
+            for (index, (target, _)) in replicas.into_iter().enumerate() {
+                let copy = if index == last {
+                    std::mem::take(&mut bytes)
+                } else {
+                    bytes.clone()
+                };
+                match self.attempt_transfer(host, &target, size as u64, true, &target) {
+                    Ok(_) => {
+                        self.shard(&target)?.documents.write().insert(name, copy);
+                        holders.insert(target);
+                    }
+                    // A replica copy lost to a fault does not fail the
+                    // publish; repair delivers the copy later.
+                    Err(e) if e.is_retryable() => {
+                        self.enqueue_repair(RepairItem::Document(name));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
         }
-        let mut bytes = bytes;
-        origin.documents.write().insert(name, bytes.clone());
-        let last = replicas.len() - 1;
-        for (index, (target, cost)) in replicas.into_iter().enumerate() {
-            let copy = if index == last {
-                std::mem::take(&mut bytes)
-            } else {
-                bytes.clone()
-            };
-            self.record(host, &target, size as u64, true, cost);
-            self.shard(&target)?.documents.write().insert(name, copy);
+        let under_replicated = holders.len() < self.replication;
+        self.doc_placement.write().insert(
+            name,
+            DocPlacement {
+                bytes: size as u64,
+                holders,
+            },
+        );
+        if under_replicated {
+            self.enqueue_repair(RepairItem::Document(name));
         }
         Ok(size)
     }
@@ -623,8 +1257,26 @@ impl DistributedStore {
             })?;
         self.charge(from, to, bytes.len() as u64, true)?;
         let doc = Document::from_read(&mut bytes.as_slice()).map_err(DistribError::Format)?;
+        let size = bytes.len() as u64;
         dest.documents.write().insert(name, bytes);
+        self.index_doc_holder(name, size, to);
         Ok(doc)
+    }
+
+    /// Marks `host` as a holder of document `name` in the document index.
+    fn index_doc_holder(&self, name: Symbol, bytes: u64, host: &str) {
+        let mut docs = self.doc_placement.write();
+        if let Some(entry) = docs.get_mut(&name) {
+            entry.holders.insert(host.to_string());
+        } else {
+            docs.insert(
+                name,
+                DocPlacement {
+                    bytes,
+                    holders: [host.to_string()].into_iter().collect(),
+                },
+            );
+        }
     }
 
     /// Reads a document a host already holds (no traffic), auto-detecting
@@ -641,15 +1293,169 @@ impl DistributedStore {
         Document::from_read(&mut bytes.as_slice()).map_err(DistribError::Format)
     }
 
+    /// Opens `name` on `to`, fetching the wire bytes from the nearest
+    /// surviving holder first when the host has no local copy. Like
+    /// [`DistributedStore::fetch_block`], the walk retries past down hosts
+    /// and cut links under the store's [`RetryPolicy`], and the fetched
+    /// copy lands in `to`'s shard so later opens are free. Exhaustion is
+    /// classified the same way: mid-flight failures ⇒
+    /// [`DistribError::RetriesExhausted`], otherwise
+    /// [`DistribError::Partitioned`] — both carrying the per-replica
+    /// attempt trace.
+    pub fn fetch_document(&self, to: &str, name: &str) -> Result<Document> {
+        let dest = self.shard(to)?;
+        let missing = || DistribError::UnknownDocument {
+            host: to.to_string(),
+            name: name.to_string(),
+        };
+        let sym = Symbol::lookup(name).ok_or_else(missing)?;
+        if dest.documents.read().contains_key(&sym) {
+            return self.open_document(to, name);
+        }
+        let (size, holders) = {
+            let docs = self.doc_placement.read();
+            let entry = docs.get(&sym).ok_or_else(missing)?;
+            (
+                entry.bytes,
+                entry.holders.iter().cloned().collect::<Vec<HostId>>(),
+            )
+        };
+        let mut attempts: Vec<FetchAttempt> = Vec::new();
+        let mut attempt_no: u32 = 0;
+        'rounds: loop {
+            // Re-rank each round: a holder that just failed us is Suspect
+            // now and sinks below healthier replicas.
+            let mut ranked: Vec<(u8, u64, HostId)> = Vec::new();
+            let mut unreachable: Vec<HostId> = Vec::new();
+            for holder in &holders {
+                if holder == to {
+                    continue;
+                }
+                let rank = self.health_rank(holder);
+                if rank > 2 {
+                    continue;
+                }
+                match self.network.transfer_ms(holder, to, size) {
+                    Some(cost) => ranked.push((rank, cost, holder.clone())),
+                    None => unreachable.push(holder.clone()),
+                }
+            }
+            ranked.sort();
+            if ranked.is_empty() {
+                if attempts.is_empty() && !unreachable.is_empty() {
+                    return Err(DistribError::Unreachable {
+                        from: unreachable[0].clone(),
+                        to: to.to_string(),
+                    });
+                }
+                break;
+            }
+            let mut tried_any = false;
+            for (_, _, from) in ranked {
+                if attempt_no >= self.retry.max_attempts {
+                    break 'rounds;
+                }
+                attempt_no += 1;
+                let backoff = {
+                    let mut rng = self.retry_rng.lock();
+                    self.retry.backoff_ms(attempt_no, &mut rng)
+                };
+                tried_any = true;
+                match self.try_transport_from(dest, to, sym, &from, size) {
+                    Ok(doc) => return Ok(doc),
+                    Err(error) if error.is_retryable() => attempts.push(FetchAttempt {
+                        attempt: attempt_no,
+                        source: from.clone(),
+                        error: Box::new(error),
+                        backoff_ms: backoff,
+                    }),
+                    Err(error) => return Err(error),
+                }
+            }
+            if !tried_any {
+                break;
+            }
+        }
+        let mid_flight = attempts
+            .iter()
+            .any(|a| matches!(*a.error, DistribError::TransferFailed { .. }));
+        if mid_flight {
+            Err(DistribError::RetriesExhausted {
+                to: to.to_string(),
+                key: name.to_string(),
+                attempts,
+            })
+        } else {
+            Err(DistribError::Partitioned {
+                to: to.to_string(),
+                key: name.to_string(),
+                attempts,
+            })
+        }
+    }
+
+    /// One transfer attempt of document `name`'s wire bytes from `from` to
+    /// the destination shard: charge the (fault-judged) structure transfer,
+    /// then copy and decode.
+    fn try_transport_from(
+        &self,
+        dest: &HostShard,
+        to: &str,
+        name: Symbol,
+        from: &str,
+        size: u64,
+    ) -> Result<Document> {
+        self.attempt_transfer(from, to, size, true, from)?;
+        let bytes = self
+            .shard(from)?
+            .documents
+            .read()
+            .get(&name)
+            .cloned()
+            .ok_or_else(|| DistribError::UnknownDocument {
+                host: from.to_string(),
+                name: name.as_str().to_string(),
+            })?;
+        let doc = Document::from_read(&mut bytes.as_slice()).map_err(DistribError::Format)?;
+        let size = bytes.len() as u64;
+        dest.documents.write().insert(name, bytes);
+        self.index_doc_holder(name, size, to);
+        Ok(doc)
+    }
+
     /// Fetches to `host` the payloads of exactly the given descriptor keys
     /// (e.g. only the blocks a device can present). Returns the total
     /// simulated transfer time.
     pub fn fetch_blocks_for(&self, host: &str, keys: &BTreeSet<Symbol>) -> Result<u64> {
-        let mut total = 0;
+        Ok(self.fetch_blocks_for_traced(host, keys)?.simulated_ms)
+    }
+
+    /// [`DistributedStore::fetch_blocks_for`], also reporting how the
+    /// blocks arrived — local hits, clean transfers, degraded fetches and
+    /// the retries they recovered from.
+    pub fn fetch_blocks_for_traced(
+        &self,
+        host: &str,
+        keys: &BTreeSet<Symbol>,
+    ) -> Result<FetchReport> {
+        let mut report = FetchReport {
+            requested: keys.len(),
+            ..FetchReport::default()
+        };
         for key in keys {
-            total += self.fetch_block_symbol(host, *key)?;
+            let outcome = self.fetch_block_traced(host, *key)?;
+            if outcome.local {
+                report.local_hits += 1;
+            } else {
+                report.fetched += 1;
+            }
+            if outcome.degraded {
+                report.degraded += 1;
+            }
+            report.retries += outcome.attempts.saturating_sub(1);
+            report.simulated_ms += outcome.simulated_ms;
         }
-        Ok(total)
+        Ok(report)
     }
 
     /// One host's local block store (for presentation pipelines running on
@@ -672,6 +1478,250 @@ impl DistributedStore {
     /// scoped form.
     pub fn with_local_store<R>(&self, host: &str, f: impl FnOnce(&BlockStore) -> R) -> Result<R> {
         Ok(f(self.local_store(host)?))
+    }
+
+    // ------------------------------------------------------------------
+    // Self-healing repair
+    // ------------------------------------------------------------------
+
+    /// Queues an object for re-replication (deduplicated).
+    fn enqueue_repair(&self, item: RepairItem) {
+        self.repairs.lock().enqueue(item);
+    }
+
+    /// Number of objects currently queued for repair.
+    pub fn pending_repairs(&self) -> usize {
+        self.repairs.lock().len()
+    }
+
+    /// Drains the repair queue once: every queued block/document is
+    /// re-replicated from its nearest surviving holder onto serviceable
+    /// ring-chosen hosts until the replication factor is restored, each
+    /// copy charged to [`TrafficStats`] like any other transfer. Items
+    /// whose copy fails transiently are re-queued for the next pass; items
+    /// with zero surviving holders are reported lost (impossible for a
+    /// single host loss at RF ≥ 2). The pass works on a snapshot of the
+    /// queue, so it always terminates even while faults keep enqueueing.
+    pub fn repair_all(&self) -> RepairReport {
+        let mut batch = Vec::new();
+        {
+            let mut repairs = self.repairs.lock();
+            while let Some(item) = repairs.pop() {
+                batch.push(item);
+            }
+        }
+        let mut report = RepairReport::default();
+        for item in batch {
+            match item {
+                RepairItem::Block(key) => self.repair_block(key, &mut report),
+                RepairItem::Document(name) => self.repair_document(name, &mut report),
+            }
+        }
+        report
+    }
+
+    /// The next ring-chosen serviceable host that does not already hold
+    /// the object — where a fresh replica should land.
+    fn repair_target(&self, key: &str, holders: &BTreeSet<HostId>) -> Option<HostId> {
+        let candidates: Vec<HostId> = {
+            let ring = self.ring.read();
+            let all = ring.len();
+            ring.hosts_for(key, all).into_iter().cloned().collect()
+        };
+        candidates.into_iter().find(|candidate| {
+            !holders.contains(candidate)
+                && self.is_serviceable(candidate)
+                && self.shards.contains_key(candidate.as_str())
+        })
+    }
+
+    /// Re-replicates one block until it has `replication` live copies.
+    fn repair_block(&self, key: Symbol, report: &mut RepairReport) {
+        let item = RepairItem::Block(key);
+        let Some((bytes, holders)) = ({
+            let placement = self.placement.read();
+            placement
+                .get(&key)
+                .map(|entry| (entry.bytes, entry.holders.clone()))
+        }) else {
+            return;
+        };
+        let mut live: BTreeSet<HostId> = holders
+            .iter()
+            .filter(|holder| {
+                self.is_serviceable(holder)
+                    && self
+                        .shards
+                        .get(holder.as_str())
+                        .map(|shard| shard.blocks.contains(key.as_str()))
+                        .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        if live.is_empty() {
+            report.lost.push(item);
+            return;
+        }
+        while live.len() < self.replication {
+            let Some(target) = self.repair_target(key.as_str(), &live) else {
+                // Too few serviceable hosts: nothing to retry until the
+                // cluster's membership changes.
+                report.deferred.push(item);
+                return;
+            };
+            let Some(source) = live
+                .iter()
+                .filter_map(|holder| {
+                    self.network
+                        .transfer_ms(holder, &target, bytes)
+                        .map(|cost| (cost, holder.clone()))
+                })
+                .min_by_key(|(cost, _)| *cost)
+                .map(|(_, holder)| holder)
+            else {
+                report.deferred.push(item);
+                return;
+            };
+            match self.copy_block(&source, &target, key, bytes) {
+                Ok(simulated_ms) => {
+                    report.actions.push(RepairAction {
+                        item,
+                        from: source,
+                        to: target.clone(),
+                        bytes,
+                        simulated_ms,
+                    });
+                    report.bytes_copied += bytes;
+                    report.simulated_ms += simulated_ms;
+                    live.insert(target);
+                }
+                Err(e) if e.is_retryable() => {
+                    // Transient (injected fault, host mid-flap): try again
+                    // on the next pass.
+                    report.deferred.push(item);
+                    self.enqueue_repair(item);
+                    return;
+                }
+                Err(_) => {
+                    report.deferred.push(item);
+                    return;
+                }
+            }
+        }
+        report.repaired.push(item);
+    }
+
+    /// One repair copy of a block from a surviving holder to a fresh host.
+    fn copy_block(&self, from: &str, to: &str, key: Symbol, bytes: u64) -> Result<u64> {
+        let cost = self.attempt_transfer(from, to, bytes, false, to)?;
+        let source = self.shard(from)?;
+        let payload = source
+            .blocks
+            .payload(key.as_str())
+            .map_err(DistribError::Media)?;
+        let descriptor = source
+            .blocks
+            .descriptor(key.as_str())
+            .map_err(DistribError::Media)?;
+        match self
+            .shard(to)?
+            .blocks
+            .put_with_descriptor(MediaBlock::new(key.as_str(), payload), descriptor)
+        {
+            Ok(()) | Err(MediaError::DuplicateBlock { .. }) => {
+                self.index_holder(key, bytes, to);
+                Ok(cost)
+            }
+            Err(e) => Err(DistribError::Media(e)),
+        }
+    }
+
+    /// Re-replicates one document until it has `replication` live copies.
+    fn repair_document(&self, name: Symbol, report: &mut RepairReport) {
+        let item = RepairItem::Document(name);
+        let Some((bytes, holders)) = ({
+            let docs = self.doc_placement.read();
+            docs.get(&name)
+                .map(|entry| (entry.bytes, entry.holders.clone()))
+        }) else {
+            return;
+        };
+        let mut live: BTreeSet<HostId> = holders
+            .iter()
+            .filter(|holder| {
+                self.is_serviceable(holder)
+                    && self
+                        .shards
+                        .get(holder.as_str())
+                        .map(|shard| shard.documents.read().contains_key(&name))
+                        .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        if live.is_empty() {
+            report.lost.push(item);
+            return;
+        }
+        while live.len() < self.replication {
+            let Some(target) = self.repair_target(name.as_str(), &live) else {
+                report.deferred.push(item);
+                return;
+            };
+            let Some(source) = live
+                .iter()
+                .filter_map(|holder| {
+                    self.network
+                        .transfer_ms(holder, &target, bytes)
+                        .map(|cost| (cost, holder.clone()))
+                })
+                .min_by_key(|(cost, _)| *cost)
+                .map(|(_, holder)| holder)
+            else {
+                report.deferred.push(item);
+                return;
+            };
+            let copied = self
+                .attempt_transfer(&source, &target, bytes, true, &target)
+                .and_then(|cost| {
+                    let wire = self
+                        .shard(&source)?
+                        .documents
+                        .read()
+                        .get(&name)
+                        .cloned()
+                        .ok_or_else(|| DistribError::UnknownDocument {
+                            host: source.clone(),
+                            name: name.as_str().to_string(),
+                        })?;
+                    self.shard(&target)?.documents.write().insert(name, wire);
+                    self.index_doc_holder(name, bytes, &target);
+                    Ok(cost)
+                });
+            match copied {
+                Ok(simulated_ms) => {
+                    report.actions.push(RepairAction {
+                        item,
+                        from: source,
+                        to: target.clone(),
+                        bytes,
+                        simulated_ms,
+                    });
+                    report.bytes_copied += bytes;
+                    report.simulated_ms += simulated_ms;
+                    live.insert(target);
+                }
+                Err(e) if e.is_retryable() => {
+                    report.deferred.push(item);
+                    self.enqueue_repair(item);
+                    return;
+                }
+                Err(_) => {
+                    report.deferred.push(item);
+                    return;
+                }
+            }
+        }
+        report.repaired.push(item);
     }
 }
 

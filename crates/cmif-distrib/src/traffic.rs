@@ -22,6 +22,13 @@ pub struct LinkStats {
     pub simulated_ms: u64,
     /// Number of transfers over this link.
     pub transfers: u64,
+    /// Bytes that were in flight on transfers that failed or were aborted.
+    /// Kept apart from `structure_bytes`/`media_bytes`: failed bytes
+    /// occupied the link but delivered nothing, so folding them into the
+    /// delivered counters would overstate goodput.
+    pub failed_bytes: u64,
+    /// Number of transfers over this link that failed or were aborted.
+    pub failed_transfers: u64,
 }
 
 impl LinkStats {
@@ -43,6 +50,10 @@ pub struct TrafficStats {
     pub simulated_ms: u64,
     /// Number of transfers performed.
     pub transfers: u64,
+    /// Bytes in flight on failed/aborted transfers, cluster-wide.
+    pub failed_bytes: u64,
+    /// Failed/aborted transfers, cluster-wide.
+    pub failed_transfers: u64,
     /// Per-link counters, keyed `from → to` (nested so lookups and updates
     /// borrow `&str` keys without allocating).
     per_link: BTreeMap<HostId, BTreeMap<HostId, LinkStats>>,
@@ -74,7 +85,8 @@ impl TrafficStats {
         self.per_link.values().map(BTreeMap::len).sum()
     }
 
-    /// Records one transfer in the totals and in the link's own counters.
+    /// Records one completed transfer in the totals and in the link's own
+    /// counters.
     pub(crate) fn record(&mut self, from: &str, to: &str, bytes: u64, is_structure: bool, ms: u64) {
         self.simulated_ms += ms;
         self.transfers += 1;
@@ -83,23 +95,42 @@ impl TrafficStats {
         } else {
             self.media_bytes += bytes;
         }
+        if let Some(link) = self.link_entry(from, to) {
+            link.simulated_ms += ms;
+            link.transfers += 1;
+            if is_structure {
+                link.structure_bytes += bytes;
+            } else {
+                link.media_bytes += bytes;
+            }
+        }
+    }
+
+    /// Records one failed/aborted transfer: the bytes it had in flight go
+    /// to the failed counters only — never into the delivered totals or
+    /// the `transfers` count — while any simulated time the link burned is
+    /// still charged (the wire was busy even though nothing arrived).
+    pub(crate) fn record_failure(&mut self, from: &str, to: &str, bytes: u64, ms: u64) {
+        self.simulated_ms += ms;
+        self.failed_bytes += bytes;
+        self.failed_transfers += 1;
+        if let Some(link) = self.link_entry(from, to) {
+            link.simulated_ms += ms;
+            link.failed_bytes += bytes;
+            link.failed_transfers += 1;
+        }
+    }
+
+    /// The mutable per-link entry for `(from, to)`, created on first use.
+    fn link_entry(&mut self, from: &str, to: &str) -> Option<&mut LinkStats> {
         if !self.per_link.contains_key(from) {
             self.per_link.insert(from.to_string(), BTreeMap::new());
         }
-        if let Some(inner) = self.per_link.get_mut(from) {
-            if !inner.contains_key(to) {
-                inner.insert(to.to_string(), LinkStats::default());
-            }
-            if let Some(link) = inner.get_mut(to) {
-                link.simulated_ms += ms;
-                link.transfers += 1;
-                if is_structure {
-                    link.structure_bytes += bytes;
-                } else {
-                    link.media_bytes += bytes;
-                }
-            }
+        let inner = self.per_link.get_mut(from)?;
+        if !inner.contains_key(to) {
+            inner.insert(to.to_string(), LinkStats::default());
         }
+        inner.get_mut(to)
     }
 }
 
@@ -136,6 +167,31 @@ mod tests {
             t += link.transfers;
         }
         assert_eq!((s, m, ms, t), (1_000, 2_500, 15, 3));
+    }
+
+    #[test]
+    fn failed_transfers_are_charged_separately_from_delivered_traffic() {
+        let mut stats = TrafficStats::default();
+        stats.record("server", "desk", 1_000, false, 4);
+        stats.record_failure("server", "desk", 3_000, 2);
+        stats.record_failure("server", "kiosk", 500, 0);
+
+        // Delivered totals are untouched by failures.
+        assert_eq!(stats.media_bytes, 1_000);
+        assert_eq!(stats.transfers, 1);
+        // Failures live in their own counters; link time is still charged.
+        assert_eq!(stats.failed_bytes, 3_500);
+        assert_eq!(stats.failed_transfers, 2);
+        assert_eq!(stats.simulated_ms, 6);
+
+        let desk = stats.link("server", "desk");
+        assert_eq!(desk.media_bytes, 1_000);
+        assert_eq!(desk.failed_bytes, 3_000);
+        assert_eq!(desk.failed_transfers, 1);
+        assert_eq!(desk.total_bytes(), 1_000, "failed bytes are not goodput");
+        // A link that only ever failed still shows up in the breakdown.
+        assert_eq!(stats.link("server", "kiosk").failed_transfers, 1);
+        assert_eq!(stats.links_used(), 2);
     }
 
     #[test]

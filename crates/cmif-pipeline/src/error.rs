@@ -10,6 +10,7 @@ use std::fmt;
 
 use cmif_core::diag::Diagnostic;
 use cmif_core::error::CoreError;
+use cmif_distrib::DistribError;
 use cmif_format::FormatError;
 use cmif_media::MediaError;
 use cmif_scheduler::SchedulerError;
@@ -50,6 +51,16 @@ pub enum PipelineError {
         /// The underlying interchange-format error.
         source: FormatError,
     },
+    /// A distributed-store error surfaced by a pipeline stage (a document
+    /// or media fetch over the cluster failed — host down, partition,
+    /// retries exhausted). The inner error keeps the per-replica attempt
+    /// trace when the fetch walked multiple replicas.
+    Distrib {
+        /// The pipeline stage that was running.
+        stage: &'static str,
+        /// The underlying distributed-store error.
+        source: DistribError,
+    },
     /// Static analysis refused the document: at least one deny-severity
     /// finding. Unlike the single [`CoreError`] the old stage-2 validator
     /// raised, this carries *every* collected diagnostic (warnings
@@ -70,6 +81,7 @@ impl PipelineError {
             | PipelineError::Media { stage, .. }
             | PipelineError::Scheduler { stage, .. }
             | PipelineError::Format { stage, .. }
+            | PipelineError::Distrib { stage, .. }
             | PipelineError::Lint { stage, .. } => stage,
         }
     }
@@ -82,6 +94,7 @@ impl PipelineError {
             PipelineError::Media { source, .. } => PipelineError::Media { stage, source },
             PipelineError::Scheduler { source, .. } => PipelineError::Scheduler { stage, source },
             PipelineError::Format { source, .. } => PipelineError::Format { stage, source },
+            PipelineError::Distrib { source, .. } => PipelineError::Distrib { stage, source },
             PipelineError::Lint { diagnostics, .. } => PipelineError::Lint { stage, diagnostics },
         }
     }
@@ -101,6 +114,12 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::Format { stage, source } => {
                 write!(f, "pipeline stage `{stage}`: wire format error: {source}")
+            }
+            PipelineError::Distrib { stage, source } => {
+                write!(
+                    f,
+                    "pipeline stage `{stage}`: distributed store error: {source}"
+                )
             }
             PipelineError::Lint { stage, diagnostics } => {
                 let denies = diagnostics.iter().filter(|d| d.is_deny()).count();
@@ -126,6 +145,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Media { source, .. } => Some(source),
             PipelineError::Scheduler { source, .. } => Some(source),
             PipelineError::Format { source, .. } => Some(source),
+            PipelineError::Distrib { source, .. } => Some(source),
             PipelineError::Lint { .. } => None,
         }
     }
@@ -158,6 +178,15 @@ impl From<FormatError> for PipelineError {
     }
 }
 
+impl From<DistribError> for PipelineError {
+    fn from(source: DistribError) -> Self {
+        PipelineError::Distrib {
+            stage: "fetch",
+            source,
+        }
+    }
+}
+
 impl From<SchedulerError> for PipelineError {
     fn from(source: SchedulerError) -> Self {
         PipelineError::Scheduler {
@@ -178,6 +207,16 @@ mod tests {
         let err = err.in_stage("viewing");
         assert_eq!(err.stage(), "viewing");
         assert!(err.to_string().contains("viewing"));
+    }
+
+    #[test]
+    fn distrib_errors_default_to_the_fetch_stage() {
+        let err: PipelineError = PipelineError::from(DistribError::HostDown { host: "d2".into() });
+        assert_eq!(err.stage(), "fetch");
+        assert!(err.to_string().contains("distributed store error"));
+        assert!(err.to_string().contains("d2"));
+        let err = err.in_stage("viewing");
+        assert_eq!(err.stage(), "viewing");
     }
 
     #[test]

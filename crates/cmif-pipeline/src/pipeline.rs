@@ -21,6 +21,7 @@
 //! the presentation map is reusable across devices, everything after is
 //! per-device.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -151,6 +152,11 @@ pub struct PipelineRun {
     pub storyboard: Vec<StoryboardFrame>,
     /// Playback simulation of the last run, when requested.
     pub playback: Option<PlaybackReport>,
+    /// How the document's media arrived when the run came through
+    /// [`PipelineBuilder::run_distributed`]: local hits, clean transfers,
+    /// degraded fetches and the retries they recovered from. `None` for
+    /// runs against a plain local store.
+    pub fetch: Option<cmif_distrib::FetchReport>,
     /// Non-refusing lint findings from stage 2 (warn severity): the run
     /// went ahead, but these are worth surfacing to an author. Render
     /// them with [`cmif_core::diag::render_all`] against the document's
@@ -496,9 +502,47 @@ impl PipelineBuilder {
             table_of_contents: toc,
             storyboard: frames,
             playback,
+            fetch: None,
             diagnostics,
             timings,
         })
+    }
+
+    /// Runs the pipeline for a document published on a distributed store,
+    /// as `host` would present it: the document structure comes from the
+    /// nearest surviving holder (free when `host` already holds a
+    /// replica), every referenced media block is fetched
+    /// nearest-replica-first — retrying past down hosts and cut links
+    /// under the store's [`cmif_distrib::RetryPolicy`] — and the stages
+    /// then run against the host's local shard. (Stages 2 and 4 resolve
+    /// every external reference against the local store, so even blocks
+    /// the device will drop must be present; a device-filtered *transport*
+    /// comparison is [`cmif_distrib::compare_transport`]'s job.)
+    ///
+    /// Distribution failures surface as `"fetch"`-stage
+    /// [`PipelineError::Distrib`] errors carrying the per-replica attempt
+    /// trace; a successful run reports how its media arrived in
+    /// [`PipelineRun::fetch`], so a caller can tell a clean run from one
+    /// that survived cluster weather.
+    pub fn run_distributed(
+        &self,
+        cluster: &cmif_distrib::DistributedStore,
+        host: &str,
+        name: &str,
+    ) -> Result<PipelineRun> {
+        let doc = cluster
+            .fetch_document(host, name)
+            .map_err(PipelineError::from)?;
+        let keys: BTreeSet<cmif_core::Symbol> = cmif_distrib::referenced_keys(&doc, None)
+            .into_iter()
+            .collect();
+        let fetch = cluster
+            .fetch_blocks_for_traced(host, &keys)
+            .map_err(PipelineError::from)?;
+        let store = cluster.local_store(host).map_err(PipelineError::from)?;
+        let mut run = self.run(&doc, store)?;
+        run.fetch = Some(fetch);
+        Ok(run)
     }
 }
 
@@ -795,6 +839,90 @@ mod tests {
         assert_eq!(err.stage(), "ingest");
         assert!(matches!(err, PipelineError::Format { .. }));
         assert!(builder.run_wire(b"not a document", &store).is_err());
+    }
+
+    fn build_cluster() -> (cmif_distrib::DistributedStore, Document) {
+        use cmif_distrib::network::{Link, Network};
+        let cluster = cmif_distrib::DistributedStore::with_replication(
+            Network::uniform(&["server", "desk", "mirror"], Link::lan()),
+            2,
+        )
+        .unwrap();
+        let mut generator = cmif_media::MediaGenerator::new(17);
+        for block in [
+            generator.audio("speech", 4_000, 8_000),
+            generator.video("film", 4_000, 160, 120, 24.0, 24),
+        ] {
+            let descriptor = block.describe();
+            cluster.put_block("server", block, descriptor).unwrap();
+        }
+        let doc = cluster
+            .with_local_store("server", |local| {
+                let catalog = local.export_catalog();
+                let mut builder = DocumentBuilder::new("news")
+                    .channel("audio", MediaKind::Audio)
+                    .channel("video", MediaKind::Video);
+                for descriptor in catalog.iter() {
+                    builder = builder.descriptor(descriptor.clone());
+                }
+                builder
+                    .root_par(|story| {
+                        story.ext("voice", "audio", "speech");
+                        story.ext("shot", "video", "film");
+                    })
+                    .build()
+                    .unwrap()
+            })
+            .unwrap();
+        cluster.publish_document("server", "news", &doc).unwrap();
+        (cluster, doc)
+    }
+
+    #[test]
+    fn run_distributed_fetches_media_and_reports_how_it_arrived() {
+        let (cluster, _doc) = build_cluster();
+        let builder = PipelineBuilder::new(DeviceProfile::workstation());
+        let run = builder.run_distributed(&cluster, "desk", "news").unwrap();
+        assert!(run.is_presentable(), "conflicts: {}", run.conflicts);
+        let fetch = run.fetch.as_ref().unwrap();
+        assert_eq!(fetch.requested, 2);
+        assert!(fetch.fetched + fetch.local_hits == 2);
+        assert_eq!(fetch.degraded, 0, "healthy cluster, no degraded fetches");
+        // Second run on the same host: everything is local now.
+        let again = builder.run_distributed(&cluster, "desk", "news").unwrap();
+        let fetch = again.fetch.as_ref().unwrap();
+        assert_eq!(fetch.local_hits, 2);
+        assert_eq!(fetch.fetched, 0);
+        assert_eq!(fetch.simulated_ms, 0);
+    }
+
+    #[test]
+    fn run_distributed_survives_a_down_holder_and_reports_degradation() {
+        let (cluster, _doc) = build_cluster();
+        // Kill the publisher; RF 2 means a replica of every block and of
+        // the document structure survives elsewhere.
+        cluster.mark_down("server").unwrap();
+        let run = PipelineBuilder::new(DeviceProfile::workstation())
+            .run_distributed(&cluster, "desk", "news")
+            .unwrap();
+        assert!(run.is_presentable(), "conflicts: {}", run.conflicts);
+        let fetch = run.fetch.as_ref().unwrap();
+        assert_eq!(fetch.fetched + fetch.local_hits, 2, "nothing lost");
+    }
+
+    #[test]
+    fn distributed_failures_surface_in_the_fetch_stage() {
+        let (cluster, _doc) = build_cluster();
+        let builder = PipelineBuilder::new(DeviceProfile::workstation());
+        let err = builder
+            .run_distributed(&cluster, "desk", "no-such-doc")
+            .unwrap_err();
+        assert_eq!(err.stage(), "fetch");
+        assert!(matches!(err, PipelineError::Distrib { .. }));
+        let err = builder
+            .run_distributed(&cluster, "no-such-host", "news")
+            .unwrap_err();
+        assert_eq!(err.stage(), "fetch");
     }
 
     #[test]

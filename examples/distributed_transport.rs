@@ -124,5 +124,68 @@ fn main() -> Result<()> {
         received.leaves().len(),
         received.channels.len()
     );
+
+    // --- Act two: the server dies mid-broadcast. -------------------------
+    // Same cluster shape, but now at replication factor 2 so losing the
+    // origin is survivable. The desk starts reading, the server is marked
+    // down partway through, and the remaining fetches walk to surviving
+    // replicas while the repair queue restores the replication factor.
+    let mut network = Network::uniform(&["cwi-server", "desk", "home"], Link::lan());
+    network.connect("cwi-server", "home", Link::wan());
+    let cluster = DistributedStore::with_replication(network, 2)?;
+    let mut generator = MediaGenerator::new(1991);
+    for descriptor in doc.catalog.iter() {
+        let block = match descriptor.medium {
+            MediaKind::Audio => generator.audio(
+                descriptor.key.as_str(),
+                descriptor.duration.map(|d| d.as_millis()).unwrap_or(1_000),
+                8_000,
+            ),
+            MediaKind::Video => generator.video(
+                descriptor.key.as_str(),
+                descriptor.duration.map(|d| d.as_millis()).unwrap_or(1_000),
+                64,
+                48,
+                25.0,
+                24,
+            ),
+            _ => generator.image(descriptor.key.as_str(), 320, 240, 24),
+        };
+        cluster.put_block("cwi-server", block, descriptor.clone())?;
+    }
+    cluster.publish_document("cwi-server", "evening-news", &doc)?;
+
+    println!("\n--- act two: origin dies mid-broadcast (RF 2) ---");
+    let keys = referenced_keys(&doc, None);
+    let (first_half, second_half) = keys.split_at(keys.len() / 2);
+    for key in first_half {
+        cluster.fetch_block("desk", key.as_str())?;
+    }
+    cluster.mark_down("cwi-server")?;
+    for key in second_half {
+        cluster.fetch_block("desk", key.as_str())?;
+    }
+    println!(
+        "desk finished the broadcast: {} blocks before the crash, {} after, \
+         all from surviving replicas",
+        first_half.len(),
+        second_half.len()
+    );
+    for transition in cluster.health_log() {
+        println!(
+            "  {}: {} -> {} ({})",
+            transition.host, transition.from, transition.to, transition.cause
+        );
+    }
+    let repair = cluster.repair_all();
+    println!(
+        "repair restored RF {} for {} object(s): {} B copied in {} simulated ms, \
+         {} lost",
+        cluster.replication_factor(),
+        repair.repaired.len(),
+        repair.bytes_copied,
+        repair.simulated_ms,
+        repair.lost.len()
+    );
     Ok(())
 }

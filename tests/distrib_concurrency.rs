@@ -214,3 +214,33 @@ fn consistent_hash_placement_is_stable_as_the_cluster_grows() {
     assert!(moved > keys / 20, "implausibly few keys moved: {moved}");
     assert!(moved < 2 * keys / 5, "too many keys moved: {moved}");
 }
+
+#[test]
+fn consistent_hash_placement_is_stable_as_the_cluster_shrinks() {
+    // The inverse of the growth test: removing one of five hosts must move
+    // only the departed host's keys, each landing on a surviving host.
+    let hosts: Vec<String> = (0..5).map(|i| format!("node-{i}")).collect();
+    let before = PlacementRing::new(&hosts);
+    let mut after = PlacementRing::new(&hosts);
+    assert!(after.remove_host("node-2"));
+    assert!(!after.contains("node-2"));
+
+    let keys = 1_000;
+    let mut moved = 0;
+    for i in 0..keys {
+        let key = format!("block-{i}");
+        let old = before.primary(&key).unwrap();
+        let new = after.primary(&key).unwrap();
+        assert_ne!(new, "node-2", "key `{key}` routed to the removed host");
+        if old != new {
+            moved += 1;
+            assert_eq!(
+                old, "node-2",
+                "key `{key}` moved despite its host surviving"
+            );
+        }
+    }
+    // ~1/5 of keys lived on the removed host; far from a full reshuffle.
+    assert!(moved > keys / 20, "implausibly few keys moved: {moved}");
+    assert!(moved < 2 * keys / 5, "too many keys moved: {moved}");
+}
