@@ -14,7 +14,7 @@
 //! admission gate, the pipeline) can carry diagnostics without depending on
 //! the linter.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::node::NodeId;
@@ -502,12 +502,24 @@ pub fn render_all(diagnostics: &[Diagnostic], sources: Option<&SourceMap>) -> St
 /// The parser records one of these and hangs it on
 /// [`crate::tree::Document::sources`]; documents built programmatically
 /// have none, and their diagnostics fall back to node paths.
+///
+/// Structural edits of a playing document mutate the tree *without*
+/// rewriting the source text, so an edited or inserted node's "span" would
+/// point at bytes that no longer describe it. Such nodes (and retimed arcs)
+/// are marked **synthetic** instead: [`SourceMap::node_span`] /
+/// [`SourceMap::arc_span`] return `None` for them, and the diagnostic
+/// renderer falls back to the node path — it never caret-underlines the
+/// wrong source line.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SourceMap {
     text: String,
     nodes: BTreeMap<u32, Span>,
     /// Arc spans, aligned with `Document::arcs()` order.
     arcs: Vec<Span>,
+    /// Nodes whose recorded span (if any) no longer describes them.
+    synthetic_nodes: BTreeSet<u32>,
+    /// Arc indices whose recorded span no longer describes them.
+    synthetic_arcs: BTreeSet<u32>,
 }
 
 impl SourceMap {
@@ -517,6 +529,8 @@ impl SourceMap {
             text: text.into(),
             nodes: BTreeMap::new(),
             arcs: Vec::new(),
+            synthetic_nodes: BTreeSet::new(),
+            synthetic_arcs: BTreeSet::new(),
         }
     }
 
@@ -536,15 +550,65 @@ impl SourceMap {
         self.arcs.push(span);
     }
 
-    /// The span of a node's expression, when recorded.
+    /// The span of a node's expression, when recorded and still accurate.
+    ///
+    /// Returns `None` for nodes marked synthetic by a structural edit.
     pub fn node_span(&self, node: NodeId) -> Option<Span> {
+        if self.synthetic_nodes.contains(&(node.index() as u32)) {
+            return None;
+        }
         self.nodes.get(&(node.index() as u32)).copied()
     }
 
     /// The span of the `index`-th explicit arc (in `Document::arcs()`
-    /// order), when recorded.
+    /// order), when recorded and still accurate.
+    ///
+    /// Returns `None` for arcs marked synthetic by a retime edit.
     pub fn arc_span(&self, index: usize) -> Option<Span> {
+        if self.synthetic_arcs.contains(&(index as u32)) {
+            return None;
+        }
         self.arcs.get(index).copied()
+    }
+
+    /// Marks a node's span as synthetic: the node was inserted or rewritten
+    /// by a live edit, so whatever span was recorded no longer describes it.
+    pub fn mark_synthetic(&mut self, node: NodeId) {
+        let index = node.index() as u32;
+        self.nodes.remove(&index);
+        self.synthetic_nodes.insert(index);
+    }
+
+    /// Whether a node's span was invalidated by a live edit.
+    pub fn is_synthetic(&self, node: NodeId) -> bool {
+        self.synthetic_nodes.contains(&(node.index() as u32))
+    }
+
+    /// Marks the `index`-th explicit arc's span as synthetic: the arc was
+    /// retimed by a live edit, so its recorded span no longer describes it.
+    pub fn mark_arc_synthetic(&mut self, index: usize) {
+        self.synthetic_arcs.insert(index as u32);
+    }
+
+    /// Whether an arc's span was invalidated by a live edit.
+    pub fn is_arc_synthetic(&self, index: usize) -> bool {
+        self.synthetic_arcs.contains(&(index as u32))
+    }
+
+    /// Drops the span slot of a removed arc, keeping the remaining spans
+    /// aligned with `Document::arcs()` after the removal shifts indices
+    /// above `index` down by one.
+    pub fn remove_arc_span(&mut self, index: usize) {
+        if index < self.arcs.len() {
+            self.arcs.remove(index);
+        }
+        let index = index as u32;
+        self.synthetic_arcs = self
+            .synthetic_arcs
+            .iter()
+            .filter(|&&i| i != index)
+            .map(|&i| if i > index { i - 1 } else { i })
+            .collect();
     }
 
     /// The 1-based `number`-th line of the source, without its terminator.

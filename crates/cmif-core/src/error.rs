@@ -119,6 +119,18 @@ pub enum CoreError {
         /// The path of the endpoint that failed to resolve.
         path: String,
     },
+    /// An explicit arc index did not refer to an arc of the document.
+    UnknownArc {
+        /// The out-of-range index into `Document::arcs()`.
+        index: usize,
+    },
+    /// A structural edit was rejected (removing the root, inserting under a
+    /// leaf, retiming a missing arc, swapping the descriptor of a
+    /// non-external node, …).
+    InvalidEdit {
+        /// Explanation of why the edit cannot apply.
+        reason: String,
+    },
     /// An offset was expressed in a media unit that cannot be converted for
     /// the channel or descriptor it applies to.
     UnitConversion {
@@ -222,6 +234,12 @@ impl fmt::Display for CoreError {
                     f,
                     "synchronization arc endpoint `{path}` could not be resolved"
                 )
+            }
+            CoreError::UnknownArc { index } => {
+                write!(f, "explicit arc #{index} does not exist in this document")
+            }
+            CoreError::InvalidEdit { reason } => {
+                write!(f, "the edit cannot be applied: {reason}")
             }
             CoreError::UnitConversion { reason } => {
                 write!(f, "media unit conversion failed: {reason}")

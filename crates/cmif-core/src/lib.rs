@@ -55,6 +55,7 @@ pub mod builder;
 pub mod channel;
 pub mod descriptor;
 pub mod diag;
+pub mod edit;
 pub mod error;
 pub mod node;
 pub mod path;
@@ -78,6 +79,7 @@ pub mod prelude {
         Selection,
     };
     pub use crate::diag::{Code, Diagnostic, Related, Severity, SeverityConfig, SourceMap};
+    pub use crate::edit::{DocRevision, Edit, EditDelta, NodeSpec};
     pub use crate::error::{CoreError, Result};
     pub use crate::node::{ImmediateData, Node, NodeId, NodeKind};
     pub use crate::path::NodePath;
@@ -86,7 +88,7 @@ pub mod prelude {
     pub use crate::style::{StyleDef, StyleDictionary};
     pub use crate::symbol::Symbol;
     pub use crate::time::{DelayMs, MaxDelay, MediaTime, MediaUnit, RateInfo, TimeMs};
-    pub use crate::tree::Document;
+    pub use crate::tree::{Document, RevisionToken};
     pub use crate::validate::{validate, validate_all};
     pub use crate::value::AttrValue;
 }

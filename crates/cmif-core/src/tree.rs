@@ -25,6 +25,51 @@ use crate::symbol::Symbol;
 use crate::time::TimeMs;
 use crate::value::AttrValue;
 
+/// Identity of one mutable state of a [`Document`].
+///
+/// Every mutation of a document (adding nodes, setting attributes, touching
+/// arcs) replaces its token with a fresh one drawn from a process-global
+/// counter, so two documents share a token id only when one is an unmutated
+/// clone of the other — in which case their contents are identical and any
+/// cache keyed by the id (the linter's constraint-fixpoint cache, an edit
+/// session's derived state) may serve both.
+///
+/// The token deliberately compares equal to every other token: it is an
+/// identity, not content, and must not disturb the document's structural
+/// `PartialEq` (wire round-trips produce equal documents with distinct
+/// tokens).
+#[derive(Debug, Clone)]
+pub struct RevisionToken {
+    id: u64,
+}
+
+impl RevisionToken {
+    fn fresh() -> RevisionToken {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        RevisionToken {
+            id: NEXT.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The token's process-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl PartialEq for RevisionToken {
+    fn eq(&self, _: &RevisionToken) -> bool {
+        true
+    }
+}
+
+impl Default for RevisionToken {
+    fn default() -> RevisionToken {
+        RevisionToken::fresh()
+    }
+}
+
 /// A complete CMIF document.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Document {
@@ -46,6 +91,9 @@ pub struct Document {
     /// can underline the offending bytes. Shared by `Arc` — cloning the
     /// document never copies the source text.
     pub sources: Option<std::sync::Arc<crate::diag::SourceMap>>,
+    /// Identity of this mutable state; replaced on every mutation. Always
+    /// compares equal, so structural document equality is unaffected.
+    revision: RevisionToken,
 }
 
 impl Document {
@@ -72,6 +120,20 @@ impl Document {
         id
     }
 
+    /// Replaces the revision token: called by every mutation path.
+    fn touch(&mut self) {
+        self.revision = RevisionToken::fresh();
+    }
+
+    /// The id of this document's current revision token.
+    ///
+    /// Two documents report the same id only when one is an unmutated clone
+    /// of the other, so the id is a safe cache key for anything derived
+    /// purely from document content (constraint sets, relaxation fixpoints).
+    pub fn revision_id(&self) -> u64 {
+        self.revision.id()
+    }
+
     /// The root node id.
     pub fn root(&self) -> Result<NodeId> {
         self.root.ok_or(CoreError::EmptyDocument)
@@ -81,6 +143,7 @@ impl Document {
     pub fn set_root(&mut self, kind: NodeKind) -> NodeId {
         let root = self.alloc(kind);
         self.root = Some(root);
+        self.touch();
         root
     }
 
@@ -96,8 +159,10 @@ impl Document {
             .ok_or(CoreError::UnknownNode { node: id })
     }
 
-    /// Mutable access to a node.
+    /// Mutable access to a node. Conservatively counts as a mutation: the
+    /// revision token is replaced even if the caller changes nothing.
     pub fn node_mut(&mut self, id: NodeId) -> Result<&mut Node> {
+        self.touch();
         self.nodes
             .get_mut(id.index())
             .ok_or(CoreError::UnknownNode { node: id })
@@ -116,6 +181,7 @@ impl Document {
         let id = self.alloc(kind);
         self.nodes[id.index()].parent = Some(parent);
         self.nodes[parent.index()].children.push(id);
+        self.touch();
         Ok(id)
     }
 
@@ -153,6 +219,7 @@ impl Document {
             siblings.retain(|c| *c != id);
         }
         self.nodes[id.index()].parent = None;
+        self.touch();
         Ok(())
     }
 
@@ -177,6 +244,7 @@ impl Document {
         }
         self.nodes[id.index()].parent = Some(new_parent);
         self.nodes[new_parent.index()].children.push(id);
+        self.touch();
         Ok(())
     }
 
@@ -195,6 +263,7 @@ impl Document {
         if name.is_root_only() && Some(id) != self.root {
             return Err(CoreError::RootOnlyAttribute { node: id, name });
         }
+        // `node_mut` replaces the revision token.
         self.node_mut(id)?.attrs.set(Attr::new(name, value));
         Ok(())
     }
@@ -523,7 +592,41 @@ impl Document {
         self.node(carrier)?;
         arc.validate()?;
         self.arcs.push((carrier, arc));
+        self.touch();
         Ok(())
+    }
+
+    /// Replaces the `index`-th explicit arc (in [`Document::arcs`] order)
+    /// with a new, validated arc on the same carrier. The arc's recorded
+    /// source span — if any — is marked synthetic: the source text no longer
+    /// describes the arc, so diagnostics fall back to paths instead of
+    /// underlining a stale line.
+    pub fn replace_arc(&mut self, index: usize, arc: SyncArc) -> Result<()> {
+        if index >= self.arcs.len() {
+            return Err(CoreError::UnknownArc { index });
+        }
+        arc.validate()?;
+        self.arcs[index].1 = arc;
+        if let Some(sources) = &mut self.sources {
+            std::sync::Arc::make_mut(sources).mark_arc_synthetic(index);
+        }
+        self.touch();
+        Ok(())
+    }
+
+    /// Removes the `index`-th explicit arc, returning its carrier and body.
+    /// The [`crate::diag::SourceMap`] arc spans are kept index-aligned: the
+    /// matching span entry is removed along with the arc.
+    pub fn remove_arc(&mut self, index: usize) -> Result<(NodeId, SyncArc)> {
+        if index >= self.arcs.len() {
+            return Err(CoreError::UnknownArc { index });
+        }
+        let removed = self.arcs.remove(index);
+        if let Some(sources) = &mut self.sources {
+            std::sync::Arc::make_mut(sources).remove_arc_span(index);
+        }
+        self.touch();
+        Ok(removed)
     }
 
     /// All explicit arcs with their carrying node.

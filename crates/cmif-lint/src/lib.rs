@@ -43,9 +43,15 @@
 
 pub mod passes;
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
 use cmif_core::diag::{Diagnostic, Severity, SeverityConfig, SourceMap};
 use cmif_core::tree::Document;
 use cmif_scheduler::{LintGate, ScheduleOptions};
+
+use passes::Fixpoint;
 
 pub use cmif_core::diag::{codes, Code};
 pub use passes::{LintContext, Pass};
@@ -68,13 +74,77 @@ impl Default for Limits {
     }
 }
 
+/// A per-revision cache of constraint-relaxation fixpoints.
+///
+/// The L1xx/L2xx timing passes all consult the same longest-path fixpoint
+/// over the derived constraint graph. Relaxing that graph dominates lint
+/// cost on large documents, so the [`Linter`] keeps the result keyed by the
+/// document's [`Document::revision_id`] (plus the derivation options that
+/// shaped the constraints): re-linting an unedited revision — as the live
+/// authoring loop does after every accepted edit of a *different* document,
+/// or the admission gate does when the same document is resubmitted — skips
+/// the relaxation entirely. A hit is only honoured when the freshly derived
+/// constraints still match the cached ones, so resolver or catalog changes
+/// behind an unchanged tree cannot serve a stale fixpoint.
+#[derive(Debug, Default)]
+pub struct LintCache {
+    entries: Mutex<HashMap<(u64, i64, bool), Arc<Fixpoint>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Entry bound before the cache wholesale-clears itself; crude, but a lint
+/// cache outliving 64 distinct revisions is churning, not converging.
+const CACHE_CAPACITY: usize = 64;
+
+impl LintCache {
+    fn lookup_or_compute(
+        &self,
+        doc: &Document,
+        options: &ScheduleOptions,
+        constraints: &[cmif_scheduler::Constraint],
+    ) -> Arc<Fixpoint> {
+        let key = (
+            doc.revision_id(),
+            options.default_discrete_ms,
+            options.fill_unknown_in_parallel,
+        );
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(entry) = entries.get(&key) {
+            if entry.constraints_match(constraints) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(entry);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fixpoint = Arc::new(Fixpoint::compute(doc, constraints.to_vec()));
+        if entries.len() >= CACHE_CAPACITY {
+            entries.clear();
+        }
+        entries.insert(key, Arc::clone(&fixpoint));
+        fixpoint
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// A configured lint run: severity policy, resource limits, and the
 /// derivation options used when passes consult the constraint graph.
+///
+/// Cloning a linter shares its [`LintCache`], so the engine admission gate
+/// (which clones per inspection, see [`admission_gate`]) still benefits from
+/// fixpoints cached by earlier inspections.
 #[derive(Debug, Clone, Default)]
 pub struct Linter {
     config: SeverityConfig,
     limits: Limits,
     options: ScheduleOptions,
+    cache: Arc<LintCache>,
 }
 
 impl Linter {
@@ -107,6 +177,13 @@ impl Linter {
         &self.config
     }
 
+    /// Fixpoint-cache counters as `(hits, misses)` — a hit means a lint run
+    /// reused a relaxation fixpoint cached for the same document revision
+    /// instead of re-relaxing the constraint graph.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
     /// Runs every registered pass over the document and grades the findings
     /// through the severity policy. `Allow`ed findings are dropped.
     /// External data references resolve against the document's own catalog;
@@ -124,6 +201,12 @@ impl Linter {
         resolver: &dyn cmif_core::descriptor::DescriptorResolver,
     ) -> LintReport {
         let ctx = LintContext::with_resolver(doc, resolver, &self.options, &self.limits);
+        if let Some(constraints) = ctx.constraints() {
+            let fixpoint = self
+                .cache
+                .lookup_or_compute(doc, &self.options, constraints);
+            ctx.install_fixpoint(fixpoint);
+        }
         let mut raw = Vec::new();
         for pass in passes::registry() {
             pass.run(&ctx, &mut raw);
@@ -467,6 +550,68 @@ mod tests {
         let relaxed = LintPolicy::Configured(SeverityConfig::new().allow(codes::MISSING_CHANNEL));
         assert!(gate.inspect(&doc, &relaxed).is_ok());
         assert!(gate.inspect(&valid_doc(), &LintPolicy::Default).is_ok());
+    }
+
+    #[test]
+    fn the_fixpoint_cache_hits_on_an_unchanged_revision() {
+        let linter = Linter::new();
+        let doc = valid_doc();
+        assert!(linter.check(&doc).is_clean());
+        assert_eq!(linter.cache_stats(), (0, 1), "cold run must miss");
+
+        // An unmutated clone shares the revision id, so the second run hits.
+        assert!(linter.check(&doc.clone()).is_clean());
+        assert_eq!(linter.cache_stats(), (1, 1));
+
+        // Any mutation mints a fresh revision id: back to a miss.
+        let mut edited = doc.clone();
+        let root = edited.root().unwrap();
+        let extra = edited.add_imm_text(root, "more").unwrap();
+        edited
+            .set_attr(extra, AttrName::Name, AttrValue::Id("more".into()))
+            .unwrap();
+        edited
+            .set_attr(extra, AttrName::Channel, AttrValue::Id("audio".into()))
+            .unwrap();
+        assert!(linter.check(&edited).is_clean());
+        assert_eq!(linter.cache_stats(), (1, 2));
+
+        // Clones of the linter share the cache (the admission gate relies
+        // on this — it clones per inspection).
+        assert!(linter.clone().check(&doc).is_clean());
+        assert_eq!(linter.cache_stats(), (2, 2));
+    }
+
+    #[test]
+    fn cached_and_cold_cycle_reports_are_identical() {
+        let mut doc = valid_doc();
+        let root = doc.root().unwrap();
+        let line = doc.add_imm_text(root, "caption line").unwrap();
+        doc.set_attr(line, AttrName::Name, AttrValue::Id("line".into()))
+            .unwrap();
+        doc.set_attr(line, AttrName::Channel, AttrValue::Id("audio".into()))
+            .unwrap();
+        let voice = doc.find("/voice").unwrap();
+        doc.add_arc(
+            line,
+            SyncArc::hard_start("../voice", "").with_offset(MediaTime::seconds(1)),
+        )
+        .unwrap();
+        doc.add_arc(
+            voice,
+            SyncArc::hard_start("../line", "").with_offset(MediaTime::seconds(1)),
+        )
+        .unwrap();
+
+        let linter = Linter::new();
+        let cold = linter.check(&doc);
+        let warm = linter.check(&doc);
+        assert_eq!(linter.cache_stats(), (1, 1));
+        assert_eq!(cold, warm, "a cached fixpoint must not change findings");
+        assert!(cold
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == codes::ARC_CYCLE));
     }
 
     #[test]

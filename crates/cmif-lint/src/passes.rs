@@ -9,7 +9,9 @@
 //! windows — statically, before a document ever costs an engine worker. The
 //! L2xx passes cover channels and resources.
 
+use std::cell::OnceCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use cmif_core::attr::AttrName;
 use cmif_core::descriptor::DescriptorResolver;
@@ -18,13 +20,155 @@ use cmif_core::error::CoreError;
 use cmif_core::node::{NodeId, NodeKind};
 use cmif_core::span::Span;
 use cmif_core::style::style_names;
+use cmif_core::time::TimeMs;
 use cmif_core::tree::{unassigned_channel, Document};
 use cmif_core::value::AttrValue;
 use cmif_scheduler::{
-    derive_constraints, Constraint, ConstraintGraph, ConstraintOrigin, EventPoint, ScheduleOptions,
+    derive_constraints, Constraint, ConstraintOrigin, EventPoint, PointTimes, ScheduleOptions,
 };
 
 use crate::Limits;
+
+/// The relaxed ASAP fixpoint of one document revision's derived constraint
+/// set — or the positive cycle that prevents one.
+///
+/// Computed at most once per lint run and shared by every timing pass
+/// (L101 consumes the cycle trace, L203 the event times), so no pass runs
+/// its own relaxation. The [`crate::Linter`] additionally caches entries
+/// per document revision, so re-linting an unchanged revision — the hot
+/// path of a live authoring loop, where every accepted edit triggers a
+/// fresh lint — skips relaxation entirely.
+#[derive(Debug)]
+pub struct Fixpoint {
+    /// The constraints the fixpoint was computed from, in derivation
+    /// order. Cache validation compares these on a revision-id hit: a
+    /// changed resolver or catalog changes the derived set even when the
+    /// tree itself is untouched.
+    constraints: Vec<Constraint>,
+    /// Event times at the fixpoint; empty when relaxation diverged.
+    times: PointTimes,
+    /// The recovered cycle when relaxation diverged.
+    cycle: Option<CycleTrace>,
+}
+
+/// The positive cycle recovered from a diverging relaxation: constraint
+/// indices along the loop, the point the loop closes on, and the size of
+/// the event-point graph (for the fallback message when recovery failed).
+#[derive(Debug)]
+struct CycleTrace {
+    route: Vec<usize>,
+    start: Option<EventPoint>,
+    points: usize,
+}
+
+impl Fixpoint {
+    /// Longest-path relaxation with predecessor tracking: a graph that is
+    /// still raising bounds after `|points| + 1` full passes contains a
+    /// positive cycle (Bellman–Ford), and the predecessor chain recovers
+    /// the arcs that form it.
+    pub(crate) fn compute(doc: &Document, constraints: Vec<Constraint>) -> Fixpoint {
+        let nodes = doc.preorder();
+        let mut times: HashMap<EventPoint, i64> = HashMap::with_capacity(nodes.len() * 2);
+        for node in &nodes {
+            times.insert(EventPoint::begin(*node), 0);
+            times.insert(EventPoint::end(*node), 0);
+        }
+        let mut pred: HashMap<EventPoint, usize> = HashMap::new();
+        let mut last_raised = None;
+        let max_passes = times.len() + 1;
+        let mut converged = false;
+        for _ in 0..max_passes {
+            let mut changed = false;
+            for (i, constraint) in constraints.iter().enumerate() {
+                let Some(&source_time) = times.get(&constraint.source) else {
+                    continue;
+                };
+                let bound = source_time
+                    .saturating_add(constraint.offset_ms)
+                    .saturating_add(constraint.min_delay_ms);
+                let entry = times.entry(constraint.target).or_insert(0);
+                if bound > *entry {
+                    *entry = bound;
+                    pred.insert(constraint.target, i);
+                    last_raised = Some(constraint.target);
+                    changed = true;
+                }
+            }
+            if !changed {
+                converged = true; // reached the fixpoint: no positive cycle
+                break;
+            }
+        }
+        if converged {
+            let times = times
+                .into_iter()
+                .map(|(point, t)| (point, TimeMs::from_millis(t)))
+                .collect();
+            return Fixpoint {
+                constraints,
+                times,
+                cycle: None,
+            };
+        }
+
+        // Still diverging: walk the predecessor chain |points| steps back
+        // from the last raised point to land inside a cycle, then collect
+        // it.
+        let points = times.len();
+        let mut route: Vec<usize> = Vec::new();
+        let mut start = None;
+        if let Some(mut probe) = last_raised {
+            for _ in 0..points {
+                match pred.get(&probe) {
+                    Some(&i) => probe = constraints[i].source,
+                    None => break,
+                }
+            }
+            let anchor = probe;
+            let mut cursor = probe;
+            loop {
+                let Some(&i) = pred.get(&cursor) else {
+                    route.clear();
+                    break;
+                };
+                route.push(i);
+                cursor = constraints[i].source;
+                if cursor == anchor {
+                    break;
+                }
+                if route.len() > points {
+                    route.clear();
+                    break;
+                }
+            }
+            route.reverse();
+            start = Some(anchor);
+        }
+        Fixpoint {
+            constraints,
+            times: PointTimes::new(),
+            cycle: Some(CycleTrace {
+                route,
+                start,
+                points,
+            }),
+        }
+    }
+
+    /// The event times at the fixpoint; `None` when relaxation diverged.
+    pub(crate) fn times(&self) -> Option<&PointTimes> {
+        if self.cycle.is_some() {
+            None
+        } else {
+            Some(&self.times)
+        }
+    }
+
+    /// Whether this fixpoint was computed from exactly `other`.
+    pub(crate) fn constraints_match(&self, other: &[Constraint]) -> bool {
+        self.constraints.as_slice() == other
+    }
+}
 
 /// Everything a pass may look at: the document, the derivation policy, the
 /// resource ceilings, and the pre-derived constraint set (shared by the
@@ -44,6 +188,9 @@ pub struct LintContext<'a> {
     /// store-backed document. Consulted by L202 and by derivation (leaf
     /// durations come from descriptors).
     resolver: &'a dyn DescriptorResolver,
+    /// The shared relaxation fixpoint, computed lazily on first use — or
+    /// installed up front from the linter's per-revision cache.
+    fixpoint: OnceCell<Option<Arc<Fixpoint>>>,
 }
 
 impl<'a> LintContext<'a> {
@@ -68,7 +215,33 @@ impl<'a> LintContext<'a> {
             limits,
             constraints,
             resolver,
+            fixpoint: OnceCell::new(),
         }
+    }
+
+    /// The derived constraint set, when derivation succeeded.
+    pub(crate) fn constraints(&self) -> Option<&[Constraint]> {
+        self.constraints.as_deref()
+    }
+
+    /// Installs a precomputed (cached) fixpoint. A no-op when one was
+    /// already computed for this context.
+    pub(crate) fn install_fixpoint(&self, fixpoint: Arc<Fixpoint>) {
+        let _ = self.fixpoint.set(Some(fixpoint));
+    }
+
+    /// The shared relaxation fixpoint, computed on first use when the
+    /// linter did not install a cached one. `None` when constraint
+    /// derivation failed (dangling endpoints and the like — reported by
+    /// their own passes).
+    fn fixpoint(&self) -> Option<&Fixpoint> {
+        self.fixpoint
+            .get_or_init(|| {
+                self.constraints
+                    .as_ref()
+                    .map(|c| Arc::new(Fixpoint::compute(self.doc, c.clone())))
+            })
+            .as_deref()
     }
 
     fn node_span(&self, node: NodeId) -> Option<Span> {
@@ -479,110 +652,56 @@ fn unreachable_nodes(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
 // L1xx — timing and synchronization
 // ---------------------------------------------------------------------------
 
-/// Longest-path relaxation with predecessor tracking: a graph that is still
-/// raising bounds after `|points| + 1` full passes contains a positive cycle
-/// (Bellman–Ford), and the predecessor chain recovers the arcs that form it.
+/// Reports the positive cycle recovered by the shared [`Fixpoint`]
+/// relaxation (computed once per lint run — or reused from the linter's
+/// per-revision cache — instead of per check).
 fn arc_cycles(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
-    let Some(constraints) = &ctx.constraints else {
-        return;
-    };
     if ctx.doc.root().is_err() {
         return;
     }
-    let nodes = ctx.doc.preorder();
-    let mut times: HashMap<EventPoint, i64> = HashMap::with_capacity(nodes.len() * 2);
-    for node in &nodes {
-        times.insert(EventPoint::begin(*node), 0);
-        times.insert(EventPoint::end(*node), 0);
-    }
-    let mut pred: HashMap<EventPoint, usize> = HashMap::new();
-    let mut last_raised = None;
-    let max_passes = times.len() + 1;
-    for _ in 0..max_passes {
-        let mut changed = false;
-        for (i, constraint) in constraints.iter().enumerate() {
-            let Some(&source_time) = times.get(&constraint.source) else {
-                continue;
-            };
-            let bound = source_time
-                .saturating_add(constraint.offset_ms)
-                .saturating_add(constraint.min_delay_ms);
-            let entry = times.entry(constraint.target).or_insert(0);
-            if bound > *entry {
-                *entry = bound;
-                pred.insert(constraint.target, i);
-                last_raised = Some(constraint.target);
-                changed = true;
+    let Some(fixpoint) = ctx.fixpoint() else {
+        return;
+    };
+    let Some(trace) = &fixpoint.cycle else {
+        return; // reached the fixpoint: no positive cycle
+    };
+    let constraints = &fixpoint.constraints;
+    let mut diag = match &trace.start {
+        Some(start) if !trace.route.is_empty() => {
+            let mut route: Vec<String> = trace
+                .route
+                .iter()
+                .map(|&i| ctx.point_str(&constraints[i].source))
+                .collect();
+            route.push(ctx.point_str(start));
+            let mut diag = Diagnostic::new(
+                codes::ARC_CYCLE,
+                format!(
+                    "synchronization arcs force these events ever later: {}",
+                    route.join(" -> ")
+                ),
+            );
+            let mut anchored = false;
+            for &i in &trace.route {
+                let constraint = &constraints[i];
+                if let ConstraintOrigin::Explicit { carrier, index } = constraint.origin {
+                    if !anchored {
+                        diag = ctx.at_arc(diag, carrier, index);
+                        anchored = true;
+                    }
+                }
+                diag = diag.with_related(ctx.describe_constraint(constraint));
             }
+            diag
         }
-        if !changed {
-            return; // reached the fixpoint: no positive cycle
-        }
-    }
-
-    // Still diverging: walk the predecessor chain |points| steps back from
-    // the last raised point to land inside a cycle, then collect it.
-    let Some(mut probe) = last_raised else { return };
-    for _ in 0..times.len() {
-        match pred.get(&probe) {
-            Some(&i) => probe = constraints[i].source,
-            None => break,
-        }
-    }
-    let start = probe;
-    let mut cycle: Vec<usize> = Vec::new();
-    let mut cursor = probe;
-    loop {
-        let Some(&i) = pred.get(&cursor) else {
-            cycle.clear();
-            break;
-        };
-        cycle.push(i);
-        cursor = constraints[i].source;
-        if cursor == start {
-            break;
-        }
-        if cycle.len() > times.len() {
-            cycle.clear();
-            break;
-        }
-    }
-    cycle.reverse();
-
-    let mut diag = if cycle.is_empty() {
-        Diagnostic::new(
+        _ => Diagnostic::new(
             codes::ARC_CYCLE,
             format!(
                 "the derived synchronization constraints contain a positive cycle \
                  over {} event points",
-                times.len()
+                trace.points
             ),
-        )
-    } else {
-        let mut route: Vec<String> = cycle
-            .iter()
-            .map(|&i| ctx.point_str(&constraints[i].source))
-            .collect();
-        route.push(ctx.point_str(&start));
-        let mut diag = Diagnostic::new(
-            codes::ARC_CYCLE,
-            format!(
-                "synchronization arcs force these events ever later: {}",
-                route.join(" -> ")
-            ),
-        );
-        let mut anchored = false;
-        for &i in &cycle {
-            let constraint = &constraints[i];
-            if let ConstraintOrigin::Explicit { carrier, index } = constraint.origin {
-                if !anchored {
-                    diag = ctx.at_arc(diag, carrier, index);
-                    anchored = true;
-                }
-            }
-            diag = diag.with_related(ctx.describe_constraint(constraint));
-        }
-        diag
+        ),
     };
     diag = diag.with_help(
         "a loop of positive offsets and delays is unsatisfiable (§5.3.3, conflict \
@@ -746,15 +865,12 @@ fn dangling_descriptors(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
 }
 
 fn channel_double_booking(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
-    let Some(constraints) = &ctx.constraints else {
-        return;
-    };
-    let Ok(mut graph) = ConstraintGraph::from_constraints(ctx.doc, constraints.clone()) else {
-        return;
-    };
     // A diverging graph is L101's report; without a fixpoint there are no
-    // times to compare.
-    let Ok(times) = graph.relax() else { return };
+    // times to compare. The times come from the shared (possibly cached)
+    // relaxation — this pass no longer builds and relaxes its own graph.
+    let Some(times) = ctx.fixpoint().and_then(Fixpoint::times) else {
+        return;
+    };
     let Ok(by_channel) = ctx.doc.leaves_by_channel() else {
         return;
     };

@@ -29,12 +29,14 @@ use std::time::{Duration, Instant};
 use crate::error::{PipelineError, Result};
 use cmif_core::descriptor::DescriptorResolver;
 use cmif_core::diag::Diagnostic;
+use cmif_core::edit::Edit;
 use cmif_core::tree::Document;
 use cmif_lint::Linter;
 use cmif_media::store::BlockStore;
 use cmif_scheduler::{
-    full_report, ConflictReport, ConstraintGraph, Engine, EngineConfig, JitterModel,
-    PlaybackReport, ScheduleOptions, SolveResult, Submission, TenantId,
+    full_report, ConflictReport, ConstraintGraph, DocId, DocOutcome, Engine, EngineConfig,
+    JitterModel, PlaybackReport, ScheduleOptions, SchedulerError, SolveResult, Submission,
+    TenantId,
 };
 
 use crate::constraint::{apply_plan, plan_filters, DeviceProfile, FilterPlan};
@@ -197,6 +199,8 @@ pub struct PipelineBuilder {
     /// Lazily initialised, shared by clones. Reset by any setter that
     /// changes the engine's configuration.
     engine: Arc<OnceLock<Engine>>,
+    /// Test-only fault injection threaded into the engine's jobs.
+    job_hook: Option<cmif_scheduler::JobHook>,
 }
 
 impl fmt::Debug for PipelineBuilder {
@@ -216,7 +220,22 @@ impl PipelineBuilder {
             device,
             options: PipelineOptions::default(),
             engine: Arc::new(OnceLock::new()),
+            job_hook: None,
         }
+    }
+
+    /// The shared stage-5c engine, started on first use from the current
+    /// options and kept across runs and clones.
+    fn stage5_engine(&self) -> &Engine {
+        self.engine.get_or_init(|| {
+            Engine::new(EngineConfig {
+                workers: self.options.playback_workers,
+                options: self.options.schedule,
+                max_backlog: self.options.playback_backlog,
+                job_hook: self.job_hook.clone(),
+                ..EngineConfig::default()
+            })
+        })
     }
 
     /// Forget any already-started engine: the next run starts a fresh one
@@ -285,6 +304,92 @@ impl PipelineBuilder {
     pub fn lint(mut self, linter: Linter) -> PipelineBuilder {
         self.options.lint = linter;
         self
+    }
+
+    /// Test-only fault injection for the stage-5c engine's jobs (see
+    /// [`cmif_scheduler::JobHook`]). Leave unset.
+    #[doc(hidden)]
+    pub fn playback_hook(mut self, hook: cmif_scheduler::JobHook) -> PipelineBuilder {
+        self.job_hook = Some(hook);
+        self.reset_engine();
+        self
+    }
+
+    /// Starts a *live* playback of `doc` on the shared stage-5c engine and
+    /// returns its admission ticket without waiting for it to finish — the
+    /// entry point of the paper's edit-while-playing authoring loop.
+    ///
+    /// The document passes stage-2 static analysis first (deny findings
+    /// refuse it exactly like [`PipelineBuilder::run`]); descriptors then
+    /// resolve against a snapshot of the store's catalog. While the
+    /// presentation plays, feed revisions in with
+    /// [`PipelineBuilder::edit_running`] and collect the final report —
+    /// including one [`cmif_scheduler::EditOutcome`] per routed edit —
+    /// with [`PipelineBuilder::wait_running`].
+    pub fn play_running(&self, doc: impl Into<Arc<Document>>, store: &BlockStore) -> Result<DocId> {
+        let shared = doc.into();
+        let report = self
+            .options
+            .lint
+            .clone()
+            .with_options(self.options.schedule)
+            .check_resolved(&shared, store);
+        if report.has_deny() {
+            return Err(PipelineError::Lint {
+                stage: "structure",
+                diagnostics: report.into_diagnostics(),
+            });
+        }
+        let catalog: Arc<dyn DescriptorResolver + Send + Sync> = Arc::new(store.export_catalog());
+        let submission = Submission::new(shared, self.options.jitter.clone())
+            .tenant(self.options.playback_tenant)
+            .resolver(catalog);
+        let engine = self.stage5_engine();
+        let admitted = match self.options.playback_backlog {
+            None => engine.admit(submission),
+            // A bounded stage never blocks the caller: overload surfaces
+            // as stage-tagged backpressure, like `run`'s stage 5c.
+            Some(_) => engine.try_admit(submission),
+        };
+        admitted.map_err(|e| PipelineError::from(e).in_stage("playback"))
+    }
+
+    /// Routes a live edit to a document playing under this builder's
+    /// engine ([`PipelineBuilder::play_running`]). The edit is validated
+    /// and applied at the presentation's next tick boundary —
+    /// already-fired events are never rewritten, the unplayed suffix is
+    /// re-scheduled incrementally — and its outcome lands in the
+    /// document's [`cmif_scheduler::DocOutcome::edits`].
+    ///
+    /// Fails with an `"edit"`-stage error when the ticket is unknown or
+    /// the presentation already completed (the edit then went nowhere).
+    pub fn edit_running(&self, doc: DocId, edit: Edit) -> Result<()> {
+        let Some(engine) = self.engine.get() else {
+            return Err(PipelineError::from(SchedulerError::EditRejected {
+                doc,
+                reason: "no playback engine is running",
+            })
+            .in_stage("edit"));
+        };
+        engine
+            .apply_edit(doc, edit)
+            .map_err(|e| PipelineError::from(e).in_stage("edit"))
+    }
+
+    /// Collects the outcome of a live playback started with
+    /// [`PipelineBuilder::play_running`], blocking until it finishes. The
+    /// outcome carries the playback report (or the error that ended the
+    /// run) plus one entry per live edit routed to the document, in
+    /// processing order.
+    pub fn wait_running(&self, doc: DocId) -> Result<DocOutcome> {
+        let Some(engine) = self.engine.get() else {
+            return Err(PipelineError::from(SchedulerError::EditRejected {
+                doc,
+                reason: "no playback engine is running",
+            })
+            .in_stage("playback"));
+        };
+        Ok(engine.wait(doc))
     }
 
     /// Runs pipeline stages 2–5 for a document whose media already sit in
@@ -420,14 +525,7 @@ impl PipelineBuilder {
                 Some(arc) => Arc::clone(arc),
                 None => Arc::new(doc.clone()),
             };
-            let engine = self.engine.get_or_init(|| {
-                Engine::new(EngineConfig {
-                    workers: options.playback_workers,
-                    options: options.schedule,
-                    max_backlog: options.playback_backlog,
-                    ..EngineConfig::default()
-                })
-            });
+            let engine = self.stage5_engine();
             let submissions = (0..options.playback_runs).map(|run| {
                 let jitter = JitterModel {
                     seed: options.jitter.seed.wrapping_add(run as u64),
@@ -734,6 +832,81 @@ mod tests {
             .run(&doc, &store)
             .unwrap();
         assert_eq!(unbounded.playback, bounded.playback);
+    }
+
+    #[test]
+    fn live_playback_accepts_edits_and_reports_their_outcomes() {
+        use cmif_core::edit::NodeSpec;
+        use cmif_scheduler::JobHook;
+        use std::sync::Barrier;
+
+        let (doc, store) = build_fixture();
+        let root = doc.root().unwrap();
+        // Park the job at its start behind a barrier: the edit below is
+        // guaranteed to arrive while the presentation is still live.
+        let gate = Arc::new(Barrier::new(2));
+        let parked = Arc::clone(&gate);
+        let builder = PipelineBuilder::new(DeviceProfile::workstation()).playback_hook(
+            JobHook::new(move |_| {
+                parked.wait();
+            }),
+        );
+        let id = builder.play_running(doc, &store).unwrap();
+        builder
+            .edit_running(
+                id,
+                Edit::InsertSubtree {
+                    parent: root,
+                    spec: NodeSpec::imm_text("coda", "breaking update")
+                        .on_channel("caption")
+                        .lasting_ms(6_000),
+                },
+            )
+            .unwrap();
+        gate.wait(); // release the job: the edit folds in before playback
+
+        let outcome = builder.wait_running(id).unwrap();
+        let report = outcome.result.expect("edited run still plays");
+        assert_eq!(report.total_duration, TimeMs::from_secs(6));
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.name == cmif_core::Symbol::intern("coda")));
+        assert_eq!(outcome.edits.len(), 1);
+        assert!(outcome.edits[0].result.is_ok(), "{:?}", outcome.edits[0]);
+
+        // A completed presentation no longer accepts edits…
+        let err = builder
+            .edit_running(id, Edit::RemoveSubtree { node: root })
+            .unwrap_err();
+        assert_eq!(err.stage(), "edit");
+        // …and a builder that never played anything refuses outright.
+        let idle = PipelineBuilder::new(DeviceProfile::workstation());
+        let err = idle
+            .edit_running(id, Edit::RemoveSubtree { node: root })
+            .unwrap_err();
+        assert_eq!(err.stage(), "edit");
+        assert!(matches!(
+            err,
+            PipelineError::Scheduler {
+                source: SchedulerError::EditRejected { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn play_running_lints_before_admitting() {
+        let (mut doc, store) = build_fixture();
+        let root = doc.root().unwrap();
+        let orphan = doc.add_ext(root).unwrap();
+        doc.set_attr(orphan, AttrName::Channel, AttrValue::Id("audio".into()))
+            .unwrap();
+        let err = PipelineBuilder::new(DeviceProfile::workstation())
+            .play_running(doc, &store)
+            .unwrap_err();
+        assert_eq!(err.stage(), "structure");
+        assert!(matches!(err, PipelineError::Lint { .. }));
     }
 
     #[test]

@@ -42,6 +42,18 @@ pub fn derive_constraints(
 
 /// Default arcs from the tree structure (fork/join shapes of §5.3.1).
 pub fn derive_structural(doc: &Document, node: NodeId, out: &mut Vec<Constraint>) -> Result<()> {
+    shell_constraints(doc, node, out)?;
+    for child in doc.children(node)?.to_vec() {
+        derive_structural(doc, child, out)?;
+    }
+    Ok(())
+}
+
+/// The structural *shell* of one composite node: the default arcs §5.3.1
+/// derives from the node's own child list, without recursing into the
+/// children. Incremental re-solvers re-derive exactly the shells of nodes
+/// whose child list changed.
+pub fn shell_constraints(doc: &Document, node: NodeId, out: &mut Vec<Constraint>) -> Result<()> {
     let kind = doc.node(node)?.kind.clone();
     let children = doc.children(node)?.to_vec();
     match kind {
@@ -99,9 +111,6 @@ pub fn derive_structural(doc: &Document, node: NodeId, out: &mut Vec<Constraint>
         }
         NodeKind::Ext | NodeKind::Imm(_) => {}
     }
-    for child in children {
-        derive_structural(doc, child, out)?;
-    }
     Ok(())
 }
 
@@ -113,35 +122,46 @@ fn derive_durations(
     out: &mut Vec<Constraint>,
 ) -> Result<()> {
     for leaf in doc.leaves() {
-        let duration = match doc.duration_of(leaf, resolver)? {
-            Some(d) => d.as_millis(),
-            None => {
-                let parent_is_par = match doc.parent(leaf)? {
-                    Some(parent) => doc.node(parent)?.kind == NodeKind::Par,
-                    None => false,
-                };
-                if options.fill_unknown_in_parallel && parent_is_par {
-                    // Filling leaves impose no duration of their own; the
-                    // parallel join will still hold the parent open for the
-                    // other children, and the player stretches the fill leaf
-                    // to its parent's extent.
-                    0
-                } else {
-                    options.default_discrete_ms
-                }
-            }
-        };
-        out.push(Constraint {
-            source: EventPoint::begin(leaf),
-            target: EventPoint::end(leaf),
-            offset_ms: duration,
-            min_delay_ms: 0,
-            max_delay_ms: None,
-            strictness: Strictness::Must,
-            origin: ConstraintOrigin::LeafDuration,
-        });
+        out.push(leaf_duration_constraint(doc, resolver, options, leaf)?);
     }
     Ok(())
+}
+
+/// The rigid begin → end relation of one leaf: its intrinsic duration, or
+/// the fill policy of [`ScheduleOptions`] when the duration is unknown.
+pub fn leaf_duration_constraint(
+    doc: &Document,
+    resolver: &dyn DescriptorResolver,
+    options: &ScheduleOptions,
+    leaf: NodeId,
+) -> Result<Constraint> {
+    let duration = match doc.duration_of(leaf, resolver)? {
+        Some(d) => d.as_millis(),
+        None => {
+            let parent_is_par = match doc.parent(leaf)? {
+                Some(parent) => doc.node(parent)?.kind == NodeKind::Par,
+                None => false,
+            };
+            if options.fill_unknown_in_parallel && parent_is_par {
+                // Filling leaves impose no duration of their own; the
+                // parallel join will still hold the parent open for the
+                // other children, and the player stretches the fill leaf
+                // to its parent's extent.
+                0
+            } else {
+                options.default_discrete_ms
+            }
+        }
+    };
+    Ok(Constraint {
+        source: EventPoint::begin(leaf),
+        target: EventPoint::end(leaf),
+        offset_ms: duration,
+        min_delay_ms: 0,
+        max_delay_ms: None,
+        strictness: Strictness::Must,
+        origin: ConstraintOrigin::LeafDuration,
+    })
 }
 
 /// Explicit arcs, with offsets converted onto the document clock using the
@@ -151,6 +171,17 @@ fn derive_explicit(
     resolver: &dyn DescriptorResolver,
     out: &mut Vec<Constraint>,
 ) -> Result<()> {
+    out.extend(explicit_constraints(doc, resolver)?);
+    Ok(())
+}
+
+/// The explicit arc constraints of a document, in [`Document::arcs`] order
+/// (constraint `i` corresponds to arc `i`).
+pub fn explicit_constraints(
+    doc: &Document,
+    resolver: &dyn DescriptorResolver,
+) -> Result<Vec<Constraint>> {
+    let mut out = Vec::with_capacity(doc.arcs().len());
     for (index, (carrier, arc, source, destination)) in doc.resolved_arcs()?.into_iter().enumerate()
     {
         let rates = rates_of(doc, source, resolver)?;
@@ -175,7 +206,7 @@ fn derive_explicit(
             origin: ConstraintOrigin::Explicit { carrier, index },
         });
     }
-    Ok(())
+    Ok(out)
 }
 
 /// The rate table of a node: its descriptor's rates when it is an external

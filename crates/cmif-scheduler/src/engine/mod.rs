@@ -50,6 +50,17 @@
 //! the report produced for a document is identical whether it played alone
 //! or next to 63 concurrent siblings — and regardless of which worker
 //! stole it.
+//!
+//! **Live edits.** Every admitted document owns an edit mailbox for its
+//! whole engine lifetime. [`Engine::apply_edit`] routes a
+//! [`cmif_core::edit::Edit`] into that mailbox from any thread; the owning
+//! worker drains it before solving and again at every tick boundary,
+//! repairing the constraint fixpoint incrementally
+//! ([`crate::author::EditSession`]) and swapping the playing session onto
+//! the new revision ([`crate::session::PlayerSession::swap_revision`]).
+//! Each routed edit is accounted for exactly once in
+//! [`DocOutcome::edits`] — applied at a boundary, refused by validation,
+//! or rejected because it arrived after the document completed.
 
 mod queue;
 mod tenant;
@@ -69,8 +80,11 @@ use std::time::Instant;
 
 use cmif_core::descriptor::DescriptorResolver;
 use cmif_core::diag::{Diagnostic, SeverityConfig};
+use cmif_core::edit::{DocRevision, Edit};
+use cmif_core::time::TimeMs;
 use cmif_core::tree::Document;
 
+use crate::author::EditSession;
 use crate::environment::JitterModel;
 use crate::error::{Result, SchedulerError};
 use crate::graph::ConstraintGraph;
@@ -235,12 +249,37 @@ impl Default for EngineConfig {
 
 /// Identifier of one admitted document, in admission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct DocId(u64);
+pub struct DocId(pub(crate) u64);
 
 impl std::fmt::Display for DocId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "doc#{}", self.0)
     }
+}
+
+/// A mailbox of live edits routed to one admitted document
+/// ([`Engine::apply_edit`]), drained by the owning worker at tick
+/// boundaries. A leaf lock: it may be taken while holding any engine lock,
+/// and no other lock is ever taken while it is held.
+type Mailbox = Arc<Mutex<Vec<Edit>>>;
+
+/// The fate of one live edit routed through [`Engine::apply_edit`],
+/// reported in [`DocOutcome::edits`] in the order the owning worker
+/// processed them.
+#[derive(Debug, Clone)]
+pub struct EditOutcome {
+    /// The edit as routed.
+    pub edit: Edit,
+    /// The presentation time (tick boundary) at which the worker processed
+    /// the edit; [`TimeMs::ZERO`] when it was folded into the document
+    /// before playback began — or never reached a running session at all.
+    pub at: TimeMs,
+    /// `Ok(())` when the revision applied and the playing session swapped
+    /// onto it; otherwise the validation or repair error that refused it
+    /// (the document keeps playing its previous revision), or
+    /// [`SchedulerError::EditRejected`] when the edit arrived too late to
+    /// be applied.
+    pub result: Result<()>,
 }
 
 /// The engine's verdict on one admitted document.
@@ -256,6 +295,10 @@ pub struct DocOutcome {
     /// reject the document — including [`SchedulerError::JobPanicked`]
     /// when the job panicked (its worker survives either way).
     pub result: Result<PlaybackReport>,
+    /// One entry per live edit routed to this document
+    /// ([`Engine::apply_edit`]), in processing order. Empty for documents
+    /// never edited.
+    pub edits: Vec<EditOutcome>,
 }
 
 impl DocOutcome {
@@ -367,6 +410,9 @@ struct Job {
     jitter: JitterModel,
     resolver: Option<Arc<dyn DescriptorResolver + Send + Sync>>,
     solve: Option<Arc<SolveResult>>,
+    /// The document's edit mailbox; the registry in [`Shared::mailboxes`]
+    /// holds the other reference until the job completes.
+    edits: Mailbox,
     admitted_at: Instant,
 }
 
@@ -431,6 +477,12 @@ impl Outcomes {
 struct Shared {
     plane: Mutex<Plane>,
     outcomes: Mutex<Outcomes>,
+    /// Edit mailboxes of every admitted-but-unfinished document, keyed by
+    /// raw [`DocId`]. Registered under the plane lock at admission (so a
+    /// mailbox exists before its job is visible to any worker), removed by
+    /// `run_and_complete` before the outcome publishes. A leaf lock — see
+    /// [`Mailbox`].
+    mailboxes: Mutex<HashMap<u64, Mailbox>>,
     shards: WorkerShards<Job>,
     in_flight: AtomicUsize,
     /// Signalled when a job reaches the tenant plane, when refill extras
@@ -452,6 +504,12 @@ impl Shared {
 
     fn lock_outcomes(&self) -> MutexGuard<'_, Outcomes> {
         self.outcomes.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_mailboxes(&self) -> MutexGuard<'_, HashMap<u64, Mailbox>> {
+        self.mailboxes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Admitted-but-unstarted documents: tenant plane plus parked shards.
@@ -550,6 +608,7 @@ impl Engine {
                 delivered: HashSet::new(),
                 latency: HashMap::new(),
             }),
+            mailboxes: Mutex::new(HashMap::new()),
             shards: WorkerShards::new(worker_count),
             in_flight: AtomicUsize::new(0),
             work: Condvar::new(),
@@ -689,6 +748,43 @@ impl Engine {
         self.shared.shards.stats()
     }
 
+    /// Routes a live edit to an admitted document's mailbox. The owning
+    /// worker drains the mailbox before solving and at every tick
+    /// boundary: it applies the edit to the document's revision chain,
+    /// repairs the constraint fixpoint incrementally, and swaps the
+    /// playing session onto the new revision without rewriting any event
+    /// already delivered.
+    ///
+    /// `Ok(())` means *routed*, not *applied* — the per-edit verdict
+    /// arrives in [`DocOutcome::edits`] when the document's outcome is
+    /// collected. Errors with [`SchedulerError::EditRejected`] when the id
+    /// was never admitted here or the document already completed.
+    pub fn apply_edit(&self, doc: DocId, edit: Edit) -> Result<()> {
+        {
+            let plane = self.shared.lock_plane();
+            if doc.0 >= plane.next_id {
+                return Err(SchedulerError::EditRejected {
+                    doc,
+                    reason: "unknown document",
+                });
+            }
+        }
+        let mailboxes = self.shared.lock_mailboxes();
+        match mailboxes.get(&doc.0) {
+            Some(mailbox) => {
+                mailbox
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(edit);
+                Ok(())
+            }
+            None => Err(SchedulerError::EditRejected {
+                doc,
+                reason: "document already completed",
+            }),
+        }
+    }
+
     /// Number of submitters currently blocked on a full bounded queue
     /// (holding FIFO admission tickets). Observability for tests and
     /// monitoring; racy by nature.
@@ -755,7 +851,7 @@ impl Engine {
             shared.capacity.notify_all();
             return Err(refusal);
         }
-        let id = admit_locked(&mut plane, submission);
+        let id = admit_locked(shared, &mut plane, submission);
         if !fast {
             plane.gate.leave();
         }
@@ -833,7 +929,7 @@ impl Engine {
         }
         let ids = submissions
             .into_iter()
-            .map(|submission| admit_locked(&mut plane, submission))
+            .map(|submission| admit_locked(shared, &mut plane, submission))
             .collect();
         if ticket.is_some() {
             plane.gate.leave();
@@ -986,11 +1082,16 @@ impl Drop for Engine {
     }
 }
 
-/// Allocates the next id and enqueues the job on the tenant plane. Caller
-/// holds the plane lock and has already charged the quota.
-fn admit_locked(plane: &mut Plane, submission: Submission) -> DocId {
+/// Allocates the next id, registers the document's edit mailbox, and
+/// enqueues the job on the tenant plane. Caller holds the plane lock and
+/// has already charged the quota — registering under that lock guarantees
+/// the mailbox exists before any worker can see (let alone complete) the
+/// job.
+fn admit_locked(shared: &Shared, plane: &mut Plane, submission: Submission) -> DocId {
     let id = DocId(plane.next_id);
     plane.next_id += 1;
+    let mailbox: Mailbox = Arc::new(Mutex::new(Vec::new()));
+    shared.lock_mailboxes().insert(id.0, Arc::clone(&mailbox));
     let admitted_at = Instant::now();
     let tenant = submission.tenant;
     let job = Job {
@@ -1001,6 +1102,7 @@ fn admit_locked(plane: &mut Plane, submission: Submission) -> DocId {
         jitter: submission.jitter,
         resolver: submission.resolver,
         solve: submission.solve,
+        edits: mailbox,
         admitted_at,
     };
     plane.run.push(tenant, job, admitted_at);
@@ -1112,13 +1214,17 @@ fn run_and_complete(shared: &Shared, job: Job) {
     // `drain()`/`wait()` forever). `AssertUnwindSafe` is sound here:
     // `run_job` only reads the config and the job, all its mutable state
     // is local to the call, and no engine lock is held.
-    let result = catch_unwind(AssertUnwindSafe(|| run_job(&shared.config, &job))).unwrap_or_else(
-        |payload| {
+    let caught = catch_unwind(AssertUnwindSafe(|| run_job(&shared.config, &job)));
+    let (result, mut edits) = match caught {
+        Ok(Ok((report, edits))) => (Ok(report), edits),
+        Ok(Err(error)) => (Err(error), Vec::new()),
+        Err(payload) => (
             Err(SchedulerError::JobPanicked {
                 message: panic_message(payload),
-            })
-        },
-    );
+            }),
+            Vec::new(),
+        ),
+    };
     let Job {
         id,
         tenant,
@@ -1127,19 +1233,40 @@ fn run_and_complete(shared: &Shared, job: Job) {
         jitter,
         resolver,
         solve,
+        edits: mailbox,
         admitted_at,
     } = job;
+    // Retire the mailbox before the outcome publishes: later apply_edit
+    // calls fail fast with EditRejected, and anything that raced in after
+    // the job's final drain (or that a failed job never drained) is
+    // accounted for as a rejected outcome rather than silently lost.
+    {
+        let mut mailboxes = shared.lock_mailboxes();
+        mailboxes.remove(&id.0);
+    }
+    let stranded = std::mem::take(&mut *mailbox.lock().unwrap_or_else(PoisonError::into_inner));
+    for edit in stranded {
+        edits.push(EditOutcome {
+            edit,
+            at: TimeMs::ZERO,
+            result: Err(SchedulerError::EditRejected {
+                doc: id,
+                reason: "document already completed",
+            }),
+        });
+    }
     // Release the job's shared references (document, resolver, precomputed
     // solve) *before* the outcome becomes observable, so a producer that
     // sees the outcome can reclaim sole ownership of what it shared
     // (`Arc::try_unwrap`) without racing this thread.
-    drop((doc, jitter, resolver, solve));
+    drop((doc, jitter, resolver, solve, mailbox));
     let latency = admitted_at.elapsed();
     let outcome = DocOutcome {
         id,
         tenant,
         label,
         result,
+        edits,
     };
     let mut outcomes = shared.lock_outcomes();
     outcomes
@@ -1155,10 +1282,17 @@ fn run_and_complete(shared: &Shared, job: Job) {
     shared.done.notify_all();
 }
 
-/// One document's full trip through the engine: derive, relax, play. Any
-/// scheduler error — a `ConstraintCycle` above all — is the document's
-/// outcome, not the worker's death.
-fn run_job(config: &EngineConfig, job: &Job) -> Result<PlaybackReport> {
+/// Empties a document's edit mailbox, returning the routed edits in
+/// arrival order.
+fn drain_mailbox(mailbox: &Mailbox) -> Vec<Edit> {
+    std::mem::take(&mut *mailbox.lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+/// One document's full trip through the engine: derive, relax, play —
+/// draining its live-edit mailbox before the solve and again at every tick
+/// boundary. Any scheduler error — a `ConstraintCycle` above all — is the
+/// document's outcome, not the worker's death.
+fn run_job(config: &EngineConfig, job: &Job) -> Result<(PlaybackReport, Vec<EditOutcome>)> {
     if let Some(hook) = &config.job_hook {
         hook.fire(&job.label);
     }
@@ -1166,27 +1300,95 @@ fn run_job(config: &EngineConfig, job: &Job) -> Result<PlaybackReport> {
         Some(resolver) => resolver.as_ref(),
         None => &job.doc.catalog,
     };
+    let mut edits: Vec<EditOutcome> = Vec::new();
+    let mut revision = DocRevision::initial(Arc::clone(&job.doc));
+    // Edits that raced admission fold into the revision before anything is
+    // solved: cheaper than a swap, and a precomputed solve for the
+    // unedited tree must not be trusted past the first applied edit.
+    let mut edited_before_start = false;
+    for edit in drain_mailbox(&job.edits) {
+        match revision.apply(&edit) {
+            Ok((next, _delta)) => {
+                revision = next;
+                edited_before_start = true;
+                edits.push(EditOutcome {
+                    edit,
+                    at: TimeMs::ZERO,
+                    result: Ok(()),
+                });
+            }
+            Err(refusal) => edits.push(EditOutcome {
+                edit,
+                at: TimeMs::ZERO,
+                result: Err(refusal.into()),
+            }),
+        }
+    }
     let owned_solve;
     let solved: &SolveResult = match &job.solve {
-        Some(precomputed) => precomputed,
-        None => {
-            let mut graph = ConstraintGraph::derive(&job.doc, resolver, &config.options)?;
-            owned_solve = graph.solve(&job.doc, resolver)?;
+        Some(precomputed) if !edited_before_start => precomputed,
+        _ => {
+            let doc = revision.doc();
+            let mut graph = ConstraintGraph::derive(doc, resolver, &config.options)?;
+            owned_solve = graph.solve(doc, resolver)?;
             &owned_solve
         }
     };
-    let mut session = PlayerSession::new(&job.doc, solved, resolver, &job.jitter)?;
-    let total = session.total_duration().as_millis();
+    let mut session = PlayerSession::new(revision.doc(), solved, resolver, &job.jitter)?;
     let ticks = i64::from(config.ticks_per_document.max(1));
+    // The incremental repair session is opened lazily on the first
+    // mid-playback edit (its cold fixpoint costs one full relax) and kept
+    // warm across later edits of the same document.
+    let mut edit_session: Option<EditSession<'_>> = None;
+    let mut last_boundary = 0i64;
     for step in 1..=ticks {
-        session.tick(total * step / ticks)?;
+        // Applied edits can lengthen (or shorten) the presentation, so the
+        // remaining boundaries re-span the *current* total; the clamp
+        // keeps the tick sequence monotone when an edit shortened it.
+        let total = session.total_duration().as_millis();
+        let boundary = (total * step / ticks).max(last_boundary);
+        session.tick(boundary)?;
         session.poll_events();
+        last_boundary = boundary;
+        for edit in drain_mailbox(&job.edits) {
+            let mut repair = match edit_session.take() {
+                Some(open) => open,
+                None => EditSession::begin(revision.clone(), resolver, config.options)?,
+            };
+            let applied = repair.apply(&edit).and_then(|_| repair.solve_result());
+            match applied {
+                Ok(solve) => {
+                    revision = repair.revision().clone();
+                    session.swap_revision(revision.doc(), &solve, resolver)?;
+                    edits.push(EditOutcome {
+                        edit,
+                        at: TimeMs::from_millis(boundary),
+                        result: Ok(()),
+                    });
+                    edit_session = Some(repair);
+                }
+                Err(refusal) => {
+                    // A failed repair may leave the session's fixpoint
+                    // poisoned (e.g. a constraint cycle detected
+                    // mid-relaxation); drop it and reopen from the last
+                    // good revision on the next edit. The playing session
+                    // is untouched either way.
+                    edits.push(EditOutcome {
+                        edit,
+                        at: TimeMs::from_millis(boundary),
+                        result: Err(refusal),
+                    });
+                }
+            }
+        }
     }
-    // `total * ticks / ticks == total`, so the session is finished here;
-    // the final tick is a no-op safeguard for zero-length documents.
+    // The loop's final boundary already reached the then-current total;
+    // this closes out anything a very last edit appended (and zero-length
+    // documents, for which the loop never advanced).
+    let total = session.total_duration().as_millis().max(last_boundary);
     session.tick(total)?;
     session.poll_events();
-    Ok(session.run_to_completion())
+    Ok((session.run_to_completion(), edits))
 }
 
 #[cfg(test)]
@@ -1793,6 +1995,165 @@ mod tests {
         // work behind at least once.
         assert!(stats.refills > 0);
         assert!(stats.steal_ratio() >= 0.0 && stats.steal_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn apply_edit_rejects_unknown_and_completed_documents() {
+        let engine = Engine::with_workers(1);
+        let doc = story("target", 2);
+        let line = doc.find("/line").unwrap();
+        let edit = Edit::RemoveSubtree { node: line };
+        match engine.apply_edit(DocId(5), edit.clone()) {
+            Err(SchedulerError::EditRejected { doc, reason }) => {
+                assert_eq!(doc, DocId(5));
+                assert_eq!(reason, "unknown document");
+            }
+            other => panic!("expected EditRejected, got {other:?}"),
+        }
+        let id = engine.submit(doc, JitterModel::ideal()).unwrap();
+        assert!(engine.wait(id).is_ok());
+        // The mailbox retires with the job: late routing fails fast.
+        assert!(matches!(
+            engine.apply_edit(id, edit),
+            Err(SchedulerError::EditRejected {
+                reason: "document already completed",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn pre_start_edits_fold_into_the_document_and_report_outcomes() {
+        use cmif_core::edit::NodeSpec;
+        let gate = Gate::new();
+        let engine = stalled_engine(1, None, &gate);
+        let doc = story("edited", 2);
+        let root = doc.root().unwrap();
+        let id = engine.submit(doc, JitterModel::ideal()).unwrap();
+        // The worker is parked at the job hook, which fires before the
+        // pre-start drain: both edits provably land before the solve.
+        engine
+            .apply_edit(
+                id,
+                Edit::InsertSubtree {
+                    parent: root,
+                    spec: NodeSpec::imm_text("coda", "and one more thing")
+                        .on_channel("caption")
+                        .lasting_ms(5_000),
+                },
+            )
+            .unwrap();
+        // Removing the root is invalid: refused, document unharmed.
+        engine
+            .apply_edit(id, Edit::RemoveSubtree { node: root })
+            .unwrap();
+        gate.release();
+        let outcome = engine.wait(id);
+        let report = outcome.result.expect("edited document still plays");
+        // The par root now holds a 5s caption next to the 2s voice.
+        assert_eq!(report.total_duration, TimeMs::from_secs(5));
+        assert!(report.events.iter().any(|e| e.name.as_str() == "coda"));
+        assert_eq!(outcome.edits.len(), 2);
+        assert!(outcome.edits[0].result.is_ok(), "{:?}", outcome.edits[0]);
+        assert_eq!(outcome.edits[0].at, TimeMs::ZERO);
+        assert!(outcome.edits[1].result.is_err(), "{:?}", outcome.edits[1]);
+    }
+
+    /// Delegates to the document's catalog — and the first time anything
+    /// resolves through it, drops the prepared edit into the mailbox.
+    /// Resolution first happens during constraint derivation, i.e. *after*
+    /// the job's pre-start drain, so the edit deterministically arrives
+    /// mid-playback and must be picked up at a tick boundary. No threads,
+    /// no races.
+    struct EditingResolver {
+        doc: Arc<Document>,
+        mailbox: Mailbox,
+        edit: Mutex<Option<Edit>>,
+    }
+
+    impl DescriptorResolver for EditingResolver {
+        fn resolve(&self, key: &str) -> Option<DataDescriptor> {
+            if let Some(edit) = self.edit.lock().unwrap().take() {
+                self.mailbox.lock().unwrap().push(edit);
+            }
+            self.doc.catalog.resolve(key)
+        }
+    }
+
+    #[test]
+    fn mid_playback_edits_swap_at_a_tick_boundary() {
+        use cmif_core::edit::NodeSpec;
+        let doc = Arc::new(story("live", 2));
+        let root = doc.root().unwrap();
+        let mailbox: Mailbox = Arc::new(Mutex::new(Vec::new()));
+        let edit = Edit::InsertSubtree {
+            parent: root,
+            spec: NodeSpec::imm_text("coda", "breaking update")
+                .on_channel("caption")
+                .lasting_ms(6_000),
+        };
+        let resolver = EditingResolver {
+            doc: Arc::clone(&doc),
+            mailbox: Arc::clone(&mailbox),
+            edit: Mutex::new(Some(edit)),
+        };
+        let job = Job {
+            id: DocId(0),
+            tenant: TenantId::DEFAULT,
+            label: "live".to_string(),
+            doc: Arc::clone(&doc),
+            jitter: JitterModel::ideal(),
+            resolver: Some(Arc::new(resolver)),
+            solve: None,
+            edits: Arc::clone(&mailbox),
+            admitted_at: Instant::now(),
+        };
+        let (report, outcomes) = run_job(&EngineConfig::default(), &job).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].result.is_ok(), "{:?}", outcomes[0].result);
+        assert!(
+            outcomes[0].at.as_millis() > 0,
+            "a mid-playback edit lands at a boundary, not pre-start: {:?}",
+            outcomes[0].at
+        );
+        assert_eq!(report.total_duration, TimeMs::from_secs(6));
+        assert!(report.events.iter().any(|e| e.name.as_str() == "coda"));
+        assert!(mailbox.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn edits_stranded_by_a_failed_job_become_rejected_outcomes() {
+        let gate = Gate::new();
+        let hook_gate = Arc::clone(&gate);
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            job_hook: Some(JobHook::new(move |_| {
+                hook_gate.wait();
+                panic!("wedged mid-broadcast");
+            })),
+            ..EngineConfig::default()
+        });
+        let doc = story("doomed", 2);
+        let line = doc.find("/line").unwrap();
+        let id = engine.submit(doc, JitterModel::ideal()).unwrap();
+        engine
+            .apply_edit(id, Edit::RemoveSubtree { node: line })
+            .unwrap();
+        gate.release();
+        let outcome = engine.wait(id);
+        assert!(matches!(
+            outcome.result,
+            Err(SchedulerError::JobPanicked { .. })
+        ));
+        // The routed edit was never drained — accounted for, not lost.
+        assert_eq!(outcome.edits.len(), 1);
+        assert!(matches!(
+            outcome.edits[0].result,
+            Err(SchedulerError::EditRejected {
+                reason: "document already completed",
+                ..
+            })
+        ));
     }
 
     #[test]

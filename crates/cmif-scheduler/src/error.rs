@@ -12,7 +12,7 @@ use std::fmt;
 use cmif_core::diag::Diagnostic;
 use cmif_core::error::CoreError;
 
-use crate::engine::TenantId;
+use crate::engine::{DocId, TenantId};
 
 /// Result alias used throughout `cmif-scheduler`.
 pub type Result<T> = std::result::Result<T, SchedulerError>;
@@ -77,6 +77,15 @@ pub enum SchedulerError {
         /// Every diagnostic the gate collected; at least one is deny.
         diagnostics: Vec<Diagnostic>,
     },
+    /// A live edit could not be routed to a running document
+    /// ([`crate::engine::Engine::apply_edit`]): the document id is unknown
+    /// or its presentation already completed.
+    EditRejected {
+        /// The document the edit targeted.
+        doc: DocId,
+        /// Why the engine refused to route it.
+        reason: &'static str,
+    },
     /// A structural error from the document model.
     Core(CoreError),
 }
@@ -128,6 +137,9 @@ impl fmt::Display for SchedulerError {
                     write!(f, "; first: {first}")?;
                 }
                 Ok(())
+            }
+            SchedulerError::EditRejected { doc, reason } => {
+                write!(f, "live edit rejected for {doc}: {reason}")
             }
             SchedulerError::Core(e) => write!(f, "document error: {e}"),
         }
@@ -197,6 +209,17 @@ mod tests {
         assert!(text.contains("1 deny-severity"), "{text}");
         assert!(text.contains("2 diagnostic"), "{text}");
         assert!(text.contains("L101"), "{text}");
+    }
+
+    #[test]
+    fn edit_rejections_name_the_document_and_reason() {
+        let err = SchedulerError::EditRejected {
+            doc: DocId(7),
+            reason: "document already completed",
+        };
+        let text = err.to_string();
+        assert!(text.contains("doc#7"), "{text}");
+        assert!(text.contains("already completed"), "{text}");
     }
 
     #[test]

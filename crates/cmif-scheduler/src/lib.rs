@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod author;
 pub mod conflict;
 pub mod defaults;
 pub mod engine;
@@ -73,16 +74,20 @@ pub mod types;
 
 pub use error::{Result, SchedulerError};
 
+pub use author::{EditSession, EditStats};
 pub use conflict::{
     class_histogram, device_conflicts, full_report, invalid_arcs_when_seeking,
     specification_conflicts, Conflict, ConflictReport,
 };
-pub use defaults::{derive_constraints, derive_structural, rates_of};
+pub use defaults::{
+    derive_constraints, derive_structural, explicit_constraints, leaf_duration_constraint,
+    rates_of, shell_constraints,
+};
 #[doc(hidden)]
 pub use engine::JobHook;
 pub use engine::{
-    DocId, DocOutcome, Engine, EngineConfig, LintGate, LintPolicy, QueueStats, QuotaConfig,
-    Submission, TenantId, TenantPolicy, TenantStatsSnapshot,
+    DocId, DocOutcome, EditOutcome, Engine, EngineConfig, LintGate, LintPolicy, QueueStats,
+    QuotaConfig, Submission, TenantId, TenantPolicy, TenantStatsSnapshot,
 };
 pub use environment::{EnvironmentLimits, JitterModel, JitterSampler};
 pub use graph::{ConstraintGraph, PointTimes};

@@ -15,7 +15,7 @@
 //! simulation for the same seed, no matter how the session is ticked,
 //! paused or sought in between.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::mem;
 
 use cmif_core::arc::Strictness;
@@ -25,12 +25,12 @@ use cmif_core::symbol::Symbol;
 use cmif_core::time::TimeMs;
 use cmif_core::tree::{unassigned_channel, Document};
 
-use crate::environment::JitterModel;
+use crate::environment::{JitterModel, JitterSampler};
 use crate::error::Result;
-use crate::graph::relax_in_place;
+use crate::graph::{relax_in_place, PointTimes};
 use crate::player::{PlaybackReport, PlayedEvent};
 use crate::solver::SolveResult;
-use crate::types::EventPoint;
+use crate::types::{Constraint, EventPoint};
 
 /// The lifecycle of a playback session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +91,11 @@ pub enum PlaybackEvent {
         /// The actual total duration.
         at: TimeMs,
     },
+    /// A mid-playback revision swap re-scheduled the unplayed suffix.
+    Revised {
+        /// Presentation position (the tick boundary) the swap happened at.
+        at: TimeMs,
+    },
 }
 
 /// Which edge of a played event a timeline item marks.
@@ -106,6 +111,155 @@ struct TimelineItem {
     at: TimeMs,
     kind: ItemKind,
     event: usize,
+}
+
+/// What a merged event contributes to the rebuilt timeline after a
+/// mid-playback revision swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    /// Begin and end already delivered: kept verbatim, no items.
+    Closed,
+    /// Begin delivered, end still pending: one end item.
+    EndPending,
+    /// New or re-scheduled event that lands before the swap boundary: in
+    /// the report, but never delivered (its moment has passed).
+    Skipped,
+    /// Future event: begin and end items.
+    Scheduled,
+}
+
+/// Zeroes every event point of the document and relaxes the causal
+/// ("what actually happened") timeline under the given startup latencies.
+fn causal_times(
+    doc: &Document,
+    constraints: &[Constraint],
+    latencies: &HashMap<NodeId, i64>,
+) -> Result<PointTimes> {
+    let mut actual: PointTimes = HashMap::new();
+    for node in doc.preorder() {
+        actual.insert(EventPoint::begin(node), TimeMs::ZERO);
+        actual.insert(EventPoint::end(node), TimeMs::ZERO);
+    }
+    relax_in_place(&mut actual, constraints, Some(latencies), "playback")?;
+    Ok(actual)
+}
+
+/// Counts (must, may) window violations of the constraints against the
+/// actual times.
+fn count_violations(constraints: &[Constraint], actual: &PointTimes) -> (usize, usize) {
+    let mut must_violations = 0;
+    let mut may_violations = 0;
+    for constraint in constraints {
+        let source_time = match actual.get(&constraint.source) {
+            Some(t) => *t,
+            None => continue,
+        };
+        let target_time = match actual.get(&constraint.target) {
+            Some(t) => *t,
+            None => continue,
+        };
+        if !constraint.satisfied(source_time, target_time) {
+            if constraint.strictness == Strictness::Must {
+                must_violations += 1;
+            } else {
+                may_violations += 1;
+            }
+        }
+    }
+    (must_violations, may_violations)
+}
+
+/// Builds the report entry of one leaf from the causal times.
+fn make_event(
+    doc: &Document,
+    result: &SolveResult,
+    actual: &PointTimes,
+    channels: &HashMap<NodeId, Symbol>,
+    leaf: NodeId,
+) -> Result<PlayedEvent> {
+    let scheduled_begin = result
+        .schedule
+        .node_times
+        .get(&leaf)
+        .map(|(begin, _)| *begin)
+        .unwrap_or(TimeMs::ZERO);
+    let actual_begin = actual[&EventPoint::begin(leaf)];
+    let actual_end = actual[&EventPoint::end(leaf)].max(actual_begin);
+    let channel = channels
+        .get(&leaf)
+        .copied()
+        .unwrap_or_else(unassigned_channel);
+    // The `#<index>` fallback keeps the pool bounded (see the same
+    // choice in `solver::build_schedule`).
+    let name = match doc.node(leaf)?.name_symbol() {
+        Some(name) => name,
+        None => Symbol::from_owned(format!("{leaf}")),
+    };
+    Ok(PlayedEvent {
+        node: leaf,
+        name,
+        channel,
+        scheduled_begin,
+        actual_begin,
+        actual_end,
+    })
+}
+
+/// Freeze-frame time: gaps between consecutive events on channels that
+/// carry continuous media (video keeps its last frame on screen, audio
+/// goes silent) — the mechanism Figure 10 appeals to.
+fn freeze_frame(
+    doc: &Document,
+    resolver: &dyn DescriptorResolver,
+    events: &[PlayedEvent],
+) -> Result<i64> {
+    let mut freeze_frame_ms = 0;
+    let mut per_channel: HashMap<Symbol, Vec<&PlayedEvent>> = HashMap::new();
+    for event in events {
+        per_channel.entry(event.channel).or_default().push(event);
+    }
+    for (channel, channel_events) in per_channel {
+        let continuous = match doc.channels.get_symbol(channel) {
+            Some(def) => def.medium.is_continuous(),
+            // Channels that only exist on nodes: judge by the medium of
+            // the first event presented on them.
+            None => channel_events
+                .first()
+                .map(|event| doc.medium_of(event.node, resolver))
+                .transpose()?
+                .map(|medium| medium.is_continuous())
+                .unwrap_or(false),
+        };
+        if !continuous {
+            continue;
+        }
+        for pair in channel_events.windows(2) {
+            let gap = pair[1].actual_begin.as_millis() - pair[0].actual_end.as_millis();
+            if gap > 0 {
+                freeze_frame_ms += gap;
+            }
+        }
+    }
+    Ok(freeze_frame_ms)
+}
+
+/// Both timeline items of every event, in delivery order.
+fn full_timeline(events: &[PlayedEvent]) -> Vec<TimelineItem> {
+    let mut timeline = Vec::with_capacity(events.len() * 2);
+    for (index, event) in events.iter().enumerate() {
+        timeline.push(TimelineItem {
+            at: event.actual_begin,
+            kind: ItemKind::Begin,
+            event: index,
+        });
+        timeline.push(TimelineItem {
+            at: event.actual_end,
+            kind: ItemKind::End,
+            event: index,
+        });
+    }
+    timeline.sort_by_key(|item| (item.at, item.kind, item.event));
+    timeline
 }
 
 /// An incremental playback run of one solved document.
@@ -148,6 +302,13 @@ pub struct PlayerSession {
     wall_origin: Option<i64>,
     state: SessionState,
     pending: Vec<PlaybackEvent>,
+    /// The device's jitter stream; revision swaps draw startup latencies for
+    /// new leaves from it, re-jittered seeks resample the tail.
+    sampler: JitterSampler,
+    /// Sampled startup latency per leaf.
+    latencies: HashMap<NodeId, i64>,
+    /// Channel per leaf, as of the current revision.
+    channels: HashMap<NodeId, Symbol>,
 }
 
 impl PlayerSession {
@@ -178,96 +339,17 @@ impl PlayerSession {
         // relaxation core of `crate::graph`. The result is the causal "what
         // actually happened" timeline: a late controlling event pushes
         // everything it controls later, exactly like a slow device would.
-        let mut actual: HashMap<EventPoint, TimeMs> = HashMap::new();
-        for node in doc.preorder() {
-            actual.insert(EventPoint::begin(node), TimeMs::ZERO);
-            actual.insert(EventPoint::end(node), TimeMs::ZERO);
-        }
-        relax_in_place(
-            &mut actual,
-            &result.constraints,
-            Some(&latencies),
-            "playback",
-        )?;
-
-        // Count window violations against the actual times.
-        let mut must_violations = 0;
-        let mut may_violations = 0;
-        for constraint in &result.constraints {
-            let source_time = actual[&constraint.source];
-            let target_time = actual[&constraint.target];
-            if !constraint.satisfied(source_time, target_time) {
-                if constraint.strictness == Strictness::Must {
-                    must_violations += 1;
-                } else {
-                    may_violations += 1;
-                }
-            }
-        }
+        let actual = causal_times(doc, &result.constraints, &latencies)?;
+        let (must_violations, may_violations) = count_violations(&result.constraints, &actual);
 
         // Build the per-event report.
         let mut events = Vec::with_capacity(leaves.len());
         for leaf in &leaves {
-            let scheduled_begin = result
-                .schedule
-                .node_times
-                .get(leaf)
-                .map(|(begin, _)| *begin)
-                .unwrap_or(TimeMs::ZERO);
-            let actual_begin = actual[&EventPoint::begin(*leaf)];
-            let actual_end = actual[&EventPoint::end(*leaf)].max(actual_begin);
-            let channel = channels
-                .get(leaf)
-                .copied()
-                .unwrap_or_else(unassigned_channel);
-            // The `#<index>` fallback keeps the pool bounded (see the same
-            // choice in `solver::build_schedule`).
-            let name = match doc.node(*leaf)?.name_symbol() {
-                Some(name) => name,
-                None => Symbol::from_owned(format!("{leaf}")),
-            };
-            events.push(PlayedEvent {
-                node: *leaf,
-                name,
-                channel,
-                scheduled_begin,
-                actual_begin,
-                actual_end,
-            });
+            events.push(make_event(doc, result, &actual, &channels, *leaf)?);
         }
         events.sort_by_key(|e| (e.actual_begin, e.node));
 
-        // Freeze-frame time: gaps between consecutive events on channels
-        // that carry continuous media (video keeps its last frame on screen,
-        // audio goes silent) — the mechanism Figure 10 appeals to.
-        let mut freeze_frame_ms = 0;
-        let mut per_channel: HashMap<Symbol, Vec<&PlayedEvent>> = HashMap::new();
-        for event in &events {
-            per_channel.entry(event.channel).or_default().push(event);
-        }
-        for (channel, channel_events) in per_channel {
-            let continuous = match doc.channels.get_symbol(channel) {
-                Some(def) => def.medium.is_continuous(),
-                // Channels that only exist on nodes: judge by the medium of
-                // the first event presented on them.
-                None => channel_events
-                    .first()
-                    .map(|event| doc.medium_of(event.node, resolver))
-                    .transpose()?
-                    .map(|medium| medium.is_continuous())
-                    .unwrap_or(false),
-            };
-            if !continuous {
-                continue;
-            }
-            for pair in channel_events.windows(2) {
-                let gap = pair[1].actual_begin.as_millis() - pair[0].actual_end.as_millis();
-                if gap > 0 {
-                    freeze_frame_ms += gap;
-                }
-            }
-        }
-
+        let freeze_frame_ms = freeze_frame(doc, resolver, &events)?;
         let total_duration = events
             .iter()
             .map(|e| e.actual_end)
@@ -281,21 +363,7 @@ impl PlayerSession {
             freeze_frame_ms,
             total_duration,
         };
-
-        let mut timeline = Vec::with_capacity(report.events.len() * 2);
-        for (index, event) in report.events.iter().enumerate() {
-            timeline.push(TimelineItem {
-                at: event.actual_begin,
-                kind: ItemKind::Begin,
-                event: index,
-            });
-            timeline.push(TimelineItem {
-                at: event.actual_end,
-                kind: ItemKind::End,
-                event: index,
-            });
-        }
-        timeline.sort_by_key(|item| (item.at, item.kind, item.event));
+        let timeline = full_timeline(&report.events);
 
         Ok(PlayerSession {
             report,
@@ -305,6 +373,9 @@ impl PlayerSession {
             wall_origin: None,
             state: SessionState::Ready,
             pending: Vec::new(),
+            sampler,
+            latencies,
+            channels,
         })
     }
 
@@ -326,6 +397,13 @@ impl PlayerSession {
     /// The final report, once the session has [`SessionState::Finished`].
     pub fn report(&self) -> Option<&PlaybackReport> {
         (self.state == SessionState::Finished).then_some(&self.report)
+    }
+
+    /// The report as it currently stands. Unlike [`PlayerSession::report`]
+    /// this is available in any state — but a later revision swap or
+    /// re-jittered seek may still rewrite the unplayed tail.
+    pub fn report_preview(&self) -> &PlaybackReport {
+        &self.report
     }
 
     /// Advances the session to wall-clock time `now_ms` (milliseconds on
@@ -394,6 +472,204 @@ impl PlayerSession {
             self.state = SessionState::Ready;
         }
         self.pending.push(PlaybackEvent::Sought { from, to });
+    }
+
+    /// Swaps the session onto a new document revision at the current
+    /// position (the tick boundary).
+    ///
+    /// Delivered history is never rewritten: every event whose `Started`
+    /// was already polled keeps its begin time (and its end time too, once
+    /// `Ended` was polled). The unplayed suffix is re-scheduled from the new
+    /// revision's solve:
+    ///
+    /// * leaves that began but did not end keep playing; their end moves to
+    ///   the new revision's end time, clamped to the boundary (a removed
+    ///   leaf ends *at* the boundary — cut off, not erased);
+    /// * un-begun leaves that the revision removed disappear from the
+    ///   report;
+    /// * new leaves sample a startup latency from the session's jitter
+    ///   stream; a new event whose time lands before the boundary stays in
+    ///   the report but is never delivered — its moment has passed;
+    /// * violation counts are recomputed against the new revision's causal
+    ///   times, and freeze-frame / total duration against the merged events.
+    ///
+    /// The rebuilt timeline holds only undelivered items, so replay-by-seek
+    /// after a swap covers the unplayed suffix, not the rewritten history.
+    /// A [`PlaybackEvent::Revised`] marks the swap in the event stream.
+    pub fn swap_revision(
+        &mut self,
+        doc: &Document,
+        result: &SolveResult,
+        resolver: &dyn DescriptorResolver,
+    ) -> Result<()> {
+        let boundary = self.position;
+
+        // What was actually delivered so far (timeline items behind the
+        // cursor) — the history that must survive verbatim.
+        let mut begun: HashSet<NodeId> = HashSet::new();
+        let mut ended: HashSet<NodeId> = HashSet::new();
+        for item in &self.timeline[..self.cursor] {
+            let node = self.report.events[item.event].node;
+            match item.kind {
+                ItemKind::Begin => {
+                    begun.insert(node);
+                }
+                ItemKind::End => {
+                    ended.insert(node);
+                }
+            }
+        }
+
+        let leaves = doc.leaves();
+        let leaf_set: HashSet<NodeId> = leaves.iter().copied().collect();
+        // Surviving leaves keep their sampled latency; new leaves (and
+        // un-begun leaves whose channel changed) draw the next sample from
+        // the session's jitter stream.
+        for leaf in &leaves {
+            let channel = doc.channel_of(*leaf)?.unwrap_or_else(unassigned_channel);
+            let rechannelled = self.channels.get(leaf) != Some(&channel);
+            if !self.latencies.contains_key(leaf) || (rechannelled && !begun.contains(leaf)) {
+                self.latencies.insert(*leaf, self.sampler.sample(channel));
+            }
+            self.channels.insert(*leaf, channel);
+        }
+        self.latencies
+            .retain(|node, _| leaf_set.contains(node) || begun.contains(node));
+        self.channels
+            .retain(|node, _| leaf_set.contains(node) || begun.contains(node));
+
+        let actual = causal_times(doc, &result.constraints, &self.latencies)?;
+        let (must_violations, may_violations) = count_violations(&result.constraints, &actual);
+
+        // Merge delivered history with the re-scheduled suffix.
+        let mut merged: Vec<(PlayedEvent, Fate)> = Vec::new();
+        for event in &self.report.events {
+            if !begun.contains(&event.node) {
+                continue;
+            }
+            let mut kept = event.clone();
+            let fate = if ended.contains(&event.node) {
+                Fate::Closed
+            } else {
+                kept.actual_end = if leaf_set.contains(&event.node) {
+                    actual[&EventPoint::end(event.node)].max(boundary)
+                } else {
+                    boundary
+                };
+                Fate::EndPending
+            };
+            merged.push((kept, fate));
+        }
+        for leaf in &leaves {
+            if begun.contains(leaf) {
+                continue;
+            }
+            let event = make_event(doc, result, &actual, &self.channels, *leaf)?;
+            let fate = if event.actual_begin < boundary {
+                Fate::Skipped
+            } else {
+                Fate::Scheduled
+            };
+            merged.push((event, fate));
+        }
+        merged.sort_by_key(|(event, _)| (event.actual_begin, event.node));
+
+        let events: Vec<PlayedEvent> = merged.iter().map(|(event, _)| event.clone()).collect();
+        let freeze_frame_ms = freeze_frame(doc, resolver, &events)?;
+        let total_duration = events
+            .iter()
+            .map(|e| e.actual_end)
+            .max()
+            .unwrap_or(TimeMs::ZERO);
+
+        let mut timeline = Vec::new();
+        for (index, (event, fate)) in merged.iter().enumerate() {
+            match fate {
+                Fate::Closed | Fate::Skipped => {}
+                Fate::EndPending => timeline.push(TimelineItem {
+                    at: event.actual_end,
+                    kind: ItemKind::End,
+                    event: index,
+                }),
+                Fate::Scheduled => {
+                    timeline.push(TimelineItem {
+                        at: event.actual_begin,
+                        kind: ItemKind::Begin,
+                        event: index,
+                    });
+                    timeline.push(TimelineItem {
+                        at: event.actual_end,
+                        kind: ItemKind::End,
+                        event: index,
+                    });
+                }
+            }
+        }
+        timeline.sort_by_key(|item| (item.at, item.kind, item.event));
+
+        self.report = PlaybackReport {
+            events,
+            must_violations,
+            may_violations,
+            freeze_frame_ms,
+            total_duration,
+        };
+        self.timeline = timeline;
+        self.cursor = 0;
+        if self.state == SessionState::Finished {
+            // The swap may have appended new material past the old end.
+            self.state = SessionState::Ready;
+            self.wall_origin = None;
+        }
+        self.pending.push(PlaybackEvent::Revised { at: boundary });
+        Ok(())
+    }
+
+    /// Seeks to `to` with fresh jitter for the unplayed tail: every leaf
+    /// whose begin lies at or past the target resamples its startup latency
+    /// from the session's jitter stream, and the causal timeline is
+    /// re-relaxed — the head of the presentation keeps its times (its
+    /// latencies are untouched), the tail lands on newly jittered ones.
+    ///
+    /// `doc` and `result` must be the revision the session is playing.
+    pub fn seek_rejittered(
+        &mut self,
+        doc: &Document,
+        result: &SolveResult,
+        resolver: &dyn DescriptorResolver,
+        to: TimeMs,
+    ) -> Result<()> {
+        for event in &self.report.events {
+            if event.actual_begin >= to {
+                if let Some(channel) = self.channels.get(&event.node).copied() {
+                    self.latencies
+                        .insert(event.node, self.sampler.sample(channel));
+                }
+            }
+        }
+        let actual = causal_times(doc, &result.constraints, &self.latencies)?;
+        let (must_violations, may_violations) = count_violations(&result.constraints, &actual);
+        let mut events = Vec::with_capacity(doc.leaves().len());
+        for leaf in doc.leaves() {
+            events.push(make_event(doc, result, &actual, &self.channels, leaf)?);
+        }
+        events.sort_by_key(|e| (e.actual_begin, e.node));
+        let freeze_frame_ms = freeze_frame(doc, resolver, &events)?;
+        let total_duration = events
+            .iter()
+            .map(|e| e.actual_end)
+            .max()
+            .unwrap_or(TimeMs::ZERO);
+        self.report = PlaybackReport {
+            events,
+            must_violations,
+            may_violations,
+            freeze_frame_ms,
+            total_duration,
+        };
+        self.timeline = full_timeline(&self.report.events);
+        self.seek(to);
+        Ok(())
     }
 
     /// Drains the events that occurred since the last poll.
@@ -558,6 +834,126 @@ mod tests {
             ticked.poll_events();
         }
         assert_eq!(ticked.report(), Some(&one_shot));
+    }
+
+    fn solve(doc: &Document) -> SolveResult {
+        ConstraintGraph::derive(doc, &doc.catalog, &ScheduleOptions::default())
+            .unwrap()
+            .solve(doc, &doc.catalog)
+            .unwrap()
+    }
+
+    #[test]
+    fn swap_revision_preserves_delivered_history() {
+        use cmif_core::edit::{DocRevision, Edit, NodeSpec};
+        use std::sync::Arc;
+
+        let (doc, result) = solved_doc();
+        let root = doc.root().unwrap();
+        let mut s = session(&doc, &result, &JitterModel::ideal());
+        // Play past the first leaf's begin (0 ms) and end (2 s), into the
+        // second leaf (begin 2 s).
+        s.tick(0).unwrap();
+        s.tick(2_500).unwrap();
+        let before: Vec<_> = s.poll_events();
+        assert!(before.iter().any(
+            |e| matches!(e, PlaybackEvent::Started { at, .. } if *at == TimeMs::from_secs(2))
+        ));
+
+        // Append a third part mid-broadcast.
+        let rev = DocRevision::initial(Arc::new(doc.clone()));
+        let (next, _) = rev
+            .apply(&Edit::InsertSubtree {
+                parent: root,
+                spec: NodeSpec::ext("third", "speech").on_channel("audio"),
+            })
+            .unwrap();
+        let new_doc = next.doc().clone();
+        let new_result = solve(&new_doc);
+        s.swap_revision(&new_doc, &new_result, &new_doc.catalog)
+            .unwrap();
+
+        let swap_events = s.poll_events();
+        assert!(swap_events.iter().any(
+            |e| matches!(e, PlaybackEvent::Revised { at } if *at == TimeMs::from_millis(2_500))
+        ));
+        // Delivered history is untouched in the report.
+        let report_events = &s.report_preview().events;
+        assert_eq!(report_events.len(), 3);
+        assert_eq!(report_events[0].actual_begin, TimeMs::ZERO);
+        assert_eq!(report_events[0].actual_end, TimeMs::from_secs(2));
+        // Ticking on delivers the rest, including the new third part, and
+        // nothing that was already polled is re-delivered.
+        s.tick(4_000).unwrap();
+        s.tick(6_000).unwrap();
+        assert_eq!(s.state(), SessionState::Finished);
+        let after: Vec<_> = s.poll_events();
+        let restarted = after
+            .iter()
+            .filter(|e| matches!(e, PlaybackEvent::Started { at, .. } if *at < TimeMs::from_millis(2_500)))
+            .count();
+        assert_eq!(restarted, 0, "already-fired Started events never repeat");
+        assert!(after.iter().any(
+            |e| matches!(e, PlaybackEvent::Started { at, .. } if *at == TimeMs::from_secs(4))
+        ));
+        assert_eq!(s.total_duration(), TimeMs::from_secs(6));
+    }
+
+    #[test]
+    fn swap_revision_cuts_a_removed_playing_leaf_at_the_boundary() {
+        use cmif_core::edit::{DocRevision, Edit};
+        use std::sync::Arc;
+
+        let (doc, result) = solved_doc();
+        let second = doc.find("/second").unwrap();
+        let mut s = session(&doc, &result, &JitterModel::ideal());
+        // Into the second leaf (2 s – 4 s).
+        s.tick(0).unwrap();
+        s.tick(3_000).unwrap();
+        s.poll_events();
+
+        let rev = DocRevision::initial(Arc::new(doc.clone()));
+        let (next, _) = rev.apply(&Edit::RemoveSubtree { node: second }).unwrap();
+        let new_doc = next.doc().clone();
+        let new_result = solve(&new_doc);
+        s.swap_revision(&new_doc, &new_result, &new_doc.catalog)
+            .unwrap();
+
+        let report = s.report_preview();
+        let cut = report
+            .events
+            .iter()
+            .find(|e| e.node == second)
+            .expect("begun leaf stays in the report");
+        assert_eq!(cut.actual_end, TimeMs::from_secs(3), "cut at the boundary");
+        s.tick(3_000).unwrap();
+        assert_eq!(s.state(), SessionState::Finished);
+        let tail = s.poll_events();
+        assert!(tail
+            .iter()
+            .any(|e| matches!(e, PlaybackEvent::Ended { node, at } if *node == second && *at == TimeMs::from_secs(3))));
+    }
+
+    #[test]
+    fn seek_rejittered_resamples_only_the_tail() {
+        let (doc, result) = solved_doc();
+        let jitter = JitterModel::uniform(400, 99);
+        let mut s = session(&doc, &result, &jitter);
+        let head_begin = s.report_preview().events[0].actual_begin;
+        s.tick(0).unwrap();
+        s.seek_rejittered(&doc, &result, &doc.catalog, TimeMs::from_secs(2))
+            .unwrap();
+        let report = s.report_preview();
+        assert_eq!(
+            report.events[0].actual_begin, head_begin,
+            "head keeps its jitter"
+        );
+        // The session still runs to completion on the re-jittered timeline.
+        let mut now = 0;
+        while s.tick(now).unwrap() != SessionState::Finished {
+            now += 500;
+            s.poll_events();
+        }
     }
 
     #[test]
